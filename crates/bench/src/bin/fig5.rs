@@ -1,0 +1,194 @@
+//! Figure 5: number of binaries with full coverage / full accuracy under
+//! each strategy stack — panels (a) GHIDRA, (b) ANGR, (c) optimal.
+//!
+//! Run with `--panel a|b|c` (default: all three).
+
+use fetch_bench::{banner, dataset2, opts_from_args, paper, par_map};
+use fetch_binary::TestCase;
+use fetch_core::{
+    AlignmentSplit, CallFrameRepair, ControlFlowRepair, FdeSeeds, FunctionMerge,
+    LinearScanStarts, PointerScan, PrologueMatch, SafeRecursion, Strategy, TailCallHeuristic,
+    ThunkHeuristic, ToolStyle, run_stack,
+};
+use fetch_metrics::{evaluate, Aggregate, TextTable};
+use fetch_tools::angr_rejects;
+
+type Stack = (&'static str, Vec<Box<dyn Strategy + Sync>>);
+
+fn ghidra_stacks() -> Vec<Stack> {
+    vec![
+        ("FDE", vec![Box::new(FdeSeeds)]),
+        (
+            "FDE+Rec+CFR",
+            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(ControlFlowRepair)],
+        ),
+        ("FDE+Rec", vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())]),
+        (
+            "FDE+Rec+Fsig",
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(PrologueMatch { style: ToolStyle::Ghidra }),
+            ],
+        ),
+        (
+            "FDE+Rec+Tcall",
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(TailCallHeuristic { style: ToolStyle::Ghidra }),
+            ],
+        ),
+        (
+            "FDE+Rec+Thunk",
+            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(ThunkHeuristic)],
+        ),
+    ]
+}
+
+fn angr_stacks() -> Vec<Stack> {
+    vec![
+        ("FDE", vec![Box::new(FdeSeeds)]),
+        (
+            "FDE+Rec+Fmerg",
+            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(FunctionMerge)],
+        ),
+        ("FDE+Rec", vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())]),
+        (
+            "FDE+Rec+Fsig",
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(PrologueMatch { style: ToolStyle::Angr }),
+            ],
+        ),
+        (
+            "FDE+Rec+Scan",
+            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(LinearScanStarts)],
+        ),
+        (
+            "FDE+Rec+Tcall",
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(TailCallHeuristic { style: ToolStyle::Angr }),
+            ],
+        ),
+        (
+            "FDE+Rec+Align",
+            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(AlignmentSplit)],
+        ),
+    ]
+}
+
+fn optimal_stacks() -> Vec<Stack> {
+    vec![
+        ("FDE", vec![Box::new(FdeSeeds)]),
+        ("FDE+Rec", vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())]),
+        (
+            "FDE+Rec+Xref",
+            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(PointerScan)],
+        ),
+        (
+            "FDE+Rec+Xref+Tcall",
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(PointerScan),
+                Box::new(CallFrameRepair::default()),
+            ],
+        ),
+    ]
+}
+
+fn run_panel(
+    title: &str,
+    stacks: Vec<Stack>,
+    cases: &[TestCase],
+    reference: &[(&str, u64, u64)],
+    skip_angr_failures: bool,
+) {
+    banner(title);
+    let usable: Vec<TestCase> = if skip_angr_failures {
+        cases.iter().filter(|c| !angr_rejects(&c.binary)).cloned().collect()
+    } else {
+        cases.to_vec()
+    };
+    println!("binaries evaluated: {}\n", usable.len());
+
+    let mut table = TextTable::new([
+        "Strategy",
+        "Full Coverage",
+        "Full Accuracy",
+        "(paper cov)",
+        "(paper acc)",
+    ]);
+    for (label, stack) in &stacks {
+        let evals = par_map(&usable, |case| {
+            let refs: Vec<&dyn Strategy> =
+                stack.iter().map(|s| s.as_ref() as &dyn Strategy).collect();
+            let r = run_stack(&case.binary, &refs);
+            evaluate(&r.start_set(), case)
+        });
+        let mut agg = Aggregate::new();
+        for e in &evals {
+            agg.add(e);
+        }
+        let (pc, pa) = reference
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .map(|(_, c, a)| (c.to_string(), a.to_string()))
+            .unwrap_or(("-".into(), "-".into()));
+        table.row([
+            label.to_string(),
+            agg.full_coverage.to_string(),
+            agg.full_accuracy.to_string(),
+            pc,
+            pa,
+        ]);
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let opts = opts_from_args();
+    let panel = std::env::args()
+        .skip_while(|a| a != "--panel")
+        .nth(1)
+        .unwrap_or_else(|| "all".into());
+    let cases = dataset2(&opts);
+
+    if panel == "a" || panel == "all" {
+        run_panel(
+            "Figure 5a — GHIDRA strategy stacks (paper: of 1,352 binaries)",
+            ghidra_stacks(),
+            &cases,
+            &paper::FIG5A,
+            false,
+        );
+    }
+    if panel == "b" || panel == "all" {
+        run_panel(
+            "Figure 5b — ANGR strategy stacks (paper: of 1,343 binaries)",
+            angr_stacks(),
+            &cases,
+            &paper::FIG5B,
+            true,
+        );
+    }
+    if panel == "c" || panel == "all" {
+        run_panel(
+            "Figure 5c — optimal strategy stacks (paper: of 1,352 binaries)",
+            optimal_stacks(),
+            &cases,
+            &paper::FIG5C,
+            false,
+        );
+    }
+    println!(
+        "Shape checks: Rec lifts coverage over FDE with no accuracy cost;\n\
+         CFR and Fmerg *reduce* coverage; Fsig/Scan/Tcall crater accuracy;\n\
+         the optimal stack's repair step lifts accuracy far above every\n\
+         other combination at a tiny coverage cost."
+    );
+}

@@ -1,0 +1,89 @@
+//! §VII-B generality study: FDE-like structures beyond System-V x64.
+//!
+//! The paper's preliminary investigation found that Windows x64 PE
+//! binaries carry `.pdata` `RUNTIME_FUNCTION` entries covering "at least
+//! 70% of the functions". This bench emits a pdata-style table for each
+//! synthetic binary — registering the subset of functions a Windows
+//! compiler would (frame-bearing or exception-relevant functions; simple
+//! leaf functions are exempt from the x64 unwind contract) — and
+//! measures the coverage a pdata-seeded detector would start from.
+
+use fetch_bench::{banner, compare_line, dataset2, opts_from_args, par_map};
+use fetch_ehframe::{Pdata, RuntimeFunction};
+use fetch_x64::{decode, Op};
+
+fn main() {
+    let opts = opts_from_args();
+    banner("§VII-B — generality: PE .pdata-style coverage");
+    let cases = dataset2(&opts);
+
+    struct Row {
+        funcs: usize,
+        covered: usize,
+    }
+    let rows = par_map(&cases, |case| {
+        // Build the pdata table the way a Windows toolchain would:
+        // register every function that adjusts the stack or calls other
+        // functions (leaf functions that touch nothing are exempt).
+        let text = case.binary.text();
+        let mut entries = Vec::new();
+        let mut covered = 0usize;
+        for f in &case.truth.functions {
+            let part = &f.parts[0];
+            let mut needs_unwind = false;
+            let mut addr = part.start;
+            while addr < part.end() {
+                match decode(text.slice_from(addr).unwrap_or(&[]), addr) {
+                    Ok(i) => {
+                        if i.stack_delta().is_some()
+                            || i.clobbers_rsp()
+                            || matches!(i.op, Op::Call(_) | Op::CallInd(_))
+                        {
+                            needs_unwind = true;
+                            break;
+                        }
+                        addr = i.end();
+                    }
+                    Err(_) => break,
+                }
+            }
+            if needs_unwind {
+                covered += 1;
+                entries.push(RuntimeFunction {
+                    begin: part.start as u32,
+                    end: part.end() as u32,
+                    unwind_info: 0,
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.begin);
+        let pdata = Pdata { entries };
+        // Round-trip through the on-disk format, then count coverage
+        // from the parsed table (what a detector would consume).
+        let parsed = Pdata::parse(&pdata.encode()).expect("own encoding parses");
+        let begins: std::collections::BTreeSet<u64> = parsed.begins().into_iter().collect();
+        let covered_starts = case
+            .truth
+            .functions
+            .iter()
+            .filter(|f| begins.contains(&f.entry()))
+            .count();
+        assert_eq!(covered_starts, covered);
+        Row { funcs: case.truth.len(), covered }
+    });
+
+    let funcs: usize = rows.iter().map(|r| r.funcs).sum();
+    let covered: usize = rows.iter().map(|r| r.covered).sum();
+    compare_line(
+        "functions covered by .pdata entries (%)",
+        ">= 70",
+        &format!("{:.1}", 100.0 * covered as f64 / funcs.max(1) as f64),
+    );
+    compare_line("functions / covered", "-", &format!("{funcs} / {covered}"));
+    println!(
+        "\n  The PE exception structure registers frame-bearing functions only\n  \
+         (leaf functions are exempt from the x64 unwind contract), so its\n  \
+         coverage sits below eh_frame's near-100% but — as the paper's\n  \
+         preliminary study reports — still covers the large majority."
+    );
+}

@@ -1,0 +1,210 @@
+//! # fetch-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper. Each `src/bin/*` binary reproduces one artifact (see DESIGN.md
+//! §3 for the experiment index); this library holds the shared corpus
+//! plumbing, paper reference numbers, and output helpers.
+//!
+//! All binaries accept:
+//!
+//! * `--paper` — full-scale corpus (1,352 binaries, full function counts);
+//! * `--scale <N>` — keep one of every `N` binaries (default 8);
+//! * `--funcs <F>` — function-count multiplier (default 0.35).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fetch_binary::TestCase;
+use fetch_synth::corpus::{
+    dataset1_configs, dataset2_configs, synthesize_all, CorpusScale, WildProfile,
+};
+
+/// Harness options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Corpus scaling.
+    pub scale: CorpusScale,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts { scale: CorpusScale { bin_divisor: 8, func_scale: 0.35 } }
+    }
+}
+
+/// Parses harness options from `std::env::args`.
+pub fn opts_from_args() -> BenchOpts {
+    let mut opts = BenchOpts::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper" => opts.scale = CorpusScale::paper(),
+            "--scale" => {
+                i += 1;
+                opts.scale.bin_divisor = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale takes a positive integer");
+            }
+            "--funcs" => {
+                i += 1;
+                opts.scale.func_scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--funcs takes a float");
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Materializes Dataset 2 (the self-built corpus of Table II).
+pub fn dataset2(opts: &BenchOpts) -> Vec<TestCase> {
+    let configs = dataset2_configs(&opts.scale);
+    synthesize_all(&configs)
+}
+
+/// Materializes Dataset 1 (the wild corpus of Table I).
+pub fn dataset1(opts: &BenchOpts) -> Vec<(&'static WildProfile, TestCase)> {
+    dataset1_configs(&opts.scale)
+        .into_iter()
+        .map(|(w, cfg)| (w, fetch_synth::synthesize(&cfg)))
+        .collect()
+}
+
+/// Maps `f` over the cases on all available cores, preserving order.
+pub fn par_map<T, F>(cases: &[TestCase], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&TestCase) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = cases.len().div_ceil(threads.max(1)).max(1);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(cases.len());
+    out.resize_with(cases.len(), || None);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut handles = Vec::new();
+        for (slice_out, slice_in) in out.chunks_mut(chunk).zip(cases.chunks(chunk)) {
+            handles.push(s.spawn(move || {
+                for (slot, case) in slice_out.iter_mut().zip(slice_in) {
+                    *slot = Some(f(case));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Prints a "paper reports vs. we measure" comparison line.
+pub fn compare_line(what: &str, paper: &str, measured: &str) {
+    println!("  {what:<44} paper: {paper:>12}   measured: {measured:>12}");
+}
+
+/// Reference numbers from the paper, for side-by-side printing.
+pub mod paper {
+    /// §IV-B: ground-truth function starts in Dataset 2.
+    pub const GT_FUNCS: u64 = 1_105_278;
+    /// §IV-B: starts covered by FDEs alone.
+    pub const FDE_COVERED: u64 = 1_103_832;
+    /// §IV-B: binaries where FDEs miss at least one start.
+    pub const FDE_MISS_BINARIES: u64 = 33;
+    /// §IV-B: assembly functions among the FDE misses.
+    pub const FDE_MISSES_ASSEMBLY: u64 = 1_330;
+    /// §IV-B: total FDE misses.
+    pub const FDE_MISSES: u64 = 1_446;
+    /// §IV-E: starts added by pointer detection.
+    pub const XREF_ADDED: u64 = 154;
+    /// §IV-E: remaining misses after FDE+Rec+Xref.
+    pub const XREF_REMAINING: u64 = 414;
+    /// §IV-E: unreachable assembly among the remaining misses.
+    pub const XREF_REMAINING_UNREACHABLE: u64 = 160;
+    /// §IV-E: tail-call-only functions among the remaining misses.
+    pub const XREF_REMAINING_TAILONLY: u64 = 254;
+    /// §V-A: FDE-introduced false positives.
+    pub const FDE_FPS: u64 = 34_772;
+    /// §V-A: binaries with FDE false positives.
+    pub const FDE_FP_BINARIES: u64 = 488;
+    /// §V-A: FDE false positives from non-contiguous functions.
+    pub const FDE_FPS_NONCONTIG: u64 = 34_769;
+    /// §V-A: hand-written mislabeled FDEs.
+    pub const FDE_FPS_HANDWRITTEN: u64 = 3;
+    /// §V-A: ROP gadgets at FDE false starts.
+    pub const ROP_GADGETS: u64 = 99_932;
+    /// §V-C: false positives remaining after Algorithm 1.
+    pub const FPS_AFTER_FIX: u64 = 2_659;
+    /// §V-C: full-accuracy binaries before Algorithm 1.
+    pub const FULL_ACCURACY_BEFORE: u64 = 864;
+    /// §V-C: full-accuracy binaries after Algorithm 1.
+    pub const FULL_ACCURACY_AFTER: u64 = 1_222;
+    /// §V-C: new false negatives introduced by merging.
+    pub const FIX_NEW_FNS: u64 = 161;
+    /// Figure 5a reference series (GHIDRA stacks):
+    /// (label, full coverage, full accuracy) of 1,352 binaries.
+    pub const FIG5A: [(&str, u64, u64); 5] = [
+        ("FDE", 1319, 864),
+        ("FDE+Rec+CFR", 1274, 810),
+        ("FDE+Rec", 1346, 830),
+        ("FDE+Rec+Fsig", 1346, 830),
+        ("FDE+Rec+Tcall", 1346, 830),
+    ];
+    /// Figure 5b reference series (ANGR stacks) of 1,343 binaries.
+    pub const FIG5B: [(&str, u64, u64); 6] = [
+        ("FDE", 1310, 864),
+        ("FDE+Rec+Fmerg", 1303, 845),
+        ("FDE+Rec", 1337, 845),
+        ("FDE+Rec+Fsig", 1337, 13),
+        ("FDE+Rec+Scan", 1337, 0),
+        ("FDE+Rec+Tcall", 1337, 697),
+    ];
+    /// Figure 5c reference series (optimal stacks) of 1,352 binaries.
+    pub const FIG5C: [(&str, u64, u64); 4] = [
+        ("FDE", 1319, 864),
+        ("FDE+Rec", 1346, 864),
+        ("FDE+Rec+Xref", 1346, 864),
+        ("FDE+Rec+Xref+Tcall", 1334, 1222),
+    ];
+    /// Table III averages: (tool, FP thousands, FN thousands).
+    pub const TABLE3_AVG: [(&str, f64, f64); 9] = [
+        ("DYNINST", 11.29, 84.88),
+        ("BAP", 132.48, 90.65),
+        ("RADARE2", 3.63, 95.71),
+        ("NUCLEUS", 21.92, 20.58),
+        ("IDA PRO", 1.81, 36.17),
+        ("BINARY NINJA", 40.07, 10.32),
+        ("GHIDRA", 34.37, 5.23),
+        ("ANGR", 52.73, 0.19),
+        ("FETCH", 0.67, 0.11),
+    ];
+    /// Table IV averages: (analysis, full precision, full recall,
+    /// jump-site precision, jump-site recall).
+    pub const TABLE4_AVG: [(&str, f64, f64, f64, f64); 2] = [
+        ("ANGR", 94.07, 97.71, 98.72, 96.40),
+        ("DYNINST", 94.81, 98.27, 98.67, 99.35),
+    ];
+    /// Table V: average seconds per binary.
+    pub const TABLE5: [(&str, f64); 9] = [
+        ("DYNINST", 2.8),
+        ("BAP", 114.2),
+        ("RADARE2", 34.9),
+        ("NUCLEUS", 3.1),
+        ("GHIDRA", 40.4),
+        ("ANGR", 78.5),
+        ("IDA PRO", 10.3),
+        ("BINARY NINJA", 20.4),
+        ("FETCH", 3.3),
+    ];
+}

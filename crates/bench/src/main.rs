@@ -1,0 +1,25 @@
+use fetch_analyses::validate_calling_convention;
+use fetch_synth::{synthesize, SynthConfig};
+fn main() {
+    let mut cfg = SynthConfig::small(17);
+    cfg.n_funcs = 200;
+    cfg.rates.split_cold = 0.2;
+    let case = synthesize(&cfg);
+    for f in &case.truth.functions {
+        for p in f.parts.iter().skip(1) {
+            let v = validate_calling_convention(&case.binary, p.start, 96);
+            if !v.is_valid() {
+                println!("{} cold at {:#x}: {:?}", f.name, p.start, v);
+                // dump instructions
+                let text = case.binary.text();
+                let mut addr = p.start;
+                for _ in 0..12 {
+                    match fetch_x64::decode(text.slice_from(addr).unwrap(), addr) {
+                        Ok(i) => { println!("  {:#x}: {}", addr, i); addr = i.end(); }
+                        Err(e) => { println!("  {:#x}: ERR {}", addr, e); break; }
+                    }
+                }
+            }
+        }
+    }
+}

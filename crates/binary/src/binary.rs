@@ -1,0 +1,172 @@
+//! The loaded-binary container consumed by every detector.
+
+use crate::meta::BuildInfo;
+use crate::section::{Section, SectionKind};
+use fetch_ehframe::{parse_eh_frame, EhFrame, ParseError};
+use std::fmt;
+
+/// A symbol table entry (function symbols only — the granularity the paper
+/// compares FDE coverage against in Tables I and II).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Address of the named code.
+    pub addr: u64,
+    /// Size in bytes (0 when unknown, as with some assembly symbols).
+    pub size: u64,
+}
+
+/// A loaded x86-64 System-V binary: sections, optional symbols, and entry
+/// point. This is the *only* thing detectors see — ground truth lives in
+/// [`crate::GroundTruth`] next to it, never inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binary {
+    /// Display name (project/program).
+    pub name: String,
+    /// Build description.
+    pub info: BuildInfo,
+    /// Loaded sections.
+    pub sections: Vec<Section>,
+    /// Function symbols; empty when the binary is stripped.
+    pub symbols: Vec<Symbol>,
+    /// Program entry point.
+    pub entry: u64,
+}
+
+impl Binary {
+    /// The section of the given kind, if present.
+    pub fn section(&self, kind: SectionKind) -> Option<&Section> {
+        self.sections.iter().find(|s| s.kind == kind)
+    }
+
+    /// The `.text` section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binary has no text section; every corpus binary does.
+    pub fn text(&self) -> &Section {
+        self.section(SectionKind::Text).expect("binary has a .text section")
+    }
+
+    /// Whether the binary carries an `.eh_frame` section (the `EHF` column
+    /// of Tables I and II).
+    pub fn has_eh_frame(&self) -> bool {
+        self.section(SectionKind::EhFrame).is_some()
+    }
+
+    /// Parses the `.eh_frame` section.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's [`ParseError`] if the section is malformed;
+    /// returns an empty [`EhFrame`] if the section is absent.
+    pub fn eh_frame(&self) -> Result<EhFrame, ParseError> {
+        match self.section(SectionKind::EhFrame) {
+            Some(s) => parse_eh_frame(&s.bytes, s.addr),
+            None => Ok(EhFrame::new()),
+        }
+    }
+
+    /// Whether `addr` lies inside the text section.
+    pub fn is_code(&self, addr: u64) -> bool {
+        self.text().contains(addr)
+    }
+
+    /// Code bytes from `addr` to the end of `.text`.
+    pub fn code_from(&self, addr: u64) -> Option<&[u8]> {
+        self.text().slice_from(addr)
+    }
+
+    /// Reads 8 bytes at `addr` from whichever section holds it.
+    pub fn read_u64(&self, addr: u64) -> Option<u64> {
+        self.sections.iter().find_map(|s| s.read_u64(addr))
+    }
+
+    /// Reads 4 bytes at `addr` from whichever section holds it.
+    pub fn read_i32(&self, addr: u64) -> Option<i32> {
+        self.sections.iter().find_map(|s| s.read_i32(addr))
+    }
+
+    /// The data-bearing sections scanned for function pointers (§IV-E):
+    /// `.data` and `.rodata`.
+    pub fn data_sections(&self) -> impl Iterator<Item = &Section> {
+        self.sections
+            .iter()
+            .filter(|s| matches!(s.kind, SectionKind::Data | SectionKind::Rodata))
+    }
+
+    /// Returns a stripped copy: same code and unwind data, no symbols.
+    pub fn stripped(&self) -> Binary {
+        Binary { symbols: Vec::new(), ..self.clone() }
+    }
+
+    /// Whether any symbols survive.
+    pub fn has_symbols(&self) -> bool {
+        !self.symbols.is_empty()
+    }
+}
+
+impl fmt::Display for Binary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} -{} {}] {} sections, {} symbols",
+            self.name,
+            self.info.compiler,
+            self.info.opt,
+            self.info.lang,
+            self.sections.len(),
+            self.symbols.len()
+        )
+    }
+}
+
+/// A binary paired with its ground truth — the unit of corpus evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCase {
+    /// The binary as a detector sees it.
+    pub binary: Binary,
+    /// The compiler-known truth, for metrics only.
+    pub truth: crate::truth::GroundTruth,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::BuildInfo;
+
+    fn sample() -> Binary {
+        Binary {
+            name: "t".into(),
+            info: BuildInfo::gcc_o2(),
+            sections: vec![
+                Section::new(SectionKind::Text, 0x1000, vec![0x90; 32]),
+                Section::new(SectionKind::Data, 0x4000, 0x1122_3344_5566_7788u64.to_le_bytes().to_vec()),
+            ],
+            symbols: vec![Symbol { name: "f".into(), addr: 0x1000, size: 32 }],
+            entry: 0x1000,
+        }
+    }
+
+    #[test]
+    fn section_lookup_and_reads() {
+        let b = sample();
+        assert!(b.is_code(0x1000));
+        assert!(!b.is_code(0x4000));
+        assert_eq!(b.read_u64(0x4000), Some(0x1122_3344_5566_7788));
+        assert_eq!(b.code_from(0x101f).map(<[u8]>::len), Some(1));
+        assert!(!b.has_eh_frame());
+        assert_eq!(b.eh_frame().unwrap().fde_count(), 0);
+    }
+
+    #[test]
+    fn stripping_removes_symbols_only() {
+        let b = sample();
+        let s = b.stripped();
+        assert!(b.has_symbols());
+        assert!(!s.has_symbols());
+        assert_eq!(s.sections, b.sections);
+        assert_eq!(s.entry, b.entry);
+    }
+}

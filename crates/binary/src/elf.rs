@@ -1,0 +1,352 @@
+//! Minimal ELF64 writer and reader.
+//!
+//! Corpus binaries can be serialized to real System-V ELF executables
+//! (readable by `readelf`/`objdump`) and loaded back. Only the features
+//! the paper's detectors need are modeled: progbits sections, a function
+//! symbol table, and the entry point. Build metadata is not representable
+//! in plain ELF, so [`read_elf`] restores a default [`BuildInfo`].
+
+use crate::binary::{Binary, Symbol};
+use crate::meta::BuildInfo;
+use crate::section::{Section, SectionKind};
+use std::fmt;
+
+const EHDR_SIZE: usize = 64;
+const SHDR_SIZE: usize = 64;
+const SYM_SIZE: usize = 24;
+
+const SHT_PROGBITS: u32 = 1;
+const SHT_SYMTAB: u32 = 2;
+const SHT_STRTAB: u32 = 3;
+
+const SHF_WRITE: u64 = 1;
+const SHF_ALLOC: u64 = 2;
+const SHF_EXECINSTR: u64 = 4;
+
+/// Errors from ELF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfError {
+    /// Not an ELF64 little-endian file.
+    BadMagic,
+    /// A header or table points outside the file.
+    Truncated,
+    /// A section has an unrecognized name (the reader only loads the
+    /// four sections the detectors use plus symbol tables).
+    BadSectionName(String),
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::BadMagic => write!(f, "not an ELF64 little-endian file"),
+            ElfError::Truncated => write!(f, "header or table points outside the file"),
+            ElfError::BadSectionName(n) => write!(f, "unrecognized section name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+struct StrTab {
+    bytes: Vec<u8>,
+}
+
+impl StrTab {
+    fn new() -> StrTab {
+        StrTab { bytes: vec![0] }
+    }
+
+    fn add(&mut self, s: &str) -> u32 {
+        let off = self.bytes.len() as u32;
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.bytes.push(0);
+        off
+    }
+
+    fn get(bytes: &[u8], off: usize) -> Option<String> {
+        let end = bytes[off..].iter().position(|&b| b == 0)? + off;
+        Some(String::from_utf8_lossy(&bytes[off..end]).into_owned())
+    }
+}
+
+fn push_u16(v: &mut Vec<u8>, x: u16) {
+    v.extend_from_slice(&x.to_le_bytes());
+}
+fn push_u32(v: &mut Vec<u8>, x: u32) {
+    v.extend_from_slice(&x.to_le_bytes());
+}
+fn push_u64(v: &mut Vec<u8>, x: u64) {
+    v.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Serializes `bin` as an ELF64 executable image.
+pub fn write_elf(bin: &Binary) -> Vec<u8> {
+    let mut shstr = StrTab::new();
+    let mut strtab = StrTab::new();
+
+    // Body: section contents placed sequentially after the ELF header.
+    let mut body: Vec<u8> = Vec::new();
+    // (name_off, type, flags, addr, file_off, size, link, info, entsize)
+    let mut shdrs: Vec<(u32, u32, u64, u64, usize, usize, u32, u32, u64)> = Vec::new();
+    shdrs.push((0, 0, 0, 0, 0, 0, 0, 0, 0)); // SHN_UNDEF
+
+    for s in &bin.sections {
+        let flags = match s.kind {
+            SectionKind::Text => SHF_ALLOC | SHF_EXECINSTR,
+            SectionKind::Rodata | SectionKind::EhFrame => SHF_ALLOC,
+            SectionKind::Data => SHF_ALLOC | SHF_WRITE,
+        };
+        let name = shstr.add(s.kind.name());
+        let off = EHDR_SIZE + body.len();
+        body.extend_from_slice(&s.bytes);
+        shdrs.push((name, SHT_PROGBITS, flags, s.addr, off, s.bytes.len(), 0, 0, 0));
+    }
+
+    // Symbol table (one null entry + function symbols).
+    let mut symtab: Vec<u8> = vec![0; SYM_SIZE];
+    for sym in &bin.symbols {
+        let name = strtab.add(&sym.name);
+        let shndx = bin
+            .sections
+            .iter()
+            .position(|s| s.contains(sym.addr))
+            .map(|i| (i + 1) as u16)
+            .unwrap_or(0);
+        push_u32(&mut symtab, name);
+        symtab.push(0x12); // GLOBAL | FUNC
+        symtab.push(0);
+        push_u16(&mut symtab, shndx);
+        push_u64(&mut symtab, sym.addr);
+        push_u64(&mut symtab, sym.size);
+    }
+
+    let strtab_ix = (shdrs.len() + 1) as u32;
+    if !bin.symbols.is_empty() {
+        let name = shstr.add(".symtab");
+        let off = EHDR_SIZE + body.len();
+        body.extend_from_slice(&symtab);
+        shdrs.push((
+            name,
+            SHT_SYMTAB,
+            0,
+            0,
+            off,
+            symtab.len(),
+            strtab_ix,
+            1, // first global symbol index
+            SYM_SIZE as u64,
+        ));
+        let name = shstr.add(".strtab");
+        let off = EHDR_SIZE + body.len();
+        body.extend_from_slice(&strtab.bytes);
+        shdrs.push((name, SHT_STRTAB, 0, 0, off, strtab.bytes.len(), 0, 0, 0));
+    }
+
+    // Section-header string table.
+    let shstrtab_name = shstr.add(".shstrtab");
+    let shstr_off = EHDR_SIZE + body.len();
+    let shstr_bytes = shstr.bytes;
+    body.extend_from_slice(&shstr_bytes);
+    shdrs.push((shstrtab_name, SHT_STRTAB, 0, 0, shstr_off, shstr_bytes.len(), 0, 0, 0));
+    let shstrndx = (shdrs.len() - 1) as u16;
+
+    let shoff = EHDR_SIZE + body.len();
+
+    // ELF header.
+    let mut out: Vec<u8> = Vec::with_capacity(shoff + shdrs.len() * SHDR_SIZE);
+    out.extend_from_slice(&[0x7f, b'E', b'L', b'F', 2, 1, 1, 0]);
+    out.extend_from_slice(&[0; 8]);
+    push_u16(&mut out, 2); // ET_EXEC
+    push_u16(&mut out, 62); // EM_X86_64
+    push_u32(&mut out, 1);
+    push_u64(&mut out, bin.entry);
+    push_u64(&mut out, 0); // e_phoff
+    push_u64(&mut out, shoff as u64);
+    push_u32(&mut out, 0); // e_flags
+    push_u16(&mut out, EHDR_SIZE as u16);
+    push_u16(&mut out, 0); // e_phentsize
+    push_u16(&mut out, 0); // e_phnum
+    push_u16(&mut out, SHDR_SIZE as u16);
+    push_u16(&mut out, shdrs.len() as u16);
+    push_u16(&mut out, shstrndx);
+    debug_assert_eq!(out.len(), EHDR_SIZE);
+
+    out.extend_from_slice(&body);
+    for (name, ty, flags, addr, off, size, link, info, entsize) in shdrs {
+        push_u32(&mut out, name);
+        push_u32(&mut out, ty);
+        push_u64(&mut out, flags);
+        push_u64(&mut out, addr);
+        push_u64(&mut out, off as u64);
+        push_u64(&mut out, size as u64);
+        push_u32(&mut out, link);
+        push_u32(&mut out, info);
+        push_u64(&mut out, 0); // sh_addralign
+        push_u64(&mut out, entsize);
+    }
+    out
+}
+
+fn read_u16(b: &[u8], off: usize) -> Result<u16, ElfError> {
+    Ok(u16::from_le_bytes(
+        b.get(off..off + 2).ok_or(ElfError::Truncated)?.try_into().unwrap(),
+    ))
+}
+fn read_u32(b: &[u8], off: usize) -> Result<u32, ElfError> {
+    Ok(u32::from_le_bytes(
+        b.get(off..off + 4).ok_or(ElfError::Truncated)?.try_into().unwrap(),
+    ))
+}
+fn read_u64v(b: &[u8], off: usize) -> Result<u64, ElfError> {
+    Ok(u64::from_le_bytes(
+        b.get(off..off + 8).ok_or(ElfError::Truncated)?.try_into().unwrap(),
+    ))
+}
+
+/// Parses an ELF64 image produced by [`write_elf`] (or any conforming
+/// ELF with the standard four section names).
+///
+/// # Errors
+///
+/// Returns an [`ElfError`] describing the first structural problem.
+pub fn read_elf(bytes: &[u8]) -> Result<Binary, ElfError> {
+    if bytes.len() < EHDR_SIZE || &bytes[0..4] != b"\x7fELF" || bytes[4] != 2 || bytes[5] != 1 {
+        return Err(ElfError::BadMagic);
+    }
+    let entry = read_u64v(bytes, 24)?;
+    let shoff = read_u64v(bytes, 40)? as usize;
+    let shnum = read_u16(bytes, 60)? as usize;
+    let shstrndx = read_u16(bytes, 62)? as usize;
+
+    struct Shdr {
+        name: u32,
+        ty: u32,
+        addr: u64,
+        off: usize,
+        size: usize,
+        link: u32,
+    }
+    let mut shdrs = Vec::with_capacity(shnum);
+    for i in 0..shnum {
+        let base = shoff + i * SHDR_SIZE;
+        shdrs.push(Shdr {
+            name: read_u32(bytes, base)?,
+            ty: read_u32(bytes, base + 4)?,
+            addr: read_u64v(bytes, base + 16)?,
+            off: read_u64v(bytes, base + 24)? as usize,
+            size: read_u64v(bytes, base + 32)? as usize,
+            link: read_u32(bytes, base + 40)?,
+        });
+    }
+    let shstr = shdrs.get(shstrndx).ok_or(ElfError::Truncated)?;
+    let shstr_bytes =
+        bytes.get(shstr.off..shstr.off + shstr.size).ok_or(ElfError::Truncated)?;
+
+    let mut sections = Vec::new();
+    let mut symbols = Vec::new();
+    for sh in &shdrs {
+        let name = StrTab::get(shstr_bytes, sh.name as usize).unwrap_or_default();
+        match sh.ty {
+            SHT_PROGBITS => {
+                let kind = match name.as_str() {
+                    ".text" => SectionKind::Text,
+                    ".rodata" => SectionKind::Rodata,
+                    ".data" => SectionKind::Data,
+                    ".eh_frame" => SectionKind::EhFrame,
+                    other => return Err(ElfError::BadSectionName(other.to_string())),
+                };
+                let data =
+                    bytes.get(sh.off..sh.off + sh.size).ok_or(ElfError::Truncated)?.to_vec();
+                sections.push(Section::new(kind, sh.addr, data));
+            }
+            SHT_SYMTAB => {
+                let str_sh = shdrs.get(sh.link as usize).ok_or(ElfError::Truncated)?;
+                let str_bytes = bytes
+                    .get(str_sh.off..str_sh.off + str_sh.size)
+                    .ok_or(ElfError::Truncated)?;
+                let count = sh.size / SYM_SIZE;
+                for i in 1..count {
+                    let base = sh.off + i * SYM_SIZE;
+                    let name_off = read_u32(bytes, base)? as usize;
+                    let info = *bytes.get(base + 4).ok_or(ElfError::Truncated)?;
+                    if info & 0xf != 2 {
+                        continue; // not STT_FUNC
+                    }
+                    let value = read_u64v(bytes, base + 8)?;
+                    let size = read_u64v(bytes, base + 16)?;
+                    symbols.push(Symbol {
+                        name: StrTab::get(str_bytes, name_off).unwrap_or_default(),
+                        addr: value,
+                        size,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    Ok(Binary {
+        name: "elf".into(),
+        info: BuildInfo::gcc_o2(),
+        sections,
+        symbols,
+        entry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Binary {
+        Binary {
+            name: "t".into(),
+            info: BuildInfo::gcc_o2(),
+            sections: vec![
+                Section::new(SectionKind::Text, 0x40_1000, vec![0x55, 0xc3, 0x90, 0xcc]),
+                Section::new(SectionKind::Rodata, 0x40_2000, vec![1, 2, 3]),
+                Section::new(SectionKind::Data, 0x40_3000, vec![9; 16]),
+                Section::new(SectionKind::EhFrame, 0x40_4000, vec![0, 0, 0, 0]),
+            ],
+            symbols: vec![
+                Symbol { name: "main".into(), addr: 0x40_1000, size: 2 },
+                Symbol { name: "pad".into(), addr: 0x40_1002, size: 2 },
+            ],
+            entry: 0x40_1000,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bin = sample();
+        let elf = write_elf(&bin);
+        let back = read_elf(&elf).unwrap();
+        assert_eq!(back.sections, bin.sections);
+        assert_eq!(back.symbols, bin.symbols);
+        assert_eq!(back.entry, bin.entry);
+    }
+
+    #[test]
+    fn roundtrip_stripped() {
+        let bin = sample().stripped();
+        let elf = write_elf(&bin);
+        let back = read_elf(&elf).unwrap();
+        assert!(back.symbols.is_empty());
+        assert_eq!(back.sections, bin.sections);
+    }
+
+    #[test]
+    fn magic_is_checked() {
+        assert_eq!(read_elf(b"not an elf").unwrap_err(), ElfError::BadMagic);
+        let mut elf = write_elf(&sample());
+        elf[4] = 1; // ELFCLASS32
+        assert_eq!(read_elf(&elf).unwrap_err(), ElfError::BadMagic);
+    }
+
+    #[test]
+    fn header_fields_look_like_x86_64_exec() {
+        let elf = write_elf(&sample());
+        assert_eq!(u16::from_le_bytes([elf[16], elf[17]]), 2); // ET_EXEC
+        assert_eq!(u16::from_le_bytes([elf[18], elf[19]]), 62); // EM_X86_64
+    }
+}

@@ -1,0 +1,47 @@
+//! # fetch-binary
+//!
+//! The loaded-binary container and ground-truth model of the FETCH
+//! reproduction.
+//!
+//! A [`Binary`] is what detectors see: sections ([`Section`]), optional
+//! [`Symbol`]s, and an entry point. A [`GroundTruth`] is what only the
+//! metrics layer sees: the compiler-known mapping from code ranges to
+//! source functions, including non-contiguous parts, FDE/symbol presence
+//! per part, provenance ([`FuncKind`]) and reachability ([`Reach`])
+//! classes. A [`TestCase`] pairs the two.
+//!
+//! Binaries serialize to real ELF64 images via [`write_elf`] /
+//! [`read_elf`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fetch_binary::{Binary, BuildInfo, Section, SectionKind, Symbol, write_elf, read_elf};
+//!
+//! let bin = Binary {
+//!     name: "demo".into(),
+//!     info: BuildInfo::gcc_o2(),
+//!     sections: vec![Section::new(SectionKind::Text, 0x40_1000, vec![0x55, 0xc3])],
+//!     symbols: vec![Symbol { name: "f".into(), addr: 0x40_1000, size: 2 }],
+//!     entry: 0x40_1000,
+//! };
+//! let elf = write_elf(&bin);
+//! let back = read_elf(&elf)?;
+//! assert_eq!(back.sections, bin.sections);
+//! # Ok::<(), fetch_binary::ElfError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod elf;
+mod meta;
+mod section;
+mod truth;
+
+pub use binary::{Binary, Symbol, TestCase};
+pub use elf::{read_elf, write_elf, ElfError};
+pub use meta::{BuildInfo, Compiler, Lang, OptLevel};
+pub use section::{Section, SectionKind};
+pub use truth::{FuncKind, FunctionTruth, GroundTruth, Part, Reach};

@@ -1,0 +1,117 @@
+//! Build metadata: compiler, optimization level, and source language.
+//!
+//! These live in the container crate (not the synthesizer) because the
+//! metrics layer groups every paper table by them.
+
+use std::fmt;
+
+/// The producing compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Compiler {
+    /// GNU GCC (the paper uses 8.1.0).
+    Gcc,
+    /// LLVM Clang (the paper uses 6.0.0).
+    Clang,
+}
+
+impl Compiler {
+    /// Both compilers, in the paper's order.
+    pub const ALL: [Compiler; 2] = [Compiler::Gcc, Compiler::Clang];
+}
+
+impl fmt::Display for Compiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Compiler::Gcc => write!(f, "gcc"),
+            Compiler::Clang => write!(f, "clang"),
+        }
+    }
+}
+
+/// Optimization level. The paper omits O0/O1 as "not widely used in
+/// practice" (§IV-A) and evaluates O2, O3, Os and Ofast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// `-O2`
+    O2,
+    /// `-O3`
+    O3,
+    /// `-Os` (optimize for size).
+    Os,
+    /// `-Ofast`
+    Ofast,
+}
+
+impl OptLevel {
+    /// The four evaluated levels, in the paper's table order.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O2, OptLevel::O3, OptLevel::Os, OptLevel::Ofast];
+
+    /// The abbreviation used in the paper's tables ("Of" for Ofast).
+    pub fn short(self) -> &'static str {
+        match self {
+            OptLevel::O2 => "O2",
+            OptLevel::O3 => "O3",
+            OptLevel::Os => "Os",
+            OptLevel::Ofast => "Of",
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::Ofast => write!(f, "Ofast"),
+            other => write!(f, "{}", other.short()),
+        }
+    }
+}
+
+/// Source language of the project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lang {
+    /// C.
+    C,
+    /// C++ (exception handling used in anger).
+    Cpp,
+}
+
+impl fmt::Display for Lang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lang::C => write!(f, "c"),
+            Lang::Cpp => write!(f, "c++"),
+        }
+    }
+}
+
+/// Full build description attached to a [`crate::Binary`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BuildInfo {
+    /// Producing compiler.
+    pub compiler: Compiler,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Source language.
+    pub lang: Lang,
+}
+
+impl BuildInfo {
+    /// A conventional default build (gcc -O2, C).
+    pub fn gcc_o2() -> BuildInfo {
+        BuildInfo { compiler: Compiler::Gcc, opt: OptLevel::O2, lang: Lang::C }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_abbreviations() {
+        assert_eq!(OptLevel::Ofast.short(), "Of");
+        assert_eq!(OptLevel::Ofast.to_string(), "Ofast");
+        assert_eq!(OptLevel::Os.to_string(), "Os");
+        assert_eq!(Compiler::Gcc.to_string(), "gcc");
+        assert_eq!(Lang::Cpp.to_string(), "c++");
+    }
+}

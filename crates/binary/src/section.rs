@@ -1,0 +1,109 @@
+//! Sections and the loaded-binary container.
+
+use std::fmt;
+
+/// The role of a section. The FETCH analyses care about code (`Text`),
+/// pointer-bearing data (`Rodata`/`Data`), and the unwind tables
+/// (`EhFrame`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// Executable code (`.text`).
+    Text,
+    /// Read-only data (`.rodata`) — string literals, jump tables.
+    Rodata,
+    /// Writable data (`.data`) — globals, function-pointer tables.
+    Data,
+    /// The exception-handling frame section (`.eh_frame`).
+    EhFrame,
+}
+
+impl SectionKind {
+    /// The conventional ELF section name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Text => ".text",
+            SectionKind::Rodata => ".rodata",
+            SectionKind::Data => ".data",
+            SectionKind::EhFrame => ".eh_frame",
+        }
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A loaded section: contiguous bytes at a virtual address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section role.
+    pub kind: SectionKind,
+    /// Virtual address of the first byte.
+    pub addr: u64,
+    /// Raw contents.
+    pub bytes: Vec<u8>,
+}
+
+impl Section {
+    /// Creates a section.
+    pub fn new(kind: SectionKind, addr: u64, bytes: Vec<u8>) -> Section {
+        Section { kind, addr, bytes }
+    }
+
+    /// One-past-the-end virtual address.
+    pub fn end(&self) -> u64 {
+        self.addr + self.bytes.len() as u64
+    }
+
+    /// Whether `addr` falls within the section.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.end()
+    }
+
+    /// The bytes from `addr` to the section end, or `None` if out of range.
+    pub fn slice_from(&self, addr: u64) -> Option<&[u8]> {
+        if !self.contains(addr) {
+            return None;
+        }
+        Some(&self.bytes[(addr - self.addr) as usize..])
+    }
+
+    /// Reads `N` little-endian bytes at `addr`.
+    pub fn read_bytes<const N: usize>(&self, addr: u64) -> Option<[u8; N]> {
+        let s = self.slice_from(addr)?;
+        s.get(..N)?.try_into().ok()
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: u64) -> Option<u64> {
+        self.read_bytes::<8>(addr).map(u64::from_le_bytes)
+    }
+
+    /// Reads a little-endian `i32` at `addr`.
+    pub fn read_i32(&self, addr: u64) -> Option<i32> {
+        self.read_bytes::<4>(addr).map(i32::from_le_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slicing_and_reads() {
+        let s = Section::new(SectionKind::Data, 0x1000, (0u8..16).collect());
+        assert!(s.contains(0x1000));
+        assert!(s.contains(0x100f));
+        assert!(!s.contains(0x1010));
+        assert_eq!(s.slice_from(0x100e), Some(&[14u8, 15][..]));
+        assert_eq!(s.read_i32(0x1000), Some(i32::from_le_bytes([0, 1, 2, 3])));
+        assert_eq!(
+            s.read_u64(0x1008),
+            Some(u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]))
+        );
+        assert_eq!(s.read_u64(0x100c), None);
+        assert_eq!(s.slice_from(0xfff), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! Ground truth: the compiler-known mapping from code bytes to source
+//! functions, mirroring the interception framework the paper re-uses from
+//! its SoK companion to label Dataset 2 (§IV-A-2).
+//!
+//! Detectors never see this; only the metrics layer compares against it.
+
+use std::collections::BTreeSet;
+
+/// One contiguous part of a function's code.
+///
+/// Ordinary functions have exactly one part. Hot/cold splitting produces
+/// additional parts placed far from the entry, each with its own FDE and
+/// symbol — the paper's dominant source of FDE false positives (§V-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// First byte of the part.
+    pub start: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Whether the compiler emitted an FDE covering this part.
+    pub has_fde: bool,
+    /// Whether a symbol names this part.
+    pub has_symbol: bool,
+}
+
+impl Part {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `addr` falls inside the part.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+}
+
+/// The provenance class of a function, driving which detection phenomena
+/// it can exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuncKind {
+    /// Ordinary compiler-generated code (always carries FDEs).
+    Compiled,
+    /// Hand-written assembly; FDEs exist only when the author wrote CFI
+    /// directives (§IV-B: 1,330 of the 1,446 FDE misses).
+    Assembly,
+    /// `__clang_call_terminate`, statically linked without an FDE.
+    ClangCallTerminate,
+    /// A thunk whose body is a single `jmp` to another function.
+    Thunk,
+}
+
+/// How the function is referenced — determines which detection strategy
+/// can possibly find it, and whether missing it is harmful (§IV-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reach {
+    /// Target of at least one direct call.
+    Called,
+    /// Only reachable via tail jumps; `callers` counts the distinct
+    /// functions containing such jumps. With `callers == 1` the paper
+    /// classifies a miss as harmless (equivalent to inlining).
+    TailCalled {
+        /// Number of distinct functions that tail-call this one.
+        callers: u32,
+    },
+    /// Address only taken as data (function pointer); reached indirectly.
+    PointerOnly,
+    /// Not referenced anywhere (dead assembly routines).
+    Unreachable,
+}
+
+/// The ground-truth record of one source-level function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionTruth {
+    /// Symbol-style name.
+    pub name: String,
+    /// Provenance class.
+    pub kind: FuncKind,
+    /// Reference class.
+    pub reach: Reach,
+    /// Code parts; `parts[0]` holds the true entry point.
+    pub parts: Vec<Part>,
+}
+
+impl FunctionTruth {
+    /// The true function start (entry of the first part).
+    pub fn entry(&self) -> u64 {
+        self.parts[0].start
+    }
+
+    /// Whether the function is split into non-contiguous parts.
+    pub fn is_noncontiguous(&self) -> bool {
+        self.parts.len() > 1
+    }
+
+    /// Whether `addr` lies in any part.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.parts.iter().any(|p| p.contains(addr))
+    }
+}
+
+/// Ground truth for one binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// All functions, in layout order of their entry parts.
+    pub functions: Vec<FunctionTruth>,
+}
+
+impl GroundTruth {
+    /// The set of true function starts — what a perfect detector reports.
+    pub fn starts(&self) -> BTreeSet<u64> {
+        self.functions.iter().map(|f| f.entry()).collect()
+    }
+
+    /// Every part start (what symbols and FDEs are allowed to report:
+    /// non-entry part starts are the built-in false positives of both).
+    pub fn part_starts(&self) -> BTreeSet<u64> {
+        self.functions
+            .iter()
+            .flat_map(|f| f.parts.iter().map(|p| p.start))
+            .collect()
+    }
+
+    /// Starts of non-entry parts that carry FDEs — the FDE-introduced
+    /// false positives quantified in §V-A.
+    pub fn fde_false_starts(&self) -> BTreeSet<u64> {
+        self.functions
+            .iter()
+            .flat_map(|f| f.parts.iter().skip(1))
+            .filter(|p| p.has_fde)
+            .map(|p| p.start)
+            .collect()
+    }
+
+    /// The function owning `addr`, if any.
+    pub fn function_at(&self, addr: u64) -> Option<&FunctionTruth> {
+        self.functions.iter().find(|f| f.contains(addr))
+    }
+
+    /// Whether `addr` is a true function start.
+    pub fn is_start(&self, addr: u64) -> bool {
+        self.functions.iter().any(|f| f.entry() == addr)
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether there are no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroundTruth {
+        GroundTruth {
+            functions: vec![
+                FunctionTruth {
+                    name: "main".into(),
+                    kind: FuncKind::Compiled,
+                    reach: Reach::Called,
+                    parts: vec![
+                        Part { start: 0x1000, len: 0x100, has_fde: true, has_symbol: true },
+                        Part { start: 0x3000, len: 0x40, has_fde: true, has_symbol: true },
+                    ],
+                },
+                FunctionTruth {
+                    name: "memcpy_asm".into(),
+                    kind: FuncKind::Assembly,
+                    reach: Reach::TailCalled { callers: 1 },
+                    parts: vec![Part { start: 0x1100, len: 0x80, has_fde: false, has_symbol: true }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn starts_are_entry_parts_only() {
+        let gt = sample();
+        assert_eq!(gt.starts(), BTreeSet::from([0x1000, 0x1100]));
+        assert_eq!(gt.part_starts(), BTreeSet::from([0x1000, 0x1100, 0x3000]));
+        assert_eq!(gt.fde_false_starts(), BTreeSet::from([0x3000]));
+    }
+
+    #[test]
+    fn lookup_by_address() {
+        let gt = sample();
+        assert_eq!(gt.function_at(0x3010).unwrap().name, "main");
+        assert_eq!(gt.function_at(0x1150).unwrap().name, "memcpy_asm");
+        assert!(gt.function_at(0x5000).is_none());
+        assert!(gt.is_start(0x1000));
+        assert!(!gt.is_start(0x3000)); // cold part: not a true start
+    }
+}

@@ -1,0 +1,55 @@
+//! # fetch-core
+//!
+//! The FETCH function-start detector and the composable strategy
+//! framework of the reproduction ("Towards Optimal Use of Exception
+//! Handling Information for Function Detection", DSN 2021).
+//!
+//! ## Layers
+//!
+//! *Safe* (correctness-preserving):
+//! [`FdeSeeds`] (`FDE`), [`SymbolSeeds`], [`SafeRecursion`] (`Rec`),
+//! [`PointerScan`] (`Xref`, §IV-E), [`CallFrameRepair`] (`TcallFix`,
+//! Algorithm 1 of §V-B).
+//!
+//! *Unsafe* (tool heuristics, modeled for the Figure 5 study):
+//! [`PrologueMatch`] (`Fsig`), [`TailCallHeuristic`] (`Tcall`),
+//! [`LinearScanStarts`] (`Scan`), [`ControlFlowRepair`] (`CFR`),
+//! [`FunctionMerge`] (`Fmerg`), [`ThunkHeuristic`], [`AlignmentSplit`].
+//!
+//! The [`Fetch`] type wires the optimal stack together.
+//!
+//! # Examples
+//!
+//! ```
+//! use fetch_core::{run_stack, FdeSeeds, SafeRecursion, Fetch};
+//! use fetch_synth::{synthesize, SynthConfig};
+//!
+//! let case = synthesize(&SynthConfig::small(5));
+//! // Study-style: a hand-assembled stack...
+//! let fde_rec = run_stack(&case.binary, &[&FdeSeeds, &SafeRecursion::default()]);
+//! // ...or the full FETCH pipeline.
+//! let full = Fetch::new().detect(&case.binary);
+//! assert!(full.len() <= fde_rec.len() + 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm1;
+mod fetch;
+mod heuristics;
+mod pointer_scan;
+mod state;
+mod strategy;
+
+pub use algorithm1::{CallFrameRepair, RepairReport};
+pub use fetch::Fetch;
+pub use heuristics::{
+    code_gaps, AlignmentSplit, ControlFlowRepair, FunctionMerge, LinearScanStarts,
+    PrologueMatch, TailCallHeuristic, ThunkHeuristic, ToolStyle,
+};
+pub use pointer_scan::{
+    collect_data_pointers, validate_candidate, PointerScan, ValidationError,
+};
+pub use state::{DetectionResult, DetectionState, Provenance};
+pub use strategy::{run_stack, EntrySeed, FdeSeeds, SafeRecursion, Strategy, SymbolSeeds};

@@ -1,0 +1,297 @@
+//! Function-pointer detection (§IV-E): the soundness-driven layer that
+//! closes the gap between FDE+Rec coverage and full coverage.
+//!
+//! A super-set of potential function pointers is collected (every sliding
+//! 8-byte window in the data sections plus every constant operand and
+//! rip-relative `lea` target in the disassembled code). Each candidate is
+//! validated by conservative recursive disassembly with four error
+//! classes; survivors become new function starts.
+
+use crate::state::{DetectionState, Provenance};
+use crate::strategy::Strategy;
+use fetch_analyses::{validate_calling_convention_ext, CallConvVerdict};
+use fetch_binary::Binary;
+use fetch_disasm::{function_extents, FunctionBody};
+use fetch_x64::{decode, Flow};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a candidate pointer was rejected (§IV-E's four error classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationError {
+    /// (i) Disassembly from the candidate hits an invalid opcode.
+    InvalidOpcode,
+    /// (ii) Disassembly runs into the middle of previously disassembled
+    /// instructions (misaligned overlap).
+    OverlapsExisting,
+    /// (iii) A control transfer targets the middle of a previously
+    /// detected function.
+    JumpsIntoFunction,
+    /// (iv) The calling convention is violated at the candidate.
+    CallConv,
+}
+
+/// Collects the conservative data-pointer super-set: every consecutive
+/// 8 bytes of every data section interpreted as a little-endian address,
+/// kept when it lands in `.text`. Returns `target → source addresses`.
+pub fn collect_data_pointers(bin: &Binary) -> BTreeMap<u64, Vec<u64>> {
+    let text = bin.text();
+    let mut out: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for sec in bin.data_sections() {
+        if sec.bytes.len() < 8 {
+            continue;
+        }
+        for off in 0..=sec.bytes.len() - 8 {
+            let v = u64::from_le_bytes(sec.bytes[off..off + 8].try_into().unwrap());
+            if text.contains(v) {
+                out.entry(v).or_default().push(sec.addr + off as u64);
+            }
+        }
+    }
+    out
+}
+
+/// Validates one candidate start against the four §IV-E error classes.
+///
+/// `extents` are the bodies of currently detected functions; `known`
+/// is the current instruction map (for overlap checks).
+pub fn validate_candidate(
+    bin: &Binary,
+    candidate: u64,
+    known: &fetch_disasm::Disassembly,
+    extents: &BTreeMap<u64, FunctionBody>,
+    starts: &BTreeSet<u64>,
+    stop_calls: &BTreeSet<u64>,
+) -> Result<(), ValidationError> {
+    let text = bin.text();
+    if !text.contains(candidate) {
+        return Err(ValidationError::InvalidOpcode);
+    }
+
+    // (iv) calling convention first: it also rejects padding starts.
+    match validate_calling_convention_ext(bin, candidate, 96, stop_calls) {
+        CallConvVerdict::Valid => {}
+        CallConvVerdict::Undecodable { .. } => return Err(ValidationError::InvalidOpcode),
+        _ => return Err(ValidationError::CallConv),
+    }
+    // Plausibility: sliding-window composites occasionally alias a lone
+    // terminator byte in data; no real function consists of a bare
+    // ret/ud2/hlt with no body, so such candidates are rejected.
+    if let Ok(first) = decode(text.slice_from(candidate).expect("in range"), candidate) {
+        if matches!(first.flow(), Flow::Ret | Flow::Halt) {
+            return Err(ValidationError::CallConv);
+        }
+    }
+
+    // Conservative exploration for classes (i)–(iii).
+    let mut work = vec![candidate];
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut budget = 256u32;
+    while let Some(mut cur) = work.pop() {
+        loop {
+            if budget == 0 || !text.contains(cur) || !seen.insert(cur) {
+                break;
+            }
+            budget -= 1;
+            // (ii) misaligned overlap with previously disassembled code.
+            if let Some((_, prev)) = known.insts.range(..=cur).next_back() {
+                if prev.addr < cur && cur < prev.end() {
+                    return Err(ValidationError::OverlapsExisting);
+                }
+            }
+            if known.insts.contains_key(&cur) {
+                break; // aligned junction with known code: consistent
+            }
+            let inst = match decode(text.slice_from(cur).expect("in range"), cur) {
+                Ok(i) => i,
+                Err(_) => return Err(ValidationError::InvalidOpcode), // (i)
+            };
+            // (iii) control transfer into the middle of a detected function.
+            if let Some(t) = inst.direct_target() {
+                if !starts.contains(&t) {
+                    let owner = extents.values().find(|b| b.contains(t));
+                    if let Some(b) = owner {
+                        if b.start != t {
+                            return Err(ValidationError::JumpsIntoFunction);
+                        }
+                    }
+                }
+            }
+            match inst.flow() {
+                Flow::Fallthrough | Flow::IndirectCall => cur = inst.end(),
+                Flow::Call(t) if stop_calls.contains(&t) => break,
+                Flow::Call(_) => cur = inst.end(),
+                Flow::Jump(t) => {
+                    if !starts.contains(&t) {
+                        work.push(t);
+                    }
+                    break;
+                }
+                Flow::CondJump(t) => {
+                    if !starts.contains(&t) {
+                        work.push(t);
+                    }
+                    cur = inst.end();
+                }
+                Flow::IndirectJump | Flow::Ret | Flow::Halt | Flow::Trap => break,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `Xref`: the §IV-E pointer-scan strategy layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PointerScan;
+
+impl PointerScan {
+    /// Runs the scan, returning accepted candidates.
+    pub fn scan(&self, state: &mut DetectionState<'_>) -> Vec<u64> {
+        if state.rec.disasm.insts.is_empty() {
+            state.run_recursion(true, fetch_disasm::ErrorCallPolicy::SliceZero);
+        }
+        let mut accepted = Vec::new();
+        loop {
+            // (Re)collect candidates: data pointers + code constants.
+            let mut candidates: BTreeSet<u64> =
+                collect_data_pointers(state.binary).keys().copied().collect();
+            for inst in state.rec.disasm.insts.values() {
+                if let Some(t) = inst.lea_rip_target() {
+                    candidates.insert(t);
+                }
+                for c in inst.const_operands() {
+                    candidates.insert(c);
+                }
+            }
+            let starts = state.start_set();
+            let extents = function_extents(&state.rec);
+            let mut stop_calls: BTreeSet<u64> = state.rec.noreturn.clone();
+            stop_calls.extend(state.error_funcs.iter().copied());
+            let mut new_this_round = Vec::new();
+            for c in candidates {
+                if starts.contains(&c) || !state.binary.is_code(c) {
+                    continue;
+                }
+                if validate_candidate(
+                    state.binary,
+                    c,
+                    &state.rec.disasm,
+                    &extents,
+                    &starts,
+                    &stop_calls,
+                )
+                .is_ok()
+                {
+                    new_this_round.push(c);
+                }
+            }
+            if new_this_round.is_empty() {
+                break;
+            }
+            for &c in &new_this_round {
+                state.add_start(c, Provenance::PointerScan);
+            }
+            accepted.extend(new_this_round);
+            // Update the collection with code discovered from the newly
+            // accepted pointers (the paper's "update the pointer
+            // collection" step).
+            state.run_recursion(true, fetch_disasm::ErrorCallPolicy::SliceZero);
+        }
+        accepted
+    }
+}
+
+impl Strategy for PointerScan {
+    fn name(&self) -> &'static str {
+        "Xref"
+    }
+
+    fn apply(&self, state: &mut DetectionState<'_>) {
+        self.scan(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{run_stack, FdeSeeds, SafeRecursion};
+    use fetch_binary::{FuncKind, Reach};
+    use fetch_synth::{synthesize, SynthConfig};
+
+    fn pointered_case() -> fetch_binary::TestCase {
+        let mut cfg = SynthConfig::small(41);
+        cfg.n_funcs = 100;
+        cfg.rates.pointer_only = 0.06;
+        cfg.rates.asm_funcs = 7;
+        synthesize(&cfg)
+    }
+
+    #[test]
+    fn candidate_collection_covers_pointer_only_functions() {
+        // The §IV-E super-set (data windows + code constants/lea targets)
+        // must contain every pointer-only function's entry.
+        let case = pointered_case();
+        let mut state = DetectionState::new(&case.binary);
+        FdeSeeds.apply(&mut state);
+        SafeRecursion::default().apply(&mut state);
+        let mut candidates: std::collections::BTreeSet<u64> =
+            collect_data_pointers(&case.binary).keys().copied().collect();
+        for inst in state.rec.disasm.insts.values() {
+            if let Some(t) = inst.lea_rip_target() {
+                candidates.insert(t);
+            }
+            for c in inst.const_operands() {
+                candidates.insert(c);
+            }
+        }
+        let pointer_only: Vec<u64> = case
+            .truth
+            .functions
+            .iter()
+            .filter(|f| matches!(f.reach, Reach::PointerOnly))
+            .map(|f| f.entry())
+            .collect();
+        assert!(!pointer_only.is_empty());
+        for p in &pointer_only {
+            assert!(candidates.contains(p), "candidate for {p:#x} missing");
+        }
+    }
+
+    #[test]
+    fn scan_recovers_pointer_only_functions_without_false_positives() {
+        let case = pointered_case();
+        let mut state = DetectionState::new(&case.binary);
+        FdeSeeds.apply(&mut state);
+        SafeRecursion::default().apply(&mut state);
+        let accepted = PointerScan.scan(&mut state);
+        // Every accepted pointer is a true function start (the paper:
+        // "+154 starts without introducing new false positives").
+        for a in &accepted {
+            assert!(
+                case.truth.is_start(*a),
+                "pointer scan accepted non-start {a:#x}"
+            );
+        }
+        // Pointer-only compiled/assembly functions without FDEs are now
+        // covered.
+        for f in &case.truth.functions {
+            if matches!(f.reach, Reach::PointerOnly) && f.kind == FuncKind::Assembly {
+                assert!(
+                    state.starts.contains_key(&f.entry()),
+                    "{} at {:#x} missed",
+                    f.name,
+                    f.entry()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_stack_runs_clean() {
+        let case = pointered_case();
+        let r = run_stack(
+            &case.binary,
+            &[&FdeSeeds, &SafeRecursion::default(), &PointerScan],
+        );
+        assert_eq!(r.layers, vec!["FDE", "Rec", "Xref"]);
+    }
+}

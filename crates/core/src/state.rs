@@ -1,0 +1,190 @@
+//! Detection state: the evolving set of function starts a strategy stack
+//! transforms, with provenance tracking for every start.
+
+use fetch_binary::Binary;
+use fetch_disasm::{recursive_disassemble, ErrorCallPolicy, RecOptions, RecResult};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Where a detected start came from. Figure 5's per-layer accounting and
+/// the accuracy analysis both key off this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Provenance {
+    /// FDE `PC Begin` field.
+    Fde,
+    /// Surviving symbol.
+    Symbol,
+    /// Direct-call target found by recursive disassembly.
+    CallTarget,
+    /// Validated function pointer (§IV-E).
+    PointerScan,
+    /// Tail-call target confirmed by Algorithm 1.
+    TailCallFix,
+    /// Prologue signature match (unsafe `Fsig`).
+    Prologue,
+    /// Heuristic tail-call target (unsafe `Tcall`).
+    TailHeuristic,
+    /// Gap start found by linear scan (unsafe `Scan`, ANGR).
+    LinearScan,
+    /// Target of a thunk jump (unsafe, GHIDRA).
+    Thunk,
+    /// First non-padding instruction after alignment (unsafe, ANGR).
+    Alignment,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Provenance::Fde => "fde",
+            Provenance::Symbol => "symbol",
+            Provenance::CallTarget => "call-target",
+            Provenance::PointerScan => "pointer-scan",
+            Provenance::TailCallFix => "tail-call-fix",
+            Provenance::Prologue => "prologue",
+            Provenance::TailHeuristic => "tail-heuristic",
+            Provenance::LinearScan => "linear-scan",
+            Provenance::Thunk => "thunk",
+            Provenance::Alignment => "alignment",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The final, immutable output of a detector run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectionResult {
+    /// Detected function starts with provenance.
+    pub starts: BTreeMap<u64, Provenance>,
+    /// Names of the strategy layers that ran, in order.
+    pub layers: Vec<String>,
+}
+
+impl DetectionResult {
+    /// The start addresses as a set.
+    pub fn start_set(&self) -> BTreeSet<u64> {
+        self.starts.keys().copied().collect()
+    }
+
+    /// Number of detected starts.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether nothing was detected.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+}
+
+/// Mutable state threaded through a strategy stack.
+#[derive(Debug, Clone)]
+pub struct DetectionState<'b> {
+    /// The binary under analysis (detectors never see ground truth).
+    pub binary: &'b Binary,
+    /// Current start set with provenance.
+    pub starts: BTreeMap<u64, Provenance>,
+    /// Latest recursive-disassembly result (empty until recursion runs).
+    pub rec: RecResult,
+    /// Addresses of `error`/`error_at_line`-style functions (resolved
+    /// from symbol names, modeling dynamic-symbol knowledge of libc).
+    pub error_funcs: BTreeSet<u64>,
+    /// Layer names applied so far.
+    pub layers: Vec<String>,
+}
+
+impl<'b> DetectionState<'b> {
+    /// Creates an empty state for `binary`, resolving error-function
+    /// addresses from its symbols when present.
+    pub fn new(binary: &'b Binary) -> DetectionState<'b> {
+        let error_funcs = binary
+            .symbols
+            .iter()
+            .filter(|s| s.name == "error" || s.name == "error_at_line")
+            .map(|s| s.addr)
+            .collect();
+        DetectionState {
+            binary,
+            starts: BTreeMap::new(),
+            rec: RecResult::default(),
+            error_funcs,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Adds a start, keeping the earliest provenance on duplicates.
+    /// Returns `true` when the start is new.
+    pub fn add_start(&mut self, addr: u64, prov: Provenance) -> bool {
+        match self.starts.entry(addr) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(prov);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Removes a start (control-flow repair, merging, FDE repair).
+    pub fn remove_start(&mut self, addr: u64) -> bool {
+        self.starts.remove(&addr).is_some()
+    }
+
+    /// The start addresses as a set.
+    pub fn start_set(&self) -> BTreeSet<u64> {
+        self.starts.keys().copied().collect()
+    }
+
+    /// Re-runs safe recursive disassembly from the current starts with
+    /// the given error-call policy, recording newly discovered direct
+    /// call targets as [`Provenance::CallTarget`] starts when
+    /// `add_call_targets` is set.
+    pub fn run_recursion(&mut self, add_call_targets: bool, policy: ErrorCallPolicy) {
+        let opts = RecOptions {
+            add_call_targets,
+            error_funcs: self.error_funcs.clone(),
+            error_policy: policy,
+            ..RecOptions::default()
+        };
+        let seeds = self.start_set();
+        let rec = recursive_disassemble(self.binary, &seeds, &opts);
+        if add_call_targets {
+            for &f in &rec.functions {
+                self.add_start(f, Provenance::CallTarget);
+            }
+        }
+        self.rec = rec;
+    }
+
+    /// Freezes the state into a [`DetectionResult`].
+    pub fn into_result(self) -> DetectionResult {
+        DetectionResult { starts: self.starts, layers: self.layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetch_synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn provenance_is_first_writer_wins() {
+        let case = synthesize(&SynthConfig::small(3));
+        let mut st = DetectionState::new(&case.binary);
+        assert!(st.add_start(0x40_1000, Provenance::Fde));
+        assert!(!st.add_start(0x40_1000, Provenance::Prologue));
+        assert_eq!(st.starts[&0x40_1000], Provenance::Fde);
+        assert!(st.remove_start(0x40_1000));
+        assert!(!st.remove_start(0x40_1000));
+    }
+
+    #[test]
+    fn error_funcs_resolved_from_symbols() {
+        let case = synthesize(&SynthConfig::small(3));
+        let st = DetectionState::new(&case.binary);
+        let error = case.truth.functions.iter().find(|f| f.name == "error").unwrap();
+        assert!(st.error_funcs.contains(&error.entry()));
+        // Stripped binaries lose the knowledge.
+        let stripped = case.binary.stripped();
+        let st2 = DetectionState::new(&stripped);
+        assert!(st2.error_funcs.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! The composable strategy framework: Figure 5 is a fold over stacks of
+//! these layers.
+
+use crate::state::{DetectionResult, DetectionState, Provenance};
+use fetch_binary::Binary;
+use fetch_disasm::ErrorCallPolicy;
+
+/// One detection layer. Layers mutate the [`DetectionState`]; stacks of
+/// layers reproduce each tool's strategy combination.
+pub trait Strategy {
+    /// Short display name (matches the paper's labels: `FDE`, `Rec`,
+    /// `Fsig`, `Tcall`, `Scan`, `CFR`, `Fmerg`, `Xref`, …).
+    fn name(&self) -> &'static str;
+
+    /// Applies the layer.
+    fn apply(&self, state: &mut DetectionState<'_>);
+}
+
+/// Runs a stack of layers over a binary.
+pub fn run_stack(binary: &Binary, layers: &[&dyn Strategy]) -> DetectionResult {
+    let mut state = DetectionState::new(binary);
+    for layer in layers {
+        layer.apply(&mut state);
+        state.layers.push(layer.name().to_string());
+    }
+    state.into_result()
+}
+
+/// `FDE`: seed starts from every FDE `PC Begin` (§IV-B).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FdeSeeds;
+
+impl Strategy for FdeSeeds {
+    fn name(&self) -> &'static str {
+        "FDE"
+    }
+
+    fn apply(&self, state: &mut DetectionState<'_>) {
+        if let Ok(eh) = state.binary.eh_frame() {
+            for pc in eh.pc_begins() {
+                if state.binary.is_code(pc) {
+                    state.add_start(pc, Provenance::Fde);
+                }
+            }
+        }
+    }
+}
+
+/// `Sym`: seed starts from surviving symbols (the hybrid tools' first
+/// step; a no-op on stripped binaries).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymbolSeeds;
+
+impl Strategy for SymbolSeeds {
+    fn name(&self) -> &'static str {
+        "Sym"
+    }
+
+    fn apply(&self, state: &mut DetectionState<'_>) {
+        let addrs: Vec<u64> = state
+            .binary
+            .symbols
+            .iter()
+            .map(|s| s.addr)
+            .filter(|a| state.binary.is_code(*a))
+            .collect();
+        for a in addrs {
+            state.add_start(a, Provenance::Symbol);
+        }
+    }
+}
+
+/// `Rec`: safe recursive disassembly from the current starts, promoting
+/// direct-call targets to function starts (§IV-C).
+#[derive(Debug, Clone, Copy)]
+pub struct SafeRecursion {
+    /// Treatment of `error`-style call sites (the paper's safe engine
+    /// uses [`ErrorCallPolicy::SliceZero`]).
+    pub error_policy: ErrorCallPolicy,
+}
+
+impl Default for SafeRecursion {
+    fn default() -> Self {
+        SafeRecursion { error_policy: ErrorCallPolicy::SliceZero }
+    }
+}
+
+impl Strategy for SafeRecursion {
+    fn name(&self) -> &'static str {
+        "Rec"
+    }
+
+    fn apply(&self, state: &mut DetectionState<'_>) {
+        state.run_recursion(true, self.error_policy);
+    }
+}
+
+/// `Entry`: seed the program entry point (conventional tools always know
+/// it from the ELF header).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EntrySeed;
+
+impl Strategy for EntrySeed {
+    fn name(&self) -> &'static str {
+        "Entry"
+    }
+
+    fn apply(&self, state: &mut DetectionState<'_>) {
+        let entry = state.binary.entry;
+        if state.binary.is_code(entry) {
+            state.add_start(entry, Provenance::Symbol);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetch_synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn fde_plus_rec_stack_runs() {
+        let case = synthesize(&SynthConfig::small(8));
+        let result = run_stack(&case.binary, &[&FdeSeeds, &SafeRecursion::default()]);
+        assert_eq!(result.layers, vec!["FDE", "Rec"]);
+        // FDE starts cover at least every compiled function entry.
+        let fde_count = result
+            .starts
+            .values()
+            .filter(|p| **p == Provenance::Fde)
+            .count();
+        assert!(fde_count > 10);
+    }
+
+    #[test]
+    fn symbol_seeds_are_noop_when_stripped() {
+        let case = synthesize(&SynthConfig::small(8));
+        let stripped = case.binary.stripped();
+        let r = run_stack(&stripped, &[&SymbolSeeds]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn recursion_covers_fde_only_misses() {
+        // Assembly functions without FDEs that are directly called must
+        // be found by Rec (the §IV-C finding).
+        let mut cfg = SynthConfig::small(15);
+        cfg.n_funcs = 80;
+        cfg.rates.asm_funcs = 10;
+        cfg.rates.asm_fde = 0.0; // no assembly function carries an FDE
+        let case = synthesize(&cfg);
+        let fde_only = run_stack(&case.binary, &[&FdeSeeds]);
+        let with_rec = run_stack(&case.binary, &[&FdeSeeds, &SafeRecursion::default()]);
+        let called_asm: Vec<u64> = case
+            .truth
+            .functions
+            .iter()
+            .filter(|f| {
+                f.kind == fetch_binary::FuncKind::Assembly
+                    && matches!(f.reach, fetch_binary::Reach::Called)
+            })
+            .map(|f| f.entry())
+            .collect();
+        assert!(!called_asm.is_empty());
+        for a in &called_asm {
+            assert!(!fde_only.starts.contains_key(a), "no FDE for asm fn {a:#x}");
+            assert!(with_rec.starts.contains_key(a), "Rec finds called asm fn {a:#x}");
+        }
+    }
+}

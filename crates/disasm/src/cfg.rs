@@ -1,0 +1,179 @@
+//! Function extents and code cross-references over a disassembly.
+
+use crate::recursive::{Disassembly, RecResult};
+use fetch_x64::{Flow, Inst};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The instructions belonging to one detected function, computed by
+/// intra-procedural traversal (jumps to *other* detected function starts
+/// are treated as inter-function edges and not followed).
+#[derive(Debug, Clone, Default)]
+pub struct FunctionBody {
+    /// Entry address.
+    pub start: u64,
+    /// Addresses of member instructions.
+    pub insts: BTreeSet<u64>,
+    /// Direct and conditional jumps within the function (Algorithm 1
+    /// iterates exactly these).
+    pub jumps: Vec<Inst>,
+    /// Whether any member call/jump ran into undecoded bytes.
+    pub ragged: bool,
+}
+
+impl FunctionBody {
+    /// Whether `addr` belongs to this function's discovered body.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.insts.contains(&addr)
+    }
+}
+
+/// Computes [`FunctionBody`]s for every detected function.
+pub fn function_extents(result: &RecResult) -> BTreeMap<u64, FunctionBody> {
+    result
+        .functions
+        .iter()
+        .map(|&f| (f, body_of(f, &result.disasm, &result.functions, &result.noreturn)))
+        .collect()
+}
+
+/// Computes the body of the function at `start` over an existing
+/// disassembly, given the set of all known function starts.
+pub fn body_of(
+    start: u64,
+    disasm: &Disassembly,
+    functions: &BTreeSet<u64>,
+    noreturn: &BTreeSet<u64>,
+) -> FunctionBody {
+    let mut body = FunctionBody { start, ..FunctionBody::default() };
+    let mut stack = vec![start];
+    while let Some(mut cur) = stack.pop() {
+        loop {
+            if body.insts.contains(&cur) {
+                break;
+            }
+            let Some(inst) = disasm.at(cur) else {
+                body.ragged = true;
+                break;
+            };
+            body.insts.insert(cur);
+            match inst.flow() {
+                Flow::Fallthrough | Flow::IndirectCall => cur = inst.end(),
+                Flow::Call(t) => {
+                    if noreturn.contains(&t) {
+                        break;
+                    }
+                    cur = inst.end();
+                }
+                Flow::Jump(t) => {
+                    body.jumps.push(*inst);
+                    if t != start && functions.contains(&t) {
+                        break; // inter-function edge: not followed
+                    }
+                    stack.push(t);
+                    break;
+                }
+                Flow::CondJump(t) => {
+                    body.jumps.push(*inst);
+                    if t == start || !functions.contains(&t) {
+                        stack.push(t);
+                    }
+                    cur = inst.end();
+                }
+                Flow::IndirectJump => {
+                    if let Some(jt) = disasm.jump_tables.get(&inst.addr) {
+                        for &t in &jt.targets {
+                            stack.push(t);
+                        }
+                    }
+                    break;
+                }
+                Flow::Ret | Flow::Halt | Flow::Trap => break,
+            }
+        }
+    }
+    body
+}
+
+/// The way one address references another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XrefKind {
+    /// Direct call target.
+    Call,
+    /// Unconditional jump target.
+    Jump,
+    /// Conditional jump target.
+    CondJump,
+    /// `lea r, [rip + target]` — an address take.
+    Lea,
+    /// A constant operand that equals the address.
+    Const,
+}
+
+/// One reference: where from and of which kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xref {
+    /// Address of the referencing instruction.
+    pub from: u64,
+    /// Reference kind.
+    pub kind: XrefKind,
+}
+
+/// Collects all code-borne references, keyed by target address.
+pub fn code_xrefs(disasm: &Disassembly) -> BTreeMap<u64, Vec<Xref>> {
+    let mut out: BTreeMap<u64, Vec<Xref>> = BTreeMap::new();
+    for (&addr, inst) in &disasm.insts {
+        let mut add = |target: u64, kind: XrefKind| {
+            out.entry(target).or_default().push(Xref { from: addr, kind });
+        };
+        match inst.flow() {
+            Flow::Call(t) => add(t, XrefKind::Call),
+            Flow::Jump(t) => add(t, XrefKind::Jump),
+            Flow::CondJump(t) => add(t, XrefKind::CondJump),
+            _ => {}
+        }
+        if let Some(t) = inst.lea_rip_target() {
+            add(t, XrefKind::Lea);
+        }
+        for c in inst.const_operands() {
+            add(c, XrefKind::Const);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recursive::{recursive_disassemble, RecOptions};
+    use fetch_synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn bodies_partition_reasonably() {
+        let mut cfg = SynthConfig::small(5);
+        cfg.n_funcs = 50;
+        let case = synthesize(&cfg);
+        let eh = case.binary.eh_frame().unwrap();
+        let seeds: BTreeSet<u64> = eh.pc_begins().into_iter().collect();
+        let r = recursive_disassemble(&case.binary, &seeds, &RecOptions::default());
+        let extents = function_extents(&r);
+        for (&f, body) in &extents {
+            assert_eq!(body.start, f);
+            assert!(body.insts.contains(&f), "body contains its entry");
+        }
+    }
+
+    #[test]
+    fn xrefs_cover_direct_calls() {
+        let mut cfg = SynthConfig::small(6);
+        cfg.n_funcs = 40;
+        let case = synthesize(&cfg);
+        let eh = case.binary.eh_frame().unwrap();
+        let seeds: BTreeSet<u64> = eh.pc_begins().into_iter().collect();
+        let r = recursive_disassemble(&case.binary, &seeds, &RecOptions::default());
+        let xrefs = code_xrefs(&r.disasm);
+        // main is called from _start.
+        let main = case.truth.functions.iter().find(|f| f.name == "main").unwrap();
+        let refs = xrefs.get(&main.entry()).expect("main referenced");
+        assert!(refs.iter().any(|x| x.kind == XrefKind::Call));
+    }
+}

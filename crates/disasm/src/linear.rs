@@ -1,0 +1,88 @@
+//! Linear sweep disassembly.
+//!
+//! Used by the unsafe-heuristic models: ANGR's gap scan treats the start
+//! of each cleanly disassembling gap as a function start (§II-B), and the
+//! ROP study decodes from every byte offset.
+
+use fetch_x64::{decode, DecodeError, Inst};
+
+/// Outcome of a strict sweep over a byte range.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Instructions decoded in order.
+    pub insts: Vec<Inst>,
+    /// The first decode error, if the sweep did not cover the range.
+    pub error: Option<(u64, DecodeError)>,
+}
+
+impl Sweep {
+    /// Whether the whole range decoded without errors.
+    pub fn clean(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Strictly decodes `bytes` (at `addr`) until the end or the first error.
+pub fn sweep(bytes: &[u8], addr: u64) -> Sweep {
+    let mut insts = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match decode(&bytes[off..], addr + off as u64) {
+            Ok(i) => {
+                off += i.len as usize;
+                insts.push(i);
+            }
+            Err(e) => {
+                return Sweep { insts, error: Some((addr + off as u64, e)) };
+            }
+        }
+    }
+    Sweep { insts, error: None }
+}
+
+/// Objdump-style tolerant sweep: on a decode error, skip one byte and
+/// continue. Returns all decoded instructions.
+pub fn sweep_tolerant(bytes: &[u8], addr: u64) -> Vec<Inst> {
+    let mut insts = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match decode(&bytes[off..], addr + off as u64) {
+            Ok(i) => {
+                off += i.len as usize;
+                insts.push(i);
+            }
+            Err(_) => off += 1,
+        }
+    }
+    insts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetch_x64::Op;
+
+    #[test]
+    fn strict_sweep_stops_at_garbage() {
+        // push rbp; <invalid 0x06>; ret
+        let s = sweep(&[0x55, 0x06, 0xc3], 0x1000);
+        assert_eq!(s.insts.len(), 1);
+        assert!(!s.clean());
+        assert_eq!(s.error.unwrap().0, 0x1001);
+    }
+
+    #[test]
+    fn tolerant_sweep_skips_garbage() {
+        let insts = sweep_tolerant(&[0x55, 0x06, 0xc3], 0x1000);
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[0].op, Op::Push(fetch_x64::Reg::Rbp));
+        assert_eq!(insts[1].op, Op::Ret);
+    }
+
+    #[test]
+    fn clean_sweep_covers_range() {
+        let s = sweep(&[0x90, 0x90, 0xc3], 0x1000);
+        assert!(s.clean());
+        assert_eq!(s.insts.len(), 3);
+    }
+}

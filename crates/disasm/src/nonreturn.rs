@@ -1,0 +1,249 @@
+//! Non-returning function analysis.
+//!
+//! A function is non-returning when no path from its entry reaches a
+//! `ret`, an unresolved indirect jump (potential tail call), or a tail
+//! jump to a returning function. The analysis runs as a monotone fixpoint
+//! over the current disassembly and is re-run by the recursive engine
+//! until the assumption set stabilizes (DYNINST's algorithm, which the
+//! paper reuses and found accurate, §IV-C).
+
+use crate::recursive::Disassembly;
+use fetch_x64::{AluOp, Flow, Inst, Op, Reg};
+use std::collections::BTreeSet;
+
+/// Treatment of calls to `error`/`error_at_line`-style functions, which
+/// return only when their first (status) argument is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCallPolicy {
+    /// The paper's rule (§IV-C): backward-slice the first argument; the
+    /// call returns only when the status provably flows from zero.
+    SliceZero,
+    /// Treat such calls as always returning (loses code after fatal
+    /// calls' sites — a source of coverage gaps in naive tools).
+    AlwaysReturn,
+    /// Treat such calls as never returning (GHIDRA-style imprecision:
+    /// kills true fallthrough code — feeds control-flow repair errors).
+    AlwaysNoReturn,
+}
+
+/// Backward slice of the status argument within one block: `true` when
+/// the last write to `edi`/`rdi` before the call is provably zero.
+pub fn status_arg_is_zero(block: &[Inst]) -> bool {
+    // The last instruction is the call itself; walk back from before it.
+    for inst in block.iter().rev().skip(1) {
+        match inst.op {
+            Op::MovRI(_, Reg::Rdi, v) => return v == 0,
+            Op::AluRR(AluOp::Xor, _, Reg::Rdi, Reg::Rdi) => return true,
+            Op::MovAbs(Reg::Rdi, v) => return v == 0,
+            // Any other write to rdi of unknown value: not provably zero.
+            _ if inst.regs_written().contains(&Reg::Rdi) => return false,
+            _ => {}
+        }
+    }
+    false // status unknown: conservatively non-returning (§IV-C)
+}
+
+/// Classifies non-returning functions over the decoded instructions.
+///
+/// `prev_noreturn` carries the assumption from the previous engine pass;
+/// call sites of those functions block paths.
+pub fn classify_noreturn(
+    disasm: &Disassembly,
+    functions: &BTreeSet<u64>,
+    error_funcs: &BTreeSet<u64>,
+    policy: ErrorCallPolicy,
+    prev_noreturn: &BTreeSet<u64>,
+) -> BTreeSet<u64> {
+    // `returning` grows monotonically; the residue is non-returning.
+    let mut returning: BTreeSet<u64> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for &f in functions {
+            if returning.contains(&f) {
+                continue;
+            }
+            if can_reach_return(f, disasm, functions, error_funcs, policy, prev_noreturn, &returning)
+            {
+                returning.insert(f);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    functions.iter().copied().filter(|f| !returning.contains(f)).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn can_reach_return(
+    start: u64,
+    disasm: &Disassembly,
+    functions: &BTreeSet<u64>,
+    error_funcs: &BTreeSet<u64>,
+    policy: ErrorCallPolicy,
+    prev_noreturn: &BTreeSet<u64>,
+    returning: &BTreeSet<u64>,
+) -> bool {
+    let mut stack = vec![start];
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    // Track the current block to support the error-status slice.
+    while let Some(mut cur) = stack.pop() {
+        let mut block: Vec<Inst> = Vec::new();
+        loop {
+            if !seen.insert(cur) {
+                break;
+            }
+            let Some(inst) = disasm.at(cur) else {
+                // Ran into undecoded bytes: conservatively returning.
+                return true;
+            };
+            block.push(*inst);
+            match inst.flow() {
+                Flow::Ret => return true,
+                Flow::Halt | Flow::Trap => break,
+                Flow::Fallthrough | Flow::IndirectCall => cur = inst.end(),
+                Flow::Call(t) => {
+                    let ret = if error_funcs.contains(&t) {
+                        match policy {
+                            ErrorCallPolicy::AlwaysReturn => true,
+                            ErrorCallPolicy::AlwaysNoReturn => false,
+                            ErrorCallPolicy::SliceZero => status_arg_is_zero(&block),
+                        }
+                    } else {
+                        !prev_noreturn.contains(&t)
+                    };
+                    if ret {
+                        cur = inst.end();
+                    } else {
+                        break;
+                    }
+                }
+                Flow::Jump(t) => {
+                    if t != start && functions.contains(&t) {
+                        // Tail edge to another function: returning iff the
+                        // target is (currently known to be) returning.
+                        if returning.contains(&t) {
+                            return true;
+                        }
+                    } else {
+                        stack.push(t);
+                    }
+                    break;
+                }
+                Flow::CondJump(t) => {
+                    if t == start || !functions.contains(&t) {
+                        stack.push(t);
+                    } else if returning.contains(&t) {
+                        return true;
+                    }
+                    cur = inst.end();
+                }
+                Flow::IndirectJump => {
+                    match disasm.jump_tables.get(&inst.addr) {
+                        Some(jt) => {
+                            for &t in &jt.targets {
+                                stack.push(t);
+                            }
+                        }
+                        // Unresolved indirect jump: could be a tail call
+                        // to a returning function.
+                        None => return true,
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetch_x64::{decode, Asm, Op};
+
+    fn disasm_of(bytes: &[u8], base: u64) -> Disassembly {
+        let mut d = Disassembly::default();
+        let mut addr = base;
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let i = decode(&bytes[off..], addr).unwrap();
+            d.insts.insert(addr, i);
+            off += i.len as usize;
+            addr += i.len as u64;
+        }
+        d
+    }
+
+    #[test]
+    fn ud2_function_is_noreturn_ret_function_is_not() {
+        // f0 at 0x1000: ud2. f1 at 0x1002: ret.
+        let d = disasm_of(&[0x0f, 0x0b, 0xc3], 0x1000);
+        let funcs: BTreeSet<u64> = [0x1000u64, 0x1002].into_iter().collect();
+        let nr = classify_noreturn(
+            &d,
+            &funcs,
+            &BTreeSet::new(),
+            ErrorCallPolicy::SliceZero,
+            &BTreeSet::new(),
+        );
+        assert!(nr.contains(&0x1000));
+        assert!(!nr.contains(&0x1002));
+    }
+
+    #[test]
+    fn tail_jump_inherits_returning_status() {
+        // f0: jmp f1. f1: ret. f2: jmp f3. f3: ud2.
+        let mut asm = Asm::new();
+        asm.jmp_ext(0); // -> f1
+        let f1_off = asm.here();
+        asm.push(Op::Ret);
+        let f2_off = asm.here();
+        asm.jmp_ext(1); // -> f3
+        let f3_off = asm.here();
+        asm.push(Op::Ud2);
+        let mut out = asm.finalize().unwrap();
+        let base = 0x1000u64;
+        out.patch_rel32(out.fixups[0].pos, base, base + f1_off as u64);
+        out.patch_rel32(out.fixups[1].pos, base, base + f3_off as u64);
+
+        let d = disasm_of(&out.bytes, base);
+        let funcs: BTreeSet<u64> = [
+            base,
+            base + f1_off as u64,
+            base + f2_off as u64,
+            base + f3_off as u64,
+        ]
+        .into_iter()
+        .collect();
+        let nr = classify_noreturn(
+            &d,
+            &funcs,
+            &BTreeSet::new(),
+            ErrorCallPolicy::SliceZero,
+            &BTreeSet::new(),
+        );
+        assert!(!nr.contains(&base), "jmp to returning fn returns");
+        assert!(nr.contains(&(base + f2_off as u64)), "jmp to ud2 fn does not return");
+        assert!(nr.contains(&(base + f3_off as u64)));
+    }
+
+    #[test]
+    fn error_slice_distinguishes_status() {
+        use fetch_x64::{AluOp, Inst, Reg, Width};
+        let mk = |op| Inst { addr: 0, len: 1, op };
+        // xor edi, edi; call error → returns.
+        let block = vec![
+            mk(Op::AluRR(AluOp::Xor, Width::W32, Reg::Rdi, Reg::Rdi)),
+            mk(Op::Call(0x5000)),
+        ];
+        assert!(status_arg_is_zero(&block));
+        // mov edi, 1; call error → does not return.
+        let block = vec![mk(Op::MovRI(Width::W32, Reg::Rdi, 1)), mk(Op::Call(0x5000))];
+        assert!(!status_arg_is_zero(&block));
+        // Unknown status → conservatively non-returning.
+        let block = vec![mk(Op::Call(0x5000))];
+        assert!(!status_arg_is_zero(&block));
+    }
+}

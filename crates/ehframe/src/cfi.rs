@@ -1,0 +1,337 @@
+//! Call Frame Instructions (CFIs) — the DWARF unwinding micro-language
+//! carried by every FDE (§III-C of the paper).
+
+use crate::leb::{read_uleb, write_uleb, LebError};
+use fetch_x64::Reg;
+use std::fmt;
+
+/// A single call-frame instruction.
+///
+/// The subset matches what GCC/Clang emit for ordinary functions plus
+/// `DW_CFA_expression`, which appears in hand-written assembly such as the
+/// glibc `__restore_rt` example of Figure 6b.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CfiInst {
+    /// `DW_CFA_def_cfa reg, offset` — CFA = reg + offset.
+    DefCfa {
+        /// Register holding the frame base.
+        reg: Reg,
+        /// Byte offset added to the register.
+        offset: u64,
+    },
+    /// `DW_CFA_def_cfa_register reg` — change the CFA base register,
+    /// keeping the offset.
+    DefCfaRegister {
+        /// New base register.
+        reg: Reg,
+    },
+    /// `DW_CFA_def_cfa_offset offset` — change the CFA offset, keeping the
+    /// base register.
+    DefCfaOffset {
+        /// New byte offset.
+        offset: u64,
+    },
+    /// `DW_CFA_advance_loc delta` — move the current location forward by
+    /// `delta` code bytes (already unfactored).
+    AdvanceLoc {
+        /// Code-byte delta.
+        delta: u64,
+    },
+    /// `DW_CFA_offset reg, n` — `reg` is saved at `CFA + n * data_align`
+    /// (with the conventional `data_align = -8`, "at cfa-16" is `n = 2`).
+    Offset {
+        /// Saved register.
+        reg: Reg,
+        /// Factored offset (multiplied by the CIE's data alignment).
+        factored: u64,
+    },
+    /// `DW_CFA_restore reg` — restore `reg` to its CIE rule.
+    Restore {
+        /// Restored register.
+        reg: Reg,
+    },
+    /// `DW_CFA_expression reg, bytes` — the register is recovered by a
+    /// DWARF expression. We carry the raw expression bytes; the paper's
+    /// analyses treat any expression-based rule as "incomplete" stack
+    /// height information.
+    Expression {
+        /// Register the expression describes.
+        reg: Reg,
+        /// Raw DWARF expression bytes.
+        expr: Vec<u8>,
+    },
+    /// `DW_CFA_nop` — padding.
+    Nop,
+}
+
+/// Errors from CFI stream encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfiError {
+    /// A LEB128 field was malformed.
+    Leb,
+    /// An unknown or unsupported CFI opcode was found.
+    UnknownOpcode(u8),
+    /// The stream ended mid-instruction.
+    Truncated,
+    /// A register number outside 0–15 was referenced.
+    BadRegister(u64),
+}
+
+impl fmt::Display for CfiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfiError::Leb => write!(f, "malformed LEB128 in CFI stream"),
+            CfiError::UnknownOpcode(op) => write!(f, "unknown CFI opcode {op:#04x}"),
+            CfiError::Truncated => write!(f, "CFI stream ended mid-instruction"),
+            CfiError::BadRegister(r) => write!(f, "DWARF register number {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CfiError {}
+
+impl From<LebError> for CfiError {
+    fn from(_: LebError) -> Self {
+        CfiError::Leb
+    }
+}
+
+// Primary opcodes (high two bits).
+const DW_CFA_ADVANCE_LOC: u8 = 0x40;
+const DW_CFA_OFFSET: u8 = 0x80;
+const DW_CFA_RESTORE: u8 = 0xc0;
+// Extended opcodes.
+const DW_CFA_NOP: u8 = 0x00;
+const DW_CFA_ADVANCE_LOC1: u8 = 0x02;
+const DW_CFA_ADVANCE_LOC2: u8 = 0x03;
+const DW_CFA_ADVANCE_LOC4: u8 = 0x04;
+const DW_CFA_DEF_CFA: u8 = 0x0c;
+const DW_CFA_DEF_CFA_REGISTER: u8 = 0x0d;
+const DW_CFA_DEF_CFA_OFFSET: u8 = 0x0e;
+const DW_CFA_EXPRESSION: u8 = 0x10;
+
+fn dwarf_reg(n: u64) -> Result<Reg, CfiError> {
+    u8::try_from(n)
+        .ok()
+        .and_then(Reg::from_dwarf_number)
+        .ok_or(CfiError::BadRegister(n))
+}
+
+/// Encodes a CFI instruction sequence. `code_align` factors
+/// `AdvanceLoc` deltas (1 for x86-64).
+pub fn encode_cfis(cfis: &[CfiInst], code_align: u64, out: &mut Vec<u8>) {
+    for cfi in cfis {
+        match cfi {
+            CfiInst::DefCfa { reg, offset } => {
+                out.push(DW_CFA_DEF_CFA);
+                write_uleb(out, reg.dwarf_number() as u64);
+                write_uleb(out, *offset);
+            }
+            CfiInst::DefCfaRegister { reg } => {
+                out.push(DW_CFA_DEF_CFA_REGISTER);
+                write_uleb(out, reg.dwarf_number() as u64);
+            }
+            CfiInst::DefCfaOffset { offset } => {
+                out.push(DW_CFA_DEF_CFA_OFFSET);
+                write_uleb(out, *offset);
+            }
+            CfiInst::AdvanceLoc { delta } => {
+                let factored = delta / code_align.max(1);
+                if factored < 0x40 && factored > 0 {
+                    out.push(DW_CFA_ADVANCE_LOC | factored as u8);
+                } else if factored <= u8::MAX as u64 {
+                    out.push(DW_CFA_ADVANCE_LOC1);
+                    out.push(factored as u8);
+                } else if factored <= u16::MAX as u64 {
+                    out.push(DW_CFA_ADVANCE_LOC2);
+                    out.extend_from_slice(&(factored as u16).to_le_bytes());
+                } else {
+                    out.push(DW_CFA_ADVANCE_LOC4);
+                    out.extend_from_slice(&(factored as u32).to_le_bytes());
+                }
+            }
+            CfiInst::Offset { reg, factored } => {
+                out.push(DW_CFA_OFFSET | reg.dwarf_number());
+                write_uleb(out, *factored);
+            }
+            CfiInst::Restore { reg } => {
+                out.push(DW_CFA_RESTORE | reg.dwarf_number());
+            }
+            CfiInst::Expression { reg, expr } => {
+                out.push(DW_CFA_EXPRESSION);
+                write_uleb(out, reg.dwarf_number() as u64);
+                write_uleb(out, expr.len() as u64);
+                out.extend_from_slice(expr);
+            }
+            CfiInst::Nop => out.push(DW_CFA_NOP),
+        }
+    }
+}
+
+/// Decodes a CFI instruction stream (the whole `bytes` buffer).
+///
+/// # Errors
+///
+/// Returns a [`CfiError`] on truncation, unknown opcodes, bad registers or
+/// malformed LEB128 fields.
+pub fn decode_cfis(bytes: &[u8], code_align: u64) -> Result<Vec<CfiInst>, CfiError> {
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let op = bytes[pos];
+        pos += 1;
+        match op >> 6 {
+            1 => {
+                // advance_loc with 6-bit factored delta.
+                out.push(CfiInst::AdvanceLoc {
+                    delta: (op & 0x3f) as u64 * code_align.max(1),
+                });
+            }
+            2 => {
+                let reg = dwarf_reg((op & 0x3f) as u64)?;
+                let factored = read_uleb(bytes, &mut pos)?;
+                out.push(CfiInst::Offset { reg, factored });
+            }
+            3 => {
+                let reg = dwarf_reg((op & 0x3f) as u64)?;
+                out.push(CfiInst::Restore { reg });
+            }
+            _ => match op {
+                DW_CFA_NOP => out.push(CfiInst::Nop),
+                DW_CFA_ADVANCE_LOC1 => {
+                    let d = *bytes.get(pos).ok_or(CfiError::Truncated)? as u64;
+                    pos += 1;
+                    out.push(CfiInst::AdvanceLoc { delta: d * code_align.max(1) });
+                }
+                DW_CFA_ADVANCE_LOC2 => {
+                    let s = bytes.get(pos..pos + 2).ok_or(CfiError::Truncated)?;
+                    pos += 2;
+                    let d = u16::from_le_bytes(s.try_into().unwrap()) as u64;
+                    out.push(CfiInst::AdvanceLoc { delta: d * code_align.max(1) });
+                }
+                DW_CFA_ADVANCE_LOC4 => {
+                    let s = bytes.get(pos..pos + 4).ok_or(CfiError::Truncated)?;
+                    pos += 4;
+                    let d = u32::from_le_bytes(s.try_into().unwrap()) as u64;
+                    out.push(CfiInst::AdvanceLoc { delta: d * code_align.max(1) });
+                }
+                DW_CFA_DEF_CFA => {
+                    let reg = dwarf_reg(read_uleb(bytes, &mut pos)?)?;
+                    let offset = read_uleb(bytes, &mut pos)?;
+                    out.push(CfiInst::DefCfa { reg, offset });
+                }
+                DW_CFA_DEF_CFA_REGISTER => {
+                    let reg = dwarf_reg(read_uleb(bytes, &mut pos)?)?;
+                    out.push(CfiInst::DefCfaRegister { reg });
+                }
+                DW_CFA_DEF_CFA_OFFSET => {
+                    let offset = read_uleb(bytes, &mut pos)?;
+                    out.push(CfiInst::DefCfaOffset { offset });
+                }
+                DW_CFA_EXPRESSION => {
+                    let reg = dwarf_reg(read_uleb(bytes, &mut pos)?)?;
+                    let len = read_uleb(bytes, &mut pos)? as usize;
+                    let expr =
+                        bytes.get(pos..pos + len).ok_or(CfiError::Truncated)?.to_vec();
+                    pos += len;
+                    out.push(CfiInst::Expression { reg, expr });
+                }
+                other => return Err(CfiError::UnknownOpcode(other)),
+            },
+        }
+    }
+    Ok(out)
+}
+
+impl fmt::Display for CfiInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfiInst::DefCfa { reg, offset } => {
+                write!(f, "DW_CFA_def_cfa: r{} ({}) ofs {}", reg.dwarf_number(), reg, offset)
+            }
+            CfiInst::DefCfaRegister { reg } => {
+                write!(f, "DW_CFA_def_cfa_register: r{} ({})", reg.dwarf_number(), reg)
+            }
+            CfiInst::DefCfaOffset { offset } => {
+                write!(f, "DW_CFA_def_cfa_offset: {offset}")
+            }
+            CfiInst::AdvanceLoc { delta } => write!(f, "DW_CFA_advance_loc: {delta}"),
+            CfiInst::Offset { reg, factored } => write!(
+                f,
+                "DW_CFA_offset: r{} ({}) at cfa-{}",
+                reg.dwarf_number(),
+                reg,
+                factored * 8
+            ),
+            CfiInst::Restore { reg } => {
+                write!(f, "DW_CFA_restore: r{} ({})", reg.dwarf_number(), reg)
+            }
+            CfiInst::Expression { reg, .. } => {
+                write!(f, "DW_CFA_expression: r{} ({})", reg.dwarf_number(), reg)
+            }
+            CfiInst::Nop => write!(f, "DW_CFA_nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_figure_4b() {
+        // The FDE program of Figure 4b.
+        let cfis = vec![
+            CfiInst::DefCfa { reg: Reg::Rsp, offset: 8 },
+            CfiInst::AdvanceLoc { delta: 1 },
+            CfiInst::DefCfaOffset { offset: 16 },
+            CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+            CfiInst::AdvanceLoc { delta: 12 },
+            CfiInst::DefCfaOffset { offset: 24 },
+            CfiInst::Offset { reg: Reg::Rbx, factored: 3 },
+            CfiInst::AdvanceLoc { delta: 11 },
+            CfiInst::DefCfaOffset { offset: 32 },
+            CfiInst::AdvanceLoc { delta: 29 },
+            CfiInst::DefCfaOffset { offset: 24 },
+            CfiInst::AdvanceLoc { delta: 1 },
+            CfiInst::DefCfaOffset { offset: 16 },
+            CfiInst::AdvanceLoc { delta: 1 },
+            CfiInst::DefCfaOffset { offset: 8 },
+        ];
+        let mut bytes = Vec::new();
+        encode_cfis(&cfis, 1, &mut bytes);
+        assert_eq!(decode_cfis(&bytes, 1).unwrap(), cfis);
+    }
+
+    #[test]
+    fn long_advances_use_wide_forms() {
+        for delta in [0x3f, 0x40, 0x100, 0x10000, 0x100000] {
+            let cfis = vec![CfiInst::AdvanceLoc { delta }];
+            let mut bytes = Vec::new();
+            encode_cfis(&cfis, 1, &mut bytes);
+            assert_eq!(decode_cfis(&bytes, 1).unwrap(), cfis, "delta {delta:#x}");
+        }
+    }
+
+    #[test]
+    fn expression_roundtrip() {
+        // Figure 6b: DW_CFA_expression reg8 DW_OP_breg7 +40.
+        let cfis = vec![CfiInst::Expression { reg: Reg::R8, expr: vec![0x77, 40] }];
+        let mut bytes = Vec::new();
+        encode_cfis(&cfis, 1, &mut bytes);
+        assert_eq!(decode_cfis(&bytes, 1).unwrap(), cfis);
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(decode_cfis(&[0x3f], 1), Err(CfiError::UnknownOpcode(0x3f)));
+    }
+
+    #[test]
+    fn display_matches_readelf_style() {
+        let i = CfiInst::DefCfa { reg: Reg::Rsp, offset: 8 };
+        assert_eq!(i.to_string(), "DW_CFA_def_cfa: r7 (rsp) ofs 8");
+        let o = CfiInst::Offset { reg: Reg::Rbp, factored: 2 };
+        assert_eq!(o.to_string(), "DW_CFA_offset: r6 (rbp) at cfa-16");
+    }
+}

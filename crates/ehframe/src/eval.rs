@@ -1,0 +1,342 @@
+//! CFI program evaluation: CFA rule tables and stack-height extraction.
+//!
+//! The paper's Algorithm 1 uses "the stack height recorded by CFIs in FDEs"
+//! as its authoritative stack-pointer model (§V-B) and deliberately *skips*
+//! functions whose CFIs do not give complete height information. This
+//! module implements both the evaluation and that completeness check.
+
+use crate::cfi::CfiInst;
+use crate::records::{Cie, Fde};
+use fetch_x64::Reg;
+use std::fmt;
+
+/// The rule describing how to compute the Canonical Frame Address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfaRule {
+    /// Base register.
+    pub reg: Reg,
+    /// Byte offset added to the base register.
+    pub offset: i64,
+}
+
+/// One row of the evaluated unwind table: the rules in effect starting at
+/// `addr` (until the next row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfaRow {
+    /// First address where this row applies.
+    pub addr: u64,
+    /// The CFA computation rule, or `None` if it is expression-based.
+    pub cfa: Option<CfaRule>,
+    /// Callee-saved registers currently on the stack, as
+    /// `(register, offset from CFA)` pairs (offsets are negative).
+    pub saved: Vec<(Reg, i64)>,
+}
+
+/// The fully evaluated unwind table of one FDE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfaTable {
+    /// Covered range start.
+    pub pc_begin: u64,
+    /// Covered range end (exclusive).
+    pub pc_end: u64,
+    /// Rows sorted by address; the first row starts at `pc_begin`.
+    pub rows: Vec<CfaRow>,
+}
+
+/// Errors from CFI evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// `DW_CFA_def_cfa_offset`/`def_cfa_register` appeared before any CFA
+    /// rule was established.
+    NoCfaRule,
+    /// `DW_CFA_advance_loc` walked past the end of the FDE's range.
+    AdvancePastEnd,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NoCfaRule => write!(f, "CFA modified before being defined"),
+            EvalError::AdvancePastEnd => write!(f, "advance_loc beyond FDE range"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl CfaTable {
+    /// Evaluates the CIE initial instructions followed by the FDE program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] for structurally impossible programs.
+    pub fn evaluate(cie: &Cie, fde: &Fde) -> Result<CfaTable, EvalError> {
+        struct State {
+            cfa: Option<CfaRule>,
+            cfa_is_expr: bool,
+            saved: Vec<(Reg, i64)>,
+        }
+        let mut st = State { cfa: None, cfa_is_expr: false, saved: Vec::new() };
+
+        fn apply(inst: &CfiInst, st: &mut State, data_align: i64) -> Result<(), EvalError> {
+            match inst {
+                CfiInst::DefCfa { reg, offset } => {
+                    st.cfa = Some(CfaRule { reg: *reg, offset: *offset as i64 });
+                    st.cfa_is_expr = false;
+                }
+                CfiInst::DefCfaRegister { reg } => {
+                    st.cfa.as_mut().ok_or(EvalError::NoCfaRule)?.reg = *reg;
+                }
+                CfiInst::DefCfaOffset { offset } => {
+                    st.cfa.as_mut().ok_or(EvalError::NoCfaRule)?.offset = *offset as i64;
+                }
+                CfiInst::Offset { reg, factored } => {
+                    let off = *factored as i64 * data_align;
+                    st.saved.retain(|(r, _)| r != reg);
+                    st.saved.push((*reg, off));
+                }
+                CfiInst::Restore { reg } => {
+                    st.saved.retain(|(r, _)| r != reg);
+                }
+                CfiInst::Expression { .. } => {
+                    // A register recovered by a DWARF expression. We do not
+                    // evaluate expressions; hand-written entries using them
+                    // simply provide no usable CFA when no rule exists yet.
+                    st.cfa_is_expr = st.cfa.is_none();
+                }
+                CfiInst::AdvanceLoc { .. } => {
+                    unreachable!("advance handled by the caller")
+                }
+                CfiInst::Nop => {}
+            }
+            Ok(())
+        }
+
+        for inst in &cie.initial_cfis {
+            if !matches!(inst, CfiInst::AdvanceLoc { .. }) {
+                apply(inst, &mut st, cie.data_align)?;
+            }
+        }
+
+        let mut rows: Vec<CfaRow> = Vec::new();
+        let mut loc = fde.pc_begin;
+        let commit = |addr: u64, st: &State, rows: &mut Vec<CfaRow>| {
+            let row = CfaRow {
+                addr,
+                cfa: if st.cfa_is_expr { None } else { st.cfa },
+                saved: st.saved.clone(),
+            };
+            match rows.last_mut() {
+                Some(last) if last.addr == addr => *last = row,
+                _ => rows.push(row),
+            }
+        };
+
+        for inst in &fde.cfis {
+            if let CfiInst::AdvanceLoc { delta } = inst {
+                // Close the row covering [loc, loc+delta) with the state
+                // accumulated so far.
+                commit(loc, &st, &mut rows);
+                loc += delta;
+                if loc > fde.pc_end() {
+                    return Err(EvalError::AdvancePastEnd);
+                }
+            } else {
+                apply(inst, &mut st, cie.data_align)?;
+            }
+        }
+        commit(loc, &st, &mut rows);
+
+        Ok(CfaTable { pc_begin: fde.pc_begin, pc_end: fde.pc_end(), rows })
+    }
+
+    /// The row in effect at `pc`, or `None` outside the covered range.
+    pub fn row_at(&self, pc: u64) -> Option<&CfaRow> {
+        if pc < self.pc_begin || pc >= self.pc_end {
+            return None;
+        }
+        let ix = match self.rows.binary_search_by_key(&pc, |r| r.addr) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        Some(&self.rows[ix])
+    }
+}
+
+/// Stack heights derived from CFIs: for each region, the number of bytes
+/// the stack pointer sits *below* the return address slot.
+///
+/// Height 0 means `rsp` points directly at the return address — the state
+/// required at a tail-call site (Algorithm 1, first criterion). At function
+/// entry `CFA = rsp + 8`, i.e. height 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeightTable {
+    /// Covered range start.
+    pub pc_begin: u64,
+    /// Covered range end (exclusive).
+    pub pc_end: u64,
+    /// `(from_addr, height)` entries sorted by address.
+    pub entries: Vec<(u64, i64)>,
+}
+
+impl HeightTable {
+    /// The stack height in effect at `pc`, or `None` outside the range.
+    pub fn height_at(&self, pc: u64) -> Option<i64> {
+        if pc < self.pc_begin || pc >= self.pc_end {
+            return None;
+        }
+        let ix = match self.entries.binary_search_by_key(&pc, |e| e.0) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        Some(self.entries[ix].1)
+    }
+}
+
+/// Extracts complete stack-height information from an FDE, mirroring the
+/// paper's conservative criteria (§V-B):
+///
+/// 1. the CFA must be represented via `rsp` and initialized as `rsp + 8`;
+/// 2. every CFA change must be a `DW_CFA_def_cfa_offset` keeping `rsp` as
+///    the base (a switch to `rbp` or an expression makes heights at later
+///    instructions unobservable from CFIs alone).
+///
+/// Returns `Ok(None)` when the information is incomplete — the caller is
+/// expected to *skip* such functions rather than guess.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] for structurally invalid programs.
+pub fn stack_heights(cie: &Cie, fde: &Fde) -> Result<Option<HeightTable>, EvalError> {
+    let table = CfaTable::evaluate(cie, fde)?;
+    let mut entries = Vec::with_capacity(table.rows.len());
+    for row in &table.rows {
+        match row.cfa {
+            Some(CfaRule { reg: Reg::Rsp, offset }) => {
+                entries.push((row.addr, offset - 8));
+            }
+            _ => return Ok(None), // rbp-based or expression CFA: incomplete
+        }
+    }
+    match entries.first() {
+        Some(&(addr, 0)) if addr == fde.pc_begin => {}
+        _ => return Ok(None), // not initialized as rsp+8 at the entry
+    }
+    Ok(Some(HeightTable { pc_begin: table.pc_begin, pc_end: table.pc_end, entries }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_4b() -> (Cie, Fde) {
+        let cie = Cie::default();
+        let fde = Fde {
+            pc_begin: 0xb0,
+            pc_range: 56,
+            cfis: vec![
+                CfiInst::AdvanceLoc { delta: 1 },
+                CfiInst::DefCfaOffset { offset: 16 },
+                CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+                CfiInst::AdvanceLoc { delta: 12 },
+                CfiInst::DefCfaOffset { offset: 24 },
+                CfiInst::Offset { reg: Reg::Rbx, factored: 3 },
+                CfiInst::AdvanceLoc { delta: 11 },
+                CfiInst::DefCfaOffset { offset: 32 },
+                CfiInst::AdvanceLoc { delta: 29 },
+                CfiInst::DefCfaOffset { offset: 24 },
+                CfiInst::AdvanceLoc { delta: 1 },
+                CfiInst::DefCfaOffset { offset: 16 },
+                CfiInst::AdvanceLoc { delta: 1 },
+                CfiInst::DefCfaOffset { offset: 8 },
+            ],
+        };
+        (cie, fde)
+    }
+
+    #[test]
+    fn figure_4_cfa_evolution() {
+        let (cie, fde) = figure_4b();
+        let table = CfaTable::evaluate(&cie, &fde).unwrap();
+        // At b0 (entry): CFA = rsp + 8.
+        let row = table.row_at(0xb0).unwrap();
+        assert_eq!(row.cfa, Some(CfaRule { reg: Reg::Rsp, offset: 8 }));
+        // After push rbp (b1..): CFA = rsp + 16, rbp saved at cfa-16.
+        let row = table.row_at(0xb1).unwrap();
+        assert_eq!(row.cfa, Some(CfaRule { reg: Reg::Rsp, offset: 16 }));
+        assert!(row.saved.contains(&(Reg::Rbp, -16)));
+        // Mid-body (c8..e4): CFA = rsp + 32 with rbp and rbx saved.
+        let row = table.row_at(0xd0).unwrap();
+        assert_eq!(row.cfa, Some(CfaRule { reg: Reg::Rsp, offset: 32 }));
+        assert!(row.saved.contains(&(Reg::Rbx, -24)));
+        // After final pop rbp (e7): back to CFA = rsp + 8.
+        let row = table.row_at(0xe7).unwrap();
+        assert_eq!(row.cfa, Some(CfaRule { reg: Reg::Rsp, offset: 8 }));
+        // Outside the range.
+        assert!(table.row_at(0xe8).is_none());
+    }
+
+    #[test]
+    fn figure_4_stack_heights() {
+        let (cie, fde) = figure_4b();
+        let h = stack_heights(&cie, &fde).unwrap().expect("complete CFI");
+        assert_eq!(h.height_at(0xb0), Some(0)); // entry
+        assert_eq!(h.height_at(0xb1), Some(8)); // after push rbp
+        assert_eq!(h.height_at(0xbd), Some(16)); // after push rbx
+        assert_eq!(h.height_at(0xc8), Some(24)); // after sub rsp,8
+        assert_eq!(h.height_at(0xe5), Some(16)); // after add rsp,8
+        assert_eq!(h.height_at(0xe6), Some(8)); // after pop rbx
+        assert_eq!(h.height_at(0xe7), Some(0)); // after pop rbp: ready to ret
+        assert_eq!(h.height_at(0x50), None);
+    }
+
+    #[test]
+    fn rbp_based_frames_are_incomplete() {
+        let cie = Cie::default();
+        let fde = Fde {
+            pc_begin: 0x100,
+            pc_range: 0x20,
+            cfis: vec![
+                CfiInst::AdvanceLoc { delta: 1 },
+                CfiInst::DefCfaOffset { offset: 16 },
+                CfiInst::AdvanceLoc { delta: 3 },
+                CfiInst::DefCfaRegister { reg: Reg::Rbp },
+            ],
+        };
+        assert_eq!(stack_heights(&cie, &fde).unwrap(), None);
+    }
+
+    #[test]
+    fn non_standard_initial_rule_is_incomplete() {
+        // Hand-written FDEs sometimes start with a non rsp+8 rule.
+        let mut cie = Cie::default();
+        cie.initial_cfis = vec![CfiInst::DefCfa { reg: Reg::Rsp, offset: 16 }];
+        let fde = Fde { pc_begin: 0, pc_range: 8, cfis: vec![] };
+        assert_eq!(stack_heights(&cie, &fde).unwrap(), None);
+    }
+
+    #[test]
+    fn advance_past_end_rejected() {
+        let cie = Cie::default();
+        let fde = Fde {
+            pc_begin: 0,
+            pc_range: 4,
+            cfis: vec![CfiInst::AdvanceLoc { delta: 100 }],
+        };
+        assert_eq!(CfaTable::evaluate(&cie, &fde), Err(EvalError::AdvancePastEnd));
+    }
+
+    #[test]
+    fn def_cfa_offset_without_rule_rejected() {
+        let mut cie = Cie::default();
+        cie.initial_cfis.clear();
+        let fde = Fde {
+            pc_begin: 0,
+            pc_range: 4,
+            cfis: vec![CfiInst::DefCfaOffset { offset: 16 }],
+        };
+        assert_eq!(CfaTable::evaluate(&cie, &fde), Err(EvalError::NoCfaRule));
+    }
+}

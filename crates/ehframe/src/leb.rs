@@ -1,0 +1,143 @@
+//! ULEB128 / SLEB128 primitives used throughout the DWARF encodings.
+
+use std::fmt;
+
+/// Error returned when a LEB128 value is malformed or the buffer ends early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LebError;
+
+impl fmt::Display for LebError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed or truncated LEB128 value")
+    }
+}
+
+impl std::error::Error for LebError {}
+
+/// Appends `value` as unsigned LEB128.
+pub fn write_uleb(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` as signed LEB128.
+pub fn write_sleb(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (value == 0 && sign_clear) || (value == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 from `bytes` at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`LebError`] on truncation or a value wider than 64 bits.
+pub fn read_uleb(bytes: &[u8], pos: &mut usize) -> Result<u64, LebError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(LebError)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(LebError);
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a signed LEB128 from `bytes` at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`LebError`] on truncation or a value wider than 64 bits.
+pub fn read_sleb(bytes: &[u8], pos: &mut usize) -> Result<i64, LebError> {
+    let mut result: i64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(LebError)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(LebError);
+        }
+        result |= i64::from(byte & 0x7f) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                result |= -1i64 << shift;
+            }
+            return Ok(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uleb_known_values() {
+        let mut v = Vec::new();
+        write_uleb(&mut v, 624485);
+        assert_eq!(v, [0xe5, 0x8e, 0x26]);
+        let mut pos = 0;
+        assert_eq!(read_uleb(&v, &mut pos).unwrap(), 624485);
+        assert_eq!(pos, 3);
+    }
+
+    #[test]
+    fn sleb_known_values() {
+        let mut v = Vec::new();
+        write_sleb(&mut v, -123456);
+        assert_eq!(v, [0xc0, 0xbb, 0x78]);
+        let mut pos = 0;
+        assert_eq!(read_sleb(&v, &mut pos).unwrap(), -123456);
+        // The classic data-alignment factor of x86-64 eh_frame.
+        let mut v = Vec::new();
+        write_sleb(&mut v, -8);
+        assert_eq!(v, [0x78]);
+    }
+
+    #[test]
+    fn roundtrip_edges() {
+        for value in [0u64, 1, 127, 128, 0x7fff_ffff, u64::MAX] {
+            let mut v = Vec::new();
+            write_uleb(&mut v, value);
+            let mut pos = 0;
+            assert_eq!(read_uleb(&v, &mut pos).unwrap(), value);
+        }
+        for value in [0i64, -1, 63, 64, -64, -65, i64::MIN, i64::MAX] {
+            let mut v = Vec::new();
+            write_sleb(&mut v, value);
+            let mut pos = 0;
+            assert_eq!(read_sleb(&v, &mut pos).unwrap(), value, "value {value}");
+        }
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut pos = 0;
+        assert_eq!(read_uleb(&[0x80], &mut pos), Err(LebError));
+        let mut pos = 0;
+        assert_eq!(read_sleb(&[0xff, 0xff], &mut pos), Err(LebError));
+        let mut pos = 0;
+        assert_eq!(read_uleb(&[], &mut pos), Err(LebError));
+    }
+}

@@ -1,0 +1,66 @@
+//! # fetch-ehframe
+//!
+//! The `.eh_frame` substrate of the FETCH reproduction: CIE/FDE data model,
+//! the binary DWARF encoding used by System-V x86-64 binaries, CFI-program
+//! evaluation (CFA tables and stack heights), and a table-driven unwinder.
+//!
+//! The paper ("Towards Optimal Use of Exception Handling Information for
+//! Function Detection", DSN 2021) builds its detector on three properties
+//! of this data, all modeled here:
+//!
+//! * every FDE carries a `PC Begin` that (for the first part of a function)
+//!   is a true function start — [`EhFrame::pc_begins`];
+//! * CFI programs record the exact stack height at every program point of
+//!   well-behaved functions — [`stack_heights`], used by Algorithm 1;
+//! * the information is *not* perfectly faithful: non-contiguous functions
+//!   get one FDE per part, and hand-written CFI can mislabel starts, which
+//!   is exactly what the repair algorithm fixes.
+//!
+//! # Examples
+//!
+//! Encode and re-parse a section, then query stack heights:
+//!
+//! ```
+//! use fetch_ehframe::{Cie, CfiInst, EhFrame, Fde, encode_eh_frame, parse_eh_frame, stack_heights};
+//! use fetch_x64::Reg;
+//!
+//! let mut eh = EhFrame::new();
+//! eh.groups.push((Cie::default(), vec![Fde {
+//!     pc_begin: 0x40_00b0,
+//!     pc_range: 56,
+//!     cfis: vec![
+//!         CfiInst::AdvanceLoc { delta: 1 },
+//!         CfiInst::DefCfaOffset { offset: 16 },
+//!         CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+//!     ],
+//! }]));
+//!
+//! let bytes = encode_eh_frame(&eh, 0x48_0000);
+//! let parsed = parse_eh_frame(&bytes, 0x48_0000)?;
+//! assert_eq!(parsed, eh);
+//!
+//! let (cie, fde) = parsed.fdes_with_cie().next().unwrap();
+//! let heights = stack_heights(cie, fde)?.expect("complete CFI");
+//! assert_eq!(heights.height_at(0x40_00b0), Some(0)); // entry
+//! assert_eq!(heights.height_at(0x40_00b1), Some(8)); // after push rbp
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfi;
+mod eval;
+mod leb;
+mod pdata;
+mod records;
+mod unwind;
+
+pub use cfi::{decode_cfis, encode_cfis, CfiError, CfiInst};
+pub use eval::{stack_heights, CfaRow, CfaRule, CfaTable, EvalError, HeightTable};
+pub use leb::{read_sleb, read_uleb, write_sleb, write_uleb, LebError};
+pub use pdata::{Pdata, PdataError, RuntimeFunction};
+pub use records::{
+    encode_eh_frame, parse_eh_frame, Cie, EhFrame, Fde, ParseError, PE_PCREL_SDATA4,
+};
+pub use unwind::{backtrace, unwind_one, Machine, Memory, UnwindError};

@@ -1,0 +1,431 @@
+//! CIE/FDE records and the binary `.eh_frame` section format (Figure 3).
+
+use crate::cfi::{decode_cfis, encode_cfis, CfiError, CfiInst};
+use crate::leb::{read_uleb, write_uleb, LebError};
+use fetch_x64::Reg;
+use std::fmt;
+
+/// `DW_EH_PE_pcrel | DW_EH_PE_sdata4` — the pointer encoding GCC emits for
+/// FDE `PC Begin` fields on x86-64.
+pub const PE_PCREL_SDATA4: u8 = 0x1b;
+
+/// A Common Information Entry: per-object-file defaults shared by its FDEs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cie {
+    /// CIE version (1 for .eh_frame).
+    pub version: u8,
+    /// Code alignment factor (1 on x86-64).
+    pub code_align: u64,
+    /// Data alignment factor (-8 on x86-64).
+    pub data_align: i64,
+    /// DWARF number of the return-address column (16 = RA on x86-64).
+    pub ret_addr_reg: u8,
+    /// Pointer encoding for FDE PC Begin fields.
+    pub fde_encoding: u8,
+    /// Initial CFI program establishing the default rules
+    /// (conventionally `DW_CFA_def_cfa rsp+8; DW_CFA_offset RA at cfa-8`).
+    pub initial_cfis: Vec<CfiInst>,
+}
+
+impl Default for Cie {
+    fn default() -> Self {
+        Cie {
+            version: 1,
+            code_align: 1,
+            data_align: -8,
+            ret_addr_reg: 16,
+            fde_encoding: PE_PCREL_SDATA4,
+            initial_cfis: vec![CfiInst::DefCfa { reg: Reg::Rsp, offset: 8 }],
+        }
+    }
+}
+
+/// A Frame Description Entry: the unwind record of one (part of a) function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fde {
+    /// Start address of the covered code range (`PC Begin`).
+    pub pc_begin: u64,
+    /// Length of the covered range in bytes (`PC Range`).
+    pub pc_range: u64,
+    /// The CFI program for this range.
+    pub cfis: Vec<CfiInst>,
+}
+
+impl Fde {
+    /// One-past-the-end address of the covered range.
+    pub fn pc_end(&self) -> u64 {
+        self.pc_begin + self.pc_range
+    }
+
+    /// Whether `pc` falls inside the covered range.
+    pub fn contains(&self, pc: u64) -> bool {
+        pc >= self.pc_begin && pc < self.pc_end()
+    }
+}
+
+/// A parsed (or to-be-encoded) `.eh_frame` section: CIEs with their FDEs,
+/// in section order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EhFrame {
+    /// `(CIE, its FDEs)` groups, mirroring the section layout in Figure 3.
+    pub groups: Vec<(Cie, Vec<Fde>)>,
+}
+
+impl EhFrame {
+    /// Creates an empty section model.
+    pub fn new() -> EhFrame {
+        EhFrame::default()
+    }
+
+    /// Iterates over every FDE in section order.
+    pub fn fdes(&self) -> impl Iterator<Item = &Fde> {
+        self.groups.iter().flat_map(|(_, fdes)| fdes.iter())
+    }
+
+    /// Iterates over every FDE with its owning CIE.
+    pub fn fdes_with_cie(&self) -> impl Iterator<Item = (&Cie, &Fde)> {
+        self.groups
+            .iter()
+            .flat_map(|(cie, fdes)| fdes.iter().map(move |f| (cie, f)))
+    }
+
+    /// Total number of FDEs.
+    pub fn fde_count(&self) -> usize {
+        self.groups.iter().map(|(_, f)| f.len()).sum()
+    }
+
+    /// Finds the FDE covering `pc` — task T1 of the unwinder (§III-B).
+    pub fn fde_for_pc(&self, pc: u64) -> Option<&Fde> {
+        self.fdes().find(|f| f.contains(pc))
+    }
+
+    /// All `PC Begin` values, the raw material of FDE-based function-start
+    /// detection (§IV-B).
+    pub fn pc_begins(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.fdes().map(|f| f.pc_begin).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Errors produced while parsing a binary `.eh_frame` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The section ended inside an entry.
+    Truncated,
+    /// An entry length field was inconsistent with the section size.
+    BadLength {
+        /// Offset of the entry within the section.
+        at: usize,
+    },
+    /// An FDE referenced a CIE at an offset where no CIE was parsed.
+    DanglingCiePointer {
+        /// Offset of the FDE within the section.
+        at: usize,
+    },
+    /// Unsupported CIE field (version, augmentation, or pointer encoding).
+    UnsupportedCie {
+        /// Offset of the CIE within the section.
+        at: usize,
+    },
+    /// Malformed CFI program.
+    Cfi(CfiError),
+    /// Malformed LEB128 field.
+    Leb,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "section ended inside an entry"),
+            ParseError::BadLength { at } => write!(f, "inconsistent entry length at {at:#x}"),
+            ParseError::DanglingCiePointer { at } => {
+                write!(f, "FDE at {at:#x} references an unknown CIE")
+            }
+            ParseError::UnsupportedCie { at } => write!(f, "unsupported CIE at {at:#x}"),
+            ParseError::Cfi(e) => write!(f, "bad CFI program: {e}"),
+            ParseError::Leb => write!(f, "malformed LEB128 field"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Cfi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CfiError> for ParseError {
+    fn from(e: CfiError) -> Self {
+        ParseError::Cfi(e)
+    }
+}
+
+impl From<LebError> for ParseError {
+    fn from(_: LebError) -> Self {
+        ParseError::Leb
+    }
+}
+
+/// Encodes the section to bytes as it would appear at virtual address
+/// `section_addr` (needed because `PC Begin` uses pc-relative encoding).
+///
+/// The layout follows the de-facto GCC format: 4-byte length, CIE id /
+/// CIE pointer, `zR` augmentation, and a terminating zero-length entry.
+pub fn encode_eh_frame(eh: &EhFrame, section_addr: u64) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::new();
+    for (cie, fdes) in &eh.groups {
+        // ---- CIE ----
+        let cie_off = out.len();
+        out.extend_from_slice(&[0; 4]); // length placeholder
+        out.extend_from_slice(&0u32.to_le_bytes()); // CIE id = 0
+        out.push(cie.version);
+        out.extend_from_slice(b"zR\0");
+        write_uleb(&mut out, cie.code_align);
+        crate::leb::write_sleb(&mut out, cie.data_align);
+        write_uleb(&mut out, cie.ret_addr_reg as u64);
+        write_uleb(&mut out, 1); // augmentation data length
+        out.push(cie.fde_encoding);
+        encode_cfis(&cie.initial_cfis, cie.code_align, &mut out);
+        pad_and_patch_length(&mut out, cie_off);
+
+        // ---- FDEs ----
+        for fde in fdes {
+            let fde_off = out.len();
+            out.extend_from_slice(&[0; 4]); // length placeholder
+            // CIE pointer: distance from this field back to the CIE start.
+            let cie_ptr = (fde_off + 4 - cie_off) as u32;
+            out.extend_from_slice(&cie_ptr.to_le_bytes());
+            // PC Begin, pcrel sdata4.
+            let field_addr = section_addr + out.len() as u64;
+            let rel = fde.pc_begin.wrapping_sub(field_addr) as i64;
+            let rel = i32::try_from(rel).expect("pc_begin within ±2GiB of eh_frame");
+            out.extend_from_slice(&rel.to_le_bytes());
+            // PC Range, sdata4 (absolute length).
+            let range = i32::try_from(fde.pc_range).expect("pc_range fits sdata4");
+            out.extend_from_slice(&range.to_le_bytes());
+            write_uleb(&mut out, 0); // augmentation data length
+            encode_cfis(&fde.cfis, cie.code_align, &mut out);
+            pad_and_patch_length(&mut out, fde_off);
+        }
+    }
+    // Terminator: zero length.
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out
+}
+
+fn pad_and_patch_length(out: &mut Vec<u8>, entry_off: usize) {
+    // Pad the entry body to 4-byte alignment with DW_CFA_nop (0x00).
+    while (out.len() - entry_off) % 4 != 0 {
+        out.push(0);
+    }
+    let len = (out.len() - entry_off - 4) as u32;
+    out[entry_off..entry_off + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Parses a binary `.eh_frame` section located at `section_addr`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first structural problem found.
+pub fn parse_eh_frame(bytes: &[u8], section_addr: u64) -> Result<EhFrame, ParseError> {
+    let mut eh = EhFrame::new();
+    // Map from CIE section offset to index in eh.groups.
+    let mut cie_index: Vec<(usize, usize)> = Vec::new();
+    let mut pos = 0usize;
+
+    while pos + 4 <= bytes.len() {
+        let entry_off = pos;
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if len == 0 {
+            break; // terminator
+        }
+        let body_end = pos.checked_add(len).ok_or(ParseError::BadLength { at: entry_off })?;
+        if body_end > bytes.len() {
+            return Err(ParseError::BadLength { at: entry_off });
+        }
+        let id_field_off = pos;
+        let id = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        pos += 4;
+
+        if id == 0 {
+            // ---- CIE ----
+            let mut p = pos;
+            let version = *bytes.get(p).ok_or(ParseError::Truncated)?;
+            p += 1;
+            let aug_start = p;
+            while *bytes.get(p).ok_or(ParseError::Truncated)? != 0 {
+                p += 1;
+            }
+            let augmentation = &bytes[aug_start..p];
+            p += 1;
+            if version != 1 || augmentation != b"zR" {
+                return Err(ParseError::UnsupportedCie { at: entry_off });
+            }
+            let code_align = read_uleb(bytes, &mut p)?;
+            let data_align = crate::leb::read_sleb(bytes, &mut p)?;
+            let ret_addr_reg = read_uleb(bytes, &mut p)? as u8;
+            let aug_len = read_uleb(bytes, &mut p)? as usize;
+            if aug_len < 1 || p + aug_len > body_end {
+                return Err(ParseError::UnsupportedCie { at: entry_off });
+            }
+            let fde_encoding = bytes[p];
+            p += aug_len;
+            let mut initial_cfis = decode_cfis(&bytes[p..body_end], code_align)?;
+            // Strip trailing alignment nops for a clean model round trip.
+            while initial_cfis.last() == Some(&CfiInst::Nop) {
+                initial_cfis.pop();
+            }
+            cie_index.push((entry_off, eh.groups.len()));
+            eh.groups.push((
+                Cie { version, code_align, data_align, ret_addr_reg, fde_encoding, initial_cfis },
+                Vec::new(),
+            ));
+        } else {
+            // ---- FDE ----
+            let cie_off = id_field_off
+                .checked_sub(id as usize)
+                .ok_or(ParseError::DanglingCiePointer { at: entry_off })?;
+            let group = cie_index
+                .iter()
+                .find(|(off, _)| *off == cie_off)
+                .map(|(_, ix)| *ix)
+                .ok_or(ParseError::DanglingCiePointer { at: entry_off })?;
+            let code_align = eh.groups[group].0.code_align;
+
+            let mut p = pos;
+            let field = bytes.get(p..p + 4).ok_or(ParseError::Truncated)?;
+            let rel = i32::from_le_bytes(field.try_into().unwrap());
+            let pc_begin = (section_addr + p as u64).wrapping_add(rel as i64 as u64);
+            p += 4;
+            let field = bytes.get(p..p + 4).ok_or(ParseError::Truncated)?;
+            let pc_range = i32::from_le_bytes(field.try_into().unwrap()) as i64;
+            if pc_range < 0 {
+                return Err(ParseError::BadLength { at: entry_off });
+            }
+            p += 4;
+            let aug_len = read_uleb(bytes, &mut p)? as usize;
+            p += aug_len;
+            if p > body_end {
+                return Err(ParseError::Truncated);
+            }
+            let cfis = decode_cfis(&bytes[p..body_end], code_align)?;
+            // Strip trailing alignment nops for a cleaner model round trip.
+            let mut cfis = cfis;
+            while cfis.last() == Some(&CfiInst::Nop) {
+                cfis.pop();
+            }
+            eh.groups[group].1.push(Fde { pc_begin, pc_range: pc_range as u64, cfis });
+        }
+        pos = body_end;
+    }
+    Ok(eh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_4b_fde() -> Fde {
+        Fde {
+            pc_begin: 0xb0,
+            pc_range: 56,
+            cfis: vec![
+                CfiInst::AdvanceLoc { delta: 1 },
+                CfiInst::DefCfaOffset { offset: 16 },
+                CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+                CfiInst::AdvanceLoc { delta: 12 },
+                CfiInst::DefCfaOffset { offset: 24 },
+                CfiInst::Offset { reg: Reg::Rbx, factored: 3 },
+                CfiInst::AdvanceLoc { delta: 11 },
+                CfiInst::DefCfaOffset { offset: 32 },
+                CfiInst::AdvanceLoc { delta: 29 },
+                CfiInst::DefCfaOffset { offset: 24 },
+                CfiInst::AdvanceLoc { delta: 1 },
+                CfiInst::DefCfaOffset { offset: 16 },
+                CfiInst::AdvanceLoc { delta: 1 },
+                CfiInst::DefCfaOffset { offset: 8 },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_group() {
+        let mut eh = EhFrame::new();
+        eh.groups.push((Cie::default(), vec![figure_4b_fde()]));
+        let addr = 0x40_0000;
+        let bytes = encode_eh_frame(&eh, addr);
+        let parsed = parse_eh_frame(&bytes, addr).unwrap();
+        assert_eq!(parsed, eh);
+    }
+
+    #[test]
+    fn roundtrip_multiple_groups() {
+        let mut eh = EhFrame::new();
+        let f1 = Fde { pc_begin: 0x1000, pc_range: 0x80, cfis: vec![] };
+        let f2 = Fde {
+            pc_begin: 0x1100,
+            pc_range: 0x40,
+            cfis: vec![CfiInst::AdvanceLoc { delta: 4 }, CfiInst::DefCfaOffset { offset: 16 }],
+        };
+        let f3 = Fde { pc_begin: 0x2000, pc_range: 0x10, cfis: vec![] };
+        eh.groups.push((Cie::default(), vec![f1, f2]));
+        let mut cie2 = Cie::default();
+        cie2.initial_cfis.push(CfiInst::Offset { reg: Reg::Rbp, factored: 2 });
+        eh.groups.push((cie2, vec![f3]));
+        let bytes = encode_eh_frame(&eh, 0x7_0000);
+        let parsed = parse_eh_frame(&bytes, 0x7_0000).unwrap();
+        assert_eq!(parsed, eh);
+        assert_eq!(parsed.fde_count(), 3);
+        assert_eq!(parsed.pc_begins(), vec![0x1000, 0x1100, 0x2000]);
+    }
+
+    #[test]
+    fn fde_for_pc_finds_covering_record() {
+        let mut eh = EhFrame::new();
+        eh.groups.push((Cie::default(), vec![figure_4b_fde()]));
+        assert_eq!(eh.fde_for_pc(0xb0).unwrap().pc_begin, 0xb0);
+        assert_eq!(eh.fde_for_pc(0xe7).unwrap().pc_begin, 0xb0);
+        assert!(eh.fde_for_pc(0xe8).is_none());
+        assert!(eh.fde_for_pc(0xaf).is_none());
+    }
+
+    #[test]
+    fn terminator_stops_parsing() {
+        let mut eh = EhFrame::new();
+        eh.groups.push((Cie::default(), vec![figure_4b_fde()]));
+        let mut bytes = encode_eh_frame(&eh, 0);
+        // Garbage after the terminator must be ignored.
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4]);
+        let parsed = parse_eh_frame(&bytes, 0).unwrap();
+        assert_eq!(parsed.fde_count(), 1);
+    }
+
+    #[test]
+    fn truncated_section_errors() {
+        let mut eh = EhFrame::new();
+        eh.groups.push((Cie::default(), vec![figure_4b_fde()]));
+        let bytes = encode_eh_frame(&eh, 0);
+        let cut = &bytes[..bytes.len() / 2];
+        assert!(parse_eh_frame(cut, 0).is_err());
+    }
+
+    #[test]
+    fn dangling_cie_pointer_rejected() {
+        // An FDE whose CIE pointer points nowhere.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&12u32.to_le_bytes()); // length
+        bytes.extend_from_slice(&999u32.to_le_bytes()); // CIE pointer (bogus)
+        bytes.extend_from_slice(&[0; 8]);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            parse_eh_frame(&bytes, 0),
+            Err(ParseError::DanglingCiePointer { .. })
+        ));
+    }
+}

@@ -1,0 +1,256 @@
+//! A table-driven stack unwinder, demonstrating tasks T1–T3 of §III-B.
+//!
+//! This is the consumer side of the eh_frame data: given a program counter
+//! and register file, find the covering FDE (T1), compute the CFA and the
+//! return address (T2), and restore callee-saved registers (T3). Function
+//! detection itself only needs the FDE *data*; the unwinder exists so the
+//! test-suite can prove the synthesized CFI programs actually unwind the
+//! stacks the synthesized code builds.
+
+use crate::eval::{CfaRule, CfaTable};
+use crate::records::EhFrame;
+use fetch_x64::Reg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A simulated 64-bit little-endian memory holding 8-byte slots.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    slots: BTreeMap<u64, u64>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Writes the 8-byte slot at `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        self.slots.insert(addr, value);
+    }
+
+    /// Reads the 8-byte slot at `addr`.
+    pub fn read(&self, addr: u64) -> Option<u64> {
+        self.slots.get(&addr).copied()
+    }
+}
+
+/// A register file plus program counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    /// General-purpose registers indexed by hardware number.
+    pub regs: [u64; 16],
+    /// Program counter.
+    pub pc: u64,
+}
+
+impl Machine {
+    /// Creates a machine with all registers zero and the given pc.
+    pub fn at(pc: u64) -> Machine {
+        Machine { regs: [0; 16], pc }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.number() as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.number() as usize] = v;
+    }
+}
+
+/// Errors during unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnwindError {
+    /// No FDE covers the program counter (T1 failed) — the unwinder would
+    /// call `terminate` here.
+    NoFde {
+        /// The uncovered pc.
+        pc: u64,
+    },
+    /// The CFA rule at the pc is expression-based and unsupported.
+    UnsupportedCfa {
+        /// The pc whose rule was unusable.
+        pc: u64,
+    },
+    /// A stack slot needed for restoration was never written.
+    MemoryHole {
+        /// The missing address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for UnwindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnwindError::NoFde { pc } => write!(f, "no FDE covers pc {pc:#x}"),
+            UnwindError::UnsupportedCfa { pc } => {
+                write!(f, "unsupported CFA rule at pc {pc:#x}")
+            }
+            UnwindError::MemoryHole { addr } => write!(f, "uninitialized stack slot {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for UnwindError {}
+
+/// Unwinds one frame: returns the machine state of the caller.
+///
+/// # Errors
+///
+/// See [`UnwindError`]. A [`UnwindError::NoFde`] corresponds to the
+/// `terminate` path in Figure 2.
+pub fn unwind_one(eh: &EhFrame, machine: &Machine, memory: &Memory) -> Result<Machine, UnwindError> {
+    // T1: find the function (FDE) containing the pc.
+    let (cie, fde) = eh
+        .fdes_with_cie()
+        .find(|(_, f)| f.contains(machine.pc))
+        .ok_or(UnwindError::NoFde { pc: machine.pc })?;
+
+    let table = CfaTable::evaluate(cie, fde).map_err(|_| UnwindError::UnsupportedCfa {
+        pc: machine.pc,
+    })?;
+    let row = table.row_at(machine.pc).ok_or(UnwindError::NoFde { pc: machine.pc })?;
+
+    // T2: compute the CFA and fetch the return address at CFA - 8.
+    let CfaRule { reg, offset } = row.cfa.ok_or(UnwindError::UnsupportedCfa { pc: machine.pc })?;
+    let cfa = machine.reg(reg).wrapping_add(offset as u64);
+    let ra_addr = cfa.wrapping_sub(8);
+    let ra = memory.read(ra_addr).ok_or(UnwindError::MemoryHole { addr: ra_addr })?;
+
+    // T3: restore callee-saved registers recorded by DW_CFA_offset.
+    let mut caller = machine.clone();
+    for &(r, off) in &row.saved {
+        let addr = cfa.wrapping_add(off as u64);
+        let value = memory.read(addr).ok_or(UnwindError::MemoryHole { addr })?;
+        caller.set_reg(r, value);
+    }
+    // Destroy the callee frame: the caller's rsp is the CFA.
+    caller.set_reg(Reg::Rsp, cfa);
+    caller.pc = ra;
+    Ok(caller)
+}
+
+/// Unwinds until no FDE covers the pc (or `max_frames` is reached),
+/// returning the call chain of pcs — the "search the handler in the call
+/// chain" loop of Figure 2.
+pub fn backtrace(
+    eh: &EhFrame,
+    machine: &Machine,
+    memory: &Memory,
+    max_frames: usize,
+) -> Vec<u64> {
+    let mut chain = vec![machine.pc];
+    let mut m = machine.clone();
+    for _ in 0..max_frames {
+        match unwind_one(eh, &m, memory) {
+            Ok(next) => {
+                chain.push(next.pc);
+                m = next;
+            }
+            Err(_) => break,
+        }
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfi::CfiInst;
+    use crate::records::{Cie, Fde};
+
+    /// Builds the Figure 4 function's frame at the deepest point (after
+    /// `sub rsp,8`, pc = 0xd0) and checks the unwinder recovers the caller.
+    #[test]
+    fn unwind_figure_4_frame() {
+        let mut eh = EhFrame::new();
+        eh.groups.push((
+            Cie::default(),
+            vec![Fde {
+                pc_begin: 0xb0,
+                pc_range: 56,
+                cfis: vec![
+                    CfiInst::AdvanceLoc { delta: 1 },
+                    CfiInst::DefCfaOffset { offset: 16 },
+                    CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+                    CfiInst::AdvanceLoc { delta: 12 },
+                    CfiInst::DefCfaOffset { offset: 24 },
+                    CfiInst::Offset { reg: Reg::Rbx, factored: 3 },
+                    CfiInst::AdvanceLoc { delta: 11 },
+                    CfiInst::DefCfaOffset { offset: 32 },
+                ],
+            }],
+        ));
+
+        // Caller frame at CFA = 0x7fff_0000 (Figure 4c layout).
+        let cfa: u64 = 0x7fff_0000;
+        let mut mem = Memory::new();
+        mem.write(cfa - 8, 0x40_1234); // return address
+        mem.write(cfa - 16, 0xbbbb); // saved rbp
+        mem.write(cfa - 24, 0xcccc); // saved rbx
+
+        let mut m = Machine::at(0xd0);
+        m.set_reg(Reg::Rsp, cfa - 32); // rsp after sub rsp,8
+        m.set_reg(Reg::Rbp, 0x1111); // clobbered values in the callee
+        m.set_reg(Reg::Rbx, 0x2222);
+
+        let caller = unwind_one(&eh, &m, &mem).unwrap();
+        assert_eq!(caller.pc, 0x40_1234);
+        assert_eq!(caller.reg(Reg::Rsp), cfa);
+        assert_eq!(caller.reg(Reg::Rbp), 0xbbbb);
+        assert_eq!(caller.reg(Reg::Rbx), 0xcccc);
+    }
+
+    #[test]
+    fn missing_fde_terminates() {
+        let eh = EhFrame::new();
+        let m = Machine::at(0x1000);
+        assert_eq!(
+            unwind_one(&eh, &m, &Memory::new()),
+            Err(UnwindError::NoFde { pc: 0x1000 })
+        );
+    }
+
+    #[test]
+    fn backtrace_walks_two_frames() {
+        // Two functions: main (0x100..0x180) calls div (0x200..0x240),
+        // mirroring Figure 1. div has pushed nothing; main pushed rbp.
+        let mut eh = EhFrame::new();
+        eh.groups.push((
+            Cie::default(),
+            vec![
+                Fde {
+                    pc_begin: 0x100,
+                    pc_range: 0x80,
+                    cfis: vec![
+                        CfiInst::AdvanceLoc { delta: 1 },
+                        CfiInst::DefCfaOffset { offset: 16 },
+                        CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+                    ],
+                },
+                Fde { pc_begin: 0x200, pc_range: 0x40, cfis: vec![] },
+            ],
+        ));
+
+        // Stack: main's frame CFA = 0x8000_0000.
+        let main_cfa: u64 = 0x8000_0000;
+        let mut mem = Memory::new();
+        // main's return address: outside any FDE, ends the backtrace.
+        mem.write(main_cfa - 8, 0xdead_0000);
+        mem.write(main_cfa - 16, 0x1); // main's saved rbp
+        // div's frame: called from main at pc 0x150 → RA 0x155.
+        // div's CFA = rsp_at_entry + 8; main called with rsp = main_cfa-16.
+        let div_cfa = main_cfa - 16;
+        mem.write(div_cfa - 8, 0x155); // RA into main
+
+        let mut m = Machine::at(0x210); // inside div, height 0
+        m.set_reg(Reg::Rsp, div_cfa - 8);
+
+        let chain = backtrace(&eh, &m, &mem, 8);
+        assert_eq!(chain, vec![0x210, 0x155, 0xdead_0000]);
+    }
+}

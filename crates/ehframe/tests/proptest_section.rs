@@ -1,0 +1,108 @@
+//! Property tests: arbitrary well-formed eh_frame models survive the
+//! binary encode/parse round trip, and evaluation is total on them.
+
+use fetch_ehframe::{
+    encode_eh_frame, parse_eh_frame, stack_heights, CfaTable, Cie, CfiInst, EhFrame, Fde,
+};
+use fetch_x64::Reg;
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|n| Reg::from_number(n).unwrap())
+}
+
+/// A well-formed CFI program for a function of `range` bytes: advances sum
+/// to at most `range`, and the CIE provides the initial CFA rule.
+fn arb_cfis(range: u64) -> impl Strategy<Value = Vec<CfiInst>> {
+    let step = prop_oneof![
+        (1u64..32).prop_map(|d| CfiInst::AdvanceLoc { delta: d }),
+        (8u64..512).prop_map(|o| CfiInst::DefCfaOffset { offset: o }),
+        (arb_reg(), 1u64..16).prop_map(|(reg, factored)| CfiInst::Offset { reg, factored }),
+        arb_reg().prop_map(|reg| CfiInst::Restore { reg }),
+        Just(CfiInst::Nop),
+        arb_reg().prop_map(|reg| CfiInst::DefCfaRegister { reg }),
+    ];
+    proptest::collection::vec(step, 0..24).prop_map(move |mut v| {
+        // Clamp cumulative advances to stay within the range.
+        let mut total = 0u64;
+        v.retain(|inst| {
+            if let CfiInst::AdvanceLoc { delta } = inst {
+                if total + delta > range {
+                    return false;
+                }
+                total += delta;
+            }
+            true
+        });
+        v
+    })
+}
+
+fn arb_fde() -> impl Strategy<Value = Fde> {
+    (0x1000u64..0x4000_0000, 16u64..0x4000).prop_flat_map(|(pc_begin, pc_range)| {
+        arb_cfis(pc_range).prop_map(move |cfis| Fde { pc_begin, pc_range, cfis })
+    })
+}
+
+fn arb_eh_frame() -> impl Strategy<Value = EhFrame> {
+    proptest::collection::vec(proptest::collection::vec(arb_fde(), 1..6), 1..4).prop_map(
+        |groups| EhFrame {
+            groups: groups
+                .into_iter()
+                .map(|fdes| (Cie::default(), fdes))
+                .collect(),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn section_roundtrip(eh in arb_eh_frame(), addr in 0u64..0x4000_0000u64) {
+        let bytes = encode_eh_frame(&eh, addr);
+        let parsed = parse_eh_frame(&bytes, addr).expect("own encoding parses");
+        // Nops are padding-equivalent: compare modulo Nop.
+        let strip = |e: &EhFrame| {
+            let mut e = e.clone();
+            for (cie, fdes) in &mut e.groups {
+                cie.initial_cfis.retain(|c| *c != CfiInst::Nop);
+                for f in fdes {
+                    f.cfis.retain(|c| *c != CfiInst::Nop);
+                }
+            }
+            e
+        };
+        prop_assert_eq!(strip(&parsed), strip(&eh));
+    }
+
+    #[test]
+    fn evaluation_is_total_on_wellformed(eh in arb_eh_frame()) {
+        for (cie, fde) in eh.fdes_with_cie() {
+            let table = CfaTable::evaluate(cie, fde).expect("well-formed program");
+            // Rows are sorted, start at pc_begin, and cover the range.
+            prop_assert!(!table.rows.is_empty());
+            prop_assert_eq!(table.rows[0].addr, fde.pc_begin);
+            for w in table.rows.windows(2) {
+                prop_assert!(w[0].addr < w[1].addr);
+            }
+            // Every pc in range resolves to a row.
+            for pc in [fde.pc_begin, fde.pc_begin + fde.pc_range / 2, fde.pc_end() - 1] {
+                prop_assert!(table.row_at(pc).is_some());
+            }
+            prop_assert!(table.row_at(fde.pc_end()).is_none());
+            // Stack-height extraction never panics and is consistent.
+            if let Some(h) = stack_heights(cie, fde).expect("evaluates") {
+                prop_assert_eq!(h.height_at(fde.pc_begin), Some(0));
+                for pc in fde.pc_begin..fde.pc_end().min(fde.pc_begin + 64) {
+                    prop_assert!(h.height_at(pc).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256), addr: u64) {
+        let _ = parse_eh_frame(&bytes, addr);
+    }
+}

@@ -1,0 +1,658 @@
+//! Lowering [`FuncPlan`]s to machine code.
+//!
+//! Each plan becomes a hot [`PartCode`] and optionally a cold one. The
+//! lowering records a stack-event trace per part, from which the layout
+//! engine builds CFI programs — so the emitted `.eh_frame` mirrors the
+//! emitted code exactly, the property real compilers guarantee and the
+//! paper's detector relies on.
+
+use crate::plan::{Chunk, Ending, FrameKind, FuncPlan, TargetRef};
+use fetch_x64::{AluOp, Asm, Cc, FixupKind, Mem, Op, Reg, Rm, Width};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A stack-pointer event at a byte offset (measured *after* the
+/// instruction, matching `DW_CFA_advance_loc` semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackEvent {
+    /// `push reg`.
+    Push(Reg),
+    /// `pop reg`.
+    Pop(Reg),
+    /// `sub rsp, n`.
+    SubRsp(u32),
+    /// `add rsp, n`.
+    AddRsp(u32),
+    /// `mov rbp, rsp` — the CFA base switches to `rbp`.
+    SetRbp,
+    /// `leave` — frame destroyed, CFA back to `rsp + 8`.
+    Leave,
+}
+
+/// A jump table emitted inside a part: `cases` are byte offsets (within
+/// the part) of each case body; the table itself is referenced through the
+/// part's fixup list as [`TargetRef::JumpTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JumpTableCode {
+    /// Byte offsets of case bodies within the part.
+    pub case_offsets: Vec<usize>,
+}
+
+/// An external reference within a part's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartFixup {
+    /// Byte position of the patch field.
+    pub pos: usize,
+    /// Patch semantics.
+    pub kind: FixupKind,
+    /// What it refers to.
+    pub target: TargetRef,
+}
+
+/// Machine code for one contiguous part of a function.
+#[derive(Debug, Clone, Default)]
+pub struct PartCode {
+    /// Raw bytes (external references still zeroed).
+    pub bytes: Vec<u8>,
+    /// References to patch after layout.
+    pub fixups: Vec<PartFixup>,
+    /// Stack events at their after-instruction offsets.
+    pub events: Vec<(usize, StackEvent)>,
+    /// Recorded mid-part anchor offsets ([`TargetRef::Mid`] namespace).
+    pub anchors: Vec<usize>,
+    /// Jump tables defined by this part.
+    pub jump_tables: Vec<JumpTableCode>,
+}
+
+/// The lowered form of one function.
+#[derive(Debug, Clone)]
+pub struct FuncCode {
+    /// Hot (entry) part.
+    pub hot: PartCode,
+    /// Cold part for non-contiguous functions.
+    pub cold: Option<PartCode>,
+    /// Stack height (bytes below the return address) at the hot→cold
+    /// branch site; the cold part's CFI starts from this height.
+    pub cold_entry_height: u32,
+}
+
+struct Emitter {
+    asm: Asm,
+    targets: Vec<TargetRef>,
+    events: Vec<(usize, StackEvent)>,
+    anchors: Vec<usize>,
+    jump_tables: Vec<JumpTableCode>,
+    /// Registers holding a defined value (for calling-convention-valid
+    /// starts, sources are drawn only from this set).
+    defined: Vec<Reg>,
+    /// Current stack height below the return address.
+    height: u32,
+}
+
+const SCRATCH: [Reg; 7] = [Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi, Reg::R8, Reg::R10];
+
+impl Emitter {
+    fn new() -> Emitter {
+        Emitter {
+            asm: Asm::new(),
+            targets: Vec::new(),
+            events: Vec::new(),
+            anchors: Vec::new(),
+            jump_tables: Vec::new(),
+            defined: Reg::ARGS.to_vec(),
+            height: 0,
+        }
+    }
+
+    fn target(&mut self, t: TargetRef) -> u32 {
+        self.targets.push(t);
+        (self.targets.len() - 1) as u32
+    }
+
+    fn push_op(&mut self, op: Op) {
+        self.asm.push(op);
+    }
+
+    fn event(&mut self, ev: StackEvent) {
+        self.events.push((self.asm.here(), ev));
+    }
+
+    fn push_reg(&mut self, r: Reg) {
+        self.push_op(Op::Push(r));
+        self.height += 8;
+        self.event(StackEvent::Push(r));
+    }
+
+    fn pop_reg(&mut self, r: Reg) {
+        self.push_op(Op::Pop(r));
+        self.height -= 8;
+        self.event(StackEvent::Pop(r));
+        self.define(r);
+    }
+
+    fn sub_rsp(&mut self, n: u32) {
+        self.push_op(Op::AluRI(AluOp::Sub, Width::W64, Reg::Rsp, n as i32));
+        self.height += n;
+        self.event(StackEvent::SubRsp(n));
+    }
+
+    fn add_rsp(&mut self, n: u32) {
+        self.push_op(Op::AluRI(AluOp::Add, Width::W64, Reg::Rsp, n as i32));
+        self.height -= n;
+        self.event(StackEvent::AddRsp(n));
+    }
+
+    fn define(&mut self, r: Reg) {
+        if !self.defined.contains(&r) {
+            self.defined.push(r);
+        }
+    }
+
+    fn src_reg(&self, rng: &mut StdRng) -> Reg {
+        self.defined[rng.gen_range(0..self.defined.len())]
+    }
+
+    fn dst_reg(&self, rng: &mut StdRng) -> Reg {
+        SCRATCH[rng.gen_range(0..SCRATCH.len())]
+    }
+
+    fn finish(self) -> PartCode {
+        let Emitter { asm, targets, events, anchors, jump_tables, .. } = self;
+        let out = asm.finalize().expect("generator binds all labels");
+        let fixups = out
+            .fixups
+            .iter()
+            .map(|f| PartFixup { pos: f.pos, kind: f.kind, target: targets[f.target as usize] })
+            .collect();
+        PartCode { bytes: out.bytes, fixups, events, anchors, jump_tables }
+    }
+}
+
+/// Lowers one function plan. `self_index` is the function's index in the
+/// program (cold-branch and resume references point back at it).
+pub fn lower(plan: &FuncPlan, self_index: usize, rng: &mut StdRng) -> FuncCode {
+    let mut e = Emitter::new();
+
+    if plan.endbr {
+        e.push_op(Op::Endbr64);
+    }
+
+    // Prologue.
+    let (saves, locals, rbp) = match &plan.frame {
+        FrameKind::Frameless { saves, locals } => (saves.clone(), *locals, false),
+        FrameKind::Rbp { saves, locals } => (saves.clone(), *locals, true),
+    };
+    if rbp {
+        e.push_reg(Reg::Rbp);
+        e.push_op(Op::MovRR(Width::W64, Reg::Rbp, Reg::Rsp));
+        e.event(StackEvent::SetRbp);
+        e.define(Reg::Rbp);
+    }
+    for &r in &saves {
+        e.push_reg(r);
+    }
+    if locals > 0 {
+        e.sub_rsp(locals);
+    }
+
+    // Body.
+    let mut cold_entry_height = 0u32;
+    emit_chunks(&mut e, &plan.chunks, plan, self_index, rng, locals, rbp, &mut cold_entry_height);
+
+    // Epilogue + ending.
+    let unwind = |e: &mut Emitter| {
+        if rbp {
+            if locals > 0 {
+                e.push_op(Op::Leave);
+                e.height = 0;
+                e.event(StackEvent::Leave);
+                let mut popped = saves.clone();
+                popped.reverse();
+                // `leave` restores rsp to the frame base; callee-saved
+                // registers pushed after rbp sit *below* it, so real
+                // compilers restore them before `leave`. We emitted the
+                // pops below for simplicity when locals == 0 only, so
+                // with locals > 0 the generator avoids extra saves.
+                debug_assert!(popped.is_empty() || locals == 0);
+            } else {
+                for &r in saves.iter().rev() {
+                    e.pop_reg(r);
+                }
+                e.pop_reg(Reg::Rbp);
+            }
+        } else {
+            if locals > 0 {
+                e.add_rsp(locals);
+            }
+            for &r in saves.iter().rev() {
+                e.pop_reg(r);
+            }
+        }
+    };
+
+    match &plan.ending {
+        Ending::Ret => {
+            unwind(&mut e);
+            e.push_op(Op::Ret);
+        }
+        Ending::TailCall { target } => {
+            unwind(&mut e);
+            let t = e.target(*target);
+            e.asm.jmp_ext(t);
+        }
+        Ending::NoReturnCall { target } => {
+            let t = e.target(*target);
+            e.asm.call_ext(t);
+            // No epilogue, no ret: the callee never returns.
+        }
+        Ending::ErrorNoReturn { target } => {
+            // error(1, ...): non-returning because the status is nonzero.
+            e.push_op(Op::MovRI(Width::W32, Reg::Rdi, 1));
+            let t = e.target(*target);
+            e.asm.call_ext(t);
+        }
+        Ending::Halt => {
+            e.push_op(Op::Ud2);
+        }
+        Ending::SyscallRet => {
+            e.push_op(Op::MovRI(Width::W32, Reg::Rax, rng.gen_range(0..300)));
+            e.push_op(Op::Syscall);
+            e.push_op(Op::Ret);
+        }
+    }
+
+    let hot_is_rbp = rbp;
+    let hot = e.finish();
+
+    // Cold part.
+    let cold = plan.cold_chunks.as_ref().map(|chunks| {
+        let mut c = Emitter::new();
+        c.height = cold_entry_height;
+        // Real cold blocks read spilled stack state rather than live
+        // registers, so they satisfy the §IV-E register rule — which is
+        // why the paper's calling-convention check over FDE starts flags
+        // only hand-mislabeled entries, never cold parts. The emitter
+        // therefore starts the cold body from the argument-register set
+        // (plus the frame pointer for rbp-framed parents).
+        if hot_is_rbp {
+            c.define(Reg::Rbp);
+        }
+        // Cold bodies must not touch the cold-branch machinery again.
+        let mut unused = 0u32;
+        emit_chunks(&mut c, chunks, plan, self_index, rng, locals, hot_is_rbp, &mut unused);
+        if rng.gen_bool(0.5) {
+            // Resume: jump back to the hot part's resume anchor (anchor 0
+            // is reserved for the resume point by the cold-branch emitter).
+            let t = c.target(TargetRef::Mid { func: self_index, anchor: 0 });
+            c.asm.jmp_ext(t);
+        } else {
+            // Error path that returns directly from the cold part — the
+            // common hot/cold-split shape with the epilogue in the cold
+            // code (and the ret that feeds the §V-A gadget count).
+            if !hot_is_rbp {
+                if c.height > 0 {
+                    let h = c.height;
+                    c.add_rsp(h);
+                }
+            } else {
+                c.push_op(Op::Leave);
+                c.height = 0;
+                c.event(StackEvent::Leave);
+            }
+            c.push_op(Op::Ret);
+        }
+        c.finish()
+    });
+
+    FuncCode { hot, cold, cold_entry_height }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_chunks(
+    e: &mut Emitter,
+    chunks: &[Chunk],
+    plan: &FuncPlan,
+    self_index: usize,
+    rng: &mut StdRng,
+    locals: u32,
+    rbp: bool,
+    cold_entry_height: &mut u32,
+) {
+    for chunk in chunks {
+        emit_chunk(e, chunk, plan, self_index, rng, locals, rbp, cold_entry_height);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_chunk(
+    e: &mut Emitter,
+    chunk: &Chunk,
+    plan: &FuncPlan,
+    self_index: usize,
+    rng: &mut StdRng,
+    locals: u32,
+    rbp: bool,
+    cold_entry_height: &mut u32,
+) {
+    match chunk {
+        Chunk::Arith(n) => {
+            for _ in 0..*n {
+                let d = e.dst_reg(rng);
+                match rng.gen_range(0..5) {
+                    0 => {
+                        let s = e.src_reg(rng);
+                        let op = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or][rng.gen_range(0..4)];
+                        if e.defined.contains(&d) {
+                            e.push_op(Op::AluRR(op, Width::W64, d, s));
+                        } else {
+                            e.push_op(Op::MovRR(Width::W64, d, s));
+                        }
+                    }
+                    1 => e.push_op(Op::MovRI(Width::W32, d, rng.gen_range(0..0x10000))),
+                    2 => {
+                        let s = e.src_reg(rng);
+                        e.push_op(Op::MovRR(Width::W64, d, s));
+                    }
+                    3 => {
+                        if e.defined.contains(&d) {
+                            e.push_op(Op::Shift(
+                                fetch_x64::ShiftOp::Shl,
+                                Width::W64,
+                                d,
+                                rng.gen_range(1..8),
+                            ));
+                        } else {
+                            e.push_op(Op::AluRR(AluOp::Xor, Width::W32, d, d));
+                        }
+                    }
+                    _ => {
+                        let s = e.src_reg(rng);
+                        if e.defined.contains(&d) {
+                            e.push_op(Op::IMul(Width::W64, d, s));
+                        } else {
+                            e.push_op(Op::MovRR(Width::W64, d, s));
+                        }
+                    }
+                }
+                e.define(d);
+            }
+        }
+        Chunk::MemTraffic(n) => {
+            for _ in 0..*n {
+                let slot = if locals >= 16 { (rng.gen_range(0..locals / 8) * 8) as i32 } else { 0 };
+                let mem = if rbp {
+                    Mem::base_disp(Reg::Rbp, -(slot + 8))
+                } else if locals > 0 {
+                    Mem::base_disp(Reg::Rsp, slot)
+                } else {
+                    // Leaf with no locals: no frame traffic possible.
+                    let d = e.dst_reg(rng);
+                    let s = e.src_reg(rng);
+                    e.push_op(Op::MovRR(Width::W64, d, s));
+                    e.define(d);
+                    continue;
+                };
+                if rng.gen_bool(0.5) {
+                    let s = e.src_reg(rng);
+                    e.push_op(Op::MovMR(Width::W64, mem, s));
+                } else {
+                    let d = e.dst_reg(rng);
+                    e.push_op(Op::MovRM(Width::W64, d, mem));
+                    e.define(d);
+                }
+            }
+        }
+        Chunk::Call { target, args } => {
+            for (i, reg) in Reg::ARGS.iter().take(*args as usize).enumerate() {
+                e.push_op(Op::MovRI(Width::W32, *reg, (i as i32 + 1) * 10));
+                e.define(*reg);
+            }
+            let t = e.target(*target);
+            e.asm.call_ext(t);
+            for r in [Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi, Reg::R8, Reg::R9, Reg::R10, Reg::R11] {
+                e.define(r);
+            }
+        }
+        Chunk::CallIndirect { table, slot } => {
+            let t = e.target(*table);
+            e.asm.lea_rip_ext(Reg::R11, t);
+            e.define(Reg::R11);
+            e.push_op(Op::CallInd(Rm::Mem(Mem::base_disp(Reg::R11, *slot as i32 * 8))));
+        }
+        Chunk::CallError { target, status_zero } => {
+            if *status_zero {
+                e.push_op(Op::AluRR(AluOp::Xor, Width::W32, Reg::Rdi, Reg::Rdi));
+            } else {
+                e.push_op(Op::MovRI(Width::W32, Reg::Rdi, 1));
+            }
+            e.define(Reg::Rdi);
+            let t = e.target(*target);
+            e.asm.call_ext(t);
+        }
+        Chunk::CondSkip { inner } => {
+            let s = e.src_reg(rng);
+            e.push_op(Op::AluRI(AluOp::Cmp, Width::W64, s, rng.gen_range(0..64)));
+            let skip = e.asm.new_label();
+            let cc = [Cc::E, Cc::Ne, Cc::L, Cc::G][rng.gen_range(0..4)];
+            e.asm.jcc(cc, skip);
+            // Writes inside the skipped region are not defined on the
+            // skip path; restore the defined set afterwards so later
+            // reads stay convention-clean on every path.
+            let saved_defs = e.defined.clone();
+            emit_chunks(e, inner, plan, self_index, rng, locals, rbp, cold_entry_height);
+            e.defined = saved_defs;
+            e.asm.bind(skip);
+        }
+        Chunk::Loop { inner } => {
+            let counter = Reg::R10;
+            e.push_op(Op::MovRI(Width::W32, counter, rng.gen_range(2..32)));
+            e.define(counter);
+            let top = e.asm.new_label();
+            e.asm.bind(top);
+            emit_chunks(e, inner, plan, self_index, rng, locals, rbp, cold_entry_height);
+            e.push_op(Op::Dec(Width::W64, counter));
+            e.asm.jcc(Cc::Ne, top);
+        }
+        Chunk::JumpTable { cases } => {
+            let cases = (*cases).max(2) as usize;
+            // Classic idiom: bounds check, table load, indexed jump.
+            e.push_op(Op::MovRR(Width::W32, Reg::Rax, Reg::Rdi));
+            e.define(Reg::Rax);
+            e.push_op(Op::AluRI(AluOp::Cmp, Width::W64, Reg::Rax, cases as i32 - 1));
+            let default = e.asm.new_label();
+            e.asm.jcc(Cc::A, default);
+            let jt_index = e.jump_tables.len();
+            let t = e.target(TargetRef::JumpTable(jt_index));
+            // R11 is written only on the non-default path, so it must not
+            // enter the defined set used by later source-register picks.
+            e.asm.lea_rip_ext(Reg::R11, t);
+            e.push_op(Op::Movsxd(
+                Reg::Rax,
+                Rm::Mem(Mem::base_index(Reg::R11, Reg::Rax, 4, 0)),
+            ));
+            e.push_op(Op::AluRR(AluOp::Add, Width::W64, Reg::Rax, Reg::R11));
+            e.push_op(Op::JmpInd(Rm::Reg(Reg::Rax)));
+            // Case bodies.
+            let join = e.asm.new_label();
+            let mut case_offsets = Vec::with_capacity(cases);
+            for i in 0..cases {
+                case_offsets.push(e.asm.here());
+                e.push_op(Op::MovRI(Width::W32, Reg::Rax, i as i32 * 3 + 1));
+                e.asm.jmp(join);
+            }
+            e.jump_tables.push(JumpTableCode { case_offsets });
+            e.asm.bind(default);
+            e.push_op(Op::AluRR(AluOp::Xor, Width::W32, Reg::Rax, Reg::Rax));
+            e.asm.bind(join);
+        }
+        Chunk::ColdBranch => {
+            if plan.cold_chunks.is_some() {
+                *cold_entry_height = e.height;
+                let s = e.src_reg(rng);
+                e.push_op(Op::TestRR(Width::W64, s, s));
+                let t = e.target(TargetRef::Cold(self_index));
+                e.asm.jcc_ext(Cc::E, t);
+                // Anchor 0: the resume point the cold part jumps back to.
+                let here = e.asm.here();
+                e.anchors.push(here);
+                // Code after the resume point is reachable from the cold
+                // part, whose register state is just the argument set —
+                // restrict the defined pool so every path stays
+                // convention-clean (mirrors real code resuming on
+                // spilled state).
+                e.defined = Reg::ARGS.to_vec();
+                if rbp {
+                    e.define(Reg::Rbp);
+                }
+            }
+        }
+        Chunk::MidAnchor => {
+            let here = e.asm.here();
+            e.anchors.push(here);
+        }
+        Chunk::TakeAddress { target } => {
+            let t = e.target(*target);
+            e.asm.lea_rip_ext(Reg::Rax, t);
+            e.define(Reg::Rax);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FuncPlan;
+    use fetch_x64::InstIter;
+    use rand::SeedableRng;
+
+    fn decode_ok(bytes: &[u8]) -> Vec<fetch_x64::Inst> {
+        InstIter::new(bytes, 0x1000)
+            .collect::<Result<Vec<_>, _>>()
+            .expect("generated code decodes")
+    }
+
+    #[test]
+    fn stub_function_lowers_to_decodable_code() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let code = lower(&FuncPlan::stub("f"), 0, &mut rng);
+        let insts = decode_ok(&code.hot.bytes);
+        assert!(matches!(insts.last().unwrap().op, Op::Ret));
+        assert!(code.cold.is_none());
+    }
+
+    #[test]
+    fn frame_function_balances_stack() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut plan = FuncPlan::stub("g");
+        plan.frame = FrameKind::Frameless { saves: vec![Reg::Rbx, Reg::R12], locals: 0x28 };
+        plan.chunks = vec![Chunk::Arith(4), Chunk::MemTraffic(3)];
+        let code = lower(&plan, 0, &mut rng);
+        let insts = decode_ok(&code.hot.bytes);
+        let mut height = 0i64;
+        for i in &insts {
+            if let Some(d) = i.stack_delta() {
+                height -= d; // delta is on rsp; height grows as rsp drops
+            }
+        }
+        // After the final ret the function must be balanced.
+        assert_eq!(height, 0, "pushes/pops/sub/add balance");
+        // Events recorded: 3 pushes... no — 2 pushes + sub + add + 2 pops.
+        assert_eq!(code.hot.events.len(), 6);
+    }
+
+    #[test]
+    fn cold_branch_emits_external_jcc_and_anchor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut plan = FuncPlan::stub("h");
+        plan.frame = FrameKind::Frameless { saves: vec![Reg::Rbx], locals: 16 };
+        plan.chunks = vec![Chunk::Arith(2), Chunk::ColdBranch, Chunk::Arith(2)];
+        plan.cold_chunks = Some(vec![Chunk::Arith(3)]);
+        let code = lower(&plan, 7, &mut rng);
+        assert_eq!(code.cold_entry_height, 8 + 16);
+        assert_eq!(code.hot.anchors.len(), 1);
+        assert!(code
+            .hot
+            .fixups
+            .iter()
+            .any(|f| f.target == TargetRef::Cold(7)));
+        let cold = code.cold.unwrap();
+        // The cold part either jumps back to the resume anchor or carries
+        // its own epilogue + ret.
+        let jumps_back = cold
+            .fixups
+            .iter()
+            .any(|f| f.target == TargetRef::Mid { func: 7, anchor: 0 });
+        let ends_in_ret = decode_ok(&cold.bytes)
+            .last()
+            .map(|i| matches!(i.op, Op::Ret))
+            .unwrap_or(false);
+        assert!(jumps_back || ends_in_ret);
+    }
+
+    #[test]
+    fn jump_table_records_cases() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut plan = FuncPlan::stub("jt");
+        plan.chunks = vec![Chunk::JumpTable { cases: 5 }];
+        let code = lower(&plan, 0, &mut rng);
+        assert_eq!(code.hot.jump_tables.len(), 1);
+        assert_eq!(code.hot.jump_tables[0].case_offsets.len(), 5);
+        assert!(code
+            .hot
+            .fixups
+            .iter()
+            .any(|f| f.target == TargetRef::JumpTable(0)));
+        // The indirect jump is present.
+        let insts = decode_ok(&code.hot.bytes);
+        assert!(insts.iter().any(|i| matches!(i.op, Op::JmpInd(_))));
+    }
+
+    #[test]
+    fn tail_call_ends_with_external_jmp() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut plan = FuncPlan::stub("t");
+        plan.frame = FrameKind::Frameless { saves: vec![], locals: 8 };
+        plan.ending = Ending::TailCall { target: TargetRef::Func(3) };
+        let code = lower(&plan, 0, &mut rng);
+        let insts = decode_ok(&code.hot.bytes);
+        // Last instruction is a jmp (rel32, zero-patched → self-relative).
+        assert!(matches!(insts.last().unwrap().op, Op::Jmp { .. }));
+        // And the stack is balanced before it (add rsp, 8 emitted).
+        let subs: i64 = insts.iter().filter_map(|i| i.stack_delta()).sum();
+        assert_eq!(subs, 0);
+    }
+
+    #[test]
+    fn calling_convention_holds_at_entry() {
+        // No instruction may read a non-argument register before writing
+        // it — the invariant the §IV-E validator checks at true starts.
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut plan = FuncPlan::stub("cc");
+            plan.frame = FrameKind::Frameless { saves: vec![Reg::R12], locals: 32 };
+            plan.chunks = vec![
+                Chunk::Arith(6),
+                Chunk::CondSkip { inner: vec![Chunk::Arith(2)] },
+                Chunk::MemTraffic(4),
+                Chunk::Loop { inner: vec![Chunk::Arith(1)] },
+            ];
+            let code = lower(&plan, 0, &mut rng);
+            let insts = decode_ok(&code.hot.bytes);
+            let mut defined: Vec<Reg> = Reg::ARGS.to_vec();
+            defined.push(Reg::Rsp);
+            for inst in &insts {
+                for r in inst.regs_read() {
+                    assert!(
+                        defined.contains(&r),
+                        "seed {seed}: {inst} reads uninitialized {r}"
+                    );
+                }
+                for r in inst.regs_written() {
+                    if !defined.contains(&r) {
+                        defined.push(r);
+                    }
+                }
+            }
+        }
+    }
+}

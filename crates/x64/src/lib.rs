@@ -1,0 +1,51 @@
+//! # fetch-x64
+//!
+//! x86-64 instruction decoding, encoding, and control-/stack-flow semantics
+//! for the FETCH reproduction ("Towards Optimal Use of Exception Handling
+//! Information for Function Detection", DSN 2021).
+//!
+//! The crate provides three things:
+//!
+//! * [`decode`] / [`InstIter`] — a decoder for the System-V x86-64 subset
+//!   the paper's analyses reason about (prologue/epilogue stack traffic,
+//!   direct and indirect control flow, jump-table idioms, padding). Invalid
+//!   encodings are reported as [`DecodeError`]s because "invalid opcode" is
+//!   one of the validation signals used by function-pointer scanning (§IV-E
+//!   of the paper).
+//! * [`encode`] / [`Asm`] — an assembler with labels and external fixups,
+//!   used by the synthetic compiler to emit corpus binaries.
+//! * [`Inst`] semantics — stack deltas ([`Inst::stack_delta`]), control
+//!   flow ([`Inst::flow`]), and register read/write/save sets, the inputs
+//!   to stack-height analysis, calling-convention validation, and recursive
+//!   disassembly.
+//!
+//! # Examples
+//!
+//! Decode the first two instructions of Figure 4a of the paper:
+//!
+//! ```
+//! use fetch_x64::{decode, Op, Reg, Flow};
+//!
+//! // b0: push rbp
+//! let push = decode(&[0x55], 0xb0)?;
+//! assert_eq!(push.op, Op::Push(Reg::Rbp));
+//! assert_eq!(push.stack_delta(), Some(-8));
+//!
+//! // b1: lea rax, [rip+0x36d8b8]
+//! let lea = decode(&[0x48, 0x8d, 0x05, 0xb8, 0xd8, 0x36, 0x00], 0xb1)?;
+//! assert_eq!(lea.flow(), Flow::Fallthrough);
+//! # Ok::<(), fetch_x64::DecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decode;
+mod encode;
+mod inst;
+mod reg;
+
+pub use decode::{decode, DecodeError, InstIter, MAX_INST_LEN};
+pub use encode::{encode, nop_bytes, Asm, AsmOut, EncodeError, ExtFixup, FixupKind, Label};
+pub use inst::{AluOp, Cc, ExtLoad, Flow, Inst, Mem, Op, Rm, ShiftOp, Width};
+pub use reg::Reg;

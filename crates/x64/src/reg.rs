@@ -1,0 +1,235 @@
+//! General-purpose 64-bit registers of the System-V x86-64 ABI.
+
+use std::fmt;
+
+/// A 64-bit general-purpose register.
+///
+/// The discriminants match the hardware register numbers used in ModRM/SIB
+/// encodings and in DWARF register numbering for the low eight registers
+/// (DWARF swaps `rsp`/`rbp` numbering relative to the hardware for some
+/// registers; see [`Reg::dwarf_number`]).
+///
+/// # Examples
+///
+/// ```
+/// use fetch_x64::Reg;
+/// assert_eq!(Reg::Rsp.number(), 4);
+/// assert_eq!(Reg::from_number(4), Some(Reg::Rsp));
+/// assert!(Reg::Rdi.is_arg());
+/// assert!(Reg::Rbx.is_callee_saved());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // register names are self-describing
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// All sixteen general-purpose registers, in hardware-number order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Integer argument registers in System-V call order:
+    /// `rdi, rsi, rdx, rcx, r8, r9`.
+    pub const ARGS: [Reg; 6] = [Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::Rcx, Reg::R8, Reg::R9];
+
+    /// Callee-saved registers under the System-V ABI.
+    pub const CALLEE_SAVED: [Reg; 6] = [Reg::Rbx, Reg::Rbp, Reg::R12, Reg::R13, Reg::R14, Reg::R15];
+
+    /// The hardware encoding number (0–15).
+    #[inline]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// The low three bits used in ModRM/SIB fields; the fourth bit goes to REX.
+    #[inline]
+    pub fn low3(self) -> u8 {
+        self.number() & 0b111
+    }
+
+    /// Whether encoding this register requires a REX extension bit.
+    #[inline]
+    pub fn needs_rex(self) -> bool {
+        self.number() >= 8
+    }
+
+    /// Looks a register up by hardware number.
+    ///
+    /// Returns `None` when `n > 15`.
+    #[inline]
+    pub fn from_number(n: u8) -> Option<Reg> {
+        Reg::ALL.get(n as usize).copied()
+    }
+
+    /// The DWARF register number, as used by `DW_CFA_offset` and friends.
+    ///
+    /// DWARF numbers `rsp` as 7 and `rbp` as 6 (it also swaps
+    /// `rbx`/`rcx`/`rdx`/`rsi`/`rdi` relative to hardware numbering).
+    pub fn dwarf_number(self) -> u8 {
+        match self {
+            Reg::Rax => 0,
+            Reg::Rdx => 1,
+            Reg::Rcx => 2,
+            Reg::Rbx => 3,
+            Reg::Rsi => 4,
+            Reg::Rdi => 5,
+            Reg::Rbp => 6,
+            Reg::Rsp => 7,
+            other => other.number(), // r8..r15 match
+        }
+    }
+
+    /// Looks a register up by DWARF number.
+    pub fn from_dwarf_number(n: u8) -> Option<Reg> {
+        match n {
+            0 => Some(Reg::Rax),
+            1 => Some(Reg::Rdx),
+            2 => Some(Reg::Rcx),
+            3 => Some(Reg::Rbx),
+            4 => Some(Reg::Rsi),
+            5 => Some(Reg::Rdi),
+            6 => Some(Reg::Rbp),
+            7 => Some(Reg::Rsp),
+            8..=15 => Reg::from_number(n),
+            _ => None,
+        }
+    }
+
+    /// Whether this register carries an integer argument in the System-V
+    /// calling convention (`rdi, rsi, rdx, rcx, r8, r9`).
+    ///
+    /// The calling-convention validation rule of the paper (§IV-E) requires
+    /// every *non*-argument register to be initialized before use at a
+    /// candidate function start.
+    #[inline]
+    pub fn is_arg(self) -> bool {
+        Reg::ARGS.contains(&self)
+    }
+
+    /// Whether the register is callee-saved under System-V.
+    #[inline]
+    pub fn is_callee_saved(self) -> bool {
+        Reg::CALLEE_SAVED.contains(&self)
+    }
+
+    /// The conventional lower-case name, e.g. `"rax"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+
+    /// The name of the 32-bit alias, e.g. `"eax"` or `"r10d"`.
+    pub fn name32(self) -> &'static str {
+        match self {
+            Reg::Rax => "eax",
+            Reg::Rcx => "ecx",
+            Reg::Rdx => "edx",
+            Reg::Rbx => "ebx",
+            Reg::Rsp => "esp",
+            Reg::Rbp => "ebp",
+            Reg::Rsi => "esi",
+            Reg::Rdi => "edi",
+            Reg::R8 => "r8d",
+            Reg::R9 => "r9d",
+            Reg::R10 => "r10d",
+            Reg::R11 => "r11d",
+            Reg::R12 => "r12d",
+            Reg::R13 => "r13d",
+            Reg::R14 => "r14d",
+            Reg::R15 => "r15d",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_number(r.number()), Some(r));
+            assert_eq!(Reg::from_dwarf_number(r.dwarf_number()), Some(r));
+        }
+        assert_eq!(Reg::from_number(16), None);
+        assert_eq!(Reg::from_dwarf_number(16), None);
+    }
+
+    #[test]
+    fn dwarf_swaps_match_the_standard() {
+        // Figure 4b of the paper: r7 is rsp, r6 is rbp, r3 is rbx.
+        assert_eq!(Reg::from_dwarf_number(7), Some(Reg::Rsp));
+        assert_eq!(Reg::from_dwarf_number(6), Some(Reg::Rbp));
+        assert_eq!(Reg::from_dwarf_number(3), Some(Reg::Rbx));
+    }
+
+    #[test]
+    fn arg_and_callee_saved_are_disjoint() {
+        for r in Reg::ARGS {
+            assert!(!r.is_callee_saved(), "{r} cannot be both");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Reg::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests: every encodable operation decodes back to itself, and
+//! decoding is length-consistent.
+
+use fetch_x64::{
+    decode, encode, AluOp, Cc, ExtLoad, Mem, Op, Reg, Rm, ShiftOp, Width,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|n| Reg::from_number(n).unwrap())
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W32), Just(Width::W64)]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Sub),
+        Just(AluOp::Xor),
+        Just(AluOp::Cmp),
+    ]
+}
+
+fn arb_shift() -> impl Strategy<Value = ShiftOp> {
+    prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)]
+}
+
+fn arb_cc() -> impl Strategy<Value = Cc> {
+    (0u8..16).prop_map(|c| Cc::from_code(c).unwrap())
+}
+
+fn arb_mem() -> impl Strategy<Value = Mem> {
+    let base = prop_oneof![
+        // [base + disp]
+        (arb_reg(), any::<i32>()).prop_map(|(b, d)| Mem::base_disp(b, d)),
+        // [base + index*scale + disp]
+        (arb_reg(), arb_reg(), 0u8..4, any::<i8>()).prop_filter_map(
+            "index cannot be rsp",
+            |(b, i, s, d)| {
+                if i == Reg::Rsp {
+                    None
+                } else {
+                    Some(Mem::base_index(b, i, 1 << s, d as i32))
+                }
+            }
+        ),
+        // [rip + disp]
+        any::<i32>().prop_map(Mem::rip),
+        // [disp32]
+        any::<i32>().prop_map(Mem::abs),
+    ];
+    base
+}
+
+fn arb_rm() -> impl Strategy<Value = Rm> {
+    prop_oneof![arb_reg().prop_map(Rm::Reg), arb_mem().prop_map(Rm::Mem)]
+}
+
+fn arb_ext() -> impl Strategy<Value = ExtLoad> {
+    (any::<bool>(), prop_oneof![Just(8u8), Just(16u8)])
+        .prop_map(|(sign, src_bits)| ExtLoad { sign, src_bits })
+}
+
+/// All non-branch operations (branch targets need address-aware ranges and
+/// are exercised separately).
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_reg().prop_map(Op::Push),
+        arb_reg().prop_map(Op::Pop),
+        (arb_width(), arb_reg(), arb_reg()).prop_map(|(w, d, s)| Op::MovRR(w, d, s)),
+        (arb_width(), arb_reg(), any::<i32>()).prop_map(|(w, d, i)| Op::MovRI(w, d, i)),
+        (arb_reg(), any::<u64>()).prop_map(|(d, i)| Op::MovAbs(d, i)),
+        (arb_width(), arb_reg(), arb_mem()).prop_map(|(w, d, m)| Op::MovRM(w, d, m)),
+        (arb_width(), arb_mem(), arb_reg()).prop_map(|(w, m, s)| Op::MovMR(w, m, s)),
+        (arb_width(), arb_mem(), any::<i32>()).prop_map(|(w, m, i)| Op::MovMI(w, m, i)),
+        (arb_reg(), arb_mem()).prop_map(|(d, m)| Op::Lea(d, m)),
+        (arb_alu(), arb_width(), arb_reg(), arb_reg()).prop_map(|(o, w, d, s)| Op::AluRR(o, w, d, s)),
+        (arb_alu(), arb_width(), arb_reg(), any::<i32>()).prop_map(|(o, w, d, i)| Op::AluRI(o, w, d, i)),
+        (arb_alu(), arb_width(), arb_reg(), arb_mem()).prop_map(|(o, w, d, m)| Op::AluRM(o, w, d, m)),
+        (arb_width(), arb_reg(), arb_reg()).prop_map(|(w, a, b)| Op::TestRR(w, a, b)),
+        (arb_width(), arb_reg(), arb_reg()).prop_map(|(w, d, s)| Op::IMul(w, d, s)),
+        (arb_shift(), arb_width(), arb_reg(), any::<u8>()).prop_map(|(o, w, r, i)| Op::Shift(o, w, r, i)),
+        (arb_reg(), arb_rm()).prop_map(|(d, rm)| Op::Movsxd(d, rm)),
+        (arb_ext(), arb_reg(), arb_rm()).prop_map(|(e, d, rm)| Op::MovExt(e, d, rm)),
+        (arb_width(), arb_reg()).prop_map(|(w, r)| Op::Inc(w, r)),
+        (arb_width(), arb_reg()).prop_map(|(w, r)| Op::Dec(w, r)),
+        arb_rm().prop_map(Op::CallInd),
+        arb_rm().prop_map(Op::JmpInd),
+        Just(Op::Ret),
+        Just(Op::Leave),
+        (1u8..=9).prop_map(Op::Nop),
+        Just(Op::Int3),
+        Just(Op::Ud2),
+        Just(Op::Hlt),
+        Just(Op::Syscall),
+        Just(Op::Endbr64),
+        Just(Op::Cdqe),
+        Just(Op::Cqo),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_roundtrip(op in arb_op(), addr in 0u64..0x7fff_f000) {
+        let mut bytes = Vec::new();
+        encode(&op, addr, &mut bytes).expect("subset ops always encode");
+        let inst = decode(&bytes, addr).expect("encoder output must decode");
+        prop_assert_eq!(inst.op, op);
+        prop_assert_eq!(inst.len as usize, bytes.len());
+        prop_assert!(bytes.len() <= fetch_x64::MAX_INST_LEN);
+    }
+
+    #[test]
+    fn branch_roundtrip(
+        addr in 0x1000u64..0x7000_0000,
+        delta in -0x1000_0000i64..0x1000_0000,
+        cc in arb_cc(),
+        which in 0u8..3,
+    ) {
+        let target = addr.wrapping_add(delta as u64);
+        let op = match which {
+            0 => Op::Call(target),
+            1 => Op::Jmp { target, short: false },
+            _ => Op::Jcc { cc, target, short: false },
+        };
+        let mut bytes = Vec::new();
+        encode(&op, addr, &mut bytes).expect("rel32 branch in range");
+        let inst = decode(&bytes, addr).expect("decodes");
+        prop_assert_eq!(inst.op, op);
+    }
+
+    #[test]
+    fn short_branch_roundtrip(addr in 0x1000u64..0x7000_0000, delta in -126i64..126, cond: bool, cc in arb_cc()) {
+        // rel8 is relative to the end of a 2-byte instruction.
+        let target = (addr + 2).wrapping_add(delta as u64);
+        let op = if cond {
+            Op::Jcc { cc, target, short: true }
+        } else {
+            Op::Jmp { target, short: true }
+        };
+        let mut bytes = Vec::new();
+        encode(&op, addr, &mut bytes).expect("rel8 branch in range");
+        prop_assert_eq!(bytes.len(), 2);
+        let inst = decode(&bytes, addr).expect("decodes");
+        prop_assert_eq!(inst.op, op);
+    }
+
+    #[test]
+    fn decode_never_panics_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..32), addr: u64) {
+        // Decoding arbitrary data must yield Ok or Err, never panic, and
+        // the reported length must stay within bounds.
+        if let Ok(inst) = decode(&bytes, addr) {
+            prop_assert!(inst.len as usize <= bytes.len().min(fetch_x64::MAX_INST_LEN));
+            prop_assert!(inst.len > 0);
+        }
+    }
+
+    #[test]
+    fn decoded_semantics_never_panic(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+        if let Ok(inst) = decode(&bytes, 0x40_0000) {
+            let _ = inst.flow();
+            let _ = inst.stack_delta();
+            let _ = inst.regs_read();
+            let _ = inst.regs_written();
+            let _ = inst.to_string();
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! A guided tour of the exception-handling machinery of §III: parse a
+//! real `.eh_frame` section, print an FDE the way the paper's Figure 4b
+//! does, evaluate its stack heights, and unwind a simulated stack
+//! (tasks T1–T3).
+//!
+//! ```text
+//! cargo run --example eh_walkthrough
+//! ```
+
+use fetch_ehframe::{
+    backtrace, stack_heights, CfaTable, Machine, Memory,
+};
+use fetch_synth::{synthesize, SynthConfig};
+use fetch_x64::Reg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let case = synthesize(&SynthConfig::small(77));
+    let eh = case.binary.eh_frame()?;
+
+    // Pick a function with a few CFI instructions, like Figure 4.
+    let (cie, fde) = eh
+        .fdes_with_cie()
+        .filter(|(_, f)| f.cfis.len() >= 4)
+        .max_by_key(|(_, f)| f.cfis.len())
+        .expect("corpus has rich FDEs");
+
+    println!("=== FDE (compare with Figure 4b of the paper) ===");
+    println!("PC Begin: {:#x}", fde.pc_begin);
+    println!("PC Range: {}", fde.pc_range);
+    println!("CFIs:");
+    println!("  {}", fetch_ehframe::CfiInst::DefCfa { reg: Reg::Rsp, offset: 8 });
+    for cfi in &fde.cfis {
+        println!("  {cfi}");
+    }
+
+    // The evaluated CFA table: one row per region.
+    println!("\n=== evaluated unwind table ===");
+    let table = CfaTable::evaluate(cie, fde)?;
+    for row in &table.rows {
+        let cfa = row
+            .cfa
+            .map(|r| format!("{}+{}", r.reg, r.offset))
+            .unwrap_or_else(|| "<expression>".into());
+        let saved: Vec<String> =
+            row.saved.iter().map(|(r, off)| format!("{r} at cfa{off}")).collect();
+        println!("  from {:#x}: CFA = {cfa}  saved: [{}]", row.addr, saved.join(", "));
+    }
+
+    // Stack heights — the data Algorithm 1 trusts (§V-B).
+    println!("\n=== stack heights ===");
+    match stack_heights(cie, fde)? {
+        Some(h) => {
+            for (addr, height) in &h.entries {
+                println!("  from {addr:#x}: height {height}");
+            }
+        }
+        None => println!("  (incomplete: frame-pointer CFA — Algorithm 1 would skip this one)"),
+    }
+
+    // T1–T3: unwind a simulated call (Figure 2's workflow).
+    println!("\n=== unwinding a simulated frame (T1-T3) ===");
+    let pc = fde.pc_begin; // entry: height 0, return address on top
+    let cfa: u64 = 0x7fff_ff00;
+    let mut mem = Memory::new();
+    mem.write(cfa - 8, 0x40_1234); // caller's return address
+    let mut machine = Machine::at(pc);
+    machine.set_reg(Reg::Rsp, cfa - 8);
+    let chain = backtrace(&eh, &machine, &mem, 4);
+    println!("  call chain from pc {:#x}: {:x?}", pc, chain);
+    println!("  (the chain ends where no FDE covers the pc — the unwinder would call terminate)");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Run all nine detectors (Table III's contestants) on one binary and
+//! print the per-tool scoreboard.
+//!
+//! ```text
+//! cargo run --example tool_shootout
+//! ```
+
+use fetch_metrics::{evaluate, TextTable};
+use fetch_synth::{synthesize, SynthConfig};
+use fetch_tools::{run_tool, Tool};
+
+fn main() {
+    let mut cfg = SynthConfig::small(1337);
+    cfg.n_funcs = 150;
+    cfg.rates.split_cold = 0.08;
+    cfg.rates.data_in_text = 0.10;
+    cfg.rates.asm_funcs = 12;
+    cfg.rates.bad_thunks = 2;
+    let case = synthesize(&cfg);
+    println!("binary: {} ({} true functions)\n", case.binary, case.truth.len());
+
+    let mut table =
+        TextTable::new(["Tool", "Detected", "FP", "FN", "Precision %", "Recall %"]);
+    for tool in Tool::ALL {
+        match run_tool(tool, &case.binary) {
+            Some(result) => {
+                let e = evaluate(&result.start_set(), &case);
+                table.row([
+                    tool.name().to_string(),
+                    result.len().to_string(),
+                    e.false_positives.to_string(),
+                    e.false_negatives.to_string(),
+                    format!("{:.2}", 100.0 * e.precision()),
+                    format!("{:.2}", 100.0 * e.recall()),
+                ]);
+            }
+            None => {
+                table.row([tool.name().to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "failed to load".into()]);
+            }
+        }
+    }
+    println!("{table}");
+    println!(
+        "The call-frame tools (GHIDRA, ANGR, FETCH) dominate recall; only\n\
+         FETCH combines that coverage with near-perfect precision — the\n\
+         paper's Table III finding."
+    );
+}
