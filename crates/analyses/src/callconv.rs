@@ -58,8 +58,17 @@ fn bit(r: Reg) -> u64 {
     1u64 << r.number()
 }
 
-const CALLER_SAVED: [Reg; 9] =
-    [Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi, Reg::R8, Reg::R9, Reg::R10, Reg::R11];
+const CALLER_SAVED: [Reg; 9] = [
+    Reg::Rax,
+    Reg::Rcx,
+    Reg::Rdx,
+    Reg::Rsi,
+    Reg::Rdi,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R11,
+];
 
 /// Validates the calling convention at `start`, exploring up to
 /// `max_insts` instructions across paths.
@@ -79,6 +88,34 @@ pub fn validate_calling_convention_ext(
     max_insts: u32,
     stop_calls: &BTreeSet<u64>,
 ) -> CallConvVerdict {
+    validate_with(bin, start, max_insts, stop_calls, |_| None)
+}
+
+/// [`validate_calling_convention_ext`] reusing instructions already
+/// decoded by recursive disassembly: addresses covered by `known` are
+/// looked up in O(1) instead of re-decoded, which removes the dominant
+/// cost of validating FDE starts (their bodies are always decoded by the
+/// time repair runs). Decoding is deterministic over immutable text, so
+/// the verdict is identical to the uncached variant.
+pub fn validate_calling_convention_cached(
+    bin: &Binary,
+    start: u64,
+    max_insts: u32,
+    stop_calls: &BTreeSet<u64>,
+    known: &fetch_disasm::Disassembly,
+) -> CallConvVerdict {
+    validate_with(bin, start, max_insts, stop_calls, |addr| {
+        known.at(addr).copied()
+    })
+}
+
+fn validate_with(
+    bin: &Binary,
+    start: u64,
+    max_insts: u32,
+    stop_calls: &BTreeSet<u64>,
+    lookup: impl Fn(u64) -> Option<fetch_x64::Inst>,
+) -> CallConvVerdict {
     let text = bin.text();
     if !text.contains(start) {
         return CallConvVerdict::Undecodable { at: start };
@@ -89,7 +126,11 @@ pub fn validate_calling_convention_ext(
     }
     initial |= bit(Reg::Rsp);
 
-    let mut work = vec![PathState { addr: start, defined: initial, steps: 0 }];
+    let mut work = vec![PathState {
+        addr: start,
+        defined: initial,
+        steps: 0,
+    }];
     let mut visited: BTreeSet<(u64, u64)> = BTreeSet::new();
     let mut budget = max_insts;
     let mut first = true;
@@ -102,9 +143,12 @@ pub fn validate_calling_convention_ext(
             if !text.contains(st.addr) || !visited.insert((st.addr, st.defined)) {
                 break;
             }
-            let inst = match decode(text.slice_from(st.addr).expect("in range"), st.addr) {
-                Ok(i) => i,
-                Err(_) => return CallConvVerdict::Undecodable { at: st.addr },
+            let inst = match lookup(st.addr) {
+                Some(i) => i,
+                None => match decode(text.slice_from(st.addr).expect("in range"), st.addr) {
+                    Ok(i) => i,
+                    Err(_) => return CallConvVerdict::Undecodable { at: st.addr },
+                },
             };
             if first {
                 if inst.is_padding() {
@@ -120,7 +164,10 @@ pub fn validate_calling_convention_ext(
                     continue;
                 }
                 if st.defined & bit(r) == 0 {
-                    return CallConvVerdict::ReadBeforeWrite { at: st.addr, reg: r };
+                    return CallConvVerdict::ReadBeforeWrite {
+                        at: st.addr,
+                        reg: r,
+                    };
                 }
             }
             for r in inst.regs_written() {
@@ -141,7 +188,11 @@ pub fn validate_calling_convention_ext(
                     st.addr = t;
                 }
                 Flow::CondJump(t) => {
-                    work.push(PathState { addr: t, defined: st.defined, steps: st.steps });
+                    work.push(PathState {
+                        addr: t,
+                        defined: st.defined,
+                        steps: st.steps,
+                    });
                     st.addr = inst.end();
                 }
                 // Indirect jumps / returns / halts end the path benignly.
@@ -191,10 +242,16 @@ mod tests {
     fn mid_function_read_is_invalid() {
         // Reads rbx without initializing it: not a plausible start.
         use fetch_x64::AluOp;
-        let b = bin_of(&[Op::AluRR(AluOp::Add, Width::W64, Reg::Rax, Reg::Rbx), Op::Ret]);
+        let b = bin_of(&[
+            Op::AluRR(AluOp::Add, Width::W64, Reg::Rax, Reg::Rbx),
+            Op::Ret,
+        ]);
         assert_eq!(
             validate_calling_convention(&b, 0x40_1000, 64),
-            CallConvVerdict::ReadBeforeWrite { at: 0x40_1000, reg: Reg::Rax }
+            CallConvVerdict::ReadBeforeWrite {
+                at: 0x40_1000,
+                reg: Reg::Rax
+            }
         );
     }
 

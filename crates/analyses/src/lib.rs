@@ -28,6 +28,9 @@ mod callconv;
 mod rop;
 mod stack_height;
 
-pub use callconv::{validate_calling_convention, validate_calling_convention_ext, CallConvVerdict};
+pub use callconv::{
+    validate_calling_convention, validate_calling_convention_cached,
+    validate_calling_convention_ext, CallConvVerdict,
+};
 pub use rop::{gadgets_at_starts, scan_gadgets, Gadget};
 pub use stack_height::{model_stack_heights, modeled_height_at, HeightStyle, HeightsView};

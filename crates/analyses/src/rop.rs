@@ -43,7 +43,9 @@ pub fn scan_gadgets(bin: &Binary, start: u64, end: u64, max_insts: usize) -> Vec
     let hi = end.min(text.end());
     let mut out = Vec::new();
     for head in lo..hi {
-        let Some(bytes) = text.slice_from(head) else { continue };
+        let Some(bytes) = text.slice_from(head) else {
+            continue;
+        };
         let mut insts = Vec::new();
         let mut off = 0usize;
         let mut addr = head;

@@ -87,7 +87,9 @@ pub fn model_stack_heights(
         }
         state.insert(addr, joined);
 
-        let Some(inst) = disasm.at(addr) else { continue };
+        let Some(inst) = disasm.at(addr) else {
+            continue;
+        };
         let mut out = joined;
         if let Some(delta) = inst.stack_delta() {
             if let H::Known(h) = out {
@@ -105,7 +107,11 @@ pub fn model_stack_heights(
             Flow::Fallthrough => work.push((inst.end(), out)),
             Flow::Call(_) => work.push((inst.end(), out)),
             Flow::IndirectCall => {
-                let next = if style == HeightStyle::AngrLike { H::Top } else { out };
+                let next = if style == HeightStyle::AngrLike {
+                    H::Top
+                } else {
+                    out
+                };
                 work.push((inst.end(), next));
             }
             Flow::Jump(t) => {
@@ -156,7 +162,11 @@ pub fn model_stack_heights(
             // seeds its analysis with height 0 at the entry.
             Some(v) if addr == body.start => Some(v),
             Some(v) => {
-                let wrong = if is_jump_site { wrong_jump_pm } else { wrong_pm };
+                let wrong = if is_jump_site {
+                    wrong_jump_pm
+                } else {
+                    wrong_pm
+                };
                 if drop_roll < drop_pm {
                     None
                 } else if wrong_roll < wrong {
@@ -182,7 +192,10 @@ pub fn modeled_height_at(
     style: HeightStyle,
     addr: u64,
 ) -> Option<i64> {
-    model_stack_heights(body, disasm, style).get(&addr).copied().flatten()
+    model_stack_heights(body, disasm, style)
+        .get(&addr)
+        .copied()
+        .flatten()
 }
 
 impl std::ops::Deref for HeightsView {
@@ -208,8 +221,13 @@ mod tests {
         let mut cfg = SynthConfig::small(23);
         cfg.n_funcs = 60;
         let case = synthesize(&cfg);
-        let seeds: BTreeSet<u64> =
-            case.binary.eh_frame().unwrap().pc_begins().into_iter().collect();
+        let seeds: BTreeSet<u64> = case
+            .binary
+            .eh_frame()
+            .unwrap()
+            .pc_begins()
+            .into_iter()
+            .collect();
         let r = recursive_disassemble(&case.binary, &seeds, &RecOptions::default());
         (case, r)
     }
@@ -247,7 +265,9 @@ mod tests {
             let body = body_of(fde.pc_begin, &r.disasm, &r.functions, &r.noreturn);
             let hs = model_stack_heights(&body, &r.disasm, HeightStyle::DyninstLike);
             for (&addr, v) in &hs {
-                let Some(base) = baseline.height_at(addr) else { continue };
+                let Some(base) = baseline.height_at(addr) else {
+                    continue;
+                };
                 if let Some(h) = v {
                     total += 1;
                     if *h == base {

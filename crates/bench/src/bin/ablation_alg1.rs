@@ -18,14 +18,23 @@ fn main() {
     let cases = dataset2(&opts);
 
     let variants: Vec<(&str, CallFrameRepair)> = vec![
-        ("paper (CFI heights + cc + refs)", CallFrameRepair::default()),
+        (
+            "paper (CFI heights + cc + refs)",
+            CallFrameRepair::default(),
+        ),
         (
             "no calling-convention check",
-            CallFrameRepair { skip_callconv: true, ..CallFrameRepair::default() },
+            CallFrameRepair {
+                skip_callconv: true,
+                ..CallFrameRepair::default()
+            },
         ),
         (
             "no reference check",
-            CallFrameRepair { skip_ref_check: true, ..CallFrameRepair::default() },
+            CallFrameRepair {
+                skip_ref_check: true,
+                ..CallFrameRepair::default()
+            },
         ),
         (
             "static heights (angr-like)",

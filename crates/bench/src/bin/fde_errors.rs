@@ -47,7 +47,11 @@ fn main() {
     let affected = rows.iter().filter(|r| r.affected).count();
     let sym_fps: usize = rows.iter().map(|r| r.symbol_fps).sum();
 
-    compare_line("FDE-introduced false starts", &paper::FDE_FPS.to_string(), &fps.to_string());
+    compare_line(
+        "FDE-introduced false starts",
+        &paper::FDE_FPS.to_string(),
+        &fps.to_string(),
+    );
     compare_line(
         "binaries affected",
         &format!("{} / 1,352", paper::FDE_FP_BINARIES),
@@ -63,5 +67,9 @@ fn main() {
         &paper::FDE_FPS_HANDWRITTEN.to_string(),
         &hw.to_string(),
     );
-    compare_line("symbol-introduced false starts (same cause)", "34,769", &sym_fps.to_string());
+    compare_line(
+        "symbol-introduced false starts (same cause)",
+        "34,769",
+        &sym_fps.to_string(),
+    );
 }

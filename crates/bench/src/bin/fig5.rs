@@ -6,9 +6,9 @@
 use fetch_bench::{banner, dataset2, opts_from_args, paper, par_map};
 use fetch_binary::TestCase;
 use fetch_core::{
-    AlignmentSplit, CallFrameRepair, ControlFlowRepair, FdeSeeds, FunctionMerge,
+    run_stack, AlignmentSplit, CallFrameRepair, ControlFlowRepair, FdeSeeds, FunctionMerge,
     LinearScanStarts, PointerScan, PrologueMatch, SafeRecursion, Strategy, TailCallHeuristic,
-    ThunkHeuristic, ToolStyle, run_stack,
+    ThunkHeuristic, ToolStyle,
 };
 use fetch_metrics::{evaluate, Aggregate, TextTable};
 use fetch_tools::angr_rejects;
@@ -20,15 +20,24 @@ fn ghidra_stacks() -> Vec<Stack> {
         ("FDE", vec![Box::new(FdeSeeds)]),
         (
             "FDE+Rec+CFR",
-            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(ControlFlowRepair)],
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(ControlFlowRepair),
+            ],
         ),
-        ("FDE+Rec", vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())]),
+        (
+            "FDE+Rec",
+            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())],
+        ),
         (
             "FDE+Rec+Fsig",
             vec![
                 Box::new(FdeSeeds),
                 Box::new(SafeRecursion::default()),
-                Box::new(PrologueMatch { style: ToolStyle::Ghidra }),
+                Box::new(PrologueMatch {
+                    style: ToolStyle::Ghidra,
+                }),
             ],
         ),
         (
@@ -36,12 +45,18 @@ fn ghidra_stacks() -> Vec<Stack> {
             vec![
                 Box::new(FdeSeeds),
                 Box::new(SafeRecursion::default()),
-                Box::new(TailCallHeuristic { style: ToolStyle::Ghidra }),
+                Box::new(TailCallHeuristic {
+                    style: ToolStyle::Ghidra,
+                }),
             ],
         ),
         (
             "FDE+Rec+Thunk",
-            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(ThunkHeuristic)],
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(ThunkHeuristic),
+            ],
         ),
     ]
 }
@@ -51,32 +66,51 @@ fn angr_stacks() -> Vec<Stack> {
         ("FDE", vec![Box::new(FdeSeeds)]),
         (
             "FDE+Rec+Fmerg",
-            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(FunctionMerge)],
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(FunctionMerge),
+            ],
         ),
-        ("FDE+Rec", vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())]),
+        (
+            "FDE+Rec",
+            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())],
+        ),
         (
             "FDE+Rec+Fsig",
             vec![
                 Box::new(FdeSeeds),
                 Box::new(SafeRecursion::default()),
-                Box::new(PrologueMatch { style: ToolStyle::Angr }),
+                Box::new(PrologueMatch {
+                    style: ToolStyle::Angr,
+                }),
             ],
         ),
         (
             "FDE+Rec+Scan",
-            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(LinearScanStarts)],
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(LinearScanStarts),
+            ],
         ),
         (
             "FDE+Rec+Tcall",
             vec![
                 Box::new(FdeSeeds),
                 Box::new(SafeRecursion::default()),
-                Box::new(TailCallHeuristic { style: ToolStyle::Angr }),
+                Box::new(TailCallHeuristic {
+                    style: ToolStyle::Angr,
+                }),
             ],
         ),
         (
             "FDE+Rec+Align",
-            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(AlignmentSplit)],
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(AlignmentSplit),
+            ],
         ),
     ]
 }
@@ -84,10 +118,17 @@ fn angr_stacks() -> Vec<Stack> {
 fn optimal_stacks() -> Vec<Stack> {
     vec![
         ("FDE", vec![Box::new(FdeSeeds)]),
-        ("FDE+Rec", vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())]),
+        (
+            "FDE+Rec",
+            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())],
+        ),
         (
             "FDE+Rec+Xref",
-            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default()), Box::new(PointerScan)],
+            vec![
+                Box::new(FdeSeeds),
+                Box::new(SafeRecursion::default()),
+                Box::new(PointerScan),
+            ],
         ),
         (
             "FDE+Rec+Xref+Tcall",
@@ -110,7 +151,11 @@ fn run_panel(
 ) {
     banner(title);
     let usable: Vec<TestCase> = if skip_angr_failures {
-        cases.iter().filter(|c| !angr_rejects(&c.binary)).cloned().collect()
+        cases
+            .iter()
+            .filter(|c| !angr_rejects(&c.binary))
+            .cloned()
+            .collect()
     } else {
         cases.to_vec()
     };

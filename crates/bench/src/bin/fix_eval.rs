@@ -38,8 +38,11 @@ fn main() {
         let fps_after = after.difference(&truth).count();
         let fns_before: Vec<u64> = truth.difference(&before).copied().collect();
         let fns_after: Vec<u64> = truth.difference(&after).copied().collect();
-        let new_fns: Vec<u64> =
-            fns_after.iter().filter(|m| !fns_before.contains(m)).copied().collect();
+        let new_fns: Vec<u64> = fns_after
+            .iter()
+            .filter(|m| !fns_before.contains(m))
+            .copied()
+            .collect();
         let harmless = new_fns
             .iter()
             .filter(|m| {
@@ -78,11 +81,18 @@ fn main() {
     compare_line(
         "repair rate (%)",
         "~95",
-        &format!("{:.1}", 100.0 * (fb.saturating_sub(fa)) as f64 / fb.max(1) as f64),
+        &format!(
+            "{:.1}",
+            100.0 * (fb.saturating_sub(fa)) as f64 / fb.max(1) as f64
+        ),
     );
     compare_line(
         "full-accuracy binaries before → after",
-        &format!("{} → {}", paper::FULL_ACCURACY_BEFORE, paper::FULL_ACCURACY_AFTER),
+        &format!(
+            "{} → {}",
+            paper::FULL_ACCURACY_BEFORE,
+            paper::FULL_ACCURACY_AFTER
+        ),
         &format!("{acc_b} → {acc_a}"),
     );
     compare_line(

@@ -69,7 +69,10 @@ fn main() {
             .filter(|f| begins.contains(&f.entry()))
             .count();
         assert_eq!(covered_starts, covered);
-        Row { funcs: case.truth.len(), covered }
+        Row {
+            funcs: case.truth.len(),
+            covered,
+        }
     });
 
     let funcs: usize = rows.iter().map(|r| r.funcs).sum();

@@ -1,0 +1,141 @@
+//! Machine-readable performance snapshot of the full FETCH pipeline.
+//!
+//! Runs `FDE → Rec → Xref → TcallFix` over three fixed synthetic corpora
+//! (small / medium / large) and writes `BENCH_pipeline.json` with wall
+//! time per stage, decoded-instructions-per-second throughput, and the
+//! peak start count — so the performance trajectory is tracked,
+//! commit-over-commit, from the PR that introduced the dense instruction
+//! store and the incremental recursion engine onward.
+//!
+//! Usage: `cargo run --release -p fetch-bench --bin perf_snapshot`
+//! (pass `--out <path>` to redirect; pass `--reps <n>` for more timing
+//! repetitions; the recorded value per stage is the minimum).
+
+use fetch_core::{CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
+use fetch_synth::{synthesize, SynthConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct StageTimes {
+    fde_us: f64,
+    rec_us: f64,
+    xref_us: f64,
+    repair_us: f64,
+    insts: usize,
+    peak_starts: usize,
+    detected: usize,
+}
+
+fn run_once(bin: &fetch_binary::Binary) -> StageTimes {
+    let mut st = DetectionState::new(bin);
+
+    let t = Instant::now();
+    FdeSeeds.apply(&mut st);
+    let fde_us = t.elapsed().as_secs_f64() * 1e6;
+
+    let t = Instant::now();
+    SafeRecursion::default().apply(&mut st);
+    let rec_us = t.elapsed().as_secs_f64() * 1e6;
+
+    let t = Instant::now();
+    PointerScan.apply(&mut st);
+    let xref_us = t.elapsed().as_secs_f64() * 1e6;
+
+    // Repair removes (merges) starts, so the pre-repair count is the peak.
+    let peak_starts = st.starts().len();
+
+    let t = Instant::now();
+    CallFrameRepair::default().repair(&mut st);
+    let repair_us = t.elapsed().as_secs_f64() * 1e6;
+
+    StageTimes {
+        fde_us,
+        rec_us,
+        xref_us,
+        repair_us,
+        insts: st.rec().disasm.len(),
+        peak_starts: peak_starts.max(st.starts().len()),
+        detected: st.starts().len(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut reps = 5usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps takes an integer");
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let corpora: [(&str, u64, usize); 3] = [
+        ("small", 9001, 60),
+        ("medium", 9002, 250),
+        ("large", 9003, 900),
+    ];
+
+    let mut json = String::from("{\n  \"schema\": \"fetch-perf-snapshot/v1\",\n  \"corpora\": [\n");
+    for (ci, (name, seed, n_funcs)) in corpora.iter().enumerate() {
+        let mut cfg = SynthConfig::small(*seed);
+        cfg.n_funcs = *n_funcs;
+        cfg.rates.split_cold = 0.08;
+        cfg.rates.asm_funcs = n_funcs / 20;
+        cfg.rates.error_calls = 0.10;
+        let case = synthesize(&cfg);
+
+        // Minimum over `reps` repetitions, per stage.
+        let mut best: Option<StageTimes> = None;
+        let mut total_best = f64::INFINITY;
+        for _ in 0..reps {
+            let s = run_once(&case.binary);
+            let total = s.fde_us + s.rec_us + s.xref_us + s.repair_us;
+            if total < total_best {
+                total_best = total;
+                best = Some(s);
+            }
+        }
+        let s = best.expect("reps >= 1");
+        let insts_per_sec = s.insts as f64 / ((s.rec_us + s.xref_us).max(1.0) / 1e6);
+
+        let _ = write!(
+            json,
+            "    {{\n      \"name\": \"{name}\",\n      \"functions\": {n_funcs},\n      \
+             \"decoded_insts\": {},\n      \"detected_starts\": {},\n      \
+             \"peak_starts\": {},\n      \"stage_wall_us\": {{\n        \
+             \"fde\": {:.1},\n        \"rec\": {:.1},\n        \"xref\": {:.1},\n        \
+             \"repair\": {:.1},\n        \"total\": {:.1}\n      }},\n      \
+             \"insts_per_sec\": {:.0}\n    }}{}\n",
+            s.insts,
+            s.detected,
+            s.peak_starts,
+            s.fde_us,
+            s.rec_us,
+            s.xref_us,
+            s.repair_us,
+            total_best,
+            insts_per_sec,
+            if ci + 1 < corpora.len() { "," } else { "" },
+        );
+        println!(
+            "{name:>6}: {n_funcs} funcs, {} insts, total {:.1} µs ({:.2} M insts/s)",
+            s.insts,
+            total_best,
+            insts_per_sec / 1e6
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, json).expect("write snapshot");
+    println!("wrote {out_path}");
+}

@@ -53,7 +53,11 @@ fn main() {
     let r_unreach: usize = rows.iter().map(|r| r.remaining_unreachable).sum();
     let r_tail: usize = rows.iter().map(|r| r.remaining_tailonly).sum();
 
-    compare_line("starts added by pointer scan", &paper::XREF_ADDED.to_string(), &added.to_string());
+    compare_line(
+        "starts added by pointer scan",
+        &paper::XREF_ADDED.to_string(),
+        &added.to_string(),
+    );
     compare_line("false positives introduced", "0", &added_fp.to_string());
     compare_line(
         "remaining misses",

@@ -39,7 +39,10 @@ fn main() {
             .copied()
             .collect();
         let after = gadgets_at_starts(&case.binary, &survivors, 6);
-        Row { gadgets_before: before, gadgets_after: after }
+        Row {
+            gadgets_before: before,
+            gadgets_after: after,
+        }
     });
 
     let before: usize = rows.iter().map(|r| r.gadgets_before).sum();
@@ -49,10 +52,17 @@ fn main() {
         &paper::ROP_GADGETS.to_string(),
         &before.to_string(),
     );
-    compare_line("gadgets still exposed after repair", "~5%", &after.to_string());
+    compare_line(
+        "gadgets still exposed after repair",
+        "~5%",
+        &after.to_string(),
+    );
     compare_line(
         "surface reduction (%)",
         "~95",
-        &format!("{:.1}", 100.0 * (before.saturating_sub(after)) as f64 / before.max(1) as f64),
+        &format!(
+            "{:.1}",
+            100.0 * (before.saturating_sub(after)) as f64 / before.max(1) as f64
+        ),
     );
 }

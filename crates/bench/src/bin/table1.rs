@@ -18,8 +18,13 @@ fn main() {
         let ehf = if case.binary.has_eh_frame() { "Y" } else { "-" };
         let (sym, fde_pct) = match fde_symbol_coverage(case) {
             Some(pct) => {
-                let begins: std::collections::BTreeSet<u64> =
-                    case.binary.eh_frame().unwrap().pc_begins().into_iter().collect();
+                let begins: std::collections::BTreeSet<u64> = case
+                    .binary
+                    .eh_frame()
+                    .unwrap()
+                    .pc_begins()
+                    .into_iter()
+                    .collect();
                 total_syms += case.binary.symbols.len();
                 covered_syms += case
                     .binary
@@ -37,7 +42,10 @@ fn main() {
             ehf.to_string(),
             sym,
             fde_pct,
-            format!("{}-{}; {}", case.binary.info.compiler, case.binary.info.opt, w.lang),
+            format!(
+                "{}-{}; {}",
+                case.binary.info.compiler, case.binary.info.opt, w.lang
+            ),
         ]);
     }
     println!("{table}");
@@ -46,8 +54,20 @@ fn main() {
     compare_line(
         "binaries",
         "43 (11 with symbols)",
-        &format!("{} ({} with symbols)", cases.len(), cases.iter().filter(|(w, _)| w.symbols).count()),
+        &format!(
+            "{} ({} with symbols)",
+            cases.len(),
+            cases.iter().filter(|(w, _)| w.symbols).count()
+        ),
     );
-    compare_line("avg FDE coverage of symbols (%)", "99.99", &format!("{avg:.2}"));
-    compare_line("symbols covered", "101,882 / 101,891", &format!("{covered_syms} / {total_syms}"));
+    compare_line(
+        "avg FDE coverage of symbols (%)",
+        "99.99",
+        &format!("{avg:.2}"),
+    );
+    compare_line(
+        "symbols covered",
+        "101,882 / 101,891",
+        &format!("{covered_syms} / {total_syms}"),
+    );
 }

@@ -15,24 +15,35 @@ fn main() {
 
     // Group by project (config names are "<project>/<prog>-<cc>-<opt>").
     let project_of = |case: &TestCase| -> String {
-        case.binary.name.split('/').next().unwrap_or("?").to_string()
+        case.binary
+            .name
+            .split('/')
+            .next()
+            .unwrap_or("?")
+            .to_string()
     };
 
-    let mut table =
-        TextTable::new(["Project", "Type", "#Prog/Bins", "EHF", "FDE %", "Lang"]);
+    let mut table = TextTable::new(["Project", "Type", "#Prog/Bins", "EHF", "FDE %", "Lang"]);
     let mut covered = 0usize;
     let mut total = 0usize;
     for proj in DATASET2 {
-        let mine: Vec<&TestCase> =
-            cases.iter().filter(|c| project_of(c) == proj.name).collect();
+        let mine: Vec<&TestCase> = cases
+            .iter()
+            .filter(|c| project_of(c) == proj.name)
+            .collect();
         if mine.is_empty() {
             continue;
         }
         let mut c_cov = 0usize;
         let mut c_tot = 0usize;
         for case in &mine {
-            let begins: BTreeSet<u64> =
-                case.binary.eh_frame().unwrap().pc_begins().into_iter().collect();
+            let begins: BTreeSet<u64> = case
+                .binary
+                .eh_frame()
+                .unwrap()
+                .pc_begins()
+                .into_iter()
+                .collect();
             c_tot += case.binary.symbols.len();
             c_cov += case
                 .binary
@@ -60,5 +71,9 @@ fn main() {
         "99.87",
         &format!("{:.2}", 100.0 * covered as f64 / total.max(1) as f64),
     );
-    compare_line("symbols covered", "1,138,601 / 1,140,047", &format!("{covered} / {total}"));
+    compare_line(
+        "symbols covered",
+        "1,138,601 / 1,140,047",
+        &format!("{covered} / {total}"),
+    );
 }

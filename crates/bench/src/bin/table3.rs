@@ -11,7 +11,10 @@ fn main() {
     let opts = opts_from_args();
     banner("Table III — FETCH vs. existing tools (FP/FN per opt level)");
     let cases = dataset2(&opts);
-    println!("binaries: {} (scaled corpus; counts are raw, not thousands)\n", cases.len());
+    println!(
+        "binaries: {} (scaled corpus; counts are raw, not thousands)\n",
+        cases.len()
+    );
 
     // (tool, opt) -> (fp, fn)
     let per_case: Vec<Vec<(Tool, OptLevel, usize, usize)>> = par_map(&cases, |case| {
@@ -19,7 +22,12 @@ fn main() {
         for tool in Tool::ALL {
             if let Some(r) = run_tool(tool, &case.binary) {
                 let e = evaluate(&r.start_set(), case);
-                out.push((tool, case.binary.info.opt, e.false_positives, e.false_negatives));
+                out.push((
+                    tool,
+                    case.binary.info.opt,
+                    e.false_positives,
+                    e.false_negatives,
+                ));
             }
         }
         out

@@ -28,7 +28,10 @@ fn main() {
     banner("Table IV — stack-height analyses vs. CFI baseline");
     let cases = dataset2(&opts);
 
-    let styles = [(HeightStyle::AngrLike, "ANGR"), (HeightStyle::DyninstLike, "DYNINST")];
+    let styles = [
+        (HeightStyle::AngrLike, "ANGR"),
+        (HeightStyle::DyninstLike, "DYNINST"),
+    ];
     let per_case: Vec<BTreeMap<(usize, OptLevel), Counts>> = par_map(&cases, |case| {
         let mut out: BTreeMap<(usize, OptLevel), Counts> = BTreeMap::new();
         let _ = run_stack(&case.binary, &[&FdeSeeds, &SafeRecursion::default()]);
@@ -37,7 +40,9 @@ fn main() {
         let rec = recursive_disassemble(&case.binary, &seeds, &RecOptions::default());
         for (cie, fde) in eh.fdes_with_cie() {
             // Only functions whose CFIs give complete heights (§V-C).
-            let Ok(Some(baseline)) = stack_heights(cie, fde) else { continue };
+            let Ok(Some(baseline)) = stack_heights(cie, fde) else {
+                continue;
+            };
             if !rec.functions.contains(&fde.pc_begin) {
                 continue;
             }
@@ -46,7 +51,9 @@ fn main() {
                 let model = model_stack_heights(&body, &rec.disasm, *style);
                 let c = out.entry((si, case.binary.info.opt)).or_default();
                 for (&addr, v) in &model {
-                    let Some(base) = baseline.height_at(addr) else { continue };
+                    let Some(base) = baseline.height_at(addr) else {
+                        continue;
+                    };
                     let is_jump = rec
                         .disasm
                         .at(addr)
@@ -89,8 +96,15 @@ fn main() {
 
     let pct = |num: usize, den: usize| 100.0 * num as f64 / den.max(1) as f64;
     let mut table = TextTable::new([
-        "OPT", "ANGR Full P", "ANGR Full R", "ANGR Jump P", "ANGR Jump R", "DYN Full P",
-        "DYN Full R", "DYN Jump P", "DYN Jump R",
+        "OPT",
+        "ANGR Full P",
+        "ANGR Full R",
+        "ANGR Jump P",
+        "ANGR Jump R",
+        "DYN Full P",
+        "DYN Full R",
+        "DYN Jump P",
+        "DYN Jump R",
     ]);
     for opt in OptLevel::ALL {
         let mut cells = vec![opt.short().to_string()];
@@ -107,8 +121,7 @@ fn main() {
     println!("{table}");
 
     println!("Paper averages:");
-    let mut pt =
-        TextTable::new(["Analysis", "Full Pre", "Full Rec", "Jump Pre", "Jump Rec"]);
+    let mut pt = TextTable::new(["Analysis", "Full Pre", "Full Rec", "Jump Pre", "Jump Rec"]);
     for (name, fp_, fr, jp, jr) in paper::TABLE4_AVG {
         pt.row([
             name.to_string(),

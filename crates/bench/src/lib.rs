@@ -28,7 +28,12 @@ pub struct BenchOpts {
 
 impl Default for BenchOpts {
     fn default() -> Self {
-        BenchOpts { scale: CorpusScale { bin_divisor: 8, func_scale: 0.35 } }
+        BenchOpts {
+            scale: CorpusScale {
+                bin_divisor: 8,
+                func_scale: 0.35,
+            },
+        }
     }
 }
 
@@ -81,7 +86,9 @@ where
     T: Send,
     F: Fn(&TestCase) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = cases.len().div_ceil(threads.max(1)).max(1);
     let mut out: Vec<Option<T>> = Vec::with_capacity(cases.len());
     out.resize_with(cases.len(), || None);
@@ -99,7 +106,9 @@ where
             h.join().expect("worker panicked");
         }
     });
-    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|v| v.expect("all slots filled"))
+        .collect()
 }
 
 /// Prints a section banner.

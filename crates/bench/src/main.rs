@@ -15,8 +15,14 @@ fn main() {
                 let mut addr = p.start;
                 for _ in 0..12 {
                     match fetch_x64::decode(text.slice_from(addr).unwrap(), addr) {
-                        Ok(i) => { println!("  {:#x}: {}", addr, i); addr = i.end(); }
-                        Err(e) => { println!("  {:#x}: ERR {}", addr, e); break; }
+                        Ok(i) => {
+                            println!("  {:#x}: {}", addr, i);
+                            addr = i.end();
+                        }
+                        Err(e) => {
+                            println!("  {:#x}: ERR {}", addr, e);
+                            break;
+                        }
                     }
                 }
             }

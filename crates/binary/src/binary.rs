@@ -46,7 +46,8 @@ impl Binary {
     ///
     /// Panics if the binary has no text section; every corpus binary does.
     pub fn text(&self) -> &Section {
-        self.section(SectionKind::Text).expect("binary has a .text section")
+        self.section(SectionKind::Text)
+            .expect("binary has a .text section")
     }
 
     /// Whether the binary carries an `.eh_frame` section (the `EHF` column
@@ -98,7 +99,10 @@ impl Binary {
 
     /// Returns a stripped copy: same code and unwind data, no symbols.
     pub fn stripped(&self) -> Binary {
-        Binary { symbols: Vec::new(), ..self.clone() }
+        Binary {
+            symbols: Vec::new(),
+            ..self.clone()
+        }
     }
 
     /// Whether any symbols survive.
@@ -142,9 +146,17 @@ mod tests {
             info: BuildInfo::gcc_o2(),
             sections: vec![
                 Section::new(SectionKind::Text, 0x1000, vec![0x90; 32]),
-                Section::new(SectionKind::Data, 0x4000, 0x1122_3344_5566_7788u64.to_le_bytes().to_vec()),
+                Section::new(
+                    SectionKind::Data,
+                    0x4000,
+                    0x1122_3344_5566_7788u64.to_le_bytes().to_vec(),
+                ),
             ],
-            symbols: vec![Symbol { name: "f".into(), addr: 0x1000, size: 32 }],
+            symbols: vec![Symbol {
+                name: "f".into(),
+                addr: 0x1000,
+                size: 32,
+            }],
             entry: 0x1000,
         }
     }

@@ -87,7 +87,8 @@ pub fn write_elf(bin: &Binary) -> Vec<u8> {
     // Body: section contents placed sequentially after the ELF header.
     let mut body: Vec<u8> = Vec::new();
     // (name_off, type, flags, addr, file_off, size, link, info, entsize)
-    let mut shdrs: Vec<(u32, u32, u64, u64, usize, usize, u32, u32, u64)> = Vec::new();
+    type ShdrRow = (u32, u32, u64, u64, usize, usize, u32, u32, u64);
+    let mut shdrs: Vec<ShdrRow> = Vec::new();
     shdrs.push((0, 0, 0, 0, 0, 0, 0, 0, 0)); // SHN_UNDEF
 
     for s in &bin.sections {
@@ -99,7 +100,17 @@ pub fn write_elf(bin: &Binary) -> Vec<u8> {
         let name = shstr.add(s.kind.name());
         let off = EHDR_SIZE + body.len();
         body.extend_from_slice(&s.bytes);
-        shdrs.push((name, SHT_PROGBITS, flags, s.addr, off, s.bytes.len(), 0, 0, 0));
+        shdrs.push((
+            name,
+            SHT_PROGBITS,
+            flags,
+            s.addr,
+            off,
+            s.bytes.len(),
+            0,
+            0,
+            0,
+        ));
     }
 
     // Symbol table (one null entry + function symbols).
@@ -147,7 +158,17 @@ pub fn write_elf(bin: &Binary) -> Vec<u8> {
     let shstr_off = EHDR_SIZE + body.len();
     let shstr_bytes = shstr.bytes;
     body.extend_from_slice(&shstr_bytes);
-    shdrs.push((shstrtab_name, SHT_STRTAB, 0, 0, shstr_off, shstr_bytes.len(), 0, 0, 0));
+    shdrs.push((
+        shstrtab_name,
+        SHT_STRTAB,
+        0,
+        0,
+        shstr_off,
+        shstr_bytes.len(),
+        0,
+        0,
+        0,
+    ));
     let shstrndx = (shdrs.len() - 1) as u16;
 
     let shoff = EHDR_SIZE + body.len();
@@ -189,17 +210,26 @@ pub fn write_elf(bin: &Binary) -> Vec<u8> {
 
 fn read_u16(b: &[u8], off: usize) -> Result<u16, ElfError> {
     Ok(u16::from_le_bytes(
-        b.get(off..off + 2).ok_or(ElfError::Truncated)?.try_into().unwrap(),
+        b.get(off..off + 2)
+            .ok_or(ElfError::Truncated)?
+            .try_into()
+            .unwrap(),
     ))
 }
 fn read_u32(b: &[u8], off: usize) -> Result<u32, ElfError> {
     Ok(u32::from_le_bytes(
-        b.get(off..off + 4).ok_or(ElfError::Truncated)?.try_into().unwrap(),
+        b.get(off..off + 4)
+            .ok_or(ElfError::Truncated)?
+            .try_into()
+            .unwrap(),
     ))
 }
 fn read_u64v(b: &[u8], off: usize) -> Result<u64, ElfError> {
     Ok(u64::from_le_bytes(
-        b.get(off..off + 8).ok_or(ElfError::Truncated)?.try_into().unwrap(),
+        b.get(off..off + 8)
+            .ok_or(ElfError::Truncated)?
+            .try_into()
+            .unwrap(),
     ))
 }
 
@@ -239,8 +269,9 @@ pub fn read_elf(bytes: &[u8]) -> Result<Binary, ElfError> {
         });
     }
     let shstr = shdrs.get(shstrndx).ok_or(ElfError::Truncated)?;
-    let shstr_bytes =
-        bytes.get(shstr.off..shstr.off + shstr.size).ok_or(ElfError::Truncated)?;
+    let shstr_bytes = bytes
+        .get(shstr.off..shstr.off + shstr.size)
+        .ok_or(ElfError::Truncated)?;
 
     let mut sections = Vec::new();
     let mut symbols = Vec::new();
@@ -255,8 +286,10 @@ pub fn read_elf(bytes: &[u8]) -> Result<Binary, ElfError> {
                     ".eh_frame" => SectionKind::EhFrame,
                     other => return Err(ElfError::BadSectionName(other.to_string())),
                 };
-                let data =
-                    bytes.get(sh.off..sh.off + sh.size).ok_or(ElfError::Truncated)?.to_vec();
+                let data = bytes
+                    .get(sh.off..sh.off + sh.size)
+                    .ok_or(ElfError::Truncated)?
+                    .to_vec();
                 sections.push(Section::new(kind, sh.addr, data));
             }
             SHT_SYMTAB => {
@@ -309,8 +342,16 @@ mod tests {
                 Section::new(SectionKind::EhFrame, 0x40_4000, vec![0, 0, 0, 0]),
             ],
             symbols: vec![
-                Symbol { name: "main".into(), addr: 0x40_1000, size: 2 },
-                Symbol { name: "pad".into(), addr: 0x40_1002, size: 2 },
+                Symbol {
+                    name: "main".into(),
+                    addr: 0x40_1000,
+                    size: 2,
+                },
+                Symbol {
+                    name: "pad".into(),
+                    addr: 0x40_1002,
+                    size: 2,
+                },
             ],
             entry: 0x40_1000,
         }

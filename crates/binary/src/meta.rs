@@ -98,7 +98,11 @@ pub struct BuildInfo {
 impl BuildInfo {
     /// A conventional default build (gcc -O2, C).
     pub fn gcc_o2() -> BuildInfo {
-        BuildInfo { compiler: Compiler::Gcc, opt: OptLevel::O2, lang: Lang::C }
+        BuildInfo {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O2,
+            lang: Lang::C,
+        }
     }
 }
 

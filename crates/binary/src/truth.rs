@@ -165,15 +165,30 @@ mod tests {
                     kind: FuncKind::Compiled,
                     reach: Reach::Called,
                     parts: vec![
-                        Part { start: 0x1000, len: 0x100, has_fde: true, has_symbol: true },
-                        Part { start: 0x3000, len: 0x40, has_fde: true, has_symbol: true },
+                        Part {
+                            start: 0x1000,
+                            len: 0x100,
+                            has_fde: true,
+                            has_symbol: true,
+                        },
+                        Part {
+                            start: 0x3000,
+                            len: 0x40,
+                            has_fde: true,
+                            has_symbol: true,
+                        },
                     ],
                 },
                 FunctionTruth {
                     name: "memcpy_asm".into(),
                     kind: FuncKind::Assembly,
                     reach: Reach::TailCalled { callers: 1 },
-                    parts: vec![Part { start: 0x1100, len: 0x80, has_fde: false, has_symbol: true }],
+                    parts: vec![Part {
+                        start: 0x1100,
+                        len: 0x80,
+                        has_fde: false,
+                        has_symbol: true,
+                    }],
                 },
             ],
         }

@@ -19,11 +19,10 @@
 //! (undecodable or padding-first, the Figure-6b hand-written mislabels)
 //! are removed, mirroring the paper's 3-false-positive fix.
 
-use crate::pointer_scan::collect_data_pointers;
 use crate::state::{DetectionState, Provenance};
 use crate::strategy::Strategy;
-use fetch_analyses::{validate_calling_convention_ext, CallConvVerdict};
-use fetch_disasm::{code_xrefs, function_extents, ErrorCallPolicy, XrefKind};
+use fetch_analyses::{validate_calling_convention_cached, CallConvVerdict};
+use fetch_disasm::{ErrorCallPolicy, XrefKind};
 use fetch_ehframe::{stack_heights, HeightTable};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -63,7 +62,7 @@ impl CallFrameRepair {
     /// Runs the repair, returning a detailed report.
     pub fn repair(&self, state: &mut DetectionState<'_>) -> RepairReport {
         let mut report = RepairReport::default();
-        if state.rec.disasm.insts.is_empty() {
+        if state.rec.disasm.is_empty() {
             state.run_recursion(true, ErrorCallPolicy::SliceZero);
         }
 
@@ -77,7 +76,13 @@ impl CallFrameRepair {
         let mut stop_calls: BTreeSet<u64> = state.rec.noreturn.clone();
         stop_calls.extend(state.error_funcs.iter().copied());
         for s in fde_starts {
-            match validate_calling_convention_ext(state.binary, s, 96, &stop_calls) {
+            match validate_calling_convention_cached(
+                state.binary,
+                s,
+                96,
+                &stop_calls,
+                &state.rec.disasm,
+            ) {
                 CallConvVerdict::Undecodable { .. } | CallConvVerdict::PaddingStart => {
                     state.remove_start(s);
                     report.bad_fdes_removed.push(s);
@@ -92,20 +97,46 @@ impl CallFrameRepair {
         }
 
         // ---- CFI stack heights, complete functions only ----
-        let Ok(eh) = state.binary.eh_frame() else { return report };
+        let Ok(eh) = state.binary.eh_frame() else {
+            return report;
+        };
         let mut heights: BTreeMap<u64, HeightTable> = BTreeMap::new();
         let mut has_fde: BTreeSet<u64> = BTreeSet::new();
+        let removed_fdes: BTreeSet<u64> = report.bad_fdes_removed.iter().copied().collect();
+        let mut fde_ranges: Vec<(u64, u64)> = Vec::new();
         for (cie, fde) in eh.fdes_with_cie() {
             has_fde.insert(fde.pc_begin);
+            if !removed_fdes.contains(&fde.pc_begin) {
+                fde_ranges.push((fde.pc_begin, fde.pc_end()));
+            }
             if let Ok(Some(h)) = stack_heights(cie, fde) {
                 heights.insert(fde.pc_begin, h);
             }
         }
+        fde_ranges.sort_unstable();
+        // The CFI range map already assigns every covered byte to a call
+        // frame: an address strictly inside a (surviving) FDE's range is
+        // some function's interior, never a new start. ICF-style entry
+        // jumps into folded bodies otherwise satisfy every tail-call
+        // criterion and would mint a false start.
+        let fde_interior = |t: u64| -> bool {
+            match fde_ranges.binary_search_by(|&(b, _)| b.cmp(&t)) {
+                Ok(_) => false, // an FDE begin is a legitimate start
+                Err(0) => false,
+                Err(i) => {
+                    let (b, e) = fde_ranges[i - 1];
+                    b < t && t < e
+                }
+            }
+        };
 
-        // ---- references ----
-        let xrefs = code_xrefs(&state.rec.disasm);
-        let data_ptrs = collect_data_pointers(state.binary);
-        let extents = function_extents(&state.rec);
+        // ---- references (memoized on the state) ----
+        let xrefs = state.xrefs();
+        let data_ptrs = state.data_pointers();
+        let extents = state.extents();
+
+        // Snapshot of the start set entering the repair loop.
+        let start_snapshot = state.start_set();
 
         // Jump-only reference check: every reference to `t` is a jump
         // whose source lies inside `f`'s body, and no data pointer or
@@ -117,14 +148,17 @@ impl CallFrameRepair {
             match xrefs.get(&t) {
                 None => false, // unreferenced targets are not merge edges
                 Some(refs) => refs.iter().all(|x| {
-                    matches!(x.kind, XrefKind::Jump | XrefKind::CondJump)
-                        && f_body.contains(x.from)
+                    matches!(x.kind, XrefKind::Jump | XrefKind::CondJump) && f_body.contains(x.from)
                 }),
             }
         };
-        // Referenced from somewhere other than jumps inside `f`.
+        // Referenced from somewhere other than jumps inside `f`. Data
+        // pointers count only when §IV-E validated them (the pointer scan
+        // already promoted them to starts): raw sliding-window composites
+        // routinely alias mid-function addresses, and trusting one here
+        // would confirm a bogus tail call into a function body.
         let referenced_elsewhere = |t: u64, f_body: &fetch_disasm::FunctionBody| -> bool {
-            if data_ptrs.contains_key(&t) {
+            if data_ptrs.contains_key(&t) && start_snapshot.contains(&t) {
                 return true;
             }
             xrefs.get(&t).is_some_and(|refs| {
@@ -136,7 +170,7 @@ impl CallFrameRepair {
         };
 
         // ---- Algorithm 1 main loop ----
-        let l: Vec<u64> = state.start_set().into_iter().collect();
+        let l: Vec<u64> = start_snapshot.iter().copied().collect();
         let mut removed: BTreeSet<u64> = BTreeSet::new();
         for &f in &l {
             if removed.contains(&f) {
@@ -149,11 +183,13 @@ impl CallFrameRepair {
                 }
                 continue;
             }
-            let Some(body) = extents.get(&f) else { continue };
+            let Some(body) = extents.get(&f) else {
+                continue;
+            };
             // Ablation: a static stack-height model instead of CFIs.
-            let static_heights = self.use_static_heights.map(|style| {
-                fetch_analyses::model_stack_heights(body, &state.rec.disasm, style)
-            });
+            let static_heights = self
+                .use_static_heights
+                .map(|style| fetch_analyses::model_stack_heights(body, &state.rec.disasm, style));
             for j in &body.jumps {
                 let Some(t) = j.direct_target() else { continue };
                 // A target inside f's discovered body is usually an
@@ -173,10 +209,16 @@ impl CallFrameRepair {
                 };
                 let Some(h) = h else { continue };
                 let mut is_tail_call = false;
-                if h == 0 {
+                if h == 0 && !fde_interior(t) {
                     let cc_ok = self.skip_callconv
-                        || validate_calling_convention_ext(state.binary, t, 96, &stop_calls)
-                            .is_valid();
+                        || validate_calling_convention_cached(
+                            state.binary,
+                            t,
+                            96,
+                            &stop_calls,
+                            &state.rec.disasm,
+                        )
+                        .is_valid();
                     if cc_ok && referenced_elsewhere(t, body) {
                         // A confirmed tail call: the target is a function.
                         report.tail_calls.push((j.addr, t));
@@ -337,7 +379,10 @@ mod tests {
         let case = split_case(55);
         let (_state, report) = run_pipeline(&case);
         for (_j, t) in &report.tail_calls {
-            assert!(case.truth.is_start(*t), "tail target {t:#x} is a true start");
+            assert!(
+                case.truth.is_start(*t),
+                "tail target {t:#x} is a true start"
+            );
         }
     }
 }

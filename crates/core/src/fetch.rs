@@ -119,11 +119,13 @@ mod tests {
         cfg.rates.split_cold = 0.12;
         let case = synthesize(&cfg);
         let full = Fetch::new().detect(&case.binary);
-        let no_repair = Fetch { skip_repair: true, ..Fetch::new() }.detect(&case.binary);
+        let no_repair = Fetch {
+            skip_repair: true,
+            ..Fetch::new()
+        }
+        .detect(&case.binary);
         let truth = case.truth.starts();
-        let fp = |r: &crate::state::DetectionResult| {
-            r.start_set().difference(&truth).count()
-        };
+        let fp = |r: &crate::state::DetectionResult| r.start_set().difference(&truth).count();
         assert!(
             fp(&no_repair) > fp(&full),
             "repair reduces false positives ({} > {})",

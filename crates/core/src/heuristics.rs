@@ -7,7 +7,7 @@
 use crate::state::{DetectionState, Provenance};
 use crate::strategy::Strategy;
 use fetch_analyses::{model_stack_heights, HeightStyle};
-use fetch_disasm::{body_of, code_xrefs, function_extents, ErrorCallPolicy, XrefKind};
+use fetch_disasm::{body_of, ErrorCallPolicy, XrefKind};
 use fetch_x64::{decode, Op};
 use std::collections::BTreeSet;
 
@@ -17,9 +17,9 @@ pub fn code_gaps(state: &DetectionState<'_>) -> Vec<(u64, u64)> {
     let text = state.binary.text();
     let mut gaps = Vec::new();
     let mut cursor = text.addr;
-    for (&addr, inst) in &state.rec.disasm.insts {
-        if addr > cursor {
-            gaps.push((cursor, addr));
+    for inst in state.rec.disasm.iter() {
+        if inst.addr > cursor {
+            gaps.push((cursor, inst.addr));
         }
         cursor = cursor.max(inst.end());
     }
@@ -73,19 +73,17 @@ impl Strategy for PrologueMatch {
                 let hit = if b.starts_with(&[0x55, 0x48, 0x89, 0xe5]) {
                     match self.style {
                         ToolStyle::Ghidra => {
-                            // Conservative: the window must decode cleanly
-                            // into a block that reaches a control-flow
-                            // terminator, and the match must satisfy the
-                            // calling convention — GHIDRA's matcher
-                            // reported no false positives in the paper
-                            // (§IV-D).
+                            // Conservative: the decoded window must reach
+                            // a real control-flow terminator, and the
+                            // match must satisfy the calling convention —
+                            // GHIDRA's matcher reported no false
+                            // positives in the paper (§IV-D).
                             let sweep = fetch_disasm::sweep(&b[..b.len().min(48)], addr);
                             let terminated = sweep
                                 .insts
                                 .iter()
                                 .any(|i| i.is_terminator() && !i.is_padding());
-                            (sweep.clean() || terminated)
-                                && terminated
+                            terminated
                                 && fetch_analyses::validate_calling_convention(
                                     state.binary,
                                     addr,
@@ -145,17 +143,26 @@ impl Strategy for TailCallHeuristic {
     }
 
     fn apply(&self, state: &mut DetectionState<'_>) {
-        if state.rec.disasm.insts.is_empty() {
+        if state.rec.disasm.is_empty() {
             state.run_recursion(true, ErrorCallPolicy::SliceZero);
         }
-        let starts: Vec<u64> = state.start_set().into_iter().collect();
+        let starts: Vec<u64> = state.start_set().iter().copied().collect();
         let mut new_starts = Vec::new();
         for (ix, &f) in starts.iter().enumerate() {
             // Contiguous range: up to the next detected start.
             let range_end = starts.get(ix + 1).copied().unwrap_or(u64::MAX);
-            let body = body_of(f, &state.rec.disasm, &state.rec.functions, &state.rec.noreturn);
+            let body = body_of(
+                f,
+                &state.rec.disasm,
+                &state.rec.functions,
+                &state.rec.noreturn,
+            );
             let heights = if self.style == ToolStyle::Angr {
-                Some(model_stack_heights(&body, &state.rec.disasm, HeightStyle::AngrLike))
+                Some(model_stack_heights(
+                    &body,
+                    &state.rec.disasm,
+                    HeightStyle::AngrLike,
+                ))
             } else {
                 None
             };
@@ -194,7 +201,7 @@ impl Strategy for LinearScanStarts {
     }
 
     fn apply(&self, state: &mut DetectionState<'_>) {
-        if state.rec.disasm.insts.is_empty() {
+        if state.rec.disasm.is_empty() {
             state.run_recursion(true, ErrorCallPolicy::SliceZero);
         }
         let text = state.binary.text();
@@ -242,9 +249,9 @@ impl Strategy for ControlFlowRepair {
     fn apply(&self, state: &mut DetectionState<'_>) {
         // GHIDRA's view of the world: error calls never return.
         state.run_recursion(true, ErrorCallPolicy::AlwaysNoReturn);
-        let xrefs = code_xrefs(&state.rec.disasm);
+        let xrefs = state.xrefs();
         let entry = state.binary.entry;
-        let starts: Vec<u64> = state.start_set().into_iter().collect();
+        let starts: Vec<u64> = state.start_set().iter().copied().collect();
         let mut to_remove = Vec::new();
         for &s in &starts {
             if s == entry || xrefs.contains_key(&s) {
@@ -253,7 +260,7 @@ impl Strategy for ControlFlowRepair {
             // Find the last decoded instruction before `s`, skipping
             // padding: does the preceding region end without returning?
             let mut prev = None;
-            for (_, inst) in state.rec.disasm.insts.range(..s).rev().take(8) {
+            for inst in state.rec.disasm.iter_rev_before(s).take(8) {
                 if inst.is_padding() {
                     continue;
                 }
@@ -263,9 +270,7 @@ impl Strategy for ControlFlowRepair {
             let Some(prev) = prev else { continue };
             let noreturn_end = match prev.op {
                 Op::Ud2 | Op::Hlt => true,
-                Op::Call(t) => {
-                    state.rec.noreturn.contains(&t) || state.error_funcs.contains(&t)
-                }
+                Op::Call(t) => state.rec.noreturn.contains(&t) || state.error_funcs.contains(&t),
                 _ => false,
             };
             if noreturn_end {
@@ -293,12 +298,12 @@ impl Strategy for FunctionMerge {
     }
 
     fn apply(&self, state: &mut DetectionState<'_>) {
-        if state.rec.disasm.insts.is_empty() {
+        if state.rec.disasm.is_empty() {
             state.run_recursion(true, ErrorCallPolicy::SliceZero);
         }
-        let xrefs = code_xrefs(&state.rec.disasm);
-        let extents = function_extents(&state.rec);
-        let starts: Vec<u64> = state.start_set().into_iter().collect();
+        let xrefs = state.xrefs();
+        let extents = state.extents();
+        let starts: Vec<u64> = state.start_set().iter().copied().collect();
         let mut to_remove = Vec::new();
         for w in starts.windows(2) {
             let (f1, f2) = (w[0], w[1]);
@@ -307,8 +312,7 @@ impl Strategy for FunctionMerge {
             let refs_ok = xrefs.get(&f2).is_some_and(|refs| {
                 !refs.is_empty()
                     && refs.iter().all(|x| {
-                        matches!(x.kind, XrefKind::Jump | XrefKind::CondJump)
-                            && b1.contains(x.from)
+                        matches!(x.kind, XrefKind::Jump | XrefKind::CondJump) && b1.contains(x.from)
                     })
             });
             if !refs_ok {
@@ -344,7 +348,7 @@ impl Strategy for ThunkHeuristic {
     }
 
     fn apply(&self, state: &mut DetectionState<'_>) {
-        if state.rec.disasm.insts.is_empty() {
+        if state.rec.disasm.is_empty() {
             state.run_recursion(true, ErrorCallPolicy::SliceZero);
         }
         let mut targets = Vec::new();
@@ -375,7 +379,7 @@ impl Strategy for AlignmentSplit {
     }
 
     fn apply(&self, state: &mut DetectionState<'_>) {
-        if state.rec.disasm.insts.is_empty() {
+        if state.rec.disasm.is_empty() {
             state.run_recursion(true, ErrorCallPolicy::SliceZero);
         }
         let text = state.binary.text();
@@ -462,11 +466,23 @@ mod tests {
             let truth = case.truth.starts();
             let g = run_stack(
                 &case.binary,
-                &[&FdeSeeds, &SafeRecursion::default(), &TailCallHeuristic { style: ToolStyle::Ghidra }],
+                &[
+                    &FdeSeeds,
+                    &SafeRecursion::default(),
+                    &TailCallHeuristic {
+                        style: ToolStyle::Ghidra,
+                    },
+                ],
             );
             let a = run_stack(
                 &case.binary,
-                &[&FdeSeeds, &SafeRecursion::default(), &TailCallHeuristic { style: ToolStyle::Angr }],
+                &[
+                    &FdeSeeds,
+                    &SafeRecursion::default(),
+                    &TailCallHeuristic {
+                        style: ToolStyle::Angr,
+                    },
+                ],
             );
             fp_g += g
                 .starts
@@ -484,8 +500,14 @@ mod tests {
         // synthetic corpus. (The paper's 20× gap comes from constructs —
         // giant crossing jcc webs — that the simulator models only
         // partially; the ordering is the reproduced shape.)
-        assert!(fp_g >= fp_a, "ghidra Tcall ({fp_g}) at least as noisy as angr ({fp_a})");
-        assert!(fp_g > 0 && fp_a > 0, "both heuristics produce false positives");
+        assert!(
+            fp_g >= fp_a,
+            "ghidra Tcall ({fp_g}) at least as noisy as angr ({fp_a})"
+        );
+        assert!(
+            fp_g > 0 && fp_a > 0,
+            "both heuristics produce false positives"
+        );
     }
 
     #[test]
@@ -520,7 +542,13 @@ mod tests {
         let truth = case.truth.starts();
         let a = run_stack(
             &case.binary,
-            &[&FdeSeeds, &SafeRecursion::default(), &PrologueMatch { style: ToolStyle::Angr }],
+            &[
+                &FdeSeeds,
+                &SafeRecursion::default(),
+                &PrologueMatch {
+                    style: ToolStyle::Angr,
+                },
+            ],
         );
         let fp = a
             .starts

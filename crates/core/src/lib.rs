@@ -18,6 +18,34 @@
 //!
 //! The [`Fetch`] type wires the optimal stack together.
 //!
+//! ## The shared substrate (what layers run *on*)
+//!
+//! Layers never re-disassemble the binary themselves. A
+//! [`DetectionState`] owns three pieces of machinery that make stacking
+//! layers cheap:
+//!
+//! * **Dense instruction store** — decoded instructions live in a flat
+//!   pool indexed by a byte-offset table over `.text`
+//!   ([`fetch_disasm::Disassembly`]): O(1) lookup and visited checks,
+//!   bounded predecessor scans, cache-friendly iteration.
+//! * **Incremental recursion** — [`DetectionState::run_recursion`] goes
+//!   through a persistent [`fetch_disasm::RecEngine`] that caches every
+//!   decode (text bytes never change) and reuses the previous walk:
+//!   a layer that adds a few starts re-walks only from those seeds, an
+//!   unchanged seed set returns the cached result, and non-return
+//!   fixpoint rounds re-walk only when a decoded call site's behavior
+//!   actually changed.
+//! * **Analysis caches** — [`DetectionState::xrefs`],
+//!   [`DetectionState::extents`], [`DetectionState::data_pointers`],
+//!   [`DetectionState::code_constants`] and [`DetectionState::start_set`]
+//!   are memoized under generation counters advanced by
+//!   `add_start`/`remove_start`/`run_recursion`, so `TcallFix`, `Xref`
+//!   and the unsafe heuristics stop recomputing each other's inputs.
+//!
+//! The incremental path is observationally identical to from-scratch
+//! re-runs ([`DetectionState::new_reference`]); a property test over
+//! random corpora and random layer stacks enforces the equivalence.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,11 +73,9 @@ mod strategy;
 pub use algorithm1::{CallFrameRepair, RepairReport};
 pub use fetch::Fetch;
 pub use heuristics::{
-    code_gaps, AlignmentSplit, ControlFlowRepair, FunctionMerge, LinearScanStarts,
-    PrologueMatch, TailCallHeuristic, ThunkHeuristic, ToolStyle,
+    code_gaps, AlignmentSplit, ControlFlowRepair, FunctionMerge, LinearScanStarts, PrologueMatch,
+    TailCallHeuristic, ThunkHeuristic, ToolStyle,
 };
-pub use pointer_scan::{
-    collect_data_pointers, validate_candidate, PointerScan, ValidationError,
-};
+pub use pointer_scan::{collect_data_pointers, validate_candidate, PointerScan, ValidationError};
 pub use state::{DetectionResult, DetectionState, Provenance};
 pub use strategy::{run_stack, EntrySeed, FdeSeeds, SafeRecursion, Strategy, SymbolSeeds};

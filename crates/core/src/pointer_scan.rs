@@ -9,9 +9,9 @@
 
 use crate::state::{DetectionState, Provenance};
 use crate::strategy::Strategy;
-use fetch_analyses::{validate_calling_convention_ext, CallConvVerdict};
+use fetch_analyses::{validate_calling_convention_cached, CallConvVerdict};
 use fetch_binary::Binary;
-use fetch_disasm::{function_extents, FunctionBody};
+use fetch_disasm::FunctionBody;
 use fetch_x64::{decode, Flow};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -68,7 +68,7 @@ pub fn validate_candidate(
     }
 
     // (iv) calling convention first: it also rejects padding starts.
-    match validate_calling_convention_ext(bin, candidate, 96, stop_calls) {
+    match validate_calling_convention_cached(bin, candidate, 96, stop_calls, known) {
         CallConvVerdict::Valid => {}
         CallConvVerdict::Undecodable { .. } => return Err(ValidationError::InvalidOpcode),
         _ => return Err(ValidationError::CallConv),
@@ -93,12 +93,12 @@ pub fn validate_candidate(
             }
             budget -= 1;
             // (ii) misaligned overlap with previously disassembled code.
-            if let Some((_, prev)) = known.insts.range(..=cur).next_back() {
+            if let Some(prev) = known.at_or_covering(cur) {
                 if prev.addr < cur && cur < prev.end() {
                     return Err(ValidationError::OverlapsExisting);
                 }
             }
-            if known.insts.contains_key(&cur) {
+            if known.contains(cur) {
                 break; // aligned junction with known code: consistent
             }
             let inst = match decode(text.slice_from(cur).expect("in range"), cur) {
@@ -146,24 +146,18 @@ pub struct PointerScan;
 impl PointerScan {
     /// Runs the scan, returning accepted candidates.
     pub fn scan(&self, state: &mut DetectionState<'_>) -> Vec<u64> {
-        if state.rec.disasm.insts.is_empty() {
+        if state.rec.disasm.is_empty() {
             state.run_recursion(true, fetch_disasm::ErrorCallPolicy::SliceZero);
         }
         let mut accepted = Vec::new();
         loop {
-            // (Re)collect candidates: data pointers + code constants.
-            let mut candidates: BTreeSet<u64> =
-                collect_data_pointers(state.binary).keys().copied().collect();
-            for inst in state.rec.disasm.insts.values() {
-                if let Some(t) = inst.lea_rip_target() {
-                    candidates.insert(t);
-                }
-                for c in inst.const_operands() {
-                    candidates.insert(c);
-                }
-            }
+            // (Re)collect candidates: data pointers + code constants,
+            // both memoized on the state (the data half never changes;
+            // the code half is invalidated by each recursion).
+            let mut candidates: BTreeSet<u64> = state.data_pointers().keys().copied().collect();
+            candidates.extend(state.code_constants().iter().copied());
             let starts = state.start_set();
-            let extents = function_extents(&state.rec);
+            let extents = state.extents();
             let mut stop_calls: BTreeSet<u64> = state.rec.noreturn.clone();
             stop_calls.extend(state.error_funcs.iter().copied());
             let mut new_this_round = Vec::new();
@@ -233,9 +227,11 @@ mod tests {
         let mut state = DetectionState::new(&case.binary);
         FdeSeeds.apply(&mut state);
         SafeRecursion::default().apply(&mut state);
-        let mut candidates: std::collections::BTreeSet<u64> =
-            collect_data_pointers(&case.binary).keys().copied().collect();
-        for inst in state.rec.disasm.insts.values() {
+        let mut candidates: std::collections::BTreeSet<u64> = collect_data_pointers(&case.binary)
+            .keys()
+            .copied()
+            .collect();
+        for inst in state.rec.disasm.iter() {
             if let Some(t) = inst.lea_rip_target() {
                 candidates.insert(t);
             }

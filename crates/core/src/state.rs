@@ -1,10 +1,15 @@
 //! Detection state: the evolving set of function starts a strategy stack
-//! transforms, with provenance tracking for every start.
+//! transforms, with provenance tracking for every start, a persistent
+//! incremental recursion engine, and generation-counted analysis caches.
 
 use fetch_binary::Binary;
-use fetch_disasm::{recursive_disassemble, ErrorCallPolicy, RecOptions, RecResult};
+use fetch_disasm::{
+    code_xrefs, function_extents, recursive_disassemble, ErrorCallPolicy, FunctionBody, RecEngine,
+    RecOptions, RecResult, Xref,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Where a detected start came from. Figure 5's per-layer accounting and
 /// the accuracy analysis both key off this.
@@ -65,6 +70,12 @@ impl DetectionResult {
         self.starts.keys().copied().collect()
     }
 
+    /// The start addresses in ascending order, without materializing a
+    /// set (use in loops that only need iteration).
+    pub fn start_iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.starts.keys().copied()
+    }
+
     /// Number of detected starts.
     pub fn len(&self) -> usize {
         self.starts.len()
@@ -76,20 +87,52 @@ impl DetectionResult {
     }
 }
 
+/// A cache slot tagged with the generation it was computed at.
+type Tagged<T> = Option<(u64, Arc<T>)>;
+
+/// Generation-counted memoization of the analyses every repair/heuristic
+/// layer needs. Entries tagged with the starts- or disassembly-generation
+/// they were computed at; a stale tag means recompute.
+#[derive(Debug, Clone, Default)]
+struct AnalysisCache {
+    start_set: Tagged<BTreeSet<u64>>,
+    xrefs: Tagged<BTreeMap<u64, Vec<Xref>>>,
+    extents: Tagged<BTreeMap<u64, FunctionBody>>,
+    code_constants: Tagged<BTreeSet<u64>>,
+    /// Derived from the (immutable) binary alone: computed at most once.
+    data_ptrs: Option<Arc<BTreeMap<u64, Vec<u64>>>>,
+}
+
 /// Mutable state threaded through a strategy stack.
+///
+/// All mutation funnels through [`DetectionState::add_start`],
+/// [`DetectionState::remove_start`] and [`DetectionState::run_recursion`],
+/// which advance the generation counters backing the analysis caches
+/// ([`DetectionState::xrefs`], [`DetectionState::extents`],
+/// [`DetectionState::data_pointers`], [`DetectionState::start_set`]).
 #[derive(Debug, Clone)]
 pub struct DetectionState<'b> {
     /// The binary under analysis (detectors never see ground truth).
     pub binary: &'b Binary,
     /// Current start set with provenance.
-    pub starts: BTreeMap<u64, Provenance>,
+    pub(crate) starts: BTreeMap<u64, Provenance>,
     /// Latest recursive-disassembly result (empty until recursion runs).
-    pub rec: RecResult,
+    pub(crate) rec: RecResult,
     /// Addresses of `error`/`error_at_line`-style functions (resolved
     /// from symbol names, modeling dynamic-symbol knowledge of libc).
-    pub error_funcs: BTreeSet<u64>,
+    /// Shared so recursion re-runs never copy the set.
+    pub error_funcs: Arc<BTreeSet<u64>>,
     /// Layer names applied so far.
     pub layers: Vec<String>,
+    /// The persistent engine reusing decode and walk state across
+    /// [`DetectionState::run_recursion`] calls.
+    engine: RecEngine,
+    /// When false, every recursion re-runs from scratch (the reference
+    /// semantics the incremental engine is tested against).
+    incremental: bool,
+    starts_gen: u64,
+    rec_gen: u64,
+    cache: AnalysisCache,
 }
 
 impl<'b> DetectionState<'b> {
@@ -106,9 +149,35 @@ impl<'b> DetectionState<'b> {
             binary,
             starts: BTreeMap::new(),
             rec: RecResult::default(),
-            error_funcs,
+            error_funcs: Arc::new(error_funcs),
             layers: Vec::new(),
+            engine: RecEngine::new(),
+            incremental: true,
+            starts_gen: 0,
+            rec_gen: 0,
+            cache: AnalysisCache::default(),
         }
+    }
+
+    /// Creates a state whose recursions always re-run from scratch — the
+    /// reference semantics the incremental engine must reproduce (used by
+    /// the observational-equivalence tests).
+    pub fn new_reference(binary: &'b Binary) -> DetectionState<'b> {
+        DetectionState {
+            incremental: false,
+            ..DetectionState::new(binary)
+        }
+    }
+
+    /// The latest recursive-disassembly result.
+    pub fn rec(&self) -> &RecResult {
+        &self.rec
+    }
+
+    /// Current starts with provenance (read-only; mutate through
+    /// [`DetectionState::add_start`] / [`DetectionState::remove_start`]).
+    pub fn starts(&self) -> &BTreeMap<u64, Provenance> {
+        &self.starts
     }
 
     /// Adds a start, keeping the earliest provenance on duplicates.
@@ -117,6 +186,7 @@ impl<'b> DetectionState<'b> {
         match self.starts.entry(addr) {
             std::collections::btree_map::Entry::Vacant(v) => {
                 v.insert(prov);
+                self.starts_gen += 1;
                 true
             }
             std::collections::btree_map::Entry::Occupied(_) => false,
@@ -125,38 +195,128 @@ impl<'b> DetectionState<'b> {
 
     /// Removes a start (control-flow repair, merging, FDE repair).
     pub fn remove_start(&mut self, addr: u64) -> bool {
-        self.starts.remove(&addr).is_some()
+        let removed = self.starts.remove(&addr).is_some();
+        if removed {
+            self.starts_gen += 1;
+        }
+        removed
     }
 
-    /// The start addresses as a set.
-    pub fn start_set(&self) -> BTreeSet<u64> {
-        self.starts.keys().copied().collect()
+    /// The start addresses as a shared set, cached until a start is
+    /// added or removed.
+    pub fn start_set(&mut self) -> Arc<BTreeSet<u64>> {
+        if let Some((gen, set)) = &self.cache.start_set {
+            if *gen == self.starts_gen {
+                return Arc::clone(set);
+            }
+        }
+        let set = Arc::new(self.starts.keys().copied().collect::<BTreeSet<u64>>());
+        self.cache.start_set = Some((self.starts_gen, Arc::clone(&set)));
+        set
+    }
+
+    /// Code cross-references over the current disassembly, cached until
+    /// the next recursion.
+    pub fn xrefs(&mut self) -> Arc<BTreeMap<u64, Vec<Xref>>> {
+        if let Some((gen, x)) = &self.cache.xrefs {
+            if *gen == self.rec_gen {
+                return Arc::clone(x);
+            }
+        }
+        let x = Arc::new(code_xrefs(&self.rec.disasm));
+        self.cache.xrefs = Some((self.rec_gen, Arc::clone(&x)));
+        x
+    }
+
+    /// Function extents over the current disassembly, cached until the
+    /// next recursion.
+    pub fn extents(&mut self) -> Arc<BTreeMap<u64, FunctionBody>> {
+        if let Some((gen, e)) = &self.cache.extents {
+            if *gen == self.rec_gen {
+                return Arc::clone(e);
+            }
+        }
+        let e = Arc::new(function_extents(&self.rec));
+        self.cache.extents = Some((self.rec_gen, Arc::clone(&e)));
+        e
+    }
+
+    /// Constant operands and rip-relative `lea` targets of the current
+    /// disassembly — the code half of the §IV-E candidate super-set —
+    /// cached until the next recursion.
+    pub fn code_constants(&mut self) -> Arc<BTreeSet<u64>> {
+        if let Some((gen, c)) = &self.cache.code_constants {
+            if *gen == self.rec_gen {
+                return Arc::clone(c);
+            }
+        }
+        let mut set = BTreeSet::new();
+        for inst in self.rec.disasm.iter() {
+            if let Some(t) = inst.lea_rip_target() {
+                set.insert(t);
+            }
+            for c in inst.const_operands() {
+                set.insert(c);
+            }
+        }
+        let c = Arc::new(set);
+        self.cache.code_constants = Some((self.rec_gen, Arc::clone(&c)));
+        c
+    }
+
+    /// The data-section pointer super-set (§IV-E), computed once per
+    /// state — the binary never changes underneath a run.
+    pub fn data_pointers(&mut self) -> Arc<BTreeMap<u64, Vec<u64>>> {
+        if let Some(d) = &self.cache.data_ptrs {
+            return Arc::clone(d);
+        }
+        let d = Arc::new(crate::pointer_scan::collect_data_pointers(self.binary));
+        self.cache.data_ptrs = Some(Arc::clone(&d));
+        d
     }
 
     /// Re-runs safe recursive disassembly from the current starts with
     /// the given error-call policy, recording newly discovered direct
     /// call targets as [`Provenance::CallTarget`] starts when
     /// `add_call_targets` is set.
+    ///
+    /// Incrementally: the persistent [`RecEngine`] reuses the decode
+    /// cache and, when the seed set only grew, the previous walk.
     pub fn run_recursion(&mut self, add_call_targets: bool, policy: ErrorCallPolicy) {
         let opts = RecOptions {
             add_call_targets,
-            error_funcs: self.error_funcs.clone(),
+            error_funcs: Arc::clone(&self.error_funcs),
             error_policy: policy,
             ..RecOptions::default()
         };
         let seeds = self.start_set();
-        let rec = recursive_disassemble(self.binary, &seeds, &opts);
+        let (rec, changed) = if self.incremental {
+            let before = self.engine.generation();
+            let rec = self.engine.run(self.binary, &seeds, &opts);
+            // The engine's identical-input fast path leaves its
+            // generation untouched: the disassembly is bit-identical, so
+            // xrefs/extents/code-constants caches stay valid.
+            (rec, self.engine.generation() != before)
+        } else {
+            (recursive_disassemble(self.binary, &seeds, &opts), true)
+        };
         if add_call_targets {
             for &f in &rec.functions {
                 self.add_start(f, Provenance::CallTarget);
             }
         }
         self.rec = rec;
+        if changed {
+            self.rec_gen += 1;
+        }
     }
 
     /// Freezes the state into a [`DetectionResult`].
     pub fn into_result(self) -> DetectionResult {
-        DetectionResult { starts: self.starts, layers: self.layers }
+        DetectionResult {
+            starts: self.starts,
+            layers: self.layers,
+        }
     }
 }
 
@@ -180,11 +340,68 @@ mod tests {
     fn error_funcs_resolved_from_symbols() {
         let case = synthesize(&SynthConfig::small(3));
         let st = DetectionState::new(&case.binary);
-        let error = case.truth.functions.iter().find(|f| f.name == "error").unwrap();
+        let error = case
+            .truth
+            .functions
+            .iter()
+            .find(|f| f.name == "error")
+            .unwrap();
         assert!(st.error_funcs.contains(&error.entry()));
         // Stripped binaries lose the knowledge.
         let stripped = case.binary.stripped();
         let st2 = DetectionState::new(&stripped);
         assert!(st2.error_funcs.is_empty());
+    }
+
+    #[test]
+    fn start_set_cache_tracks_mutation() {
+        let case = synthesize(&SynthConfig::small(3));
+        let mut st = DetectionState::new(&case.binary);
+        st.add_start(0x40_1000, Provenance::Fde);
+        let a = st.start_set();
+        let b = st.start_set();
+        assert!(Arc::ptr_eq(&a, &b), "unchanged starts reuse the cache");
+        st.add_start(0x40_2000, Provenance::Fde);
+        let c = st.start_set();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(c.contains(&0x40_2000));
+        // Failed mutations do not invalidate.
+        let before = st.start_set();
+        assert!(!st.add_start(0x40_2000, Provenance::Fde));
+        assert!(!st.remove_start(0xdead));
+        assert!(Arc::ptr_eq(&before, &st.start_set()));
+    }
+
+    #[test]
+    fn analysis_caches_invalidate_on_recursion() {
+        use crate::strategy::{FdeSeeds, Strategy};
+        let case = synthesize(&SynthConfig::small(3));
+        let mut st = DetectionState::new(&case.binary);
+        FdeSeeds.apply(&mut st);
+        st.run_recursion(true, ErrorCallPolicy::SliceZero);
+        let x1 = st.xrefs();
+        let e1 = st.extents();
+        assert!(Arc::ptr_eq(&x1, &st.xrefs()));
+        assert!(Arc::ptr_eq(&e1, &st.extents()));
+        let d1 = st.data_pointers();
+        // Same seeds, same options: the engine fast-path leaves the
+        // disassembly untouched, so derived caches must survive.
+        st.run_recursion(true, ErrorCallPolicy::SliceZero);
+        assert!(Arc::ptr_eq(&x1, &st.xrefs()), "no-op recursion keeps xrefs");
+        // A genuinely new start forces a new walk and invalidates.
+        let gap = (0x40_1000..0x50_0000)
+            .step_by(16)
+            .find(|a| case.binary.is_code(*a) && !st.starts.contains_key(a))
+            .expect("some unexplored code address");
+        st.add_start(gap, Provenance::Symbol);
+        st.run_recursion(true, ErrorCallPolicy::SliceZero);
+        assert!(
+            !Arc::ptr_eq(&x1, &st.xrefs()),
+            "recursion over new seeds invalidates xrefs"
+        );
+        assert!(
+            Arc::ptr_eq(&d1, &st.data_pointers()),
+            "data pointers depend only on the binary"
+        );
     }
 }

@@ -81,7 +81,9 @@ pub struct SafeRecursion {
 
 impl Default for SafeRecursion {
     fn default() -> Self {
-        SafeRecursion { error_policy: ErrorCallPolicy::SliceZero }
+        SafeRecursion {
+            error_policy: ErrorCallPolicy::SliceZero,
+        }
     }
 }
 
@@ -164,7 +166,10 @@ mod tests {
         assert!(!called_asm.is_empty());
         for a in &called_asm {
             assert!(!fde_only.starts.contains_key(a), "no FDE for asm fn {a:#x}");
-            assert!(with_rec.starts.contains_key(a), "Rec finds called asm fn {a:#x}");
+            assert!(
+                with_rec.starts.contains_key(a),
+                "Rec finds called asm fn {a:#x}"
+            );
         }
     }
 }

@@ -6,8 +6,14 @@ use fetch_synth::{synthesize, FeatureRates, SynthConfig};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SynthConfig> {
-    (any::<u64>(), 25usize..70, 0.0f64..0.15, 0.0f64..0.12, 0usize..12).prop_map(
-        |(seed, n_funcs, split, rbp, asm)| {
+    (
+        any::<u64>(),
+        25usize..70,
+        0.0f64..0.15,
+        0.0f64..0.12,
+        0usize..12,
+    )
+        .prop_map(|(seed, n_funcs, split, rbp, asm)| {
             let mut cfg = SynthConfig::small(seed);
             cfg.n_funcs = n_funcs;
             cfg.rates = FeatureRates {
@@ -18,8 +24,7 @@ fn arb_config() -> impl Strategy<Value = SynthConfig> {
                 ..FeatureRates::default()
             };
             cfg
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,111 @@
+//! Observational equivalence of the incremental detection substrate.
+//!
+//! [`DetectionState::new`] runs every recursion through the persistent
+//! [`fetch_disasm::RecEngine`] (decode cache, seed-delta extension,
+//! skipped fixpoint re-walks); [`DetectionState::new_reference`] re-runs
+//! each recursion from scratch. For random corpora and random strategy
+//! stacks the two must produce byte-identical [`DetectionResult`]s —
+//! starts, provenance, and layer order.
+
+use fetch_core::{
+    AlignmentSplit, CallFrameRepair, ControlFlowRepair, DetectionResult, DetectionState, EntrySeed,
+    FdeSeeds, FunctionMerge, LinearScanStarts, PointerScan, PrologueMatch, SafeRecursion,
+    SymbolSeeds, TailCallHeuristic, ThunkHeuristic, ToolStyle,
+};
+// `Strategy` names both a fetch-core trait and a proptest trait; keep the
+// detection one under an alias so the proptest prelude wins the bare name.
+use fetch_core::Strategy as DetectionLayer;
+use fetch_synth::{synthesize, FeatureRates, SynthConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        any::<u64>(),
+        20usize..90,
+        0.0f64..0.15,
+        0usize..12,
+        0.0f64..0.2,
+        0usize..2,
+    )
+        .prop_map(|(seed, n_funcs, split, asm, data, mislabeled)| {
+            let mut cfg = SynthConfig::small(seed);
+            cfg.n_funcs = n_funcs;
+            cfg.rates = FeatureRates {
+                split_cold: split,
+                asm_funcs: asm,
+                data_in_text: data,
+                mislabeled_fdes: mislabeled,
+                ..FeatureRates::default()
+            };
+            cfg
+        })
+}
+
+/// All strategy layers, indexable so a random `Vec<u8>` becomes a stack.
+fn layer_pool() -> Vec<Box<dyn DetectionLayer>> {
+    vec![
+        Box::new(FdeSeeds),
+        Box::new(SymbolSeeds),
+        Box::new(EntrySeed),
+        Box::new(SafeRecursion::default()),
+        Box::new(PointerScan),
+        Box::new(CallFrameRepair::default()),
+        Box::new(PrologueMatch {
+            style: ToolStyle::Ghidra,
+        }),
+        Box::new(PrologueMatch {
+            style: ToolStyle::Angr,
+        }),
+        Box::new(PrologueMatch {
+            style: ToolStyle::Radare,
+        }),
+        Box::new(TailCallHeuristic {
+            style: ToolStyle::Ghidra,
+        }),
+        Box::new(TailCallHeuristic {
+            style: ToolStyle::Angr,
+        }),
+        Box::new(LinearScanStarts),
+        Box::new(ControlFlowRepair),
+        Box::new(FunctionMerge),
+        Box::new(ThunkHeuristic),
+        Box::new(AlignmentSplit),
+    ]
+}
+
+fn run_layers(mut state: DetectionState<'_>, picks: &[u8]) -> DetectionResult {
+    let pool = layer_pool();
+    for &p in picks {
+        let layer = &pool[p as usize % pool.len()];
+        layer.apply(&mut state);
+        state.layers.push(layer.name().to_string());
+    }
+    state.into_result()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random stacks over random corpora: incremental == from-scratch.
+    #[test]
+    fn incremental_equals_reference(
+        cfg in arb_config(),
+        picks in proptest::collection::vec(any::<u8>(), 1..7),
+    ) {
+        let case = synthesize(&cfg);
+        let incremental = run_layers(DetectionState::new(&case.binary), &picks);
+        let reference = run_layers(DetectionState::new_reference(&case.binary), &picks);
+        prop_assert_eq!(&incremental, &reference, "stack {:?} diverged", picks);
+    }
+
+    /// The paper's optimal pipeline, which exercises the seed-extension
+    /// path (PointerScan) and the repair re-run path, in one stack.
+    #[test]
+    fn fetch_pipeline_equals_reference(cfg in arb_config()) {
+        let case = synthesize(&cfg);
+        let stack: Vec<u8> = vec![0, 3, 4, 5]; // FDE, Rec, Xref, TcallFix
+        let incremental = run_layers(DetectionState::new(&case.binary), &stack);
+        let reference = run_layers(DetectionState::new_reference(&case.binary), &stack);
+        prop_assert_eq!(&incremental, &reference);
+    }
+}

@@ -1,0 +1,187 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment is offline, so the workspace vendors the subset
+//! of the criterion 0.5 API its benches use: [`Criterion`],
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros. Measurement is
+//! straightforward wall-clock sampling (a short warmup, then one timed
+//! run per sample) reporting mean and minimum per benchmark — enough to
+//! compare pipeline stages and track regressions, without criterion's
+//! statistical machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 20;
+const WARMUP_ITERS: usize = 3;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Parses the harness arguments `cargo bench` forwards (`--bench` is
+    /// swallowed; the first free argument becomes a name filter).
+    pub fn from_args() -> Criterion {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let name = name.to_string();
+        run_one(self, &name, DEFAULT_SAMPLES, f);
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion, &full, self.sample_size, f);
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_target: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: a short warmup, then one timed call per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_target {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(criterion: &Criterion, name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_target: samples,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name}: no samples collected");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().unwrap();
+    println!(
+        "{name}: mean {} / min {} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        b.samples.len()
+    );
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+        };
+        let mut ran = false;
+        c.bench_function("name", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}

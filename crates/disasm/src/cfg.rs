@@ -32,7 +32,12 @@ pub fn function_extents(result: &RecResult) -> BTreeMap<u64, FunctionBody> {
     result
         .functions
         .iter()
-        .map(|&f| (f, body_of(f, &result.disasm, &result.functions, &result.noreturn)))
+        .map(|&f| {
+            (
+                f,
+                body_of(f, &result.disasm, &result.functions, &result.noreturn),
+            )
+        })
         .collect()
 }
 
@@ -44,7 +49,10 @@ pub fn body_of(
     functions: &BTreeSet<u64>,
     noreturn: &BTreeSet<u64>,
 ) -> FunctionBody {
-    let mut body = FunctionBody { start, ..FunctionBody::default() };
+    let mut body = FunctionBody {
+        start,
+        ..FunctionBody::default()
+    };
     let mut stack = vec![start];
     while let Some(mut cur) = stack.pop() {
         loop {
@@ -121,9 +129,12 @@ pub struct Xref {
 /// Collects all code-borne references, keyed by target address.
 pub fn code_xrefs(disasm: &Disassembly) -> BTreeMap<u64, Vec<Xref>> {
     let mut out: BTreeMap<u64, Vec<Xref>> = BTreeMap::new();
-    for (&addr, inst) in &disasm.insts {
+    for inst in disasm.iter() {
+        let addr = inst.addr;
         let mut add = |target: u64, kind: XrefKind| {
-            out.entry(target).or_default().push(Xref { from: addr, kind });
+            out.entry(target)
+                .or_default()
+                .push(Xref { from: addr, kind });
         };
         match inst.flow() {
             Flow::Call(t) => add(t, XrefKind::Call),
@@ -172,7 +183,12 @@ mod tests {
         let r = recursive_disassemble(&case.binary, &seeds, &RecOptions::default());
         let xrefs = code_xrefs(&r.disasm);
         // main is called from _start.
-        let main = case.truth.functions.iter().find(|f| f.name == "main").unwrap();
+        let main = case
+            .truth
+            .functions
+            .iter()
+            .find(|f| f.name == "main")
+            .unwrap();
         let refs = xrefs.get(&main.entry()).expect("main referenced");
         assert!(refs.iter().any(|x| x.kind == XrefKind::Call));
     }

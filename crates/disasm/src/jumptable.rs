@@ -53,9 +53,15 @@ pub fn solve_jump_table(block: &[Inst], jmp: &Inst, bin: &Binary) -> Option<Jump
                 add_base = Some(s);
             }
             // movsxd r, [base + idx*4]
-            Op::Movsxd(d, Rm::Mem(Mem { base: Some(b), index: Some((ix, 4)), disp: 0, .. }))
-                if d == jump_reg && Some(b) == add_base && index_reg.is_none() =>
-            {
+            Op::Movsxd(
+                d,
+                Rm::Mem(Mem {
+                    base: Some(b),
+                    index: Some((ix, 4)),
+                    disp: 0,
+                    ..
+                }),
+            ) if d == jump_reg && Some(b) == add_base && index_reg.is_none() => {
                 index_reg = Some(ix);
             }
             // lea base, [rip + table]
@@ -89,7 +95,11 @@ pub fn solve_jump_table(block: &[Inst], jmp: &Inst, bin: &Binary) -> Option<Jump
         }
         targets.push(target);
     }
-    Some(JumpTable { jmp_addr: jmp.addr, table_addr, targets })
+    Some(JumpTable {
+        jmp_addr: jmp.addr,
+        table_addr,
+        targets,
+    })
 }
 
 #[cfg(test)]
@@ -111,7 +121,10 @@ mod tests {
         asm.jcc(Cc::A, default);
         // lea r11, [rip + table] — patched manually below.
         asm.lea_rip_ext(Reg::R11, 0);
-        asm.push(Op::Movsxd(Reg::Rax, Rm::Mem(Mem::base_index(Reg::R11, Reg::Rax, 4, 0))));
+        asm.push(Op::Movsxd(
+            Reg::Rax,
+            Rm::Mem(Mem::base_index(Reg::R11, Reg::Rax, 4, 0)),
+        ));
         asm.push(Op::AluRR(AluOp::Add, Width::W64, Reg::Rax, Reg::R11));
         asm.push(Op::JmpInd(Rm::Reg(Reg::Rax)));
         // Case bodies: 4 × (nop; ret).

@@ -36,5 +36,5 @@ pub use jumptable::{solve_jump_table, JumpTable};
 pub use linear::{sweep, sweep_tolerant, Sweep};
 pub use nonreturn::{classify_noreturn, status_arg_is_zero, ErrorCallPolicy};
 pub use recursive::{
-    call_returns, recursive_disassemble, Disassembly, RecOptions, RecResult,
+    call_returns, recursive_disassemble, Disassembly, RecEngine, RecOptions, RecResult,
 };

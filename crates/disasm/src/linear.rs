@@ -33,7 +33,10 @@ pub fn sweep(bytes: &[u8], addr: u64) -> Sweep {
                 insts.push(i);
             }
             Err(e) => {
-                return Sweep { insts, error: Some((addr + off as u64, e)) };
+                return Sweep {
+                    insts,
+                    error: Some((addr + off as u64, e)),
+                };
             }
         }
     }

@@ -56,14 +56,29 @@ pub fn classify_noreturn(
 ) -> BTreeSet<u64> {
     // `returning` grows monotonically; the residue is non-returning.
     let mut returning: BTreeSet<u64> = BTreeSet::new();
+    // One dense visited table for the whole classification, re-used by
+    // every traversal via generation stamps (a fresh stamp per call
+    // replaces a fresh BTreeSet per call).
+    let mut scratch = Scratch {
+        stamps: vec![0; disasm.len()],
+        stamp: 0,
+    };
     loop {
         let mut changed = false;
         for &f in functions {
             if returning.contains(&f) {
                 continue;
             }
-            if can_reach_return(f, disasm, functions, error_funcs, policy, prev_noreturn, &returning)
-            {
+            if can_reach_return(
+                f,
+                disasm,
+                functions,
+                error_funcs,
+                policy,
+                prev_noreturn,
+                &returning,
+                &mut scratch,
+            ) {
                 returning.insert(f);
                 changed = true;
             }
@@ -72,7 +87,16 @@ pub fn classify_noreturn(
             break;
         }
     }
-    functions.iter().copied().filter(|f| !returning.contains(f)).collect()
+    functions
+        .iter()
+        .copied()
+        .filter(|f| !returning.contains(f))
+        .collect()
+}
+
+struct Scratch {
+    stamps: Vec<u32>,
+    stamp: u32,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -84,21 +108,27 @@ fn can_reach_return(
     policy: ErrorCallPolicy,
     prev_noreturn: &BTreeSet<u64>,
     returning: &BTreeSet<u64>,
+    scratch: &mut Scratch,
 ) -> bool {
     let mut stack = vec![start];
-    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    scratch.stamp += 1;
+    let track_blocks = !error_funcs.is_empty();
     // Track the current block to support the error-status slice.
     while let Some(mut cur) = stack.pop() {
         let mut block: Vec<Inst> = Vec::new();
         loop {
-            if !seen.insert(cur) {
-                break;
-            }
-            let Some(inst) = disasm.at(cur) else {
+            let Some(slot) = disasm.slot(cur) else {
                 // Ran into undecoded bytes: conservatively returning.
                 return true;
             };
-            block.push(*inst);
+            if scratch.stamps[slot] == scratch.stamp {
+                break;
+            }
+            scratch.stamps[slot] = scratch.stamp;
+            let inst = disasm.inst_in_slot(slot);
+            if track_blocks {
+                block.push(*inst);
+            }
             match inst.flow() {
                 Flow::Ret => return true,
                 Flow::Halt | Flow::Trap => break,
@@ -169,7 +199,7 @@ mod tests {
         let mut off = 0usize;
         while off < bytes.len() {
             let i = decode(&bytes[off..], addr).unwrap();
-            d.insts.insert(addr, i);
+            d.insert(i);
             off += i.len as usize;
             addr += i.len as u64;
         }
@@ -225,14 +255,21 @@ mod tests {
             &BTreeSet::new(),
         );
         assert!(!nr.contains(&base), "jmp to returning fn returns");
-        assert!(nr.contains(&(base + f2_off as u64)), "jmp to ud2 fn does not return");
+        assert!(
+            nr.contains(&(base + f2_off as u64)),
+            "jmp to ud2 fn does not return"
+        );
         assert!(nr.contains(&(base + f3_off as u64)));
     }
 
     #[test]
     fn error_slice_distinguishes_status() {
         use fetch_x64::{AluOp, Inst, Reg, Width};
-        let mk = |op| Inst { addr: 0, len: 1, op };
+        let mk = |op| Inst {
+            addr: 0,
+            len: 1,
+            op,
+        };
         // xor edi, edi; call error → returns.
         let block = vec![
             mk(Op::AluRR(AluOp::Xor, Width::W32, Reg::Rdi, Reg::Rdi)),

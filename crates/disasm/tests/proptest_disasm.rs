@@ -9,18 +9,16 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 fn arb_config() -> impl Strategy<Value = SynthConfig> {
-    (any::<u64>(), 20usize..70, 0.0f64..0.15, 0usize..12).prop_map(
-        |(seed, n_funcs, split, asm)| {
-            let mut cfg = SynthConfig::small(seed);
-            cfg.n_funcs = n_funcs;
-            cfg.rates = FeatureRates {
-                split_cold: split,
-                asm_funcs: asm,
-                ..FeatureRates::default()
-            };
-            cfg
-        },
-    )
+    (any::<u64>(), 20usize..70, 0.0f64..0.15, 0usize..12).prop_map(|(seed, n_funcs, split, asm)| {
+        let mut cfg = SynthConfig::small(seed);
+        cfg.n_funcs = n_funcs;
+        cfg.rates = FeatureRates {
+            split_cold: split,
+            asm_funcs: asm,
+            ..FeatureRates::default()
+        };
+        cfg
+    })
 }
 
 proptest! {
@@ -37,11 +35,12 @@ proptest! {
         let a = recursive_disassemble(&case.binary, &seeds, &opts);
         let b = recursive_disassemble(&case.binary, &seeds, &opts);
         prop_assert_eq!(a.functions.clone(), b.functions.clone());
-        prop_assert_eq!(a.disasm.insts.len(), b.disasm.insts.len());
+        prop_assert_eq!(a.disasm.len(), b.disasm.len());
 
         let text = case.binary.text();
         let mut prev_end = 0u64;
-        for (&addr, inst) in &a.disasm.insts {
+        for inst in a.disasm.iter() {
+            let addr = inst.addr;
             prop_assert!(text.contains(addr));
             prop_assert!(addr >= prev_end, "overlap at {addr:#x}");
             prev_end = inst.end();
@@ -58,8 +57,7 @@ proptest! {
         let r = recursive_disassemble(&case.binary, &seeds, &RecOptions::default());
         let call_targets: BTreeSet<u64> = r
             .disasm
-            .insts
-            .values()
+            .iter()
             .filter_map(|i| match i.flow() {
                 fetch_x64::Flow::Call(t) => Some(t),
                 _ => None,
@@ -85,7 +83,7 @@ proptest! {
         for (&f, body) in &extents {
             prop_assert!(body.contains(f));
             for a in &body.insts {
-                prop_assert!(r.disasm.insts.contains_key(a));
+                prop_assert!(r.disasm.contains(*a));
             }
             // body_of is deterministic.
             let again = body_of(f, &r.disasm, &r.functions, &r.noreturn);

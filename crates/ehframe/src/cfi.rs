@@ -201,19 +201,25 @@ pub fn decode_cfis(bytes: &[u8], code_align: u64) -> Result<Vec<CfiInst>, CfiErr
                 DW_CFA_ADVANCE_LOC1 => {
                     let d = *bytes.get(pos).ok_or(CfiError::Truncated)? as u64;
                     pos += 1;
-                    out.push(CfiInst::AdvanceLoc { delta: d * code_align.max(1) });
+                    out.push(CfiInst::AdvanceLoc {
+                        delta: d * code_align.max(1),
+                    });
                 }
                 DW_CFA_ADVANCE_LOC2 => {
                     let s = bytes.get(pos..pos + 2).ok_or(CfiError::Truncated)?;
                     pos += 2;
                     let d = u16::from_le_bytes(s.try_into().unwrap()) as u64;
-                    out.push(CfiInst::AdvanceLoc { delta: d * code_align.max(1) });
+                    out.push(CfiInst::AdvanceLoc {
+                        delta: d * code_align.max(1),
+                    });
                 }
                 DW_CFA_ADVANCE_LOC4 => {
                     let s = bytes.get(pos..pos + 4).ok_or(CfiError::Truncated)?;
                     pos += 4;
                     let d = u32::from_le_bytes(s.try_into().unwrap()) as u64;
-                    out.push(CfiInst::AdvanceLoc { delta: d * code_align.max(1) });
+                    out.push(CfiInst::AdvanceLoc {
+                        delta: d * code_align.max(1),
+                    });
                 }
                 DW_CFA_DEF_CFA => {
                     let reg = dwarf_reg(read_uleb(bytes, &mut pos)?)?;
@@ -231,8 +237,10 @@ pub fn decode_cfis(bytes: &[u8], code_align: u64) -> Result<Vec<CfiInst>, CfiErr
                 DW_CFA_EXPRESSION => {
                     let reg = dwarf_reg(read_uleb(bytes, &mut pos)?)?;
                     let len = read_uleb(bytes, &mut pos)? as usize;
-                    let expr =
-                        bytes.get(pos..pos + len).ok_or(CfiError::Truncated)?.to_vec();
+                    let expr = bytes
+                        .get(pos..pos + len)
+                        .ok_or(CfiError::Truncated)?
+                        .to_vec();
                     pos += len;
                     out.push(CfiInst::Expression { reg, expr });
                 }
@@ -247,10 +255,21 @@ impl fmt::Display for CfiInst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CfiInst::DefCfa { reg, offset } => {
-                write!(f, "DW_CFA_def_cfa: r{} ({}) ofs {}", reg.dwarf_number(), reg, offset)
+                write!(
+                    f,
+                    "DW_CFA_def_cfa: r{} ({}) ofs {}",
+                    reg.dwarf_number(),
+                    reg,
+                    offset
+                )
             }
             CfiInst::DefCfaRegister { reg } => {
-                write!(f, "DW_CFA_def_cfa_register: r{} ({})", reg.dwarf_number(), reg)
+                write!(
+                    f,
+                    "DW_CFA_def_cfa_register: r{} ({})",
+                    reg.dwarf_number(),
+                    reg
+                )
             }
             CfiInst::DefCfaOffset { offset } => {
                 write!(f, "DW_CFA_def_cfa_offset: {offset}")
@@ -282,13 +301,22 @@ mod tests {
     fn roundtrip_figure_4b() {
         // The FDE program of Figure 4b.
         let cfis = vec![
-            CfiInst::DefCfa { reg: Reg::Rsp, offset: 8 },
+            CfiInst::DefCfa {
+                reg: Reg::Rsp,
+                offset: 8,
+            },
             CfiInst::AdvanceLoc { delta: 1 },
             CfiInst::DefCfaOffset { offset: 16 },
-            CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+            CfiInst::Offset {
+                reg: Reg::Rbp,
+                factored: 2,
+            },
             CfiInst::AdvanceLoc { delta: 12 },
             CfiInst::DefCfaOffset { offset: 24 },
-            CfiInst::Offset { reg: Reg::Rbx, factored: 3 },
+            CfiInst::Offset {
+                reg: Reg::Rbx,
+                factored: 3,
+            },
             CfiInst::AdvanceLoc { delta: 11 },
             CfiInst::DefCfaOffset { offset: 32 },
             CfiInst::AdvanceLoc { delta: 29 },
@@ -316,7 +344,10 @@ mod tests {
     #[test]
     fn expression_roundtrip() {
         // Figure 6b: DW_CFA_expression reg8 DW_OP_breg7 +40.
-        let cfis = vec![CfiInst::Expression { reg: Reg::R8, expr: vec![0x77, 40] }];
+        let cfis = vec![CfiInst::Expression {
+            reg: Reg::R8,
+            expr: vec![0x77, 40],
+        }];
         let mut bytes = Vec::new();
         encode_cfis(&cfis, 1, &mut bytes);
         assert_eq!(decode_cfis(&bytes, 1).unwrap(), cfis);
@@ -329,9 +360,15 @@ mod tests {
 
     #[test]
     fn display_matches_readelf_style() {
-        let i = CfiInst::DefCfa { reg: Reg::Rsp, offset: 8 };
+        let i = CfiInst::DefCfa {
+            reg: Reg::Rsp,
+            offset: 8,
+        };
         assert_eq!(i.to_string(), "DW_CFA_def_cfa: r7 (rsp) ofs 8");
-        let o = CfiInst::Offset { reg: Reg::Rbp, factored: 2 };
+        let o = CfiInst::Offset {
+            reg: Reg::Rbp,
+            factored: 2,
+        };
         assert_eq!(o.to_string(), "DW_CFA_offset: r6 (rbp) at cfa-16");
     }
 }

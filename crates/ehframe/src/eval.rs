@@ -76,12 +76,19 @@ impl CfaTable {
             cfa_is_expr: bool,
             saved: Vec<(Reg, i64)>,
         }
-        let mut st = State { cfa: None, cfa_is_expr: false, saved: Vec::new() };
+        let mut st = State {
+            cfa: None,
+            cfa_is_expr: false,
+            saved: Vec::new(),
+        };
 
         fn apply(inst: &CfiInst, st: &mut State, data_align: i64) -> Result<(), EvalError> {
             match inst {
                 CfiInst::DefCfa { reg, offset } => {
-                    st.cfa = Some(CfaRule { reg: *reg, offset: *offset as i64 });
+                    st.cfa = Some(CfaRule {
+                        reg: *reg,
+                        offset: *offset as i64,
+                    });
                     st.cfa_is_expr = false;
                 }
                 CfiInst::DefCfaRegister { reg } => {
@@ -147,7 +154,11 @@ impl CfaTable {
         }
         commit(loc, &st, &mut rows);
 
-        Ok(CfaTable { pc_begin: fde.pc_begin, pc_end: fde.pc_end(), rows })
+        Ok(CfaTable {
+            pc_begin: fde.pc_begin,
+            pc_end: fde.pc_end(),
+            rows,
+        })
     }
 
     /// The row in effect at `pc`, or `None` outside the covered range.
@@ -214,7 +225,10 @@ pub fn stack_heights(cie: &Cie, fde: &Fde) -> Result<Option<HeightTable>, EvalEr
     let mut entries = Vec::with_capacity(table.rows.len());
     for row in &table.rows {
         match row.cfa {
-            Some(CfaRule { reg: Reg::Rsp, offset }) => {
+            Some(CfaRule {
+                reg: Reg::Rsp,
+                offset,
+            }) => {
                 entries.push((row.addr, offset - 8));
             }
             _ => return Ok(None), // rbp-based or expression CFA: incomplete
@@ -224,7 +238,11 @@ pub fn stack_heights(cie: &Cie, fde: &Fde) -> Result<Option<HeightTable>, EvalEr
         Some(&(addr, 0)) if addr == fde.pc_begin => {}
         _ => return Ok(None), // not initialized as rsp+8 at the entry
     }
-    Ok(Some(HeightTable { pc_begin: table.pc_begin, pc_end: table.pc_end, entries }))
+    Ok(Some(HeightTable {
+        pc_begin: table.pc_begin,
+        pc_end: table.pc_end,
+        entries,
+    }))
 }
 
 #[cfg(test)]
@@ -239,10 +257,16 @@ mod tests {
             cfis: vec![
                 CfiInst::AdvanceLoc { delta: 1 },
                 CfiInst::DefCfaOffset { offset: 16 },
-                CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+                CfiInst::Offset {
+                    reg: Reg::Rbp,
+                    factored: 2,
+                },
                 CfiInst::AdvanceLoc { delta: 12 },
                 CfiInst::DefCfaOffset { offset: 24 },
-                CfiInst::Offset { reg: Reg::Rbx, factored: 3 },
+                CfiInst::Offset {
+                    reg: Reg::Rbx,
+                    factored: 3,
+                },
                 CfiInst::AdvanceLoc { delta: 11 },
                 CfiInst::DefCfaOffset { offset: 32 },
                 CfiInst::AdvanceLoc { delta: 29 },
@@ -262,18 +286,42 @@ mod tests {
         let table = CfaTable::evaluate(&cie, &fde).unwrap();
         // At b0 (entry): CFA = rsp + 8.
         let row = table.row_at(0xb0).unwrap();
-        assert_eq!(row.cfa, Some(CfaRule { reg: Reg::Rsp, offset: 8 }));
+        assert_eq!(
+            row.cfa,
+            Some(CfaRule {
+                reg: Reg::Rsp,
+                offset: 8
+            })
+        );
         // After push rbp (b1..): CFA = rsp + 16, rbp saved at cfa-16.
         let row = table.row_at(0xb1).unwrap();
-        assert_eq!(row.cfa, Some(CfaRule { reg: Reg::Rsp, offset: 16 }));
+        assert_eq!(
+            row.cfa,
+            Some(CfaRule {
+                reg: Reg::Rsp,
+                offset: 16
+            })
+        );
         assert!(row.saved.contains(&(Reg::Rbp, -16)));
         // Mid-body (c8..e4): CFA = rsp + 32 with rbp and rbx saved.
         let row = table.row_at(0xd0).unwrap();
-        assert_eq!(row.cfa, Some(CfaRule { reg: Reg::Rsp, offset: 32 }));
+        assert_eq!(
+            row.cfa,
+            Some(CfaRule {
+                reg: Reg::Rsp,
+                offset: 32
+            })
+        );
         assert!(row.saved.contains(&(Reg::Rbx, -24)));
         // After final pop rbp (e7): back to CFA = rsp + 8.
         let row = table.row_at(0xe7).unwrap();
-        assert_eq!(row.cfa, Some(CfaRule { reg: Reg::Rsp, offset: 8 }));
+        assert_eq!(
+            row.cfa,
+            Some(CfaRule {
+                reg: Reg::Rsp,
+                offset: 8
+            })
+        );
         // Outside the range.
         assert!(table.row_at(0xe8).is_none());
     }
@@ -311,9 +359,18 @@ mod tests {
     #[test]
     fn non_standard_initial_rule_is_incomplete() {
         // Hand-written FDEs sometimes start with a non rsp+8 rule.
-        let mut cie = Cie::default();
-        cie.initial_cfis = vec![CfiInst::DefCfa { reg: Reg::Rsp, offset: 16 }];
-        let fde = Fde { pc_begin: 0, pc_range: 8, cfis: vec![] };
+        let cie = Cie {
+            initial_cfis: vec![CfiInst::DefCfa {
+                reg: Reg::Rsp,
+                offset: 16,
+            }],
+            ..Cie::default()
+        };
+        let fde = Fde {
+            pc_begin: 0,
+            pc_range: 8,
+            cfis: vec![],
+        };
         assert_eq!(stack_heights(&cie, &fde).unwrap(), None);
     }
 
@@ -325,7 +382,10 @@ mod tests {
             pc_range: 4,
             cfis: vec![CfiInst::AdvanceLoc { delta: 100 }],
         };
-        assert_eq!(CfaTable::evaluate(&cie, &fde), Err(EvalError::AdvancePastEnd));
+        assert_eq!(
+            CfaTable::evaluate(&cie, &fde),
+            Err(EvalError::AdvancePastEnd)
+        );
     }
 
     #[test]

@@ -99,7 +99,7 @@ impl Pdata {
     /// of entries, and [`PdataError::NotSorted`] when the loader's sorted
     /// invariant does not hold.
     pub fn parse(bytes: &[u8]) -> Result<Pdata, PdataError> {
-        if bytes.len() % 12 != 0 {
+        if !bytes.len().is_multiple_of(12) {
             return Err(PdataError::BadSize);
         }
         let mut entries = Vec::with_capacity(bytes.len() / 12);
@@ -126,9 +126,21 @@ mod tests {
     fn sample() -> Pdata {
         Pdata {
             entries: vec![
-                RuntimeFunction { begin: 0x1000, end: 0x1080, unwind_info: 0x5000 },
-                RuntimeFunction { begin: 0x1080, end: 0x10f0, unwind_info: 0x500c },
-                RuntimeFunction { begin: 0x1100, end: 0x1200, unwind_info: 0x5018 },
+                RuntimeFunction {
+                    begin: 0x1000,
+                    end: 0x1080,
+                    unwind_info: 0x5000,
+                },
+                RuntimeFunction {
+                    begin: 0x1080,
+                    end: 0x10f0,
+                    unwind_info: 0x500c,
+                },
+                RuntimeFunction {
+                    begin: 0x1100,
+                    end: 0x1200,
+                    unwind_info: 0x5018,
+                },
             ],
         }
     }
@@ -161,7 +173,11 @@ mod tests {
         assert_eq!(Pdata::parse(&p.encode()), Err(PdataError::NotSorted));
         // Empty range.
         let bad = Pdata {
-            entries: vec![RuntimeFunction { begin: 8, end: 8, unwind_info: 0 }],
+            entries: vec![RuntimeFunction {
+                begin: 8,
+                end: 8,
+                unwind_info: 0,
+            }],
         };
         assert_eq!(Pdata::parse(&bad.encode()), Err(PdataError::NotSorted));
     }

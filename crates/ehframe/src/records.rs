@@ -35,7 +35,10 @@ impl Default for Cie {
             data_align: -8,
             ret_addr_reg: 16,
             fde_encoding: PE_PCREL_SDATA4,
-            initial_cfis: vec![CfiInst::DefCfa { reg: Reg::Rsp, offset: 8 }],
+            initial_cfis: vec![CfiInst::DefCfa {
+                reg: Reg::Rsp,
+                offset: 8,
+            }],
         }
     }
 }
@@ -197,7 +200,7 @@ pub fn encode_eh_frame(eh: &EhFrame, section_addr: u64) -> Vec<u8> {
         for fde in fdes {
             let fde_off = out.len();
             out.extend_from_slice(&[0; 4]); // length placeholder
-            // CIE pointer: distance from this field back to the CIE start.
+                                            // CIE pointer: distance from this field back to the CIE start.
             let cie_ptr = (fde_off + 4 - cie_off) as u32;
             out.extend_from_slice(&cie_ptr.to_le_bytes());
             // PC Begin, pcrel sdata4.
@@ -220,7 +223,7 @@ pub fn encode_eh_frame(eh: &EhFrame, section_addr: u64) -> Vec<u8> {
 
 fn pad_and_patch_length(out: &mut Vec<u8>, entry_off: usize) {
     // Pad the entry body to 4-byte alignment with DW_CFA_nop (0x00).
-    while (out.len() - entry_off) % 4 != 0 {
+    while !(out.len() - entry_off).is_multiple_of(4) {
         out.push(0);
     }
     let len = (out.len() - entry_off - 4) as u32;
@@ -245,7 +248,9 @@ pub fn parse_eh_frame(bytes: &[u8], section_addr: u64) -> Result<EhFrame, ParseE
         if len == 0 {
             break; // terminator
         }
-        let body_end = pos.checked_add(len).ok_or(ParseError::BadLength { at: entry_off })?;
+        let body_end = pos
+            .checked_add(len)
+            .ok_or(ParseError::BadLength { at: entry_off })?;
         if body_end > bytes.len() {
             return Err(ParseError::BadLength { at: entry_off });
         }
@@ -283,7 +288,14 @@ pub fn parse_eh_frame(bytes: &[u8], section_addr: u64) -> Result<EhFrame, ParseE
             }
             cie_index.push((entry_off, eh.groups.len()));
             eh.groups.push((
-                Cie { version, code_align, data_align, ret_addr_reg, fde_encoding, initial_cfis },
+                Cie {
+                    version,
+                    code_align,
+                    data_align,
+                    ret_addr_reg,
+                    fde_encoding,
+                    initial_cfis,
+                },
                 Vec::new(),
             ));
         } else {
@@ -320,7 +332,11 @@ pub fn parse_eh_frame(bytes: &[u8], section_addr: u64) -> Result<EhFrame, ParseE
             while cfis.last() == Some(&CfiInst::Nop) {
                 cfis.pop();
             }
-            eh.groups[group].1.push(Fde { pc_begin, pc_range: pc_range as u64, cfis });
+            eh.groups[group].1.push(Fde {
+                pc_begin,
+                pc_range: pc_range as u64,
+                cfis,
+            });
         }
         pos = body_end;
     }
@@ -338,10 +354,16 @@ mod tests {
             cfis: vec![
                 CfiInst::AdvanceLoc { delta: 1 },
                 CfiInst::DefCfaOffset { offset: 16 },
-                CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+                CfiInst::Offset {
+                    reg: Reg::Rbp,
+                    factored: 2,
+                },
                 CfiInst::AdvanceLoc { delta: 12 },
                 CfiInst::DefCfaOffset { offset: 24 },
-                CfiInst::Offset { reg: Reg::Rbx, factored: 3 },
+                CfiInst::Offset {
+                    reg: Reg::Rbx,
+                    factored: 3,
+                },
                 CfiInst::AdvanceLoc { delta: 11 },
                 CfiInst::DefCfaOffset { offset: 32 },
                 CfiInst::AdvanceLoc { delta: 29 },
@@ -367,16 +389,30 @@ mod tests {
     #[test]
     fn roundtrip_multiple_groups() {
         let mut eh = EhFrame::new();
-        let f1 = Fde { pc_begin: 0x1000, pc_range: 0x80, cfis: vec![] };
+        let f1 = Fde {
+            pc_begin: 0x1000,
+            pc_range: 0x80,
+            cfis: vec![],
+        };
         let f2 = Fde {
             pc_begin: 0x1100,
             pc_range: 0x40,
-            cfis: vec![CfiInst::AdvanceLoc { delta: 4 }, CfiInst::DefCfaOffset { offset: 16 }],
+            cfis: vec![
+                CfiInst::AdvanceLoc { delta: 4 },
+                CfiInst::DefCfaOffset { offset: 16 },
+            ],
         };
-        let f3 = Fde { pc_begin: 0x2000, pc_range: 0x10, cfis: vec![] };
+        let f3 = Fde {
+            pc_begin: 0x2000,
+            pc_range: 0x10,
+            cfis: vec![],
+        };
         eh.groups.push((Cie::default(), vec![f1, f2]));
         let mut cie2 = Cie::default();
-        cie2.initial_cfis.push(CfiInst::Offset { reg: Reg::Rbp, factored: 2 });
+        cie2.initial_cfis.push(CfiInst::Offset {
+            reg: Reg::Rbp,
+            factored: 2,
+        });
         eh.groups.push((cie2, vec![f3]));
         let bytes = encode_eh_frame(&eh, 0x7_0000);
         let parsed = parse_eh_frame(&bytes, 0x7_0000).unwrap();

@@ -103,23 +103,32 @@ impl std::error::Error for UnwindError {}
 ///
 /// See [`UnwindError`]. A [`UnwindError::NoFde`] corresponds to the
 /// `terminate` path in Figure 2.
-pub fn unwind_one(eh: &EhFrame, machine: &Machine, memory: &Memory) -> Result<Machine, UnwindError> {
+pub fn unwind_one(
+    eh: &EhFrame,
+    machine: &Machine,
+    memory: &Memory,
+) -> Result<Machine, UnwindError> {
     // T1: find the function (FDE) containing the pc.
     let (cie, fde) = eh
         .fdes_with_cie()
         .find(|(_, f)| f.contains(machine.pc))
         .ok_or(UnwindError::NoFde { pc: machine.pc })?;
 
-    let table = CfaTable::evaluate(cie, fde).map_err(|_| UnwindError::UnsupportedCfa {
-        pc: machine.pc,
-    })?;
-    let row = table.row_at(machine.pc).ok_or(UnwindError::NoFde { pc: machine.pc })?;
+    let table =
+        CfaTable::evaluate(cie, fde).map_err(|_| UnwindError::UnsupportedCfa { pc: machine.pc })?;
+    let row = table
+        .row_at(machine.pc)
+        .ok_or(UnwindError::NoFde { pc: machine.pc })?;
 
     // T2: compute the CFA and fetch the return address at CFA - 8.
-    let CfaRule { reg, offset } = row.cfa.ok_or(UnwindError::UnsupportedCfa { pc: machine.pc })?;
+    let CfaRule { reg, offset } = row
+        .cfa
+        .ok_or(UnwindError::UnsupportedCfa { pc: machine.pc })?;
     let cfa = machine.reg(reg).wrapping_add(offset as u64);
     let ra_addr = cfa.wrapping_sub(8);
-    let ra = memory.read(ra_addr).ok_or(UnwindError::MemoryHole { addr: ra_addr })?;
+    let ra = memory
+        .read(ra_addr)
+        .ok_or(UnwindError::MemoryHole { addr: ra_addr })?;
 
     // T3: restore callee-saved registers recorded by DW_CFA_offset.
     let mut caller = machine.clone();
@@ -137,12 +146,7 @@ pub fn unwind_one(eh: &EhFrame, machine: &Machine, memory: &Memory) -> Result<Ma
 /// Unwinds until no FDE covers the pc (or `max_frames` is reached),
 /// returning the call chain of pcs — the "search the handler in the call
 /// chain" loop of Figure 2.
-pub fn backtrace(
-    eh: &EhFrame,
-    machine: &Machine,
-    memory: &Memory,
-    max_frames: usize,
-) -> Vec<u64> {
+pub fn backtrace(eh: &EhFrame, machine: &Machine, memory: &Memory, max_frames: usize) -> Vec<u64> {
     let mut chain = vec![machine.pc];
     let mut m = machine.clone();
     for _ in 0..max_frames {
@@ -176,10 +180,16 @@ mod tests {
                 cfis: vec![
                     CfiInst::AdvanceLoc { delta: 1 },
                     CfiInst::DefCfaOffset { offset: 16 },
-                    CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+                    CfiInst::Offset {
+                        reg: Reg::Rbp,
+                        factored: 2,
+                    },
                     CfiInst::AdvanceLoc { delta: 12 },
                     CfiInst::DefCfaOffset { offset: 24 },
-                    CfiInst::Offset { reg: Reg::Rbx, factored: 3 },
+                    CfiInst::Offset {
+                        reg: Reg::Rbx,
+                        factored: 3,
+                    },
                     CfiInst::AdvanceLoc { delta: 11 },
                     CfiInst::DefCfaOffset { offset: 32 },
                 ],
@@ -229,10 +239,17 @@ mod tests {
                     cfis: vec![
                         CfiInst::AdvanceLoc { delta: 1 },
                         CfiInst::DefCfaOffset { offset: 16 },
-                        CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+                        CfiInst::Offset {
+                            reg: Reg::Rbp,
+                            factored: 2,
+                        },
                     ],
                 },
-                Fde { pc_begin: 0x200, pc_range: 0x40, cfis: vec![] },
+                Fde {
+                    pc_begin: 0x200,
+                    pc_range: 0x40,
+                    cfis: vec![],
+                },
             ],
         ));
 
@@ -242,8 +259,8 @@ mod tests {
         // main's return address: outside any FDE, ends the backtrace.
         mem.write(main_cfa - 8, 0xdead_0000);
         mem.write(main_cfa - 16, 0x1); // main's saved rbp
-        // div's frame: called from main at pc 0x150 → RA 0x155.
-        // div's CFA = rsp_at_entry + 8; main called with rsp = main_cfa-16.
+                                       // div's frame: called from main at pc 0x150 → RA 0x155.
+                                       // div's CFA = rsp_at_entry + 8; main called with rsp = main_cfa-16.
         let div_cfa = main_cfa - 16;
         mem.write(div_cfa - 8, 0x155); // RA into main
 

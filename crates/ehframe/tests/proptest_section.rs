@@ -2,7 +2,7 @@
 //! binary encode/parse round trip, and evaluation is total on them.
 
 use fetch_ehframe::{
-    encode_eh_frame, parse_eh_frame, stack_heights, CfaTable, Cie, CfiInst, EhFrame, Fde,
+    encode_eh_frame, parse_eh_frame, stack_heights, CfaTable, CfiInst, Cie, EhFrame, Fde,
 };
 use fetch_x64::Reg;
 use proptest::prelude::*;
@@ -40,19 +40,23 @@ fn arb_cfis(range: u64) -> impl Strategy<Value = Vec<CfiInst>> {
 
 fn arb_fde() -> impl Strategy<Value = Fde> {
     (0x1000u64..0x4000_0000, 16u64..0x4000).prop_flat_map(|(pc_begin, pc_range)| {
-        arb_cfis(pc_range).prop_map(move |cfis| Fde { pc_begin, pc_range, cfis })
+        arb_cfis(pc_range).prop_map(move |cfis| Fde {
+            pc_begin,
+            pc_range,
+            cfis,
+        })
     })
 }
 
 fn arb_eh_frame() -> impl Strategy<Value = EhFrame> {
-    proptest::collection::vec(proptest::collection::vec(arb_fde(), 1..6), 1..4).prop_map(
-        |groups| EhFrame {
+    proptest::collection::vec(proptest::collection::vec(arb_fde(), 1..6), 1..4).prop_map(|groups| {
+        EhFrame {
             groups: groups
                 .into_iter()
                 .map(|fdes| (Cie::default(), fdes))
                 .collect(),
-        },
-    )
+        }
+    })
 }
 
 proptest! {

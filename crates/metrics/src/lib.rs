@@ -92,7 +92,13 @@ pub fn fde_symbol_coverage(case: &TestCase) -> Option<f64> {
     if !case.binary.has_symbols() {
         return None;
     }
-    let begins: BTreeSet<u64> = case.binary.eh_frame().ok()?.pc_begins().into_iter().collect();
+    let begins: BTreeSet<u64> = case
+        .binary
+        .eh_frame()
+        .ok()?
+        .pc_begins()
+        .into_iter()
+        .collect();
     let sym_addrs: BTreeSet<u64> = case.binary.symbols.iter().map(|s| s.addr).collect();
     if sym_addrs.is_empty() {
         return None;
@@ -172,7 +178,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> TextTable {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (cells are stringified in order).
@@ -183,7 +192,10 @@ impl TextTable {
 
     /// Renders with padded columns and a header rule.
     pub fn render(&self) -> String {
-        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
@@ -264,7 +276,10 @@ mod tests {
         let cov = fde_symbol_coverage(&case).expect("symbols present");
         // FDEs cover all compiled parts; only asm/cold symbol quirks drop it.
         assert!(cov > 90.0, "coverage {cov}");
-        let stripped = TestCase { binary: case.binary.stripped(), truth: case.truth.clone() };
+        let stripped = TestCase {
+            binary: case.binary.stripped(),
+            truth: case.truth.clone(),
+        };
         assert_eq!(fde_symbol_coverage(&stripped), None);
     }
 

@@ -89,7 +89,15 @@ struct Emitter {
     height: u32,
 }
 
-const SCRATCH: [Reg; 7] = [Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi, Reg::R8, Reg::R10];
+const SCRATCH: [Reg; 7] = [
+    Reg::Rax,
+    Reg::Rcx,
+    Reg::Rdx,
+    Reg::Rsi,
+    Reg::Rdi,
+    Reg::R8,
+    Reg::R10,
+];
 
 impl Emitter {
     fn new() -> Emitter {
@@ -157,14 +165,31 @@ impl Emitter {
     }
 
     fn finish(self) -> PartCode {
-        let Emitter { asm, targets, events, anchors, jump_tables, .. } = self;
+        let Emitter {
+            asm,
+            targets,
+            events,
+            anchors,
+            jump_tables,
+            ..
+        } = self;
         let out = asm.finalize().expect("generator binds all labels");
         let fixups = out
             .fixups
             .iter()
-            .map(|f| PartFixup { pos: f.pos, kind: f.kind, target: targets[f.target as usize] })
+            .map(|f| PartFixup {
+                pos: f.pos,
+                kind: f.kind,
+                target: targets[f.target as usize],
+            })
             .collect();
-        PartCode { bytes: out.bytes, fixups, events, anchors, jump_tables }
+        PartCode {
+            bytes: out.bytes,
+            fixups,
+            events,
+            anchors,
+            jump_tables,
+        }
     }
 }
 
@@ -197,7 +222,16 @@ pub fn lower(plan: &FuncPlan, self_index: usize, rng: &mut StdRng) -> FuncCode {
 
     // Body.
     let mut cold_entry_height = 0u32;
-    emit_chunks(&mut e, &plan.chunks, plan, self_index, rng, locals, rbp, &mut cold_entry_height);
+    emit_chunks(
+        &mut e,
+        &plan.chunks,
+        plan,
+        self_index,
+        rng,
+        locals,
+        rbp,
+        &mut cold_entry_height,
+    );
 
     // Epilogue + ending.
     let unwind = |e: &mut Emitter| {
@@ -279,11 +313,23 @@ pub fn lower(plan: &FuncPlan, self_index: usize, rng: &mut StdRng) -> FuncCode {
         }
         // Cold bodies must not touch the cold-branch machinery again.
         let mut unused = 0u32;
-        emit_chunks(&mut c, chunks, plan, self_index, rng, locals, hot_is_rbp, &mut unused);
+        emit_chunks(
+            &mut c,
+            chunks,
+            plan,
+            self_index,
+            rng,
+            locals,
+            hot_is_rbp,
+            &mut unused,
+        );
         if rng.gen_bool(0.5) {
             // Resume: jump back to the hot part's resume anchor (anchor 0
             // is reserved for the resume point by the cold-branch emitter).
-            let t = c.target(TargetRef::Mid { func: self_index, anchor: 0 });
+            let t = c.target(TargetRef::Mid {
+                func: self_index,
+                anchor: 0,
+            });
             c.asm.jmp_ext(t);
         } else {
             // Error path that returns directly from the cold part — the
@@ -304,7 +350,11 @@ pub fn lower(plan: &FuncPlan, self_index: usize, rng: &mut StdRng) -> FuncCode {
         c.finish()
     });
 
-    FuncCode { hot, cold, cold_entry_height }
+    FuncCode {
+        hot,
+        cold,
+        cold_entry_height,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -319,7 +369,16 @@ fn emit_chunks(
     cold_entry_height: &mut u32,
 ) {
     for chunk in chunks {
-        emit_chunk(e, chunk, plan, self_index, rng, locals, rbp, cold_entry_height);
+        emit_chunk(
+            e,
+            chunk,
+            plan,
+            self_index,
+            rng,
+            locals,
+            rbp,
+            cold_entry_height,
+        );
     }
 }
 
@@ -341,7 +400,8 @@ fn emit_chunk(
                 match rng.gen_range(0..5) {
                     0 => {
                         let s = e.src_reg(rng);
-                        let op = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or][rng.gen_range(0..4)];
+                        let op = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or]
+                            [rng.gen_range(0..4usize)];
                         if e.defined.contains(&d) {
                             e.push_op(Op::AluRR(op, Width::W64, d, s));
                         } else {
@@ -379,7 +439,11 @@ fn emit_chunk(
         }
         Chunk::MemTraffic(n) => {
             for _ in 0..*n {
-                let slot = if locals >= 16 { (rng.gen_range(0..locals / 8) * 8) as i32 } else { 0 };
+                let slot = if locals >= 16 {
+                    (rng.gen_range(0..locals / 8) * 8) as i32
+                } else {
+                    0
+                };
                 let mem = if rbp {
                     Mem::base_disp(Reg::Rbp, -(slot + 8))
                 } else if locals > 0 {
@@ -409,7 +473,17 @@ fn emit_chunk(
             }
             let t = e.target(*target);
             e.asm.call_ext(t);
-            for r in [Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi, Reg::R8, Reg::R9, Reg::R10, Reg::R11] {
+            for r in [
+                Reg::Rax,
+                Reg::Rcx,
+                Reg::Rdx,
+                Reg::Rsi,
+                Reg::Rdi,
+                Reg::R8,
+                Reg::R9,
+                Reg::R10,
+                Reg::R11,
+            ] {
                 e.define(r);
             }
         }
@@ -417,9 +491,15 @@ fn emit_chunk(
             let t = e.target(*table);
             e.asm.lea_rip_ext(Reg::R11, t);
             e.define(Reg::R11);
-            e.push_op(Op::CallInd(Rm::Mem(Mem::base_disp(Reg::R11, *slot as i32 * 8))));
+            e.push_op(Op::CallInd(Rm::Mem(Mem::base_disp(
+                Reg::R11,
+                *slot as i32 * 8,
+            ))));
         }
-        Chunk::CallError { target, status_zero } => {
+        Chunk::CallError {
+            target,
+            status_zero,
+        } => {
             if *status_zero {
                 e.push_op(Op::AluRR(AluOp::Xor, Width::W32, Reg::Rdi, Reg::Rdi));
             } else {
@@ -433,13 +513,22 @@ fn emit_chunk(
             let s = e.src_reg(rng);
             e.push_op(Op::AluRI(AluOp::Cmp, Width::W64, s, rng.gen_range(0..64)));
             let skip = e.asm.new_label();
-            let cc = [Cc::E, Cc::Ne, Cc::L, Cc::G][rng.gen_range(0..4)];
+            let cc = [Cc::E, Cc::Ne, Cc::L, Cc::G][rng.gen_range(0..4usize)];
             e.asm.jcc(cc, skip);
             // Writes inside the skipped region are not defined on the
             // skip path; restore the defined set afterwards so later
             // reads stay convention-clean on every path.
             let saved_defs = e.defined.clone();
-            emit_chunks(e, inner, plan, self_index, rng, locals, rbp, cold_entry_height);
+            emit_chunks(
+                e,
+                inner,
+                plan,
+                self_index,
+                rng,
+                locals,
+                rbp,
+                cold_entry_height,
+            );
             e.defined = saved_defs;
             e.asm.bind(skip);
         }
@@ -449,7 +538,16 @@ fn emit_chunk(
             e.define(counter);
             let top = e.asm.new_label();
             e.asm.bind(top);
-            emit_chunks(e, inner, plan, self_index, rng, locals, rbp, cold_entry_height);
+            emit_chunks(
+                e,
+                inner,
+                plan,
+                self_index,
+                rng,
+                locals,
+                rbp,
+                cold_entry_height,
+            );
             e.push_op(Op::Dec(Width::W64, counter));
             e.asm.jcc(Cc::Ne, top);
         }
@@ -458,7 +556,12 @@ fn emit_chunk(
             // Classic idiom: bounds check, table load, indexed jump.
             e.push_op(Op::MovRR(Width::W32, Reg::Rax, Reg::Rdi));
             e.define(Reg::Rax);
-            e.push_op(Op::AluRI(AluOp::Cmp, Width::W64, Reg::Rax, cases as i32 - 1));
+            e.push_op(Op::AluRI(
+                AluOp::Cmp,
+                Width::W64,
+                Reg::Rax,
+                cases as i32 - 1,
+            ));
             let default = e.asm.new_label();
             e.asm.jcc(Cc::A, default);
             let jt_index = e.jump_tables.len();
@@ -544,7 +647,10 @@ mod tests {
     fn frame_function_balances_stack() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut plan = FuncPlan::stub("g");
-        plan.frame = FrameKind::Frameless { saves: vec![Reg::Rbx, Reg::R12], locals: 0x28 };
+        plan.frame = FrameKind::Frameless {
+            saves: vec![Reg::Rbx, Reg::R12],
+            locals: 0x28,
+        };
         plan.chunks = vec![Chunk::Arith(4), Chunk::MemTraffic(3)];
         let code = lower(&plan, 0, &mut rng);
         let insts = decode_ok(&code.hot.bytes);
@@ -564,7 +670,10 @@ mod tests {
     fn cold_branch_emits_external_jcc_and_anchor() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut plan = FuncPlan::stub("h");
-        plan.frame = FrameKind::Frameless { saves: vec![Reg::Rbx], locals: 16 };
+        plan.frame = FrameKind::Frameless {
+            saves: vec![Reg::Rbx],
+            locals: 16,
+        };
         plan.chunks = vec![Chunk::Arith(2), Chunk::ColdBranch, Chunk::Arith(2)];
         plan.cold_chunks = Some(vec![Chunk::Arith(3)]);
         let code = lower(&plan, 7, &mut rng);
@@ -611,8 +720,13 @@ mod tests {
     fn tail_call_ends_with_external_jmp() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut plan = FuncPlan::stub("t");
-        plan.frame = FrameKind::Frameless { saves: vec![], locals: 8 };
-        plan.ending = Ending::TailCall { target: TargetRef::Func(3) };
+        plan.frame = FrameKind::Frameless {
+            saves: vec![],
+            locals: 8,
+        };
+        plan.ending = Ending::TailCall {
+            target: TargetRef::Func(3),
+        };
         let code = lower(&plan, 0, &mut rng);
         let insts = decode_ok(&code.hot.bytes);
         // Last instruction is a jmp (rel32, zero-patched → self-relative).
@@ -629,12 +743,19 @@ mod tests {
         for seed in 0..20 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut plan = FuncPlan::stub("cc");
-            plan.frame = FrameKind::Frameless { saves: vec![Reg::R12], locals: 32 };
+            plan.frame = FrameKind::Frameless {
+                saves: vec![Reg::R12],
+                locals: 32,
+            };
             plan.chunks = vec![
                 Chunk::Arith(6),
-                Chunk::CondSkip { inner: vec![Chunk::Arith(2)] },
+                Chunk::CondSkip {
+                    inner: vec![Chunk::Arith(2)],
+                },
                 Chunk::MemTraffic(4),
-                Chunk::Loop { inner: vec![Chunk::Arith(1)] },
+                Chunk::Loop {
+                    inner: vec![Chunk::Arith(1)],
+                },
             ];
             let code = lower(&plan, 0, &mut rng);
             let insts = decode_ok(&code.hot.bytes);

@@ -121,7 +121,11 @@ impl SynthConfig {
             name: format!("synthetic-{seed}"),
             n_funcs: 40,
             rates: FeatureRates::default(),
-            info: BuildInfo { compiler: Compiler::Gcc, opt: OptLevel::O2, lang: Lang::C },
+            info: BuildInfo {
+                compiler: Compiler::Gcc,
+                opt: OptLevel::O2,
+                lang: Lang::C,
+            },
             symbols: true,
         }
     }

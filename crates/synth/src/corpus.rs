@@ -35,28 +35,226 @@ pub struct ProjectProfile {
 
 /// The 22 projects of Table II. `bins` sums to 1,352.
 pub const DATASET2: &[ProjectProfile] = &[
-    ProjectProfile { name: "Coreutils-8.30", ptype: "Utilities", programs: 105, bins: 840, lang: Lang::C, funcs: 70, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Findutils-4.4", ptype: "Utilities", programs: 3, bins: 24, lang: Lang::C, funcs: 90, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Binutils-2.26", ptype: "Utilities", programs: 17, bins: 136, lang: Lang::Cpp, funcs: 160, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Openssl-1.1.0l", ptype: "Client", programs: 1, bins: 4, lang: Lang::C, funcs: 300, asm_funcs: 60, mislabeled: 0 },
-    ProjectProfile { name: "D8-6.4", ptype: "Client", programs: 1, bins: 4, lang: Lang::Cpp, funcs: 400, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Busybox-1.31", ptype: "Client", programs: 1, bins: 8, lang: Lang::C, funcs: 250, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Protobuf-c-1", ptype: "Client", programs: 1, bins: 6, lang: Lang::Cpp, funcs: 120, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "ZSH-5.7.1", ptype: "Client", programs: 1, bins: 2, lang: Lang::C, funcs: 200, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Openssh-8.0", ptype: "Client", programs: 7, bins: 28, lang: Lang::C, funcs: 130, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Mysql-5.7.27", ptype: "Client", programs: 1, bins: 6, lang: Lang::Cpp, funcs: 350, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Git-2.23", ptype: "Client", programs: 1, bins: 8, lang: Lang::C, funcs: 280, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "filezilla-3.44.2", ptype: "Client", programs: 1, bins: 4, lang: Lang::Cpp, funcs: 260, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Lighttpd-1.4.54", ptype: "Server", programs: 1, bins: 8, lang: Lang::C, funcs: 150, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Mysqld-5.7.27", ptype: "Server", programs: 1, bins: 6, lang: Lang::Cpp, funcs: 450, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "Nginx-1.15.0", ptype: "Server", programs: 1, bins: 6, lang: Lang::C, funcs: 220, asm_funcs: 8, mislabeled: 0 },
-    ProjectProfile { name: "Glibc-2.27", ptype: "Library", programs: 1, bins: 3, lang: Lang::C, funcs: 320, asm_funcs: 40, mislabeled: 1 },
-    ProjectProfile { name: "libpcap-1.9.0", ptype: "Library", programs: 1, bins: 8, lang: Lang::C, funcs: 110, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "libv8-6.4", ptype: "Library", programs: 1, bins: 4, lang: Lang::Cpp, funcs: 380, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "libtiff-4.0.10", ptype: "Library", programs: 1, bins: 8, lang: Lang::C, funcs: 120, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "libxml2-2.9.8", ptype: "Library", programs: 1, bins: 8, lang: Lang::C, funcs: 180, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "libprotobuf-c-1", ptype: "Library", programs: 1, bins: 8, lang: Lang::Cpp, funcs: 100, asm_funcs: 0, mislabeled: 0 },
-    ProjectProfile { name: "SPEC CPU2006", ptype: "Benchmark", programs: 30, bins: 223, lang: Lang::Cpp, funcs: 140, asm_funcs: 0, mislabeled: 0 },
+    ProjectProfile {
+        name: "Coreutils-8.30",
+        ptype: "Utilities",
+        programs: 105,
+        bins: 840,
+        lang: Lang::C,
+        funcs: 70,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Findutils-4.4",
+        ptype: "Utilities",
+        programs: 3,
+        bins: 24,
+        lang: Lang::C,
+        funcs: 90,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Binutils-2.26",
+        ptype: "Utilities",
+        programs: 17,
+        bins: 136,
+        lang: Lang::Cpp,
+        funcs: 160,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Openssl-1.1.0l",
+        ptype: "Client",
+        programs: 1,
+        bins: 4,
+        lang: Lang::C,
+        funcs: 300,
+        asm_funcs: 60,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "D8-6.4",
+        ptype: "Client",
+        programs: 1,
+        bins: 4,
+        lang: Lang::Cpp,
+        funcs: 400,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Busybox-1.31",
+        ptype: "Client",
+        programs: 1,
+        bins: 8,
+        lang: Lang::C,
+        funcs: 250,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Protobuf-c-1",
+        ptype: "Client",
+        programs: 1,
+        bins: 6,
+        lang: Lang::Cpp,
+        funcs: 120,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "ZSH-5.7.1",
+        ptype: "Client",
+        programs: 1,
+        bins: 2,
+        lang: Lang::C,
+        funcs: 200,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Openssh-8.0",
+        ptype: "Client",
+        programs: 7,
+        bins: 28,
+        lang: Lang::C,
+        funcs: 130,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Mysql-5.7.27",
+        ptype: "Client",
+        programs: 1,
+        bins: 6,
+        lang: Lang::Cpp,
+        funcs: 350,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Git-2.23",
+        ptype: "Client",
+        programs: 1,
+        bins: 8,
+        lang: Lang::C,
+        funcs: 280,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "filezilla-3.44.2",
+        ptype: "Client",
+        programs: 1,
+        bins: 4,
+        lang: Lang::Cpp,
+        funcs: 260,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Lighttpd-1.4.54",
+        ptype: "Server",
+        programs: 1,
+        bins: 8,
+        lang: Lang::C,
+        funcs: 150,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Mysqld-5.7.27",
+        ptype: "Server",
+        programs: 1,
+        bins: 6,
+        lang: Lang::Cpp,
+        funcs: 450,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Nginx-1.15.0",
+        ptype: "Server",
+        programs: 1,
+        bins: 6,
+        lang: Lang::C,
+        funcs: 220,
+        asm_funcs: 8,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "Glibc-2.27",
+        ptype: "Library",
+        programs: 1,
+        bins: 3,
+        lang: Lang::C,
+        funcs: 320,
+        asm_funcs: 40,
+        mislabeled: 1,
+    },
+    ProjectProfile {
+        name: "libpcap-1.9.0",
+        ptype: "Library",
+        programs: 1,
+        bins: 8,
+        lang: Lang::C,
+        funcs: 110,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "libv8-6.4",
+        ptype: "Library",
+        programs: 1,
+        bins: 4,
+        lang: Lang::Cpp,
+        funcs: 380,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "libtiff-4.0.10",
+        ptype: "Library",
+        programs: 1,
+        bins: 8,
+        lang: Lang::C,
+        funcs: 120,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "libxml2-2.9.8",
+        ptype: "Library",
+        programs: 1,
+        bins: 8,
+        lang: Lang::C,
+        funcs: 180,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "libprotobuf-c-1",
+        ptype: "Library",
+        programs: 1,
+        bins: 8,
+        lang: Lang::Cpp,
+        funcs: 100,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
+    ProjectProfile {
+        name: "SPEC CPU2006",
+        ptype: "Benchmark",
+        programs: 30,
+        bins: 223,
+        lang: Lang::Cpp,
+        funcs: 140,
+        asm_funcs: 0,
+        mislabeled: 0,
+    },
 ];
 
 /// One Table I row (Dataset 1, binaries from the wild).
@@ -76,49 +274,307 @@ pub struct WildProfile {
 
 /// The 43 wild binaries of Table I.
 pub const DATASET1: &[WildProfile] = &[
-    WildProfile { name: "Atom-1.49.0", open: true, symbols: false, lang: Lang::Cpp, funcs: 420 },
-    WildProfile { name: "Simplenot-1.4.13", open: true, symbols: false, lang: Lang::Cpp, funcs: 180 },
-    WildProfile { name: "OpenShot-2.4.4", open: true, symbols: false, lang: Lang::C, funcs: 200 },
-    WildProfile { name: "seamonkey-2.49.5", open: true, symbols: false, lang: Lang::Cpp, funcs: 400 },
-    WildProfile { name: "mupdf-1.16.1", open: true, symbols: false, lang: Lang::C, funcs: 300 },
-    WildProfile { name: "laverna-0.7.1", open: true, symbols: false, lang: Lang::Cpp, funcs: 160 },
-    WildProfile { name: "franz-5.4.0", open: true, symbols: false, lang: Lang::Cpp, funcs: 170 },
-    WildProfile { name: "Nightingale-1.12.1", open: true, symbols: false, lang: Lang::C, funcs: 190 },
-    WildProfile { name: "palemoon-28.8.0", open: true, symbols: false, lang: Lang::Cpp, funcs: 380 },
-    WildProfile { name: "evince-3.34.3", open: true, symbols: false, lang: Lang::C, funcs: 210 },
-    WildProfile { name: "amarok-2.9.0", open: true, symbols: false, lang: Lang::C, funcs: 230 },
-    WildProfile { name: "deadbeef-1.8.2", open: true, symbols: false, lang: Lang::C, funcs: 150 },
-    WildProfile { name: "qBittorrent-4.2.5", open: true, symbols: false, lang: Lang::Cpp, funcs: 260 },
-    WildProfile { name: "pdftex-3.14159265", open: true, symbols: false, lang: Lang::C, funcs: 240 },
-    WildProfile { name: "eclipse-4.11", open: true, symbols: false, lang: Lang::C, funcs: 200 },
-    WildProfile { name: "VS Code-1.40.2", open: true, symbols: false, lang: Lang::Cpp, funcs: 350 },
-    WildProfile { name: "VirtualBox-5.2.34", open: true, symbols: true, lang: Lang::Cpp, funcs: 330 },
-    WildProfile { name: "gv-3.7.4", open: true, symbols: true, lang: Lang::C, funcs: 120 },
-    WildProfile { name: "okular-1.3.3", open: true, symbols: true, lang: Lang::Cpp, funcs: 250 },
-    WildProfile { name: "gcc-7.5", open: true, symbols: true, lang: Lang::C, funcs: 360 },
-    WildProfile { name: "wkhtmltopdf-0.12.4", open: true, symbols: true, lang: Lang::C, funcs: 230 },
-    WildProfile { name: "firefox-78.0.2", open: true, symbols: true, lang: Lang::Cpp, funcs: 450 },
-    WildProfile { name: "qemu-system-2.11.1", open: true, symbols: true, lang: Lang::C, funcs: 380 },
-    WildProfile { name: "ThunderBird-68.10.0", open: true, symbols: true, lang: Lang::Cpp, funcs: 400 },
-    WildProfile { name: "Smuxi-Server", open: true, symbols: true, lang: Lang::C, funcs: 140 },
-    WildProfile { name: "TeamViewer-15.0.8397", open: false, symbols: false, lang: Lang::Cpp, funcs: 280 },
-    WildProfile { name: "skype-8.55.0.141", open: false, symbols: false, lang: Lang::Cpp, funcs: 300 },
-    WildProfile { name: "trillian-6.1.0.5", open: false, symbols: false, lang: Lang::Cpp, funcs: 220 },
-    WildProfile { name: "opera-65.0.3467.69", open: false, symbols: false, lang: Lang::Cpp, funcs: 380 },
-    WildProfile { name: "yandex-browser-19.12.3", open: false, symbols: false, lang: Lang::Cpp, funcs: 360 },
-    WildProfile { name: "SpiderOakONE-7.5.01", open: false, symbols: false, lang: Lang::C, funcs: 200 },
-    WildProfile { name: "slack-4.2.0", open: false, symbols: false, lang: Lang::Cpp, funcs: 260 },
-    WildProfile { name: "rainlendar2-2.15.2", open: false, symbols: false, lang: Lang::Cpp, funcs: 180 },
-    WildProfile { name: "sublime-3211", open: false, symbols: false, lang: Lang::Cpp, funcs: 270 },
-    WildProfile { name: "netease-cloud-music-1.2.1", open: false, symbols: false, lang: Lang::Cpp, funcs: 240 },
-    WildProfile { name: "wps-11.1.0.8865", open: false, symbols: false, lang: Lang::Cpp, funcs: 320 },
-    WildProfile { name: "wpp-11.1.0.8865", open: false, symbols: false, lang: Lang::Cpp, funcs: 300 },
-    WildProfile { name: "wpspdf-11.1.0.8865", open: false, symbols: false, lang: Lang::Cpp, funcs: 280 },
-    WildProfile { name: "wpsoffice-11.1.0.8865", open: false, symbols: false, lang: Lang::Cpp, funcs: 340 },
-    WildProfile { name: "ida64-7.2", open: false, symbols: false, lang: Lang::Cpp, funcs: 330 },
-    WildProfile { name: "zoom-7.19.2020", open: false, symbols: false, lang: Lang::Cpp, funcs: 310 },
-    WildProfile { name: "binaryninja-1.2", open: false, symbols: true, lang: Lang::Cpp, funcs: 320 },
-    WildProfile { name: "FoxitReader-4.4.0911", open: false, symbols: true, lang: Lang::Cpp, funcs: 290 },
+    WildProfile {
+        name: "Atom-1.49.0",
+        open: true,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 420,
+    },
+    WildProfile {
+        name: "Simplenot-1.4.13",
+        open: true,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 180,
+    },
+    WildProfile {
+        name: "OpenShot-2.4.4",
+        open: true,
+        symbols: false,
+        lang: Lang::C,
+        funcs: 200,
+    },
+    WildProfile {
+        name: "seamonkey-2.49.5",
+        open: true,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 400,
+    },
+    WildProfile {
+        name: "mupdf-1.16.1",
+        open: true,
+        symbols: false,
+        lang: Lang::C,
+        funcs: 300,
+    },
+    WildProfile {
+        name: "laverna-0.7.1",
+        open: true,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 160,
+    },
+    WildProfile {
+        name: "franz-5.4.0",
+        open: true,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 170,
+    },
+    WildProfile {
+        name: "Nightingale-1.12.1",
+        open: true,
+        symbols: false,
+        lang: Lang::C,
+        funcs: 190,
+    },
+    WildProfile {
+        name: "palemoon-28.8.0",
+        open: true,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 380,
+    },
+    WildProfile {
+        name: "evince-3.34.3",
+        open: true,
+        symbols: false,
+        lang: Lang::C,
+        funcs: 210,
+    },
+    WildProfile {
+        name: "amarok-2.9.0",
+        open: true,
+        symbols: false,
+        lang: Lang::C,
+        funcs: 230,
+    },
+    WildProfile {
+        name: "deadbeef-1.8.2",
+        open: true,
+        symbols: false,
+        lang: Lang::C,
+        funcs: 150,
+    },
+    WildProfile {
+        name: "qBittorrent-4.2.5",
+        open: true,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 260,
+    },
+    WildProfile {
+        name: "pdftex-3.14159265",
+        open: true,
+        symbols: false,
+        lang: Lang::C,
+        funcs: 240,
+    },
+    WildProfile {
+        name: "eclipse-4.11",
+        open: true,
+        symbols: false,
+        lang: Lang::C,
+        funcs: 200,
+    },
+    WildProfile {
+        name: "VS Code-1.40.2",
+        open: true,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 350,
+    },
+    WildProfile {
+        name: "VirtualBox-5.2.34",
+        open: true,
+        symbols: true,
+        lang: Lang::Cpp,
+        funcs: 330,
+    },
+    WildProfile {
+        name: "gv-3.7.4",
+        open: true,
+        symbols: true,
+        lang: Lang::C,
+        funcs: 120,
+    },
+    WildProfile {
+        name: "okular-1.3.3",
+        open: true,
+        symbols: true,
+        lang: Lang::Cpp,
+        funcs: 250,
+    },
+    WildProfile {
+        name: "gcc-7.5",
+        open: true,
+        symbols: true,
+        lang: Lang::C,
+        funcs: 360,
+    },
+    WildProfile {
+        name: "wkhtmltopdf-0.12.4",
+        open: true,
+        symbols: true,
+        lang: Lang::C,
+        funcs: 230,
+    },
+    WildProfile {
+        name: "firefox-78.0.2",
+        open: true,
+        symbols: true,
+        lang: Lang::Cpp,
+        funcs: 450,
+    },
+    WildProfile {
+        name: "qemu-system-2.11.1",
+        open: true,
+        symbols: true,
+        lang: Lang::C,
+        funcs: 380,
+    },
+    WildProfile {
+        name: "ThunderBird-68.10.0",
+        open: true,
+        symbols: true,
+        lang: Lang::Cpp,
+        funcs: 400,
+    },
+    WildProfile {
+        name: "Smuxi-Server",
+        open: true,
+        symbols: true,
+        lang: Lang::C,
+        funcs: 140,
+    },
+    WildProfile {
+        name: "TeamViewer-15.0.8397",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 280,
+    },
+    WildProfile {
+        name: "skype-8.55.0.141",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 300,
+    },
+    WildProfile {
+        name: "trillian-6.1.0.5",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 220,
+    },
+    WildProfile {
+        name: "opera-65.0.3467.69",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 380,
+    },
+    WildProfile {
+        name: "yandex-browser-19.12.3",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 360,
+    },
+    WildProfile {
+        name: "SpiderOakONE-7.5.01",
+        open: false,
+        symbols: false,
+        lang: Lang::C,
+        funcs: 200,
+    },
+    WildProfile {
+        name: "slack-4.2.0",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 260,
+    },
+    WildProfile {
+        name: "rainlendar2-2.15.2",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 180,
+    },
+    WildProfile {
+        name: "sublime-3211",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 270,
+    },
+    WildProfile {
+        name: "netease-cloud-music-1.2.1",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 240,
+    },
+    WildProfile {
+        name: "wps-11.1.0.8865",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 320,
+    },
+    WildProfile {
+        name: "wpp-11.1.0.8865",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 300,
+    },
+    WildProfile {
+        name: "wpspdf-11.1.0.8865",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 280,
+    },
+    WildProfile {
+        name: "wpsoffice-11.1.0.8865",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 340,
+    },
+    WildProfile {
+        name: "ida64-7.2",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 330,
+    },
+    WildProfile {
+        name: "zoom-7.19.2020",
+        open: false,
+        symbols: false,
+        lang: Lang::Cpp,
+        funcs: 310,
+    },
+    WildProfile {
+        name: "binaryninja-1.2",
+        open: false,
+        symbols: true,
+        lang: Lang::Cpp,
+        funcs: 320,
+    },
+    WildProfile {
+        name: "FoxitReader-4.4.0911",
+        open: false,
+        symbols: true,
+        lang: Lang::Cpp,
+        funcs: 290,
+    },
 ];
 
 /// Scaling knobs: divide binary counts and multiply function counts to fit
@@ -134,7 +590,10 @@ pub struct CorpusScale {
 
 impl Default for CorpusScale {
     fn default() -> Self {
-        CorpusScale { bin_divisor: 1, func_scale: 0.5 }
+        CorpusScale {
+            bin_divisor: 1,
+            func_scale: 0.5,
+        }
     }
 }
 
@@ -142,12 +601,18 @@ impl CorpusScale {
     /// A fast scale for unit/integration tests: ~1/16 of the binaries at
     /// ~1/4 function counts.
     pub fn tiny() -> CorpusScale {
-        CorpusScale { bin_divisor: 16, func_scale: 0.25 }
+        CorpusScale {
+            bin_divisor: 16,
+            func_scale: 0.25,
+        }
     }
 
     /// The paper-faithful scale (all 1,352 binaries, full sizes).
     pub fn paper() -> CorpusScale {
-        CorpusScale { bin_divisor: 1, func_scale: 1.0 }
+        CorpusScale {
+            bin_divisor: 1,
+            func_scale: 1.0,
+        }
     }
 }
 
@@ -195,7 +660,7 @@ pub fn dataset2_configs(scale: &CorpusScale) -> Vec<SynthConfig> {
                 // project contributes at least its first build (small
                 // projects must not vanish at coarse scales — they carry
                 // the assembly-function phenomena).
-                if (ix - 1) % scale.bin_divisor != 0 {
+                if !(ix - 1).is_multiple_of(scale.bin_divisor) {
                     continue;
                 }
                 // Stagger the build matrix by program index so reduced
@@ -213,8 +678,7 @@ pub fn dataset2_configs(scale: &CorpusScale) -> Vec<SynthConfig> {
                 };
                 // Assembly populations scale with the rest of the
                 // program so reduced corpora keep the paper's ratios.
-                rates.asm_funcs =
-                    (proj.asm_funcs as f64 * scale.func_scale).round() as usize;
+                rates.asm_funcs = (proj.asm_funcs as f64 * scale.func_scale).round() as usize;
                 // error()/error_at_line() usage clusters in the GNU
                 // utilities; most other projects barely touch it. This
                 // concentrates GHIDRA's control-flow-repair damage in
@@ -235,7 +699,11 @@ pub fn dataset2_configs(scale: &CorpusScale) -> Vec<SynthConfig> {
                     name: format!("{}/{}-{}-{}", proj.name, prog, compiler, opt),
                     n_funcs,
                     rates,
-                    info: BuildInfo { compiler, opt, lang: proj.lang },
+                    info: BuildInfo {
+                        compiler,
+                        opt,
+                        lang: proj.lang,
+                    },
                     symbols: true,
                 });
             }
@@ -264,7 +732,7 @@ pub fn dataset1_configs(scale: &CorpusScale) -> Vec<(&'static WildProfile, Synth
                 n_funcs: ((w.funcs as f64 * scale.func_scale) as usize).max(12),
                 rates,
                 info: BuildInfo {
-                    compiler: if stable_seed(&[w.name, "c"]) % 2 == 0 {
+                    compiler: if stable_seed(&[w.name, "c"]).is_multiple_of(2) {
                         Compiler::Gcc
                     } else {
                         Compiler::Clang
@@ -281,7 +749,9 @@ pub fn dataset1_configs(scale: &CorpusScale) -> Vec<(&'static WildProfile, Synth
 
 /// Synthesizes a batch of configurations in parallel using scoped threads.
 pub fn synthesize_all(configs: &[SynthConfig]) -> Vec<TestCase> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = configs.len().div_ceil(threads.max(1)).max(1);
     let mut out: Vec<Option<TestCase>> = vec![None; configs.len()];
     std::thread::scope(|s| {
@@ -298,7 +768,9 @@ pub fn synthesize_all(configs: &[SynthConfig]) -> Vec<TestCase> {
             h.join().expect("synthesis thread panicked");
         }
     });
-    out.into_iter().map(|c| c.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|c| c.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -307,7 +779,10 @@ mod tests {
 
     #[test]
     fn dataset2_full_size_matches_table_ii() {
-        let configs = dataset2_configs(&CorpusScale { bin_divisor: 1, func_scale: 0.1 });
+        let configs = dataset2_configs(&CorpusScale {
+            bin_divisor: 1,
+            func_scale: 0.1,
+        });
         let expected: usize = DATASET2.iter().map(|p| p.bins).sum();
         assert_eq!(expected, 1352, "Table II total");
         assert_eq!(configs.len(), expected);
@@ -334,8 +809,10 @@ mod tests {
 
     #[test]
     fn synthesize_all_small_batch() {
-        let configs: Vec<SynthConfig> =
-            dataset2_configs(&CorpusScale::tiny()).into_iter().take(6).collect();
+        let configs: Vec<SynthConfig> = dataset2_configs(&CorpusScale::tiny())
+            .into_iter()
+            .take(6)
+            .collect();
         let cases = synthesize_all(&configs);
         assert_eq!(cases.len(), 6);
         for c in &cases {

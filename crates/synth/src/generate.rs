@@ -124,7 +124,7 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
             AsmClass::Called
         } else {
             match k % 7 {
-                0 | 1 | 2 => AsmClass::Called,
+                0..=2 => AsmClass::Called,
                 3 => AsmClass::TailSingle,
                 4 => AsmClass::TailMulti,
                 5 => AsmClass::PointerOnly,
@@ -159,7 +159,12 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
         .filter(|i| {
             !tail_only.contains(i) && !pointer_only.contains(i) && fatal_error[*i].is_none()
         })
-        .chain(asm_class.iter().filter(|(_, c)| *c == AsmClass::Called).map(|(i, _)| *i))
+        .chain(
+            asm_class
+                .iter()
+                .filter(|(_, c)| *c == AsmClass::Called)
+                .map(|(i, _)| *i),
+        )
         .collect();
 
     // Reference bookkeeping to finalize `Reach` afterwards.
@@ -178,9 +183,17 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
         if i == start_ix {
             // _start: call main, then a non-returning exit.
             let p = &mut plans[i];
-            p.frame = FrameKind::Frameless { saves: vec![], locals: 8 };
-            p.chunks = vec![Chunk::Call { target: TargetRef::Func(main_ix), args: 2 }];
-            p.ending = Ending::NoReturnCall { target: TargetRef::Func(exit_ix) };
+            p.frame = FrameKind::Frameless {
+                saves: vec![],
+                locals: 8,
+            };
+            p.chunks = vec![Chunk::Call {
+                target: TargetRef::Func(main_ix),
+                args: 2,
+            }];
+            p.ending = Ending::NoReturnCall {
+                target: TargetRef::Func(exit_ix),
+            };
             p.endbr = endbr_all;
             called[main_ix] += 1;
             called[exit_ix] += 1;
@@ -190,7 +203,11 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
             let p = &mut plans[i];
             p.frame = FrameKind::leaf();
             p.chunks = vec![Chunk::Arith(1)];
-            p.ending = if i == exit_ix { Ending::SyscallRet } else { Ending::Halt };
+            p.ending = if i == exit_ix {
+                Ending::SyscallRet
+            } else {
+                Ending::Halt
+            };
             p.noreturn = true;
             // exit_group truly never returns even though it ends in
             // syscall; mark Halt-style semantics via noreturn flag.
@@ -206,7 +223,9 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
             p.kind = FuncKind::ClangCallTerminate;
             p.frame = FrameKind::leaf();
             p.chunks = vec![Chunk::Arith(1)];
-            p.ending = Ending::NoReturnCall { target: TargetRef::Func(abort_ix) };
+            p.ending = Ending::NoReturnCall {
+                target: TargetRef::Func(abort_ix),
+            };
             p.fde = crate::plan::FdePolicy::None;
             p.noreturn = true;
             p.endbr = false;
@@ -216,10 +235,15 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
         if i == error_ix {
             // error(status, ...): returns only when edi == 0.
             let p = &mut plans[i];
-            p.frame = FrameKind::Frameless { saves: vec![Reg::Rbx], locals: 16 };
+            p.frame = FrameKind::Frameless {
+                saves: vec![Reg::Rbx],
+                locals: 16,
+            };
             p.chunks = vec![
                 Chunk::Arith(3),
-                Chunk::CondSkip { inner: vec![Chunk::Arith(2)] },
+                Chunk::CondSkip {
+                    inner: vec![Chunk::Arith(2)],
+                },
             ];
             p.ending = Ending::Ret;
             p.conditional_noreturn = true;
@@ -234,13 +258,16 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
             } else {
                 let t = pick(rng, &callable);
                 tail_callers[t].push(i); // a thunk's jmp is a tail reference
-                // Thunk targets are aliased exported functions: they are
-                // also called directly somewhere.
+                                         // Thunk targets are aliased exported functions: they are
+                                         // also called directly somewhere.
                 let host = pick(rng, &body_pool);
                 insert_early(
                     rng,
                     &mut plans[host].chunks,
-                    Chunk::Call { target: TargetRef::Func(t), args: 1 },
+                    Chunk::Call {
+                        target: TargetRef::Func(t),
+                        args: 1,
+                    },
                 );
                 called[t] += 1;
                 TargetRef::Func(t)
@@ -266,9 +293,15 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
             p.chunks = if bernoulli(rng, 0.5) {
                 vec![Chunk::Arith(2)]
             } else {
-                vec![Chunk::Loop { inner: vec![Chunk::Arith(1)] }]
+                vec![Chunk::Loop {
+                    inner: vec![Chunk::Arith(1)],
+                }]
             };
-            p.ending = if bernoulli(rng, 0.5) { Ending::SyscallRet } else { Ending::Ret };
+            p.ending = if bernoulli(rng, 0.5) {
+                Ending::SyscallRet
+            } else {
+                Ending::Ret
+            };
             p.fde = if mislabel {
                 crate::plan::FdePolicy::Mislabeled
             } else if has_fde {
@@ -295,7 +328,10 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
         };
         let locals: u32 = pick(rng, &[0u32, 8, 16, 24, 32, 48, 64, 96]);
         let frame = if rbp {
-            FrameKind::Rbp { saves, locals: locals.max(16) }
+            FrameKind::Rbp {
+                saves,
+                locals: locals.max(16),
+            }
         } else {
             FrameKind::Frameless { saves, locals }
         };
@@ -309,15 +345,22 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
                 5..=6 => {
                     let t = pick(rng, &callable);
                     called[t] += 1;
-                    Chunk::Call { target: TargetRef::Func(t), args: rng.gen_range(0..4) }
+                    Chunk::Call {
+                        target: TargetRef::Func(t),
+                        args: rng.gen_range(0..4),
+                    }
                 }
                 7 => Chunk::CondSkip {
                     inner: vec![Chunk::Arith(rng.gen_range(1..4))],
                 },
-                8 => Chunk::Loop { inner: vec![Chunk::Arith(rng.gen_range(1..3))] },
+                8 => Chunk::Loop {
+                    inner: vec![Chunk::Arith(rng.gen_range(1..3))],
+                },
                 _ => {
                     if bernoulli(rng, r.jump_table * 2.0) {
-                        Chunk::JumpTable { cases: rng.gen_range(2..7) }
+                        Chunk::JumpTable {
+                            cases: rng.gen_range(2..7),
+                        }
                     } else {
                         Chunk::Arith(2)
                     }
@@ -347,7 +390,13 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
             let t = pick(rng, &callable);
             called[t] += 1;
             let pos = chunks.len() / 2;
-            chunks.insert(pos, Chunk::Call { target: TargetRef::Func(t), args: 3 });
+            chunks.insert(
+                pos,
+                Chunk::Call {
+                    target: TargetRef::Func(t),
+                    args: 3,
+                },
+            );
             chunks.insert(pos, Chunk::MidAnchor);
         }
         if split {
@@ -358,10 +407,14 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
         let ending = if let Some(is_error) = fatal_error[i] {
             if is_error {
                 called[error_ix] += 1;
-                Ending::ErrorNoReturn { target: TargetRef::Func(error_ix) }
+                Ending::ErrorNoReturn {
+                    target: TargetRef::Func(error_ix),
+                }
             } else {
                 called[abort_ix] += 1;
-                Ending::NoReturnCall { target: TargetRef::Func(abort_ix) }
+                Ending::NoReturnCall {
+                    target: TargetRef::Func(abort_ix),
+                }
             }
         } else if tail_only.is_empty() || !bernoulli(rng, r.tail_call) {
             Ending::Ret
@@ -383,7 +436,9 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
                 tail_callers[t].push(i);
                 t
             };
-            Ending::TailCall { target: TargetRef::Func(target) }
+            Ending::TailCall {
+                target: TargetRef::Func(target),
+            }
         };
 
         let cold = if split {
@@ -412,10 +467,15 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
         host: usize,
         new_target: usize,
     ) {
-        if let Ending::TailCall { target: TargetRef::Func(prev) } = plans[host].ending {
+        if let Ending::TailCall {
+            target: TargetRef::Func(prev),
+        } = plans[host].ending
+        {
             tail_callers[prev].retain(|h| *h != host);
         }
-        plans[host].ending = Ending::TailCall { target: TargetRef::Func(new_target) };
+        plans[host].ending = Ending::TailCall {
+            target: TargetRef::Func(new_target),
+        };
         tail_callers[new_target].push(host);
     }
 
@@ -447,7 +507,14 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
                 while called[i] == 0 {
                     let host = pick(rng, &body_pool);
                     let chunks = &mut plans[host].chunks;
-                    insert_early(rng, chunks, Chunk::Call { target: TargetRef::Func(i), args: 1 });
+                    insert_early(
+                        rng,
+                        chunks,
+                        Chunk::Call {
+                            target: TargetRef::Func(i),
+                            args: 1,
+                        },
+                    );
                     called[i] += 1;
                 }
             }
@@ -480,7 +547,10 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
         insert_early(
             rng,
             &mut plans[host].chunks,
-            Chunk::CallIndirect { table: TargetRef::DataObject(0), slot: 0 },
+            Chunk::CallIndirect {
+                table: TargetRef::DataObject(0),
+                slot: 0,
+            },
         );
     }
 
@@ -488,7 +558,13 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
     for _ in 0..2 {
         let host = pick(rng, &body_pool);
         let t = pick(rng, &callable);
-        insert_early(rng, &mut plans[host].chunks, Chunk::TakeAddress { target: TargetRef::Func(t) });
+        insert_early(
+            rng,
+            &mut plans[host].chunks,
+            Chunk::TakeAddress {
+                target: TargetRef::Func(t),
+            },
+        );
         pointed[t] = true;
     }
 
@@ -504,7 +580,10 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
                     rng,
                     &mut plans[host].chunks,
                     Chunk::CondSkip {
-                        inner: vec![Chunk::Call { target: TargetRef::Func(i), args: 1 }],
+                        inner: vec![Chunk::Call {
+                            target: TargetRef::Func(i),
+                            args: 1,
+                        }],
                     },
                 );
                 called[i] += 1;
@@ -535,7 +614,10 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
             rng,
             &mut plans[host].chunks,
             Chunk::CondSkip {
-                inner: vec![Chunk::Call { target: TargetRef::Func(abort_ix), args: 0 }],
+                inner: vec![Chunk::Call {
+                    target: TargetRef::Func(abort_ix),
+                    args: 0,
+                }],
             },
         );
         called[abort_ix] += 1;
@@ -548,7 +630,10 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
                 rng,
                 &mut plans[host].chunks,
                 Chunk::CondSkip {
-                    inner: vec![Chunk::Call { target: TargetRef::Func(cct), args: 0 }],
+                    inner: vec![Chunk::Call {
+                        target: TargetRef::Func(cct),
+                        args: 0,
+                    }],
                 },
             );
             called[cct] += 1;
@@ -570,7 +655,10 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
                 insert_early(
                     rng,
                     &mut plans[host].chunks,
-                    Chunk::Call { target: TargetRef::Func(i), args },
+                    Chunk::Call {
+                        target: TargetRef::Func(i),
+                        args,
+                    },
                 );
                 called[i] += 1;
                 break;
@@ -583,7 +671,9 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
         plans[i].reach = if called[i] > 0 {
             Reach::Called
         } else if !tail_callers[i].is_empty() {
-            Reach::TailCalled { callers: tail_callers[i].len() as u32 }
+            Reach::TailCalled {
+                callers: tail_callers[i].len() as u32,
+            }
         } else if pointed[i] {
             Reach::PointerOnly
         } else if i == start_ix {
@@ -593,7 +683,10 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
         };
         plans[i].symbol = true;
         plans[i].noreturn = plans[i].noreturn
-            || matches!(plans[i].ending, Ending::Halt | Ending::NoReturnCall { .. } | Ending::ErrorNoReturn { .. });
+            || matches!(
+                plans[i].ending,
+                Ending::Halt | Ending::NoReturnCall { .. } | Ending::ErrorNoReturn { .. }
+            );
     }
 
     // ---------- text blobs ----------
@@ -609,11 +702,18 @@ pub fn generate_plan(cfg: &SynthConfig, rng: &mut StdRng) -> ProgramPlan {
                     _ => bytes.extend_from_slice(&[0x55, 0x48, 0x89, 0xe5]), // looks like a prologue
                 }
             }
-            text_blobs.push(TextBlob { after_func: i, bytes });
+            text_blobs.push(TextBlob {
+                after_func: i,
+                bytes,
+            });
         }
     }
 
-    ProgramPlan { funcs: plans, text_blobs, pointer_tables }
+    ProgramPlan {
+        funcs: plans,
+        text_blobs,
+        pointer_tables,
+    }
 }
 
 #[cfg(test)]
@@ -651,7 +751,10 @@ mod tests {
         fn walk(chunks: &[Chunk], out: &mut std::collections::BTreeSet<usize>) {
             for c in chunks {
                 match c {
-                    Chunk::Call { target: TargetRef::Func(t), .. } => {
+                    Chunk::Call {
+                        target: TargetRef::Func(t),
+                        ..
+                    } => {
                         out.insert(*t);
                     }
                     Chunk::CondSkip { inner } | Chunk::Loop { inner } => walk(inner, out),
@@ -664,8 +767,12 @@ mod tests {
             if let Some(c) = &f.cold_chunks {
                 walk(c, &mut direct_targets);
             }
-            if let Ending::NoReturnCall { target: TargetRef::Func(t) }
-            | Ending::ErrorNoReturn { target: TargetRef::Func(t) } = f.ending
+            if let Ending::NoReturnCall {
+                target: TargetRef::Func(t),
+            }
+            | Ending::ErrorNoReturn {
+                target: TargetRef::Func(t),
+            } = f.ending
             {
                 direct_targets.insert(t);
             }
@@ -698,7 +805,9 @@ mod tests {
             .any(|f| f.fde == crate::plan::FdePolicy::Mislabeled));
         assert!(plan.funcs.iter().any(|f| matches!(
             f.ending,
-            Ending::TailCall { target: TargetRef::Mid { .. } }
+            Ending::TailCall {
+                target: TargetRef::Mid { .. }
+            }
         )));
     }
 
@@ -706,7 +815,10 @@ mod tests {
     fn split_functions_have_cold_branch() {
         let plan = plan_for(11, 200);
         let split: Vec<_> = plan.funcs.iter().filter(|f| f.is_split()).collect();
-        assert!(!split.is_empty(), "some functions must be split at default rates");
+        assert!(
+            !split.is_empty(),
+            "some functions must be split at default rates"
+        );
         for f in split {
             assert!(
                 f.chunks.iter().any(|c| matches!(c, Chunk::ColdBranch)),

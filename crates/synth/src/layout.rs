@@ -7,7 +7,7 @@ use crate::plan::{FdePolicy, ProgramPlan, TargetRef};
 use fetch_binary::{
     Binary, FunctionTruth, GroundTruth, Part, Section, SectionKind, Symbol, TestCase,
 };
-use fetch_ehframe::{encode_eh_frame, Cie, CfiInst, EhFrame, Fde};
+use fetch_ehframe::{encode_eh_frame, CfiInst, Cie, EhFrame, Fde};
 use fetch_x64::{nop_bytes, FixupKind, Reg};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -32,28 +32,39 @@ pub fn build_cfis(events: &[(usize, StackEvent)]) -> Vec<CfiInst> {
             StackEvent::Push(r) => {
                 cfa_off += 8;
                 if !rbp_based {
-                    emits.push(CfiInst::DefCfaOffset { offset: cfa_off as u64 });
+                    emits.push(CfiInst::DefCfaOffset {
+                        offset: cfa_off as u64,
+                    });
                 }
                 if r.is_callee_saved() {
-                    emits.push(CfiInst::Offset { reg: r, factored: (cfa_off / 8) as u64 });
+                    emits.push(CfiInst::Offset {
+                        reg: r,
+                        factored: (cfa_off / 8) as u64,
+                    });
                 }
             }
             StackEvent::Pop(_) => {
                 cfa_off -= 8;
                 if !rbp_based {
-                    emits.push(CfiInst::DefCfaOffset { offset: cfa_off as u64 });
+                    emits.push(CfiInst::DefCfaOffset {
+                        offset: cfa_off as u64,
+                    });
                 }
             }
             StackEvent::SubRsp(n) => {
                 cfa_off += n as i64;
                 if !rbp_based {
-                    emits.push(CfiInst::DefCfaOffset { offset: cfa_off as u64 });
+                    emits.push(CfiInst::DefCfaOffset {
+                        offset: cfa_off as u64,
+                    });
                 }
             }
             StackEvent::AddRsp(n) => {
                 cfa_off -= n as i64;
                 if !rbp_based {
-                    emits.push(CfiInst::DefCfaOffset { offset: cfa_off as u64 });
+                    emits.push(CfiInst::DefCfaOffset {
+                        offset: cfa_off as u64,
+                    });
                 }
             }
             StackEvent::SetRbp => {
@@ -63,7 +74,10 @@ pub fn build_cfis(events: &[(usize, StackEvent)]) -> Vec<CfiInst> {
             StackEvent::Leave => {
                 rbp_based = false;
                 cfa_off = 8;
-                emits.push(CfiInst::DefCfa { reg: Reg::Rsp, offset: 8 });
+                emits.push(CfiInst::DefCfa {
+                    reg: Reg::Rsp,
+                    offset: 8,
+                });
             }
         }
         if !emits.is_empty() {
@@ -105,7 +119,7 @@ pub fn layout(
     let mut rodata: Vec<u8> = Vec::new();
 
     let pad_to = |text: &mut Vec<u8>, align: u64, fill_int3: bool| {
-        while (TEXT_BASE + text.len() as u64) % align != 0 {
+        while !(TEXT_BASE + text.len() as u64).is_multiple_of(align) {
             if fill_int3 {
                 text.push(0xcc);
             } else {
@@ -121,7 +135,7 @@ pub fn layout(
         // preceding byte is an int3 so the bogus block is visibly invalid.
         let int3_pad = plan.funcs[i].fde == FdePolicy::Mislabeled;
         pad_to(&mut text, align, int3_pad);
-        if int3_pad && (TEXT_BASE + text.len() as u64) % align == 0 && text.is_empty() {
+        if int3_pad && (TEXT_BASE + text.len() as u64).is_multiple_of(align) && text.is_empty() {
             text.push(0xcc); // never place a mislabeled function first
         }
         if int3_pad && !text.is_empty() && *text.last().unwrap() != 0xcc {
@@ -129,7 +143,10 @@ pub fn layout(
         }
         let addr = TEXT_BASE + text.len() as u64;
         text.extend_from_slice(&code.hot.bytes);
-        hot.push(PlacedPart { addr, len: code.hot.bytes.len() as u64 });
+        hot.push(PlacedPart {
+            addr,
+            len: code.hot.bytes.len() as u64,
+        });
 
         // Jump tables: in text right after the function, or deferred to
         // .rodata, decided per table.
@@ -164,11 +181,14 @@ pub fn layout(
             pad_to(&mut text, 8, false);
             let addr = TEXT_BASE + text.len() as u64;
             text.extend_from_slice(&c.bytes);
-            cold[i] = Some(PlacedPart { addr, len: c.bytes.len() as u64 });
-            for (k, jt) in c.jump_tables.iter().enumerate() {
-                let _ = (k, jt);
-                unreachable!("cold parts carry no jump tables in the generator");
-            }
+            cold[i] = Some(PlacedPart {
+                addr,
+                len: c.bytes.len() as u64,
+            });
+            assert!(
+                c.jump_tables.is_empty(),
+                "cold parts carry no jump tables in the generator"
+            );
         }
     }
 
@@ -230,7 +250,9 @@ pub fn layout(
             (cold[i].as_ref(), code.cold.as_ref()),
         ];
         for (placed, part) in parts.into_iter() {
-            let (Some(placed), Some(part)) = (placed, part) else { continue };
+            let (Some(placed), Some(part)) = (placed, part) else {
+                continue;
+            };
             for fix in &part.fixups {
                 let target_addr = resolve(fix.target, i);
                 let field_off = (placed.addr - TEXT_BASE) as usize + fix.pos;
@@ -242,8 +264,7 @@ pub fn layout(
                         text[field_off..field_off + 4].copy_from_slice(&rel.to_le_bytes());
                     }
                     FixupKind::Abs64 => {
-                        text[field_off..field_off + 8]
-                            .copy_from_slice(&target_addr.to_le_bytes());
+                        text[field_off..field_off + 8].copy_from_slice(&target_addr.to_le_bytes());
                     }
                 }
             }
@@ -276,9 +297,16 @@ pub fn layout(
                     let cfis = if plan.funcs[i].frame.cfi_heights_complete() {
                         vec![CfiInst::DefCfaOffset { offset: h + 8 }]
                     } else {
-                        vec![CfiInst::DefCfa { reg: Reg::Rbp, offset: 16 }]
+                        vec![CfiInst::DefCfa {
+                            reg: Reg::Rbp,
+                            offset: 16,
+                        }]
                     };
-                    current.push(Fde { pc_begin: c.addr, pc_range: c.len, cfis });
+                    current.push(Fde {
+                        pc_begin: c.addr,
+                        pc_range: c.len,
+                        cfis,
+                    });
                 }
             }
             FdePolicy::None => {}
@@ -289,14 +317,21 @@ pub fn layout(
                     pc_begin: hot[i].addr - 1,
                     pc_range: hot[i].len + 1,
                     cfis: vec![
-                        CfiInst::Expression { reg: Reg::R8, expr: vec![0x77, 40] },
-                        CfiInst::Expression { reg: Reg::R9, expr: vec![0x77, 48] },
+                        CfiInst::Expression {
+                            reg: Reg::R8,
+                            expr: vec![0x77, 40],
+                        },
+                        CfiInst::Expression {
+                            reg: Reg::R9,
+                            expr: vec![0x77, 48],
+                        },
                     ],
                 });
             }
         }
         if current.len() >= group_size {
-            eh.groups.push((Cie::default(), std::mem::take(&mut current)));
+            eh.groups
+                .push((Cie::default(), std::mem::take(&mut current)));
         }
     }
     if !current.is_empty() {
@@ -316,7 +351,11 @@ pub fn layout(
             has_symbol: p.symbol,
         }];
         if p.symbol {
-            symbols.push(Symbol { name: p.name.clone(), addr: hot[i].addr, size: hot[i].len });
+            symbols.push(Symbol {
+                name: p.name.clone(),
+                addr: hot[i].addr,
+                size: hot[i].len,
+            });
         }
         if let Some(c) = &cold[i] {
             parts.push(Part {
@@ -333,7 +372,12 @@ pub fn layout(
                 });
             }
         }
-        functions.push(FunctionTruth { name: p.name.clone(), kind: p.kind, reach: p.reach, parts });
+        functions.push(FunctionTruth {
+            name: p.name.clone(),
+            kind: p.kind,
+            reach: p.reach,
+            parts,
+        });
     }
 
     let binary = Binary {
@@ -349,7 +393,10 @@ pub fn layout(
         entry: hot[0].addr,
     };
 
-    TestCase { binary, truth: GroundTruth { functions } }
+    TestCase {
+        binary,
+        truth: GroundTruth { functions },
+    }
 }
 
 #[cfg(test)]
@@ -374,10 +421,16 @@ mod tests {
             vec![
                 CfiInst::AdvanceLoc { delta: 1 },
                 CfiInst::DefCfaOffset { offset: 16 },
-                CfiInst::Offset { reg: Reg::Rbp, factored: 2 },
+                CfiInst::Offset {
+                    reg: Reg::Rbp,
+                    factored: 2
+                },
                 CfiInst::AdvanceLoc { delta: 12 },
                 CfiInst::DefCfaOffset { offset: 24 },
-                CfiInst::Offset { reg: Reg::Rbx, factored: 3 },
+                CfiInst::Offset {
+                    reg: Reg::Rbx,
+                    factored: 3
+                },
                 CfiInst::AdvanceLoc { delta: 11 },
                 CfiInst::DefCfaOffset { offset: 32 },
                 CfiInst::AdvanceLoc { delta: 29 },
@@ -399,7 +452,11 @@ mod tests {
             (40, StackEvent::Leave),
         ];
         let cfis = build_cfis(&events);
-        let fde = Fde { pc_begin: 0x1000, pc_range: 0x40, cfis };
+        let fde = Fde {
+            pc_begin: 0x1000,
+            pc_range: 0x40,
+            cfis,
+        };
         let cie = Cie::default();
         assert_eq!(stack_heights(&cie, &fde).unwrap(), None);
     }
@@ -412,8 +469,14 @@ mod tests {
             (30, StackEvent::AddRsp(24)),
             (31, StackEvent::Pop(Reg::Rbx)),
         ];
-        let fde = Fde { pc_begin: 0x1000, pc_range: 0x40, cfis: build_cfis(&events) };
-        let h = stack_heights(&Cie::default(), &fde).unwrap().expect("complete");
+        let fde = Fde {
+            pc_begin: 0x1000,
+            pc_range: 0x40,
+            cfis: build_cfis(&events),
+        };
+        let h = stack_heights(&Cie::default(), &fde)
+            .unwrap()
+            .expect("complete");
         assert_eq!(h.height_at(0x1000), Some(0));
         assert_eq!(h.height_at(0x1002), Some(8));
         assert_eq!(h.height_at(0x1006), Some(32));

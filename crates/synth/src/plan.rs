@@ -57,7 +57,10 @@ pub enum FrameKind {
 impl FrameKind {
     /// A minimal leaf frame.
     pub fn leaf() -> FrameKind {
-        FrameKind::Frameless { saves: Vec::new(), locals: 0 }
+        FrameKind::Frameless {
+            saves: Vec::new(),
+            locals: 0,
+        }
     }
 
     /// Whether the CFI for this frame keeps complete stack heights.

@@ -152,8 +152,12 @@ fn dyninst(binary: &Binary) -> DetectionResult {
         &[
             &EntrySeed,
             &SafeRecursion::default(),
-            &PrologueMatch { style: ToolStyle::Radare },
-            &PrologueMatch { style: ToolStyle::Angr },
+            &PrologueMatch {
+                style: ToolStyle::Radare,
+            },
+            &PrologueMatch {
+                style: ToolStyle::Angr,
+            },
         ],
     )
 }
@@ -198,7 +202,13 @@ fn radare2(binary: &Binary) -> DetectionResult {
     // among the non-FDE tools, highest misses.
     run_stack(
         binary,
-        &[&EntrySeed, &SafeRecursion::default(), &PrologueMatch { style: ToolStyle::Radare }],
+        &[
+            &EntrySeed,
+            &SafeRecursion::default(),
+            &PrologueMatch {
+                style: ToolStyle::Radare,
+            },
+        ],
     )
 }
 
@@ -271,7 +281,10 @@ fn ida(binary: &Binary) -> DetectionResult {
             }
         }
     }
-    run_stack(binary, &[&EntrySeed, &SafeRecursion::default(), &IdaSignatures])
+    run_stack(
+        binary,
+        &[&EntrySeed, &SafeRecursion::default(), &IdaSignatures],
+    )
 }
 
 fn ninja(binary: &Binary) -> DetectionResult {
@@ -282,8 +295,12 @@ fn ninja(binary: &Binary) -> DetectionResult {
         &[
             &EntrySeed,
             &SafeRecursion::default(),
-            &TailCallHeuristic { style: ToolStyle::Ghidra },
-            &PrologueMatch { style: ToolStyle::Angr },
+            &TailCallHeuristic {
+                style: ToolStyle::Ghidra,
+            },
+            &PrologueMatch {
+                style: ToolStyle::Angr,
+            },
             &AlignmentSplit,
         ],
     )
@@ -300,7 +317,9 @@ fn ghidra(binary: &Binary) -> DetectionResult {
             &SafeRecursion::default(),
             &ControlFlowRepair,
             &ThunkHeuristic,
-            &PrologueMatch { style: ToolStyle::Ghidra },
+            &PrologueMatch {
+                style: ToolStyle::Ghidra,
+            },
         ],
     )
 }
@@ -315,7 +334,9 @@ fn angr(binary: &Binary) -> DetectionResult {
             &FdeSeeds,
             &SafeRecursion::default(),
             &FunctionMerge,
-            &PrologueMatch { style: ToolStyle::Angr },
+            &PrologueMatch {
+                style: ToolStyle::Angr,
+            },
             &LinearScanStarts,
             &AlignmentSplit,
         ],

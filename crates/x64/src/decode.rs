@@ -61,7 +61,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn peek(&self) -> Result<u8, DecodeError> {
-        self.bytes.get(self.pos).copied().ok_or(DecodeError::Truncated)
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(DecodeError::Truncated)
     }
 
     fn u8(&mut self) -> Result<u8, DecodeError> {
@@ -76,14 +79,20 @@ impl<'a> Cursor<'a> {
 
     fn i32(&mut self) -> Result<i32, DecodeError> {
         let end = self.pos.checked_add(4).ok_or(DecodeError::Truncated)?;
-        let slice = self.bytes.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
         self.pos = end;
         Ok(i32::from_le_bytes(slice.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
         let end = self.pos.checked_add(8).ok_or(DecodeError::Truncated)?;
-        let slice = self.bytes.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
         self.pos = end;
         Ok(u64::from_le_bytes(slice.try_into().unwrap()))
     }
@@ -131,7 +140,11 @@ fn decode_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
 
     if md == 3 {
         let r = reg_from(rm_low | if rex.b { 8 } else { 0 });
-        return Ok(ModRm { md, reg, rm: Rm::Reg(r) });
+        return Ok(ModRm {
+            md,
+            reg,
+            rm: Rm::Reg(r),
+        });
     }
 
     // Memory operand.
@@ -177,7 +190,16 @@ fn decode_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
         return Err(DecodeError::InvalidOperand { offset: modrm_off });
     }
 
-    Ok(ModRm { md, reg, rm: Rm::Mem(Mem { base, index, disp, rip_relative }) })
+    Ok(ModRm {
+        md,
+        reg,
+        rm: Rm::Mem(Mem {
+            base,
+            index,
+            disp,
+            rip_relative,
+        }),
+    })
 }
 
 /// Decodes a single instruction at the start of `bytes`, which sits at
@@ -232,7 +254,10 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
         }
         if cur.pos > 3 {
             // Unreasonably long prefix run: treat as invalid.
-            return Err(DecodeError::InvalidOpcode { offset: cur.pos, byte: b });
+            return Err(DecodeError::InvalidOpcode {
+                offset: cur.pos,
+                byte: b,
+            });
         }
     }
 
@@ -293,7 +318,11 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
             let m = decode_modrm(&mut cur, rex)?;
             let alu = AluOp::from_modrm_ext(m.reg & 7)
                 .ok_or(DecodeError::InvalidOperand { offset: op_off })?;
-            let imm = if opcode == 0x83 { cur.i8()? as i32 } else { cur.i32()? };
+            let imm = if opcode == 0x83 {
+                cur.i8()? as i32
+            } else {
+                cur.i32()?
+            };
             match m.rm {
                 Rm::Reg(r) => Op::AluRI(alu, w, r, imm),
                 Rm::Mem(_) => return Err(DecodeError::InvalidOperand { offset: op_off }),
@@ -359,19 +388,26 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
         0xcc => Op::Int3,
         0xe8 => {
             let rel = cur.i32()?;
-            Op::Call(addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64))
+            Op::Call(
+                addr.wrapping_add(cur.pos as u64)
+                    .wrapping_add(rel as i64 as u64),
+            )
         }
         0xe9 => {
             let rel = cur.i32()?;
             Op::Jmp {
-                target: addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64),
+                target: addr
+                    .wrapping_add(cur.pos as u64)
+                    .wrapping_add(rel as i64 as u64),
                 short: false,
             }
         }
         0xeb => {
             let rel = cur.i8()?;
             Op::Jmp {
-                target: addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64),
+                target: addr
+                    .wrapping_add(cur.pos as u64)
+                    .wrapping_add(rel as i64 as u64),
                 short: true,
             }
         }
@@ -380,7 +416,9 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
             let rel = cur.i8()?;
             Op::Jcc {
                 cc,
-                target: addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64),
+                target: addr
+                    .wrapping_add(cur.pos as u64)
+                    .wrapping_add(rel as i64 as u64),
                 short: true,
             }
         }
@@ -413,7 +451,10 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
                     if rep && tail == 0xfa {
                         Op::Endbr64
                     } else {
-                        return Err(DecodeError::InvalidOpcode { offset: op2_off, byte: op2 });
+                        return Err(DecodeError::InvalidOpcode {
+                            offset: op2_off,
+                            byte: op2,
+                        });
                     }
                 }
                 0x1f => {
@@ -430,7 +471,9 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
                     let rel = cur.i32()?;
                     Op::Jcc {
                         cc,
-                        target: addr.wrapping_add(cur.pos as u64).wrapping_add(rel as i64 as u64),
+                        target: addr
+                            .wrapping_add(cur.pos as u64)
+                            .wrapping_add(rel as i64 as u64),
                         short: false,
                     }
                 }
@@ -438,9 +481,7 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
                     let m = decode_modrm(&mut cur, rex)?;
                     match m.rm {
                         Rm::Reg(src) => Op::IMul(w, reg_from(m.reg), src),
-                        Rm::Mem(_) => {
-                            return Err(DecodeError::InvalidOperand { offset: op2_off })
-                        }
+                        Rm::Mem(_) => return Err(DecodeError::InvalidOperand { offset: op2_off }),
                     }
                 }
                 0xb6 | 0xb7 | 0xbe | 0xbf => {
@@ -451,10 +492,20 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
                     };
                     Op::MovExt(ext, reg_from(m.reg), m.rm)
                 }
-                _ => return Err(DecodeError::InvalidOpcode { offset: op2_off, byte: op2 }),
+                _ => {
+                    return Err(DecodeError::InvalidOpcode {
+                        offset: op2_off,
+                        byte: op2,
+                    })
+                }
             }
         }
-        _ => return Err(DecodeError::InvalidOpcode { offset: op_off, byte: opcode }),
+        _ => {
+            return Err(DecodeError::InvalidOpcode {
+                offset: op_off,
+                byte: opcode,
+            })
+        }
     };
 
     let len = cur.pos;
@@ -466,7 +517,11 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Inst, DecodeError> {
         other => other,
     };
     let _ = osz;
-    Ok(Inst { addr, len: len as u8, op })
+    Ok(Inst {
+        addr,
+        len: len as u8,
+        op,
+    })
 }
 
 /// Decodes successive instructions from `code` starting at `addr`, stopping
@@ -484,7 +539,11 @@ pub struct InstIter<'a> {
 impl<'a> InstIter<'a> {
     /// Creates an iterator over `code`, whose first byte lives at `addr`.
     pub fn new(code: &'a [u8], addr: u64) -> Self {
-        InstIter { code, offset: 0, addr }
+        InstIter {
+            code,
+            offset: 0,
+            addr,
+        }
     }
 
     /// The address of the next instruction to decode.
@@ -557,13 +616,33 @@ mod tests {
         assert_eq!(i.op, Op::Call(0xf05));
         // jmp short +0x10
         let j = d(&[0xeb, 0x10]);
-        assert_eq!(j.op, Op::Jmp { target: 0x1012, short: true });
+        assert_eq!(
+            j.op,
+            Op::Jmp {
+                target: 0x1012,
+                short: true
+            }
+        );
         // jne near +0x55e0
         let k = d(&[0x0f, 0x85, 0xe0, 0x55, 0x00, 0x00]);
-        assert_eq!(k.op, Op::Jcc { cc: Cc::Ne, target: 0x1006 + 0x55e0, short: false });
+        assert_eq!(
+            k.op,
+            Op::Jcc {
+                cc: Cc::Ne,
+                target: 0x1006 + 0x55e0,
+                short: false
+            }
+        );
         // je short -2 (self loop)
         let l = d(&[0x74, 0xfe]);
-        assert_eq!(l.op, Op::Jcc { cc: Cc::E, target: 0x1000, short: true });
+        assert_eq!(
+            l.op,
+            Op::Jcc {
+                cc: Cc::E,
+                target: 0x1000,
+                short: true
+            }
+        );
     }
 
     #[test]
@@ -608,7 +687,10 @@ mod tests {
         // push r12 = 41 54
         assert_eq!(d(&[0x41, 0x54]).op, Op::Push(Reg::R12));
         // mov r15, r14 = 4d 89 f7
-        assert_eq!(d(&[0x4d, 0x89, 0xf7]).op, Op::MovRR(Width::W64, Reg::R15, Reg::R14));
+        assert_eq!(
+            d(&[0x4d, 0x89, 0xf7]).op,
+            Op::MovRR(Width::W64, Reg::R15, Reg::R14)
+        );
     }
 
     #[test]
@@ -622,7 +704,10 @@ mod tests {
             (&[0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00][..], 6),
             (&[0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00][..], 7),
             (&[0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00][..], 8),
-            (&[0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00][..], 9),
+            (
+                &[0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00][..],
+                9,
+            ),
         ] {
             let i = d(bytes);
             assert_eq!(i.op, Op::Nop(len as u8), "bytes {bytes:x?}");
@@ -659,7 +744,10 @@ mod tests {
     fn invalid_bytes_error() {
         assert!(matches!(
             decode(&[0x06], 0),
-            Err(DecodeError::InvalidOpcode { offset: 0, byte: 0x06 })
+            Err(DecodeError::InvalidOpcode {
+                offset: 0,
+                byte: 0x06
+            })
         ));
         assert_eq!(decode(&[0xe8, 0x01], 0), Err(DecodeError::Truncated));
         assert_eq!(decode(&[], 0), Err(DecodeError::Truncated));

@@ -28,7 +28,10 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::BranchOutOfRange { at, target } => {
-                write!(f, "branch at {at:#x} to {target:#x} out of displacement range")
+                write!(
+                    f,
+                    "branch at {at:#x} to {target:#x} out of displacement range"
+                )
             }
             EncodeError::UnboundLabel(ix) => write!(f, "label {ix} was never bound"),
             EncodeError::Unencodable => write!(f, "operand combination has no supported encoding"),
@@ -69,7 +72,7 @@ fn emit_modrm(out: &mut Vec<u8>, w: bool, opcode: &[u8], regfield: u8, rm: &Rm) 
                 match (m.base, m.index) {
                     (None, None) => {
                         // Absolute disp32 via SIB with no base.
-                        sib = Some(0b00 << 6 | 0b100 << 3 | 0b101);
+                        sib = Some((0b100 << 3) | 0b101);
                         (0, 0b100, DispKind::D32(m.disp))
                     }
                     (None, Some((idx, scale))) => {
@@ -247,21 +250,33 @@ pub fn encode(op: &Op, addr: u64, out: &mut Vec<u8>) -> Result<(), EncodeError> 
         Op::Dec(w, r) => emit_modrm(out, wbit(*w), &[0xff], 1, &Rm::Reg(*r)),
         Op::Call(target) => {
             out.push(0xe8);
-            let rel = rel32(addr, out.len() as u64 + 4, *target)
-                .ok_or(EncodeError::BranchOutOfRange { at: addr, target: *target })?;
+            let rel = rel32(addr, out.len() as u64 + 4, *target).ok_or(
+                EncodeError::BranchOutOfRange {
+                    at: addr,
+                    target: *target,
+                },
+            )?;
             out.extend_from_slice(&rel.to_le_bytes());
         }
         Op::CallInd(rm) => emit_modrm(out, false, &[0xff], 2, rm),
         Op::Jmp { target, short } => {
             if *short {
                 out.push(0xeb);
-                let rel = rel8(addr, out.len() as u64 + 1, *target)
-                    .ok_or(EncodeError::BranchOutOfRange { at: addr, target: *target })?;
+                let rel = rel8(addr, out.len() as u64 + 1, *target).ok_or(
+                    EncodeError::BranchOutOfRange {
+                        at: addr,
+                        target: *target,
+                    },
+                )?;
                 out.push(rel as u8);
             } else {
                 out.push(0xe9);
-                let rel = rel32(addr, out.len() as u64 + 4, *target)
-                    .ok_or(EncodeError::BranchOutOfRange { at: addr, target: *target })?;
+                let rel = rel32(addr, out.len() as u64 + 4, *target).ok_or(
+                    EncodeError::BranchOutOfRange {
+                        at: addr,
+                        target: *target,
+                    },
+                )?;
                 out.extend_from_slice(&rel.to_le_bytes());
             }
         }
@@ -269,14 +284,22 @@ pub fn encode(op: &Op, addr: u64, out: &mut Vec<u8>) -> Result<(), EncodeError> 
         Op::Jcc { cc, target, short } => {
             if *short {
                 out.push(0x70 + cc.code());
-                let rel = rel8(addr, out.len() as u64 + 1, *target)
-                    .ok_or(EncodeError::BranchOutOfRange { at: addr, target: *target })?;
+                let rel = rel8(addr, out.len() as u64 + 1, *target).ok_or(
+                    EncodeError::BranchOutOfRange {
+                        at: addr,
+                        target: *target,
+                    },
+                )?;
                 out.push(rel as u8);
             } else {
                 out.push(0x0f);
                 out.push(0x80 + cc.code());
-                let rel = rel32(addr, out.len() as u64 + 4, *target)
-                    .ok_or(EncodeError::BranchOutOfRange { at: addr, target: *target })?;
+                let rel = rel32(addr, out.len() as u64 + 4, *target).ok_or(
+                    EncodeError::BranchOutOfRange {
+                        at: addr,
+                        target: *target,
+                    },
+                )?;
                 out.extend_from_slice(&rel.to_le_bytes());
             }
         }
@@ -484,7 +507,11 @@ impl Asm {
     /// Emits `call rel32` to the external symbol `target`.
     pub fn call_ext(&mut self, target: u32) {
         self.bytes.push(0xe8);
-        self.fixups.push(ExtFixup { pos: self.bytes.len(), kind: FixupKind::Rel32, target });
+        self.fixups.push(ExtFixup {
+            pos: self.bytes.len(),
+            kind: FixupKind::Rel32,
+            target,
+        });
         self.bytes.extend_from_slice(&[0; 4]);
     }
 
@@ -492,7 +519,11 @@ impl Asm {
     /// non-contiguous-part transfer).
     pub fn jmp_ext(&mut self, target: u32) {
         self.bytes.push(0xe9);
-        self.fixups.push(ExtFixup { pos: self.bytes.len(), kind: FixupKind::Rel32, target });
+        self.fixups.push(ExtFixup {
+            pos: self.bytes.len(),
+            kind: FixupKind::Rel32,
+            target,
+        });
         self.bytes.extend_from_slice(&[0; 4]);
     }
 
@@ -500,7 +531,11 @@ impl Asm {
     pub fn jcc_ext(&mut self, cc: Cc, target: u32) {
         self.bytes.push(0x0f);
         self.bytes.push(0x80 + cc.code());
-        self.fixups.push(ExtFixup { pos: self.bytes.len(), kind: FixupKind::Rel32, target });
+        self.fixups.push(ExtFixup {
+            pos: self.bytes.len(),
+            kind: FixupKind::Rel32,
+            target,
+        });
         self.bytes.extend_from_slice(&[0; 4]);
     }
 
@@ -510,7 +545,11 @@ impl Asm {
         self.bytes.push(rex);
         self.bytes.push(0x8d);
         self.bytes.push(reg.low3() << 3 | 0b101); // mod 00, rm 101 = rip
-        self.fixups.push(ExtFixup { pos: self.bytes.len(), kind: FixupKind::RipDisp32, target });
+        self.fixups.push(ExtFixup {
+            pos: self.bytes.len(),
+            kind: FixupKind::RipDisp32,
+            target,
+        });
         self.bytes.extend_from_slice(&[0; 4]);
     }
 
@@ -519,7 +558,11 @@ impl Asm {
         self.bytes
             .push(rex_byte(true, false, false, reg.needs_rex()).expect("REX.W set"));
         self.bytes.push(0xb8 + reg.low3());
-        self.fixups.push(ExtFixup { pos: self.bytes.len(), kind: FixupKind::Abs64, target });
+        self.fixups.push(ExtFixup {
+            pos: self.bytes.len(),
+            kind: FixupKind::Abs64,
+            target,
+        });
         self.bytes.extend_from_slice(&[0; 8]);
     }
 
@@ -535,7 +578,12 @@ impl Asm {
     /// Returns [`EncodeError::UnboundLabel`] if any referenced label was
     /// never bound.
     pub fn finalize(self) -> Result<AsmOut, EncodeError> {
-        let Asm { mut bytes, labels, pending, fixups } = self;
+        let Asm {
+            mut bytes,
+            labels,
+            pending,
+            fixups,
+        } = self;
         for (pos, label) in pending {
             let target = labels[label.0].ok_or(EncodeError::UnboundLabel(label.0))?;
             let rel = target as i64 - (pos as i64 + 4);
@@ -586,23 +634,46 @@ mod tests {
         roundtrip(Op::AluRI(AluOp::Sub, W64, Reg::Rsp, 8));
         roundtrip(Op::AluRI(AluOp::Add, W64, Reg::Rsp, 0x128));
         roundtrip(Op::AluRI(AluOp::Cmp, W64, Reg::Rax, 100));
-        roundtrip(Op::AluRM(AluOp::Add, W64, Reg::Rax, Mem::base_disp(Reg::Rbp, -16)));
+        roundtrip(Op::AluRM(
+            AluOp::Add,
+            W64,
+            Reg::Rax,
+            Mem::base_disp(Reg::Rbp, -16),
+        ));
         roundtrip(Op::AluRR(AluOp::Xor, W32, Reg::Rdi, Reg::Rdi));
         roundtrip(Op::TestRR(W64, Reg::Rax, Reg::Rax));
         roundtrip(Op::IMul(W64, Reg::Rax, Reg::Rbx));
         roundtrip(Op::Shift(ShiftOp::Shl, W64, Reg::Rax, 3));
         roundtrip(Op::Shift(ShiftOp::Sar, W64, Reg::Rdx, 63));
-        roundtrip(Op::Movsxd(Reg::Rax, Rm::Mem(Mem::base_index(Reg::R11, Reg::Rax, 4, 0))));
-        roundtrip(Op::MovExt(ExtLoad { sign: false, src_bits: 8 }, Reg::Rax, Rm::Reg(Reg::Rcx)));
+        roundtrip(Op::Movsxd(
+            Reg::Rax,
+            Rm::Mem(Mem::base_index(Reg::R11, Reg::Rax, 4, 0)),
+        ));
         roundtrip(Op::MovExt(
-            ExtLoad { sign: true, src_bits: 16 },
+            ExtLoad {
+                sign: false,
+                src_bits: 8,
+            },
+            Reg::Rax,
+            Rm::Reg(Reg::Rcx),
+        ));
+        roundtrip(Op::MovExt(
+            ExtLoad {
+                sign: true,
+                src_bits: 16,
+            },
             Reg::Rdx,
             Rm::Mem(Mem::base(Reg::Rsi)),
         ));
         roundtrip(Op::Inc(W64, Reg::Rcx));
         roundtrip(Op::Dec(W64, Reg::R15));
         roundtrip(Op::CallInd(Rm::Reg(Reg::Rax)));
-        roundtrip(Op::CallInd(Rm::Mem(Mem::base_index(Reg::Rdi, Reg::Rcx, 8, 0x20))));
+        roundtrip(Op::CallInd(Rm::Mem(Mem::base_index(
+            Reg::Rdi,
+            Reg::Rcx,
+            8,
+            0x20,
+        ))));
         roundtrip(Op::JmpInd(Rm::Reg(Reg::R11)));
         roundtrip(Op::Ret);
         roundtrip(Op::Leave);
@@ -621,18 +692,39 @@ mod tests {
     #[test]
     fn roundtrip_branches() {
         roundtrip(Op::Call(0x40_1234));
-        roundtrip(Op::Jmp { target: 0x3f_f000, short: false });
-        roundtrip(Op::Jmp { target: 0x40_0012, short: true });
+        roundtrip(Op::Jmp {
+            target: 0x3f_f000,
+            short: false,
+        });
+        roundtrip(Op::Jmp {
+            target: 0x40_0012,
+            short: true,
+        });
         for cc in Cc::ALL {
-            roundtrip(Op::Jcc { cc, target: 0x40_0040, short: true });
-            roundtrip(Op::Jcc { cc, target: 0x41_0000, short: false });
+            roundtrip(Op::Jcc {
+                cc,
+                target: 0x40_0040,
+                short: true,
+            });
+            roundtrip(Op::Jcc {
+                cc,
+                target: 0x41_0000,
+                short: false,
+            });
         }
     }
 
     #[test]
     fn short_branch_out_of_range() {
         let mut out = Vec::new();
-        let err = encode(&Op::Jmp { target: 0x50_0000, short: true }, 0x40_0000, &mut out);
+        let err = encode(
+            &Op::Jmp {
+                target: 0x50_0000,
+                short: true,
+            },
+            0x40_0000,
+            &mut out,
+        );
         assert!(matches!(err, Err(EncodeError::BranchOutOfRange { .. })));
     }
 
@@ -662,7 +754,10 @@ mod tests {
             insts.push(i);
         }
         // xor(2) at 0x1000; inc(3) at 0x1002 = loop_top
-        let jcc = insts.iter().find(|i| matches!(i.op, Op::Jcc { .. })).unwrap();
+        let jcc = insts
+            .iter()
+            .find(|i| matches!(i.op, Op::Jcc { .. }))
+            .unwrap();
         assert_eq!(jcc.direct_target(), Some(0x1002));
     }
 

@@ -39,12 +39,22 @@ pub struct Mem {
 impl Mem {
     /// `[base]`
     pub fn base(base: Reg) -> Mem {
-        Mem { base: Some(base), index: None, disp: 0, rip_relative: false }
+        Mem {
+            base: Some(base),
+            index: None,
+            disp: 0,
+            rip_relative: false,
+        }
     }
 
     /// `[base + disp]`
     pub fn base_disp(base: Reg, disp: i32) -> Mem {
-        Mem { base: Some(base), index: None, disp, rip_relative: false }
+        Mem {
+            base: Some(base),
+            index: None,
+            disp,
+            rip_relative: false,
+        }
     }
 
     /// `[base + index*scale + disp]`
@@ -56,17 +66,32 @@ impl Mem {
     pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i32) -> Mem {
         assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
         assert!(index != Reg::Rsp, "rsp cannot be an index register");
-        Mem { base: Some(base), index: Some((index, scale)), disp, rip_relative: false }
+        Mem {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+            rip_relative: false,
+        }
     }
 
     /// `[rip + disp]` — position-independent data access.
     pub fn rip(disp: i32) -> Mem {
-        Mem { base: None, index: None, disp, rip_relative: true }
+        Mem {
+            base: None,
+            index: None,
+            disp,
+            rip_relative: true,
+        }
     }
 
     /// `[disp32]` — absolute (SIB, no base) addressing.
     pub fn abs(disp: i32) -> Mem {
-        Mem { base: None, index: None, disp, rip_relative: false }
+        Mem {
+            base: None,
+            index: None,
+            disp,
+            rip_relative: false,
+        }
     }
 
     /// The absolute address referenced by a rip-relative operand, given the
@@ -513,7 +538,10 @@ impl Inst {
 
     /// Whether the instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        !matches!(self.flow(), Flow::Fallthrough | Flow::Call(_) | Flow::IndirectCall)
+        !matches!(
+            self.flow(),
+            Flow::Fallthrough | Flow::Call(_) | Flow::IndirectCall
+        )
     }
 
     /// The direct branch or call target, if any.
@@ -544,13 +572,15 @@ impl Inst {
     /// Whether the instruction writes `rsp` in a way that is *not* a simple
     /// delta (e.g. `leave`, `mov rsp, rbp`).
     pub fn clobbers_rsp(&self) -> bool {
-        match self.op {
-            Op::Leave => true,
-            Op::MovRR(_, Reg::Rsp, _) | Op::MovRM(_, Reg::Rsp, _) | Op::MovAbs(Reg::Rsp, _) => true,
-            Op::MovRI(_, Reg::Rsp, _) => true,
-            Op::Lea(Reg::Rsp, _) => true,
-            _ => false,
-        }
+        matches!(
+            self.op,
+            Op::Leave
+                | Op::MovRR(_, Reg::Rsp, _)
+                | Op::MovRM(_, Reg::Rsp, _)
+                | Op::MovAbs(Reg::Rsp, _)
+                | Op::MovRI(_, Reg::Rsp, _)
+                | Op::Lea(Reg::Rsp, _)
+        )
     }
 
     /// Whether the instruction reads or writes `rsp` at all (including via
@@ -725,11 +755,9 @@ impl fmt::Display for Inst {
             Op::IMul(w, d, s) => write!(f, "imul {}, {}", rn(*w, *d), rn(*w, *s)),
             Op::Shift(op, w, r, i) => write!(f, "{} {}, {i}", op.mnemonic(), rn(*w, *r)),
             Op::Movsxd(d, rm) => write!(f, "movsxd {d}, {rm}"),
-            Op::MovExt(e, d, rm) => write!(
-                f,
-                "{} {d}, {rm}",
-                if e.sign { "movsx" } else { "movzx" }
-            ),
+            Op::MovExt(e, d, rm) => {
+                write!(f, "{} {d}, {rm}", if e.sign { "movsx" } else { "movzx" })
+            }
             Op::Inc(w, r) => write!(f, "inc {}", rn(*w, *r)),
             Op::Dec(w, r) => write!(f, "dec {}", rn(*w, *r)),
             Op::Call(t) => write!(f, "call {t:#x}"),
@@ -756,7 +784,11 @@ mod tests {
     use super::*;
 
     fn at(op: Op) -> Inst {
-        Inst { addr: 0x1000, len: 3, op }
+        Inst {
+            addr: 0x1000,
+            len: 3,
+            op,
+        }
     }
 
     #[test]
@@ -773,15 +805,30 @@ mod tests {
         );
         assert_eq!(at(Op::Leave).stack_delta(), None);
         assert!(at(Op::Leave).clobbers_rsp());
-        assert_eq!(at(Op::AluRI(AluOp::Sub, Width::W64, Reg::Rax, 8)).stack_delta(), None);
+        assert_eq!(
+            at(Op::AluRI(AluOp::Sub, Width::W64, Reg::Rax, 8)).stack_delta(),
+            None
+        );
     }
 
     #[test]
     fn flow_classification() {
         assert_eq!(at(Op::Call(0x2000)).flow(), Flow::Call(0x2000));
-        assert_eq!(at(Op::Jmp { target: 0x2000, short: false }).flow(), Flow::Jump(0x2000));
         assert_eq!(
-            at(Op::Jcc { cc: Cc::Ne, target: 0x2000, short: true }).flow(),
+            at(Op::Jmp {
+                target: 0x2000,
+                short: false
+            })
+            .flow(),
+            Flow::Jump(0x2000)
+        );
+        assert_eq!(
+            at(Op::Jcc {
+                cc: Cc::Ne,
+                target: 0x2000,
+                short: true
+            })
+            .flow(),
             Flow::CondJump(0x2000)
         );
         assert_eq!(at(Op::Ret).flow(), Flow::Ret);
@@ -827,12 +874,19 @@ mod tests {
             "sub rsp, 0x8"
         );
         assert_eq!(
-            Inst { addr: 0, len: 4, op: Op::MovRM(Width::W64, Reg::Rdi, Mem::base(Reg::Rbx)) }
-                .to_string(),
+            Inst {
+                addr: 0,
+                len: 4,
+                op: Op::MovRM(Width::W64, Reg::Rdi, Mem::base(Reg::Rbx))
+            }
+            .to_string(),
             "mov rdi, [rbx]"
         );
         assert_eq!(Mem::base_disp(Reg::Rbp, -16).to_string(), "[rbp-0x10]");
-        assert_eq!(Mem::base_index(Reg::R11, Reg::Rax, 4, 0).to_string(), "[r11+rax*4]");
+        assert_eq!(
+            Mem::base_index(Reg::R11, Reg::Rax, 4, 0).to_string(),
+            "[r11+rax*4]"
+        );
     }
 
     #[test]

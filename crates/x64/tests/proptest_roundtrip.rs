@@ -1,9 +1,7 @@
 //! Property tests: every encodable operation decodes back to itself, and
 //! decoding is length-consistent.
 
-use fetch_x64::{
-    decode, encode, AluOp, Cc, ExtLoad, Mem, Op, Reg, Rm, ShiftOp, Width,
-};
+use fetch_x64::{decode, encode, AluOp, Cc, ExtLoad, Mem, Op, Reg, Rm, ShiftOp, Width};
 use proptest::prelude::*;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -78,12 +76,16 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (arb_width(), arb_mem(), arb_reg()).prop_map(|(w, m, s)| Op::MovMR(w, m, s)),
         (arb_width(), arb_mem(), any::<i32>()).prop_map(|(w, m, i)| Op::MovMI(w, m, i)),
         (arb_reg(), arb_mem()).prop_map(|(d, m)| Op::Lea(d, m)),
-        (arb_alu(), arb_width(), arb_reg(), arb_reg()).prop_map(|(o, w, d, s)| Op::AluRR(o, w, d, s)),
-        (arb_alu(), arb_width(), arb_reg(), any::<i32>()).prop_map(|(o, w, d, i)| Op::AluRI(o, w, d, i)),
-        (arb_alu(), arb_width(), arb_reg(), arb_mem()).prop_map(|(o, w, d, m)| Op::AluRM(o, w, d, m)),
+        (arb_alu(), arb_width(), arb_reg(), arb_reg())
+            .prop_map(|(o, w, d, s)| Op::AluRR(o, w, d, s)),
+        (arb_alu(), arb_width(), arb_reg(), any::<i32>())
+            .prop_map(|(o, w, d, i)| Op::AluRI(o, w, d, i)),
+        (arb_alu(), arb_width(), arb_reg(), arb_mem())
+            .prop_map(|(o, w, d, m)| Op::AluRM(o, w, d, m)),
         (arb_width(), arb_reg(), arb_reg()).prop_map(|(w, a, b)| Op::TestRR(w, a, b)),
         (arb_width(), arb_reg(), arb_reg()).prop_map(|(w, d, s)| Op::IMul(w, d, s)),
-        (arb_shift(), arb_width(), arb_reg(), any::<u8>()).prop_map(|(o, w, r, i)| Op::Shift(o, w, r, i)),
+        (arb_shift(), arb_width(), arb_reg(), any::<u8>())
+            .prop_map(|(o, w, r, i)| Op::Shift(o, w, r, i)),
         (arb_reg(), arb_rm()).prop_map(|(d, rm)| Op::Movsxd(d, rm)),
         (arb_ext(), arb_reg(), arb_rm()).prop_map(|(e, d, rm)| Op::MovExt(e, d, rm)),
         (arb_width(), arb_reg()).prop_map(|(w, r)| Op::Inc(w, r)),

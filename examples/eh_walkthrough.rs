@@ -7,9 +7,7 @@
 //! cargo run --example eh_walkthrough
 //! ```
 
-use fetch_ehframe::{
-    backtrace, stack_heights, CfaTable, Machine, Memory,
-};
+use fetch_ehframe::{backtrace, stack_heights, CfaTable, Machine, Memory};
 use fetch_synth::{synthesize, SynthConfig};
 use fetch_x64::Reg;
 
@@ -28,7 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("PC Begin: {:#x}", fde.pc_begin);
     println!("PC Range: {}", fde.pc_range);
     println!("CFIs:");
-    println!("  {}", fetch_ehframe::CfiInst::DefCfa { reg: Reg::Rsp, offset: 8 });
+    println!(
+        "  {}",
+        fetch_ehframe::CfiInst::DefCfa {
+            reg: Reg::Rsp,
+            offset: 8
+        }
+    );
     for cfi in &fde.cfis {
         println!("  {cfi}");
     }
@@ -41,9 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .cfa
             .map(|r| format!("{}+{}", r.reg, r.offset))
             .unwrap_or_else(|| "<expression>".into());
-        let saved: Vec<String> =
-            row.saved.iter().map(|(r, off)| format!("{r} at cfa{off}")).collect();
-        println!("  from {:#x}: CFA = {cfa}  saved: [{}]", row.addr, saved.join(", "));
+        let saved: Vec<String> = row
+            .saved
+            .iter()
+            .map(|(r, off)| format!("{r} at cfa{off}"))
+            .collect();
+        println!(
+            "  from {:#x}: CFA = {cfa}  saved: [{}]",
+            row.addr,
+            saved.join(", ")
+        );
     }
 
     // Stack heights — the data Algorithm 1 trusts (§V-B).

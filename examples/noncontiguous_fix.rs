@@ -5,9 +5,7 @@
 //! cargo run --example noncontiguous_fix
 //! ```
 
-use fetch_core::{
-    CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy,
-};
+use fetch_core::{CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
 use fetch_ehframe::stack_heights;
 use fetch_synth::{synthesize, SynthConfig};
 
@@ -29,14 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cold = &split.parts[1];
     println!("non-contiguous function {}:", split.name);
     println!("  hot part  {:#x}..{:#x} (FDE 1)", hot.start, hot.end());
-    println!("  cold part {:#x}..{:#x} (FDE 2) ← a false 'function start'", cold.start, cold.end());
+    println!(
+        "  cold part {:#x}..{:#x} (FDE 2) ← a false 'function start'",
+        cold.start,
+        cold.end()
+    );
 
     // Step 1: FDE extraction reports BOTH parts as function starts.
     let mut state = DetectionState::new(&case.binary);
     FdeSeeds.apply(&mut state);
     println!(
         "\nafter FDE extraction: cold part detected as a function? {}",
-        state.starts.contains_key(&cold.start)
+        state.starts().contains_key(&cold.start)
     );
 
     // Step 2: recursion + pointer scan (neither can fix FDE errors).
@@ -44,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     PointerScan.apply(&mut state);
     println!(
         "after Rec+Xref:        cold part still a function? {}",
-        state.starts.contains_key(&cold.start)
+        state.starts().contains_key(&cold.start)
     );
 
     // Narrate the evidence Algorithm 1 will use.
@@ -57,11 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(h) => {
             // Find the jump into the cold part and its recorded height.
             let jump = state
-                .rec
+                .rec()
                 .disasm
-                .insts
-                .values()
+                .iter()
                 .find(|i| i.direct_target() == Some(cold.start))
+                .copied()
                 .expect("the hot→cold branch was disassembled");
             let height = h.height_at(jump.addr).expect("height at jump");
             println!(
@@ -75,11 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 3: Algorithm 1 merges the call frames.
     let report = CallFrameRepair::default().repair(&mut state);
-    let merged_here =
-        report.merged.iter().any(|(removed, into)| *removed == cold.start && *into == hot.start);
+    let merged_here = report
+        .merged
+        .iter()
+        .any(|(removed, into)| *removed == cold.start && *into == hot.start);
     println!(
         "\nafter TcallFix:        cold part still a function? {}  (merged into hot: {})",
-        state.starts.contains_key(&cold.start),
+        state.starts().contains_key(&cold.start),
         merged_here
     );
     println!(

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Run the full FETCH pipeline: FDE → Rec → Xref → TcallFix.
     let (result, report) = Fetch::new().detect_with_report(&case.binary);
-    println!("\ndetected {} function starts via layers {:?}", result.len(), result.layers);
+    println!(
+        "\ndetected {} function starts via layers {:?}",
+        result.len(),
+        result.layers
+    );
     println!(
         "call-frame repair: merged {} non-contiguous parts, confirmed {} tail \
          calls, removed {} mislabeled FDEs",

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|p| p.has_fde)
         .map(|p| (p.start, p.len))
         .collect();
-    println!("FDE false starts (cold parts): {}", false_start_blocks.len());
+    println!(
+        "FDE false starts (cold parts): {}",
+        false_start_blocks.len()
+    );
 
     let mut total = 0usize;
     for &(start, len) in &false_start_blocks {
@@ -34,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total += gadgets.len();
         if let Some(g) = gadgets.first() {
             let ops: Vec<String> = g.insts.iter().map(|i| i.to_string()).collect();
-            println!("  block {start:#x}: {} gadgets, e.g. [{}]", gadgets.len(), ops.join("; "));
+            println!(
+                "  block {start:#x}: {} gadgets, e.g. [{}]",
+                gadgets.len(),
+                ops.join("; ")
+            );
         }
     }
     println!("\ntotal gadgets whitelisted by the naive policy: {total}");

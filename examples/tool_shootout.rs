@@ -17,10 +17,13 @@ fn main() {
     cfg.rates.asm_funcs = 12;
     cfg.rates.bad_thunks = 2;
     let case = synthesize(&cfg);
-    println!("binary: {} ({} true functions)\n", case.binary, case.truth.len());
+    println!(
+        "binary: {} ({} true functions)\n",
+        case.binary,
+        case.truth.len()
+    );
 
-    let mut table =
-        TextTable::new(["Tool", "Detected", "FP", "FN", "Precision %", "Recall %"]);
+    let mut table = TextTable::new(["Tool", "Detected", "FP", "FN", "Precision %", "Recall %"]);
     for tool in Tool::ALL {
         match run_tool(tool, &case.binary) {
             Some(result) => {
@@ -35,7 +38,14 @@ fn main() {
                 ]);
             }
             None => {
-                table.row([tool.name().to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "failed to load".into()]);
+                table.row([
+                    tool.name().to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "failed to load".into(),
+                ]);
             }
         }
     }

@@ -30,7 +30,11 @@ fn fetch_on_rich_corpora_meets_paper_shape() {
         let e = evaluate(&result.start_set(), &case);
         // Near-full recall and precision on every binary.
         assert!(e.recall() > 0.93, "seed {seed}: recall {:.3}", e.recall());
-        assert!(e.precision() > 0.95, "seed {seed}: precision {:.3}", e.precision());
+        assert!(
+            e.precision() > 0.95,
+            "seed {seed}: precision {:.3}",
+            e.precision()
+        );
         agg.add(&e);
     }
     assert_eq!(agg.binaries, 5);
@@ -45,7 +49,10 @@ fn misses_are_only_harmless_classes() {
         let truth = case.truth.starts();
         let found = result.start_set();
         for missed in truth.difference(&found) {
-            let f = case.truth.function_at(*missed).expect("truth covers misses");
+            let f = case
+                .truth
+                .function_at(*missed)
+                .expect("truth covers misses");
             // Tail-only functions (missing them is inlining-equivalent,
             // §V-C) and unreachable assembly are the harmless classes.
             assert!(
@@ -119,8 +126,7 @@ fn safe_recursion_never_invents_starts() {
         let case = rich_case(seed);
         let r = run_stack(&case.binary, &[&FdeSeeds, &SafeRecursion::default()]);
         let parts = case.truth.part_starts();
-        let mislabel_ok: std::collections::BTreeSet<u64> =
-            parts.iter().map(|s| s - 1).collect();
+        let mislabel_ok: std::collections::BTreeSet<u64> = parts.iter().map(|s| s - 1).collect();
         for s in r.start_set() {
             assert!(
                 parts.contains(&s) || mislabel_ok.contains(&s),

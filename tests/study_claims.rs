@@ -1,17 +1,22 @@
 //! Integration tests encoding the paper's *claims* as assertions over a
 //! small multi-binary corpus: each §IV/§V finding must hold in shape.
 
+use fetch::binary::TestCase;
 use fetch::core::{
     run_stack, CallFrameRepair, ControlFlowRepair, DetectionState, FdeSeeds, FunctionMerge,
     LinearScanStarts, PointerScan, SafeRecursion, Strategy, TailCallHeuristic, ToolStyle,
 };
 use fetch::metrics::{evaluate, Aggregate};
 use fetch::synth::corpus::{dataset2_configs, synthesize_all, CorpusScale};
-use fetch::binary::TestCase;
 
 fn corpus() -> Vec<TestCase> {
-    // ~24 binaries across all projects and opt levels.
-    let scale = CorpusScale { bin_divisor: 64, func_scale: 0.3 };
+    // ~58 binaries across all projects and opt levels — large enough for
+    // the rarer claim preconditions (e.g. CFR's unreferenced-after-
+    // noreturn starts) to occur with margin.
+    let scale = CorpusScale {
+        bin_divisor: 32,
+        func_scale: 0.3,
+    };
     synthesize_all(&dataset2_configs(&scale))
 }
 
@@ -67,7 +72,10 @@ fn claim_cfr_reduces_coverage() {
         evaluate(&r.start_set(), c)
     });
     let cfr = agg(&cases, |c| {
-        let r = run_stack(&c.binary, &[&FdeSeeds, &SafeRecursion::default(), &ControlFlowRepair]);
+        let r = run_stack(
+            &c.binary,
+            &[&FdeSeeds, &SafeRecursion::default(), &ControlFlowRepair],
+        );
         evaluate(&r.start_set(), c)
     });
     assert!(
@@ -87,7 +95,10 @@ fn claim_fmerg_reduces_coverage() {
         evaluate(&r.start_set(), c)
     });
     let fm = agg(&cases, |c| {
-        let r = run_stack(&c.binary, &[&FdeSeeds, &SafeRecursion::default(), &FunctionMerge]);
+        let r = run_stack(
+            &c.binary,
+            &[&FdeSeeds, &SafeRecursion::default(), &FunctionMerge],
+        );
         evaluate(&r.start_set(), c)
     });
     assert!(fm.true_positives <= rec.true_positives);
@@ -108,7 +119,12 @@ fn claim_unsafe_heuristics_hurt_accuracy() {
     });
     for (name, layer) in [
         ("Scan", &LinearScanStarts as &dyn Strategy),
-        ("Tcall-ghidra", &TailCallHeuristic { style: ToolStyle::Ghidra }),
+        (
+            "Tcall-ghidra",
+            &TailCallHeuristic {
+                style: ToolStyle::Ghidra,
+            },
+        ),
     ] {
         let h = agg(&cases, |c| {
             let r = run_stack(&c.binary, &[&FdeSeeds, &SafeRecursion::default(), layer]);
