@@ -7,7 +7,7 @@
 //! wrongly merged* (the safety cost).
 
 use fetch_analyses::HeightStyle;
-use fetch_bench::{banner, dataset2, opts_from_args, par_map};
+use fetch_bench::{banner, dataset2, opts_from_args, BatchDriver};
 use fetch_binary::Reach;
 use fetch_core::{CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
 use fetch_metrics::TextTable;
@@ -60,6 +60,39 @@ fn main() {
         ),
     ];
 
+    // One pass per binary, every variant on the same worker: the decode
+    // cache built for the first variant's FDE+Rec+Xref prefix is replayed
+    // by the other five.
+    let per_case: Vec<Vec<(usize, usize, usize, usize)>> =
+        BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
+            let truth = case.truth.starts();
+            let mut out = Vec::with_capacity(variants.len());
+            for (_, repair) in &variants {
+                let mut state = DetectionState::with_engine(&case.binary, std::mem::take(engine));
+                FdeSeeds.apply(&mut state);
+                SafeRecursion::default().apply(&mut state);
+                PointerScan.apply(&mut state);
+                let before_fp = state.start_set().difference(&truth).count();
+                let report = repair.repair(&mut state);
+                let after_fp = state.start_set().difference(&truth).count();
+                *engine = state.into_result_with_engine().1;
+                let mut wrong = 0usize;
+                let mut harmless = 0usize;
+                for (removed, _) in &report.merged {
+                    if truth.contains(removed) {
+                        match case.truth.function_at(*removed).map(|f| f.reach) {
+                            // Merging a tail-only function is the paper's
+                            // harmless inlining side effect (§V-C).
+                            Some(Reach::TailCalled { .. }) => harmless += 1,
+                            _ => wrong += 1,
+                        }
+                    }
+                }
+                out.push((before_fp, after_fp, wrong, harmless));
+            }
+            out
+        });
+
     let mut table = TextTable::new([
         "Variant",
         "FPs before",
@@ -67,34 +100,11 @@ fn main() {
         "true starts wrongly merged",
         "harmless merges",
     ]);
-    for (label, repair) in &variants {
-        let rows = par_map(&cases, |case| {
-            let truth = case.truth.starts();
-            let mut state = DetectionState::new(&case.binary);
-            FdeSeeds.apply(&mut state);
-            SafeRecursion::default().apply(&mut state);
-            PointerScan.apply(&mut state);
-            let before_fp = state.start_set().difference(&truth).count();
-            let report = repair.repair(&mut state);
-            let after_fp = state.start_set().difference(&truth).count();
-            let mut wrong = 0usize;
-            let mut harmless = 0usize;
-            for (removed, _) in &report.merged {
-                if truth.contains(removed) {
-                    match case.truth.function_at(*removed).map(|f| f.reach) {
-                        // Merging a tail-only function is the paper's
-                        // harmless inlining side effect (§V-C).
-                        Some(Reach::TailCalled { .. }) => harmless += 1,
-                        _ => wrong += 1,
-                    }
-                }
-            }
-            (before_fp, after_fp, wrong, harmless)
-        });
-        let b: usize = rows.iter().map(|r| r.0).sum();
-        let a: usize = rows.iter().map(|r| r.1).sum();
-        let w: usize = rows.iter().map(|r| r.2).sum();
-        let h: usize = rows.iter().map(|r| r.3).sum();
+    for (vi, (label, _)) in variants.iter().enumerate() {
+        let b: usize = per_case.iter().map(|r| r[vi].0).sum();
+        let a: usize = per_case.iter().map(|r| r[vi].1).sum();
+        let w: usize = per_case.iter().map(|r| r[vi].2).sum();
+        let h: usize = per_case.iter().map(|r| r[vi].3).sum();
         table.row([
             label.to_string(),
             b.to_string(),

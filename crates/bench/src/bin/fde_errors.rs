@@ -3,8 +3,8 @@
 //! Paper: 34,772 false starts across 488 binaries; 34,769 from
 //! non-contiguous functions, 3 from hand-written CFI directives.
 
-use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, par_map};
-use fetch_core::{run_stack, FdeSeeds};
+use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, BatchDriver};
+use fetch_core::{run_stack_cached, FdeSeeds};
 
 fn main() {
     let opts = opts_from_args();
@@ -18,8 +18,8 @@ fn main() {
         affected: bool,
         symbol_fps: usize,
     }
-    let rows = par_map(&cases, |case| {
-        let r = run_stack(&case.binary, &[&FdeSeeds]);
+    let rows = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
+        let r = run_stack_cached(&case.binary, &[&FdeSeeds], engine);
         let truth = case.truth.starts();
         let parts = case.truth.part_starts();
         let found = r.start_set();

@@ -3,14 +3,14 @@
 //!
 //! Run with `--panel a|b|c` (default: all three).
 
-use fetch_bench::{banner, dataset2, opts_from_args, paper, par_map};
+use fetch_bench::{banner, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::TestCase;
 use fetch_core::{
-    run_stack, AlignmentSplit, CallFrameRepair, ControlFlowRepair, FdeSeeds, FunctionMerge,
+    run_stack_cached, AlignmentSplit, CallFrameRepair, ControlFlowRepair, FdeSeeds, FunctionMerge,
     LinearScanStarts, PointerScan, PrologueMatch, SafeRecursion, Strategy, TailCallHeuristic,
     ThunkHeuristic, ToolStyle,
 };
-use fetch_metrics::{evaluate, Aggregate, TextTable};
+use fetch_metrics::{evaluate, Aggregate, BinaryEval, TextTable};
 use fetch_tools::angr_rejects;
 
 type Stack = (&'static str, Vec<Box<dyn Strategy + Sync>>);
@@ -148,6 +148,7 @@ fn run_panel(
     cases: &[TestCase],
     reference: &[(&str, u64, u64)],
     skip_angr_failures: bool,
+    driver: &BatchDriver,
 ) {
     banner(title);
     let usable: Vec<TestCase> = if skip_angr_failures {
@@ -161,6 +162,22 @@ fn run_panel(
     };
     println!("binaries evaluated: {}\n", usable.len());
 
+    // Every stack of the panel runs on the binary's worker back-to-back:
+    // the decode cache built by the first stack's FDE walk is replayed by
+    // all the others, and the aggregation below consumes one
+    // corpus-ordered stream of per-binary rows.
+    let evals_per_case: Vec<Vec<BinaryEval>> = driver.run(&usable, |engine, case| {
+        stacks
+            .iter()
+            .map(|(_, stack)| {
+                let refs: Vec<&dyn Strategy> =
+                    stack.iter().map(|s| s.as_ref() as &dyn Strategy).collect();
+                let r = run_stack_cached(&case.binary, &refs, engine);
+                evaluate(&r.start_set(), case)
+            })
+            .collect()
+    });
+
     let mut table = TextTable::new([
         "Strategy",
         "Full Coverage",
@@ -168,16 +185,10 @@ fn run_panel(
         "(paper cov)",
         "(paper acc)",
     ]);
-    for (label, stack) in &stacks {
-        let evals = par_map(&usable, |case| {
-            let refs: Vec<&dyn Strategy> =
-                stack.iter().map(|s| s.as_ref() as &dyn Strategy).collect();
-            let r = run_stack(&case.binary, &refs);
-            evaluate(&r.start_set(), case)
-        });
+    for (si, (label, _)) in stacks.iter().enumerate() {
         let mut agg = Aggregate::new();
-        for e in &evals {
-            agg.add(e);
+        for evals in &evals_per_case {
+            agg.add(&evals[si]);
         }
         let (pc, pa) = reference
             .iter()
@@ -202,6 +213,7 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "all".into());
     let cases = dataset2(&opts);
+    let driver = BatchDriver::from_opts(&opts);
 
     if panel == "a" || panel == "all" {
         run_panel(
@@ -210,6 +222,7 @@ fn main() {
             &cases,
             &paper::FIG5A,
             false,
+            &driver,
         );
     }
     if panel == "b" || panel == "all" {
@@ -219,6 +232,7 @@ fn main() {
             &cases,
             &paper::FIG5B,
             true,
+            &driver,
         );
     }
     if panel == "c" || panel == "all" {
@@ -228,6 +242,7 @@ fn main() {
             &cases,
             &paper::FIG5C,
             false,
+            &driver,
         );
     }
     println!(

@@ -5,7 +5,7 @@
 //! binaries 864 → 1,222; 161 new (harmless) false negatives; no new
 //! false positives.
 
-use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, par_map};
+use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::Reach;
 use fetch_core::{CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
 
@@ -24,15 +24,16 @@ fn main() {
         new_fns: usize,
         harmless_new_fns: usize,
     }
-    let rows = par_map(&cases, |case| {
+    let rows = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
         let truth = case.truth.starts();
-        let mut state = DetectionState::new(&case.binary);
+        let mut state = DetectionState::with_engine(&case.binary, std::mem::take(engine));
         FdeSeeds.apply(&mut state);
         SafeRecursion::default().apply(&mut state);
         PointerScan.apply(&mut state);
         let before = state.start_set();
         let _report = CallFrameRepair::default().repair(&mut state);
         let after = state.start_set();
+        *engine = state.into_result_with_engine().1;
 
         let fps_before = before.difference(&truth).count();
         let fps_after = after.difference(&truth).count();

@@ -8,7 +8,7 @@
 //! leaf functions are exempt from the x64 unwind contract) — and
 //! measures the coverage a pdata-seeded detector would start from.
 
-use fetch_bench::{banner, compare_line, dataset2, opts_from_args, par_map};
+use fetch_bench::{banner, compare_line, dataset2, opts_from_args, BatchDriver};
 use fetch_ehframe::{Pdata, RuntimeFunction};
 use fetch_x64::{decode, Op};
 
@@ -21,7 +21,8 @@ fn main() {
         funcs: usize,
         covered: usize,
     }
-    let rows = par_map(&cases, |case| {
+    // Decode-only workload: the driver shards it, the engine is unused.
+    let rows = BatchDriver::from_opts(&opts).run(&cases, |_engine, case| {
         // Build the pdata table the way a Windows toolchain would:
         // register every function that adjusts the stack or calls other
         // functions (leaf functions that touch nothing are exempt).

@@ -7,11 +7,23 @@
 //! commit-over-commit, from the PR that introduced the dense instruction
 //! store and the incremental recursion engine onward.
 //!
+//! A second section times the [`BatchDriver`] sweeping the default
+//! Dataset 2 corpus through the full pipeline: `batch_serial` (one
+//! worker, the differential-test reference) vs `batch_parallel` (the
+//! machine's available parallelism). The two produce byte-identical
+//! results — the snapshot asserts it — so the speedup column is a pure
+//! scheduling win.
+//!
 //! Usage: `cargo run --release -p fetch-bench --bin perf_snapshot`
 //! (pass `--out <path>` to redirect; pass `--reps <n>` for more timing
-//! repetitions; the recorded value per stage is the minimum).
+//! repetitions — the recorded value per stage is the minimum; pass
+//! `--jobs <n>` to pin the parallel sweep's worker count, default: the
+//! machine's available parallelism).
 
-use fetch_core::{CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
+use fetch_bench::{dataset2, default_jobs, BatchDriver, BenchOpts};
+use fetch_core::{
+    CallFrameRepair, DetectionState, FdeSeeds, Fetch, PointerScan, SafeRecursion, Strategy,
+};
 use fetch_synth::{synthesize, SynthConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -63,6 +75,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut reps = 5usize;
+    let mut jobs = default_jobs();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -73,6 +86,11 @@ fn main() {
             "--reps" => {
                 i += 1;
                 reps = args[i].parse().expect("--reps takes an integer");
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = args[i].parse().expect("--jobs takes a positive integer");
+                assert!(jobs >= 1, "--jobs takes a positive integer");
             }
             _ => {}
         }
@@ -134,7 +152,48 @@ fn main() {
             insts_per_sec / 1e6
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // Batch-driver groups: the default corpus, full pipeline per binary,
+    // one worker vs all of them. Minimum wall time over `reps` sweeps.
+    let opts = BenchOpts::default();
+    let cases = dataset2(&opts);
+    let sweep = |driver: &BatchDriver| {
+        let mut best = f64::INFINITY;
+        let mut results = Vec::new();
+        for _ in 0..reps {
+            let t = Instant::now();
+            results = driver.run(&cases, |engine, case| {
+                Fetch::new().detect_with_engine(&case.binary, engine)
+            });
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        (best, results)
+    };
+    let (serial_ms, serial_results) = sweep(&BatchDriver::serial());
+    let (parallel_ms, parallel_results) = sweep(&BatchDriver::new(jobs));
+    // The full per-binary results (starts, provenance, layer order), not
+    // a summary — the byte-identity the crate docs promise.
+    assert_eq!(
+        serial_results, parallel_results,
+        "batch determinism violated: serial and parallel sweeps disagree"
+    );
+    let serial_starts: usize = serial_results.iter().map(|r| r.starts.len()).sum();
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    let _ = write!(
+        json,
+        "  \"batch\": {{\n    \"corpus_binaries\": {},\n    \
+         \"detected_starts\": {serial_starts},\n    \
+         \"batch_serial\": {{ \"jobs\": 1, \"wall_ms\": {serial_ms:.1} }},\n    \
+         \"batch_parallel\": {{ \"jobs\": {jobs}, \"wall_ms\": {parallel_ms:.1} }},\n    \
+         \"speedup\": {speedup:.2}\n  }}\n}}\n",
+        cases.len(),
+    );
+    println!(
+        " batch: {} binaries, serial {serial_ms:.1} ms, parallel ({jobs} jobs) \
+         {parallel_ms:.1} ms — {speedup:.2}x",
+        cases.len(),
+    );
 
     std::fs::write(&out_path, json).expect("write snapshot");
     println!("wrote {out_path}");

@@ -4,9 +4,9 @@
 //! Paper: 1,103,832 of 1,105,278 starts (99.87%); misses concentrate in
 //! 33 binaries and are mostly hand-written assembly functions.
 
-use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, par_map};
+use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::FuncKind;
-use fetch_core::{run_stack, FdeSeeds};
+use fetch_core::{run_stack_cached, FdeSeeds};
 use fetch_metrics::evaluate;
 
 fn main() {
@@ -22,8 +22,8 @@ fn main() {
         missed_cct: usize,
         binary_missed: bool,
     }
-    let rows = par_map(&cases, |case| {
-        let r = run_stack(&case.binary, &[&FdeSeeds]);
+    let rows = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
+        let r = run_stack_cached(&case.binary, &[&FdeSeeds], engine);
         let found = r.start_set();
         let e = evaluate(&found, case);
         let truth = case.truth.starts();

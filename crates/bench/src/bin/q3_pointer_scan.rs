@@ -4,7 +4,7 @@
 //! split into 160 unreachable assembly functions and 254 functions only
 //! referenced by tail calls within a single function.
 
-use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, par_map};
+use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::Reach;
 use fetch_core::{DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
 
@@ -20,14 +20,15 @@ fn main() {
         remaining_unreachable: usize,
         remaining_tailonly: usize,
     }
-    let rows = par_map(&cases, |case| {
-        let mut state = DetectionState::new(&case.binary);
+    let rows = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
+        let mut state = DetectionState::with_engine(&case.binary, std::mem::take(engine));
         FdeSeeds.apply(&mut state);
         SafeRecursion::default().apply(&mut state);
         let accepted = PointerScan.scan(&mut state);
         let truth = case.truth.starts();
         let added_fp = accepted.iter().filter(|a| !truth.contains(a)).count();
         let found = state.start_set();
+        *engine = state.into_result_with_engine().1;
         let remaining: Vec<u64> = truth.difference(&found).copied().collect();
         let mut unreach = 0;
         let mut tailonly = 0;

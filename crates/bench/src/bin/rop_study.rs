@@ -6,7 +6,7 @@
 //! exposed surface accordingly.
 
 use fetch_analyses::gadgets_at_starts;
-use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, par_map};
+use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_core::Fetch;
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
         gadgets_before: usize,
         gadgets_after: usize,
     }
-    let rows = par_map(&cases, |case| {
+    let rows = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
         // Blocks at FDE false starts (cold parts), with their extents.
         let truth = case.truth.starts();
         let blocks: Vec<(u64, u64)> = case
@@ -32,7 +32,7 @@ fn main() {
         let before = gadgets_at_starts(&case.binary, &blocks, 6);
 
         // After FETCH's repair, only surviving false starts expose blocks.
-        let result = Fetch::new().detect(&case.binary);
+        let result = Fetch::new().detect_with_engine(&case.binary, engine);
         let survivors: Vec<(u64, u64)> = blocks
             .iter()
             .filter(|(s, _)| result.starts.contains_key(s) && !truth.contains(s))

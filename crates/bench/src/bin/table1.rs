@@ -3,7 +3,7 @@
 //! The paper finds FDEs cover 99.99% of the symbols across the 11 wild
 //! binaries with usable symbols.
 
-use fetch_bench::{banner, compare_line, dataset1, opts_from_args};
+use fetch_bench::{banner, compare_line, dataset1, opts_from_args, BatchDriver};
 use fetch_metrics::{fde_symbol_coverage, TextTable};
 
 fn main() {
@@ -11,27 +11,42 @@ fn main() {
     banner("Table I — wild binaries (Dataset 1): EHF presence and FDE coverage");
     let cases = dataset1(&opts);
 
+    struct Row {
+        ehf: bool,
+        // (coverage %, covered symbols, total symbols) when symbols exist.
+        coverage: Option<(f64, usize, usize)>,
+    }
+    let rows = BatchDriver::from_opts(&opts).run(&cases, |_engine, (_, case)| {
+        let coverage = fde_symbol_coverage(case).map(|pct| {
+            let begins: std::collections::BTreeSet<u64> = case
+                .binary
+                .eh_frame()
+                .unwrap()
+                .pc_begins()
+                .into_iter()
+                .collect();
+            let covered = case
+                .binary
+                .symbols
+                .iter()
+                .filter(|s| begins.contains(&s.addr))
+                .count();
+            (pct, covered, case.binary.symbols.len())
+        });
+        Row {
+            ehf: case.binary.has_eh_frame(),
+            coverage,
+        }
+    });
+
     let mut table = TextTable::new(["Software", "Open", "EHF", "Sym", "FDE %", "Note"]);
     let mut covered_syms = 0usize;
     let mut total_syms = 0usize;
-    for (w, case) in &cases {
-        let ehf = if case.binary.has_eh_frame() { "Y" } else { "-" };
-        let (sym, fde_pct) = match fde_symbol_coverage(case) {
-            Some(pct) => {
-                let begins: std::collections::BTreeSet<u64> = case
-                    .binary
-                    .eh_frame()
-                    .unwrap()
-                    .pc_begins()
-                    .into_iter()
-                    .collect();
-                total_syms += case.binary.symbols.len();
-                covered_syms += case
-                    .binary
-                    .symbols
-                    .iter()
-                    .filter(|s| begins.contains(&s.addr))
-                    .count();
+    for ((w, case), row) in cases.iter().zip(&rows) {
+        let (sym, fde_pct) = match row.coverage {
+            Some((pct, covered, total)) => {
+                covered_syms += covered;
+                total_syms += total;
                 ("Y".to_string(), format!("{pct:.2}"))
             }
             None => ("-".to_string(), "-".to_string()),
@@ -39,7 +54,7 @@ fn main() {
         table.row([
             w.name.to_string(),
             if w.open { "Y" } else { "-" }.to_string(),
-            ehf.to_string(),
+            if row.ehf { "Y" } else { "-" }.to_string(),
             sym,
             fde_pct,
             format!(

@@ -1,7 +1,7 @@
 //! Table II: self-built corpus — per-project EHF presence and FDE ratio
 //! versus symbols (the paper reports 99.87% overall).
 
-use fetch_bench::{banner, compare_line, opts_from_args};
+use fetch_bench::{banner, compare_line, opts_from_args, BatchDriver};
 use fetch_binary::TestCase;
 use fetch_metrics::TextTable;
 use fetch_synth::corpus::{dataset2_configs, synthesize_all, DATASET2};
@@ -23,35 +23,38 @@ fn main() {
             .to_string()
     };
 
+    // Per-binary (covered, total) symbol counts, in corpus order.
+    let counts: Vec<(usize, usize)> = BatchDriver::from_opts(&opts).run(&cases, |_engine, case| {
+        let begins: BTreeSet<u64> = case
+            .binary
+            .eh_frame()
+            .unwrap()
+            .pc_begins()
+            .into_iter()
+            .collect();
+        let cov = case
+            .binary
+            .symbols
+            .iter()
+            .filter(|s| begins.contains(&s.addr))
+            .count();
+        (cov, case.binary.symbols.len())
+    });
+
     let mut table = TextTable::new(["Project", "Type", "#Prog/Bins", "EHF", "FDE %", "Lang"]);
     let mut covered = 0usize;
     let mut total = 0usize;
     for proj in DATASET2 {
-        let mine: Vec<&TestCase> = cases
+        let mine: Vec<(&TestCase, &(usize, usize))> = cases
             .iter()
-            .filter(|c| project_of(c) == proj.name)
+            .zip(&counts)
+            .filter(|(c, _)| project_of(c) == proj.name)
             .collect();
         if mine.is_empty() {
             continue;
         }
-        let mut c_cov = 0usize;
-        let mut c_tot = 0usize;
-        for case in &mine {
-            let begins: BTreeSet<u64> = case
-                .binary
-                .eh_frame()
-                .unwrap()
-                .pc_begins()
-                .into_iter()
-                .collect();
-            c_tot += case.binary.symbols.len();
-            c_cov += case
-                .binary
-                .symbols
-                .iter()
-                .filter(|s| begins.contains(&s.addr))
-                .count();
-        }
+        let c_cov: usize = mine.iter().map(|(_, (c, _))| c).sum();
+        let c_tot: usize = mine.iter().map(|(_, (_, t))| t).sum();
         covered += c_cov;
         total += c_tot;
         table.row([

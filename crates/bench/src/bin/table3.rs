@@ -1,10 +1,10 @@
 //! Table III: FETCH versus eight existing tools — false positives and
 //! false negatives per optimization level.
 
-use fetch_bench::{banner, dataset2, opts_from_args, paper, par_map};
+use fetch_bench::{banner, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::OptLevel;
 use fetch_metrics::{evaluate, TextTable};
-use fetch_tools::{run_tool, Tool};
+use fetch_tools::{run_tool_with_engine, Tool};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -16,11 +16,13 @@ fn main() {
         cases.len()
     );
 
-    // (tool, opt) -> (fp, fn)
-    let per_case: Vec<Vec<(Tool, OptLevel, usize, usize)>> = par_map(&cases, |case| {
+    // (tool, opt) -> (fp, fn). All nine tool models of one binary run on
+    // the same worker, sharing its engine's decode cache.
+    let driver = BatchDriver::from_opts(&opts);
+    let per_case: Vec<Vec<(Tool, OptLevel, usize, usize)>> = driver.run(&cases, |engine, case| {
         let mut out = Vec::new();
         for tool in Tool::ALL {
-            if let Some(r) = run_tool(tool, &case.binary) {
+            if let Some(r) = run_tool_with_engine(tool, &case.binary, engine) {
                 let e = evaluate(&r.start_set(), case);
                 out.push((
                     tool,

@@ -2,10 +2,9 @@
 //! models against the CFI baseline, over functions with complete CFI.
 
 use fetch_analyses::{model_stack_heights, HeightStyle};
-use fetch_bench::{banner, dataset2, opts_from_args, paper, par_map};
+use fetch_bench::{banner, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::OptLevel;
-use fetch_core::{run_stack, FdeSeeds, SafeRecursion};
-use fetch_disasm::{body_of, recursive_disassemble, RecOptions};
+use fetch_disasm::{body_of, RecOptions};
 use fetch_ehframe::stack_heights;
 use fetch_metrics::TextTable;
 use fetch_x64::Flow;
@@ -32,12 +31,12 @@ fn main() {
         (HeightStyle::AngrLike, "ANGR"),
         (HeightStyle::DyninstLike, "DYNINST"),
     ];
-    let per_case: Vec<BTreeMap<(usize, OptLevel), Counts>> = par_map(&cases, |case| {
+    let driver = BatchDriver::from_opts(&opts);
+    let per_case: Vec<BTreeMap<(usize, OptLevel), Counts>> = driver.run(&cases, |engine, case| {
         let mut out: BTreeMap<(usize, OptLevel), Counts> = BTreeMap::new();
-        let _ = run_stack(&case.binary, &[&FdeSeeds, &SafeRecursion::default()]);
         let eh = case.binary.eh_frame().unwrap();
         let seeds: BTreeSet<u64> = eh.pc_begins().into_iter().collect();
-        let rec = recursive_disassemble(&case.binary, &seeds, &RecOptions::default());
+        let rec = engine.run(&case.binary, &seeds, &RecOptions::default());
         for (cie, fde) in eh.fdes_with_cie() {
             // Only functions whose CFIs give complete heights (§V-C).
             let Ok(Some(baseline)) = stack_heights(cie, fde) else {

@@ -3,16 +3,32 @@
 //! The benchmark harness that regenerates every table and figure of the
 //! paper. Each `src/bin/*` binary reproduces one artifact (see DESIGN.md
 //! §3 for the experiment index); this library holds the shared corpus
-//! plumbing, paper reference numbers, and output helpers.
+//! plumbing, the parallel [`BatchDriver`] every harness schedules its
+//! corpus sweep on, paper reference numbers, and output helpers.
 //!
 //! All binaries accept:
 //!
 //! * `--paper` — full-scale corpus (1,352 binaries, full function counts);
 //! * `--scale <N>` — keep one of every `N` binaries (default 8);
-//! * `--funcs <F>` — function-count multiplier (default 0.35).
+//! * `--funcs <F>` — function-count multiplier (default 0.35);
+//! * `--jobs <N>` — batch-driver workers (default: available
+//!   parallelism).
+//!
+//! **Determinism guarantee:** every harness output is byte-identical for
+//! every `--jobs` value. The [`BatchDriver`] shards deterministically and
+//! merges per-binary results in corpus index order, per-binary work is
+//! pure, and the per-worker decode-cache reuse is observationally
+//! invisible (enforced by `tests/batch_determinism.rs`,
+//! `crates/bench/tests/proptest_batch.rs`, and the shared-engine property
+//! test in `fetch-core`). `--jobs 1` is the serial reference; CI diffs a
+//! parallel run against it on every push.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod batch;
+
+pub use batch::{BatchDriver, BatchError};
 
 use fetch_binary::TestCase;
 use fetch_synth::corpus::{
@@ -24,6 +40,9 @@ use fetch_synth::corpus::{
 pub struct BenchOpts {
     /// Corpus scaling.
     pub scale: CorpusScale,
+    /// Batch-driver worker count (`--jobs`; defaults to the machine's
+    /// available parallelism).
+    pub jobs: usize,
 }
 
 impl Default for BenchOpts {
@@ -33,37 +52,84 @@ impl Default for BenchOpts {
                 bin_divisor: 8,
                 func_scale: 0.35,
             },
+            jobs: default_jobs(),
         }
     }
 }
 
-/// Parses harness options from `std::env::args`.
-pub fn opts_from_args() -> BenchOpts {
+/// The machine's available parallelism (1 when undetectable).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The largest accepted `--funcs` multiplier. The paper's full scale is
+/// 1.0; anything past this bound would ask synthesis for billions of
+/// functions (and `inf` would saturate the downstream `as usize` cast),
+/// so it is a flag typo, not a workload.
+pub const MAX_FUNC_SCALE: f64 = 1000.0;
+
+/// Parses harness options from an argument slice (`args[0]` is the
+/// program name). Non-positive `--scale`, `--funcs`, or `--jobs` values
+/// are rejected — a zero scale would divide the corpus by zero
+/// downstream, a zero worker count would deadlock a fixed-shard driver —
+/// as are non-finite or implausibly large (> [`MAX_FUNC_SCALE`])
+/// `--funcs` multipliers.
+pub fn opts_from(args: &[String]) -> Result<BenchOpts, String> {
+    fn positive<T: std::str::FromStr + PartialOrd + Default>(
+        flag: &str,
+        value: Option<&String>,
+        what: &str,
+    ) -> Result<T, String> {
+        let raw = value.ok_or_else(|| format!("{flag} takes {what}, got nothing"))?;
+        let parsed: T = raw
+            .parse()
+            .map_err(|_| format!("{flag} takes {what}, got {raw:?}"))?;
+        // partial_cmp so NaN (incomparable) is rejected along with <= 0.
+        if parsed.partial_cmp(&T::default()) != Some(std::cmp::Ordering::Greater) {
+            return Err(format!("{flag} takes {what}, got {raw:?}"));
+        }
+        Ok(parsed)
+    }
+
     let mut opts = BenchOpts::default();
-    let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--paper" => opts.scale = CorpusScale::paper(),
             "--scale" => {
                 i += 1;
-                opts.scale.bin_divisor = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--scale takes a positive integer");
+                opts.scale.bin_divisor = positive("--scale", args.get(i), "a positive integer")?;
             }
             "--funcs" => {
                 i += 1;
-                opts.scale.func_scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--funcs takes a float");
+                let what = "a positive number (at most 1000)";
+                let scale: f64 = positive("--funcs", args.get(i), what)?;
+                if !scale.is_finite() || scale > MAX_FUNC_SCALE {
+                    return Err(format!("--funcs takes {what}, got {:?}", args[i]));
+                }
+                opts.scale.func_scale = scale;
+            }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = positive("--jobs", args.get(i), "a positive integer")?;
             }
             _ => {}
         }
         i += 1;
     }
-    opts
+    Ok(opts)
+}
+
+/// Parses harness options from `std::env::args`, exiting with a usage
+/// error on invalid values.
+pub fn opts_from_args() -> BenchOpts {
+    let args: Vec<String> = std::env::args().collect();
+    opts_from(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Materializes Dataset 2 (the self-built corpus of Table II).
@@ -77,37 +143,6 @@ pub fn dataset1(opts: &BenchOpts) -> Vec<(&'static WildProfile, TestCase)> {
     dataset1_configs(&opts.scale)
         .into_iter()
         .map(|(w, cfg)| (w, fetch_synth::synthesize(&cfg)))
-        .collect()
-}
-
-/// Maps `f` over the cases on all available cores, preserving order.
-pub fn par_map<T, F>(cases: &[TestCase], f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(&TestCase) -> T + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let chunk = cases.len().div_ceil(threads.max(1)).max(1);
-    let mut out: Vec<Option<T>> = Vec::with_capacity(cases.len());
-    out.resize_with(cases.len(), || None);
-    std::thread::scope(|s| {
-        let f = &f;
-        let mut handles = Vec::new();
-        for (slice_out, slice_in) in out.chunks_mut(chunk).zip(cases.chunks(chunk)) {
-            handles.push(s.spawn(move || {
-                for (slot, case) in slice_out.iter_mut().zip(slice_in) {
-                    *slot = Some(f(case));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("worker panicked");
-        }
-    });
-    out.into_iter()
-        .map(|v| v.expect("all slots filled"))
         .collect()
 }
 
@@ -216,4 +251,66 @@ pub mod paper {
         ("BINARY NINJA", 20.4),
         ("FETCH", 3.3),
     ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(extra: &[&str]) -> Result<BenchOpts, String> {
+        let mut args = vec!["bench".to_string()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        opts_from(&args)
+    }
+
+    #[test]
+    fn defaults_parse_from_empty_args() {
+        let opts = parse(&[]).expect("defaults are valid");
+        assert_eq!(opts.scale.bin_divisor, 8);
+        assert!((opts.scale.func_scale - 0.35).abs() < 1e-9);
+        assert!(opts.jobs >= 1);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let opts = parse(&["--scale", "3", "--funcs", "0.5", "--jobs", "7"]).unwrap();
+        assert_eq!(opts.scale.bin_divisor, 3);
+        assert!((opts.scale.func_scale - 0.5).abs() < 1e-9);
+        assert_eq!(opts.jobs, 7);
+    }
+
+    #[test]
+    fn paper_flag_selects_full_scale() {
+        let opts = parse(&["--paper"]).unwrap();
+        assert_eq!(opts.scale.bin_divisor, CorpusScale::paper().bin_divisor);
+    }
+
+    #[test]
+    fn non_positive_values_are_rejected() {
+        // --scale 0 used to parse and divide the corpus by zero later.
+        for bad in [
+            vec!["--scale", "0"],
+            vec!["--scale", "-2"],
+            vec!["--scale", "x"],
+            vec!["--funcs", "0"],
+            vec!["--funcs", "-0.5"],
+            vec!["--funcs", "NaN"],
+            vec!["--funcs", "inf"],
+            vec!["--funcs", "1e30"],
+            vec!["--jobs", "0"],
+            vec!["--jobs", "-1"],
+            vec!["--scale"],
+        ] {
+            let err = parse(&bad).expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains(bad[0]), "{err}");
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        // Bin-specific flags (--panel, --out, …) pass through the shared
+        // parser untouched.
+        let opts = parse(&["--panel", "b", "--jobs", "2"]).unwrap();
+        assert_eq!(opts.jobs, 2);
+    }
 }

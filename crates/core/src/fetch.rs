@@ -9,6 +9,7 @@ use crate::pointer_scan::PointerScan;
 use crate::state::{DetectionResult, DetectionState};
 use crate::strategy::{FdeSeeds, SafeRecursion, Strategy};
 use fetch_binary::Binary;
+use fetch_disasm::RecEngine;
 
 /// The FETCH pipeline (Function dETection with exCeption Handling).
 ///
@@ -45,9 +46,29 @@ impl Fetch {
         self.detect_with_report(binary).0
     }
 
+    /// Runs detection through a caller-owned [`RecEngine`], reusing its
+    /// decode cache when the engine has already seen `binary` (see
+    /// [`DetectionState::with_engine`]). Result-identical to
+    /// [`Fetch::detect`].
+    pub fn detect_with_engine(&self, binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
+        let state = DetectionState::with_engine(binary, std::mem::take(engine));
+        let (state, _) = self.apply_pipeline(state);
+        let (result, used) = state.into_result_with_engine();
+        *engine = used;
+        result
+    }
+
     /// Runs detection, also returning the call-frame repair report.
     pub fn detect_with_report(&self, binary: &Binary) -> (DetectionResult, RepairReport) {
-        let mut state = DetectionState::new(binary);
+        let state = DetectionState::new(binary);
+        let (state, report) = self.apply_pipeline(state);
+        (state.into_result(), report)
+    }
+
+    fn apply_pipeline<'b>(
+        &self,
+        mut state: DetectionState<'b>,
+    ) -> (DetectionState<'b>, RepairReport) {
         let mut report = RepairReport::default();
         FdeSeeds.apply(&mut state);
         state.layers.push("FDE".into());
@@ -61,7 +82,7 @@ impl Fetch {
             report = CallFrameRepair::default().repair(&mut state);
             state.layers.push("TcallFix".into());
         }
-        (state.into_result(), report)
+        (state, report)
     }
 }
 

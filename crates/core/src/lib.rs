@@ -46,6 +46,13 @@
 //! re-runs ([`DetectionState::new_reference`]); a property test over
 //! random corpora and random layer stacks enforces the equivalence.
 //!
+//! The engine can also outlive a single state: [`run_stack_cached`] and
+//! [`Fetch::detect_with_engine`] thread a caller-owned
+//! [`fetch_disasm::RecEngine`] through the run, so several stacks (e.g.
+//! all nine tool models of `fetch-tools`) analysing the same binary share
+//! one decode cache. A second property test proves sharing an engine
+//! across different stacks changes no result.
+//!
 //! # Examples
 //!
 //! ```
@@ -78,4 +85,6 @@ pub use heuristics::{
 };
 pub use pointer_scan::{collect_data_pointers, validate_candidate, PointerScan, ValidationError};
 pub use state::{DetectionResult, DetectionState, Provenance};
-pub use strategy::{run_stack, EntrySeed, FdeSeeds, SafeRecursion, Strategy, SymbolSeeds};
+pub use strategy::{
+    run_stack, run_stack_cached, EntrySeed, FdeSeeds, SafeRecursion, Strategy, SymbolSeeds,
+};

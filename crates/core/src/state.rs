@@ -139,6 +139,16 @@ impl<'b> DetectionState<'b> {
     /// Creates an empty state for `binary`, resolving error-function
     /// addresses from its symbols when present.
     pub fn new(binary: &'b Binary) -> DetectionState<'b> {
+        DetectionState::with_engine(binary, RecEngine::new())
+    }
+
+    /// Creates an empty state that runs its recursions through a caller-
+    /// provided [`RecEngine`], so its decode cache survives across states
+    /// (e.g. several tool models analysing the same binary). The engine's
+    /// binary fingerprint keeps reuse sound: state cached for a different
+    /// binary is dropped, not consulted. Reclaim the engine afterwards
+    /// with [`DetectionState::into_result_with_engine`].
+    pub fn with_engine(binary: &'b Binary, engine: RecEngine) -> DetectionState<'b> {
         let error_funcs = binary
             .symbols
             .iter()
@@ -151,7 +161,7 @@ impl<'b> DetectionState<'b> {
             rec: RecResult::default(),
             error_funcs: Arc::new(error_funcs),
             layers: Vec::new(),
-            engine: RecEngine::new(),
+            engine,
             incremental: true,
             starts_gen: 0,
             rec_gen: 0,
@@ -313,10 +323,20 @@ impl<'b> DetectionState<'b> {
 
     /// Freezes the state into a [`DetectionResult`].
     pub fn into_result(self) -> DetectionResult {
-        DetectionResult {
-            starts: self.starts,
-            layers: self.layers,
-        }
+        self.into_result_with_engine().0
+    }
+
+    /// Freezes the state, also handing back the recursion engine so the
+    /// caller can reuse its decode cache for the next run (see
+    /// [`DetectionState::with_engine`]).
+    pub fn into_result_with_engine(self) -> (DetectionResult, RecEngine) {
+        (
+            DetectionResult {
+                starts: self.starts,
+                layers: self.layers,
+            },
+            self.engine,
+        )
     }
 }
 

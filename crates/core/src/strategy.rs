@@ -3,7 +3,7 @@
 
 use crate::state::{DetectionResult, DetectionState, Provenance};
 use fetch_binary::Binary;
-use fetch_disasm::ErrorCallPolicy;
+use fetch_disasm::{ErrorCallPolicy, RecEngine};
 
 /// One detection layer. Layers mutate the [`DetectionState`]; stacks of
 /// layers reproduce each tool's strategy combination.
@@ -18,12 +18,28 @@ pub trait Strategy {
 
 /// Runs a stack of layers over a binary.
 pub fn run_stack(binary: &Binary, layers: &[&dyn Strategy]) -> DetectionResult {
-    let mut state = DetectionState::new(binary);
+    let mut engine = RecEngine::new();
+    run_stack_cached(binary, layers, &mut engine)
+}
+
+/// Runs a stack of layers through a caller-owned [`RecEngine`], so the
+/// decode cache survives across stacks run over the same binary (the
+/// cross-tool sharing the batch driver builds on). Observationally
+/// identical to [`run_stack`]: the engine's binary fingerprint and
+/// option/seed checks guarantee stale state is never consulted.
+pub fn run_stack_cached(
+    binary: &Binary,
+    layers: &[&dyn Strategy],
+    engine: &mut RecEngine,
+) -> DetectionResult {
+    let mut state = DetectionState::with_engine(binary, std::mem::take(engine));
     for layer in layers {
         layer.apply(&mut state);
         state.layers.push(layer.name().to_string());
     }
-    state.into_result()
+    let (result, used) = state.into_result_with_engine();
+    *engine = used;
+    result
 }
 
 /// `FDE`: seed starts from every FDE `PC Begin` (§IV-B).

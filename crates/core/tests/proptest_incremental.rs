@@ -8,9 +8,10 @@
 //! starts, provenance, and layer order.
 
 use fetch_core::{
-    AlignmentSplit, CallFrameRepair, ControlFlowRepair, DetectionResult, DetectionState, EntrySeed,
-    FdeSeeds, FunctionMerge, LinearScanStarts, PointerScan, PrologueMatch, SafeRecursion,
-    SymbolSeeds, TailCallHeuristic, ThunkHeuristic, ToolStyle,
+    run_stack, run_stack_cached, AlignmentSplit, CallFrameRepair, ControlFlowRepair,
+    DetectionResult, DetectionState, EntrySeed, FdeSeeds, FunctionMerge, LinearScanStarts,
+    PointerScan, PrologueMatch, SafeRecursion, SymbolSeeds, TailCallHeuristic, ThunkHeuristic,
+    ToolStyle,
 };
 // `Strategy` names both a fetch-core trait and a proptest trait; keep the
 // detection one under an alias so the proptest prelude wins the bare name.
@@ -107,5 +108,43 @@ proptest! {
         let incremental = run_layers(DetectionState::new(&case.binary), &stack);
         let reference = run_layers(DetectionState::new_reference(&case.binary), &stack);
         prop_assert_eq!(&incremental, &reference);
+    }
+
+    /// One engine shared across two different tool models (random layer
+    /// stacks) on the same binary — and then carried onto a *different*
+    /// binary — must match fresh engines throughout. This is the
+    /// soundness guard for the cross-tool decode-cache sharing the batch
+    /// driver performs: cached decodes, seed deltas, and fixpoint state
+    /// must never leak between stacks, and the engine's binary
+    /// fingerprint must fully reset it between binaries.
+    #[test]
+    fn shared_engine_equals_fresh_engines(
+        cfg_a in arb_config(),
+        cfg_b in arb_config(),
+        picks_a in proptest::collection::vec(any::<u8>(), 1..6),
+        picks_b in proptest::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let case_a = synthesize(&cfg_a);
+        let case_b = synthesize(&cfg_b);
+        let pool = layer_pool();
+        let refs = |picks: &[u8]| -> Vec<&dyn DetectionLayer> {
+            picks
+                .iter()
+                .map(|&p| pool[p as usize % pool.len()].as_ref())
+                .collect()
+        };
+        let (stack_a, stack_b) = (refs(&picks_a), refs(&picks_b));
+
+        let mut engine = fetch_disasm::RecEngine::new();
+        let shared_a = run_stack_cached(&case_a.binary, &stack_a, &mut engine);
+        let shared_b = run_stack_cached(&case_a.binary, &stack_b, &mut engine);
+        let shared_cross = run_stack_cached(&case_b.binary, &stack_a, &mut engine);
+
+        prop_assert_eq!(&shared_a, &run_stack(&case_a.binary, &stack_a),
+            "stack A leaked state from a fresh engine run");
+        prop_assert_eq!(&shared_b, &run_stack(&case_a.binary, &stack_b),
+            "stack B diverged after sharing stack A's engine");
+        prop_assert_eq!(&shared_cross, &run_stack(&case_b.binary, &stack_a),
+            "engine carried state across binaries");
     }
 }

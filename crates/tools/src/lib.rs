@@ -39,11 +39,11 @@
 
 use fetch_binary::Binary;
 use fetch_core::{
-    run_stack, AlignmentSplit, ControlFlowRepair, DetectionResult, DetectionState, EntrySeed,
-    FdeSeeds, Fetch, FunctionMerge, LinearScanStarts, PrologueMatch, Provenance, SafeRecursion,
-    Strategy, TailCallHeuristic, ThunkHeuristic, ToolStyle,
+    run_stack_cached, AlignmentSplit, ControlFlowRepair, DetectionResult, DetectionState,
+    EntrySeed, FdeSeeds, Fetch, FunctionMerge, LinearScanStarts, PrologueMatch, Provenance,
+    SafeRecursion, Strategy, TailCallHeuristic, ThunkHeuristic, ToolStyle,
 };
-use fetch_disasm::{sweep_tolerant, ErrorCallPolicy};
+use fetch_disasm::{sweep_tolerant, ErrorCallPolicy, RecEngine};
 use fetch_x64::Flow;
 use std::fmt;
 
@@ -115,22 +115,36 @@ impl fmt::Display for Tool {
 /// the binary (ANGR could not open 9 of the 1,352 corpus binaries —
 /// §IV-C; modeled deterministically from the binary name).
 pub fn run_tool(tool: Tool, binary: &Binary) -> Option<DetectionResult> {
+    run_tool_with_engine(tool, binary, &mut RecEngine::new())
+}
+
+/// Runs `tool` on `binary` through a caller-owned [`RecEngine`], so the
+/// decode cache built by one tool model is reused by the next — every
+/// model re-disassembles the same `.text`, and decoding dominates the
+/// cost. Result-identical to [`run_tool`] for every tool: the engine
+/// only replays work whose inputs (binary fingerprint, seeds, options)
+/// match exactly, which a property test in `fetch-core` enforces.
+pub fn run_tool_with_engine(
+    tool: Tool,
+    binary: &Binary,
+    engine: &mut RecEngine,
+) -> Option<DetectionResult> {
     match tool {
-        Tool::Dyninst => Some(dyninst(binary)),
-        Tool::Bap => Some(bap(binary)),
-        Tool::Radare2 => Some(radare2(binary)),
-        Tool::Nucleus => Some(nucleus(binary)),
-        Tool::IdaPro => Some(ida(binary)),
-        Tool::BinaryNinja => Some(ninja(binary)),
-        Tool::Ghidra => Some(ghidra(binary)),
+        Tool::Dyninst => Some(dyninst(binary, engine)),
+        Tool::Bap => Some(bap(binary, engine)),
+        Tool::Radare2 => Some(radare2(binary, engine)),
+        Tool::Nucleus => Some(nucleus(binary, engine)),
+        Tool::IdaPro => Some(ida(binary, engine)),
+        Tool::BinaryNinja => Some(ninja(binary, engine)),
+        Tool::Ghidra => Some(ghidra(binary, engine)),
         Tool::Angr => {
             if angr_rejects(binary) {
                 None
             } else {
-                Some(angr(binary))
+                Some(angr(binary, engine))
             }
         }
-        Tool::Fetch => Some(Fetch::new().detect(binary)),
+        Tool::Fetch => Some(Fetch::new().detect_with_engine(binary, engine)),
     }
 }
 
@@ -144,10 +158,10 @@ pub fn angr_rejects(binary: &Binary) -> bool {
     h % 150 == 7
 }
 
-fn dyninst(binary: &Binary) -> DetectionResult {
+fn dyninst(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
     // Entry + recursion + a moderate prologue database. High false
     // negatives (no FDEs, pattern-limited), moderate false positives.
-    run_stack(
+    run_stack_cached(
         binary,
         &[
             &EntrySeed,
@@ -159,10 +173,11 @@ fn dyninst(binary: &Binary) -> DetectionResult {
                 style: ToolStyle::Angr,
             },
         ],
+        engine,
     )
 }
 
-fn bap(binary: &Binary) -> DetectionResult {
+fn bap(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
     // ByteWeight-style matching: fires on raw byte patterns without
     // validation — the worst false-positive count in Table III.
     struct ByteWeight;
@@ -193,14 +208,14 @@ fn bap(binary: &Binary) -> DetectionResult {
             state.run_recursion(true, ErrorCallPolicy::AlwaysReturn);
         }
     }
-    run_stack(binary, &[&EntrySeed, &ByteWeight])
+    run_stack_cached(binary, &[&EntrySeed, &ByteWeight], engine)
 }
 
-fn radare2(binary: &Binary) -> DetectionResult {
+fn radare2(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
     // Conservative: entry + recursion + exact-prologue matching with a
     // decode check but no semantic validation. Lowest false positives
     // among the non-FDE tools, highest misses.
-    run_stack(
+    run_stack_cached(
         binary,
         &[
             &EntrySeed,
@@ -209,10 +224,11 @@ fn radare2(binary: &Binary) -> DetectionResult {
                 style: ToolStyle::Radare,
             },
         ],
+        engine,
     )
 }
 
-fn nucleus(binary: &Binary) -> DetectionResult {
+fn nucleus(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
     // Compiler-agnostic: linear sweep, then function starts are direct
     // call targets plus the first instruction of every inter-procedural
     // group (approximated as post-padding group heads).
@@ -242,10 +258,10 @@ fn nucleus(binary: &Binary) -> DetectionResult {
             }
         }
     }
-    run_stack(binary, &[&EntrySeed, &NucleusScan])
+    run_stack_cached(binary, &[&EntrySeed, &NucleusScan], engine)
 }
 
-fn ida(binary: &Binary) -> DetectionResult {
+fn ida(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
     // Entry + recursion + a curated, *validated* prologue database:
     // matches must decode cleanly and satisfy the calling convention.
     struct IdaSignatures;
@@ -281,16 +297,17 @@ fn ida(binary: &Binary) -> DetectionResult {
             }
         }
     }
-    run_stack(
+    run_stack_cached(
         binary,
         &[&EntrySeed, &SafeRecursion::default(), &IdaSignatures],
+        engine,
     )
 }
 
-fn ninja(binary: &Binary) -> DetectionResult {
+fn ninja(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
     // Aggressive recursion: inter-range jump targets promoted to starts
     // plus pattern matching — low misses, many false positives.
-    run_stack(
+    run_stack_cached(
         binary,
         &[
             &EntrySeed,
@@ -303,14 +320,15 @@ fn ninja(binary: &Binary) -> DetectionResult {
             },
             &AlignmentSplit,
         ],
+        engine,
     )
 }
 
-fn ghidra(binary: &Binary) -> DetectionResult {
+fn ghidra(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
     // Default GHIDRA pipeline (§IV-C): call frames + recursion with
     // control-flow repairing + thunk resolution + prologue matching.
     // Tail-call detection is NOT enabled by default.
-    run_stack(
+    run_stack_cached(
         binary,
         &[
             &FdeSeeds,
@@ -321,14 +339,15 @@ fn ghidra(binary: &Binary) -> DetectionResult {
                 style: ToolStyle::Ghidra,
             },
         ],
+        engine,
     )
 }
 
-fn angr(binary: &Binary) -> DetectionResult {
+fn angr(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
     // Default ANGR pipeline (§IV-C): call frames + recursion with
     // function merging + prologue matching + linear gap scan +
     // alignment handling. Tail-call detection is NOT enabled by default.
-    run_stack(
+    run_stack_cached(
         binary,
         &[
             &FdeSeeds,
@@ -340,6 +359,7 @@ fn angr(binary: &Binary) -> DetectionResult {
             &LinearScanStarts,
             &AlignmentSplit,
         ],
+        engine,
     )
 }
 
@@ -373,6 +393,19 @@ mod tests {
                 synthesize(&cfg)
             })
             .collect()
+    }
+
+    #[test]
+    fn shared_engine_matches_fresh_engines() {
+        // One engine carried across all nine tool models on one binary
+        // must change no result — the cross-tool decode-cache guarantee.
+        let case = &corpus()[2];
+        let mut engine = RecEngine::new();
+        for tool in Tool::ALL {
+            let shared = run_tool_with_engine(tool, &case.binary, &mut engine);
+            let fresh = run_tool(tool, &case.binary);
+            assert_eq!(shared, fresh, "{tool} diverges with a shared engine");
+        }
     }
 
     #[test]
