@@ -1,17 +1,16 @@
 //! Table II: self-built corpus — per-project EHF presence and FDE ratio
 //! versus symbols (the paper reports 99.87% overall).
 
-use fetch_bench::{banner, compare_line, opts_from_args, BatchDriver};
+use fetch_bench::{banner, compare_line, dataset2, opts_from_args, BatchDriver};
 use fetch_binary::TestCase;
 use fetch_metrics::TextTable;
-use fetch_synth::corpus::{dataset2_configs, synthesize_all, DATASET2};
+use fetch_synth::corpus::DATASET2;
 use std::collections::BTreeSet;
 
 fn main() {
     let opts = opts_from_args();
     banner("Table II — self-built programs (Dataset 2): EHF and FDE ratio");
-    let configs = dataset2_configs(&opts.scale);
-    let cases = synthesize_all(&configs);
+    let cases = dataset2(&opts);
 
     // Group by project (config names are "<project>/<prog>-<cc>-<opt>").
     let project_of = |case: &TestCase| -> String {

@@ -125,3 +125,54 @@ fn cross_tool_sweep_parallel_equals_serial() {
         assert_eq!(sweep(jobs), reference, "jobs={jobs}: tool sweep diverged");
     }
 }
+
+/// The view-based corpus path: every binary the harnesses consume is
+/// materialized from one shared ELF image (zero per-section body
+/// copies), and detection over it is byte-identical to detection over
+/// the freshly synthesized owned binaries.
+#[test]
+fn view_backed_corpus_is_zero_copy_and_result_identical() {
+    use fetch_synth::corpus::{dataset2_configs, synthesize_all};
+
+    let opts = BenchOpts {
+        scale: CorpusScale {
+            bin_divisor: 96,
+            func_scale: 0.25,
+        },
+        jobs: 1,
+    };
+    // `dataset2` routes through `case_through_elf`; re-synthesize the
+    // same corpus without the ELF round trip as the owned reference.
+    let viewed = dataset2(&opts);
+    let owned = synthesize_all(&dataset2_configs(&opts.scale));
+    assert_eq!(viewed.len(), owned.len());
+
+    for (v, o) in viewed.iter().zip(&owned) {
+        assert_eq!(v.binary.name, o.binary.name);
+        assert_eq!(v.binary.sections, o.binary.sections);
+        assert_eq!(v.binary.symbols, o.binary.symbols);
+        // Zero-copy invariant: all of a binary's sections are windows
+        // of one backing buffer (the resident ELF image).
+        for pair in v.binary.sections.windows(2) {
+            assert!(
+                pair[0].shares_image(&pair[1]),
+                "{}: sections must share one image buffer",
+                v.binary.name
+            );
+        }
+        // The owned path gives every section its own buffer.
+        if o.binary.sections.len() >= 2 {
+            assert!(!o.binary.sections[0].shares_image(&o.binary.sections[1]));
+        }
+    }
+
+    let detect = |engine: &mut fetch_disasm::RecEngine, case: &fetch_binary::TestCase| {
+        fetch_core::Fetch::new().detect_with_engine(&case.binary, engine)
+    };
+    let viewed_results = BatchDriver::new(default_jobs()).run(&viewed, detect);
+    let owned_results = BatchDriver::serial().run(&owned, detect);
+    assert_eq!(
+        viewed_results, owned_results,
+        "view-backed corpus must detect identically to the owned corpus"
+    );
+}

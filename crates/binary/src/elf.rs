@@ -1,29 +1,37 @@
-//! Minimal ELF64 writer and reader.
+//! Minimal ELF64 writer and eager reader.
 //!
 //! Corpus binaries can be serialized to real System-V ELF executables
 //! (readable by `readelf`/`objdump`) and loaded back. Only the features
 //! the paper's detectors need are modeled: progbits sections, a function
 //! symbol table, and the entry point. Build metadata is not representable
-//! in plain ELF, so [`read_elf`] restores a default [`BuildInfo`].
+//! in plain ELF, so [`read_elf`] restores a default
+//! [`BuildInfo`](crate::BuildInfo).
+//!
+//! [`read_elf`] is the eager bridge: it validates through the hardened
+//! [`crate::ElfView`] parser and then copies every section body into an
+//! owned [`Binary`]. Callers that keep the image buffer should prefer
+//! [`crate::ElfImage`], whose sections are zero-copy windows of one
+//! shared buffer.
 
-use crate::binary::{Binary, Symbol};
-use crate::meta::BuildInfo;
-use crate::section::{Section, SectionKind};
+use crate::binary::Binary;
+use crate::section::SectionKind;
+use crate::view::ElfView;
 use std::fmt;
 
-const EHDR_SIZE: usize = 64;
-const SHDR_SIZE: usize = 64;
-const SYM_SIZE: usize = 24;
+pub(crate) const EHDR_SIZE: usize = 64;
+pub(crate) const SHDR_SIZE: usize = 64;
+pub(crate) const SYM_SIZE: usize = 24;
 
-const SHT_PROGBITS: u32 = 1;
-const SHT_SYMTAB: u32 = 2;
-const SHT_STRTAB: u32 = 3;
+pub(crate) const SHT_PROGBITS: u32 = 1;
+pub(crate) const SHT_SYMTAB: u32 = 2;
+pub(crate) const SHT_STRTAB: u32 = 3;
 
 const SHF_WRITE: u64 = 1;
 const SHF_ALLOC: u64 = 2;
 const SHF_EXECINSTR: u64 = 4;
 
-/// Errors from ELF parsing.
+/// Errors from ELF parsing. Malformed input always yields one of these —
+/// never a panic, wrap-around, or out-of-bounds slice.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ElfError {
     /// Not an ELF64 little-endian file.
@@ -33,6 +41,23 @@ pub enum ElfError {
     /// A section has an unrecognized name (the reader only loads the
     /// four sections the detectors use plus symbol tables).
     BadSectionName(String),
+    /// An offset + size computation overflows the address space (the
+    /// header or section-table index it came from is recorded).
+    RangeOverflow {
+        /// Header field offset or section index the overflow came from.
+        at: usize,
+    },
+    /// Two loaded sections claim overlapping file ranges.
+    OverlappingSections {
+        /// Name of the earlier section.
+        a: &'static str,
+        /// Name of the later, overlapping section.
+        b: &'static str,
+    },
+    /// The same loadable section name appears twice.
+    DuplicateSection(&'static str),
+    /// The backing [`crate::ImageSource`] failed to produce bytes.
+    Io(String),
 }
 
 impl fmt::Display for ElfError {
@@ -41,6 +66,14 @@ impl fmt::Display for ElfError {
             ElfError::BadMagic => write!(f, "not an ELF64 little-endian file"),
             ElfError::Truncated => write!(f, "header or table points outside the file"),
             ElfError::BadSectionName(n) => write!(f, "unrecognized section name {n:?}"),
+            ElfError::RangeOverflow { at } => {
+                write!(f, "offset + size overflows (from header entry {at})")
+            }
+            ElfError::OverlappingSections { a, b } => {
+                write!(f, "sections {a} and {b} overlap in the file")
+            }
+            ElfError::DuplicateSection(n) => write!(f, "section {n} appears twice"),
+            ElfError::Io(e) => write!(f, "image source failed: {e}"),
         }
     }
 }
@@ -61,11 +94,6 @@ impl StrTab {
         self.bytes.extend_from_slice(s.as_bytes());
         self.bytes.push(0);
         off
-    }
-
-    fn get(bytes: &[u8], off: usize) -> Option<String> {
-        let end = bytes[off..].iter().position(|&b| b == 0)? + off;
-        Some(String::from_utf8_lossy(&bytes[off..end]).into_owned())
     }
 }
 
@@ -208,128 +236,27 @@ pub fn write_elf(bin: &Binary) -> Vec<u8> {
     out
 }
 
-fn read_u16(b: &[u8], off: usize) -> Result<u16, ElfError> {
-    Ok(u16::from_le_bytes(
-        b.get(off..off + 2)
-            .ok_or(ElfError::Truncated)?
-            .try_into()
-            .unwrap(),
-    ))
-}
-fn read_u32(b: &[u8], off: usize) -> Result<u32, ElfError> {
-    Ok(u32::from_le_bytes(
-        b.get(off..off + 4)
-            .ok_or(ElfError::Truncated)?
-            .try_into()
-            .unwrap(),
-    ))
-}
-fn read_u64v(b: &[u8], off: usize) -> Result<u64, ElfError> {
-    Ok(u64::from_le_bytes(
-        b.get(off..off + 8)
-            .ok_or(ElfError::Truncated)?
-            .try_into()
-            .unwrap(),
-    ))
-}
-
 /// Parses an ELF64 image produced by [`write_elf`] (or any conforming
-/// ELF with the standard four section names).
+/// ELF with the standard four section names) into an owned [`Binary`],
+/// copying every section body.
+///
+/// Validation goes through the hardened [`ElfView`] parser; prefer
+/// [`crate::ElfImage`] when the image buffer can be kept alive — its
+/// sections are zero-copy windows of the shared buffer.
 ///
 /// # Errors
 ///
 /// Returns an [`ElfError`] describing the first structural problem.
 pub fn read_elf(bytes: &[u8]) -> Result<Binary, ElfError> {
-    if bytes.len() < EHDR_SIZE || &bytes[0..4] != b"\x7fELF" || bytes[4] != 2 || bytes[5] != 1 {
-        return Err(ElfError::BadMagic);
-    }
-    let entry = read_u64v(bytes, 24)?;
-    let shoff = read_u64v(bytes, 40)? as usize;
-    let shnum = read_u16(bytes, 60)? as usize;
-    let shstrndx = read_u16(bytes, 62)? as usize;
-
-    struct Shdr {
-        name: u32,
-        ty: u32,
-        addr: u64,
-        off: usize,
-        size: usize,
-        link: u32,
-    }
-    let mut shdrs = Vec::with_capacity(shnum);
-    for i in 0..shnum {
-        let base = shoff + i * SHDR_SIZE;
-        shdrs.push(Shdr {
-            name: read_u32(bytes, base)?,
-            ty: read_u32(bytes, base + 4)?,
-            addr: read_u64v(bytes, base + 16)?,
-            off: read_u64v(bytes, base + 24)? as usize,
-            size: read_u64v(bytes, base + 32)? as usize,
-            link: read_u32(bytes, base + 40)?,
-        });
-    }
-    let shstr = shdrs.get(shstrndx).ok_or(ElfError::Truncated)?;
-    let shstr_bytes = bytes
-        .get(shstr.off..shstr.off + shstr.size)
-        .ok_or(ElfError::Truncated)?;
-
-    let mut sections = Vec::new();
-    let mut symbols = Vec::new();
-    for sh in &shdrs {
-        let name = StrTab::get(shstr_bytes, sh.name as usize).unwrap_or_default();
-        match sh.ty {
-            SHT_PROGBITS => {
-                let kind = match name.as_str() {
-                    ".text" => SectionKind::Text,
-                    ".rodata" => SectionKind::Rodata,
-                    ".data" => SectionKind::Data,
-                    ".eh_frame" => SectionKind::EhFrame,
-                    other => return Err(ElfError::BadSectionName(other.to_string())),
-                };
-                let data = bytes
-                    .get(sh.off..sh.off + sh.size)
-                    .ok_or(ElfError::Truncated)?
-                    .to_vec();
-                sections.push(Section::new(kind, sh.addr, data));
-            }
-            SHT_SYMTAB => {
-                let str_sh = shdrs.get(sh.link as usize).ok_or(ElfError::Truncated)?;
-                let str_bytes = bytes
-                    .get(str_sh.off..str_sh.off + str_sh.size)
-                    .ok_or(ElfError::Truncated)?;
-                let count = sh.size / SYM_SIZE;
-                for i in 1..count {
-                    let base = sh.off + i * SYM_SIZE;
-                    let name_off = read_u32(bytes, base)? as usize;
-                    let info = *bytes.get(base + 4).ok_or(ElfError::Truncated)?;
-                    if info & 0xf != 2 {
-                        continue; // not STT_FUNC
-                    }
-                    let value = read_u64v(bytes, base + 8)?;
-                    let size = read_u64v(bytes, base + 16)?;
-                    symbols.push(Symbol {
-                        name: StrTab::get(str_bytes, name_off).unwrap_or_default(),
-                        addr: value,
-                        size,
-                    });
-                }
-            }
-            _ => {}
-        }
-    }
-
-    Ok(Binary {
-        name: "elf".into(),
-        info: BuildInfo::gcc_o2(),
-        sections,
-        symbols,
-        entry,
-    })
+    Ok(ElfView::parse(bytes)?.to_owned())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binary::Symbol;
+    use crate::meta::BuildInfo;
+    use crate::section::Section;
 
     fn sample() -> Binary {
         Binary {

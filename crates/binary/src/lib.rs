@@ -10,13 +10,28 @@
 //! per part, provenance ([`FuncKind`]) and reachability ([`Reach`])
 //! classes. A [`TestCase`] pairs the two.
 //!
-//! Binaries serialize to real ELF64 images via [`write_elf`] /
-//! [`read_elf`].
+//! Binaries serialize to real ELF64 images via [`write_elf`]. Loading
+//! back has two paths:
+//!
+//! * **zero-copy** — [`ElfImage`] (owned, shareable) and [`ElfView`]
+//!   (borrowed) parse and validate the header and section table but
+//!   leave section bodies as windows of the one backing buffer, fed by
+//!   an [`ImageSource`] ([`MemSource`] or the lazily faulting
+//!   [`FileSource`]). [`ElfImage::to_binary`] materializes a [`Binary`]
+//!   whose sections all share that buffer — no body bytes are copied,
+//!   which [`LoadStats`] lets callers verify;
+//! * **eager** — [`read_elf`] copies every section body into an owned
+//!   [`Binary`] (validated through the same hardened parser).
+//!
+//! Malformed images — truncated headers, offsets that overflow or point
+//! outside the file, overlapping or duplicated sections — are rejected
+//! with a typed [`ElfError`]; no input can cause a panic or an
+//! out-of-bounds slice.
 //!
 //! # Examples
 //!
 //! ```
-//! use fetch_binary::{Binary, BuildInfo, Section, SectionKind, Symbol, write_elf, read_elf};
+//! use fetch_binary::{Binary, BuildInfo, ElfImage, Section, SectionKind, Symbol, write_elf};
 //!
 //! let bin = Binary {
 //!     name: "demo".into(),
@@ -25,9 +40,10 @@
 //!     symbols: vec![Symbol { name: "f".into(), addr: 0x40_1000, size: 2 }],
 //!     entry: 0x40_1000,
 //! };
-//! let elf = write_elf(&bin);
-//! let back = read_elf(&elf)?;
+//! let image = ElfImage::parse(write_elf(&bin))?;
+//! let back = image.to_binary(); // zero section-body copies
 //! assert_eq!(back.sections, bin.sections);
+//! assert_eq!(image.load_stats().section_bytes_copied, 0);
 //! # Ok::<(), fetch_binary::ElfError>(())
 //! ```
 
@@ -39,9 +55,11 @@ mod elf;
 mod meta;
 mod section;
 mod truth;
+mod view;
 
 pub use binary::{Binary, Symbol, TestCase};
 pub use elf::{read_elf, write_elf, ElfError};
 pub use meta::{BuildInfo, Compiler, Lang, OptLevel};
-pub use section::{Section, SectionKind};
+pub use section::{Section, SectionBytes, SectionKind};
 pub use truth::{FuncKind, FunctionTruth, GroundTruth, Part, Reach};
+pub use view::{ElfImage, ElfView, FileSource, ImageSource, LoadStats, MemSource, SectionRef};

@@ -1,6 +1,8 @@
-//! Sections and the loaded-binary container.
+//! Sections and their shared backing storage.
 
 use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
 
 /// The role of a section. The FETCH analyses care about code (`Text`),
 /// pointer-bearing data (`Rodata`/`Data`), and the unwind tables
@@ -35,6 +37,75 @@ impl fmt::Display for SectionKind {
     }
 }
 
+/// The backing bytes of a [`Section`]: a window into a shared image
+/// buffer.
+///
+/// Several sections of one binary can reference disjoint ranges of the
+/// *same* `Arc`-backed buffer (the whole ELF image loaded once), so
+/// materializing a [`Section`] from a parsed image copies no body bytes
+/// — see [`crate::ElfImage::to_binary`]. A standalone section built from
+/// a `Vec<u8>` (the synthesis path) owns its buffer outright; both forms
+/// deref to `[u8]` and compare by content, so consumers never see the
+/// difference.
+#[derive(Clone)]
+pub struct SectionBytes {
+    buf: Arc<Vec<u8>>,
+    range: Range<usize>,
+}
+
+impl SectionBytes {
+    /// A window of a shared buffer, or `None` when `range` lies outside
+    /// it. Sections built this way copy nothing and keep `buf` alive.
+    pub fn from_shared(buf: Arc<Vec<u8>>, range: Range<usize>) -> Option<SectionBytes> {
+        if range.start > range.end || range.end > buf.len() {
+            return None;
+        }
+        Some(SectionBytes { buf, range })
+    }
+
+    /// The bytes of the window.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.range.clone()]
+    }
+
+    /// Whether `self` and `other` are windows of the same backing buffer
+    /// (the zero-copy invariant the tests assert).
+    pub fn shares_buffer(&self, other: &SectionBytes) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+impl Deref for SectionBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SectionBytes {
+    fn from(bytes: Vec<u8>) -> SectionBytes {
+        let range = 0..bytes.len();
+        SectionBytes {
+            buf: Arc::new(bytes),
+            range,
+        }
+    }
+}
+
+impl PartialEq for SectionBytes {
+    fn eq(&self, other: &SectionBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SectionBytes {}
+
+impl fmt::Debug for SectionBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
 /// A loaded section: contiguous bytes at a virtual address.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Section {
@@ -42,14 +113,24 @@ pub struct Section {
     pub kind: SectionKind,
     /// Virtual address of the first byte.
     pub addr: u64,
-    /// Raw contents.
-    pub bytes: Vec<u8>,
+    /// Raw contents (owned or a window of a shared image buffer).
+    pub bytes: SectionBytes,
 }
 
 impl Section {
-    /// Creates a section.
-    pub fn new(kind: SectionKind, addr: u64, bytes: Vec<u8>) -> Section {
-        Section { kind, addr, bytes }
+    /// Creates a section from owned bytes or an existing window.
+    pub fn new(kind: SectionKind, addr: u64, bytes: impl Into<SectionBytes>) -> Section {
+        Section {
+            kind,
+            addr,
+            bytes: bytes.into(),
+        }
+    }
+
+    /// Whether this section's bytes are a window of the same backing
+    /// buffer as `other`'s (both loaded from one image, zero-copy).
+    pub fn shares_image(&self, other: &Section) -> bool {
+        self.bytes.shares_buffer(&other.bytes)
     }
 
     /// One-past-the-end virtual address.
@@ -93,7 +174,7 @@ mod tests {
 
     #[test]
     fn slicing_and_reads() {
-        let s = Section::new(SectionKind::Data, 0x1000, (0u8..16).collect());
+        let s = Section::new(SectionKind::Data, 0x1000, (0u8..16).collect::<Vec<u8>>());
         assert!(s.contains(0x1000));
         assert!(s.contains(0x100f));
         assert!(!s.contains(0x1010));
@@ -105,5 +186,23 @@ mod tests {
         );
         assert_eq!(s.read_u64(0x100c), None);
         assert_eq!(s.slice_from(0xfff), None);
+    }
+
+    #[test]
+    fn shared_windows_copy_nothing_and_compare_by_content() {
+        let image = Arc::new((0u8..32).collect::<Vec<u8>>());
+        let a = SectionBytes::from_shared(Arc::clone(&image), 0..8).unwrap();
+        let b = SectionBytes::from_shared(Arc::clone(&image), 8..16).unwrap();
+        assert!(a.shares_buffer(&b));
+        assert_eq!(&a[..], &[0, 1, 2, 3, 4, 5, 6, 7]);
+        // Content equality regardless of backing.
+        let owned = SectionBytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(a, owned);
+        assert!(!a.shares_buffer(&owned));
+        // Out-of-bounds windows are rejected, not clamped.
+        assert!(SectionBytes::from_shared(Arc::clone(&image), 16..40).is_none());
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = SectionBytes::from_shared(image, 8..4);
+        assert!(reversed.is_none());
     }
 }

@@ -23,8 +23,7 @@ use crate::state::{DetectionState, Provenance};
 use crate::strategy::Strategy;
 use fetch_analyses::{validate_calling_convention_cached, CallConvVerdict};
 use fetch_disasm::{ErrorCallPolicy, XrefKind};
-use fetch_ehframe::{stack_heights, HeightTable};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// What the repair pass did.
 #[derive(Debug, Clone, Default)]
@@ -97,23 +96,21 @@ impl CallFrameRepair {
         }
 
         // ---- CFI stack heights, complete functions only ----
-        let Ok(eh) = state.binary.eh_frame() else {
+        // The per-FDE height tables, start set and coverage ranges are a
+        // pure function of `.eh_frame`, memoized on the state — repeated
+        // repairs stop re-evaluating every CFI program.
+        let Some(frames) = state.frame_table() else {
             return report;
         };
-        let mut heights: BTreeMap<u64, HeightTable> = BTreeMap::new();
-        let mut has_fde: BTreeSet<u64> = BTreeSet::new();
+        let heights = &frames.heights;
+        let has_fde = &frames.has_fde;
         let removed_fdes: BTreeSet<u64> = report.bad_fdes_removed.iter().copied().collect();
-        let mut fde_ranges: Vec<(u64, u64)> = Vec::new();
-        for (cie, fde) in eh.fdes_with_cie() {
-            has_fde.insert(fde.pc_begin);
-            if !removed_fdes.contains(&fde.pc_begin) {
-                fde_ranges.push((fde.pc_begin, fde.pc_end()));
-            }
-            if let Ok(Some(h)) = stack_heights(cie, fde) {
-                heights.insert(fde.pc_begin, h);
-            }
-        }
-        fde_ranges.sort_unstable();
+        let fde_ranges: Vec<(u64, u64)> = frames
+            .ranges
+            .iter()
+            .copied()
+            .filter(|(b, _)| !removed_fdes.contains(b))
+            .collect();
         // The CFI range map already assigns every covered byte to a call
         // frame: an address strictly inside a (surviving) FDE's range is
         // some function's interior, never a new start. ICF-style entry

@@ -8,7 +8,7 @@ use crate::algorithm1::{CallFrameRepair, RepairReport};
 use crate::pointer_scan::PointerScan;
 use crate::state::{DetectionResult, DetectionState};
 use crate::strategy::{FdeSeeds, SafeRecursion, Strategy};
-use fetch_binary::Binary;
+use fetch_binary::{Binary, ElfImage};
 use fetch_disasm::RecEngine;
 
 /// The FETCH pipeline (Function dETection with exCeption Handling).
@@ -56,6 +56,19 @@ impl Fetch {
         let (result, used) = state.into_result_with_engine();
         *engine = used;
         result
+    }
+
+    /// Runs detection directly on a parsed ELF image through a
+    /// caller-owned [`RecEngine`] — the zero-copy entry point: the
+    /// materialized sections are windows of the image's shared buffer
+    /// ([`ElfImage::to_binary`]), so no section body is copied to
+    /// analyse it. Result-identical to [`Fetch::detect`] on the
+    /// equivalent owned [`Binary`]. Repeated runs over one image should
+    /// call [`ElfImage::to_binary`] once and use
+    /// [`Fetch::detect_with_engine`] to avoid re-materializing the
+    /// section and symbol vectors per call.
+    pub fn detect_image(&self, image: &ElfImage, engine: &mut RecEngine) -> DetectionResult {
+        self.detect_with_engine(&image.to_binary(), engine)
     }
 
     /// Runs detection, also returning the call-frame repair report.
@@ -131,6 +144,18 @@ mod tests {
                 "unexplained false positive {fp:#x}"
             );
         }
+    }
+
+    #[test]
+    fn detect_image_matches_owned_binary() {
+        use fetch_binary::{write_elf, ElfImage};
+        let case = synthesize(&SynthConfig::small(83));
+        let image = ElfImage::parse(write_elf(&case.binary)).unwrap();
+        assert_eq!(image.load_stats().section_bytes_copied, 0);
+        let mut engine = RecEngine::new();
+        let via_image = Fetch::new().detect_image(&image, &mut engine);
+        let via_binary = Fetch::new().detect(&case.binary);
+        assert_eq!(via_image, via_binary);
     }
 
     #[test]

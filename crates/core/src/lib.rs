@@ -84,7 +84,7 @@ pub use heuristics::{
     TailCallHeuristic, ThunkHeuristic, ToolStyle,
 };
 pub use pointer_scan::{collect_data_pointers, validate_candidate, PointerScan, ValidationError};
-pub use state::{DetectionResult, DetectionState, Provenance};
+pub use state::{DetectionResult, DetectionState, FrameTable, Provenance};
 pub use strategy::{
     run_stack, run_stack_cached, EntrySeed, FdeSeeds, SafeRecursion, Strategy, SymbolSeeds,
 };

@@ -7,9 +7,43 @@ use fetch_disasm::{
     code_xrefs, function_extents, recursive_disassemble, ErrorCallPolicy, FunctionBody, RecEngine,
     RecOptions, RecResult, Xref,
 };
+use fetch_ehframe::{stack_heights, HeightTable};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
+
+/// The CFI side-table of a binary: every FDE's stack-height table (where
+/// the CFIs are complete), the set of FDE-covered starts, and the sorted
+/// coverage ranges. A pure function of the immutable binary, so
+/// [`DetectionState`] computes it at most once per run — call-frame
+/// repair used to re-evaluate every CFI program on every invocation.
+#[derive(Debug, Clone, Default)]
+pub struct FrameTable {
+    /// Complete stack-height tables keyed by FDE `PC Begin`.
+    pub heights: BTreeMap<u64, HeightTable>,
+    /// Every FDE `PC Begin` in the binary.
+    pub has_fde: BTreeSet<u64>,
+    /// Sorted `(pc_begin, pc_end)` coverage ranges of every FDE.
+    pub ranges: Vec<(u64, u64)>,
+}
+
+impl FrameTable {
+    /// Evaluates the binary's `.eh_frame`, or `None` when the section is
+    /// malformed (absent sections yield an empty table).
+    fn of(binary: &Binary) -> Option<FrameTable> {
+        let eh = binary.eh_frame().ok()?;
+        let mut table = FrameTable::default();
+        for (cie, fde) in eh.fdes_with_cie() {
+            table.has_fde.insert(fde.pc_begin);
+            table.ranges.push((fde.pc_begin, fde.pc_end()));
+            if let Ok(Some(h)) = stack_heights(cie, fde) {
+                table.heights.insert(fde.pc_begin, h);
+            }
+        }
+        table.ranges.sort_unstable();
+        Some(table)
+    }
+}
 
 /// Where a detected start came from. Figure 5's per-layer accounting and
 /// the accuracy analysis both key off this.
@@ -101,6 +135,10 @@ struct AnalysisCache {
     code_constants: Tagged<BTreeSet<u64>>,
     /// Derived from the (immutable) binary alone: computed at most once.
     data_ptrs: Option<Arc<BTreeMap<u64, Vec<u64>>>>,
+    /// CFI side-table, also binary-pure; the outer `Option` is the
+    /// "computed yet?" flag, the inner one records an unparseable
+    /// `.eh_frame` so the failure is memoized too.
+    frame_table: Option<Option<Arc<FrameTable>>>,
 }
 
 /// Mutable state threaded through a strategy stack.
@@ -133,6 +171,8 @@ pub struct DetectionState<'b> {
     starts_gen: u64,
     rec_gen: u64,
     cache: AnalysisCache,
+    frame_hits: u64,
+    frame_misses: u64,
 }
 
 impl<'b> DetectionState<'b> {
@@ -166,6 +206,8 @@ impl<'b> DetectionState<'b> {
             starts_gen: 0,
             rec_gen: 0,
             cache: AnalysisCache::default(),
+            frame_hits: 0,
+            frame_misses: 0,
         }
     }
 
@@ -272,6 +314,33 @@ impl<'b> DetectionState<'b> {
         let c = Arc::new(set);
         self.cache.code_constants = Some((self.rec_gen, Arc::clone(&c)));
         c
+    }
+
+    /// The CFI side-table ([`FrameTable`]) — FDE stack heights, start
+    /// set, and coverage ranges — computed at most once per state (the
+    /// binary never changes underneath a run) and shared from then on.
+    /// `None` when the binary's `.eh_frame` is malformed; that outcome
+    /// is memoized too.
+    ///
+    /// Call-frame repair ([`crate::CallFrameRepair`]) re-ran this CFI
+    /// evaluation on every round before the cache existed; the
+    /// [`DetectionState::frame_table_stats`] counters let tests assert
+    /// the hit rate.
+    pub fn frame_table(&mut self) -> Option<Arc<FrameTable>> {
+        if let Some(ft) = &self.cache.frame_table {
+            self.frame_hits += 1;
+            return ft.clone();
+        }
+        self.frame_misses += 1;
+        let ft = FrameTable::of(self.binary).map(Arc::new);
+        self.cache.frame_table = Some(ft.clone());
+        ft
+    }
+
+    /// `(hits, misses)` of [`DetectionState::frame_table`]. Misses can
+    /// never exceed one per state.
+    pub fn frame_table_stats(&self) -> (u64, u64) {
+        (self.frame_hits, self.frame_misses)
     }
 
     /// The data-section pointer super-set (§IV-E), computed once per
@@ -390,6 +459,25 @@ mod tests {
         assert!(!st.add_start(0x40_2000, Provenance::Fde));
         assert!(!st.remove_start(0xdead));
         assert!(Arc::ptr_eq(&before, &st.start_set()));
+    }
+
+    #[test]
+    fn frame_table_is_computed_once() {
+        let case = synthesize(&SynthConfig::small(3));
+        let mut st = DetectionState::new(&case.binary);
+        assert_eq!(st.frame_table_stats(), (0, 0));
+        let a = st.frame_table().expect("synth eh_frame parses");
+        assert!(!a.has_fde.is_empty());
+        assert_eq!(a.has_fde.len(), a.ranges.len());
+        let b = st.frame_table().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the table");
+        assert_eq!(st.frame_table_stats(), (1, 1));
+        // Mutation does not invalidate: the table depends only on the
+        // immutable binary.
+        st.add_start(0x40_1000, Provenance::Fde);
+        st.run_recursion(true, ErrorCallPolicy::SliceZero);
+        assert!(Arc::ptr_eq(&a, &st.frame_table().unwrap()));
+        assert_eq!(st.frame_table_stats(), (2, 1));
     }
 
     #[test]

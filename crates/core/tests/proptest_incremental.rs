@@ -81,6 +81,20 @@ fn run_layers(mut state: DetectionState<'_>, picks: &[u8]) -> DetectionResult {
         layer.apply(&mut state);
         state.layers.push(layer.name().to_string());
     }
+    // The CFI side-table is a pure function of the binary, memoized on
+    // the state: however many repair layers ran, at most one miss, and
+    // every further lookup must hit the cache.
+    let repairs = picks
+        .iter()
+        .filter(|&&p| pool[p as usize % pool.len()].name() == "TcallFix")
+        .count() as u64;
+    let (hits, misses) = state.frame_table_stats();
+    assert!(misses <= 1, "frame table evaluated {misses} times");
+    assert_eq!(
+        hits + misses,
+        repairs,
+        "every repair consults the frame table exactly once"
+    );
     state.into_result()
 }
 

@@ -142,9 +142,10 @@ impl CfaTable {
         for inst in &fde.cfis {
             if let CfiInst::AdvanceLoc { delta } = inst {
                 // Close the row covering [loc, loc+delta) with the state
-                // accumulated so far.
+                // accumulated so far. An advance that would wrap the
+                // address space is past any representable range end.
                 commit(loc, &st, &mut rows);
-                loc += delta;
+                loc = loc.checked_add(*delta).ok_or(EvalError::AdvancePastEnd)?;
                 if loc > fde.pc_end() {
                     return Err(EvalError::AdvancePastEnd);
                 }

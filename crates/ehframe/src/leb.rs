@@ -46,13 +46,16 @@ pub fn write_sleb(out: &mut Vec<u8>, mut value: i64) {
 /// # Errors
 ///
 /// Returns [`LebError`] on truncation or a value wider than 64 bits.
+/// The width check covers the final byte too: at shift 63 only the low
+/// bit of the payload is representable, so an over-wide foreign encoding
+/// is rejected instead of silently decoding to a truncated value.
 pub fn read_uleb(bytes: &[u8], pos: &mut usize) -> Result<u64, LebError> {
     let mut result: u64 = 0;
     let mut shift = 0u32;
     loop {
         let byte = *bytes.get(*pos).ok_or(LebError)?;
         *pos += 1;
-        if shift >= 64 {
+        if shift >= 64 || (shift == 63 && byte & 0x7e != 0) {
             return Err(LebError);
         }
         result |= u64::from(byte & 0x7f) << shift;
@@ -68,13 +71,17 @@ pub fn read_uleb(bytes: &[u8], pos: &mut usize) -> Result<u64, LebError> {
 /// # Errors
 ///
 /// Returns [`LebError`] on truncation or a value wider than 64 bits.
+/// At shift 63 (the tenth byte) the payload contributes bit 63 and the
+/// sign extension, so the only representable payloads are `0x00`
+/// (non-negative) and `0x7f` (negative); anything else encodes a value
+/// outside `i64` and is rejected rather than sign-mangled.
 pub fn read_sleb(bytes: &[u8], pos: &mut usize) -> Result<i64, LebError> {
     let mut result: i64 = 0;
     let mut shift = 0u32;
     loop {
         let byte = *bytes.get(*pos).ok_or(LebError)?;
         *pos += 1;
-        if shift >= 64 {
+        if shift >= 64 || (shift == 63 && byte & 0x7f != 0 && byte & 0x7f != 0x7f) {
             return Err(LebError);
         }
         result |= i64::from(byte & 0x7f) << shift;
@@ -139,5 +146,62 @@ mod tests {
         assert_eq!(read_sleb(&[0xff, 0xff], &mut pos), Err(LebError));
         let mut pos = 0;
         assert_eq!(read_uleb(&[], &mut pos), Err(LebError));
+    }
+
+    /// Ten-byte encoding with payload `p` in the final byte.
+    fn ten_bytes(fill: u8, last: u8) -> Vec<u8> {
+        let mut v = vec![fill | 0x80; 9];
+        v.push(last);
+        v
+    }
+
+    #[test]
+    fn uleb_final_byte_overflow_rejected() {
+        // Bit 63 is the last representable bit: payload 0x01 is fine…
+        let mut pos = 0;
+        assert_eq!(
+            read_uleb(&ten_bytes(0x80, 0x01), &mut pos).unwrap(),
+            1u64 << 63
+        );
+        // …anything wider used to decode to a silently truncated value
+        // (payload 0x02 came back as 0) instead of an error.
+        for last in [0x02u8, 0x04, 0x7f, 0x7e, 0x03] {
+            let mut pos = 0;
+            assert_eq!(
+                read_uleb(&ten_bytes(0x80, last), &mut pos),
+                Err(LebError),
+                "final byte {last:#x} must be rejected"
+            );
+        }
+        // An eleventh byte is over-wide regardless of payload.
+        let mut v = ten_bytes(0x80, 0x81);
+        v.push(0x00);
+        let mut pos = 0;
+        assert_eq!(read_uleb(&v, &mut pos), Err(LebError));
+    }
+
+    #[test]
+    fn sleb_final_byte_overflow_rejected() {
+        // The canonical extremes still decode.
+        let mut pos = 0;
+        assert_eq!(
+            read_sleb(&ten_bytes(0x80, 0x7f), &mut pos).unwrap(),
+            i64::MIN
+        );
+        let mut pos = 0;
+        assert_eq!(
+            read_sleb(&ten_bytes(0xff, 0x00), &mut pos).unwrap(),
+            i64::MAX
+        );
+        // Non-representable final payloads (bits 64+ disagreeing with
+        // bit 63) used to sign-mangle silently.
+        for last in [0x01u8, 0x02, 0x3f, 0x40, 0x41, 0x7e] {
+            let mut pos = 0;
+            assert_eq!(
+                read_sleb(&ten_bytes(0x80, last), &mut pos),
+                Err(LebError),
+                "final byte {last:#x} must be rejected"
+            );
+        }
     }
 }

@@ -16,6 +16,14 @@
 //!   get one FDE per part, and hand-written CFI can mislabel starts, which
 //!   is exactly what the repair algorithm fixes.
 //!
+//! The codecs are hardened against adversarial metadata: FDE ranges that
+//! would overflow the address space are rejected at parse time
+//! ([`ParseError::RangeOverflow`]) and saturate in the data model
+//! ([`Fde::pc_end`]), over-wide LEB128 encodings error instead of
+//! silently truncating ([`LebError`]), and [`encode_eh_frame`] reports
+//! unencodable relocations as a typed [`EncodeError`] instead of
+//! panicking.
+//!
 //! # Examples
 //!
 //! Encode and re-parse a section, then query stack heights:
@@ -35,7 +43,7 @@
 //!     ],
 //! }]));
 //!
-//! let bytes = encode_eh_frame(&eh, 0x48_0000);
+//! let bytes = encode_eh_frame(&eh, 0x48_0000)?;
 //! let parsed = parse_eh_frame(&bytes, 0x48_0000)?;
 //! assert_eq!(parsed, eh);
 //!
@@ -61,6 +69,6 @@ pub use eval::{stack_heights, CfaRow, CfaRule, CfaTable, EvalError, HeightTable}
 pub use leb::{read_sleb, read_uleb, write_sleb, write_uleb, LebError};
 pub use pdata::{Pdata, PdataError, RuntimeFunction};
 pub use records::{
-    encode_eh_frame, parse_eh_frame, Cie, EhFrame, Fde, ParseError, PE_PCREL_SDATA4,
+    encode_eh_frame, parse_eh_frame, Cie, EhFrame, EncodeError, Fde, ParseError, PE_PCREL_SDATA4,
 };
 pub use unwind::{backtrace, unwind_one, Machine, Memory, UnwindError};

@@ -55,9 +55,16 @@ pub struct Fde {
 }
 
 impl Fde {
-    /// One-past-the-end address of the covered range.
+    /// One-past-the-end address of the covered range, saturating at
+    /// `u64::MAX`.
+    ///
+    /// [`parse_eh_frame`] rejects FDEs whose `pc_begin + pc_range`
+    /// overflows ([`ParseError::RangeOverflow`]), so parsed records
+    /// never saturate; hand-built adversarial records degrade to a
+    /// range clamped at the top of the address space instead of
+    /// wrapping (release) or panicking (debug).
     pub fn pc_end(&self) -> u64 {
-        self.pc_begin + self.pc_range
+        self.pc_begin.saturating_add(self.pc_range)
     }
 
     /// Whether `pc` falls inside the covered range.
@@ -132,6 +139,11 @@ pub enum ParseError {
         /// Offset of the CIE within the section.
         at: usize,
     },
+    /// An FDE's `PC Begin + PC Range` overflows the address space.
+    RangeOverflow {
+        /// Offset of the FDE within the section.
+        at: usize,
+    },
     /// Malformed CFI program.
     Cfi(CfiError),
     /// Malformed LEB128 field.
@@ -147,6 +159,9 @@ impl fmt::Display for ParseError {
                 write!(f, "FDE at {at:#x} references an unknown CIE")
             }
             ParseError::UnsupportedCie { at } => write!(f, "unsupported CIE at {at:#x}"),
+            ParseError::RangeOverflow { at } => {
+                write!(f, "FDE at {at:#x} covers a range past the address space")
+            }
             ParseError::Cfi(e) => write!(f, "bad CFI program: {e}"),
             ParseError::Leb => write!(f, "malformed LEB128 field"),
         }
@@ -174,12 +189,61 @@ impl From<LebError> for ParseError {
     }
 }
 
+/// Errors produced while encoding an [`EhFrame`] to section bytes.
+///
+/// The `pcrel | sdata4` pointer encoding can only express relocations
+/// within ±2 GiB; a model whose addresses fall outside that window is
+/// reported instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An FDE's `PC Begin` lies more than ±2 GiB from its encoded field.
+    PcRelOutOfRange {
+        /// The FDE's start address.
+        pc_begin: u64,
+        /// Virtual address of the `PC Begin` field being encoded.
+        field_addr: u64,
+    },
+    /// An FDE's `PC Range` exceeds the signed 32-bit field.
+    PcRangeTooLarge {
+        /// The FDE's start address.
+        pc_begin: u64,
+        /// The unencodable range.
+        pc_range: u64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::PcRelOutOfRange {
+                pc_begin,
+                field_addr,
+            } => write!(
+                f,
+                "FDE pc_begin {pc_begin:#x} is not within ±2GiB of its field at {field_addr:#x}"
+            ),
+            EncodeError::PcRangeTooLarge { pc_begin, pc_range } => write!(
+                f,
+                "FDE at {pc_begin:#x} has pc_range {pc_range:#x}, too large for sdata4"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 /// Encodes the section to bytes as it would appear at virtual address
 /// `section_addr` (needed because `PC Begin` uses pc-relative encoding).
 ///
 /// The layout follows the de-facto GCC format: 4-byte length, CIE id /
 /// CIE pointer, `zR` augmentation, and a terminating zero-length entry.
-pub fn encode_eh_frame(eh: &EhFrame, section_addr: u64) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an FDE's addresses cannot be
+/// expressed in the `pcrel | sdata4` encoding (relocation outside
+/// ±2 GiB, or a range wider than 31 bits).
+pub fn encode_eh_frame(eh: &EhFrame, section_addr: u64) -> Result<Vec<u8>, EncodeError> {
     let mut out: Vec<u8> = Vec::new();
     for (cie, fdes) in &eh.groups {
         // ---- CIE ----
@@ -204,12 +268,18 @@ pub fn encode_eh_frame(eh: &EhFrame, section_addr: u64) -> Vec<u8> {
             let cie_ptr = (fde_off + 4 - cie_off) as u32;
             out.extend_from_slice(&cie_ptr.to_le_bytes());
             // PC Begin, pcrel sdata4.
-            let field_addr = section_addr + out.len() as u64;
+            let field_addr = section_addr.wrapping_add(out.len() as u64);
             let rel = fde.pc_begin.wrapping_sub(field_addr) as i64;
-            let rel = i32::try_from(rel).expect("pc_begin within ±2GiB of eh_frame");
+            let rel = i32::try_from(rel).map_err(|_| EncodeError::PcRelOutOfRange {
+                pc_begin: fde.pc_begin,
+                field_addr,
+            })?;
             out.extend_from_slice(&rel.to_le_bytes());
             // PC Range, sdata4 (absolute length).
-            let range = i32::try_from(fde.pc_range).expect("pc_range fits sdata4");
+            let range = i32::try_from(fde.pc_range).map_err(|_| EncodeError::PcRangeTooLarge {
+                pc_begin: fde.pc_begin,
+                pc_range: fde.pc_range,
+            })?;
             out.extend_from_slice(&range.to_le_bytes());
             write_uleb(&mut out, 0); // augmentation data length
             encode_cfis(&fde.cfis, cie.code_align, &mut out);
@@ -218,7 +288,7 @@ pub fn encode_eh_frame(eh: &EhFrame, section_addr: u64) -> Vec<u8> {
     }
     // Terminator: zero length.
     out.extend_from_slice(&0u32.to_le_bytes());
-    out
+    Ok(out)
 }
 
 fn pad_and_patch_length(out: &mut Vec<u8>, entry_off: usize) {
@@ -276,11 +346,16 @@ pub fn parse_eh_frame(bytes: &[u8], section_addr: u64) -> Result<EhFrame, ParseE
             let data_align = crate::leb::read_sleb(bytes, &mut p)?;
             let ret_addr_reg = read_uleb(bytes, &mut p)? as u8;
             let aug_len = read_uleb(bytes, &mut p)? as usize;
-            if aug_len < 1 || p + aug_len > body_end {
+            // Checked: an adversarial augmentation length must not wrap
+            // `p` (release) or panic (debug).
+            let aug_end = p
+                .checked_add(aug_len)
+                .ok_or(ParseError::UnsupportedCie { at: entry_off })?;
+            if aug_len < 1 || aug_end > body_end {
                 return Err(ParseError::UnsupportedCie { at: entry_off });
             }
             let fde_encoding = bytes[p];
-            p += aug_len;
+            p = aug_end;
             let mut initial_cfis = decode_cfis(&bytes[p..body_end], code_align)?;
             // Strip trailing alignment nops for a clean model round trip.
             while initial_cfis.last() == Some(&CfiInst::Nop) {
@@ -313,16 +388,25 @@ pub fn parse_eh_frame(bytes: &[u8], section_addr: u64) -> Result<EhFrame, ParseE
             let mut p = pos;
             let field = bytes.get(p..p + 4).ok_or(ParseError::Truncated)?;
             let rel = i32::from_le_bytes(field.try_into().unwrap());
-            let pc_begin = (section_addr + p as u64).wrapping_add(rel as i64 as u64);
+            let pc_begin = section_addr
+                .wrapping_add(p as u64)
+                .wrapping_add(rel as i64 as u64);
             p += 4;
             let field = bytes.get(p..p + 4).ok_or(ParseError::Truncated)?;
             let pc_range = i32::from_le_bytes(field.try_into().unwrap()) as i64;
             if pc_range < 0 {
                 return Err(ParseError::BadLength { at: entry_off });
             }
+            // Reject coverage past the top of the address space: every
+            // consumer computes `pc_begin + pc_range`, which must not
+            // wrap (release) or panic (debug).
+            if pc_begin.checked_add(pc_range as u64).is_none() {
+                return Err(ParseError::RangeOverflow { at: entry_off });
+            }
             p += 4;
             let aug_len = read_uleb(bytes, &mut p)? as usize;
-            p += aug_len;
+            // Checked for the same reason as the CIE path above.
+            p = p.checked_add(aug_len).ok_or(ParseError::Truncated)?;
             if p > body_end {
                 return Err(ParseError::Truncated);
             }
@@ -381,7 +465,7 @@ mod tests {
         let mut eh = EhFrame::new();
         eh.groups.push((Cie::default(), vec![figure_4b_fde()]));
         let addr = 0x40_0000;
-        let bytes = encode_eh_frame(&eh, addr);
+        let bytes = encode_eh_frame(&eh, addr).unwrap();
         let parsed = parse_eh_frame(&bytes, addr).unwrap();
         assert_eq!(parsed, eh);
     }
@@ -414,7 +498,7 @@ mod tests {
             factored: 2,
         });
         eh.groups.push((cie2, vec![f3]));
-        let bytes = encode_eh_frame(&eh, 0x7_0000);
+        let bytes = encode_eh_frame(&eh, 0x7_0000).unwrap();
         let parsed = parse_eh_frame(&bytes, 0x7_0000).unwrap();
         assert_eq!(parsed, eh);
         assert_eq!(parsed.fde_count(), 3);
@@ -435,7 +519,7 @@ mod tests {
     fn terminator_stops_parsing() {
         let mut eh = EhFrame::new();
         eh.groups.push((Cie::default(), vec![figure_4b_fde()]));
-        let mut bytes = encode_eh_frame(&eh, 0);
+        let mut bytes = encode_eh_frame(&eh, 0).unwrap();
         // Garbage after the terminator must be ignored.
         bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4]);
         let parsed = parse_eh_frame(&bytes, 0).unwrap();
@@ -446,7 +530,7 @@ mod tests {
     fn truncated_section_errors() {
         let mut eh = EhFrame::new();
         eh.groups.push((Cie::default(), vec![figure_4b_fde()]));
-        let bytes = encode_eh_frame(&eh, 0);
+        let bytes = encode_eh_frame(&eh, 0).unwrap();
         let cut = &bytes[..bytes.len() / 2];
         assert!(parse_eh_frame(cut, 0).is_err());
     }
@@ -463,5 +547,128 @@ mod tests {
             parse_eh_frame(&bytes, 0),
             Err(ParseError::DanglingCiePointer { .. })
         ));
+    }
+
+    #[test]
+    fn huge_augmentation_length_rejected_without_overflow() {
+        // An FDE whose augmentation-length ULEB encodes u64::MAX made
+        // `p += aug_len` wrap (release) or panic (debug). Build a valid
+        // section whose FDE carries enough trailing nops to hold the
+        // 10-byte encoding, then splice it over the aug_len field.
+        let mut eh = EhFrame::new();
+        eh.groups.push((
+            Cie::default(),
+            vec![Fde {
+                pc_begin: 0x40_1000,
+                pc_range: 0x20,
+                cfis: vec![CfiInst::Nop; 12],
+            }],
+        ));
+        let mut bytes = encode_eh_frame(&eh, 0x40_0000).unwrap();
+        // The FDE is the second entry; its aug_len byte sits after
+        // [len:4][cie_ptr:4][pc_begin:4][pc_range:4].
+        let cie_total = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize + 4;
+        let aug_at = cie_total + 16;
+        assert_eq!(bytes[aug_at], 0, "located the aug_len field");
+        let max_uleb: [u8; 10] = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        bytes[aug_at..aug_at + 10].copy_from_slice(&max_uleb);
+        assert!(matches!(
+            parse_eh_frame(&bytes, 0x40_0000),
+            Err(ParseError::Truncated)
+        ));
+        // Same attack on the CIE's augmentation length.
+        let mut bytes = encode_eh_frame(&eh, 0x40_0000).unwrap();
+        // CIE layout: [len:4][id:4][version:1]["zR\0":3][ca:1][da:1][ra:1][aug_len:1].
+        let cie_aug_at = 4 + 4 + 1 + 3 + 3;
+        assert_eq!(bytes[cie_aug_at], 1, "located the CIE aug_len field");
+        // Only one spare byte before the encoding matters here: a
+        // 2-byte ULEB for a huge-but-not-wrapping length exercises the
+        // bounds check, and a hand-built section exercises the wrap.
+        let mut hand = bytes[..cie_aug_at].to_vec();
+        hand.extend_from_slice(&max_uleb);
+        hand.extend_from_slice(&bytes[cie_aug_at + 10..]);
+        hand[0..4]
+            .copy_from_slice(&(u32::from_le_bytes(bytes[0..4].try_into().unwrap())).to_le_bytes());
+        assert!(parse_eh_frame(&hand, 0x40_0000).is_err());
+        bytes[cie_aug_at] = 0xff; // truncated ULEB inside the entry is also an error
+        assert!(parse_eh_frame(&bytes, 0x40_0000).is_err());
+    }
+
+    #[test]
+    fn pc_end_saturates_instead_of_wrapping() {
+        // `pc_begin + pc_range` near u64::MAX wrapped in release and
+        // panicked in debug before the saturating fix.
+        let fde = Fde {
+            pc_begin: u64::MAX - 8,
+            pc_range: 0x100,
+            cfis: vec![],
+        };
+        assert_eq!(fde.pc_end(), u64::MAX);
+        assert!(fde.contains(u64::MAX - 8));
+        assert!(!fde.contains(u64::MAX - 9));
+        let mut eh = EhFrame::new();
+        eh.groups.push((Cie::default(), vec![fde]));
+        // fde_for_pc walks `contains` over every record — must not panic.
+        assert!(eh.fde_for_pc(0x1000).is_none());
+        assert_eq!(eh.fde_for_pc(u64::MAX - 1).unwrap().pc_range, 0x100);
+    }
+
+    #[test]
+    fn parser_rejects_overflowing_fde_range() {
+        // An FDE laid out at the very top of the address space whose
+        // range runs past u64::MAX: representable in the encoding,
+        // rejected by the parser.
+        let section_addr = u64::MAX - 0x2000;
+        let mut eh = EhFrame::new();
+        eh.groups.push((
+            Cie::default(),
+            vec![Fde {
+                pc_begin: u64::MAX - 0x1000,
+                pc_range: 0x7000_0000,
+                cfis: vec![],
+            }],
+        ));
+        let bytes = encode_eh_frame(&eh, section_addr).unwrap();
+        assert!(matches!(
+            parse_eh_frame(&bytes, section_addr),
+            Err(ParseError::RangeOverflow { .. })
+        ));
+        // The same layout with an in-range length parses fine.
+        eh.groups[0].1[0].pc_range = 0x800;
+        let bytes = encode_eh_frame(&eh, section_addr).unwrap();
+        let parsed = parse_eh_frame(&bytes, section_addr).unwrap();
+        assert_eq!(parsed, eh);
+    }
+
+    #[test]
+    fn encode_reports_out_of_range_relocations() {
+        // pc_begin much farther than ±2GiB from the section.
+        let mut eh = EhFrame::new();
+        eh.groups.push((
+            Cie::default(),
+            vec![Fde {
+                pc_begin: 0x2_0000_0000,
+                pc_range: 0x10,
+                cfis: vec![],
+            }],
+        ));
+        match encode_eh_frame(&eh, 0x40_0000) {
+            Err(EncodeError::PcRelOutOfRange { pc_begin, .. }) => {
+                assert_eq!(pc_begin, 0x2_0000_0000);
+            }
+            other => panic!("expected PcRelOutOfRange, got {other:?}"),
+        }
+        // pc_range wider than sdata4.
+        eh.groups[0].1[0] = Fde {
+            pc_begin: 0x40_1000,
+            pc_range: u64::from(u32::MAX),
+            cfis: vec![],
+        };
+        match encode_eh_frame(&eh, 0x40_0000) {
+            Err(EncodeError::PcRangeTooLarge { pc_range, .. }) => {
+                assert_eq!(pc_range, u64::from(u32::MAX));
+            }
+            other => panic!("expected PcRangeTooLarge, got {other:?}"),
+        }
     }
 }

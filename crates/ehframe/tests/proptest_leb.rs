@@ -1,0 +1,89 @@
+//! LEB128 codec properties: round trips across the whole value range and
+//! rejection of over-wide foreign encodings at the 64-bit boundary.
+
+use fetch_ehframe::{read_sleb, read_uleb, write_sleb, write_uleb, LebError};
+use proptest::prelude::*;
+
+/// Biases draws toward the 64-bit boundary, where the truncation bugs
+/// lived: raw values, values near the extremes, and single-bit values.
+fn arb_u64_edgy() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u32..64, 0u8..4).prop_map(|(raw, bit, class)| match class {
+        0 => raw,
+        1 => u64::MAX - (raw % 1024),
+        2 => 1u64 << bit,
+        _ => (1u64 << bit).wrapping_sub(1),
+    })
+}
+
+fn arb_i64_edgy() -> impl Strategy<Value = i64> {
+    (arb_u64_edgy(), any::<bool>()).prop_map(|(u, neg)| {
+        let v = u as i64;
+        if neg {
+            v.wrapping_neg()
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn uleb_roundtrip(value in arb_u64_edgy()) {
+        let mut buf = Vec::new();
+        write_uleb(&mut buf, value);
+        prop_assert!(buf.len() <= 10);
+        let mut pos = 0;
+        prop_assert_eq!(read_uleb(&buf, &mut pos), Ok(value));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn sleb_roundtrip(value in arb_i64_edgy()) {
+        let mut buf = Vec::new();
+        write_sleb(&mut buf, value);
+        prop_assert!(buf.len() <= 10);
+        let mut pos = 0;
+        prop_assert_eq!(read_sleb(&buf, &mut pos), Ok(value));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    /// Ten-byte encodings whose final payload carries bits past bit 63
+    /// must error — the old decoder shifted them out silently.
+    #[test]
+    fn uleb_overwide_final_byte_rejected(
+        fill in proptest::collection::vec(0u8..128, 9..10),
+        last in 2u8..128,
+    ) {
+        let mut buf: Vec<u8> = fill.iter().map(|b| b | 0x80).collect();
+        buf.push(last & 0x7f);
+        let mut pos = 0;
+        prop_assert_eq!(read_uleb(&buf, &mut pos), Err(LebError));
+    }
+
+    /// For signed values the only representable final payloads are 0x00
+    /// and 0x7f (pure sign extension); everything else must error.
+    #[test]
+    fn sleb_overwide_final_byte_rejected(
+        fill in proptest::collection::vec(0u8..128, 9..10),
+        last in 1u8..127,
+    ) {
+        let mut buf: Vec<u8> = fill.iter().map(|b| b | 0x80).collect();
+        buf.push(last & 0x7f);
+        let mut pos = 0;
+        prop_assert_eq!(read_sleb(&buf, &mut pos), Err(LebError));
+    }
+
+    /// Eleven-byte (and longer) continuations are over-wide no matter
+    /// the payload.
+    #[test]
+    fn leb_eleven_bytes_rejected(fill in proptest::collection::vec(0u8..128, 10..11)) {
+        let mut buf: Vec<u8> = fill.iter().map(|b| b | 0x80).collect();
+        buf.push(0x00);
+        let mut pos = 0;
+        prop_assert_eq!(read_uleb(&buf, &mut pos), Err(LebError));
+        let mut pos = 0;
+        prop_assert_eq!(read_sleb(&buf, &mut pos), Err(LebError));
+    }
+}

@@ -338,7 +338,8 @@ pub fn layout(
         eh.groups.push((Cie::default(), current));
     }
     let eh_base = (data_base + data.len() as u64 + page) / page * page;
-    let eh_bytes = encode_eh_frame(&eh, eh_base);
+    let eh_bytes = encode_eh_frame(&eh, eh_base)
+        .expect("synthesized layouts stay within the ±2GiB pcrel window");
 
     // ---------- pass 5: symbols + ground truth ----------
     let mut symbols = Vec::new();

@@ -1,6 +1,6 @@
 //! The pre-layout program model: function plans and reference targets.
 //!
-//! The generator ([`crate::generate`]) produces a list of [`FuncPlan`]s
+//! The generator ([`crate::generate_plan`]) produces a list of [`FuncPlan`]s
 //! with a consistent reference graph; the code generator lowers each plan
 //! to machine code; the layout engine places parts, patches references,
 //! and emits `.eh_frame` + ground truth.

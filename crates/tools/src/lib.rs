@@ -37,7 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fetch_binary::Binary;
+use fetch_binary::{Binary, ElfImage};
 use fetch_core::{
     run_stack_cached, AlignmentSplit, ControlFlowRepair, DetectionResult, DetectionState,
     EntrySeed, FdeSeeds, Fetch, FunctionMerge, LinearScanStarts, PrologueMatch, Provenance,
@@ -146,6 +146,27 @@ pub fn run_tool_with_engine(
         }
         Tool::Fetch => Some(Fetch::new().detect_with_engine(binary, engine)),
     }
+}
+
+/// Runs `tool` directly on a parsed ELF image through a caller-owned
+/// engine — the zero-copy path: the materialized sections are windows of
+/// the image's one shared buffer ([`ElfImage::to_binary`]), so running
+/// all nine models copies no section bodies. `name` stands in for the
+/// display name ELF images cannot carry (it feeds [`angr_rejects`]).
+///
+/// Each call re-materializes the (cheap, but not free) section and
+/// symbol vectors; a sweep over many tools should call
+/// [`ElfImage::to_binary`] once and loop over [`run_tool_with_engine`]
+/// instead.
+pub fn run_tool_on_image(
+    tool: Tool,
+    image: &ElfImage,
+    name: &str,
+    engine: &mut RecEngine,
+) -> Option<DetectionResult> {
+    let mut binary = image.to_binary();
+    binary.name = name.to_string();
+    run_tool_with_engine(tool, &binary, engine)
 }
 
 /// Deterministic model of ANGR's 9 loader failures (≈0.7% of binaries).
@@ -405,6 +426,22 @@ mod tests {
             let shared = run_tool_with_engine(tool, &case.binary, &mut engine);
             let fresh = run_tool(tool, &case.binary);
             assert_eq!(shared, fresh, "{tool} diverges with a shared engine");
+        }
+    }
+
+    #[test]
+    fn image_path_matches_owned_binary_for_every_tool() {
+        // Zero-copy images must be observationally identical to owned
+        // binaries across all nine models, including ANGR's name-keyed
+        // loader-failure model.
+        let case = &corpus()[0];
+        let image = ElfImage::parse(fetch_binary::write_elf(&case.binary)).unwrap();
+        assert_eq!(image.load_stats().section_bytes_copied, 0);
+        let mut engine = RecEngine::new();
+        for tool in Tool::ALL {
+            let via_image = run_tool_on_image(tool, &image, &case.binary.name, &mut engine);
+            let via_binary = run_tool(tool, &case.binary);
+            assert_eq!(via_image, via_binary, "{tool} diverges on the image path");
         }
     }
 

@@ -392,7 +392,7 @@ pub struct ExtLoad {
 /// A decoded x86-64 operation.
 ///
 /// The supported subset covers everything emitted by the synthetic compiler
-/// ([`fetch-synth`]) plus the instructions the paper's analyses reason about:
+/// (`fetch-synth`) plus the instructions the paper's analyses reason about:
 /// prologue/epilogue stack traffic, the full direct/indirect control-flow
 /// family, jump-table idioms, and padding encodings. Branch targets are held
 /// as resolved absolute virtual addresses.

@@ -99,6 +99,17 @@ fn detection_survives_elf_round_trip() {
     let direct = Fetch::new().detect(&case.binary);
     let via_elf = Fetch::new().detect(&reloaded);
     assert_eq!(direct.start_set(), via_elf.start_set());
+
+    // The zero-copy image path sees the same world too, with every
+    // section a window of one shared resident buffer.
+    let image = fetch::binary::ElfImage::parse(elf_bytes).expect("own ELF parses");
+    assert_eq!(image.load_stats().section_bytes_copied, 0);
+    let viewed = image.to_binary();
+    for pair in viewed.sections.windows(2) {
+        assert!(pair[0].shares_image(&pair[1]), "one backing buffer");
+    }
+    let via_image = Fetch::new().detect_image(&image, &mut fetch::disasm::RecEngine::new());
+    assert_eq!(direct.start_set(), via_image.start_set());
 }
 
 #[test]
