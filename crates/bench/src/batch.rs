@@ -123,6 +123,30 @@ impl BatchDriver {
         }
     }
 
+    /// [`BatchDriver::run`] with a shared serving-layer
+    /// [`fetch_core::AnalysisCache`] threaded to every worker alongside
+    /// its engine: the cache is one instance behind `&self`-safe
+    /// interior mutability, so all workers consult and fill the same
+    /// result store (e.g. through
+    /// [`fetch_core::Fetch::detect_cached`] or
+    /// `fetch_tools::run_tool_on_image_cached`). Because cache hits are
+    /// observationally identical to cold runs, the determinism guarantee
+    /// is unchanged: output is byte-identical for every worker count and
+    /// every cache warmth.
+    pub fn run_with_cache<C, T, F>(
+        &self,
+        items: &[C],
+        cache: &fetch_core::AnalysisCache,
+        f: F,
+    ) -> Vec<T>
+    where
+        C: Sync,
+        T: Send,
+        F: Fn(&mut RecEngine, &fetch_core::AnalysisCache, &C) -> T + Sync,
+    {
+        self.run(items, |engine, item| f(engine, cache, item))
+    }
+
     /// [`BatchDriver::run`], but a worker panic is returned as a
     /// [`BatchError`] instead of propagated. The remaining workers stop
     /// at their next item and the scope joins cleanly — no deadlock,

@@ -5,11 +5,17 @@
 //! (the design the paper rejects in §V-B). Reported per variant: false
 //! positives repaired, residual false positives, and *true starts
 //! wrongly merged* (the safety cost).
+//!
+//! The shared `FDE+Rec+Xref` prefix is executed **once** per binary
+//! through the declarative [`Pipeline`] executor; each variant then
+//! repairs a clone of that state, and the prefix's per-layer trace
+//! supplies the pre-repair accounting — no bespoke re-sequencing per
+//! variant.
 
 use fetch_analyses::HeightStyle;
 use fetch_bench::{banner, dataset2, opts_from_args, BatchDriver};
 use fetch_binary::Reach;
-use fetch_core::{CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
+use fetch_core::{CallFrameRepair, DetectionState, LayerTrace, Pipeline};
 use fetch_metrics::TextTable;
 
 fn main() {
@@ -60,38 +66,40 @@ fn main() {
         ),
     ];
 
-    // One pass per binary, every variant on the same worker: the decode
-    // cache built for the first variant's FDE+Rec+Xref prefix is replayed
-    // by the other five.
-    let per_case: Vec<Vec<(usize, usize, usize, usize)>> =
-        BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
-            let truth = case.truth.starts();
-            let mut out = Vec::with_capacity(variants.len());
-            for (_, repair) in &variants {
-                let mut state = DetectionState::with_engine(&case.binary, std::mem::take(engine));
-                FdeSeeds.apply(&mut state);
-                SafeRecursion::default().apply(&mut state);
-                PointerScan.apply(&mut state);
-                let before_fp = state.start_set().difference(&truth).count();
-                let report = repair.repair(&mut state);
-                let after_fp = state.start_set().difference(&truth).count();
-                *engine = state.into_result_with_engine().1;
-                let mut wrong = 0usize;
-                let mut harmless = 0usize;
-                for (removed, _) in &report.merged {
-                    if truth.contains(removed) {
-                        match case.truth.function_at(*removed).map(|f| f.reach) {
-                            // Merging a tail-only function is the paper's
-                            // harmless inlining side effect (§V-C).
-                            Some(Reach::TailCalled { .. }) => harmless += 1,
-                            _ => wrong += 1,
-                        }
+    // One prefix execution per binary; every variant repairs a clone of
+    // the prefix state on the same worker, so the decode cache built for
+    // `FDE+Rec+Xref` is shared by all six. The prefix trace rides along
+    // for the per-layer summary below.
+    let prefix = Pipeline::parse("FDE+Rec+Xref").expect("prefix parses");
+    type CaseOut = (Vec<(usize, usize, usize, usize)>, Vec<LayerTrace>);
+    let per_case: Vec<CaseOut> = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
+        let truth = case.truth.starts();
+        let mut state = DetectionState::with_engine(&case.binary, std::mem::take(engine));
+        prefix.apply(&mut state);
+        let before_fp = state.start_set().difference(&truth).count();
+        let prefix_trace = state.trace.clone();
+        let mut out = Vec::with_capacity(variants.len());
+        for (_, repair) in &variants {
+            let mut variant_state = state.clone();
+            let report = repair.repair(&mut variant_state);
+            let after_fp = variant_state.start_set().difference(&truth).count();
+            let mut wrong = 0usize;
+            let mut harmless = 0usize;
+            for (removed, _) in &report.merged {
+                if truth.contains(removed) {
+                    match case.truth.function_at(*removed).map(|f| f.reach) {
+                        // Merging a tail-only function is the paper's
+                        // harmless inlining side effect (§V-C).
+                        Some(Reach::TailCalled { .. }) => harmless += 1,
+                        _ => wrong += 1,
                     }
                 }
-                out.push((before_fp, after_fp, wrong, harmless));
             }
-            out
-        });
+            out.push((before_fp, after_fp, wrong, harmless));
+        }
+        *engine = state.into_result_with_engine().1;
+        (out, prefix_trace)
+    });
 
     let mut table = TextTable::new([
         "Variant",
@@ -101,10 +109,10 @@ fn main() {
         "harmless merges",
     ]);
     for (vi, (label, _)) in variants.iter().enumerate() {
-        let b: usize = per_case.iter().map(|r| r[vi].0).sum();
-        let a: usize = per_case.iter().map(|r| r[vi].1).sum();
-        let w: usize = per_case.iter().map(|r| r[vi].2).sum();
-        let h: usize = per_case.iter().map(|r| r[vi].3).sum();
+        let b: usize = per_case.iter().map(|(r, _)| r[vi].0).sum();
+        let a: usize = per_case.iter().map(|(r, _)| r[vi].1).sum();
+        let w: usize = per_case.iter().map(|(r, _)| r[vi].2).sum();
+        let h: usize = per_case.iter().map(|(r, _)| r[vi].3).sum();
         table.row([
             label.to_string(),
             b.to_string(),
@@ -114,6 +122,16 @@ fn main() {
         ]);
     }
     println!("{table}");
+
+    // Where the pre-repair starts came from, corpus-wide — read straight
+    // off the executor's traces instead of re-instrumenting the stack.
+    let mut layer_table = TextTable::new(["Prefix layer", "starts added", "wall ms (sum)"]);
+    for (li, name) in prefix.specs().iter().map(|s| s.name()).enumerate() {
+        let added: usize = per_case.iter().map(|(_, t)| t[li].added.len()).sum();
+        let wall_ms: f64 = per_case.iter().map(|(_, t)| t[li].wall_us()).sum::<f64>() / 1e3;
+        layer_table.row([name.to_string(), added.to_string(), format!("{wall_ms:.1}")]);
+    }
+    println!("{layer_table}");
     println!(
         "Shape checks: the paper configuration repairs ~95% of FDE false\n\
          positives with zero harmful merges; dropping the reference check\n\

@@ -4,12 +4,13 @@
 //! non-contiguous functions, 3 from hand-written CFI directives.
 
 use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, BatchDriver};
-use fetch_core::{run_stack_cached, FdeSeeds};
+use fetch_core::Pipeline;
 
 fn main() {
     let opts = opts_from_args();
     banner("§V-A — errors introduced by FDEs themselves");
     let cases = dataset2(&opts);
+    let fde_only = Pipeline::parse("FDE").expect("spec parses");
 
     struct Row {
         fps: usize,
@@ -19,7 +20,7 @@ fn main() {
         symbol_fps: usize,
     }
     let rows = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
-        let r = run_stack_cached(&case.binary, &[&FdeSeeds], engine);
+        let r = fde_only.run_with_engine(&case.binary, engine);
         let truth = case.truth.starts();
         let parts = case.truth.part_starts();
         let found = r.start_set();

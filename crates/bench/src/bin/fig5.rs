@@ -1,150 +1,90 @@
 //! Figure 5: number of binaries with full coverage / full accuracy under
 //! each strategy stack — panels (a) GHIDRA, (b) ANGR, (c) optimal.
 //!
+//! Each panel is declarative data: a handful of [`Pipeline`]s plus rows
+//! that name a *prefix* of one of them. Shared prefixes (`FDE`,
+//! `FDE+Rec`) are never re-run — the executor's per-layer trace replays
+//! ([`fetch_core::DetectionResult::starts_after_layer`]) reconstruct the
+//! start set after any prefix from the full run, so a six-row panel
+//! costs as many pipeline executions as it has *distinct full stacks*.
+//!
 //! Run with `--panel a|b|c` (default: all three).
 
 use fetch_bench::{banner, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::TestCase;
-use fetch_core::{
-    run_stack_cached, AlignmentSplit, CallFrameRepair, ControlFlowRepair, FdeSeeds, FunctionMerge,
-    LinearScanStarts, PointerScan, PrologueMatch, SafeRecursion, Strategy, TailCallHeuristic,
-    ThunkHeuristic, ToolStyle,
-};
+use fetch_core::Pipeline;
 use fetch_metrics::{evaluate, Aggregate, BinaryEval, TextTable};
 use fetch_tools::angr_rejects;
 
-type Stack = (&'static str, Vec<Box<dyn Strategy + Sync>>);
+/// A panel: the distinct full pipelines to execute, and the printed rows
+/// as `(label, pipeline index, prefix depth)`.
+struct Panel {
+    pipelines: Vec<Pipeline>,
+    rows: Vec<(&'static str, usize, usize)>,
+}
 
-fn ghidra_stacks() -> Vec<Stack> {
-    vec![
-        ("FDE", vec![Box::new(FdeSeeds)]),
-        (
+fn pipelines(specs: &[&str]) -> Vec<Pipeline> {
+    specs
+        .iter()
+        .map(|s| Pipeline::parse(s).expect("panel spec parses"))
+        .collect()
+}
+
+fn ghidra_panel() -> Panel {
+    Panel {
+        pipelines: pipelines(&[
             "FDE+Rec+CFR",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(ControlFlowRepair),
-            ],
-        ),
-        (
-            "FDE+Rec",
-            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())],
-        ),
-        (
-            "FDE+Rec+Fsig",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(PrologueMatch {
-                    style: ToolStyle::Ghidra,
-                }),
-            ],
-        ),
-        (
-            "FDE+Rec+Tcall",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(TailCallHeuristic {
-                    style: ToolStyle::Ghidra,
-                }),
-            ],
-        ),
-        (
+            "FDE+Rec+Fsig.ghidra",
+            "FDE+Rec+Tcall.ghidra",
             "FDE+Rec+Thunk",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(ThunkHeuristic),
-            ],
-        ),
-    ]
+        ]),
+        rows: vec![
+            ("FDE", 0, 1),
+            ("FDE+Rec+CFR", 0, 3),
+            ("FDE+Rec", 0, 2),
+            ("FDE+Rec+Fsig", 1, 3),
+            ("FDE+Rec+Tcall", 2, 3),
+            ("FDE+Rec+Thunk", 3, 3),
+        ],
+    }
 }
 
-fn angr_stacks() -> Vec<Stack> {
-    vec![
-        ("FDE", vec![Box::new(FdeSeeds)]),
-        (
+fn angr_panel() -> Panel {
+    Panel {
+        pipelines: pipelines(&[
             "FDE+Rec+Fmerg",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(FunctionMerge),
-            ],
-        ),
-        (
-            "FDE+Rec",
-            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())],
-        ),
-        (
-            "FDE+Rec+Fsig",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(PrologueMatch {
-                    style: ToolStyle::Angr,
-                }),
-            ],
-        ),
-        (
+            "FDE+Rec+Fsig.angr",
             "FDE+Rec+Scan",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(LinearScanStarts),
-            ],
-        ),
-        (
-            "FDE+Rec+Tcall",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(TailCallHeuristic {
-                    style: ToolStyle::Angr,
-                }),
-            ],
-        ),
-        (
+            "FDE+Rec+Tcall.angr",
             "FDE+Rec+Align",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(AlignmentSplit),
-            ],
-        ),
-    ]
+        ]),
+        rows: vec![
+            ("FDE", 0, 1),
+            ("FDE+Rec+Fmerg", 0, 3),
+            ("FDE+Rec", 0, 2),
+            ("FDE+Rec+Fsig", 1, 3),
+            ("FDE+Rec+Scan", 2, 3),
+            ("FDE+Rec+Tcall", 3, 3),
+            ("FDE+Rec+Align", 4, 3),
+        ],
+    }
 }
 
-fn optimal_stacks() -> Vec<Stack> {
-    vec![
-        ("FDE", vec![Box::new(FdeSeeds)]),
-        (
-            "FDE+Rec",
-            vec![Box::new(FdeSeeds), Box::new(SafeRecursion::default())],
-        ),
-        (
-            "FDE+Rec+Xref",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(PointerScan),
-            ],
-        ),
-        (
-            "FDE+Rec+Xref+Tcall",
-            vec![
-                Box::new(FdeSeeds),
-                Box::new(SafeRecursion::default()),
-                Box::new(PointerScan),
-                Box::new(CallFrameRepair::default()),
-            ],
-        ),
-    ]
+fn optimal_panel() -> Panel {
+    Panel {
+        pipelines: pipelines(&["FDE+Rec+Xref+TcallFix"]),
+        rows: vec![
+            ("FDE", 0, 1),
+            ("FDE+Rec", 0, 2),
+            ("FDE+Rec+Xref", 0, 3),
+            ("FDE+Rec+Xref+Tcall", 0, 4),
+        ],
+    }
 }
 
 fn run_panel(
     title: &str,
-    stacks: Vec<Stack>,
+    panel: Panel,
     cases: &[TestCase],
     reference: &[(&str, u64, u64)],
     skip_angr_failures: bool,
@@ -162,18 +102,23 @@ fn run_panel(
     };
     println!("binaries evaluated: {}\n", usable.len());
 
-    // Every stack of the panel runs on the binary's worker back-to-back:
-    // the decode cache built by the first stack's FDE walk is replayed by
-    // all the others, and the aggregation below consumes one
-    // corpus-ordered stream of per-binary rows.
+    // Every distinct full pipeline of the panel runs on the binary's
+    // worker back-to-back (the decode cache built by the first stack's
+    // FDE walk is replayed by all the others); prefix rows are then
+    // evaluated by replaying each run's trace — no re-execution.
+    let panel_ref = &panel;
     let evals_per_case: Vec<Vec<BinaryEval>> = driver.run(&usable, |engine, case| {
-        stacks
+        let runs: Vec<_> = panel_ref
+            .pipelines
             .iter()
-            .map(|(_, stack)| {
-                let refs: Vec<&dyn Strategy> =
-                    stack.iter().map(|s| s.as_ref() as &dyn Strategy).collect();
-                let r = run_stack_cached(&case.binary, &refs, engine);
-                evaluate(&r.start_set(), case)
+            .map(|p| p.run_with_engine(&case.binary, engine))
+            .collect();
+        panel_ref
+            .rows
+            .iter()
+            .map(|&(_, pipeline_ix, depth)| {
+                let starts = runs[pipeline_ix].starts_after_layer(depth);
+                evaluate(&starts.keys().copied().collect(), case)
             })
             .collect()
     });
@@ -185,10 +130,10 @@ fn run_panel(
         "(paper cov)",
         "(paper acc)",
     ]);
-    for (si, (label, _)) in stacks.iter().enumerate() {
+    for (ri, (label, _, _)) in panel.rows.iter().enumerate() {
         let mut agg = Aggregate::new();
         for evals in &evals_per_case {
-            agg.add(&evals[si]);
+            agg.add(&evals[ri]);
         }
         let (pc, pa) = reference
             .iter()
@@ -218,7 +163,7 @@ fn main() {
     if panel == "a" || panel == "all" {
         run_panel(
             "Figure 5a — GHIDRA strategy stacks (paper: of 1,352 binaries)",
-            ghidra_stacks(),
+            ghidra_panel(),
             &cases,
             &paper::FIG5A,
             false,
@@ -228,7 +173,7 @@ fn main() {
     if panel == "b" || panel == "all" {
         run_panel(
             "Figure 5b — ANGR strategy stacks (paper: of 1,343 binaries)",
-            angr_stacks(),
+            angr_panel(),
             &cases,
             &paper::FIG5B,
             true,
@@ -238,7 +183,7 @@ fn main() {
     if panel == "c" || panel == "all" {
         run_panel(
             "Figure 5c — optimal strategy stacks (paper: of 1,352 binaries)",
-            optimal_stacks(),
+            optimal_panel(),
             &cases,
             &paper::FIG5C,
             false,

@@ -7,7 +7,8 @@
 
 use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::Reach;
-use fetch_core::{CallFrameRepair, DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
+use fetch_core::Pipeline;
+use std::collections::BTreeSet;
 
 fn main() {
     let opts = opts_from_args();
@@ -24,16 +25,14 @@ fn main() {
         new_fns: usize,
         harmless_new_fns: usize,
     }
+    let pipeline = Pipeline::fetch();
     let rows = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
         let truth = case.truth.starts();
-        let mut state = DetectionState::with_engine(&case.binary, std::mem::take(engine));
-        FdeSeeds.apply(&mut state);
-        SafeRecursion::default().apply(&mut state);
-        PointerScan.apply(&mut state);
-        let before = state.start_set();
-        let _report = CallFrameRepair::default().repair(&mut state);
-        let after = state.start_set();
-        *engine = state.into_result_with_engine().1;
+        let r = pipeline.run_with_engine(&case.binary, engine);
+        // One full-pipeline run; the pre-repair state is the trace
+        // replayed through the FDE+Rec+Xref prefix.
+        let before: BTreeSet<u64> = r.starts_after_layer(3).keys().copied().collect();
+        let after = r.start_set();
 
         let fps_before = before.difference(&truth).count();
         let fps_after = after.difference(&truth).count();

@@ -1,18 +1,26 @@
 //! Machine-readable performance snapshot of the full FETCH pipeline.
 //!
-//! Runs `FDE → Rec → Xref → TcallFix` over three fixed synthetic corpora
-//! (small / medium / large) and writes `BENCH_pipeline.json` with wall
-//! time per stage, decoded-instructions-per-second throughput, and the
-//! peak start count — so the performance trajectory is tracked,
-//! commit-over-commit, from the PR that introduced the dense instruction
-//! store and the incremental recursion engine onward.
+//! Runs the declarative [`Pipeline::fetch`] stack over three fixed
+//! synthetic corpora (small / medium / large) and writes
+//! `BENCH_pipeline.json` with wall time per stage (straight from the
+//! executor's [`fetch_core::LayerTrace`]s — the same instrumentation
+//! every harness gets for free), decoded-instructions-per-second
+//! throughput, and the peak start count — so the performance trajectory
+//! is tracked, commit-over-commit, from the PR that introduced the dense
+//! instruction store and the incremental recursion engine onward.
 //!
-//! A second section times the [`BatchDriver`] sweeping the default
-//! Dataset 2 corpus through the full pipeline: `batch_serial` (one
-//! worker, the differential-test reference) vs `batch_parallel` (the
-//! machine's available parallelism). The two produce byte-identical
-//! results — the snapshot asserts it — so the speedup column is a pure
-//! scheduling win.
+//! Three further groups:
+//!
+//! * `layer_breakdown` — the per-layer trace of the large corpus run:
+//!   wall time, starts added/removed, and decode work per layer.
+//! * `cache` — the serving layer: a cold `detect_image_cached` miss vs
+//!   a warm hit on the same image (the snapshot asserts the hit is
+//!   ≥ 10× faster), plus the hit rate of a two-round corpus sweep
+//!   through one shared [`AnalysisCache`].
+//! * `batch_serial` / `batch_parallel` — the [`BatchDriver`] sweeping
+//!   the default Dataset 2 corpus, one worker vs all of them. The two
+//!   produce byte-identical results — the snapshot asserts it — so the
+//!   speedup column is a pure scheduling win.
 //!
 //! Usage: `cargo run --release -p fetch-bench --bin perf_snapshot`
 //! (pass `--out <path>` to redirect; pass `--reps <n>` for more timing
@@ -22,54 +30,41 @@
 
 use fetch_bench::{dataset2, default_jobs, BatchDriver, BenchOpts};
 use fetch_binary::{read_elf, write_elf, ElfImage, ElfView};
-use fetch_core::{
-    CallFrameRepair, DetectionState, FdeSeeds, Fetch, PointerScan, SafeRecursion, Strategy,
-};
+use fetch_core::{AnalysisCache, DetectionState, Fetch, LayerTrace, Pipeline};
+use fetch_disasm::RecEngine;
 use fetch_synth::{synthesize, SynthConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-struct StageTimes {
-    fde_us: f64,
-    rec_us: f64,
-    xref_us: f64,
-    repair_us: f64,
+struct PipelineRun {
+    trace: Vec<LayerTrace>,
     insts: usize,
-    peak_starts: usize,
     detected: usize,
+    peak_starts: usize,
 }
 
-fn run_once(bin: &fetch_binary::Binary) -> StageTimes {
+fn run_once(bin: &fetch_binary::Binary) -> PipelineRun {
     let mut st = DetectionState::new(bin);
-
-    let t = Instant::now();
-    FdeSeeds.apply(&mut st);
-    let fde_us = t.elapsed().as_secs_f64() * 1e6;
-
-    let t = Instant::now();
-    SafeRecursion::default().apply(&mut st);
-    let rec_us = t.elapsed().as_secs_f64() * 1e6;
-
-    let t = Instant::now();
-    PointerScan.apply(&mut st);
-    let xref_us = t.elapsed().as_secs_f64() * 1e6;
-
-    // Repair removes (merges) starts, so the pre-repair count is the peak.
-    let peak_starts = st.starts().len();
-
-    let t = Instant::now();
-    CallFrameRepair::default().repair(&mut st);
-    let repair_us = t.elapsed().as_secs_f64() * 1e6;
-
-    StageTimes {
-        fde_us,
-        rec_us,
-        xref_us,
-        repair_us,
-        insts: st.rec().disasm.len(),
-        peak_starts: peak_starts.max(st.starts().len()),
-        detected: st.starts().len(),
+    Pipeline::fetch().apply(&mut st);
+    let insts = st.rec().disasm.len();
+    let detected = st.starts().len();
+    let peak_starts = st
+        .trace
+        .iter()
+        .map(|t| t.starts_after)
+        .max()
+        .unwrap_or(0)
+        .max(detected);
+    PipelineRun {
+        trace: std::mem::take(&mut st.trace),
+        insts,
+        detected,
+        peak_starts,
     }
+}
+
+fn total_us(run: &PipelineRun) -> f64 {
+    run.trace.iter().map(|t| t.wall_us()).sum()
 }
 
 fn main() {
@@ -104,7 +99,8 @@ fn main() {
         ("large", 9003, 900),
     ];
 
-    let mut json = String::from("{\n  \"schema\": \"fetch-perf-snapshot/v1\",\n  \"corpora\": [\n");
+    let mut large_best: Option<PipelineRun> = None;
+    let mut json = String::from("{\n  \"schema\": \"fetch-perf-snapshot/v2\",\n  \"corpora\": [\n");
     for (ci, (name, seed, n_funcs)) in corpora.iter().enumerate() {
         let mut cfg = SynthConfig::small(*seed);
         cfg.n_funcs = *n_funcs;
@@ -113,19 +109,19 @@ fn main() {
         cfg.rates.error_calls = 0.10;
         let case = synthesize(&cfg);
 
-        // Minimum over `reps` repetitions, per stage.
-        let mut best: Option<StageTimes> = None;
-        let mut total_best = f64::INFINITY;
+        // Minimum total over `reps` repetitions; the per-stage walls are
+        // the winning run's trace.
+        let mut best: Option<PipelineRun> = None;
         for _ in 0..reps {
-            let s = run_once(&case.binary);
-            let total = s.fde_us + s.rec_us + s.xref_us + s.repair_us;
-            if total < total_best {
-                total_best = total;
-                best = Some(s);
+            let run = run_once(&case.binary);
+            if best.as_ref().is_none_or(|b| total_us(&run) < total_us(b)) {
+                best = Some(run);
             }
         }
         let s = best.expect("reps >= 1");
-        let insts_per_sec = s.insts as f64 / ((s.rec_us + s.xref_us).max(1.0) / 1e6);
+        let stage = |ix: usize| s.trace[ix].wall_us();
+        let total = total_us(&s);
+        let insts_per_sec = s.insts as f64 / ((stage(1) + stage(2)).max(1.0) / 1e6);
 
         let _ = write!(
             json,
@@ -138,22 +134,58 @@ fn main() {
             s.insts,
             s.detected,
             s.peak_starts,
-            s.fde_us,
-            s.rec_us,
-            s.xref_us,
-            s.repair_us,
-            total_best,
+            stage(0),
+            stage(1),
+            stage(2),
+            stage(3),
+            total,
             insts_per_sec,
             if ci + 1 < corpora.len() { "," } else { "" },
         );
         println!(
             "{name:>6}: {n_funcs} funcs, {} insts, total {:.1} µs ({:.2} M insts/s)",
             s.insts,
-            total_best,
+            total,
             insts_per_sec / 1e6
         );
+        if *name == "large" {
+            large_best = Some(s);
+        }
     }
     json.push_str("  ],\n");
+
+    // Layer-breakdown group: the large corpus run's per-layer trace —
+    // what each layer of the optimal stack costs and contributes. This
+    // is the executor's own instrumentation, not bespoke staging code.
+    {
+        let s = large_best.as_ref().expect("large corpus ran");
+        json.push_str("  \"layer_breakdown\": [\n");
+        for (ti, t) in s.trace.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{ \"layer\": \"{}\", \"wall_us\": {:.1}, \"starts_added\": {}, \
+                 \"starts_removed\": {}, \"starts_after\": {}, \"decode_misses\": {}, \
+                 \"decode_hits\": {} }}{}",
+                t.name,
+                t.wall_us(),
+                t.added.len(),
+                t.removed.len(),
+                t.starts_after,
+                t.decode_misses,
+                t.decode_hits,
+                if ti + 1 < s.trace.len() { "," } else { "" },
+            );
+            println!(
+                "  layer {:>8}: {:>9.1} µs, +{} -{} starts, {} fresh decodes",
+                t.name,
+                t.wall_us(),
+                t.added.len(),
+                t.removed.len(),
+                t.decode_misses
+            );
+        }
+        json.push_str("  ],\n");
+    }
 
     // ELF-load group: the eager `read_elf` path (every section body
     // copied into its own Vec) vs the zero-copy `ElfImage` view path
@@ -161,7 +193,7 @@ fn main() {
     // identical results; the copies column is measured, not assumed.
     // Measured on the stripped large binary — the motivating workload
     // is a huge stripped image whose bodies dominate the file.
-    {
+    let large_image = {
         let mut cfg = SynthConfig::small(9003);
         cfg.n_funcs = 900;
         cfg.rates.split_cold = 0.08;
@@ -212,6 +244,79 @@ fn main() {
              view {view_us:.1} µs (0 B copied)",
             elf.len() / 1024,
             eager_stats.section_bytes_copied,
+        );
+        ElfImage::parse(elf).expect("own ELF parses")
+    };
+
+    // Serving-layer cache group: a cold `detect_image_cached` (miss:
+    // fingerprint + full pipeline) vs a warm hit (fingerprint + lookup)
+    // on the large stripped image, and the hit rate of a two-round
+    // corpus sweep through one shared cache. The ≥ 10× bar is the
+    // acceptance criterion of the serving layer — fail loudly, not
+    // quietly, if memoization ever stops paying.
+    {
+        let fetch = Fetch::new();
+        let mut cold_us = f64::INFINITY;
+        for _ in 0..reps {
+            let cache = AnalysisCache::new();
+            let mut engine = RecEngine::new();
+            let t = Instant::now();
+            let r = fetch.detect_image_cached(&large_image, &mut engine, &cache);
+            cold_us = cold_us.min(t.elapsed().as_secs_f64() * 1e6);
+            assert!(!r.is_empty());
+        }
+        let warm_cache = AnalysisCache::new();
+        let mut engine = RecEngine::new();
+        let cold_result = fetch.detect_image_cached(&large_image, &mut engine, &warm_cache);
+        let mut warm_us = f64::INFINITY;
+        for _ in 0..reps.max(3) {
+            let t = Instant::now();
+            let r = fetch.detect_image_cached(&large_image, &mut engine, &warm_cache);
+            warm_us = warm_us.min(t.elapsed().as_secs_f64() * 1e6);
+            assert!(
+                std::sync::Arc::ptr_eq(&cold_result, &r),
+                "hit returns the entry"
+            );
+        }
+        let speedup = cold_us / warm_us.max(1e-9);
+        assert!(
+            speedup >= 10.0,
+            "warm cache hit must be >= 10x faster than a cold run \
+             (cold {cold_us:.1} µs, warm {warm_us:.1} µs, {speedup:.1}x)"
+        );
+
+        // Corpus hit rate: every binary analyzed twice through one
+        // shared cache — round two is all hits, and the merged results
+        // of both rounds are identical.
+        let opts = BenchOpts::default();
+        let cases = dataset2(&opts);
+        let corpus_cache = AnalysisCache::new();
+        let driver = BatchDriver::new(jobs);
+        let sweep = |driver: &BatchDriver| {
+            driver.run_with_cache(&cases, &corpus_cache, |engine, cache, case| {
+                fetch.detect_cached(&case.binary, engine, cache)
+            })
+        };
+        let round1 = sweep(&driver);
+        let round2 = sweep(&driver);
+        assert_eq!(round1, round2, "cache hits must reproduce cold results");
+        let stats = corpus_cache.stats();
+        assert!(stats.hits >= cases.len() as u64, "round two must hit");
+        let _ = write!(
+            json,
+            "  \"cache\": {{\n    \"cold_wall_us\": {cold_us:.1},\n    \
+             \"warm_hit_wall_us\": {warm_us:.1},\n    \"hit_speedup\": {speedup:.1},\n    \
+             \"corpus_sweep\": {{ \"binaries\": {}, \"rounds\": 2, \"lookups\": {}, \
+             \"hits\": {}, \"hit_rate\": {:.3} }}\n  }},\n",
+            cases.len(),
+            stats.hits + stats.misses,
+            stats.hits,
+            stats.hit_rate(),
+        );
+        println!(
+            " cache: cold {cold_us:.1} µs, warm hit {warm_us:.1} µs ({speedup:.0}x); \
+             corpus sweep hit rate {:.1}%",
+            100.0 * stats.hit_rate()
         );
     }
 

@@ -6,13 +6,14 @@
 
 use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::FuncKind;
-use fetch_core::{run_stack_cached, FdeSeeds};
+use fetch_core::Pipeline;
 use fetch_metrics::evaluate;
 
 fn main() {
     let opts = opts_from_args();
     banner("Q1 — coverage of function starts using FDEs alone (§IV-B)");
     let cases = dataset2(&opts);
+    let fde_only = Pipeline::parse("FDE").expect("spec parses");
 
     struct Row {
         truth: usize,
@@ -23,7 +24,7 @@ fn main() {
         binary_missed: bool,
     }
     let rows = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
-        let r = run_stack_cached(&case.binary, &[&FdeSeeds], engine);
+        let r = fde_only.run_with_engine(&case.binary, engine);
         let found = r.start_set();
         let e = evaluate(&found, case);
         let truth = case.truth.starts();

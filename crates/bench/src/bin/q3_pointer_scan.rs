@@ -6,12 +6,13 @@
 
 use fetch_bench::{banner, compare_line, dataset2, opts_from_args, paper, BatchDriver};
 use fetch_binary::Reach;
-use fetch_core::{DetectionState, FdeSeeds, PointerScan, SafeRecursion, Strategy};
+use fetch_core::{Pipeline, Provenance};
 
 fn main() {
     let opts = opts_from_args();
     banner("Q3/§IV-E — function-pointer detection on top of FDE+Rec");
     let cases = dataset2(&opts);
+    let pipeline = Pipeline::parse("FDE+Rec+Xref").expect("spec parses");
 
     struct Row {
         added: usize,
@@ -21,14 +22,19 @@ fn main() {
         remaining_tailonly: usize,
     }
     let rows = BatchDriver::from_opts(&opts).run(&cases, |engine, case| {
-        let mut state = DetectionState::with_engine(&case.binary, std::mem::take(engine));
-        FdeSeeds.apply(&mut state);
-        SafeRecursion::default().apply(&mut state);
-        let accepted = PointerScan.scan(&mut state);
+        let r = pipeline.run_with_engine(&case.binary, engine);
+        // The accepted §IV-E pointers are the Xref layer's trace delta,
+        // filtered to pointer-scan provenance (the layer's fixpoint
+        // recursion also promotes freshly reachable call targets).
+        let accepted: Vec<u64> = r.trace[2]
+            .added
+            .iter()
+            .filter(|(_, p)| *p == Provenance::PointerScan)
+            .map(|(a, _)| *a)
+            .collect();
         let truth = case.truth.starts();
         let added_fp = accepted.iter().filter(|a| !truth.contains(a)).count();
-        let found = state.start_set();
-        *engine = state.into_result_with_engine().1;
+        let found = r.start_set();
         let remaining: Vec<u64> = truth.difference(&found).copied().collect();
         let mut unreach = 0;
         let mut tailonly = 0;

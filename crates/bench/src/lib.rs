@@ -12,7 +12,11 @@
 //! * `--scale <N>` — keep one of every `N` binaries (default 8);
 //! * `--funcs <F>` — function-count multiplier (default 0.35);
 //! * `--jobs <N>` — batch-driver workers (default: available
-//!   parallelism).
+//!   parallelism);
+//! * `--pipeline <spec>` — a custom strategy stack as a `+`-separated
+//!   layer list (`FDE+Rec+Xref`; see [`fetch_core::KNOWN_LAYERS`]),
+//!   consumed by the `pipeline_run` harness for ad-hoc ablations.
+//!   Unknown layer names are rejected with the full known-layer list.
 //!
 //! **Determinism guarantee:** every harness output is byte-identical for
 //! every `--jobs` value. The [`BatchDriver`] shards deterministically and
@@ -43,6 +47,11 @@ pub struct BenchOpts {
     /// Batch-driver worker count (`--jobs`; defaults to the machine's
     /// available parallelism).
     pub jobs: usize,
+    /// A custom strategy stack (`--pipeline FDE+Rec+Xref`), parsed
+    /// through [`fetch_core::Pipeline::parse`]. `None` when the harness
+    /// should run its default stacks; the `pipeline_run` bin consumes
+    /// it for ad-hoc ablations.
+    pub pipeline: Option<fetch_core::Pipeline>,
 }
 
 impl Default for BenchOpts {
@@ -53,6 +62,7 @@ impl Default for BenchOpts {
                 func_scale: 0.35,
             },
             jobs: default_jobs(),
+            pipeline: None,
         }
     }
 }
@@ -114,6 +124,16 @@ pub fn opts_from(args: &[String]) -> Result<BenchOpts, String> {
             "--jobs" => {
                 i += 1;
                 opts.jobs = positive("--jobs", args.get(i), "a positive integer")?;
+            }
+            "--pipeline" => {
+                i += 1;
+                let spec = args.get(i).ok_or_else(|| {
+                    "--pipeline takes a +-separated layer list (e.g. FDE+Rec+Xref), got nothing"
+                        .to_string()
+                })?;
+                let pipeline =
+                    fetch_core::Pipeline::parse(spec).map_err(|e| format!("--pipeline: {e}"))?;
+                opts.pipeline = Some(pipeline);
             }
             _ => {}
         }
@@ -344,5 +364,31 @@ mod tests {
         // parser untouched.
         let opts = parse(&["--panel", "b", "--jobs", "2"]).unwrap();
         assert_eq!(opts.jobs, 2);
+    }
+
+    #[test]
+    fn pipeline_flag_parses_layer_lists() {
+        let opts = parse(&["--pipeline", "FDE+Rec+Xref"]).unwrap();
+        let p = opts.pipeline.expect("pipeline set");
+        assert_eq!(p.id(), "FDE+Rec+Xref");
+        // Case-insensitive, like the underlying parser.
+        let opts = parse(&["--pipeline", "fde+tcallfix"]).unwrap();
+        assert_eq!(opts.pipeline.unwrap().id(), "FDE+TcallFix");
+        assert!(parse(&[]).unwrap().pipeline.is_none());
+    }
+
+    #[test]
+    fn pipeline_flag_rejects_unknown_layers_helpfully() {
+        let err = parse(&["--pipeline", "FDE+Bogus"]).expect_err("unknown layer");
+        assert!(err.contains("--pipeline"), "{err}");
+        assert!(err.contains("\"Bogus\""), "{err}");
+        // The error teaches the vocabulary: every known token is listed.
+        for (token, _) in fetch_core::KNOWN_LAYERS {
+            assert!(err.contains(token), "error must list {token}: {err}");
+        }
+        let err = parse(&["--pipeline", "+"]).expect_err("empty list");
+        assert!(err.contains("empty pipeline"), "{err}");
+        let err = parse(&["--pipeline"]).expect_err("missing value");
+        assert!(err.contains("got nothing"), "{err}");
     }
 }

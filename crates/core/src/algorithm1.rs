@@ -25,7 +25,9 @@ use fetch_analyses::{validate_calling_convention_cached, CallConvVerdict};
 use fetch_disasm::{ErrorCallPolicy, XrefKind};
 use std::collections::BTreeSet;
 
-/// What the repair pass did.
+/// What the repair pass did. Also deposited on the state
+/// ([`DetectionState::take_repair_report`]) so pipeline drivers can
+/// retrieve it after running a whole declarative stack.
 #[derive(Debug, Clone, Default)]
 pub struct RepairReport {
     /// Non-contiguous parts merged into their functions:
@@ -58,8 +60,16 @@ pub struct CallFrameRepair {
 }
 
 impl CallFrameRepair {
-    /// Runs the repair, returning a detailed report.
+    /// Runs the repair, returning a detailed report (also deposited on
+    /// the state for pipeline drivers — see
+    /// [`DetectionState::take_repair_report`]).
     pub fn repair(&self, state: &mut DetectionState<'_>) -> RepairReport {
+        let report = self.repair_inner(state);
+        state.last_repair = Some(report.clone());
+        report
+    }
+
+    fn repair_inner(&self, state: &mut DetectionState<'_>) -> RepairReport {
         let mut report = RepairReport::default();
         if state.rec.disasm.is_empty() {
             state.run_recursion(true, ErrorCallPolicy::SliceZero);

@@ -1,0 +1,287 @@
+//! The serving-layer result cache: memoized [`DetectionResult`]s keyed
+//! by `(binary content fingerprint, pipeline id)`.
+//!
+//! A production detection service answers the same query — the same
+//! binary under the same pipeline — over and over. [`AnalysisCache`]
+//! makes the repeat a lookup: results are stored as
+//! `Arc<DetectionResult>` behind an internal mutex, so one cache is
+//! shared by every worker of a batch sweep ([`BatchDriver::run_with_cache`]
+//! in `fetch-bench`) and every cached entry is handed out without
+//! copying. Entry points: [`crate::Fetch::detect_cached`],
+//! [`crate::Fetch::detect_image_cached`], and
+//! `fetch_tools::run_tool_on_image_cached`.
+//!
+//! Keys are 64-bit FNV-1a content fingerprints ([`content_fingerprint`]
+//! over a materialized [`Binary`], [`image_fingerprint`] over a raw ELF
+//! image — domain-separated so the two keyspaces cannot alias each
+//! other) plus the pipeline's stable [`crate::Pipeline::id`]. The
+//! fingerprint covers everything detection reads — entry point, section
+//! kinds/addresses/bytes, symbols — and nothing it does not (display
+//! name, build metadata), so renaming a binary still hits.
+
+use crate::state::DetectionResult;
+use fetch_binary::Binary;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// Domain tag mixed into [`content_fingerprint`] keys.
+const DOMAIN_CONTENT: u64 = 0x636f_6e74_656e_7431; // "content1"
+/// Domain tag mixed into [`image_fingerprint`] keys.
+const DOMAIN_IMAGE: u64 = 0x696d_6167_6562_7566; // "imagebuf"
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(domain: u64) -> Fnv {
+        Fnv(FNV_OFFSET ^ domain)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        // Length first, so concatenated fields cannot alias.
+        self.u64(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.0 ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        for &b in chunks.remainder() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// 64-bit content fingerprint of a materialized [`Binary`]: entry point,
+/// sections (kind, address, bytes), and symbols (name, address, size) —
+/// exactly the inputs detection reads. The display name and build
+/// metadata are excluded on purpose: they never influence a
+/// [`DetectionResult`].
+pub fn content_fingerprint(binary: &Binary) -> u64 {
+    let mut h = Fnv::new(DOMAIN_CONTENT);
+    h.u64(binary.entry);
+    h.u64(binary.sections.len() as u64);
+    for s in &binary.sections {
+        h.u64(s.kind as u64);
+        h.u64(s.addr);
+        h.bytes(&s.bytes);
+    }
+    h.u64(binary.symbols.len() as u64);
+    for sym in &binary.symbols {
+        h.bytes(sym.name.as_bytes());
+        h.u64(sym.addr);
+        h.u64(sym.size);
+    }
+    h.0
+}
+
+/// 64-bit fingerprint of a raw ELF image buffer — one linear pass, no
+/// section walk, so image-path lookups ([`crate::Fetch::detect_image_cached`])
+/// skip materialization entirely on a hit. Domain-separated from
+/// [`content_fingerprint`]; the two key different entries for the same
+/// underlying binary (a missed dedup opportunity, never a wrong answer).
+pub fn image_fingerprint(image: &fetch_binary::ElfImage) -> u64 {
+    let mut h = Fnv::new(DOMAIN_IMAGE);
+    h.bytes(image.view().image());
+    h.0
+}
+
+/// Lookup/insert counters of an [`AnalysisCache`] (monotone snapshots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Resident entries at snapshot time.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, in `[0, 1]` (0 when nothing was looked
+    /// up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The fingerprint-keyed result cache: `(binary fingerprint, pipeline
+/// id) → Arc<DetectionResult>`.
+///
+/// Thread-safe behind `&self` (internal mutex, atomic counters), so one
+/// instance serves every worker of a parallel sweep. Detection is
+/// deterministic — two workers racing to fill the same key compute
+/// identical results, the first insert wins, and both receive the
+/// winning `Arc` — so a warm hit is observationally identical to a cold
+/// run (a property test in `fetch-core` enforces it).
+///
+/// # Examples
+///
+/// ```
+/// use fetch_core::{content_fingerprint, AnalysisCache, Pipeline};
+/// use fetch_synth::{synthesize, SynthConfig};
+///
+/// let case = synthesize(&SynthConfig::small(3));
+/// let cache = AnalysisCache::new();
+/// let pipeline = Pipeline::fetch();
+/// let fp = content_fingerprint(&case.binary);
+/// let cold = cache.get_or_compute(fp, &pipeline.id(), || pipeline.run(&case.binary));
+/// let warm = cache.get_or_compute(fp, &pipeline.id(), || unreachable!("warm hit"));
+/// assert!(std::sync::Arc::ptr_eq(&cold, &warm));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    /// Two-level map: fingerprint, then pipeline id. The split keeps
+    /// the hot serving path allocation-free — a lookup borrows the
+    /// caller's `&str` instead of materializing an owned tuple key.
+    map: Mutex<HashMap<u64, HashMap<String, Arc<DetectionResult>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// Looks up `(fingerprint, pipeline_id)`, counting the outcome.
+    /// Allocation-free on both hit and miss.
+    pub fn lookup(&self, fingerprint: u64, pipeline_id: &str) -> Option<Arc<DetectionResult>> {
+        let hit = self
+            .lock()
+            .get(&fingerprint)
+            .and_then(|by_pipeline| by_pipeline.get(pipeline_id))
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Returns the cached result for `(fingerprint, pipeline_id)`, or
+    /// runs `compute` and caches its output. `compute` runs outside the
+    /// lock (detection is slow; the map must stay available to other
+    /// workers), so two racers may both compute — determinism makes the
+    /// results identical, the first insert wins, and every caller gets
+    /// the winning `Arc`.
+    pub fn get_or_compute(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+        compute: impl FnOnce() -> DetectionResult,
+    ) -> Arc<DetectionResult> {
+        if let Some(hit) = self.lookup(fingerprint, pipeline_id) {
+            return hit;
+        }
+        let computed = Arc::new(compute());
+        Arc::clone(
+            self.lock()
+                .entry(fingerprint)
+                .or_default()
+                .entry(pipeline_id.to_string())
+                .or_insert(computed),
+        )
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().values().map(HashMap::len).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters keep running).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// A snapshot of the lookup counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Entries are only ever inserted whole, so the map is consistent
+    /// even if a panicking worker poisoned the mutex — recover instead
+    /// of propagating (the batch driver catches worker panics and keeps
+    /// the remaining shards running).
+    fn lock(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<u64, HashMap<String, Arc<DetectionResult>>>> {
+        self.map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pipeline;
+    use fetch_binary::{write_elf, ElfImage};
+    use fetch_synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn fingerprint_ignores_name_but_not_content() {
+        let case = synthesize(&SynthConfig::small(21));
+        let fp = content_fingerprint(&case.binary);
+        let mut renamed = case.binary.clone();
+        renamed.name = "other-name".into();
+        assert_eq!(content_fingerprint(&renamed), fp, "name must not key");
+        let stripped = case.binary.stripped();
+        assert_ne!(
+            content_fingerprint(&stripped),
+            fp,
+            "symbol removal changes detection inputs, so it must re-key"
+        );
+    }
+
+    #[test]
+    fn image_and_content_domains_never_alias() {
+        let case = synthesize(&SynthConfig::small(22));
+        let image = ElfImage::parse(write_elf(&case.binary)).unwrap();
+        assert_ne!(
+            image_fingerprint(&image),
+            content_fingerprint(&image.to_binary())
+        );
+    }
+
+    #[test]
+    fn cache_is_keyed_by_pipeline_id_too() {
+        let case = synthesize(&SynthConfig::small(23));
+        let cache = AnalysisCache::new();
+        let fp = content_fingerprint(&case.binary);
+        let fde = Pipeline::parse("FDE").unwrap();
+        let fde_rec = Pipeline::parse("FDE+Rec").unwrap();
+        let a = cache.get_or_compute(fp, &fde.id(), || fde.run(&case.binary));
+        let b = cache.get_or_compute(fp, &fde_rec.id(), || fde_rec.run(&case.binary));
+        assert_ne!(a.layers, b.layers);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2, "counters survive clear");
+    }
+}

@@ -4,12 +4,13 @@
 //! repair` (Figure 5c's best stack, evaluated against eight tools in
 //! Table III).
 
-use crate::algorithm1::{CallFrameRepair, RepairReport};
-use crate::pointer_scan::PointerScan;
+use crate::algorithm1::RepairReport;
+use crate::cache::{content_fingerprint, image_fingerprint, AnalysisCache};
+use crate::pipeline::{LayerSpec, Pipeline};
 use crate::state::{DetectionResult, DetectionState};
-use crate::strategy::{FdeSeeds, SafeRecursion, Strategy};
 use fetch_binary::{Binary, ElfImage};
-use fetch_disasm::RecEngine;
+use fetch_disasm::{ErrorCallPolicy, RecEngine};
+use std::sync::Arc;
 
 /// The FETCH pipeline (Function dETection with exCeption Handling).
 ///
@@ -41,9 +42,38 @@ impl Fetch {
         Fetch::default()
     }
 
+    /// The declarative [`Pipeline`] this configuration runs —
+    /// [`Pipeline::fetch`] with the ablation knobs applied. Every
+    /// `detect*` entry point executes exactly this pipeline.
+    pub fn pipeline(&self) -> Pipeline {
+        let mut specs = vec![
+            LayerSpec::FdeSeeds,
+            LayerSpec::SafeRecursion(ErrorCallPolicy::SliceZero),
+        ];
+        if !self.skip_pointer_scan {
+            specs.push(LayerSpec::PointerScan);
+        }
+        if !self.skip_repair {
+            specs.push(LayerSpec::CallFrameRepair);
+        }
+        Pipeline::new(specs)
+    }
+
+    /// [`Pipeline::id`] of [`Fetch::pipeline`], precomputed per knob
+    /// combination so the cached entry points' warm-hit path allocates
+    /// nothing (pinned to `pipeline().id()` by a unit test).
+    fn pipeline_id(&self) -> &'static str {
+        match (self.skip_pointer_scan, self.skip_repair) {
+            (false, false) => "FDE+Rec+Xref+TcallFix",
+            (true, false) => "FDE+Rec+TcallFix",
+            (false, true) => "FDE+Rec+Xref",
+            (true, true) => "FDE+Rec",
+        }
+    }
+
     /// Runs detection on `binary`.
     pub fn detect(&self, binary: &Binary) -> DetectionResult {
-        self.detect_with_report(binary).0
+        self.detect_with_engine(binary, &mut RecEngine::new())
     }
 
     /// Runs detection through a caller-owned [`RecEngine`], reusing its
@@ -51,11 +81,7 @@ impl Fetch {
     /// [`DetectionState::with_engine`]). Result-identical to
     /// [`Fetch::detect`].
     pub fn detect_with_engine(&self, binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
-        let state = DetectionState::with_engine(binary, std::mem::take(engine));
-        let (state, _) = self.apply_pipeline(state);
-        let (result, used) = state.into_result_with_engine();
-        *engine = used;
-        result
+        self.pipeline().run_with_engine(binary, engine)
     }
 
     /// Runs detection directly on a parsed ELF image through a
@@ -66,36 +92,63 @@ impl Fetch {
     /// equivalent owned [`Binary`]. Repeated runs over one image should
     /// call [`ElfImage::to_binary`] once and use
     /// [`Fetch::detect_with_engine`] to avoid re-materializing the
-    /// section and symbol vectors per call.
+    /// section and symbol vectors per call — or go through
+    /// [`Fetch::detect_image_cached`] and pay for the analysis once.
     pub fn detect_image(&self, image: &ElfImage, engine: &mut RecEngine) -> DetectionResult {
         self.detect_with_engine(&image.to_binary(), engine)
     }
 
-    /// Runs detection, also returning the call-frame repair report.
-    pub fn detect_with_report(&self, binary: &Binary) -> (DetectionResult, RepairReport) {
-        let state = DetectionState::new(binary);
-        let (state, report) = self.apply_pipeline(state);
-        (state.into_result(), report)
+    /// [`Fetch::detect_image`] through a serving-layer [`AnalysisCache`]:
+    /// an image already analyzed under this configuration's pipeline id
+    /// is answered by a fingerprint hash and a map lookup — the image is
+    /// not even materialized into a [`Binary`]. Cache hits are
+    /// observationally identical to cold runs (property-tested).
+    pub fn detect_image_cached(
+        &self,
+        image: &ElfImage,
+        engine: &mut RecEngine,
+        cache: &AnalysisCache,
+    ) -> Arc<DetectionResult> {
+        cache.get_or_compute(image_fingerprint(image), self.pipeline_id(), || {
+            self.pipeline().run_with_engine(&image.to_binary(), engine)
+        })
     }
 
-    fn apply_pipeline<'b>(
+    /// [`Fetch::detect_with_engine`] through a serving-layer
+    /// [`AnalysisCache`], keyed by the binary's content fingerprint
+    /// (display name excluded — renamed binaries still hit).
+    pub fn detect_cached(
         &self,
-        mut state: DetectionState<'b>,
-    ) -> (DetectionState<'b>, RepairReport) {
-        let mut report = RepairReport::default();
-        FdeSeeds.apply(&mut state);
-        state.layers.push("FDE".into());
-        SafeRecursion::default().apply(&mut state);
-        state.layers.push("Rec".into());
-        if !self.skip_pointer_scan {
-            PointerScan.apply(&mut state);
-            state.layers.push("Xref".into());
-        }
-        if !self.skip_repair {
-            report = CallFrameRepair::default().repair(&mut state);
-            state.layers.push("TcallFix".into());
-        }
-        (state, report)
+        binary: &Binary,
+        engine: &mut RecEngine,
+        cache: &AnalysisCache,
+    ) -> Arc<DetectionResult> {
+        cache.get_or_compute(content_fingerprint(binary), self.pipeline_id(), || {
+            self.pipeline().run_with_engine(binary, engine)
+        })
+    }
+
+    /// Runs detection, also returning the call-frame repair report.
+    pub fn detect_with_report(&self, binary: &Binary) -> (DetectionResult, RepairReport) {
+        self.detect_with_report_engine(binary, &mut RecEngine::new())
+    }
+
+    /// [`Fetch::detect_with_report`] through a caller-owned
+    /// [`RecEngine`], so asking for the repair report no longer forces a
+    /// cold decode cache. The repair layer deposits its report on the
+    /// state as it executes; no duplicate sequencing path exists for the
+    /// report case.
+    pub fn detect_with_report_engine(
+        &self,
+        binary: &Binary,
+        engine: &mut RecEngine,
+    ) -> (DetectionResult, RepairReport) {
+        let mut state = DetectionState::with_engine(binary, std::mem::take(engine));
+        self.pipeline().apply(&mut state);
+        let report = state.take_repair_report().unwrap_or_default();
+        let (result, used) = state.into_result_with_engine();
+        *engine = used;
+        (result, report)
     }
 }
 
@@ -104,6 +157,21 @@ mod tests {
     use super::*;
     use fetch_binary::Reach;
     use fetch_synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn static_pipeline_ids_match_the_declarative_ones() {
+        // The warm-hit fast path uses precomputed ids; they must never
+        // drift from what the pipeline actually serializes to.
+        for skip_pointer_scan in [false, true] {
+            for skip_repair in [false, true] {
+                let f = Fetch {
+                    skip_pointer_scan,
+                    skip_repair,
+                };
+                assert_eq!(f.pipeline_id(), f.pipeline().id());
+            }
+        }
+    }
 
     #[test]
     fn fetch_end_to_end_shape() {

@@ -30,7 +30,7 @@ pub fn code_gaps(state: &DetectionState<'_>) -> Vec<(u64, u64)> {
 }
 
 /// Which tool's flavour of a heuristic to model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ToolStyle {
     /// GHIDRA's variant (most conservative matching).
     Ghidra,
@@ -402,6 +402,114 @@ impl Strategy for AlignmentSplit {
         }
         for a in found {
             state.add_start(a, Provenance::Alignment);
+        }
+    }
+}
+
+/// BAP's ByteWeight-style matching: fires on raw byte patterns without
+/// validation — the worst false-positive count in Table III — then runs
+/// recursion treating every error call as returning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ByteWeight;
+
+impl Strategy for ByteWeight {
+    fn name(&self) -> &'static str {
+        "ByteWeight"
+    }
+
+    fn apply(&self, state: &mut DetectionState<'_>) {
+        let text = state.binary.text();
+        let bytes = &text.bytes;
+        let mut found = Vec::new();
+        for off in 0..bytes.len().saturating_sub(4) {
+            let w = &bytes[off..];
+            // "Learned" patterns: frame setups, endbr64, saves.
+            let hit = w.starts_with(&[0x55, 0x48, 0x89, 0xe5])
+                || w.starts_with(&[0xf3, 0x0f, 0x1e, 0xfa])
+                || w.starts_with(&[0x41, 0x57])
+                || w.starts_with(&[0x41, 0x56])
+                || w.starts_with(&[0x53, 0x48])
+                || w.starts_with(&[0x55, 0x53]);
+            if hit {
+                found.push(text.addr + off as u64);
+            }
+        }
+        for a in found {
+            state.add_start(a, Provenance::Prologue);
+        }
+        state.run_recursion(true, ErrorCallPolicy::AlwaysReturn);
+    }
+}
+
+/// NUCLEUS's compiler-agnostic analysis: linear sweep, then function
+/// starts are direct call targets plus the first instruction of every
+/// inter-procedural group (approximated as post-padding group heads).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NucleusScan;
+
+impl Strategy for NucleusScan {
+    fn name(&self) -> &'static str {
+        "Nucleus"
+    }
+
+    fn apply(&self, state: &mut DetectionState<'_>) {
+        let text = state.binary.text();
+        let insts = fetch_disasm::sweep_tolerant(&text.bytes, text.addr);
+        let mut after_gap = true;
+        for inst in &insts {
+            if inst.is_padding() {
+                after_gap = true;
+                continue;
+            }
+            if after_gap {
+                state.add_start(inst.addr, Provenance::LinearScan);
+                after_gap = false;
+            }
+            if let fetch_x64::Flow::Call(t) = inst.flow() {
+                if state.binary.is_code(t) {
+                    state.add_start(t, Provenance::CallTarget);
+                }
+            }
+        }
+    }
+}
+
+/// IDA PRO's curated, *validated* prologue database: matches must decode
+/// cleanly and satisfy the calling convention before recursion runs from
+/// them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlirtSignatures;
+
+impl Strategy for FlirtSignatures {
+    fn name(&self) -> &'static str {
+        "Flirt"
+    }
+
+    fn apply(&self, state: &mut DetectionState<'_>) {
+        let text = state.binary.text();
+        let mut found = Vec::new();
+        for (lo, hi) in code_gaps(state) {
+            let len = (hi - lo) as usize;
+            let bytes = text.slice_from(lo).expect("gap");
+            for off in 0..len.saturating_sub(4) {
+                let w = &bytes[off..len];
+                let addr = lo + off as u64;
+                let hit = w.starts_with(&[0x55, 0x48, 0x89, 0xe5])
+                    || w.starts_with(&[0xf3, 0x0f, 0x1e, 0xfa]);
+                if hit
+                    && fetch_analyses::validate_calling_convention(state.binary, addr, 48)
+                        .is_valid()
+                {
+                    found.push(addr);
+                }
+            }
+        }
+        let mut added = false;
+        for a in found {
+            added |= state.add_start(a, Provenance::Prologue);
+        }
+        if added {
+            state.run_recursion(true, ErrorCallPolicy::SliceZero);
         }
     }
 }

@@ -53,38 +53,92 @@
 //! one decode cache. A second property test proves sharing an engine
 //! across different stacks changes no result.
 //!
+//! ## Pipelines: spec → executor → trace → cache
+//!
+//! Detectors are *data*, not code paths. The pipeline subsystem has four
+//! stages:
+//!
+//! 1. **Spec** — a [`Pipeline`] is an ordered `Vec<`[`LayerSpec`]`>`
+//!    with a stable textual identity ([`Pipeline::id`], e.g.
+//!    `"FDE+Rec+Xref+TcallFix"`) that round-trips through
+//!    [`Pipeline::parse`]. [`Pipeline::fetch`] is the paper's optimal
+//!    stack; [`Pipeline::for_tool`] holds all nine Table III tool
+//!    stacks as declarative data.
+//! 2. **Executor** — [`Pipeline::apply`] instantiates each spec's
+//!    strategy and runs it through the one traced step,
+//!    [`DetectionState::apply_layer`]. Every entry point (`Fetch`
+//!    detectors, tool models, ad-hoc [`run_stack`] slices) funnels
+//!    through that step, so layer names in
+//!    [`DetectionResult::layers`] can never drift from what ran.
+//! 3. **Trace** — the executor records a [`LayerTrace`] per layer (wall
+//!    time, exact start delta with provenance, decode-cache work) into
+//!    [`DetectionResult::trace`]. Traces replay:
+//!    [`DetectionResult::starts_after_layer`] reconstructs every prefix
+//!    stack's result from one run — the ablation harnesses consume that
+//!    instead of re-running shared prefixes.
+//! 4. **Cache** — [`AnalysisCache`] memoizes `Arc<DetectionResult>`
+//!    under `(binary content fingerprint, pipeline id)`; re-analyzing a
+//!    seen binary under a seen pipeline is a lookup
+//!    ([`Fetch::detect_image_cached`], [`Fetch::detect_cached`]).
+//!
 //! # Examples
 //!
+//! Build and run a custom pipeline, inspect its trace, then serve a
+//! repeat query from the cache:
+//!
 //! ```
-//! use fetch_core::{run_stack, FdeSeeds, SafeRecursion, Fetch};
+//! use fetch_core::{content_fingerprint, AnalysisCache, LayerSpec, Pipeline};
+//! use fetch_disasm::ErrorCallPolicy;
 //! use fetch_synth::{synthesize, SynthConfig};
 //!
 //! let case = synthesize(&SynthConfig::small(5));
-//! // Study-style: a hand-assembled stack...
-//! let fde_rec = run_stack(&case.binary, &[&FdeSeeds, &SafeRecursion::default()]);
-//! // ...or the full FETCH pipeline.
-//! let full = Fetch::new().detect(&case.binary);
-//! assert!(full.len() <= fde_rec.len() + 16);
+//!
+//! // A custom stack, from specs or from its textual id.
+//! let pipeline = Pipeline::new(vec![
+//!     LayerSpec::FdeSeeds,
+//!     LayerSpec::SafeRecursion(ErrorCallPolicy::SliceZero),
+//!     LayerSpec::PointerScan,
+//! ]);
+//! assert_eq!(pipeline, Pipeline::parse("FDE+Rec+Xref").unwrap());
+//!
+//! let result = pipeline.run(&case.binary);
+//! assert_eq!(result.layers, ["FDE", "Rec", "Xref"]);
+//! // The trace knows what each layer contributed...
+//! assert!(result.trace[0].added.len() > 10, "FDE seeded starts");
+//! // ...and replays: the prefix FDE+Rec falls out of the same run.
+//! let fde_rec = result.starts_after_layer(2);
+//! assert!(fde_rec.len() <= result.starts.len());
+//!
+//! // Serve the same query again: one fingerprint, one lookup.
+//! let cache = AnalysisCache::new();
+//! let fp = content_fingerprint(&case.binary);
+//! let cold = cache.get_or_compute(fp, &pipeline.id(), || pipeline.run(&case.binary));
+//! let warm = cache.get_or_compute(fp, &pipeline.id(), || unreachable!());
+//! assert!(std::sync::Arc::ptr_eq(&cold, &warm));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod algorithm1;
+mod cache;
 mod fetch;
 mod heuristics;
+mod pipeline;
 mod pointer_scan;
 mod state;
 mod strategy;
 
 pub use algorithm1::{CallFrameRepair, RepairReport};
+pub use cache::{content_fingerprint, image_fingerprint, AnalysisCache, CacheStats};
 pub use fetch::Fetch;
 pub use heuristics::{
-    code_gaps, AlignmentSplit, ControlFlowRepair, FunctionMerge, LinearScanStarts, PrologueMatch,
-    TailCallHeuristic, ThunkHeuristic, ToolStyle,
+    code_gaps, AlignmentSplit, ByteWeight, ControlFlowRepair, FlirtSignatures, FunctionMerge,
+    LinearScanStarts, NucleusScan, PrologueMatch, TailCallHeuristic, ThunkHeuristic, ToolStyle,
 };
+pub use pipeline::{LayerSpec, Pipeline, PipelineParseError, Tool, KNOWN_LAYERS};
 pub use pointer_scan::{collect_data_pointers, validate_candidate, PointerScan, ValidationError};
-pub use state::{DetectionResult, DetectionState, FrameTable, Provenance};
+pub use state::{DetectionResult, DetectionState, FrameTable, LayerTrace, Provenance};
 pub use strategy::{
     run_stack, run_stack_cached, EntrySeed, FdeSeeds, SafeRecursion, Strategy, SymbolSeeds,
 };

@@ -1,0 +1,561 @@
+//! The declarative pipeline subsystem: Figure 5's "detector = stack of
+//! strategy layers" view as first-class, serializable data.
+//!
+//! A [`Pipeline`] is an ordered list of [`LayerSpec`]s — pure data with a
+//! stable textual [`Pipeline::id`] that round-trips through
+//! [`Pipeline::parse`]. One executor ([`Pipeline::apply`], built on
+//! [`DetectionState::apply_layer`]) turns specs into strategy
+//! applications, recording a [`crate::LayerTrace`] per layer, so every
+//! caller — the FETCH detector, the nine Table III tool models, the
+//! bench harnesses, ad-hoc `--pipeline` experiments — shares one
+//! sequencing/bookkeeping/instrumentation path instead of hand-rolling
+//! its own.
+//!
+//! The nine tool stacks ([`Pipeline::for_tool`]) are the paper's §VI
+//! decomposition as data; the serving layer ([`crate::AnalysisCache`])
+//! keys memoized results by `(binary fingerprint, pipeline id)`.
+
+use crate::algorithm1::CallFrameRepair;
+use crate::heuristics::{
+    AlignmentSplit, ByteWeight, ControlFlowRepair, FlirtSignatures, FunctionMerge,
+    LinearScanStarts, NucleusScan, PrologueMatch, TailCallHeuristic, ThunkHeuristic, ToolStyle,
+};
+use crate::pointer_scan::PointerScan;
+use crate::state::{DetectionResult, DetectionState};
+use crate::strategy::{EntrySeed, FdeSeeds, SafeRecursion, Strategy, SymbolSeeds};
+use fetch_binary::Binary;
+use fetch_disasm::{ErrorCallPolicy, RecEngine};
+use std::fmt;
+use std::str::FromStr;
+
+/// The nine detectors of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tool {
+    /// DYNINST 10.x model.
+    Dyninst,
+    /// BAP model (ByteWeight-style matching).
+    Bap,
+    /// RADARE2 model.
+    Radare2,
+    /// NUCLEUS model (compiler-agnostic, linear-sweep based).
+    Nucleus,
+    /// IDA PRO model.
+    IdaPro,
+    /// BINARY NINJA model.
+    BinaryNinja,
+    /// GHIDRA model (uses call frames).
+    Ghidra,
+    /// ANGR model (uses call frames).
+    Angr,
+    /// FETCH — the paper's optimal strategy stack.
+    Fetch,
+}
+
+impl Tool {
+    /// All tools in the paper's column order.
+    pub const ALL: [Tool; 9] = [
+        Tool::Dyninst,
+        Tool::Bap,
+        Tool::Radare2,
+        Tool::Nucleus,
+        Tool::IdaPro,
+        Tool::BinaryNinja,
+        Tool::Ghidra,
+        Tool::Angr,
+        Tool::Fetch,
+    ];
+
+    /// Display name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Dyninst => "DYNINST",
+            Tool::Bap => "BAP",
+            Tool::Radare2 => "RADARE2",
+            Tool::Nucleus => "NUCLEUS",
+            Tool::IdaPro => "IDA PRO",
+            Tool::BinaryNinja => "BINARY NINJA",
+            Tool::Ghidra => "GHIDRA",
+            Tool::Angr => "ANGR",
+            Tool::Fetch => "FETCH",
+        }
+    }
+
+    /// Whether the tool consumes `.eh_frame` call frames.
+    pub fn uses_call_frames(self) -> bool {
+        matches!(self, Tool::Ghidra | Tool::Angr | Tool::Fetch)
+    }
+}
+
+impl fmt::Display for Tool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One serializable strategy-layer specification. The data half of the
+/// [`crate::Strategy`] trait: a spec names a layer and its configuration,
+/// [`LayerSpec::apply`] instantiates and runs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LayerSpec {
+    /// `FDE`: seed starts from every FDE `PC Begin` (§IV-B).
+    FdeSeeds,
+    /// `Sym`: seed starts from surviving symbols.
+    SymbolSeeds,
+    /// `Entry`: seed the ELF entry point.
+    EntrySeed,
+    /// `Rec`: safe recursive disassembly with the given error-call
+    /// policy (the paper's engine uses [`ErrorCallPolicy::SliceZero`]).
+    SafeRecursion(ErrorCallPolicy),
+    /// `Xref`: validated function-pointer detection (§IV-E).
+    PointerScan,
+    /// `TcallFix`: Algorithm 1 call-frame repair (§V-B), paper knobs.
+    CallFrameRepair,
+    /// `Fsig`: prologue-signature matching in the given tool's style.
+    PrologueMatch(ToolStyle),
+    /// `Tcall`: heuristic tail-call detection in the given tool's style.
+    TailCallHeuristic(ToolStyle),
+    /// `Scan`: ANGR's linear gap scan.
+    LinearScanStarts,
+    /// `CFR`: GHIDRA's control-flow repairing.
+    ControlFlowRepair,
+    /// `Fmerg`: ANGR's function merging.
+    FunctionMerge,
+    /// `Thunk`: GHIDRA's thunk-target promotion.
+    ThunkHeuristic,
+    /// `Align`: ANGR's post-padding alignment splitting.
+    AlignmentSplit,
+    /// `ByteWeight`: BAP's unvalidated byte-pattern matching.
+    ByteWeight,
+    /// `Nucleus`: NUCLEUS's linear-sweep + call-target analysis.
+    NucleusScan,
+    /// `Flirt`: IDA PRO's validated prologue database.
+    FlirtSignatures,
+}
+
+/// Every `(token, spec)` pair [`Pipeline::parse`] accepts;
+/// [`LayerSpec::id`] emits exactly these tokens, so `parse ∘ id` is the
+/// identity over specs and `id ∘ parse` over well-formed strings.
+pub const KNOWN_LAYERS: &[(&str, LayerSpec)] = &[
+    ("FDE", LayerSpec::FdeSeeds),
+    ("Sym", LayerSpec::SymbolSeeds),
+    ("Entry", LayerSpec::EntrySeed),
+    ("Rec", LayerSpec::SafeRecursion(ErrorCallPolicy::SliceZero)),
+    (
+        "RecAR",
+        LayerSpec::SafeRecursion(ErrorCallPolicy::AlwaysReturn),
+    ),
+    (
+        "RecNR",
+        LayerSpec::SafeRecursion(ErrorCallPolicy::AlwaysNoReturn),
+    ),
+    ("Xref", LayerSpec::PointerScan),
+    ("TcallFix", LayerSpec::CallFrameRepair),
+    ("Fsig.ghidra", LayerSpec::PrologueMatch(ToolStyle::Ghidra)),
+    ("Fsig.angr", LayerSpec::PrologueMatch(ToolStyle::Angr)),
+    ("Fsig.radare", LayerSpec::PrologueMatch(ToolStyle::Radare)),
+    (
+        "Tcall.ghidra",
+        LayerSpec::TailCallHeuristic(ToolStyle::Ghidra),
+    ),
+    ("Tcall.angr", LayerSpec::TailCallHeuristic(ToolStyle::Angr)),
+    (
+        "Tcall.radare",
+        LayerSpec::TailCallHeuristic(ToolStyle::Radare),
+    ),
+    ("Scan", LayerSpec::LinearScanStarts),
+    ("CFR", LayerSpec::ControlFlowRepair),
+    ("Fmerg", LayerSpec::FunctionMerge),
+    ("Thunk", LayerSpec::ThunkHeuristic),
+    ("Align", LayerSpec::AlignmentSplit),
+    ("ByteWeight", LayerSpec::ByteWeight),
+    ("Nucleus", LayerSpec::NucleusScan),
+    ("Flirt", LayerSpec::FlirtSignatures),
+];
+
+impl LayerSpec {
+    /// The stable serialization token ([`KNOWN_LAYERS`]): unique per
+    /// spec, including configuration (`Fsig.angr` vs `Fsig.ghidra`).
+    pub fn id(&self) -> &'static str {
+        match self {
+            LayerSpec::FdeSeeds => "FDE",
+            LayerSpec::SymbolSeeds => "Sym",
+            LayerSpec::EntrySeed => "Entry",
+            LayerSpec::SafeRecursion(ErrorCallPolicy::SliceZero) => "Rec",
+            LayerSpec::SafeRecursion(ErrorCallPolicy::AlwaysReturn) => "RecAR",
+            LayerSpec::SafeRecursion(ErrorCallPolicy::AlwaysNoReturn) => "RecNR",
+            LayerSpec::PointerScan => "Xref",
+            LayerSpec::CallFrameRepair => "TcallFix",
+            LayerSpec::PrologueMatch(ToolStyle::Ghidra) => "Fsig.ghidra",
+            LayerSpec::PrologueMatch(ToolStyle::Angr) => "Fsig.angr",
+            LayerSpec::PrologueMatch(ToolStyle::Radare) => "Fsig.radare",
+            LayerSpec::TailCallHeuristic(ToolStyle::Ghidra) => "Tcall.ghidra",
+            LayerSpec::TailCallHeuristic(ToolStyle::Angr) => "Tcall.angr",
+            LayerSpec::TailCallHeuristic(ToolStyle::Radare) => "Tcall.radare",
+            LayerSpec::LinearScanStarts => "Scan",
+            LayerSpec::ControlFlowRepair => "CFR",
+            LayerSpec::FunctionMerge => "Fmerg",
+            LayerSpec::ThunkHeuristic => "Thunk",
+            LayerSpec::AlignmentSplit => "Align",
+            LayerSpec::ByteWeight => "ByteWeight",
+            LayerSpec::NucleusScan => "Nucleus",
+            LayerSpec::FlirtSignatures => "Flirt",
+        }
+    }
+
+    /// The display name the layer reports into
+    /// [`DetectionResult::layers`] — the paper's label, shared by every
+    /// configuration of a layer (`Fsig` for all three styles).
+    pub fn name(&self) -> &'static str {
+        self.with_strategy(|s| s.name())
+    }
+
+    /// Applies the specified layer to `state` through the traced
+    /// executor step ([`DetectionState::apply_layer`]).
+    pub fn apply(&self, state: &mut DetectionState<'_>) {
+        self.with_strategy(|s| state.apply_layer(s));
+    }
+
+    /// Instantiates the strategy this spec describes and hands it to
+    /// `f` (strategies are zero-/small-sized, so this is allocation-free).
+    fn with_strategy<R>(&self, f: impl FnOnce(&dyn Strategy) -> R) -> R {
+        match *self {
+            LayerSpec::FdeSeeds => f(&FdeSeeds),
+            LayerSpec::SymbolSeeds => f(&SymbolSeeds),
+            LayerSpec::EntrySeed => f(&EntrySeed),
+            LayerSpec::SafeRecursion(error_policy) => f(&SafeRecursion { error_policy }),
+            LayerSpec::PointerScan => f(&PointerScan),
+            LayerSpec::CallFrameRepair => f(&CallFrameRepair::default()),
+            LayerSpec::PrologueMatch(style) => f(&PrologueMatch { style }),
+            LayerSpec::TailCallHeuristic(style) => f(&TailCallHeuristic { style }),
+            LayerSpec::LinearScanStarts => f(&LinearScanStarts),
+            LayerSpec::ControlFlowRepair => f(&ControlFlowRepair),
+            LayerSpec::FunctionMerge => f(&FunctionMerge),
+            LayerSpec::ThunkHeuristic => f(&ThunkHeuristic),
+            LayerSpec::AlignmentSplit => f(&AlignmentSplit),
+            LayerSpec::ByteWeight => f(&ByteWeight),
+            LayerSpec::NucleusScan => f(&NucleusScan),
+            LayerSpec::FlirtSignatures => f(&FlirtSignatures),
+        }
+    }
+}
+
+impl fmt::Display for LayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A malformed pipeline specification string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineParseError {
+    /// The spec contained no layer tokens.
+    Empty,
+    /// A token named no known layer.
+    UnknownLayer(String),
+}
+
+impl fmt::Display for PipelineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineParseError::Empty => write!(f, "empty pipeline (expected e.g. FDE+Rec+Xref)"),
+            PipelineParseError::UnknownLayer(token) => {
+                write!(f, "unknown layer {token:?} (known layers: ")?;
+                for (i, (name, _)) in KNOWN_LAYERS.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(name)?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineParseError {}
+
+/// An ordered stack of [`LayerSpec`]s — a whole detector as declarative
+/// data, with a stable textual identity and one instrumented executor.
+///
+/// # Examples
+///
+/// ```
+/// use fetch_core::{LayerSpec, Pipeline};
+/// use fetch_synth::{synthesize, SynthConfig};
+///
+/// let case = synthesize(&SynthConfig::small(7));
+/// let pipeline = Pipeline::parse("FDE+Rec+Xref").unwrap();
+/// assert_eq!(pipeline.id(), "FDE+Rec+Xref");
+/// let result = pipeline.run(&case.binary);
+/// assert_eq!(result.layers, ["FDE", "Rec", "Xref"]);
+/// assert_eq!(result.trace.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pipeline {
+    specs: Vec<LayerSpec>,
+}
+
+impl Pipeline {
+    /// A pipeline running `specs` in order.
+    pub fn new(specs: Vec<LayerSpec>) -> Pipeline {
+        Pipeline { specs }
+    }
+
+    /// The ordered layer specifications.
+    pub fn specs(&self) -> &[LayerSpec] {
+        &self.specs
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the pipeline has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The stable textual identity: layer ids joined with `+`
+    /// (`"FDE+Rec+Xref+TcallFix"`). Round-trips through
+    /// [`Pipeline::parse`]; the serving cache ([`crate::AnalysisCache`])
+    /// keys results by it.
+    pub fn id(&self) -> String {
+        let mut id = String::new();
+        for (i, spec) in self.specs.iter().enumerate() {
+            if i > 0 {
+                id.push('+');
+            }
+            id.push_str(spec.id());
+        }
+        id
+    }
+
+    /// Parses a `+`-separated layer list (`"FDE+Rec+Xref"`), accepting
+    /// the tokens of [`KNOWN_LAYERS`] case-insensitively and ignoring
+    /// whitespace around tokens.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineParseError::UnknownLayer`] (naming the bad token and
+    /// listing every known one) or [`PipelineParseError::Empty`].
+    pub fn parse(spec: &str) -> Result<Pipeline, PipelineParseError> {
+        let mut specs = Vec::new();
+        for token in spec.split('+') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            match KNOWN_LAYERS
+                .iter()
+                .find(|(name, _)| name.eq_ignore_ascii_case(token))
+            {
+                Some((_, layer)) => specs.push(*layer),
+                None => return Err(PipelineParseError::UnknownLayer(token.to_string())),
+            }
+        }
+        if specs.is_empty() {
+            return Err(PipelineParseError::Empty);
+        }
+        Ok(Pipeline::new(specs))
+    }
+
+    /// The paper's optimal FETCH stack: `FDE+Rec+Xref+TcallFix`.
+    pub fn fetch() -> Pipeline {
+        Pipeline::new(vec![
+            LayerSpec::FdeSeeds,
+            LayerSpec::SafeRecursion(ErrorCallPolicy::SliceZero),
+            LayerSpec::PointerScan,
+            LayerSpec::CallFrameRepair,
+        ])
+    }
+
+    /// The documented strategy stack of one of the nine Table III tools
+    /// (see the table in the `fetch-tools` crate docs). This is the
+    /// single source of truth the tool models run on.
+    pub fn for_tool(tool: Tool) -> Pipeline {
+        let rec = LayerSpec::SafeRecursion(ErrorCallPolicy::SliceZero);
+        let specs = match tool {
+            // Entry + recursion + a moderate prologue database. High
+            // false negatives (no FDEs, pattern-limited).
+            Tool::Dyninst => vec![
+                LayerSpec::EntrySeed,
+                rec,
+                LayerSpec::PrologueMatch(ToolStyle::Radare),
+                LayerSpec::PrologueMatch(ToolStyle::Angr),
+            ],
+            Tool::Bap => vec![LayerSpec::EntrySeed, LayerSpec::ByteWeight],
+            // Conservative: lowest false positives among the non-FDE
+            // tools, highest misses.
+            Tool::Radare2 => vec![
+                LayerSpec::EntrySeed,
+                rec,
+                LayerSpec::PrologueMatch(ToolStyle::Radare),
+            ],
+            Tool::Nucleus => vec![LayerSpec::EntrySeed, LayerSpec::NucleusScan],
+            Tool::IdaPro => vec![LayerSpec::EntrySeed, rec, LayerSpec::FlirtSignatures],
+            // Aggressive recursion — low misses, many false positives.
+            Tool::BinaryNinja => vec![
+                LayerSpec::EntrySeed,
+                rec,
+                LayerSpec::TailCallHeuristic(ToolStyle::Ghidra),
+                LayerSpec::PrologueMatch(ToolStyle::Angr),
+                LayerSpec::AlignmentSplit,
+            ],
+            // Default GHIDRA pipeline (§IV-C); tail-call detection is
+            // NOT enabled by default.
+            Tool::Ghidra => vec![
+                LayerSpec::FdeSeeds,
+                rec,
+                LayerSpec::ControlFlowRepair,
+                LayerSpec::ThunkHeuristic,
+                LayerSpec::PrologueMatch(ToolStyle::Ghidra),
+            ],
+            // Default ANGR pipeline (§IV-C); tail-call detection is NOT
+            // enabled by default.
+            Tool::Angr => vec![
+                LayerSpec::FdeSeeds,
+                rec,
+                LayerSpec::FunctionMerge,
+                LayerSpec::PrologueMatch(ToolStyle::Angr),
+                LayerSpec::LinearScanStarts,
+                LayerSpec::AlignmentSplit,
+            ],
+            Tool::Fetch => return Pipeline::fetch(),
+        };
+        Pipeline::new(specs)
+    }
+
+    /// Applies every layer to `state` in order through the traced
+    /// executor — the one sequencing path all pipeline entry points
+    /// share. Layer names and [`crate::LayerTrace`]s land in the state
+    /// as each layer runs.
+    pub fn apply(&self, state: &mut DetectionState<'_>) {
+        for spec in &self.specs {
+            spec.apply(state);
+        }
+    }
+
+    /// Runs the pipeline over `binary` with a fresh engine.
+    pub fn run(&self, binary: &Binary) -> DetectionResult {
+        self.run_with_engine(binary, &mut RecEngine::new())
+    }
+
+    /// Runs the pipeline through a caller-owned [`RecEngine`], so the
+    /// decode cache survives across stacks and binaries (see
+    /// [`crate::run_stack_cached`] for the soundness argument).
+    pub fn run_with_engine(&self, binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
+        let mut state = DetectionState::with_engine(binary, std::mem::take(engine));
+        self.apply(&mut state);
+        let (result, used) = state.into_result_with_engine();
+        *engine = used;
+        result
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+impl FromStr for Pipeline {
+    type Err = PipelineParseError;
+
+    fn from_str(s: &str) -> Result<Pipeline, PipelineParseError> {
+        Pipeline::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::run_stack;
+    use fetch_synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn ids_round_trip_through_parse() {
+        for (token, spec) in KNOWN_LAYERS {
+            assert_eq!(spec.id(), *token, "table token drifted from id()");
+            let parsed = Pipeline::parse(token).unwrap();
+            assert_eq!(parsed.specs(), &[*spec]);
+        }
+        let all: Vec<LayerSpec> = KNOWN_LAYERS.iter().map(|(_, s)| *s).collect();
+        let pipeline = Pipeline::new(all);
+        assert_eq!(Pipeline::parse(&pipeline.id()).unwrap(), pipeline);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        let p = Pipeline::parse(" fde + rec + xref ").unwrap();
+        assert_eq!(p.id(), "FDE+Rec+Xref");
+        assert_eq!(p, "FDE+REC+XREF".parse().unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_empty() {
+        let err = Pipeline::parse("FDE+Wat").unwrap_err();
+        assert_eq!(err, PipelineParseError::UnknownLayer("Wat".into()));
+        let msg = err.to_string();
+        assert!(msg.contains("\"Wat\"") && msg.contains("TcallFix"), "{msg}");
+        assert_eq!(
+            Pipeline::parse(" + ").unwrap_err(),
+            PipelineParseError::Empty
+        );
+        assert_eq!(Pipeline::parse("").unwrap_err(), PipelineParseError::Empty);
+    }
+
+    #[test]
+    fn spec_names_match_strategy_names() {
+        // The executor records Strategy::name(); the spec's name()
+        // accessor must agree so declarative callers can predict labels.
+        for (_, spec) in KNOWN_LAYERS {
+            let via_strategy = spec.with_strategy(|s| s.name());
+            assert_eq!(spec.name(), via_strategy);
+        }
+    }
+
+    #[test]
+    fn pipeline_run_matches_ad_hoc_stack() {
+        let case = synthesize(&SynthConfig::small(11));
+        let declarative = Pipeline::parse("FDE+Rec").unwrap().run(&case.binary);
+        let ad_hoc = run_stack(&case.binary, &[&FdeSeeds, &SafeRecursion::default()]);
+        assert_eq!(declarative, ad_hoc);
+        assert_eq!(declarative.layers, ["FDE", "Rec"]);
+    }
+
+    #[test]
+    fn trace_replay_reconstructs_every_prefix() {
+        let case = synthesize(&SynthConfig::small(12));
+        let pipeline = Pipeline::fetch();
+        let full = pipeline.run(&case.binary);
+        assert_eq!(full.trace.len(), 4);
+        for k in 0..=pipeline.len() {
+            let replayed = full.starts_after_layer(k);
+            let direct = if k == 0 {
+                Default::default()
+            } else {
+                Pipeline::new(pipeline.specs()[..k].to_vec())
+                    .run(&case.binary)
+                    .starts
+            };
+            assert_eq!(replayed, direct, "prefix {k} replay diverged");
+        }
+        assert_eq!(full.starts_after_layer(pipeline.len()), full.starts);
+    }
+
+    #[test]
+    fn for_tool_covers_all_nine_and_fetch_matches() {
+        for tool in Tool::ALL {
+            let p = Pipeline::for_tool(tool);
+            assert!(!p.is_empty(), "{tool} has an empty stack");
+            assert_eq!(
+                p.specs().first().copied().unwrap() == LayerSpec::FdeSeeds,
+                tool.uses_call_frames(),
+                "{tool}: FDE seeding must match uses_call_frames()"
+            );
+        }
+        assert_eq!(Pipeline::for_tool(Tool::Fetch), Pipeline::fetch());
+        assert_eq!(Pipeline::fetch().id(), "FDE+Rec+Xref+TcallFix");
+    }
+}

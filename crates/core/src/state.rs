@@ -89,19 +89,107 @@ impl fmt::Display for Provenance {
     }
 }
 
+/// Per-layer execution record the traced executor
+/// ([`DetectionState::apply_layer`]) emits into
+/// [`DetectionResult::trace`]: what the layer changed (exact start
+/// deltas with provenance), how long it took, and how much decode work
+/// it caused.
+///
+/// # Equality
+///
+/// Only the *deterministic* fields participate in `==`: `name`, `added`,
+/// `removed`, and `starts_after`. Wall time and decode-cache counters are
+/// instrumentation — they vary run-to-run and with engine warmth, and the
+/// differential suites (`parallel ≡ serial`, `shared engine ≡ fresh
+/// engine`, `cache hit ≡ cold run`) compare results across exactly those
+/// axes.
+#[derive(Debug, Clone)]
+pub struct LayerTrace {
+    /// The layer's display name ([`crate::Strategy::name`]).
+    pub name: &'static str,
+    /// Wall time of the layer, in nanoseconds (excluded from `==`).
+    pub wall_nanos: u64,
+    /// Starts the layer added (net of its own removals), ascending. An
+    /// address whose provenance changed appears in `removed` (old) and
+    /// `added` (new).
+    pub added: Vec<(u64, Provenance)>,
+    /// Starts the layer removed (net of its own additions), ascending.
+    pub removed: Vec<(u64, Provenance)>,
+    /// Size of the start set after the layer ran.
+    pub starts_after: usize,
+    /// Decode-cache hits attributed to the layer (excluded from `==`).
+    pub decode_hits: u64,
+    /// Decode-cache misses — fresh decodes — attributed to the layer
+    /// (excluded from `==`).
+    pub decode_misses: u64,
+}
+
+impl LayerTrace {
+    /// Wall time in microseconds.
+    pub fn wall_us(&self) -> f64 {
+        self.wall_nanos as f64 / 1e3
+    }
+
+    /// The provenance delta: how many starts each evidence source
+    /// contributed in this layer.
+    pub fn added_by_provenance(&self) -> BTreeMap<Provenance, usize> {
+        let mut by = BTreeMap::new();
+        for (_, p) in &self.added {
+            *by.entry(*p).or_insert(0) += 1;
+        }
+        by
+    }
+}
+
+impl PartialEq for LayerTrace {
+    fn eq(&self, other: &LayerTrace) -> bool {
+        self.name == other.name
+            && self.added == other.added
+            && self.removed == other.removed
+            && self.starts_after == other.starts_after
+    }
+}
+
+impl Eq for LayerTrace {}
+
 /// The final, immutable output of a detector run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DetectionResult {
     /// Detected function starts with provenance.
     pub starts: BTreeMap<u64, Provenance>,
     /// Names of the strategy layers that ran, in order.
-    pub layers: Vec<String>,
+    pub layers: Vec<&'static str>,
+    /// Per-layer execution records ([`LayerTrace`]), parallel to
+    /// `layers`. Timing/decode fields are instrumentation and excluded
+    /// from `==`; the start deltas are deterministic and included.
+    pub trace: Vec<LayerTrace>,
 }
 
 impl DetectionResult {
     /// The start addresses as a set.
     pub fn start_set(&self) -> BTreeSet<u64> {
         self.starts.keys().copied().collect()
+    }
+
+    /// Replays the trace's start deltas through the first `k` layers,
+    /// reconstructing the start set as it stood after layer `k - 1` ran
+    /// — layers are sequential, so the prefix of a pipeline's trace *is*
+    /// the result of running the shorter stack. The `fig5` harness uses
+    /// this to evaluate every prefix stack of a panel from one run.
+    ///
+    /// Requires a complete trace (the state mutated only through
+    /// layers); `replay == starts` holds for `k >= trace.len()`.
+    pub fn starts_after_layer(&self, k: usize) -> BTreeMap<u64, Provenance> {
+        let mut starts = BTreeMap::new();
+        for t in &self.trace[..k.min(self.trace.len())] {
+            for (a, _) in &t.removed {
+                starts.remove(a);
+            }
+            for &(a, p) in &t.added {
+                starts.insert(a, p);
+            }
+        }
+        starts
     }
 
     /// The start addresses in ascending order, without materializing a
@@ -126,9 +214,10 @@ type Tagged<T> = Option<(u64, Arc<T>)>;
 
 /// Generation-counted memoization of the analyses every repair/heuristic
 /// layer needs. Entries tagged with the starts- or disassembly-generation
-/// they were computed at; a stale tag means recompute.
+/// they were computed at; a stale tag means recompute. (Intra-state
+/// memoization — the cross-run result cache is [`crate::AnalysisCache`].)
 #[derive(Debug, Clone, Default)]
-struct AnalysisCache {
+struct StateMemo {
     start_set: Tagged<BTreeSet<u64>>,
     xrefs: Tagged<BTreeMap<u64, Vec<Xref>>>,
     extents: Tagged<BTreeMap<u64, FunctionBody>>,
@@ -160,8 +249,16 @@ pub struct DetectionState<'b> {
     /// from symbol names, modeling dynamic-symbol knowledge of libc).
     /// Shared so recursion re-runs never copy the set.
     pub error_funcs: Arc<BTreeSet<u64>>,
-    /// Layer names applied so far.
-    pub layers: Vec<String>,
+    /// Layer names applied so far (pushed by
+    /// [`DetectionState::apply_layer`], never by hand — the executor owns
+    /// the bookkeeping so names and traces cannot drift apart).
+    pub layers: Vec<&'static str>,
+    /// Per-layer execution records, parallel to `layers`.
+    pub trace: Vec<LayerTrace>,
+    /// The report of the most recent [`crate::CallFrameRepair`] run, for
+    /// callers that want it after driving a whole pipeline (see
+    /// [`DetectionState::take_repair_report`]).
+    pub(crate) last_repair: Option<crate::algorithm1::RepairReport>,
     /// The persistent engine reusing decode and walk state across
     /// [`DetectionState::run_recursion`] calls.
     engine: RecEngine,
@@ -170,7 +267,7 @@ pub struct DetectionState<'b> {
     incremental: bool,
     starts_gen: u64,
     rec_gen: u64,
-    cache: AnalysisCache,
+    cache: StateMemo,
     frame_hits: u64,
     frame_misses: u64,
 }
@@ -201,11 +298,13 @@ impl<'b> DetectionState<'b> {
             rec: RecResult::default(),
             error_funcs: Arc::new(error_funcs),
             layers: Vec::new(),
+            trace: Vec::new(),
+            last_repair: None,
             engine,
             incremental: true,
             starts_gen: 0,
             rec_gen: 0,
-            cache: AnalysisCache::default(),
+            cache: StateMemo::default(),
             frame_hits: 0,
             frame_misses: 0,
         }
@@ -390,6 +489,46 @@ impl<'b> DetectionState<'b> {
         }
     }
 
+    /// The one traced executor step: applies `layer`, then records its
+    /// name and a [`LayerTrace`] (wall time, exact start delta with
+    /// provenance, decode-cache work) in lockstep. Every pipeline path —
+    /// [`crate::Pipeline::apply`], [`crate::run_stack_cached`], the
+    /// `Fetch` entry points — funnels through here, so
+    /// [`DetectionResult::layers`] can never skip or double-count a
+    /// layer the way hand-pushed names could.
+    pub fn apply_layer(&mut self, layer: &dyn crate::strategy::Strategy) {
+        let before = self.starts.clone();
+        let (hits0, misses0) = self.engine.decode_stats();
+        let t = std::time::Instant::now();
+        layer.apply(self);
+        let wall_nanos = t.elapsed().as_nanos() as u64;
+        let (hits1, misses1) = self.engine.decode_stats();
+        let (added, removed) = diff_starts(&before, &self.starts);
+        self.layers.push(layer.name());
+        self.trace.push(LayerTrace {
+            name: layer.name(),
+            wall_nanos,
+            added,
+            removed,
+            starts_after: self.starts.len(),
+            decode_hits: hits1 - hits0,
+            decode_misses: misses1 - misses0,
+        });
+    }
+
+    /// Takes the report of the most recent [`crate::CallFrameRepair`]
+    /// run, if one ran (repair layers deposit it as they execute, so
+    /// pipeline drivers need no side channel).
+    pub fn take_repair_report(&mut self) -> Option<crate::algorithm1::RepairReport> {
+        self.last_repair.take()
+    }
+
+    /// `(hits, misses)` of the engine's decode cache (monotone; see
+    /// [`RecEngine::decode_stats`]).
+    pub fn engine_decode_stats(&self) -> (u64, u64) {
+        self.engine.decode_stats()
+    }
+
     /// Freezes the state into a [`DetectionResult`].
     pub fn into_result(self) -> DetectionResult {
         self.into_result_with_engine().0
@@ -403,10 +542,59 @@ impl<'b> DetectionState<'b> {
             DetectionResult {
                 starts: self.starts,
                 layers: self.layers,
+                trace: self.trace,
             },
             self.engine,
         )
     }
+}
+
+/// One side of a layer's start delta (addresses with provenance).
+type StartDelta = Vec<(u64, Provenance)>;
+
+/// Ordered symmetric difference of two start maps: `(added, removed)`
+/// going from `before` to `after`. An address present in both with a
+/// different provenance contributes to both vectors (old provenance
+/// removed, new one added), so replaying `removed`-then-`added` over
+/// `before` reconstructs `after` exactly.
+fn diff_starts(
+    before: &BTreeMap<u64, Provenance>,
+    after: &BTreeMap<u64, Provenance>,
+) -> (StartDelta, StartDelta) {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let mut bi = before.iter().peekable();
+    let mut ai = after.iter().peekable();
+    loop {
+        match (bi.peek(), ai.peek()) {
+            (Some(&(&bk, &bv)), Some(&(&ak, &av))) => {
+                if bk < ak {
+                    removed.push((bk, bv));
+                    bi.next();
+                } else if ak < bk {
+                    added.push((ak, av));
+                    ai.next();
+                } else {
+                    if bv != av {
+                        removed.push((bk, bv));
+                        added.push((ak, av));
+                    }
+                    bi.next();
+                    ai.next();
+                }
+            }
+            (Some(&(&bk, &bv)), None) => {
+                removed.push((bk, bv));
+                bi.next();
+            }
+            (None, Some(&(&ak, &av))) => {
+                added.push((ak, av));
+                ai.next();
+            }
+            (None, None) => break,
+        }
+    }
+    (added, removed)
 }
 
 #[cfg(test)]

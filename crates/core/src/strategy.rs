@@ -34,8 +34,7 @@ pub fn run_stack_cached(
 ) -> DetectionResult {
     let mut state = DetectionState::with_engine(binary, std::mem::take(engine));
     for layer in layers {
-        layer.apply(&mut state);
-        state.layers.push(layer.name().to_string());
+        state.apply_layer(*layer);
     }
     let (result, used) = state.into_result_with_engine();
     *engine = used;

@@ -77,9 +77,7 @@ fn layer_pool() -> Vec<Box<dyn DetectionLayer>> {
 fn run_layers(mut state: DetectionState<'_>, picks: &[u8]) -> DetectionResult {
     let pool = layer_pool();
     for &p in picks {
-        let layer = &pool[p as usize % pool.len()];
-        layer.apply(&mut state);
-        state.layers.push(layer.name().to_string());
+        state.apply_layer(pool[p as usize % pool.len()].as_ref());
     }
     // The CFI side-table is a pure function of the binary, memoized on
     // the state: however many repair layers ran, at most one miss, and

@@ -1,0 +1,108 @@
+//! Property tests for the serving-layer [`AnalysisCache`]: a cache hit
+//! is observationally identical to a cold run.
+//!
+//! Random corpora × random pipelines × random query interleavings, all
+//! funneled through one shared cache and one shared engine (the
+//! production shape: a worker's engine is warm with arbitrary prior
+//! state, the cache is shared by everyone). Every answer must equal a
+//! cold, cache-free, fresh-engine run of the same `(binary, pipeline)`
+//! — and the cache's bookkeeping (hit/miss counts, entry count) must
+//! add up exactly.
+
+use fetch_core::{content_fingerprint, AnalysisCache, LayerSpec, Pipeline, KNOWN_LAYERS};
+use fetch_synth::{synthesize, FeatureRates, SynthConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (any::<u64>(), 15usize..60, 0.0f64..0.15, 0usize..8).prop_map(|(seed, n_funcs, split, asm)| {
+        let mut cfg = SynthConfig::small(seed);
+        cfg.n_funcs = n_funcs;
+        cfg.rates = FeatureRates {
+            split_cold: split,
+            asm_funcs: asm,
+            ..FeatureRates::default()
+        };
+        cfg
+    })
+}
+
+/// A random pipeline: 1–4 layers drawn from the full vocabulary.
+fn arb_pipeline() -> impl Strategy<Value = Pipeline> {
+    proptest::collection::vec(any::<u8>(), 1..5).prop_map(|picks| {
+        let specs: Vec<LayerSpec> = picks
+            .iter()
+            .map(|&p| KNOWN_LAYERS[p as usize % KNOWN_LAYERS.len()].1)
+            .collect();
+        Pipeline::new(specs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The serving guarantee: for any interleaving of (binary, pipeline)
+    /// queries against one shared cache and one shared warm engine,
+    /// every answer equals the cold cache-free run.
+    #[test]
+    fn cache_hits_equal_cold_runs(
+        cfgs in proptest::collection::vec(arb_config(), 2..4),
+        pipelines in proptest::collection::vec(arb_pipeline(), 2..4),
+        queries in proptest::collection::vec((any::<u8>(), any::<u8>()), 4..14),
+    ) {
+        let cases: Vec<_> = cfgs.iter().map(synthesize).collect();
+        let cache = AnalysisCache::new();
+        let mut engine = fetch_disasm::RecEngine::new();
+
+        let mut distinct: BTreeSet<(u64, String)> = BTreeSet::new();
+        for (bi, pi) in &queries {
+            let case = &cases[*bi as usize % cases.len()];
+            let pipeline = &pipelines[*pi as usize % pipelines.len()];
+            let fp = content_fingerprint(&case.binary);
+            distinct.insert((fp, pipeline.id()));
+
+            let served = cache.get_or_compute(fp, &pipeline.id(), || {
+                pipeline.run_with_engine(&case.binary, &mut engine)
+            });
+            let cold = pipeline.run(&case.binary);
+            prop_assert_eq!(
+                &*served, &cold,
+                "query (bin {}, pipeline {}) diverged through the cache",
+                case.binary.name, pipeline.id()
+            );
+        }
+
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, queries.len() as u64);
+        prop_assert_eq!(stats.misses as usize, distinct.len());
+        prop_assert_eq!(stats.entries, distinct.len());
+        prop_assert_eq!(cache.len(), distinct.len());
+    }
+
+    /// Image-path serving: `detect_image_cached` equals the uncached
+    /// image path and the owned-binary path, and repeated queries are
+    /// all hits handing back the same entry.
+    #[test]
+    fn cached_image_detection_equals_cold(cfg in arb_config(), repeats in 1usize..4) {
+        use fetch_binary::{write_elf, ElfImage};
+        let case = synthesize(&cfg);
+        let image = ElfImage::parse(write_elf(&case.binary)).unwrap();
+        let fetch = fetch_core::Fetch::new();
+        let cache = AnalysisCache::new();
+        let mut engine = fetch_disasm::RecEngine::new();
+
+        let first = fetch.detect_image_cached(&image, &mut engine, &cache);
+        let cold = fetch.detect_image(&image, &mut engine);
+        prop_assert_eq!(&*first, &cold, "cached image path diverged");
+        for _ in 0..repeats {
+            let again = fetch.detect_image_cached(&image, &mut engine, &cache);
+            prop_assert!(
+                std::sync::Arc::ptr_eq(&first, &again),
+                "repeat query must be served from the cache"
+            );
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.hits, repeats as u64);
+    }
+}

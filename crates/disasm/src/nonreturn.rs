@@ -13,7 +13,7 @@ use std::collections::BTreeSet;
 
 /// Treatment of calls to `error`/`error_at_line`-style functions, which
 /// return only when their first (status) argument is zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ErrorCallPolicy {
     /// The paper's rule (§IV-C): backward-slice the first argument; the
     /// call returns only when the status provably flows from zero.

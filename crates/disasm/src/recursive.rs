@@ -294,6 +294,12 @@ struct DecodeCache {
     index: Vec<u32>,
     insts: Vec<Inst>,
     errors: BTreeMap<u64, DecodeError>,
+    /// Lookups answered from the cache. Monotone for the engine's
+    /// lifetime (a fingerprint reset clears entries, not counters), so
+    /// callers can difference them across an operation.
+    hits: u64,
+    /// Lookups that had to run the decoder.
+    misses: u64,
 }
 
 const ERR_SLOT: u32 = u32::MAX;
@@ -312,9 +318,16 @@ impl DecodeCache {
         let off = (addr - self.base) as usize;
         match self.index[off] {
             NO_SLOT => {}
-            ERR_SLOT => return Err(self.errors[&addr]),
-            s => return Ok(self.insts[(s - 1) as usize]),
+            ERR_SLOT => {
+                self.hits += 1;
+                return Err(self.errors[&addr]);
+            }
+            s => {
+                self.hits += 1;
+                return Ok(self.insts[(s - 1) as usize]);
+            }
         }
+        self.misses += 1;
         match decode(text.slice_from(addr).expect("in range"), addr) {
             Ok(inst) => {
                 self.insts.push(inst);
@@ -556,6 +569,14 @@ impl RecEngine {
     /// invalidate derived caches only when this moves.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// `(hits, misses)` of the decode cache, monotone for the engine's
+    /// lifetime (a binary-fingerprint reset drops cached entries but not
+    /// the counters). Instrumentation layers difference these across an
+    /// operation to attribute decode work to it.
+    pub fn decode_stats(&self) -> (u64, u64) {
+        (self.cache.hits, self.cache.misses)
     }
 
     fn sync_fingerprint(&mut self, bin: &Binary) {

@@ -3,24 +3,28 @@
 //! Strategy-stack models of the eight tools the paper compares against
 //! (§VI, Table III), plus FETCH itself behind the same interface.
 //!
-//! Each model composes the *documented* strategy layers of its tool — the
-//! same decomposition the paper and its SoK companion use — over the
-//! shared substrate (decoder, recursive engine, heuristics). The goal is
-//! the paper's *shape*: who wins on false positives/negatives and by
-//! roughly what order of magnitude, not bug-for-bug tool emulation
-//! (see DESIGN.md §1).
+//! Each model is a declarative [`Pipeline`] ([`Pipeline::for_tool`]) —
+//! the *documented* strategy layers of its tool, the same decomposition
+//! the paper and its SoK companion use — run by `fetch-core`'s one
+//! instrumented executor over the shared substrate (decoder, recursive
+//! engine, heuristics). The goal is the paper's *shape*: who wins on
+//! false positives/negatives and by roughly what order of magnitude, not
+//! bug-for-bug tool emulation (see DESIGN.md §1).
 //!
-//! | Tool | Stack |
+//! | Tool | Stack ([`Pipeline::id`]) |
 //! |---|---|
-//! | DYNINST | Entry + Rec + moderate prologue matching |
-//! | BAP | Entry + Rec + aggressive byte-pattern matching |
-//! | RADARE2 | Entry + Rec + conservative prologue matching |
-//! | NUCLEUS | linear sweep + call targets + group splitting |
-//! | IDA PRO | Entry + Rec + validated prologue database |
-//! | BINARY NINJA | Entry + Rec + aggressive jump-target promotion |
-//! | GHIDRA | FDE + Rec + CFR + thunks + prologue matching |
-//! | ANGR | FDE + Rec + merging + prologue + linear scan + alignment |
-//! | FETCH | FDE + Rec + Xref + call-frame repair |
+//! | DYNINST | `Entry+Rec+Fsig.radare+Fsig.angr` |
+//! | BAP | `Entry+ByteWeight` |
+//! | RADARE2 | `Entry+Rec+Fsig.radare` |
+//! | NUCLEUS | `Entry+Nucleus` |
+//! | IDA PRO | `Entry+Rec+Flirt` |
+//! | BINARY NINJA | `Entry+Rec+Tcall.ghidra+Fsig.angr+Align` |
+//! | GHIDRA | `FDE+Rec+CFR+Thunk+Fsig.ghidra` |
+//! | ANGR | `FDE+Rec+Fmerg+Fsig.angr+Scan+Align` |
+//! | FETCH | `FDE+Rec+Xref+TcallFix` |
+//!
+//! A differential suite (`tests/pipeline_differential.rs`) pins every
+//! row byte-identical to the pre-pipeline hand-assembled stacks.
 //!
 //! # Examples
 //!
@@ -38,78 +42,11 @@
 #![warn(missing_docs)]
 
 use fetch_binary::{Binary, ElfImage};
-use fetch_core::{
-    run_stack_cached, AlignmentSplit, ControlFlowRepair, DetectionResult, DetectionState,
-    EntrySeed, FdeSeeds, Fetch, FunctionMerge, LinearScanStarts, PrologueMatch, Provenance,
-    SafeRecursion, Strategy, TailCallHeuristic, ThunkHeuristic, ToolStyle,
-};
-use fetch_disasm::{sweep_tolerant, ErrorCallPolicy, RecEngine};
-use fetch_x64::Flow;
-use std::fmt;
+use fetch_core::{image_fingerprint, AnalysisCache, DetectionResult, Pipeline};
+use fetch_disasm::RecEngine;
+use std::sync::Arc;
 
-/// The nine detectors of Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Tool {
-    /// DYNINST 10.x model.
-    Dyninst,
-    /// BAP model (ByteWeight-style matching).
-    Bap,
-    /// RADARE2 model.
-    Radare2,
-    /// NUCLEUS model (compiler-agnostic, linear-sweep based).
-    Nucleus,
-    /// IDA PRO model.
-    IdaPro,
-    /// BINARY NINJA model.
-    BinaryNinja,
-    /// GHIDRA model (uses call frames).
-    Ghidra,
-    /// ANGR model (uses call frames).
-    Angr,
-    /// FETCH — the paper's optimal strategy stack.
-    Fetch,
-}
-
-impl Tool {
-    /// All tools in the paper's column order.
-    pub const ALL: [Tool; 9] = [
-        Tool::Dyninst,
-        Tool::Bap,
-        Tool::Radare2,
-        Tool::Nucleus,
-        Tool::IdaPro,
-        Tool::BinaryNinja,
-        Tool::Ghidra,
-        Tool::Angr,
-        Tool::Fetch,
-    ];
-
-    /// Display name as printed in the paper's tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            Tool::Dyninst => "DYNINST",
-            Tool::Bap => "BAP",
-            Tool::Radare2 => "RADARE2",
-            Tool::Nucleus => "NUCLEUS",
-            Tool::IdaPro => "IDA PRO",
-            Tool::BinaryNinja => "BINARY NINJA",
-            Tool::Ghidra => "GHIDRA",
-            Tool::Angr => "ANGR",
-            Tool::Fetch => "FETCH",
-        }
-    }
-
-    /// Whether the tool consumes `.eh_frame` call frames.
-    pub fn uses_call_frames(self) -> bool {
-        matches!(self, Tool::Ghidra | Tool::Angr | Tool::Fetch)
-    }
-}
-
-impl fmt::Display for Tool {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use fetch_core::Tool;
 
 /// Runs `tool` on `binary`. Returns `None` when the tool fails to open
 /// the binary (ANGR could not open 9 of the 1,352 corpus binaries —
@@ -129,23 +66,10 @@ pub fn run_tool_with_engine(
     binary: &Binary,
     engine: &mut RecEngine,
 ) -> Option<DetectionResult> {
-    match tool {
-        Tool::Dyninst => Some(dyninst(binary, engine)),
-        Tool::Bap => Some(bap(binary, engine)),
-        Tool::Radare2 => Some(radare2(binary, engine)),
-        Tool::Nucleus => Some(nucleus(binary, engine)),
-        Tool::IdaPro => Some(ida(binary, engine)),
-        Tool::BinaryNinja => Some(ninja(binary, engine)),
-        Tool::Ghidra => Some(ghidra(binary, engine)),
-        Tool::Angr => {
-            if angr_rejects(binary) {
-                None
-            } else {
-                Some(angr(binary, engine))
-            }
-        }
-        Tool::Fetch => Some(Fetch::new().detect_with_engine(binary, engine)),
+    if tool == Tool::Angr && angr_rejects(binary) {
+        return None;
     }
+    Some(Pipeline::for_tool(tool).run_with_engine(binary, engine))
 }
 
 /// Runs `tool` directly on a parsed ELF image through a caller-owned
@@ -157,7 +81,8 @@ pub fn run_tool_with_engine(
 /// Each call re-materializes the (cheap, but not free) section and
 /// symbol vectors; a sweep over many tools should call
 /// [`ElfImage::to_binary`] once and loop over [`run_tool_with_engine`]
-/// instead.
+/// instead — or go through [`run_tool_on_image_cached`] and skip repeat
+/// analyses entirely.
 pub fn run_tool_on_image(
     tool: Tool,
     image: &ElfImage,
@@ -169,219 +94,46 @@ pub fn run_tool_on_image(
     run_tool_with_engine(tool, &binary, engine)
 }
 
+/// [`run_tool_on_image`] through a serving-layer [`AnalysisCache`],
+/// keyed by `(image fingerprint, tool pipeline id)`: an image already
+/// analyzed under a tool's stack is answered by a hash and a lookup —
+/// the image is not even materialized. ANGR's name-keyed loader-failure
+/// model is evaluated *before* the cache, so a rejection is never
+/// cached and never served to a differently-named twin image.
+pub fn run_tool_on_image_cached(
+    tool: Tool,
+    image: &ElfImage,
+    name: &str,
+    engine: &mut RecEngine,
+    cache: &AnalysisCache,
+) -> Option<Arc<DetectionResult>> {
+    if tool == Tool::Angr && angr_rejects_name(name) {
+        return None;
+    }
+    let pipeline = Pipeline::for_tool(tool);
+    Some(
+        cache.get_or_compute(image_fingerprint(image), &pipeline.id(), || {
+            let mut binary = image.to_binary();
+            binary.name = name.to_string();
+            pipeline.run_with_engine(&binary, engine)
+        }),
+    )
+}
+
 /// Deterministic model of ANGR's 9 loader failures (≈0.7% of binaries).
 pub fn angr_rejects(binary: &Binary) -> bool {
+    angr_rejects_name(&binary.name)
+}
+
+/// [`angr_rejects`] on a bare display name (the image path carries the
+/// name out of band).
+pub fn angr_rejects_name(name: &str) -> bool {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in binary.name.as_bytes() {
+    for b in name.as_bytes() {
         h ^= *b as u64;
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
     h % 150 == 7
-}
-
-fn dyninst(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
-    // Entry + recursion + a moderate prologue database. High false
-    // negatives (no FDEs, pattern-limited), moderate false positives.
-    run_stack_cached(
-        binary,
-        &[
-            &EntrySeed,
-            &SafeRecursion::default(),
-            &PrologueMatch {
-                style: ToolStyle::Radare,
-            },
-            &PrologueMatch {
-                style: ToolStyle::Angr,
-            },
-        ],
-        engine,
-    )
-}
-
-fn bap(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
-    // ByteWeight-style matching: fires on raw byte patterns without
-    // validation — the worst false-positive count in Table III.
-    struct ByteWeight;
-    impl Strategy for ByteWeight {
-        fn name(&self) -> &'static str {
-            "ByteWeight"
-        }
-        fn apply(&self, state: &mut DetectionState<'_>) {
-            let text = state.binary.text();
-            let bytes = &text.bytes;
-            let mut found = Vec::new();
-            for off in 0..bytes.len().saturating_sub(4) {
-                let w = &bytes[off..];
-                // "Learned" patterns: frame setups, endbr64, saves.
-                let hit = w.starts_with(&[0x55, 0x48, 0x89, 0xe5])
-                    || w.starts_with(&[0xf3, 0x0f, 0x1e, 0xfa])
-                    || w.starts_with(&[0x41, 0x57])
-                    || w.starts_with(&[0x41, 0x56])
-                    || w.starts_with(&[0x53, 0x48])
-                    || w.starts_with(&[0x55, 0x53]);
-                if hit {
-                    found.push(text.addr + off as u64);
-                }
-            }
-            for a in found {
-                state.add_start(a, Provenance::Prologue);
-            }
-            state.run_recursion(true, ErrorCallPolicy::AlwaysReturn);
-        }
-    }
-    run_stack_cached(binary, &[&EntrySeed, &ByteWeight], engine)
-}
-
-fn radare2(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
-    // Conservative: entry + recursion + exact-prologue matching with a
-    // decode check but no semantic validation. Lowest false positives
-    // among the non-FDE tools, highest misses.
-    run_stack_cached(
-        binary,
-        &[
-            &EntrySeed,
-            &SafeRecursion::default(),
-            &PrologueMatch {
-                style: ToolStyle::Radare,
-            },
-        ],
-        engine,
-    )
-}
-
-fn nucleus(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
-    // Compiler-agnostic: linear sweep, then function starts are direct
-    // call targets plus the first instruction of every inter-procedural
-    // group (approximated as post-padding group heads).
-    struct NucleusScan;
-    impl Strategy for NucleusScan {
-        fn name(&self) -> &'static str {
-            "Nucleus"
-        }
-        fn apply(&self, state: &mut DetectionState<'_>) {
-            let text = state.binary.text();
-            let insts = sweep_tolerant(&text.bytes, text.addr);
-            let mut after_gap = true;
-            for inst in &insts {
-                if inst.is_padding() {
-                    after_gap = true;
-                    continue;
-                }
-                if after_gap {
-                    state.add_start(inst.addr, Provenance::LinearScan);
-                    after_gap = false;
-                }
-                if let Flow::Call(t) = inst.flow() {
-                    if state.binary.is_code(t) {
-                        state.add_start(t, Provenance::CallTarget);
-                    }
-                }
-            }
-        }
-    }
-    run_stack_cached(binary, &[&EntrySeed, &NucleusScan], engine)
-}
-
-fn ida(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
-    // Entry + recursion + a curated, *validated* prologue database:
-    // matches must decode cleanly and satisfy the calling convention.
-    struct IdaSignatures;
-    impl Strategy for IdaSignatures {
-        fn name(&self) -> &'static str {
-            "Flirt"
-        }
-        fn apply(&self, state: &mut DetectionState<'_>) {
-            let text = state.binary.text();
-            let mut found = Vec::new();
-            for (lo, hi) in fetch_core::code_gaps(state) {
-                let len = (hi - lo) as usize;
-                let bytes = text.slice_from(lo).expect("gap");
-                for off in 0..len.saturating_sub(4) {
-                    let w = &bytes[off..len];
-                    let addr = lo + off as u64;
-                    let hit = w.starts_with(&[0x55, 0x48, 0x89, 0xe5])
-                        || w.starts_with(&[0xf3, 0x0f, 0x1e, 0xfa]);
-                    if hit
-                        && fetch_analyses::validate_calling_convention(state.binary, addr, 48)
-                            .is_valid()
-                    {
-                        found.push(addr);
-                    }
-                }
-            }
-            let mut added = false;
-            for a in found {
-                added |= state.add_start(a, Provenance::Prologue);
-            }
-            if added {
-                state.run_recursion(true, ErrorCallPolicy::SliceZero);
-            }
-        }
-    }
-    run_stack_cached(
-        binary,
-        &[&EntrySeed, &SafeRecursion::default(), &IdaSignatures],
-        engine,
-    )
-}
-
-fn ninja(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
-    // Aggressive recursion: inter-range jump targets promoted to starts
-    // plus pattern matching — low misses, many false positives.
-    run_stack_cached(
-        binary,
-        &[
-            &EntrySeed,
-            &SafeRecursion::default(),
-            &TailCallHeuristic {
-                style: ToolStyle::Ghidra,
-            },
-            &PrologueMatch {
-                style: ToolStyle::Angr,
-            },
-            &AlignmentSplit,
-        ],
-        engine,
-    )
-}
-
-fn ghidra(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
-    // Default GHIDRA pipeline (§IV-C): call frames + recursion with
-    // control-flow repairing + thunk resolution + prologue matching.
-    // Tail-call detection is NOT enabled by default.
-    run_stack_cached(
-        binary,
-        &[
-            &FdeSeeds,
-            &SafeRecursion::default(),
-            &ControlFlowRepair,
-            &ThunkHeuristic,
-            &PrologueMatch {
-                style: ToolStyle::Ghidra,
-            },
-        ],
-        engine,
-    )
-}
-
-fn angr(binary: &Binary, engine: &mut RecEngine) -> DetectionResult {
-    // Default ANGR pipeline (§IV-C): call frames + recursion with
-    // function merging + prologue matching + linear gap scan +
-    // alignment handling. Tail-call detection is NOT enabled by default.
-    run_stack_cached(
-        binary,
-        &[
-            &FdeSeeds,
-            &SafeRecursion::default(),
-            &FunctionMerge,
-            &PrologueMatch {
-                style: ToolStyle::Angr,
-            },
-            &LinearScanStarts,
-            &AlignmentSplit,
-        ],
-        engine,
-    )
 }
 
 #[cfg(test)]
@@ -443,6 +195,35 @@ mod tests {
             let via_binary = run_tool(tool, &case.binary);
             assert_eq!(via_image, via_binary, "{tool} diverges on the image path");
         }
+    }
+
+    #[test]
+    fn cached_image_path_matches_cold_runs() {
+        // The serving path: a shared cache across a two-round tool sweep
+        // must hand back results identical to the uncached path, hitting
+        // on every second-round lookup.
+        let case = &corpus()[3];
+        let image = ElfImage::parse(fetch_binary::write_elf(&case.binary)).unwrap();
+        let cache = AnalysisCache::new();
+        let mut engine = RecEngine::new();
+        for round in 0..2 {
+            for tool in Tool::ALL {
+                let cached =
+                    run_tool_on_image_cached(tool, &image, &case.binary.name, &mut engine, &cache);
+                let cold = run_tool_on_image(tool, &image, &case.binary.name, &mut engine);
+                assert_eq!(
+                    cached.map(|r| (*r).clone()),
+                    cold,
+                    "{tool} diverges through the cache (round {round})"
+                );
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, stats.misses as usize);
+        assert!(
+            stats.hits >= stats.misses,
+            "second round must hit: {stats:?}"
+        );
     }
 
     #[test]
