@@ -9,14 +9,20 @@
 //! is tracked, commit-over-commit, from the PR that introduced the dense
 //! instruction store and the incremental recursion engine onward.
 //!
-//! Three further groups:
+//! Four further groups:
 //!
 //! * `layer_breakdown` — the per-layer trace of the large corpus run:
 //!   wall time, starts added/removed, and decode work per layer.
 //! * `cache` — the serving layer: a cold `detect_image_cached` miss vs
 //!   a warm hit on the same image (the snapshot asserts the hit is
-//!   ≥ 10× faster), plus the hit rate of a two-round corpus sweep
-//!   through one shared [`AnalysisCache`].
+//!   ≥ 10× faster), the hit rate of a two-round corpus sweep through
+//!   one shared [`AnalysisCache`] (with eviction count and entry/byte
+//!   footprint), and a capacity-bounded sweep demonstrating LRU
+//!   eviction under pressure.
+//! * `serve` — the `fetch-serve` daemon core driven over the corpus
+//!   image: cold submit vs bounded-cache hit vs post-restart persistent
+//!   store hit (cache-hit ≥ 10× cold asserted; the store answer is
+//!   asserted `==` the cold result).
 //! * `batch_serial` / `batch_parallel` — the [`BatchDriver`] sweeping
 //!   the default Dataset 2 corpus, one worker vs all of them. The two
 //!   produce byte-identical results — the snapshot asserts it — so the
@@ -26,7 +32,8 @@
 //! (pass `--out <path>` to redirect; pass `--reps <n>` for more timing
 //! repetitions — the recorded value per stage is the minimum; pass
 //! `--jobs <n>` to pin the parallel sweep's worker count, default: the
-//! machine's available parallelism).
+//! machine's available parallelism; pass `--cache-capacity <n>` to pin
+//! the bounded sweep's entry capacity, default: half the corpus).
 
 use fetch_bench::{dataset2, default_jobs, BatchDriver, BenchOpts};
 use fetch_binary::{read_elf, write_elf, ElfImage, ElfView};
@@ -72,6 +79,7 @@ fn main() {
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut reps = 5usize;
     let mut jobs = default_jobs();
+    let mut cache_capacity: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -87,6 +95,14 @@ fn main() {
                 i += 1;
                 jobs = args[i].parse().expect("--jobs takes a positive integer");
                 assert!(jobs >= 1, "--jobs takes a positive integer");
+            }
+            "--cache-capacity" => {
+                i += 1;
+                let n = args[i]
+                    .parse()
+                    .expect("--cache-capacity takes a positive integer");
+                assert!(n >= 1, "--cache-capacity takes a positive integer");
+                cache_capacity = Some(n);
             }
             _ => {}
         }
@@ -302,22 +318,161 @@ fn main() {
         assert_eq!(round1, round2, "cache hits must reproduce cold results");
         let stats = corpus_cache.stats();
         assert!(stats.hits >= cases.len() as u64, "round two must hit");
+        assert_eq!(stats.evictions, 0, "the unbounded sweep never evicts");
+
+        // Capacity-bounded sweep: the same two rounds through an LRU
+        // cache too small for the corpus. Results must stay identical
+        // (eviction only ever drops memoized state); the eviction
+        // counter and the bounded footprint are the published evidence.
+        let capacity = cache_capacity.unwrap_or_else(|| (cases.len() / 2).max(1));
+        let bounded_cache =
+            fetch_core::AnalysisCache::with_capacity(fetch_core::CacheCapacity::entries(capacity));
+        let bounded_sweep = |driver: &BatchDriver| {
+            driver.run_with_cache(&cases, &bounded_cache, |engine, cache, case| {
+                fetch.detect_cached(&case.binary, engine, cache)
+            })
+        };
+        let bounded1 = bounded_sweep(&driver);
+        let bounded2 = bounded_sweep(&driver);
+        assert_eq!(bounded1, round1, "a bounded cache must not change answers");
+        assert_eq!(bounded2, round1, "eviction must not change answers");
+        let bounded = bounded_cache.stats();
+        assert!(bounded.entries <= capacity, "capacity must bound residency");
+        if capacity < cases.len() {
+            assert!(bounded.evictions > 0, "an undersized cache must evict");
+        }
+
         let _ = write!(
             json,
             "  \"cache\": {{\n    \"cold_wall_us\": {cold_us:.1},\n    \
              \"warm_hit_wall_us\": {warm_us:.1},\n    \"hit_speedup\": {speedup:.1},\n    \
              \"corpus_sweep\": {{ \"binaries\": {}, \"rounds\": 2, \"lookups\": {}, \
-             \"hits\": {}, \"hit_rate\": {:.3} }}\n  }},\n",
+             \"hits\": {}, \"hit_rate\": {:.3}, \"evictions\": {}, \"entries\": {}, \
+             \"bytes\": {} }},\n    \
+             \"bounded_sweep\": {{ \"capacity_entries\": {capacity}, \"lookups\": {}, \
+             \"hits\": {}, \"hit_rate\": {:.3}, \"evictions\": {}, \"entries\": {}, \
+             \"bytes\": {} }}\n  }},\n",
             cases.len(),
             stats.hits + stats.misses,
             stats.hits,
             stats.hit_rate(),
+            stats.evictions,
+            stats.entries,
+            stats.bytes,
+            bounded.hits + bounded.misses,
+            bounded.hits,
+            bounded.hit_rate(),
+            bounded.evictions,
+            bounded.entries,
+            bounded.bytes,
         );
         println!(
             " cache: cold {cold_us:.1} µs, warm hit {warm_us:.1} µs ({speedup:.0}x); \
-             corpus sweep hit rate {:.1}%",
-            100.0 * stats.hit_rate()
+             corpus sweep hit rate {:.1}% ({} B resident); bounded@{capacity}: \
+             {} evictions, hit rate {:.1}%",
+            100.0 * stats.hit_rate(),
+            stats.bytes,
+            bounded.evictions,
+            100.0 * bounded.hit_rate(),
         );
+    }
+
+    // Serve group: the fetch-serve daemon core driven in-process over
+    // the large corpus image — the load-generator shape of the
+    // `serve_load` harness, minus the socket hop, so the numbers are
+    // scheduling-noise-free. Three latencies: a cold submit (fresh
+    // service, fresh store), a bounded-cache hit (same service again),
+    // and a persisted-warm hit (new service over the same store
+    // directory — the restart shape). The cache-hit bar is the serving
+    // acceptance criterion; the store answer must equal the cold run.
+    {
+        use fetch_serve::protocol::{AnalyzeInput, Reply, Request, ServeSource};
+        use fetch_serve::service::{AnalysisService, ServeConfig};
+
+        let base =
+            std::env::temp_dir().join(format!("fetch-serve-snapshot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let elf_bytes = large_image.view().image().to_vec();
+        let submit = |service: &mut AnalysisService| {
+            let t = Instant::now();
+            let reply = service.handle(Request::Analyze {
+                input: AnalyzeInput::Bytes(elf_bytes.clone()),
+                pipeline: Pipeline::fetch(),
+            });
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            match reply {
+                Reply::Analyze(a) => (us, a.source, a.result),
+                other => panic!("serve group: unexpected reply {other:?}"),
+            }
+        };
+        let config_for = |dir: &std::path::Path| ServeConfig {
+            store_dir: Some(dir.to_path_buf()),
+            cache_capacity: fetch_core::CacheCapacity::entries(cache_capacity.unwrap_or(1024)),
+        };
+
+        // Cold: a fresh service over a fresh store each rep.
+        let mut cold_us = f64::INFINITY;
+        let mut cold_result = None;
+        for rep in 0..reps {
+            let dir = base.join(format!("cold-{rep}"));
+            let mut service = AnalysisService::new(&config_for(&dir)).expect("service");
+            let (us, source, result) = submit(&mut service);
+            assert_eq!(source, ServeSource::Cold);
+            cold_us = cold_us.min(us);
+            cold_result = Some(result);
+        }
+        let cold_result = cold_result.expect("reps >= 1");
+
+        // Cache hit: one service, second submit.
+        let warm_dir = base.join("warm");
+        let mut warm_service = AnalysisService::new(&config_for(&warm_dir)).expect("service");
+        let (_, source, _) = submit(&mut warm_service);
+        assert_eq!(source, ServeSource::Cold);
+        let mut cache_us = f64::INFINITY;
+        for _ in 0..reps.max(3) {
+            let (us, source, result) = submit(&mut warm_service);
+            assert_eq!(source, ServeSource::CacheHit);
+            assert_eq!(*result, *cold_result);
+            cache_us = cache_us.min(us);
+        }
+        drop(warm_service);
+
+        // Persisted-warm: a restarted service (fresh cache, same store)
+        // each rep — every submit is a store hit.
+        let mut store_us = f64::INFINITY;
+        for _ in 0..reps.max(3) {
+            let mut restarted = AnalysisService::new(&config_for(&warm_dir)).expect("service");
+            let (us, source, result) = submit(&mut restarted);
+            assert_eq!(source, ServeSource::StoreHit, "restart must answer warm");
+            assert_eq!(
+                *result, *cold_result,
+                "the persisted answer must equal the cold run"
+            );
+            store_us = store_us.min(us);
+        }
+
+        let cache_speedup = cold_us / cache_us.max(1e-9);
+        let store_speedup = cold_us / store_us.max(1e-9);
+        assert!(
+            cache_speedup >= 10.0,
+            "a daemon cache hit must be >= 10x faster than a cold submit \
+             (cold {cold_us:.1} µs, hit {cache_us:.1} µs, {cache_speedup:.1}x)"
+        );
+        let _ = write!(
+            json,
+            "  \"serve\": {{\n    \"image_bytes\": {},\n    \
+             \"cold_submit_us\": {cold_us:.1},\n    \
+             \"cache_hit_us\": {cache_us:.1},\n    \
+             \"store_hit_us\": {store_us:.1},\n    \
+             \"cache_hit_speedup\": {cache_speedup:.1},\n    \
+             \"store_hit_speedup\": {store_speedup:.1}\n  }},\n",
+            elf_bytes.len(),
+        );
+        println!(
+            " serve: cold {cold_us:.1} µs, cache hit {cache_us:.1} µs ({cache_speedup:.0}x), \
+             store hit {store_us:.1} µs ({store_speedup:.0}x)"
+        );
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     // Batch-driver groups: the default corpus, full pipeline per binary,

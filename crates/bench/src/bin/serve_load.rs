@@ -1,0 +1,221 @@
+//! Load generator for the `fetch-serve` daemon: starts a daemon on a
+//! Unix socket, drives it with analyze requests over the determinism
+//! corpus (Dataset 2), and prints per-source latency percentiles —
+//! the end-to-end serving numbers *including* the transport hop
+//! (`perf_snapshot`'s `serve` group measures the same path in-process).
+//!
+//! The run has three phases over one daemon lifetime plus a restart:
+//!
+//! 1. **cold** — every corpus binary submitted once (all misses);
+//! 2. **warm** — `--rounds` more sweeps (bounded-cache hits, or
+//!    recomputes when `--cache-capacity` forces eviction);
+//! 3. **restart** — the daemon is shut down and restarted over the same
+//!    store directory, then swept once more (persistent-store hits).
+//!
+//! Every reply's rendered `result` object is asserted byte-identical to
+//! the cold reply for that binary — warm and persisted answers must
+//! never drift.
+//!
+//! Usage: `cargo run --release -p fetch-bench --bin serve_load --
+//! [--scale N] [--funcs F] [--rounds R] [--cache-capacity N]`
+
+#![cfg(unix)]
+
+use fetch_bench::{banner, dataset2, opts_from_args};
+use fetch_binary::write_elf;
+use fetch_core::{CacheCapacity, Pipeline};
+use fetch_serve::json::Json;
+use fetch_serve::protocol::Request;
+use fetch_serve::server::{serve, ServerOptions};
+use fetch_serve::service::{AnalysisService, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn start_daemon(
+    socket: PathBuf,
+    config: ServeConfig,
+) -> std::thread::JoinHandle<std::io::Result<fetch_serve::ServeSummary>> {
+    let handle = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            let mut service = AnalysisService::new(&config)?;
+            serve(
+                &mut service,
+                &ServerOptions {
+                    socket: Some(socket),
+                    poll: Some(Duration::from_millis(1)),
+                    ..ServerOptions::default()
+                },
+            )
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if UnixStream::connect(&socket).is_ok() {
+            return handle;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("daemon did not start listening on {}", socket.display());
+}
+
+/// One request/reply round trip over a fresh connection; returns
+/// (latency µs, reply).
+fn roundtrip(socket: &Path, line: &str) -> (f64, Json) {
+    let t = Instant::now();
+    let mut stream = UnixStream::connect(socket).expect("connect");
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send");
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("reply");
+    let us = t.elapsed().as_secs_f64() * 1e6;
+    (
+        us,
+        Json::parse(&reply).unwrap_or_else(|e| panic!("bad reply {reply:?}: {e}")),
+    )
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[ix]
+}
+
+fn report(label: &str, mut latencies: Vec<f64>) {
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "  {label:<8} n={:<5} p50 {:>9.1} µs   p95 {:>9.1} µs   max {:>9.1} µs",
+        latencies.len(),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 1.0),
+    );
+}
+
+fn main() {
+    let opts = opts_from_args();
+    let mut rounds = 2usize;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--rounds" {
+            i += 1;
+            rounds = args[i].parse().expect("--rounds takes a positive integer");
+            assert!(rounds >= 1);
+        }
+        i += 1;
+    }
+
+    let base = std::env::temp_dir().join(format!("fetch-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let socket = base.join("fetch.sock");
+    let store = base.join("store");
+    let config = ServeConfig {
+        store_dir: Some(store),
+        cache_capacity: match opts.cache_capacity {
+            Some(n) => CacheCapacity::entries(n),
+            None => CacheCapacity::UNBOUNDED,
+        },
+    };
+
+    banner("fetch-serve load generator (Dataset 2 over a Unix socket)");
+    let cases = dataset2(&opts);
+    let lines: Vec<String> = cases
+        .iter()
+        .map(|case| {
+            Request::Analyze {
+                input: fetch_serve::protocol::AnalyzeInput::Bytes(write_elf(&case.binary)),
+                pipeline: Pipeline::fetch(),
+            }
+            .to_line()
+        })
+        .collect();
+    // Submitting inline keeps the harness hermetic; report the volume.
+    let payload: usize = lines.iter().map(String::len).sum();
+    println!(
+        "  corpus: {} binaries, {:.1} KiB of request payload per sweep, cache capacity {:?}",
+        cases.len(),
+        payload as f64 / 1024.0,
+        opts.cache_capacity,
+    );
+
+    let sweep = |socket: &Path, expect: Option<&[String]>| -> (Vec<f64>, Vec<String>) {
+        let mut latencies = Vec::with_capacity(lines.len());
+        let mut results = Vec::with_capacity(lines.len());
+        for (ci, line) in lines.iter().enumerate() {
+            let (us, reply) = roundtrip(socket, line);
+            assert_eq!(
+                reply.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{reply}"
+            );
+            let result = reply.get("result").expect("result").to_string();
+            if let Some(expect) = expect {
+                assert_eq!(
+                    result, expect[ci],
+                    "case {ci}: answer drifted from the cold sweep"
+                );
+            }
+            latencies.push(us);
+            results.push(result);
+        }
+        (latencies, results)
+    };
+
+    // Phase 1+2: cold sweep, then warm rounds, one daemon lifetime.
+    let daemon = start_daemon(socket.clone(), config.clone());
+    let t_total = Instant::now();
+    let (cold, cold_results) = sweep(&socket, None);
+    report("cold", cold);
+    for round in 0..rounds {
+        let (warm, _) = sweep(&socket, Some(&cold_results));
+        report(&format!("warm#{}", round + 1), warm);
+    }
+    let (_, stats) = roundtrip(&socket, &Request::Stats.to_line());
+    let cache = stats.get("cache").expect("cache stats");
+    println!(
+        "  cache: hits {} / lookups {}, evictions {}, resident {} entries / {} B",
+        cache.get("hits").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("hits").and_then(Json::as_u64).unwrap_or(0)
+            + cache.get("misses").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("evictions").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("entries").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("bytes").and_then(Json::as_u64).unwrap_or(0),
+    );
+    roundtrip(&socket, &Request::Shutdown.to_line());
+    daemon.join().expect("daemon").expect("serve loop");
+
+    // Phase 3: restart over the same store; answers come back warm.
+    let daemon = start_daemon(socket.clone(), config);
+    let (restored, _) = sweep(&socket, Some(&cold_results));
+    report("restart", restored);
+    let (_, stats) = roundtrip(&socket, &Request::Stats.to_line());
+    let store_hits = stats
+        .get("requests")
+        .and_then(|r| r.get("store_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    println!(
+        "  restart: {store_hits} of {} answers from the persistent store",
+        cases.len()
+    );
+    assert!(
+        store_hits > 0,
+        "a restarted daemon must answer from the store"
+    );
+    roundtrip(&socket, &Request::Shutdown.to_line());
+    daemon.join().expect("daemon").expect("serve loop");
+
+    println!(
+        "  total: {:.2} s wall for {} requests",
+        t_total.elapsed().as_secs_f64(),
+        lines.len() * (rounds + 2) + 2,
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -17,6 +17,10 @@
 //!   layer list (`FDE+Rec+Xref`; see [`fetch_core::KNOWN_LAYERS`]),
 //!   consumed by the `pipeline_run` harness for ad-hoc ablations.
 //!   Unknown layer names are rejected with the full known-layer list.
+//! * `--cache-capacity <N>` — entry bound of the serving
+//!   [`fetch_core::AnalysisCache`] (LRU eviction past it), consumed by
+//!   the serving harnesses (`serve_load`, `perf_snapshot`). Default:
+//!   unbounded.
 //!
 //! **Determinism guarantee:** every harness output is byte-identical for
 //! every `--jobs` value. The [`BatchDriver`] shards deterministically and
@@ -52,6 +56,9 @@ pub struct BenchOpts {
     /// should run its default stacks; the `pipeline_run` bin consumes
     /// it for ad-hoc ablations.
     pub pipeline: Option<fetch_core::Pipeline>,
+    /// Entry bound of the serving cache (`--cache-capacity N`; `None` =
+    /// unbounded), consumed by the serving harnesses.
+    pub cache_capacity: Option<usize>,
 }
 
 impl Default for BenchOpts {
@@ -63,6 +70,7 @@ impl Default for BenchOpts {
             },
             jobs: default_jobs(),
             pipeline: None,
+            cache_capacity: None,
         }
     }
 }
@@ -124,6 +132,14 @@ pub fn opts_from(args: &[String]) -> Result<BenchOpts, String> {
             "--jobs" => {
                 i += 1;
                 opts.jobs = positive("--jobs", args.get(i), "a positive integer")?;
+            }
+            "--cache-capacity" => {
+                i += 1;
+                opts.cache_capacity = Some(positive(
+                    "--cache-capacity",
+                    args.get(i),
+                    "a positive integer",
+                )?);
             }
             "--pipeline" => {
                 i += 1;
@@ -329,6 +345,22 @@ mod tests {
         assert_eq!(opts.scale.bin_divisor, 3);
         assert!((opts.scale.func_scale - 0.5).abs() < 1e-9);
         assert_eq!(opts.jobs, 7);
+    }
+
+    #[test]
+    fn cache_capacity_parses_and_rejects_non_positive() {
+        assert_eq!(parse(&[]).unwrap().cache_capacity, None);
+        let opts = parse(&["--cache-capacity", "64"]).unwrap();
+        assert_eq!(opts.cache_capacity, Some(64));
+        for bad in [
+            vec!["--cache-capacity", "0"],
+            vec!["--cache-capacity", "-4"],
+            vec!["--cache-capacity", "many"],
+            vec!["--cache-capacity"],
+        ] {
+            let err = parse(&bad).expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("--cache-capacity"), "{err}");
+        }
     }
 
     #[test]

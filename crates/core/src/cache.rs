@@ -1,5 +1,6 @@
 //! The serving-layer result cache: memoized [`DetectionResult`]s keyed
-//! by `(binary content fingerprint, pipeline id)`.
+//! by `(binary content fingerprint, pipeline id)`, with optional
+//! capacity bounds and size-aware LRU eviction.
 //!
 //! A production detection service answers the same query — the same
 //! binary under the same pipeline — over and over. [`AnalysisCache`]
@@ -8,8 +9,9 @@
 //! shared by every worker of a batch sweep ([`BatchDriver::run_with_cache`]
 //! in `fetch-bench`) and every cached entry is handed out without
 //! copying. Entry points: [`crate::Fetch::detect_cached`],
-//! [`crate::Fetch::detect_image_cached`], and
-//! `fetch_tools::run_tool_on_image_cached`.
+//! [`crate::Fetch::detect_image_cached`],
+//! `fetch_tools::run_tool_on_image_cached`, and the `fetch-serve`
+//! daemon.
 //!
 //! Keys are 64-bit FNV-1a content fingerprints ([`content_fingerprint`]
 //! over a materialized [`Binary`], [`image_fingerprint`] over a raw ELF
@@ -18,12 +20,28 @@
 //! fingerprint covers everything detection reads — entry point, section
 //! kinds/addresses/bytes, symbols — and nothing it does not (display
 //! name, build metadata), so renaming a binary still hits.
+//!
+//! ## Capacity and eviction
+//!
+//! A long-lived daemon cannot let the cache grow with the traffic, so
+//! an [`AnalysisCache`] can be bounded ([`AnalysisCache::with_capacity`])
+//! by entry count, by approximate resident bytes
+//! ([`DetectionResult::approx_bytes`]), or both ([`CacheCapacity`]).
+//! Whenever an insert pushes the cache over either bound, the
+//! least-recently-used entries are evicted until it fits again (a single
+//! entry larger than the byte bound is evicted immediately — the cache
+//! never exceeds its capacity). Evictions only ever drop memoized
+//! state, never answers: a later query for an evicted key recomputes and
+//! gets the identical result (property-tested in
+//! `tests/proptest_pipeline_cache.rs`). [`CacheStats`] reports the
+//! eviction count and the live entry/byte footprint alongside
+//! hits/misses.
 
 use crate::state::DetectionResult;
 use fetch_binary::Binary;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x1000_0000_01b3;
@@ -33,14 +51,14 @@ const DOMAIN_CONTENT: u64 = 0x636f_6e74_656e_7431; // "content1"
 /// Domain tag mixed into [`image_fingerprint`] keys.
 const DOMAIN_IMAGE: u64 = 0x696d_6167_6562_7566; // "imagebuf"
 
-struct Fnv(u64);
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new(domain: u64) -> Fnv {
+    pub(crate) fn new(domain: u64) -> Fnv {
         Fnv(FNV_OFFSET ^ domain)
     }
 
-    fn bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
         // Length first, so concatenated fields cannot alias.
         self.u64(bytes.len() as u64);
         let mut chunks = bytes.chunks_exact(8);
@@ -54,9 +72,13 @@ impl Fnv {
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.0 ^= v;
         self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -94,15 +116,64 @@ pub fn image_fingerprint(image: &fetch_binary::ElfImage) -> u64 {
     h.0
 }
 
-/// Lookup/insert counters of an [`AnalysisCache`] (monotone snapshots).
+/// Capacity bounds of an [`AnalysisCache`]. The default is unbounded —
+/// the batch-sweep shape, where the corpus is the bound. A serving
+/// daemon bounds one or both axes ([`CacheCapacity::entries`],
+/// [`CacheCapacity::bytes`]); exceeding either triggers LRU eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCapacity {
+    /// Maximum resident entries (`None` = unbounded).
+    pub max_entries: Option<usize>,
+    /// Maximum approximate resident bytes
+    /// ([`DetectionResult::approx_bytes`]; `None` = unbounded).
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheCapacity {
+    /// No bounds: nothing is ever evicted.
+    pub const UNBOUNDED: CacheCapacity = CacheCapacity {
+        max_entries: None,
+        max_bytes: None,
+    };
+
+    /// Bound by entry count only.
+    pub fn entries(max_entries: usize) -> CacheCapacity {
+        CacheCapacity {
+            max_entries: Some(max_entries),
+            ..CacheCapacity::UNBOUNDED
+        }
+    }
+
+    /// Bound by approximate resident bytes only.
+    pub fn bytes(max_bytes: usize) -> CacheCapacity {
+        CacheCapacity {
+            max_bytes: Some(max_bytes),
+            ..CacheCapacity::UNBOUNDED
+        }
+    }
+
+    /// Whether `entries`/`bytes` exceed either bound.
+    fn over(&self, entries: usize, bytes: usize) -> bool {
+        self.max_entries.is_some_and(|m| entries > m) || self.max_bytes.is_some_and(|m| bytes > m)
+    }
+}
+
+/// Lookup/insert/eviction counters and the live footprint of an
+/// [`AnalysisCache`] (counters are monotone snapshots; `entries`/`bytes`
+/// are the current residency).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
+    /// Entries dropped by LRU eviction (never by [`AnalysisCache::clear`]).
+    pub evictions: u64,
     /// Resident entries at snapshot time.
     pub entries: usize,
+    /// Approximate resident bytes at snapshot time
+    /// ([`DetectionResult::approx_bytes`] summed over entries).
+    pub bytes: usize,
 }
 
 impl CacheStats {
@@ -118,60 +189,153 @@ impl CacheStats {
     }
 }
 
+/// One resident result plus its accounting.
+#[derive(Debug)]
+struct Entry {
+    result: Arc<DetectionResult>,
+    /// [`DetectionResult::approx_bytes`], computed once at insert.
+    bytes: usize,
+    /// Recency tick; key into [`Inner::recency`].
+    tick: u64,
+}
+
+/// The map state behind the mutex.
+#[derive(Debug, Default)]
+struct Inner {
+    /// Two-level map: fingerprint, then pipeline id. The split lets a
+    /// lookup borrow the caller's `&str` instead of materializing an
+    /// owned tuple key.
+    map: HashMap<u64, HashMap<String, Entry>>,
+    /// LRU index: recency tick → key. The first (smallest-tick) entry
+    /// is the eviction victim; ticks are unique by construction.
+    recency: BTreeMap<u64, (u64, String)>,
+    /// Live entry count (mirrors the map; O(1) for stats).
+    entries: usize,
+    /// Live approximate byte footprint.
+    bytes: usize,
+    /// Next recency tick to hand out.
+    next_tick: u64,
+}
+
+impl Inner {
+    /// Moves `(fingerprint, pipeline_id)` to the most-recent position.
+    fn touch(&mut self, fingerprint: u64, pipeline_id: &str) -> Option<Arc<DetectionResult>> {
+        let fresh = self.next_tick;
+        let entry = self.map.get_mut(&fingerprint)?.get_mut(pipeline_id)?;
+        let old = std::mem::replace(&mut entry.tick, fresh);
+        let result = Arc::clone(&entry.result);
+        self.next_tick += 1;
+        let key = self.recency.remove(&old).expect("tick indexed");
+        self.recency.insert(fresh, key);
+        Some(result)
+    }
+}
+
 /// The fingerprint-keyed result cache: `(binary fingerprint, pipeline
-/// id) → Arc<DetectionResult>`.
+/// id) → Arc<DetectionResult>`, optionally bounded with size-aware LRU
+/// eviction ([`CacheCapacity`]).
 ///
 /// Thread-safe behind `&self` (internal mutex, atomic counters), so one
 /// instance serves every worker of a parallel sweep. Detection is
 /// deterministic — two workers racing to fill the same key compute
 /// identical results, the first insert wins, and both receive the
 /// winning `Arc` — so a warm hit is observationally identical to a cold
-/// run (a property test in `fetch-core` enforces it).
+/// run, and an *eviction* is observationally identical to never having
+/// cached (both properties are property-tested in `fetch-core`).
 ///
 /// # Examples
 ///
 /// ```
-/// use fetch_core::{content_fingerprint, AnalysisCache, Pipeline};
+/// use fetch_core::{content_fingerprint, AnalysisCache, CacheCapacity, Pipeline};
 /// use fetch_synth::{synthesize, SynthConfig};
 ///
 /// let case = synthesize(&SynthConfig::small(3));
-/// let cache = AnalysisCache::new();
+/// let cache = AnalysisCache::with_capacity(CacheCapacity::entries(64));
 /// let pipeline = Pipeline::fetch();
 /// let fp = content_fingerprint(&case.binary);
 /// let cold = cache.get_or_compute(fp, &pipeline.id(), || pipeline.run(&case.binary));
 /// let warm = cache.get_or_compute(fp, &pipeline.id(), || unreachable!("warm hit"));
 /// assert!(std::sync::Arc::ptr_eq(&cold, &warm));
 /// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().bytes, cold.approx_bytes());
 /// ```
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
-    /// Two-level map: fingerprint, then pipeline id. The split keeps
-    /// the hot serving path allocation-free — a lookup borrows the
-    /// caller's `&str` instead of materializing an owned tuple key.
-    map: Mutex<HashMap<u64, HashMap<String, Arc<DetectionResult>>>>,
+    inner: Mutex<Inner>,
+    capacity: CacheCapacity,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl AnalysisCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (nothing is ever evicted).
     pub fn new() -> AnalysisCache {
         AnalysisCache::default()
     }
 
-    /// Looks up `(fingerprint, pipeline_id)`, counting the outcome.
-    /// Allocation-free on both hit and miss.
+    /// An empty cache bounded by `capacity`: inserts that push the
+    /// cache over either bound evict least-recently-used entries until
+    /// it fits (see the module docs on capacity and eviction).
+    pub fn with_capacity(capacity: CacheCapacity) -> AnalysisCache {
+        AnalysisCache {
+            capacity,
+            ..AnalysisCache::default()
+        }
+    }
+
+    /// The configured capacity bounds.
+    pub fn capacity(&self) -> CacheCapacity {
+        self.capacity
+    }
+
+    /// Looks up `(fingerprint, pipeline_id)`, counting the outcome and
+    /// marking the entry most-recently-used on a hit.
     pub fn lookup(&self, fingerprint: u64, pipeline_id: &str) -> Option<Arc<DetectionResult>> {
-        let hit = self
-            .lock()
-            .get(&fingerprint)
-            .and_then(|by_pipeline| by_pipeline.get(pipeline_id))
-            .cloned();
+        let hit = self.lock().touch(fingerprint, pipeline_id);
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         hit
+    }
+
+    /// Inserts a result for `(fingerprint, pipeline_id)` without
+    /// consulting the hit/miss counters — the store-restore path of a
+    /// serving daemon (the result was computed in a previous process).
+    /// If the key is already resident the existing entry wins (results
+    /// are deterministic, so both are identical) and is returned;
+    /// either way the returned `Arc` is what the cache now serves —
+    /// unless capacity bounds evicted it on arrival, which is still a
+    /// correct (merely cold) cache.
+    pub fn insert(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+        result: Arc<DetectionResult>,
+    ) -> Arc<DetectionResult> {
+        let mut inner = self.lock();
+        if let Some(existing) = inner.touch(fingerprint, pipeline_id) {
+            return existing;
+        }
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        let bytes = result.approx_bytes();
+        inner
+            .recency
+            .insert(tick, (fingerprint, pipeline_id.to_string()));
+        inner.map.entry(fingerprint).or_default().insert(
+            pipeline_id.to_string(),
+            Entry {
+                result: Arc::clone(&result),
+                bytes,
+                tick,
+            },
+        );
+        inner.entries += 1;
+        inner.bytes += bytes;
+        self.evict_over_capacity(&mut inner);
+        result
     }
 
     /// Returns the cached result for `(fingerprint, pipeline_id)`, or
@@ -189,19 +353,31 @@ impl AnalysisCache {
         if let Some(hit) = self.lookup(fingerprint, pipeline_id) {
             return hit;
         }
-        let computed = Arc::new(compute());
-        Arc::clone(
-            self.lock()
-                .entry(fingerprint)
-                .or_default()
-                .entry(pipeline_id.to_string())
-                .or_insert(computed),
-        )
+        self.insert(fingerprint, pipeline_id, Arc::new(compute()))
+    }
+
+    /// Evicts least-recently-used entries until the cache fits its
+    /// capacity again. The newest entry holds the highest tick, so it
+    /// is evicted last — but *is* evicted when it alone exceeds the
+    /// byte bound (the cache never exceeds capacity).
+    fn evict_over_capacity(&self, inner: &mut Inner) {
+        while inner.entries > 0 && self.capacity.over(inner.entries, inner.bytes) {
+            let (&tick, _) = inner.recency.iter().next().expect("entries > 0");
+            let (fingerprint, pipeline_id) = inner.recency.remove(&tick).expect("present");
+            let by_pipeline = inner.map.get_mut(&fingerprint).expect("indexed");
+            let entry = by_pipeline.remove(&pipeline_id).expect("indexed");
+            if by_pipeline.is_empty() {
+                inner.map.remove(&fingerprint);
+            }
+            inner.entries -= 1;
+            inner.bytes -= entry.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.lock().values().map(HashMap::len).sum()
+        self.lock().entries
     }
 
     /// Whether the cache holds no entries.
@@ -209,17 +385,29 @@ impl AnalysisCache {
         self.len() == 0
     }
 
-    /// Drops every entry (counters keep running).
+    /// Drops every entry (counters keep running; not counted as
+    /// evictions).
     pub fn clear(&self) {
-        self.lock().clear();
+        let mut inner = self.lock();
+        *inner = Inner {
+            next_tick: inner.next_tick,
+            ..Inner::default()
+        };
     }
 
-    /// A snapshot of the lookup counters and entry count.
+    /// A snapshot of the lookup/eviction counters and the live
+    /// entry/byte footprint.
     pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let inner = self.lock();
+            (inner.entries, inner.bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
         }
     }
 
@@ -227,10 +415,8 @@ impl AnalysisCache {
     /// even if a panicking worker poisoned the mutex — recover instead
     /// of propagating (the batch driver catches worker panics and keeps
     /// the remaining shards running).
-    fn lock(
-        &self,
-    ) -> std::sync::MutexGuard<'_, HashMap<u64, HashMap<String, Arc<DetectionResult>>>> {
-        self.map
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
@@ -280,8 +466,75 @@ mod tests {
         assert_ne!(a.layers, b.layers);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().bytes, a.approx_bytes() + b.approx_bytes());
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.stats().bytes, 0);
         assert_eq!(cache.stats().misses, 2, "counters survive clear");
+        assert_eq!(cache.stats().evictions, 0, "clear is not eviction");
+    }
+
+    #[test]
+    fn entry_capacity_evicts_least_recently_used() {
+        let cases: Vec<_> = (31u64..35)
+            .map(|s| synthesize(&SynthConfig::small(s)))
+            .collect();
+        let pipeline = Pipeline::parse("FDE").unwrap();
+        let id = pipeline.id();
+        let cache = AnalysisCache::with_capacity(CacheCapacity::entries(2));
+        let fps: Vec<u64> = cases
+            .iter()
+            .map(|c| content_fingerprint(&c.binary))
+            .collect();
+
+        cache.get_or_compute(fps[0], &id, || pipeline.run(&cases[0].binary));
+        cache.get_or_compute(fps[1], &id, || pipeline.run(&cases[1].binary));
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(cache.lookup(fps[0], &id).is_some());
+        cache.get_or_compute(fps[2], &id, || pipeline.run(&cases[2].binary));
+
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.lookup(fps[0], &id).is_some(),
+            "recently used survives"
+        );
+        assert!(cache.lookup(fps[1], &id).is_none(), "LRU victim evicted");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn byte_capacity_never_exceeded_even_by_one_entry() {
+        let case = synthesize(&SynthConfig::small(36));
+        let pipeline = Pipeline::fetch();
+        let cold = pipeline.run(&case.binary);
+        // A bound smaller than any single result: nothing is admitted,
+        // every lookup recomputes, answers stay correct.
+        let cache = AnalysisCache::with_capacity(CacheCapacity::bytes(cold.approx_bytes() / 2));
+        let fp = content_fingerprint(&case.binary);
+        for _ in 0..3 {
+            let served = cache.get_or_compute(fp, &pipeline.id(), || pipeline.run(&case.binary));
+            assert_eq!(*served, cold);
+            let stats = cache.stats();
+            assert_eq!(stats.entries, 0, "oversized entry must not be admitted");
+            assert_eq!(stats.bytes, 0);
+        }
+        assert_eq!(cache.stats().evictions, 3);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_first_writer_wins() {
+        let case = synthesize(&SynthConfig::small(37));
+        let pipeline = Pipeline::parse("FDE").unwrap();
+        let fp = content_fingerprint(&case.binary);
+        let cache = AnalysisCache::new();
+        let first = cache.insert(fp, &pipeline.id(), Arc::new(pipeline.run(&case.binary)));
+        let second = cache.insert(fp, &pipeline.id(), Arc::new(pipeline.run(&case.binary)));
+        assert!(Arc::ptr_eq(&first, &second), "first insert wins");
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "insert skips counters");
     }
 }

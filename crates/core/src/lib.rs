@@ -81,6 +81,58 @@
 //!    seen binary under a seen pipeline is a lookup
 //!    ([`Fetch::detect_image_cached`], [`Fetch::detect_cached`]).
 //!
+//! ## Serving: spec → executor → trace → bounded cache → persistent store → daemon
+//!
+//! The pipeline stages above compose into a long-lived serving path —
+//! the deployment mode the paper motivates for downstream binary-analysis
+//! consumers, implemented by the `fetch-serve` crate:
+//!
+//! * **Bounded cache.** A daemon's cache cannot grow with its traffic:
+//!   [`AnalysisCache::with_capacity`] bounds residency by entry count
+//!   and/or approximate bytes ([`CacheCapacity`],
+//!   [`DetectionResult::approx_bytes`]) with least-recently-used
+//!   eviction. Eviction never changes an answer — a re-query recomputes
+//!   the identical result — and [`CacheStats`] reports evictions and the
+//!   live footprint alongside hits/misses.
+//! * **Persistent store.** [`serialize_result`] /
+//!   [`deserialize_result`] encode a [`DetectionResult`] *with its full
+//!   [`LayerTrace`] telemetry* into a versioned, checksummed,
+//!   deterministic byte format, keyed externally by
+//!   `(content fingerprint, pipeline id)` — the same stable identities
+//!   the cache uses — so a restarted daemon answers warm from disk, and
+//!   a truncated or bit-flipped store file is rejected, never misread.
+//! * **Daemon.** `fetch-serve` accepts work over a local socket and a
+//!   directory queue, answers bounded-cache-first, store-second,
+//!   cold-compute-last, and streams each request's per-layer trace to
+//!   telemetry subscribers.
+//!
+//! The full serving round trip, in process:
+//!
+//! ```
+//! use fetch_core::{
+//!     content_fingerprint, deserialize_result, serialize_result, AnalysisCache,
+//!     CacheCapacity, Pipeline,
+//! };
+//! use fetch_synth::{synthesize, SynthConfig};
+//! use std::sync::Arc;
+//!
+//! let case = synthesize(&SynthConfig::small(6));
+//! let pipeline = Pipeline::fetch();
+//! let fp = content_fingerprint(&case.binary);
+//!
+//! // A bounded serving cache: at most 128 entries stay resident.
+//! let cache = AnalysisCache::with_capacity(CacheCapacity::entries(128));
+//! let cold = cache.get_or_compute(fp, &pipeline.id(), || pipeline.run(&case.binary));
+//!
+//! // Persist across a "restart": serialize, then restore into a fresh
+//! // cache — the answer (and its trace) survives byte-identically.
+//! let bytes = serialize_result(&cold).unwrap();
+//! let restarted = AnalysisCache::with_capacity(CacheCapacity::entries(128));
+//! let warm = restarted.insert(fp, &pipeline.id(), Arc::new(deserialize_result(&bytes).unwrap()));
+//! assert_eq!(*warm, *cold);
+//! assert_eq!(restarted.lookup(fp, &pipeline.id()).as_deref(), Some(&*cold));
+//! ```
+//!
 //! # Examples
 //!
 //! Build and run a custom pipeline, inspect its trace, then serve a
@@ -126,11 +178,12 @@ mod fetch;
 mod heuristics;
 mod pipeline;
 mod pointer_scan;
+mod serial;
 mod state;
 mod strategy;
 
 pub use algorithm1::{CallFrameRepair, RepairReport};
-pub use cache::{content_fingerprint, image_fingerprint, AnalysisCache, CacheStats};
+pub use cache::{content_fingerprint, image_fingerprint, AnalysisCache, CacheCapacity, CacheStats};
 pub use fetch::Fetch;
 pub use heuristics::{
     code_gaps, AlignmentSplit, ByteWeight, ControlFlowRepair, FlirtSignatures, FunctionMerge,
@@ -138,6 +191,10 @@ pub use heuristics::{
 };
 pub use pipeline::{LayerSpec, Pipeline, PipelineParseError, Tool, KNOWN_LAYERS};
 pub use pointer_scan::{collect_data_pointers, validate_candidate, PointerScan, ValidationError};
+pub use serial::{
+    deserialize_result, intern_layer_name, serialize_result, SerialError, RESULT_MAGIC,
+    RESULT_VERSION,
+};
 pub use state::{DetectionResult, DetectionState, FrameTable, LayerTrace, Provenance};
 pub use strategy::{
     run_stack, run_stack_cached, EntrySeed, FdeSeeds, SafeRecursion, Strategy, SymbolSeeds,

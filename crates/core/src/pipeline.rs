@@ -84,6 +84,41 @@ impl Tool {
     pub fn uses_call_frames(self) -> bool {
         matches!(self, Tool::Ghidra | Tool::Angr | Tool::Fetch)
     }
+
+    /// Resolves a tool by display name, ignoring case and spaces
+    /// (`"ida pro"`, `"IDAPRO"`, `"BinaryNinja"` all name
+    /// [`Tool::IdaPro`]/[`Tool::BinaryNinja`]) — the lookup the serving
+    /// protocol's `tool` field goes through.
+    pub fn from_name(name: &str) -> Option<Tool> {
+        let normalize = |s: &str| {
+            s.chars()
+                .filter(|c| !c.is_whitespace())
+                .map(|c| c.to_ascii_lowercase())
+                .collect::<String>()
+        };
+        let wanted = normalize(name);
+        Tool::ALL
+            .into_iter()
+            .find(|t| normalize(t.name()) == wanted)
+    }
+
+    /// [`Pipeline::id`] of [`Pipeline::for_tool`], precomputed so warm
+    /// serving paths (`run_tool_on_image_cached`, the `fetch-serve`
+    /// daemon) key the cache without allocating. Pinned to
+    /// `Pipeline::for_tool(self).id()` by a unit test.
+    pub fn pipeline_id(self) -> &'static str {
+        match self {
+            Tool::Dyninst => "Entry+Rec+Fsig.radare+Fsig.angr",
+            Tool::Bap => "Entry+ByteWeight",
+            Tool::Radare2 => "Entry+Rec+Fsig.radare",
+            Tool::Nucleus => "Entry+Nucleus",
+            Tool::IdaPro => "Entry+Rec+Flirt",
+            Tool::BinaryNinja => "Entry+Rec+Tcall.ghidra+Fsig.angr+Align",
+            Tool::Ghidra => "FDE+Rec+CFR+Thunk+Fsig.ghidra",
+            Tool::Angr => "FDE+Rec+Fmerg+Fsig.angr+Scan+Align",
+            Tool::Fetch => "FDE+Rec+Xref+TcallFix",
+        }
+    }
 }
 
 impl fmt::Display for Tool {
@@ -248,16 +283,25 @@ impl fmt::Display for LayerSpec {
 /// A malformed pipeline specification string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineParseError {
-    /// The spec contained no layer tokens.
+    /// The spec contained no layer tokens (empty or whitespace-only).
     Empty,
     /// A token named no known layer.
     UnknownLayer(String),
+    /// A layer appeared more than once; the value is the second
+    /// occurrence's token as written. Running a layer twice is either a
+    /// no-op or a typo, and accepting it would give one stack two cache
+    /// ids — so the strict front door rejects it ([`Pipeline::new`]
+    /// stays permissive for programmatic experiments).
+    DuplicateLayer(String),
 }
 
 impl fmt::Display for PipelineParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PipelineParseError::Empty => write!(f, "empty pipeline (expected e.g. FDE+Rec+Xref)"),
+            PipelineParseError::Empty => write!(
+                f,
+                "empty pipeline: no layer tokens (expected e.g. FDE+Rec+Xref)"
+            ),
             PipelineParseError::UnknownLayer(token) => {
                 write!(f, "unknown layer {token:?} (known layers: ")?;
                 for (i, (name, _)) in KNOWN_LAYERS.iter().enumerate() {
@@ -267,6 +311,12 @@ impl fmt::Display for PipelineParseError {
                     f.write_str(name)?;
                 }
                 f.write_str(")")
+            }
+            PipelineParseError::DuplicateLayer(token) => {
+                write!(
+                    f,
+                    "duplicate layer {token:?}: each layer may appear at most once"
+                )
             }
         }
     }
@@ -333,12 +383,15 @@ impl Pipeline {
 
     /// Parses a `+`-separated layer list (`"FDE+Rec+Xref"`), accepting
     /// the tokens of [`KNOWN_LAYERS`] case-insensitively and ignoring
-    /// whitespace around tokens.
+    /// whitespace around tokens (empty tokens, as in `"FDE++Rec"`, are
+    /// skipped).
     ///
     /// # Errors
     ///
     /// [`PipelineParseError::UnknownLayer`] (naming the bad token and
-    /// listing every known one) or [`PipelineParseError::Empty`].
+    /// listing every known one), [`PipelineParseError::DuplicateLayer`]
+    /// (naming the repeated token as written), or
+    /// [`PipelineParseError::Empty`] for empty/whitespace-only specs.
     pub fn parse(spec: &str) -> Result<Pipeline, PipelineParseError> {
         let mut specs = Vec::new();
         for token in spec.split('+') {
@@ -350,6 +403,9 @@ impl Pipeline {
                 .iter()
                 .find(|(name, _)| name.eq_ignore_ascii_case(token))
             {
+                Some((_, layer)) if specs.contains(layer) => {
+                    return Err(PipelineParseError::DuplicateLayer(token.to_string()))
+                }
                 Some((_, layer)) => specs.push(*layer),
                 None => return Err(PipelineParseError::UnknownLayer(token.to_string())),
             }
@@ -503,6 +559,55 @@ mod tests {
             PipelineParseError::Empty
         );
         assert_eq!(Pipeline::parse("").unwrap_err(), PipelineParseError::Empty);
+        assert_eq!(
+            Pipeline::parse("  \t ").unwrap_err(),
+            PipelineParseError::Empty,
+            "whitespace-only spec is empty"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_layers_naming_the_token() {
+        // The second occurrence is named as written, case preserved.
+        assert_eq!(
+            Pipeline::parse("FDE+Rec+fde").unwrap_err(),
+            PipelineParseError::DuplicateLayer("fde".into())
+        );
+        let msg = Pipeline::parse("Rec+Xref+Rec").unwrap_err().to_string();
+        assert!(msg.contains("duplicate layer \"Rec\""), "{msg}");
+        // Different configurations of one layer family are NOT
+        // duplicates (Dyninst stacks two Fsig styles)...
+        assert!(Pipeline::parse("Fsig.radare+Fsig.angr").is_ok());
+        // ...but the same configuration twice is.
+        assert_eq!(
+            Pipeline::parse("Fsig.angr+Fsig.angr").unwrap_err(),
+            PipelineParseError::DuplicateLayer("Fsig.angr".into())
+        );
+        // Pipeline::new stays permissive for programmatic experiments.
+        let dup = Pipeline::new(vec![LayerSpec::FdeSeeds, LayerSpec::FdeSeeds]);
+        assert_eq!(dup.len(), 2);
+    }
+
+    #[test]
+    fn tool_names_and_static_pipeline_ids_round_trip() {
+        for tool in Tool::ALL {
+            assert_eq!(Tool::from_name(tool.name()), Some(tool));
+            assert_eq!(
+                tool.pipeline_id(),
+                Pipeline::for_tool(tool).id(),
+                "{tool}: static pipeline id drifted from the declarative one"
+            );
+            assert_eq!(
+                Pipeline::parse(tool.pipeline_id()).unwrap(),
+                Pipeline::for_tool(tool),
+                "{tool}: pipeline id must parse back to the same stack"
+            );
+        }
+        assert_eq!(Tool::from_name("ida pro"), Some(Tool::IdaPro));
+        assert_eq!(Tool::from_name("IDAPRO"), Some(Tool::IdaPro));
+        assert_eq!(Tool::from_name("BinaryNinja"), Some(Tool::BinaryNinja));
+        assert_eq!(Tool::from_name("fetch"), Some(Tool::Fetch));
+        assert_eq!(Tool::from_name("objdump"), None);
     }
 
     #[test]

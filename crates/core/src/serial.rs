@@ -1,0 +1,447 @@
+//! Versioned, deterministic serialization of [`DetectionResult`]s —
+//! the persistence format of the serving layer.
+//!
+//! A long-lived analysis daemon (`fetch-serve`) wants to answer warm
+//! after a restart, which means a [`DetectionResult`] — including its
+//! full [`LayerTrace`] telemetry — must survive the process. This module
+//! is the wire format: a compact little-endian binary encoding with a
+//! magic + version header and a trailing FNV-1a checksum, written and
+//! read by [`serialize_result`] / [`deserialize_result`].
+//!
+//! Design points:
+//!
+//! * **Deterministic.** The same result always encodes to the same
+//!   bytes (maps iterate in key order, every field has one encoding),
+//!   so persisted entries can be compared, deduplicated, and diffed
+//!   byte-wise across processes.
+//! * **Total round-trip.** `deserialize(serialize(r)) == r` including
+//!   the timing/decode fields `PartialEq` ignores — persistence keeps
+//!   the telemetry, not just the answer (property-tested in
+//!   `tests/proptest_serial.rs`).
+//! * **Versioned and checksummed.** A file from a future format version
+//!   is rejected by number, not misparsed; a truncated or bit-flipped
+//!   payload fails the checksum instead of decoding to a plausible-but
+//!   -wrong result.
+//! * **Closed vocabulary.** Layer names are interned back to the
+//!   `&'static str` table of [`crate::KNOWN_LAYERS`] display names; a
+//!   result produced by an out-of-vocabulary custom [`crate::Strategy`]
+//!   is rejected at *serialization* time (`UnknownLayerName`) rather
+//!   than producing bytes no reader can load.
+
+use crate::pipeline::KNOWN_LAYERS;
+use crate::state::{DetectionResult, LayerTrace, Provenance};
+
+/// Magic bytes opening every serialized [`DetectionResult`].
+pub const RESULT_MAGIC: [u8; 4] = *b"FRES";
+/// Current format version ([`deserialize_result`] rejects others).
+pub const RESULT_VERSION: u16 = 1;
+
+/// Domain tag of the trailing checksum (separates it from the
+/// fingerprint domains of [`crate::content_fingerprint`]).
+const DOMAIN_SERIAL: u64 = 0x7365_7269_616c_3176; // "serial1v"
+
+/// A malformed or unreadable serialized [`DetectionResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialError {
+    /// The buffer ended before the encoding did.
+    Truncated,
+    /// The leading magic bytes were not [`RESULT_MAGIC`].
+    BadMagic,
+    /// The format version is not [`RESULT_VERSION`].
+    UnsupportedVersion(u16),
+    /// The trailing checksum did not match the payload.
+    ChecksumMismatch,
+    /// A provenance tag byte named no [`Provenance`] variant.
+    UnknownProvenance(u8),
+    /// A layer name is outside the [`crate::KNOWN_LAYERS`] vocabulary.
+    UnknownLayerName(String),
+    /// A structural invariant failed (named), e.g. unsorted starts or
+    /// trailing garbage.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerialError::Truncated => write!(f, "truncated result encoding"),
+            SerialError::BadMagic => write!(f, "bad magic (not a serialized DetectionResult)"),
+            SerialError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported result format version {v} (expected {RESULT_VERSION})"
+                )
+            }
+            SerialError::ChecksumMismatch => write!(f, "checksum mismatch (corrupted payload)"),
+            SerialError::UnknownProvenance(tag) => write!(f, "unknown provenance tag {tag:#x}"),
+            SerialError::UnknownLayerName(name) => {
+                write!(
+                    f,
+                    "layer name {name:?} is not in the known-layer vocabulary"
+                )
+            }
+            SerialError::Corrupt(what) => write!(f, "corrupt result encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+/// Stable wire tag of a [`Provenance`] variant. Exhaustive on purpose:
+/// adding a variant forces choosing its tag here (tags are append-only
+/// — never renumber a shipped one).
+fn provenance_tag(p: Provenance) -> u8 {
+    match p {
+        Provenance::Fde => 0,
+        Provenance::Symbol => 1,
+        Provenance::CallTarget => 2,
+        Provenance::PointerScan => 3,
+        Provenance::TailCallFix => 4,
+        Provenance::Prologue => 5,
+        Provenance::TailHeuristic => 6,
+        Provenance::LinearScan => 7,
+        Provenance::Thunk => 8,
+        Provenance::Alignment => 9,
+    }
+}
+
+fn provenance_from_tag(tag: u8) -> Result<Provenance, SerialError> {
+    Ok(match tag {
+        0 => Provenance::Fde,
+        1 => Provenance::Symbol,
+        2 => Provenance::CallTarget,
+        3 => Provenance::PointerScan,
+        4 => Provenance::TailCallFix,
+        5 => Provenance::Prologue,
+        6 => Provenance::TailHeuristic,
+        7 => Provenance::LinearScan,
+        8 => Provenance::Thunk,
+        9 => Provenance::Alignment,
+        other => return Err(SerialError::UnknownProvenance(other)),
+    })
+}
+
+/// Interns a parsed layer name back to the `&'static str` the executor
+/// records — the display names of the [`KNOWN_LAYERS`] vocabulary.
+/// `None` for out-of-vocabulary names (custom strategies).
+pub fn intern_layer_name(name: &str) -> Option<&'static str> {
+    KNOWN_LAYERS
+        .iter()
+        .map(|(_, spec)| spec.name())
+        .find(|known| *known == name)
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = crate::cache::Fnv::new(DOMAIN_SERIAL);
+    h.bytes(payload);
+    h.finish()
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn count(&mut self, n: usize) {
+        self.u32(n.try_into().expect("count fits u32"));
+    }
+    fn str(&mut self, s: &str) {
+        let len: u16 = s.len().try_into().expect("name fits u16");
+        self.u16(len);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn delta(&mut self, delta: &[(u64, Provenance)]) {
+        self.count(delta.len());
+        for &(addr, prov) in delta {
+            self.u64(addr);
+            self.u8(provenance_tag(prov));
+        }
+    }
+}
+
+/// Encodes `result` into the versioned, checksummed wire format.
+///
+/// # Errors
+///
+/// [`SerialError::UnknownLayerName`] when the result was produced by a
+/// custom strategy whose name is outside [`KNOWN_LAYERS`] — such bytes
+/// could never be interned back, so they are refused up front.
+pub fn serialize_result(result: &DetectionResult) -> Result<Vec<u8>, SerialError> {
+    for name in result
+        .layers
+        .iter()
+        .chain(result.trace.iter().map(|t| &t.name))
+    {
+        if intern_layer_name(name).is_none() {
+            return Err(SerialError::UnknownLayerName((*name).to_string()));
+        }
+    }
+    let mut w = Writer(Vec::with_capacity(64 + result.starts.len() * 9));
+    w.0.extend_from_slice(&RESULT_MAGIC);
+    w.u16(RESULT_VERSION);
+    w.count(result.starts.len());
+    for (&addr, &prov) in &result.starts {
+        w.u64(addr);
+        w.u8(provenance_tag(prov));
+    }
+    w.count(result.layers.len());
+    for name in &result.layers {
+        w.str(name);
+    }
+    w.count(result.trace.len());
+    for t in &result.trace {
+        w.str(t.name);
+        w.u64(t.wall_nanos);
+        w.delta(&t.added);
+        w.delta(&t.removed);
+        w.u64(t.starts_after as u64);
+        w.u64(t.decode_hits);
+        w.u64(t.decode_misses);
+    }
+    let sum = checksum(&w.0);
+    w.u64(sum);
+    Ok(w.0)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
+        let end = self.pos.checked_add(n).ok_or(SerialError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SerialError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, SerialError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, SerialError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+    fn u32(&mut self) -> Result<u32, SerialError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, SerialError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    /// Reads a count and sanity-bounds it against the bytes remaining
+    /// (each element occupies at least `min_elem` bytes), so a corrupt
+    /// count cannot drive a huge allocation.
+    fn count(&mut self, min_elem: usize) -> Result<usize, SerialError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem) > self.bytes.len() - self.pos {
+            return Err(SerialError::Truncated);
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<&'a str, SerialError> {
+        let len = self.u16()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| SerialError::Corrupt("non-UTF-8 name"))
+    }
+    fn layer_name(&mut self) -> Result<&'static str, SerialError> {
+        let name = self.str()?;
+        intern_layer_name(name).ok_or_else(|| SerialError::UnknownLayerName(name.to_string()))
+    }
+    fn delta(&mut self) -> Result<Vec<(u64, Provenance)>, SerialError> {
+        let n = self.count(9)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let addr = self.u64()?;
+            let prov = provenance_from_tag(self.u8()?)?;
+            if let Some(&(prev, _)) = out.last() {
+                if prev >= addr {
+                    return Err(SerialError::Corrupt("delta not strictly ascending"));
+                }
+            }
+            out.push((addr, prov));
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes a [`DetectionResult`] previously encoded by
+/// [`serialize_result`], verifying magic, version, checksum, and every
+/// structural invariant (strictly ascending address lists, in-vocabulary
+/// layer names, no trailing bytes).
+pub fn deserialize_result(bytes: &[u8]) -> Result<DetectionResult, SerialError> {
+    // Header + checksum are the minimum plausible encoding.
+    if bytes.len() < RESULT_MAGIC.len() + 2 + 8 {
+        return Err(SerialError::Truncated);
+    }
+    let (payload, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    if payload[..4] != RESULT_MAGIC {
+        return Err(SerialError::BadMagic);
+    }
+    let version = u16::from_le_bytes(payload[4..6].try_into().expect("2"));
+    if version != RESULT_VERSION {
+        return Err(SerialError::UnsupportedVersion(version));
+    }
+    let stored_sum = u64::from_le_bytes(sum_bytes.try_into().expect("8"));
+    if checksum(payload) != stored_sum {
+        return Err(SerialError::ChecksumMismatch);
+    }
+
+    let mut r = Reader {
+        bytes: payload,
+        pos: 6,
+    };
+    let n_starts = r.count(9)?;
+    let mut starts = std::collections::BTreeMap::new();
+    let mut prev: Option<u64> = None;
+    for _ in 0..n_starts {
+        let addr = r.u64()?;
+        let prov = provenance_from_tag(r.u8()?)?;
+        if prev.is_some_and(|p| p >= addr) {
+            return Err(SerialError::Corrupt("starts not strictly ascending"));
+        }
+        prev = Some(addr);
+        starts.insert(addr, prov);
+    }
+    let n_layers = r.count(2)?;
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        layers.push(r.layer_name()?);
+    }
+    let n_trace = r.count(2)?;
+    let mut trace = Vec::with_capacity(n_trace);
+    for _ in 0..n_trace {
+        let name = r.layer_name()?;
+        let wall_nanos = r.u64()?;
+        let added = r.delta()?;
+        let removed = r.delta()?;
+        let starts_after = r.u64()? as usize;
+        let decode_hits = r.u64()?;
+        let decode_misses = r.u64()?;
+        trace.push(LayerTrace {
+            name,
+            wall_nanos,
+            added,
+            removed,
+            starts_after,
+            decode_hits,
+            decode_misses,
+        });
+    }
+    if r.pos != payload.len() {
+        return Err(SerialError::Corrupt("trailing bytes after encoding"));
+    }
+    Ok(DetectionResult {
+        starts,
+        layers,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pipeline;
+    use fetch_synth::{synthesize, SynthConfig};
+
+    fn trace_fields_equal(a: &DetectionResult, b: &DetectionResult) -> bool {
+        // PartialEq ignores timing/decode fields by design; persistence
+        // must keep them, so compare every field explicitly.
+        a == b
+            && a.trace.len() == b.trace.len()
+            && a.trace.iter().zip(&b.trace).all(|(x, y)| {
+                x.wall_nanos == y.wall_nanos
+                    && x.decode_hits == y.decode_hits
+                    && x.decode_misses == y.decode_misses
+            })
+    }
+
+    #[test]
+    fn round_trip_is_identity_including_timing() {
+        let case = synthesize(&SynthConfig::small(41));
+        let result = Pipeline::fetch().run(&case.binary);
+        let bytes = serialize_result(&result).unwrap();
+        let back = deserialize_result(&bytes).unwrap();
+        assert!(trace_fields_equal(&result, &back));
+        assert_eq!(
+            serialize_result(&back).unwrap(),
+            bytes,
+            "encoding must be deterministic"
+        );
+    }
+
+    #[test]
+    fn provenance_tags_round_trip() {
+        for tag in 0u8..=9 {
+            let p = provenance_from_tag(tag).unwrap();
+            assert_eq!(provenance_tag(p), tag);
+        }
+        assert_eq!(
+            provenance_from_tag(10),
+            Err(SerialError::UnknownProvenance(10))
+        );
+    }
+
+    #[test]
+    fn header_and_checksum_are_enforced() {
+        let case = synthesize(&SynthConfig::small(42));
+        let result = Pipeline::parse("FDE+Rec").unwrap().run(&case.binary);
+        let bytes = serialize_result(&result).unwrap();
+
+        assert_eq!(deserialize_result(&[]), Err(SerialError::Truncated));
+        assert_eq!(
+            deserialize_result(&bytes[..bytes.len() - 1]),
+            Err(SerialError::ChecksumMismatch),
+            "truncation breaks the checksum"
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(deserialize_result(&bad_magic), Err(SerialError::BadMagic));
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0x7f;
+        // Version is checked before the checksum would even matter —
+        // recompute a valid checksum to prove it.
+        let n = bad_version.len() - 8;
+        let sum = checksum(&bad_version[..n]).to_le_bytes();
+        bad_version[n..].copy_from_slice(&sum);
+        assert_eq!(
+            deserialize_result(&bad_version),
+            Err(SerialError::UnsupportedVersion(0x7f))
+        );
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert_eq!(
+            deserialize_result(&flipped),
+            Err(SerialError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn layer_vocabulary_is_closed() {
+        struct Custom;
+        impl crate::Strategy for Custom {
+            fn name(&self) -> &'static str {
+                "Custom"
+            }
+            fn apply(&self, _state: &mut crate::DetectionState<'_>) {}
+        }
+        let case = synthesize(&SynthConfig::small(43));
+        let result = crate::run_stack(&case.binary, &[&crate::FdeSeeds, &Custom]);
+        assert_eq!(
+            serialize_result(&result),
+            Err(SerialError::UnknownLayerName("Custom".into()))
+        );
+        assert_eq!(intern_layer_name("Rec"), Some("Rec"));
+        assert_eq!(intern_layer_name("rec"), None, "names are exact");
+    }
+}

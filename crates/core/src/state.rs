@@ -207,6 +207,32 @@ impl DetectionResult {
     pub fn is_empty(&self) -> bool {
         self.starts.is_empty()
     }
+
+    /// Approximate resident heap footprint of the result, in bytes —
+    /// the accounting unit of the size-aware serving cache
+    /// ([`crate::AnalysisCache`]) and the serve `stats` report. An
+    /// estimate (map node overhead is amortized at a fixed per-entry
+    /// cost), deterministic for a given result, and monotone in the
+    /// result's actual size — exactly what a byte-capacity bound needs.
+    pub fn approx_bytes(&self) -> usize {
+        // BTreeMap stores entries in node arrays; ~2 words of amortized
+        // per-entry bookkeeping on top of the payload.
+        const MAP_ENTRY_OVERHEAD: usize = 16;
+        let start_entry =
+            std::mem::size_of::<u64>() + std::mem::size_of::<Provenance>() + MAP_ENTRY_OVERHEAD;
+        let delta_entry = std::mem::size_of::<(u64, Provenance)>();
+        let traces: usize = self
+            .trace
+            .iter()
+            .map(|t| {
+                std::mem::size_of::<LayerTrace>() + (t.added.len() + t.removed.len()) * delta_entry
+            })
+            .sum();
+        std::mem::size_of::<DetectionResult>()
+            + self.starts.len() * start_entry
+            + self.layers.len() * std::mem::size_of::<&'static str>()
+            + traces
+    }
 }
 
 /// A cache slot tagged with the generation it was computed at.

@@ -9,7 +9,9 @@
 //! — and the cache's bookkeeping (hit/miss counts, entry count) must
 //! add up exactly.
 
-use fetch_core::{content_fingerprint, AnalysisCache, LayerSpec, Pipeline, KNOWN_LAYERS};
+use fetch_core::{
+    content_fingerprint, AnalysisCache, CacheCapacity, LayerSpec, Pipeline, KNOWN_LAYERS,
+};
 use fetch_synth::{synthesize, FeatureRates, SynthConfig};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -77,6 +79,73 @@ proptest! {
         prop_assert_eq!(stats.misses as usize, distinct.len());
         prop_assert_eq!(stats.entries, distinct.len());
         prop_assert_eq!(cache.len(), distinct.len());
+    }
+
+    /// The bounded-cache guarantee: under any entry/byte capacity and
+    /// any query interleaving, every answer still equals the cold
+    /// cache-free run, residency never exceeds either bound, and the
+    /// books balance exactly (hits + misses = queries;
+    /// insert attempts = misses; live entries = misses − evictions).
+    #[test]
+    fn bounded_cache_serves_cold_equal_results_within_capacity(
+        cfgs in proptest::collection::vec(arb_config(), 2..4),
+        pipelines in proptest::collection::vec(arb_pipeline(), 2..4),
+        queries in proptest::collection::vec((any::<u8>(), any::<u8>()), 6..18),
+        max_entries in 1usize..5,
+        byte_bound in (any::<bool>(), 1usize..6),
+    ) {
+        // The shim has no `proptest::option::of`; derive Option here.
+        let byte_divisor = byte_bound.0.then_some(byte_bound.1);
+        let cases: Vec<_> = cfgs.iter().map(synthesize).collect();
+
+        // Cold reference results, computed once, cache-free.
+        let mut colds: Vec<Vec<_>> = Vec::new();
+        for case in &cases {
+            colds.push(pipelines.iter().map(|p| p.run(&case.binary)).collect());
+        }
+
+        // An optional byte bound scaled from a real result size, so it
+        // actually bites for some draws and not others.
+        let max_bytes = byte_divisor.map(|d| colds[0][0].approx_bytes() * 2 / d);
+        let capacity = CacheCapacity { max_entries: Some(max_entries), max_bytes };
+        let cache = AnalysisCache::with_capacity(capacity);
+        let mut engine = fetch_disasm::RecEngine::new();
+
+        for (bi, pi) in &queries {
+            let (bi, pi) = (*bi as usize % cases.len(), *pi as usize % pipelines.len());
+            let case = &cases[bi];
+            let pipeline = &pipelines[pi];
+            let fp = content_fingerprint(&case.binary);
+            let served = cache.get_or_compute(fp, &pipeline.id(), || {
+                pipeline.run_with_engine(&case.binary, &mut engine)
+            });
+            prop_assert_eq!(
+                &*served, &colds[bi][pi],
+                "bounded cache diverged from cold on (bin {}, pipeline {})",
+                bi, pipeline.id()
+            );
+
+            let stats = cache.stats();
+            prop_assert!(
+                stats.entries <= max_entries,
+                "entry capacity exceeded: {} > {max_entries}", stats.entries
+            );
+            if let Some(max_bytes) = max_bytes {
+                prop_assert!(
+                    stats.bytes <= max_bytes,
+                    "byte capacity exceeded: {} > {max_bytes}", stats.bytes
+                );
+            }
+            prop_assert_eq!(cache.len(), stats.entries);
+        }
+
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, queries.len() as u64);
+        prop_assert_eq!(
+            stats.entries as u64,
+            stats.misses - stats.evictions,
+            "every miss inserted exactly once; every eviction removed exactly once"
+        );
     }
 
     /// Image-path serving: `detect_image_cached` equals the uncached

@@ -1,0 +1,99 @@
+//! Property tests for the persistence wire format
+//! ([`fetch_core::serialize_result`] / [`fetch_core::deserialize_result`]):
+//! serialize→deserialize is the identity — including the timing/decode
+//! telemetry that `PartialEq` ignores — and corrupted or truncated
+//! encodings are always *rejected*, never misread into a plausible
+//! result.
+
+use fetch_core::{
+    deserialize_result, serialize_result, DetectionResult, LayerSpec, Pipeline, KNOWN_LAYERS,
+};
+use fetch_synth::{synthesize, FeatureRates, SynthConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (any::<u64>(), 10usize..50, 0.0f64..0.15, 0usize..6).prop_map(|(seed, n_funcs, split, asm)| {
+        let mut cfg = SynthConfig::small(seed);
+        cfg.n_funcs = n_funcs;
+        cfg.rates = FeatureRates {
+            split_cold: split,
+            asm_funcs: asm,
+            ..FeatureRates::default()
+        };
+        cfg
+    })
+}
+
+/// A random pipeline over the full vocabulary (duplicates allowed —
+/// `Pipeline::new` is the permissive constructor, and persistence must
+/// handle anything the executor can produce).
+fn arb_pipeline() -> impl Strategy<Value = Pipeline> {
+    proptest::collection::vec(any::<u8>(), 1..6).prop_map(|picks| {
+        let specs: Vec<LayerSpec> = picks
+            .iter()
+            .map(|&p| KNOWN_LAYERS[p as usize % KNOWN_LAYERS.len()].1)
+            .collect();
+        Pipeline::new(specs)
+    })
+}
+
+/// Field-exact equality: `==` plus the instrumentation fields it
+/// excludes by design.
+fn identical_including_telemetry(a: &DetectionResult, b: &DetectionResult) -> bool {
+    a == b
+        && a.trace.len() == b.trace.len()
+        && a.trace.iter().zip(&b.trace).all(|(x, y)| {
+            x.wall_nanos == y.wall_nanos
+                && x.decode_hits == y.decode_hits
+                && x.decode_misses == y.decode_misses
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Round trip: deserialize(serialize(r)) is field-identical to r,
+    /// and re-serialization is byte-identical (the format is
+    /// deterministic).
+    #[test]
+    fn round_trip_is_identity(cfg in arb_config(), pipeline in arb_pipeline()) {
+        let case = synthesize(&cfg);
+        let result = pipeline.run(&case.binary);
+        let bytes = serialize_result(&result).expect("known-layer results serialize");
+        let back = deserialize_result(&bytes).expect("own encoding loads");
+        prop_assert!(
+            identical_including_telemetry(&result, &back),
+            "round trip lost information for pipeline {}", pipeline.id()
+        );
+        prop_assert_eq!(serialize_result(&back).unwrap(), bytes);
+    }
+
+    /// Any single-byte corruption and any strict truncation must be
+    /// rejected with an error — never silently decoded.
+    #[test]
+    fn corruption_and_truncation_are_rejected(
+        cfg in arb_config(),
+        pipeline in arb_pipeline(),
+        flip_pos in any::<u16>(),
+        flip_bit in 0u32..8,
+        cut in any::<u16>(),
+    ) {
+        let case = synthesize(&cfg);
+        let result = pipeline.run(&case.binary);
+        let bytes = serialize_result(&result).unwrap();
+
+        let mut flipped = bytes.clone();
+        let pos = flip_pos as usize % flipped.len();
+        flipped[pos] ^= 1 << flip_bit;
+        prop_assert!(
+            deserialize_result(&flipped).is_err(),
+            "bit flip at {pos} was not detected"
+        );
+
+        let len = cut as usize % bytes.len(); // strictly shorter
+        prop_assert!(
+            deserialize_result(&bytes[..len]).is_err(),
+            "truncation to {len} bytes was not detected"
+        );
+    }
+}

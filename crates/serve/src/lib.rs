@@ -1,0 +1,80 @@
+//! # fetch-serve
+//!
+//! The long-lived analysis service of the reproduction: a daemon that
+//! accepts binaries, answers function-start queries from a **bounded**
+//! serving cache backed by a **persistent result store**, and streams
+//! per-layer trace telemetry to subscribers — the deployment mode the
+//! source paper (Pang et al., DSN 2021) motivates for downstream
+//! binary-analysis consumers, where the same detector runs over huge
+//! corpora and repeat traffic dominates.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   socket ─┐                        ┌─ bounded AnalysisCache (LRU)
+//!   queue  ─┼─ protocol ─ service ───┼─ ResultStore (versioned files)
+//!   stdio  ─┘     │                  └─ cold compute (RecEngine)
+//!                 └─ telemetry hub → subscribers
+//! ```
+//!
+//! * [`protocol`] — the line-delimited JSON wire format: requests
+//!   (`analyze`, `query`, `stats`, `subscribe`, `shutdown`), replies,
+//!   and telemetry events. Deterministic rendering: a warm answer's
+//!   `result` object is byte-identical to the cold one.
+//! * [`service`] — [`AnalysisService`], the transport-agnostic core.
+//!   Answer order: bounded cache → persistent store (promoting hits
+//!   into the cache) → cold compute (persisting the new result).
+//! * [`store`] — [`ResultStore`]: one atomic, versioned, checksummed
+//!   file per `(content fingerprint, pipeline id)`, holding the full
+//!   [`fetch_core::DetectionResult`] *including its trace*, via
+//!   [`fetch_core::serialize_result`]. A restarted daemon answers warm;
+//!   a corrupted file is rejected and healed, never misread.
+//! * [`server`] — the transports: Unix-socket accept loop, directory
+//!   queue (`in/*.json` → `out/*.json`), and stdio.
+//! * [`json`] — the minimal dependency-free JSON tree under all of it.
+//!
+//! ## Example
+//!
+//! In-process use (the transports are optional — harnesses drive the
+//! service directly; `fetch-bench`'s `perf_snapshot` publishes the
+//! cold / cache-hit / store-hit latencies as the `serve` group):
+//!
+//! ```
+//! use fetch_serve::protocol::{AnalyzeInput, Reply, Request, ServeSource};
+//! use fetch_serve::service::{AnalysisService, ServeConfig};
+//! use fetch_core::Pipeline;
+//! use fetch_synth::{synthesize, SynthConfig};
+//!
+//! let case = synthesize(&SynthConfig::small(1));
+//! let elf = fetch_binary::write_elf(&case.binary);
+//! let mut service = AnalysisService::new(&ServeConfig::default()).unwrap();
+//! let request = Request::Analyze {
+//!     input: AnalyzeInput::Bytes(elf),
+//!     pipeline: Pipeline::fetch(),
+//! };
+//! let (cold, warm) = match (service.handle(request.clone()), service.handle(request)) {
+//!     (Reply::Analyze(c), Reply::Analyze(w)) => (c, w),
+//!     other => panic!("{other:?}"),
+//! };
+//! assert_eq!(cold.source, ServeSource::Cold);
+//! assert_eq!(warm.source, ServeSource::CacheHit);
+//! assert_eq!(*cold.result, *warm.result);
+//! ```
+//!
+//! Daemon use: `fetch-serve daemon --socket /tmp/fetch.sock --store
+//! /var/cache/fetch --cache-capacity 4096`, then `fetch-serve client
+//! --socket /tmp/fetch.sock --analyze ./a.out`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod store;
+
+pub use protocol::{AnalyzeReply, Reply, Request, ServeSource};
+pub use server::{serve, serve_io, ServeSummary, ServerOptions};
+pub use service::{AnalysisService, ServeConfig, TelemetryHub};
+pub use store::{ResultStore, StoreError};

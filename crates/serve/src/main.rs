@@ -1,0 +1,224 @@
+//! The `fetch-serve` binary: daemon and client modes over the
+//! `fetch_serve` library.
+//!
+//! ```text
+//! fetch-serve daemon [--socket PATH] [--queue DIR] [--stdio]
+//!                    [--store DIR] [--cache-capacity N] [--cache-bytes B]
+//! fetch-serve client --socket PATH
+//!                    (--analyze FILE [--pipeline SPEC | --tool NAME]
+//!                     | --query FP [--pipeline SPEC]
+//!                     | --stats | --subscribe | --shutdown | --json LINE)
+//! ```
+//!
+//! The daemon serves until a `shutdown` request arrives. The client
+//! sends one request line and prints the reply line (`--subscribe`
+//! keeps printing telemetry events until the daemon goes away) — small
+//! enough for shell scripting, no client library needed.
+
+use fetch_core::{Pipeline, Tool};
+use fetch_serve::protocol::{parse_hex_u64, AnalyzeInput, Request};
+use fetch_serve::server::{serve, serve_io, ServerOptions};
+use fetch_serve::service::{AnalysisService, ServeConfig};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  fetch-serve daemon [--socket PATH] [--queue DIR] [--stdio] \
+         [--store DIR]\n                     [--cache-capacity N] [--cache-bytes B] [--poll-ms M]\n  \
+         fetch-serve client --socket PATH (--analyze FILE [--pipeline SPEC | --tool NAME]\n                     \
+         | --query FP [--pipeline SPEC] | --stats | --subscribe | --shutdown | --json LINE)"
+    );
+    exit(2)
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("daemon") => daemon(&args[2..]),
+        Some("client") => client(&args[2..]),
+        _ => usage(),
+    }
+}
+
+/// Pulls the value following a flag out of an argument list.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => fail(format_args!("{flag} takes a value")),
+    }
+}
+
+fn daemon(args: &[String]) {
+    let mut opts = ServerOptions::default();
+    let mut config = ServeConfig::default();
+    let mut stdio = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => opts.socket = Some(PathBuf::from(flag_value(args, &mut i, "--socket"))),
+            "--queue" => opts.queue = Some(PathBuf::from(flag_value(args, &mut i, "--queue"))),
+            "--store" => {
+                config.store_dir = Some(PathBuf::from(flag_value(args, &mut i, "--store")))
+            }
+            "--stdio" => stdio = true,
+            "--cache-capacity" => {
+                // Zero would evict every entry on arrival — reject it
+                // (matching the bench parser) instead of silently
+                // serving everything cold.
+                let n: usize = flag_value(args, &mut i, "--cache-capacity")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| fail("--cache-capacity takes a positive entry count"));
+                config.cache_capacity.max_entries = Some(n);
+            }
+            "--cache-bytes" => {
+                let n: usize = flag_value(args, &mut i, "--cache-bytes")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| fail("--cache-bytes takes a positive byte count"));
+                config.cache_capacity.max_bytes = Some(n);
+            }
+            "--poll-ms" => {
+                let ms: u64 = flag_value(args, &mut i, "--poll-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--poll-ms takes milliseconds"));
+                opts.poll = Some(std::time::Duration::from_millis(ms));
+            }
+            other => fail(format_args!("unknown daemon flag {other:?}")),
+        }
+        i += 1;
+    }
+    let mut service = match AnalysisService::new(&config) {
+        Ok(service) => service,
+        Err(e) => fail(format_args!("cannot start service: {e}")),
+    };
+    if stdio {
+        let stdin = std::io::stdin();
+        let mut out = StdoutSink;
+        if let Err(e) = serve_io(&mut service, stdin.lock(), &mut out) {
+            fail(format_args!("stdio transport failed: {e}"));
+        }
+        return;
+    }
+    match serve(&mut service, &opts) {
+        Ok(summary) => eprintln!(
+            "fetch-serve: shut down after {} connections, {} queue files",
+            summary.connections, summary.queue_files
+        ),
+        Err(e) => fail(format_args!("serve loop failed: {e}")),
+    }
+}
+
+/// A cloneable stdout writer (the stdio transport hands clones to the
+/// telemetry hub).
+#[derive(Clone)]
+struct StdoutSink;
+
+impl Write for StdoutSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        std::io::stdout().write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        std::io::stdout().flush()
+    }
+}
+
+fn client(args: &[String]) {
+    let mut socket: Option<PathBuf> = None;
+    let mut request: Option<String> = None;
+    let mut analyze: Option<PathBuf> = None;
+    let mut query: Option<u64> = None;
+    let mut pipeline: Option<Pipeline> = None;
+    let mut subscribe = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => socket = Some(PathBuf::from(flag_value(args, &mut i, "--socket"))),
+            "--analyze" => analyze = Some(PathBuf::from(flag_value(args, &mut i, "--analyze"))),
+            "--query" => {
+                let fp = flag_value(args, &mut i, "--query");
+                query = Some(
+                    parse_hex_u64(fp).unwrap_or_else(|| fail("--query takes a hex fingerprint")),
+                );
+            }
+            "--pipeline" => {
+                let spec = flag_value(args, &mut i, "--pipeline");
+                pipeline =
+                    Some(Pipeline::parse(spec).unwrap_or_else(|e| fail(format_args!("{e}"))));
+            }
+            "--tool" => {
+                let name = flag_value(args, &mut i, "--tool");
+                let tool = Tool::from_name(name)
+                    .unwrap_or_else(|| fail(format_args!("unknown tool {name:?}")));
+                pipeline = Some(Pipeline::for_tool(tool));
+            }
+            "--stats" => request = Some(Request::Stats.to_line()),
+            "--shutdown" => request = Some(Request::Shutdown.to_line()),
+            "--subscribe" => subscribe = true,
+            "--json" => request = Some(flag_value(args, &mut i, "--json").to_string()),
+            other => fail(format_args!("unknown client flag {other:?}")),
+        }
+        i += 1;
+    }
+    let line = if subscribe {
+        Request::Subscribe.to_line()
+    } else if let Some(path) = analyze {
+        Request::Analyze {
+            input: AnalyzeInput::Path(path),
+            pipeline: pipeline.unwrap_or_else(Pipeline::fetch),
+        }
+        .to_line()
+    } else if let Some(fingerprint) = query {
+        Request::Query {
+            fingerprint,
+            pipeline_id: pipeline.unwrap_or_else(Pipeline::fetch).id(),
+        }
+        .to_line()
+    } else {
+        match request {
+            Some(line) => line,
+            None => usage(),
+        }
+    };
+    let socket = socket.unwrap_or_else(|| fail("client needs --socket PATH"));
+    run_client(&socket, &line, subscribe);
+}
+
+#[cfg(unix)]
+fn run_client(socket: &std::path::Path, line: &str, keep_reading: bool) {
+    use std::io::{BufRead, BufReader};
+    let stream = std::os::unix::net::UnixStream::connect(socket)
+        .unwrap_or_else(|e| fail(format_args!("cannot connect to {}: {e}", socket.display())));
+    let mut writer = stream
+        .try_clone()
+        .unwrap_or_else(|e| fail(format_args!("{e}")));
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .unwrap_or_else(|e| fail(format_args!("send failed: {e}")));
+    let reader = BufReader::new(stream);
+    for reply in reader.lines() {
+        match reply {
+            Ok(reply) => println!("{reply}"),
+            Err(e) => fail(format_args!("read failed: {e}")),
+        }
+        if !keep_reading {
+            break;
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn run_client(_socket: &std::path::Path, _line: &str, _keep_reading: bool) {
+    fail("the client requires Unix-domain sockets on this platform")
+}

@@ -1,0 +1,521 @@
+//! The line-delimited JSON serve protocol: one request per line in, one
+//! reply per line out, plus a telemetry event stream for subscribers.
+//!
+//! ## Requests
+//!
+//! Every request is a JSON object with a `cmd` field:
+//!
+//! * `{"cmd":"analyze", "path":"/bin/x"}` — analyze the ELF at a path.
+//!   Alternatives/extras: `"bytes_hex":"7f454c46…"` submits the image
+//!   inline; `"pipeline":"FDE+Rec+Xref"` picks a strategy stack
+//!   ([`Pipeline::parse`]); `"tool":"GHIDRA"` picks a Table III tool
+//!   model ([`Tool::from_name`]). Default stack:
+//!   [`Pipeline::fetch`].
+//! * `{"cmd":"query", "fingerprint":"0x1234abcd…", "pipeline":"FDE+Rec"}`
+//!   — cache/store lookup only, never computes.
+//! * `{"cmd":"stats"}` — cache, store, and request counters.
+//! * `{"cmd":"subscribe"}` — switch this connection to the telemetry
+//!   stream (one JSON event line per request and per layer).
+//! * `{"cmd":"shutdown"}` — reply, then stop the daemon.
+//!
+//! ## Replies
+//!
+//! `{"ok":true, …}` or `{"ok":false,"error":"…"}`. Analysis replies
+//! carry the content fingerprint (hex string — it does not fit a JSON
+//! double), the canonical pipeline id, the answer `source`
+//! (`"cold"` / `"cache"` / `"store"`), the request wall time, and a
+//! `result` object whose rendering is deterministic: a warm answer is
+//! byte-identical to the cold answer that seeded it (asserted by the
+//! end-to-end smoke test).
+
+use crate::json::{obj, Json};
+use fetch_core::{CacheStats, DetectionResult, LayerTrace, Pipeline, Tool};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The binary payload of an analyze request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeInput {
+    /// Read the ELF image from a filesystem path (daemon-side).
+    Path(PathBuf),
+    /// The raw ELF image, submitted inline.
+    Bytes(Vec<u8>),
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Analyze a binary under a pipeline (cache → store → cold).
+    Analyze {
+        /// Where the ELF image comes from.
+        input: AnalyzeInput,
+        /// The strategy stack to run.
+        pipeline: Pipeline,
+    },
+    /// Look up a previously-computed answer; never computes.
+    Query {
+        /// Content fingerprint (from an earlier analyze reply).
+        fingerprint: u64,
+        /// Canonical pipeline id ([`Pipeline::id`]).
+        pipeline_id: String,
+    },
+    /// Report cache/store/request statistics.
+    Stats,
+    /// Switch this connection to the telemetry event stream.
+    Subscribe,
+    /// Stop the daemon after replying.
+    Shutdown,
+}
+
+/// Where an analysis answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeSource {
+    /// Computed on this request.
+    Cold,
+    /// Served from the in-memory bounded cache.
+    CacheHit,
+    /// Served from the persistent result store (and promoted into the
+    /// cache).
+    StoreHit,
+}
+
+impl ServeSource {
+    /// The wire token (`"cold"` / `"cache"` / `"store"`).
+    pub fn token(self) -> &'static str {
+        match self {
+            ServeSource::Cold => "cold",
+            ServeSource::CacheHit => "cache",
+            ServeSource::StoreHit => "store",
+        }
+    }
+}
+
+/// A successful analysis (or query) answer.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReply {
+    /// Content fingerprint of the analyzed image.
+    pub fingerprint: u64,
+    /// Canonical pipeline id the answer is keyed under.
+    pub pipeline_id: String,
+    /// Where the answer came from.
+    pub source: ServeSource,
+    /// Wall time of handling this request, in microseconds.
+    pub wall_us: f64,
+    /// The detection result (shared with the cache — not copied).
+    pub result: Arc<DetectionResult>,
+}
+
+/// Persistent-store statistics for the `stats` reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Result files resident in the store directory.
+    pub entries: usize,
+    /// Total bytes of those files.
+    pub disk_bytes: u64,
+}
+
+/// Per-command and per-source request counters of one daemon lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestCounters {
+    /// `analyze` requests handled.
+    pub analyze: u64,
+    /// `query` requests handled.
+    pub query: u64,
+    /// Answers computed cold.
+    pub cold: u64,
+    /// Answers served from the in-memory cache.
+    pub cache_hits: u64,
+    /// Answers served from the persistent store.
+    pub store_hits: u64,
+    /// Store entries that failed to load (corrupt/unreadable; the
+    /// answer was recomputed cold and the entry rewritten).
+    pub store_errors: u64,
+}
+
+/// The full `stats` answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsReply {
+    /// Bounded-cache counters and footprint.
+    pub cache: CacheStats,
+    /// Store footprint, when a store is configured.
+    pub store: Option<StoreStats>,
+    /// Request counters.
+    pub requests: RequestCounters,
+}
+
+/// A reply to one request.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// An analysis or query answer.
+    Analyze(AnalyzeReply),
+    /// Statistics.
+    Stats(StatsReply),
+    /// The connection is now a telemetry subscriber.
+    Subscribed,
+    /// The daemon acknowledges shutdown.
+    Shutdown,
+    /// The request failed; the message says why.
+    Error(String),
+}
+
+/// Renders a `u64` identifier as the protocol's hex-string form.
+pub fn hex_u64(v: u64) -> String {
+    format!("{v:#x}")
+}
+
+/// Parses the protocol's hex-string identifier form (`0x` optional).
+pub fn parse_hex_u64(s: &str) -> Option<u64> {
+    let digits = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
+    if digits.is_empty() {
+        return None;
+    }
+    u64::from_str_radix(digits, 16).ok()
+}
+
+fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digit = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| Some(digit(pair[0])? << 4 | digit(pair[1])?))
+        .collect()
+}
+
+/// Renders bytes as lowercase hex (the `bytes_hex` request form).
+/// Nibble-table lookup: whole ELF images travel through here, so the
+/// encoder must not allocate per byte.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message naming the malformed field — the daemon
+/// echoes it back as an error reply and keeps serving.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let json = Json::parse(line.trim()).map_err(|e| e.to_string())?;
+    let cmd = json
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or("missing \"cmd\" field")?;
+    match cmd {
+        "analyze" => {
+            let input = match (
+                json.get("path").and_then(Json::as_str),
+                json.get("bytes_hex").and_then(Json::as_str),
+            ) {
+                (Some(_), Some(_)) => {
+                    return Err("analyze takes \"path\" or \"bytes_hex\", not both".into())
+                }
+                (Some(path), None) => AnalyzeInput::Path(PathBuf::from(path)),
+                (None, Some(hex)) => {
+                    AnalyzeInput::Bytes(decode_hex(hex).ok_or("\"bytes_hex\" is not valid hex")?)
+                }
+                (None, None) => return Err("analyze needs \"path\" or \"bytes_hex\"".into()),
+            };
+            let pipeline = request_pipeline(&json)?;
+            Ok(Request::Analyze { input, pipeline })
+        }
+        "query" => {
+            let fingerprint = json
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .and_then(parse_hex_u64)
+                .ok_or("query needs a hex-string \"fingerprint\"")?;
+            let pipeline_id = request_pipeline(&json)?.id();
+            Ok(Request::Query {
+                fingerprint,
+                pipeline_id,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "subscribe" => Ok(Request::Subscribe),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown cmd {other:?} (known: analyze, query, stats, subscribe, shutdown)"
+        )),
+    }
+}
+
+/// Resolves the request's strategy stack: `pipeline` spec, `tool` name,
+/// or the FETCH default.
+fn request_pipeline(json: &Json) -> Result<Pipeline, String> {
+    match (
+        json.get("pipeline").and_then(Json::as_str),
+        json.get("tool").and_then(Json::as_str),
+    ) {
+        (Some(_), Some(_)) => Err("give \"pipeline\" or \"tool\", not both".into()),
+        (Some(spec), None) => Pipeline::parse(spec).map_err(|e| format!("bad pipeline: {e}")),
+        (None, Some(tool)) => Tool::from_name(tool)
+            .map(Pipeline::for_tool)
+            .ok_or_else(|| format!("unknown tool {tool:?}")),
+        (None, None) => Ok(Pipeline::fetch()),
+    }
+}
+
+impl Request {
+    /// Renders the request as one protocol line (the client side).
+    pub fn to_line(&self) -> String {
+        let json = match self {
+            Request::Analyze { input, pipeline } => {
+                let mut pairs = vec![
+                    ("cmd".to_string(), Json::str("analyze")),
+                    ("pipeline".to_string(), Json::str(pipeline.id())),
+                ];
+                match input {
+                    AnalyzeInput::Path(p) => {
+                        pairs.push(("path".into(), Json::str(p.display().to_string())))
+                    }
+                    AnalyzeInput::Bytes(b) => {
+                        pairs.push(("bytes_hex".into(), Json::str(encode_hex(b))))
+                    }
+                }
+                Json::Obj(pairs.into_iter().collect())
+            }
+            Request::Query {
+                fingerprint,
+                pipeline_id,
+            } => obj([
+                ("cmd", Json::str("query")),
+                ("fingerprint", Json::str(hex_u64(*fingerprint))),
+                ("pipeline", Json::str(pipeline_id.clone())),
+            ]),
+            Request::Stats => obj([("cmd", Json::str("stats"))]),
+            Request::Subscribe => obj([("cmd", Json::str("subscribe"))]),
+            Request::Shutdown => obj([("cmd", Json::str("shutdown"))]),
+        };
+        json.to_string()
+    }
+}
+
+/// The deterministic `result` object of an analysis reply: starts (hex
+/// address, provenance token) in address order, layer names, and the
+/// start count. Timing and decode-work fields are deliberately
+/// *excluded* — they differ between a cold run and a replayed one, and
+/// this object must render byte-identically for both (telemetry events
+/// carry the timing).
+pub fn result_json(result: &DetectionResult) -> Json {
+    let starts: Vec<Json> = result
+        .starts
+        .iter()
+        .map(|(addr, prov)| Json::Arr(vec![Json::str(hex_u64(*addr)), Json::str(prov.to_string())]))
+        .collect();
+    let layers: Vec<Json> = result.layers.iter().map(|l| Json::str(*l)).collect();
+    obj([
+        ("start_count", Json::int(result.starts.len() as u64)),
+        ("starts", Json::Arr(starts)),
+        ("layers", Json::Arr(layers)),
+    ])
+}
+
+fn cache_stats_json(stats: &CacheStats) -> Json {
+    obj([
+        ("hits", Json::int(stats.hits)),
+        ("misses", Json::int(stats.misses)),
+        ("evictions", Json::int(stats.evictions)),
+        ("entries", Json::int(stats.entries as u64)),
+        ("bytes", Json::int(stats.bytes as u64)),
+    ])
+}
+
+impl Reply {
+    /// Renders the reply as one protocol line.
+    pub fn to_line(&self) -> String {
+        let json = match self {
+            Reply::Analyze(a) => obj([
+                ("ok", Json::Bool(true)),
+                ("fingerprint", Json::str(hex_u64(a.fingerprint))),
+                ("pipeline", Json::str(a.pipeline_id.clone())),
+                ("source", Json::str(a.source.token())),
+                ("wall_us", Json::Num(a.wall_us)),
+                ("result", result_json(&a.result)),
+            ]),
+            Reply::Stats(s) => {
+                let mut pairs = vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("cache".to_string(), cache_stats_json(&s.cache)),
+                    (
+                        "requests".to_string(),
+                        obj([
+                            ("analyze", Json::int(s.requests.analyze)),
+                            ("query", Json::int(s.requests.query)),
+                            ("cold", Json::int(s.requests.cold)),
+                            ("cache_hits", Json::int(s.requests.cache_hits)),
+                            ("store_hits", Json::int(s.requests.store_hits)),
+                            ("store_errors", Json::int(s.requests.store_errors)),
+                        ]),
+                    ),
+                ];
+                if let Some(store) = &s.store {
+                    pairs.push((
+                        "store".to_string(),
+                        obj([
+                            ("entries", Json::int(store.entries as u64)),
+                            ("disk_bytes", Json::int(store.disk_bytes)),
+                        ]),
+                    ));
+                }
+                Json::Obj(pairs.into_iter().collect())
+            }
+            Reply::Subscribed => obj([("ok", Json::Bool(true)), ("subscribed", Json::Bool(true))]),
+            Reply::Shutdown => obj([("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))]),
+            Reply::Error(message) => obj([
+                ("ok", Json::Bool(false)),
+                ("error", Json::str(message.clone())),
+            ]),
+        };
+        json.to_string()
+    }
+}
+
+/// Renders the telemetry event stream of one handled request: a
+/// `request` event (source, wall time), then one `layer` event per
+/// [`LayerTrace`] — per-layer wall time, start delta sizes, and
+/// decode-cache work. Warm answers replay the trace persisted with the
+/// result, so subscribers see the per-layer telemetry either way.
+pub fn telemetry_events(reply: &AnalyzeReply) -> Vec<String> {
+    let mut events = Vec::with_capacity(1 + reply.result.trace.len());
+    events.push(
+        obj([
+            ("event", Json::str("request")),
+            ("fingerprint", Json::str(hex_u64(reply.fingerprint))),
+            ("pipeline", Json::str(reply.pipeline_id.clone())),
+            ("source", Json::str(reply.source.token())),
+            ("wall_us", Json::Num(reply.wall_us)),
+            ("start_count", Json::int(reply.result.starts.len() as u64)),
+        ])
+        .to_string(),
+    );
+    for (index, t) in reply.result.trace.iter().enumerate() {
+        events.push(layer_event(reply, index, t));
+    }
+    events
+}
+
+fn layer_event(reply: &AnalyzeReply, index: usize, t: &LayerTrace) -> String {
+    obj([
+        ("event", Json::str("layer")),
+        ("fingerprint", Json::str(hex_u64(reply.fingerprint))),
+        ("pipeline", Json::str(reply.pipeline_id.clone())),
+        ("index", Json::int(index as u64)),
+        ("layer", Json::str(t.name)),
+        ("wall_us", Json::Num(t.wall_us())),
+        ("starts_added", Json::int(t.added.len() as u64)),
+        ("starts_removed", Json::int(t.removed.len() as u64)),
+        ("starts_after", Json::int(t.starts_after as u64)),
+        ("decode_hits", Json::int(t.decode_hits)),
+        ("decode_misses", Json::int(t.decode_misses)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_lines() {
+        let requests = [
+            Request::Analyze {
+                input: AnalyzeInput::Path(PathBuf::from("/tmp/a.elf")),
+                pipeline: Pipeline::fetch(),
+            },
+            Request::Analyze {
+                input: AnalyzeInput::Bytes(vec![0x7f, b'E', b'L', b'F']),
+                pipeline: Pipeline::parse("FDE+Rec").unwrap(),
+            },
+            Request::Query {
+                fingerprint: u64::MAX - 3,
+                pipeline_id: "FDE+Rec+Xref".into(),
+            },
+            Request::Stats,
+            Request::Subscribe,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = req.to_line();
+            assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn tool_and_default_pipelines_resolve() {
+        let req = parse_request(r#"{"cmd":"analyze","path":"/x","tool":"ghidra"}"#).unwrap();
+        match req {
+            Request::Analyze { pipeline, .. } => {
+                assert_eq!(pipeline, Pipeline::for_tool(Tool::Ghidra))
+            }
+            other => panic!("{other:?}"),
+        }
+        let req = parse_request(r#"{"cmd":"analyze","path":"/x"}"#).unwrap();
+        match req {
+            Request::Analyze { pipeline, .. } => assert_eq!(pipeline, Pipeline::fetch()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        for (line, needle) in [
+            ("{}", "cmd"),
+            (r#"{"cmd":"warp"}"#, "unknown cmd"),
+            (r#"{"cmd":"analyze"}"#, "path"),
+            (
+                r#"{"cmd":"analyze","path":"a","bytes_hex":"00"}"#,
+                "not both",
+            ),
+            (
+                r#"{"cmd":"analyze","path":"a","pipeline":"FDE+Nope"}"#,
+                "Nope",
+            ),
+            (
+                r#"{"cmd":"analyze","path":"a","pipeline":"FDE+FDE"}"#,
+                "duplicate",
+            ),
+            (
+                r#"{"cmd":"analyze","path":"a","tool":"objdump"}"#,
+                "objdump",
+            ),
+            (r#"{"cmd":"query","pipeline":"FDE"}"#, "fingerprint"),
+            (r#"{"cmd":"analyze","bytes_hex":"0g"}"#, "hex"),
+            ("not json", "JSON"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn hex_helpers_round_trip() {
+        for v in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_hex_u64(&hex_u64(v)), Some(v));
+        }
+        assert_eq!(parse_hex_u64("1234"), Some(0x1234));
+        assert_eq!(parse_hex_u64(""), None);
+        assert_eq!(parse_hex_u64("0x"), None);
+        assert_eq!(parse_hex_u64("zz"), None);
+        assert_eq!(decode_hex("7f454c46"), Some(vec![0x7f, 0x45, 0x4c, 0x46]));
+        assert_eq!(decode_hex("7f4"), None);
+        assert_eq!(encode_hex(&[0x7f, 0x45]), "7f45");
+    }
+}

@@ -1,0 +1,439 @@
+//! Transports of the daemon: a Unix-domain socket accept loop, a
+//! directory-queue intake, and a stdio mode — all driving one
+//! [`AnalysisService`].
+//!
+//! * **Socket** (`--socket <path>`): clients connect and exchange one
+//!   JSON line per request/reply. A `subscribe` request hands the
+//!   connection's write half to the telemetry hub; it then receives
+//!   event lines until it disconnects.
+//! * **Directory queue** (`--queue <dir>`): files dropped into
+//!   `<dir>/in/*.json` (one request line each) are handled in filename
+//!   order; the reply is written atomically to `<dir>/out/<same name>`
+//!   and the input file removed. The no-socket integration path for
+//!   batch producers — an intake that needs no client library at all.
+//!   Producers should write-then-rename into `in/`; files that do not
+//!   parse get one grace poll before being consumed with an error
+//!   reply, so an in-place writer is not eaten mid-write.
+//! * **Stdio** (`--stdio`): one request line per stdin line, one reply
+//!   line per stdout line, until EOF or `shutdown` — the
+//!   inetd/subprocess shape, and the fallback transport everywhere.
+//!
+//! The loop is single-threaded on purpose: requests are handled in
+//! arrival order against one engine and one cache, so daemon behavior
+//! is deterministic for a given request sequence (scale-out happens by
+//! running more daemons over one shared store directory — entries are
+//! written atomically and are content-addressed, so writers never
+//! conflict).
+
+use crate::protocol::{parse_request, Reply, Request};
+use crate::service::AnalysisService;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Transport configuration of [`serve`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// Unix-domain socket path to listen on.
+    pub socket: Option<PathBuf>,
+    /// Directory-queue root (`in/` and `out/` are created beneath it).
+    pub queue: Option<PathBuf>,
+    /// Idle poll interval (default 20 ms).
+    pub poll: Option<Duration>,
+}
+
+/// What a finished [`serve`] loop handled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Socket connections accepted.
+    pub connections: u64,
+    /// Queue files processed.
+    pub queue_files: u64,
+}
+
+/// Runs the daemon loop over the configured transports until a
+/// `shutdown` request arrives. At least one of `socket`/`queue` must be
+/// configured (use [`serve_io`] for the stdio shape).
+pub fn serve(service: &mut AnalysisService, opts: &ServerOptions) -> io::Result<ServeSummary> {
+    if opts.socket.is_none() && opts.queue.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "serve needs a socket path or a queue directory",
+        ));
+    }
+    let poll = opts.poll.unwrap_or(Duration::from_millis(20));
+    let mut summary = ServeSummary::default();
+    // Unparseable queue files seen once, awaiting their grace poll.
+    let mut deferred = std::collections::HashSet::new();
+
+    #[cfg(unix)]
+    let listener = match &opts.socket {
+        Some(path) => {
+            // A stale socket file from a dead daemon would fail bind.
+            let _ = fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            Some(listener)
+        }
+        None => None,
+    };
+    #[cfg(not(unix))]
+    if opts.socket.is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "socket transport requires Unix-domain sockets; use --queue or --stdio",
+        ));
+    }
+
+    if let Some(queue) = &opts.queue {
+        fs::create_dir_all(queue.join("in"))?;
+        fs::create_dir_all(queue.join("out"))?;
+    }
+
+    while !service.shutdown_requested() {
+        let mut progress = false;
+        #[cfg(unix)]
+        if let Some(listener) = &listener {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        summary.connections += 1;
+                        progress = true;
+                        if let Err(e) = handle_connection(service, stream) {
+                            eprintln!("fetch-serve: connection error: {e}");
+                        }
+                        if service.shutdown_requested() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if service.shutdown_requested() {
+            break;
+        }
+        if let Some(queue) = &opts.queue {
+            let handled = poll_queue(service, queue, &mut deferred)?;
+            summary.queue_files += handled;
+            progress |= handled > 0;
+        }
+        if !progress && !service.shutdown_requested() {
+            std::thread::sleep(poll);
+        }
+    }
+
+    #[cfg(unix)]
+    if let Some(path) = &opts.socket {
+        let _ = fs::remove_file(path);
+    }
+    Ok(summary)
+}
+
+/// How long one connection may sit idle (or one write may stall)
+/// before the daemon treats it as gone. The loop is single-threaded,
+/// so an unbounded read or write on one connection would starve every
+/// other transport — including `shutdown`.
+#[cfg(unix)]
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Handles one socket connection: request lines in, reply lines out,
+/// until EOF, timeout, `shutdown`, or a `subscribe` (which parks the
+/// write half on the telemetry hub and stops reading).
+#[cfg(unix)]
+fn handle_connection(
+    service: &mut AnalysisService,
+    stream: std::os::unix::net::UnixStream,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    // A silent or stalled client is disconnected, not waited on.
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            // Timed out mid-silence: drop the connection.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(())
+            }
+            Err(e) => return Err(e),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(Request::Subscribe) => {
+                write_line(&mut writer, &Reply::Subscribed.to_line())?;
+                // The write timeout stays armed on the parked half: a
+                // subscriber that stops reading makes broadcast() error
+                // out and be dropped, instead of wedging the daemon on
+                // a full socket buffer.
+                service.telemetry().subscribe(Box::new(writer));
+                return Ok(());
+            }
+            Ok(request) => {
+                let shutdown = matches!(request, Request::Shutdown);
+                let reply = service.handle(request);
+                write_line(&mut writer, &reply.to_line())?;
+                if shutdown {
+                    return Ok(());
+                }
+            }
+            Err(message) => write_line(&mut writer, &Reply::Error(message).to_line())?,
+        }
+    }
+}
+
+fn write_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Processes every pending `<queue>/in/*.json` file in filename order;
+/// returns how many were handled.
+///
+/// Producers should write-then-rename into `in/`; as a safety net for
+/// producers that write in place, a file whose content does not parse
+/// is left untouched for one extra poll (`deferred`) before being
+/// consumed with an error reply — a half-written file gets one poll
+/// interval to finish instead of being eaten mid-write.
+fn poll_queue(
+    service: &mut AnalysisService,
+    queue: &Path,
+    deferred: &mut std::collections::HashSet<PathBuf>,
+) -> io::Result<u64> {
+    let in_dir = queue.join("in");
+    let out_dir = queue.join("out");
+    let mut pending: Vec<PathBuf> = fs::read_dir(&in_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .collect();
+    pending.sort();
+    let mut handled = 0u64;
+    for path in pending {
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            // The producer may still be writing; retry next poll.
+            Err(_) => continue,
+        };
+        let request_line = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+        let parsed = parse_request(request_line);
+        if parsed.is_err() && deferred.insert(path.clone()) {
+            // First sighting of an unparseable file: grace poll.
+            continue;
+        }
+        deferred.remove(&path);
+        let reply = match parsed {
+            Ok(Request::Subscribe) => {
+                Reply::Error("subscribe requires a stream transport (socket or stdio)".into())
+            }
+            Ok(request) => service.handle(request),
+            Err(message) => Reply::Error(message),
+        };
+        let name = path.file_name().expect("queue file has a name");
+        let out_path = out_dir.join(name);
+        let tmp = out_path.with_extension(format!("tmp{}", std::process::id()));
+        fs::write(&tmp, format!("{}\n", reply.to_line()))?;
+        fs::rename(&tmp, &out_path)?;
+        fs::remove_file(&path)?;
+        handled += 1;
+        if service.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(handled)
+}
+
+/// The stdio transport: request lines on `input`, reply lines on
+/// `output`, until EOF or `shutdown`. `subscribe` turns the remainder
+/// of `output` into the telemetry stream (replies and events share
+/// stdout; subscribe last, or use a socket, to separate them).
+pub fn serve_io(
+    service: &mut AnalysisService,
+    input: impl BufRead,
+    output: &mut (impl Write + Send + Clone + 'static),
+) -> io::Result<u64> {
+    let mut handled = 0u64;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        handled += 1;
+        match parse_request(&line) {
+            Ok(Request::Subscribe) => {
+                write_line(output, &Reply::Subscribed.to_line())?;
+                service.telemetry().subscribe(Box::new(output.clone()));
+            }
+            Ok(request) => {
+                let reply = service.handle(request);
+                write_line(output, &reply.to_line())?;
+                if service.shutdown_requested() {
+                    break;
+                }
+            }
+            Err(message) => write_line(output, &Reply::Error(message).to_line())?,
+        }
+    }
+    Ok(handled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use fetch_binary::write_elf;
+    use fetch_core::CacheCapacity;
+    use fetch_synth::{synthesize, SynthConfig};
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fetch-serve-server-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A cloneable writer over a shared buffer, standing in for stdout.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn stdio_transport_serves_and_shuts_down() {
+        let case = synthesize(&SynthConfig::small(71));
+        let elf_hex = crate::protocol::encode_hex(&write_elf(&case.binary));
+        let script = format!(
+            "{}\n\n{}\n{{\"cmd\":\"stats\"}}\nnot json\n{{\"cmd\":\"shutdown\"}}\n{}\n",
+            format_args!("{{\"cmd\":\"analyze\",\"bytes_hex\":\"{elf_hex}\"}}"),
+            format_args!("{{\"cmd\":\"analyze\",\"bytes_hex\":\"{elf_hex}\"}}"),
+            "{\"cmd\":\"stats\"}",
+        );
+        let mut service = AnalysisService::new(&ServeConfig::default()).unwrap();
+        let mut out = SharedBuf::default();
+        let handled = serve_io(&mut service, script.as_bytes(), &mut out).unwrap();
+        assert_eq!(handled, 5, "blank skipped, post-shutdown line unread");
+        let text = out.text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("\"source\":\"cold\""));
+        assert!(lines[1].contains("\"source\":\"cache\""));
+        assert!(lines[2].contains("\"cache\":{"));
+        assert!(lines[3].contains("\"ok\":false"));
+        assert!(lines[4].contains("\"shutdown\":true"));
+        assert!(service.shutdown_requested());
+    }
+
+    #[test]
+    fn queue_grace_polls_unparseable_files() {
+        let dir = scratch_dir("grace");
+        let queue = dir.join("q");
+        fs::create_dir_all(queue.join("in")).unwrap();
+        fs::create_dir_all(queue.join("out")).unwrap();
+        let mut service = AnalysisService::new(&ServeConfig::default()).unwrap();
+        let mut deferred = std::collections::HashSet::new();
+
+        // A half-written file is deferred on first sight...
+        let partial = queue.join("in/00-req.json");
+        fs::write(&partial, "{\"cmd\":\"ana").unwrap();
+        assert_eq!(poll_queue(&mut service, &queue, &mut deferred).unwrap(), 0);
+        assert!(partial.exists(), "mid-write file must not be consumed");
+
+        // ...and handled normally once the producer finishes it.
+        fs::write(&partial, "{\"cmd\":\"stats\"}\n").unwrap();
+        assert_eq!(poll_queue(&mut service, &queue, &mut deferred).unwrap(), 1);
+        assert!(!partial.exists());
+        assert!(fs::read_to_string(queue.join("out/00-req.json"))
+            .unwrap()
+            .contains("\"cache\":{"));
+
+        // A file that stays garbage is consumed with an error reply on
+        // its second poll, not retried forever.
+        let garbage = queue.join("in/01-bad.json");
+        fs::write(&garbage, "not json at all").unwrap();
+        assert_eq!(poll_queue(&mut service, &queue, &mut deferred).unwrap(), 0);
+        assert_eq!(poll_queue(&mut service, &queue, &mut deferred).unwrap(), 1);
+        assert!(!garbage.exists());
+        assert!(fs::read_to_string(queue.join("out/01-bad.json"))
+            .unwrap()
+            .contains("\"ok\":false"));
+        assert!(deferred.is_empty(), "consumed files leave the grace set");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn queue_transport_round_trips_files() {
+        let dir = scratch_dir("queue");
+        let case = synthesize(&SynthConfig::small(72));
+        let elf = write_elf(&case.binary);
+        let elf_path = dir.join("sample.elf");
+        fs::write(&elf_path, &elf).unwrap();
+
+        let queue = dir.join("q");
+        fs::create_dir_all(queue.join("in")).unwrap();
+        fs::create_dir_all(queue.join("out")).unwrap();
+        let analyze = format!(
+            "{{\"cmd\":\"analyze\",\"path\":\"{}\"}}\n",
+            elf_path.display()
+        );
+        fs::write(queue.join("in/00-a.json"), &analyze).unwrap();
+        fs::write(queue.join("in/01-b.json"), &analyze).unwrap();
+        fs::write(queue.join("in/02-sub.json"), "{\"cmd\":\"subscribe\"}\n").unwrap();
+        fs::write(queue.join("in/03-stop.json"), "{\"cmd\":\"shutdown\"}\n").unwrap();
+        fs::write(queue.join("in/ignored.txt"), "not a queue file").unwrap();
+
+        let mut service = AnalysisService::new(&ServeConfig {
+            store_dir: Some(dir.join("store")),
+            cache_capacity: CacheCapacity::entries(8),
+        })
+        .unwrap();
+        let summary = serve(
+            &mut service,
+            &ServerOptions {
+                queue: Some(queue.clone()),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.queue_files, 4);
+
+        let read = |name: &str| fs::read_to_string(queue.join("out").join(name)).unwrap();
+        assert!(read("00-a.json").contains("\"source\":\"cold\""));
+        assert!(read("01-b.json").contains("\"source\":\"cache\""));
+        assert!(read("02-sub.json").contains("stream transport"));
+        assert!(read("03-stop.json").contains("\"shutdown\":true"));
+        assert!(
+            !queue.join("in/00-a.json").exists(),
+            "handled inputs are consumed"
+        );
+        assert!(queue.join("in/ignored.txt").exists(), "non-.json untouched");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,444 @@
+//! The transport-agnostic daemon core: one [`AnalysisService`] owns the
+//! bounded cache, the persistent store, the shared decode engine, and
+//! the telemetry hub, and turns parsed [`Request`]s into [`Reply`]s.
+//!
+//! Answer path for an analyze request, in order:
+//!
+//! 1. **Bounded cache** ([`fetch_core::AnalysisCache`]) — fingerprint
+//!    hash + map lookup, no ELF materialization.
+//! 2. **Persistent store** ([`ResultStore`]) — one file read +
+//!    checksummed decode; the loaded result is promoted into the cache.
+//!    A corrupt entry is *rejected* (counted in
+//!    [`RequestCounters::store_errors`]), recomputed cold, and
+//!    overwritten.
+//! 3. **Cold compute** — the declarative pipeline through the service's
+//!    persistent [`RecEngine`] (decode cache shared across requests);
+//!    the result is inserted into the cache and written to the store.
+//!
+//! Every analyze/query answer also broadcasts its telemetry — a
+//! `request` event plus one `layer` event per [`fetch_core::LayerTrace`]
+//! — to the subscribers registered on the [`TelemetryHub`]. Warm
+//! answers replay the trace persisted with the result, so the per-layer
+//! telemetry survives both the cache and a restart.
+
+use crate::protocol::{
+    telemetry_events, AnalyzeInput, AnalyzeReply, Reply, Request, RequestCounters, ServeSource,
+    StatsReply,
+};
+use crate::store::ResultStore;
+use fetch_binary::ElfImage;
+use fetch_core::{image_fingerprint, AnalysisCache, CacheCapacity, Pipeline};
+use fetch_disasm::RecEngine;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Telemetry fan-out: registered sinks receive every event line. A sink
+/// whose write fails is dropped (a disconnected subscriber must never
+/// wedge the daemon).
+#[derive(Default)]
+pub struct TelemetryHub {
+    sinks: Mutex<Vec<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for TelemetryHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TelemetryHub({} sinks)", self.subscriber_count())
+    }
+}
+
+impl TelemetryHub {
+    /// Registers a sink; it receives every subsequent event line.
+    pub fn subscribe(&self, sink: Box<dyn Write + Send>) {
+        self.sinks.lock().expect("hub lock").push(sink);
+    }
+
+    /// Currently registered sinks.
+    pub fn subscriber_count(&self) -> usize {
+        self.sinks.lock().expect("hub lock").len()
+    }
+
+    /// Writes one event line (newline appended) to every sink, dropping
+    /// sinks that fail.
+    pub fn broadcast(&self, line: &str) {
+        let mut sinks = self.sinks.lock().expect("hub lock");
+        sinks.retain_mut(|sink| {
+            sink.write_all(line.as_bytes())
+                .and_then(|()| sink.write_all(b"\n"))
+                .and_then(|()| sink.flush())
+                .is_ok()
+        });
+    }
+}
+
+/// Configuration of an [`AnalysisService`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Directory of the persistent result store (`None` = memory-only:
+    /// answers do not survive a restart).
+    pub store_dir: Option<PathBuf>,
+    /// Bounds of the in-memory cache (default: unbounded).
+    pub cache_capacity: CacheCapacity,
+}
+
+/// The daemon core (see the [module docs](self)).
+#[derive(Debug)]
+pub struct AnalysisService {
+    cache: AnalysisCache,
+    store: Option<ResultStore>,
+    engine: RecEngine,
+    telemetry: TelemetryHub,
+    counters: RequestCounters,
+    shutdown: bool,
+}
+
+impl AnalysisService {
+    /// Builds a service from `config`, opening (or creating) the store
+    /// directory when one is configured.
+    pub fn new(config: &ServeConfig) -> std::io::Result<AnalysisService> {
+        let store = match &config.store_dir {
+            Some(dir) => Some(ResultStore::open(dir)?),
+            None => None,
+        };
+        Ok(AnalysisService {
+            cache: AnalysisCache::with_capacity(config.cache_capacity),
+            store,
+            engine: RecEngine::new(),
+            telemetry: TelemetryHub::default(),
+            counters: RequestCounters::default(),
+            shutdown: false,
+        })
+    }
+
+    /// The telemetry hub (transports register subscribers here).
+    pub fn telemetry(&self) -> &TelemetryHub {
+        &self.telemetry
+    }
+
+    /// The bounded cache (read-only access for harnesses).
+    pub fn cache(&self) -> &AnalysisCache {
+        &self.cache
+    }
+
+    /// Whether a shutdown request has been handled; transports exit
+    /// their accept loops when this turns true.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Handles one request. Every path returns a reply — errors become
+    /// [`Reply::Error`], and the daemon keeps serving.
+    pub fn handle(&mut self, request: Request) -> Reply {
+        match request {
+            Request::Analyze { input, pipeline } => match self.analyze(input, &pipeline) {
+                Ok(reply) => {
+                    self.emit(&reply);
+                    Reply::Analyze(reply)
+                }
+                Err(message) => Reply::Error(message),
+            },
+            Request::Query {
+                fingerprint,
+                pipeline_id,
+            } => {
+                self.counters.query += 1;
+                match self.lookup_warm(fingerprint, &pipeline_id) {
+                    Some(reply) => {
+                        self.emit(&reply);
+                        Reply::Analyze(reply)
+                    }
+                    None => Reply::Error(format!(
+                        "no cached or stored result for ({}, {pipeline_id})",
+                        crate::protocol::hex_u64(fingerprint)
+                    )),
+                }
+            }
+            Request::Stats => Reply::Stats(self.stats()),
+            Request::Subscribe => Reply::Subscribed,
+            Request::Shutdown => {
+                self.shutdown = true;
+                Reply::Shutdown
+            }
+        }
+    }
+
+    /// The service's statistics snapshot.
+    pub fn stats(&self) -> StatsReply {
+        StatsReply {
+            cache: self.cache.stats(),
+            store: self.store.as_ref().and_then(|s| s.stats().ok()),
+            requests: self.counters,
+        }
+    }
+
+    fn emit(&self, reply: &AnalyzeReply) {
+        if self.telemetry.subscriber_count() == 0 {
+            return;
+        }
+        for event in telemetry_events(reply) {
+            self.telemetry.broadcast(&event);
+        }
+    }
+
+    /// Cache-then-store lookup without computing (the `query` path; also
+    /// the warm half of `analyze`). Promotes store hits into the cache.
+    fn lookup_warm(&mut self, fingerprint: u64, pipeline_id: &str) -> Option<AnalyzeReply> {
+        let t0 = Instant::now();
+        if let Some(result) = self.cache.lookup(fingerprint, pipeline_id) {
+            self.counters.cache_hits += 1;
+            return Some(AnalyzeReply {
+                fingerprint,
+                pipeline_id: pipeline_id.to_string(),
+                source: ServeSource::CacheHit,
+                wall_us: t0.elapsed().as_secs_f64() * 1e6,
+                result,
+            });
+        }
+        match self
+            .store
+            .as_ref()
+            .map(|s| s.load(fingerprint, pipeline_id))
+        {
+            Some(Ok(Some(result))) => {
+                self.counters.store_hits += 1;
+                let result = self
+                    .cache
+                    .insert(fingerprint, pipeline_id, Arc::new(result));
+                Some(AnalyzeReply {
+                    fingerprint,
+                    pipeline_id: pipeline_id.to_string(),
+                    source: ServeSource::StoreHit,
+                    wall_us: t0.elapsed().as_secs_f64() * 1e6,
+                    result,
+                })
+            }
+            Some(Err(e)) => {
+                self.counters.store_errors += 1;
+                eprintln!(
+                    "fetch-serve: rejecting store entry for ({}, {pipeline_id}): {e}",
+                    crate::protocol::hex_u64(fingerprint)
+                );
+                None
+            }
+            Some(Ok(None)) | None => None,
+        }
+    }
+
+    fn analyze(
+        &mut self,
+        input: AnalyzeInput,
+        pipeline: &Pipeline,
+    ) -> Result<AnalyzeReply, String> {
+        self.counters.analyze += 1;
+        let t0 = Instant::now();
+        let bytes = match input {
+            AnalyzeInput::Path(path) => {
+                std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?
+            }
+            AnalyzeInput::Bytes(bytes) => bytes,
+        };
+        let image = ElfImage::parse(bytes).map_err(|e| format!("not a loadable ELF: {e}"))?;
+        let fingerprint = image_fingerprint(&image);
+        let pipeline_id = pipeline.id();
+
+        if let Some(mut warm) = self.lookup_warm(fingerprint, &pipeline_id) {
+            // Charge the reply the full request time (parse included).
+            warm.wall_us = t0.elapsed().as_secs_f64() * 1e6;
+            return Ok(warm);
+        }
+
+        self.counters.cold += 1;
+        let result = Arc::new(pipeline.run_with_engine(&image.to_binary(), &mut self.engine));
+        let result = self.cache.insert(fingerprint, &pipeline_id, result);
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save(fingerprint, &pipeline_id, &result) {
+                // A failed persist degrades restart warmth, not answers.
+                eprintln!(
+                    "fetch-serve: failed to persist ({}, {pipeline_id}): {e}",
+                    crate::protocol::hex_u64(fingerprint)
+                );
+            }
+        }
+        Ok(AnalyzeReply {
+            fingerprint,
+            pipeline_id,
+            source: ServeSource::Cold,
+            wall_us: t0.elapsed().as_secs_f64() * 1e6,
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetch_binary::write_elf;
+    use fetch_synth::{synthesize, SynthConfig};
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fetch-serve-service-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn analyze_req(bytes: Vec<u8>) -> Request {
+        Request::Analyze {
+            input: AnalyzeInput::Bytes(bytes),
+            pipeline: Pipeline::fetch(),
+        }
+    }
+
+    fn reply_source(reply: &Reply) -> ServeSource {
+        match reply {
+            Reply::Analyze(a) => a.source,
+            other => panic!("expected analyze reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_then_cache_then_store_across_restart() {
+        let dir = scratch_dir("restart");
+        let case = synthesize(&SynthConfig::small(61));
+        let elf = write_elf(&case.binary);
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            cache_capacity: CacheCapacity::entries(16),
+        };
+
+        let mut service = AnalysisService::new(&config).unwrap();
+        let cold = service.handle(analyze_req(elf.clone()));
+        assert_eq!(reply_source(&cold), ServeSource::Cold);
+        let warm = service.handle(analyze_req(elf.clone()));
+        assert_eq!(reply_source(&warm), ServeSource::CacheHit);
+        let (cold_a, warm_a) = match (&cold, &warm) {
+            (Reply::Analyze(c), Reply::Analyze(w)) => (c, w),
+            other => panic!("{other:?}"),
+        };
+        assert!(Arc::ptr_eq(&cold_a.result, &warm_a.result));
+        assert!(!service.shutdown_requested());
+        assert!(matches!(service.handle(Request::Shutdown), Reply::Shutdown));
+        assert!(service.shutdown_requested());
+        drop(service);
+
+        // Restart: fresh cache, same store directory.
+        let mut restarted = AnalysisService::new(&config).unwrap();
+        let from_store = restarted.handle(analyze_req(elf.clone()));
+        assert_eq!(reply_source(&from_store), ServeSource::StoreHit);
+        match (&cold, &from_store) {
+            (Reply::Analyze(c), Reply::Analyze(s)) => {
+                assert_eq!(*c.result, *s.result, "persisted answer must equal cold");
+            }
+            other => panic!("{other:?}"),
+        }
+        // And the promotion means the next one is a cache hit.
+        assert_eq!(
+            reply_source(&restarted.handle(analyze_req(elf))),
+            ServeSource::CacheHit
+        );
+        let stats = restarted.stats();
+        assert_eq!(stats.requests.store_hits, 1);
+        assert_eq!(stats.requests.cold, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_store_entry_is_recomputed_and_overwritten() {
+        let dir = scratch_dir("heal");
+        let case = synthesize(&SynthConfig::small(62));
+        let elf = write_elf(&case.binary);
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            cache_capacity: CacheCapacity::UNBOUNDED,
+        };
+        let mut service = AnalysisService::new(&config).unwrap();
+        let cold = service.handle(analyze_req(elf.clone()));
+
+        // Corrupt the single store file in place.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "fres"))
+            .expect("one persisted entry");
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&entry, &bytes).unwrap();
+
+        // Restart: the corrupt entry must be rejected, recomputed, and
+        // healed — never misread.
+        let mut healed = AnalysisService::new(&config).unwrap();
+        let recomputed = healed.handle(analyze_req(elf.clone()));
+        assert_eq!(reply_source(&recomputed), ServeSource::Cold);
+        match (&cold, &recomputed) {
+            (Reply::Analyze(c), Reply::Analyze(r)) => assert_eq!(*c.result, *r.result),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(healed.stats().requests.store_errors, 1);
+
+        // The overwrite healed the store: one more restart hits it.
+        let mut third = AnalysisService::new(&config).unwrap();
+        assert_eq!(
+            reply_source(&third.handle(analyze_req(elf))),
+            ServeSource::StoreHit
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn query_answers_warm_only_and_telemetry_streams() {
+        let case = synthesize(&SynthConfig::small(63));
+        let elf = write_elf(&case.binary);
+        let mut service = AnalysisService::new(&ServeConfig::default()).unwrap();
+
+        // Telemetry sink capturing into a shared buffer.
+        #[derive(Clone)]
+        struct Sink(Arc<Mutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let captured = Arc::new(Mutex::new(Vec::new()));
+        service
+            .telemetry()
+            .subscribe(Box::new(Sink(captured.clone())));
+
+        let fp = {
+            let image = ElfImage::parse(elf.clone()).unwrap();
+            image_fingerprint(&image)
+        };
+        let miss = service.handle(Request::Query {
+            fingerprint: fp,
+            pipeline_id: Pipeline::fetch().id(),
+        });
+        assert!(matches!(miss, Reply::Error(_)), "query never computes");
+
+        let cold = service.handle(analyze_req(elf));
+        assert_eq!(reply_source(&cold), ServeSource::Cold);
+        let hit = service.handle(Request::Query {
+            fingerprint: fp,
+            pipeline_id: Pipeline::fetch().id(),
+        });
+        assert_eq!(reply_source(&hit), ServeSource::CacheHit);
+
+        let text = String::from_utf8(captured.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Two answered requests × (1 request event + 4 layer events).
+        assert_eq!(lines.len(), 10, "{text}");
+        assert!(lines[0].contains("\"event\":\"request\""));
+        assert!(lines[0].contains("\"source\":\"cold\""));
+        assert!(lines[1].contains("\"event\":\"layer\""));
+        assert!(lines[1].contains("\"layer\":\"FDE\""));
+        assert!(lines[5].contains("\"source\":\"cache\""));
+        let stats = service.stats();
+        assert_eq!(stats.requests.query, 2);
+        assert_eq!(stats.requests.analyze, 1);
+        assert!(stats.store.is_none());
+    }
+}

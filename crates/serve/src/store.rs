@@ -1,0 +1,281 @@
+//! The persistent result store: `(content fingerprint, pipeline id)` →
+//! a serialized [`DetectionResult`] on disk, so a restarted daemon
+//! answers warm.
+//!
+//! Each entry is one file in the store directory, named
+//! `<fingerprint:016x>-<fnv(pipeline id):016x>.fres` and containing a
+//! store header (magic, version, the *full* fingerprint and pipeline id
+//! — the hash in the filename is only a rendezvous, never trusted)
+//! followed by the core wire encoding of the result
+//! ([`fetch_core::serialize_result`]: itself versioned and
+//! checksummed). Writes go through a temp file + atomic rename, so a
+//! crashed daemon never leaves a half-written entry under a live key;
+//! loads verify header, key match, and checksum, so a truncated or
+//! bit-flipped file is a [`StoreError`], never a wrong answer.
+
+use fetch_core::{deserialize_result, serialize_result, DetectionResult, SerialError};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every store file.
+pub const STORE_MAGIC: [u8; 4] = *b"FSTO";
+/// Current store-file version ([`ResultStore::load`] rejects others).
+pub const STORE_VERSION: u16 = 1;
+/// Store-file extension.
+pub const STORE_EXT: &str = "fres";
+
+/// A failed store operation.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (with context).
+    Io(io::Error),
+    /// The file's store header is not this format/version.
+    BadHeader(&'static str),
+    /// The file's embedded key disagrees with the requested one
+    /// (filename-hash collision or a misplaced file).
+    KeyMismatch,
+    /// The embedded result encoding is corrupt.
+    Malformed(SerialError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadHeader(what) => write!(f, "bad store file header: {what}"),
+            StoreError::KeyMismatch => write!(f, "store file key mismatch"),
+            StoreError::Malformed(e) => write!(f, "corrupt stored result: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// FNV-1a over the pipeline id, for the filename rendezvous only (the
+/// full id inside the file is what is verified).
+fn id_hash(pipeline_id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in pipeline_id.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The on-disk result store (see the [module docs](self)).
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, fingerprint: u64, pipeline_id: &str) -> PathBuf {
+        self.dir.join(format!(
+            "{fingerprint:016x}-{:016x}.{STORE_EXT}",
+            id_hash(pipeline_id)
+        ))
+    }
+
+    /// Persists `result` under `(fingerprint, pipeline_id)`, atomically
+    /// replacing any previous entry for the key.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`StoreError::Malformed`] when the result uses
+    /// an out-of-vocabulary layer name (it could never be loaded back).
+    pub fn save(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+        result: &DetectionResult,
+    ) -> Result<(), StoreError> {
+        let blob = serialize_result(result).map_err(StoreError::Malformed)?;
+        let mut file = Vec::with_capacity(blob.len() + 32);
+        file.extend_from_slice(&STORE_MAGIC);
+        file.extend_from_slice(&STORE_VERSION.to_le_bytes());
+        file.extend_from_slice(&fingerprint.to_le_bytes());
+        let id_len: u16 = pipeline_id
+            .len()
+            .try_into()
+            .map_err(|_| StoreError::BadHeader("pipeline id too long"))?;
+        file.extend_from_slice(&id_len.to_le_bytes());
+        file.extend_from_slice(pipeline_id.as_bytes());
+        file.extend_from_slice(&blob);
+
+        let path = self.path_for(fingerprint, pipeline_id);
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        fs::write(&tmp, &file)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Loads the entry for `(fingerprint, pipeline_id)`.
+    ///
+    /// `Ok(None)` when the key has no entry; an error when an entry
+    /// exists but is unreadable, mismatched, or corrupt — the caller
+    /// decides whether to recompute (the daemon does, then overwrites
+    /// the bad entry).
+    pub fn load(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+    ) -> Result<Option<DetectionResult>, StoreError> {
+        let path = self.path_for(fingerprint, pipeline_id);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let min = STORE_MAGIC.len() + 2 + 8 + 2;
+        if bytes.len() < min {
+            return Err(StoreError::BadHeader("file shorter than header"));
+        }
+        if bytes[..4] != STORE_MAGIC {
+            return Err(StoreError::BadHeader("bad magic"));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2"));
+        if version != STORE_VERSION {
+            return Err(StoreError::BadHeader("unsupported version"));
+        }
+        let stored_fp = u64::from_le_bytes(bytes[6..14].try_into().expect("8"));
+        let id_len = u16::from_le_bytes(bytes[14..16].try_into().expect("2")) as usize;
+        let id_end = 16 + id_len;
+        if bytes.len() < id_end {
+            return Err(StoreError::BadHeader("file shorter than its pipeline id"));
+        }
+        let stored_id = std::str::from_utf8(&bytes[16..id_end])
+            .map_err(|_| StoreError::BadHeader("non-UTF-8 pipeline id"))?;
+        if stored_fp != fingerprint || stored_id != pipeline_id {
+            return Err(StoreError::KeyMismatch);
+        }
+        deserialize_result(&bytes[id_end..])
+            .map(Some)
+            .map_err(StoreError::Malformed)
+    }
+
+    /// Whether the key has a (syntactically present, not validated)
+    /// entry.
+    pub fn contains(&self, fingerprint: u64, pipeline_id: &str) -> bool {
+        self.path_for(fingerprint, pipeline_id).exists()
+    }
+
+    /// Entry count and total disk bytes, by directory scan.
+    pub fn stats(&self) -> io::Result<crate::protocol::StoreStats> {
+        let mut entries = 0usize;
+        let mut disk_bytes = 0u64;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(STORE_EXT) {
+                entries += 1;
+                disk_bytes += entry.metadata()?.len();
+            }
+        }
+        Ok(crate::protocol::StoreStats {
+            entries,
+            disk_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetch_core::{content_fingerprint, Pipeline};
+    use fetch_synth::{synthesize, SynthConfig};
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fetch-serve-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips_and_persists_across_instances() {
+        let dir = scratch_dir("roundtrip");
+        let case = synthesize(&SynthConfig::small(51));
+        let pipeline = Pipeline::fetch();
+        let result = pipeline.run(&case.binary);
+        let fp = content_fingerprint(&case.binary);
+
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(!store.contains(fp, &pipeline.id()));
+        assert!(store.load(fp, &pipeline.id()).unwrap().is_none());
+        store.save(fp, &pipeline.id(), &result).unwrap();
+        assert!(store.contains(fp, &pipeline.id()));
+
+        // A second instance over the same directory — the restart shape.
+        let restarted = ResultStore::open(&dir).unwrap();
+        let loaded = restarted.load(fp, &pipeline.id()).unwrap().unwrap();
+        assert_eq!(loaded, result);
+        let stats = restarted.stats().unwrap();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.disk_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_are_rejected() {
+        let dir = scratch_dir("corrupt");
+        let case = synthesize(&SynthConfig::small(52));
+        let pipeline = Pipeline::parse("FDE+Rec").unwrap();
+        let result = pipeline.run(&case.binary);
+        let fp = content_fingerprint(&case.binary);
+        let store = ResultStore::open(&dir).unwrap();
+        store.save(fp, &pipeline.id(), &result).unwrap();
+        let path = store.path_for(fp, &pipeline.id());
+
+        // Truncation: drop the tail.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 9]).unwrap();
+        assert!(matches!(
+            store.load(fp, &pipeline.id()),
+            Err(StoreError::Malformed(_))
+        ));
+
+        // Bit flip in the payload.
+        let mut flipped = full.clone();
+        let mid = flipped.len() - 20;
+        flipped[mid] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        assert!(store.load(fp, &pipeline.id()).is_err());
+
+        // Wrong key inside a well-formed file: flip the stored
+        // fingerprint bytes.
+        let mut wrong_key = full.clone();
+        wrong_key[6] ^= 0xff;
+        fs::write(&path, &wrong_key).unwrap();
+        assert!(matches!(
+            store.load(fp, &pipeline.id()),
+            Err(StoreError::KeyMismatch)
+        ));
+
+        // Not a store file at all.
+        fs::write(&path, b"junkjunkjunkjunkjunkjunk").unwrap();
+        assert!(matches!(
+            store.load(fp, &pipeline.id()),
+            Err(StoreError::BadHeader(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,270 @@
+//! End-to-end smoke test of the daemon, over the real socket transport:
+//! start `fetch-serve`, submit a corpus binary twice, subscribe to
+//! telemetry, shut down cleanly, restart over the same store directory,
+//! and assert the second and post-restart answers are cache/store hits
+//! whose rendered `result` objects are **byte-identical** to the cold
+//! one. This is the CI smoke step for the serving subsystem.
+
+#![cfg(unix)]
+
+use fetch_binary::write_elf;
+use fetch_core::CacheCapacity;
+use fetch_core::Pipeline;
+use fetch_serve::json::Json;
+use fetch_serve::protocol::{parse_hex_u64, AnalyzeInput, Request};
+use fetch_serve::server::{serve, ServerOptions};
+use fetch_serve::service::{AnalysisService, ServeConfig};
+use fetch_serve::ServeSummary;
+use fetch_synth::{synthesize, SynthConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fetch-serve-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts a daemon thread on `socket`, waits until it accepts.
+fn start_daemon(
+    socket: PathBuf,
+    config: ServeConfig,
+) -> std::thread::JoinHandle<std::io::Result<ServeSummary>> {
+    let handle = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            let mut service = AnalysisService::new(&config)?;
+            serve(
+                &mut service,
+                &ServerOptions {
+                    socket: Some(socket),
+                    poll: Some(Duration::from_millis(2)),
+                    ..ServerOptions::default()
+                },
+            )
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if UnixStream::connect(&socket).is_ok() {
+            return handle;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("daemon did not start listening on {}", socket.display());
+}
+
+/// One request, one reply, over a fresh connection.
+fn roundtrip(socket: &Path, request: &Request) -> Json {
+    let mut stream = UnixStream::connect(socket).expect("connect");
+    stream
+        .write_all(format!("{}\n", request.to_line()).as_bytes())
+        .expect("send");
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("reply");
+    Json::parse(&reply).unwrap_or_else(|e| panic!("bad reply {reply:?}: {e}"))
+}
+
+fn expect_source(reply: &Json, source: &str) {
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{reply}"
+    );
+    assert_eq!(
+        reply.get("source").and_then(Json::as_str),
+        Some(source),
+        "{reply}"
+    );
+}
+
+/// The deterministic payload of an analysis reply.
+fn result_text(reply: &Json) -> String {
+    reply.get("result").expect("result object").to_string()
+}
+
+#[test]
+fn daemon_serves_cache_and_store_hits_byte_identical_across_restart() {
+    let dir = scratch_dir("restart");
+    let store_dir = dir.join("store");
+    let socket = dir.join("fetch.sock");
+
+    // A corpus binary, submitted by path like a production client would.
+    let mut cfg = SynthConfig::small(901);
+    cfg.n_funcs = 40;
+    let case = synthesize(&cfg);
+    let elf = write_elf(&case.binary);
+    let elf_path = dir.join("sample.elf");
+    std::fs::write(&elf_path, &elf).unwrap();
+
+    let config = ServeConfig {
+        store_dir: Some(store_dir.clone()),
+        cache_capacity: CacheCapacity::entries(64),
+    };
+    let analyze = Request::Analyze {
+        input: AnalyzeInput::Path(elf_path.clone()),
+        pipeline: Pipeline::fetch(),
+    };
+
+    // ---- First daemon lifetime: cold, then cache hit. ----
+    let daemon = start_daemon(socket.clone(), config.clone());
+
+    // A telemetry subscriber registered before any work.
+    let mut sub = UnixStream::connect(&socket).unwrap();
+    sub.write_all(format!("{}\n", Request::Subscribe.to_line()).as_bytes())
+        .unwrap();
+    sub.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut sub_reader = BufReader::new(sub);
+    let mut line = String::new();
+    sub_reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"subscribed\":true"), "{line}");
+
+    let cold = roundtrip(&socket, &analyze);
+    expect_source(&cold, "cold");
+    let cold_result = result_text(&cold);
+    let fingerprint = cold
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(parse_hex_u64)
+        .expect("fingerprint");
+
+    let cached = roundtrip(&socket, &analyze);
+    expect_source(&cached, "cache");
+    assert_eq!(
+        result_text(&cached),
+        cold_result,
+        "cache hit must render the byte-identical result"
+    );
+
+    // Query by fingerprint answers warm too.
+    let queried = roundtrip(
+        &socket,
+        &Request::Query {
+            fingerprint,
+            pipeline_id: Pipeline::fetch().id(),
+        },
+    );
+    expect_source(&queried, "cache");
+    assert_eq!(result_text(&queried), cold_result);
+
+    // Telemetry: the subscriber saw a request event per answer plus one
+    // layer event per pipeline layer, warm or cold.
+    let expected_events = 3 * (1 + Pipeline::fetch().len());
+    let mut events = Vec::new();
+    for _ in 0..expected_events {
+        let mut event = String::new();
+        sub_reader.read_line(&mut event).expect("telemetry event");
+        events.push(event);
+    }
+    assert!(
+        events[0].contains("\"event\":\"request\"") && events[0].contains("\"source\":\"cold\"")
+    );
+    assert!(events[1].contains("\"event\":\"layer\"") && events[1].contains("\"layer\":\"FDE\""));
+    assert!(events[5].contains("\"source\":\"cache\""));
+
+    // Stats expose the new cache counters.
+    let stats = roundtrip(&socket, &Request::Stats);
+    let cache_stats = stats.get("cache").expect("cache stats");
+    assert_eq!(cache_stats.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache_stats.get("hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(cache_stats.get("evictions").and_then(Json::as_u64), Some(0));
+    assert_eq!(cache_stats.get("entries").and_then(Json::as_u64), Some(1));
+    assert!(cache_stats.get("bytes").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(
+        stats
+            .get("store")
+            .and_then(|s| s.get("entries"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+
+    // Clean shutdown.
+    let bye = roundtrip(&socket, &Request::Shutdown);
+    assert_eq!(bye.get("shutdown").and_then(Json::as_bool), Some(true));
+    let summary = daemon.join().expect("daemon thread").expect("serve loop");
+    assert!(summary.connections >= 5);
+    assert!(!socket.exists(), "socket file removed on shutdown");
+
+    // ---- Second daemon lifetime: same store, fresh cache. ----
+    let daemon = start_daemon(socket.clone(), config);
+    let restored = roundtrip(&socket, &analyze);
+    expect_source(&restored, "store");
+    assert_eq!(
+        result_text(&restored),
+        cold_result,
+        "post-restart answer must be byte-identical to the cold run"
+    );
+    // Promotion into the cache: the next answer is a cache hit.
+    let warm = roundtrip(&socket, &analyze);
+    expect_source(&warm, "cache");
+    assert_eq!(result_text(&warm), cold_result);
+    let stats = roundtrip(&socket, &Request::Stats);
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("store_hits"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("cold"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "the restarted daemon never computed"
+    );
+    roundtrip(&socket, &Request::Shutdown);
+    daemon.join().expect("daemon thread").expect("serve loop");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn daemon_rejects_malformed_requests_and_keeps_serving() {
+    let dir = scratch_dir("errors");
+    let socket = dir.join("fetch.sock");
+    let daemon = start_daemon(socket.clone(), ServeConfig::default());
+
+    // A malformed line gets an error reply on the same connection, and
+    // the next request on that connection still works.
+    let mut stream = UnixStream::connect(&socket).unwrap();
+    stream.write_all(b"{\"cmd\":\"analyze\"}\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply = Json::parse(&line).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(reply
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("path"));
+
+    // Nonexistent path: still an error reply, not a dead daemon.
+    stream
+        .write_all(b"{\"cmd\":\"analyze\",\"path\":\"/nonexistent/x.elf\"}\n")
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":false"), "{line}");
+
+    // Garbage bytes inline: parse error surfaces as a reply.
+    stream
+        .write_all(b"{\"cmd\":\"analyze\",\"bytes_hex\":\"00010203\"}\n")
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("not a loadable ELF"), "{line}");
+    drop(reader);
+    drop(stream);
+
+    let bye = roundtrip(&socket, &Request::Shutdown);
+    assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+    daemon.join().expect("daemon thread").expect("serve loop");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

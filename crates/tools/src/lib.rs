@@ -110,12 +110,14 @@ pub fn run_tool_on_image_cached(
     if tool == Tool::Angr && angr_rejects_name(name) {
         return None;
     }
-    let pipeline = Pipeline::for_tool(tool);
+    // The precomputed static id keeps the warm-hit path allocation-free
+    // (pinned to `Pipeline::for_tool(tool).id()` by a fetch-core test);
+    // the pipeline itself is only materialized on a miss.
     Some(
-        cache.get_or_compute(image_fingerprint(image), &pipeline.id(), || {
+        cache.get_or_compute(image_fingerprint(image), tool.pipeline_id(), || {
             let mut binary = image.to_binary();
             binary.name = name.to_string();
-            pipeline.run_with_engine(&binary, engine)
+            Pipeline::for_tool(tool).run_with_engine(&binary, engine)
         }),
     )
 }
