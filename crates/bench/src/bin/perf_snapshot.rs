@@ -22,7 +22,10 @@
 //! * `serve` — the `fetch-serve` daemon core driven over the corpus
 //!   image: cold submit vs bounded-cache hit vs post-restart persistent
 //!   store hit (cache-hit ≥ 10× cold asserted; the store answer is
-//!   asserted `==` the cold result).
+//!   asserted `==` the cold result), plus the `concurrency` subgroup —
+//!   warm p50/p95 latency vs client count against one shared service,
+//!   and the coalescing guarantee (8 concurrent submits of one uncached
+//!   image → exactly 1 cold compute, asserted, every reply identical).
 //! * `batch_serial` / `batch_parallel` — the [`BatchDriver`] sweeping
 //!   the default Dataset 2 corpus, one worker vs all of them. The two
 //!   produce byte-identical results — the snapshot asserts it — so the
@@ -393,7 +396,7 @@ fn main() {
             std::env::temp_dir().join(format!("fetch-serve-snapshot-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
         let elf_bytes = large_image.view().image().to_vec();
-        let submit = |service: &mut AnalysisService| {
+        let submit = |service: &AnalysisService| {
             let t = Instant::now();
             let reply = service.handle(Request::Analyze {
                 input: AnalyzeInput::Bytes(elf_bytes.clone()),
@@ -408,6 +411,7 @@ fn main() {
         let config_for = |dir: &std::path::Path| ServeConfig {
             store_dir: Some(dir.to_path_buf()),
             cache_capacity: fetch_core::CacheCapacity::entries(cache_capacity.unwrap_or(1024)),
+            ..ServeConfig::default()
         };
 
         // Cold: a fresh service over a fresh store each rep.
@@ -415,8 +419,8 @@ fn main() {
         let mut cold_result = None;
         for rep in 0..reps {
             let dir = base.join(format!("cold-{rep}"));
-            let mut service = AnalysisService::new(&config_for(&dir)).expect("service");
-            let (us, source, result) = submit(&mut service);
+            let service = AnalysisService::new(&config_for(&dir)).expect("service");
+            let (us, source, result) = submit(&service);
             assert_eq!(source, ServeSource::Cold);
             cold_us = cold_us.min(us);
             cold_result = Some(result);
@@ -425,24 +429,23 @@ fn main() {
 
         // Cache hit: one service, second submit.
         let warm_dir = base.join("warm");
-        let mut warm_service = AnalysisService::new(&config_for(&warm_dir)).expect("service");
-        let (_, source, _) = submit(&mut warm_service);
+        let warm_service = AnalysisService::new(&config_for(&warm_dir)).expect("service");
+        let (_, source, _) = submit(&warm_service);
         assert_eq!(source, ServeSource::Cold);
         let mut cache_us = f64::INFINITY;
         for _ in 0..reps.max(3) {
-            let (us, source, result) = submit(&mut warm_service);
+            let (us, source, result) = submit(&warm_service);
             assert_eq!(source, ServeSource::CacheHit);
             assert_eq!(*result, *cold_result);
             cache_us = cache_us.min(us);
         }
-        drop(warm_service);
 
         // Persisted-warm: a restarted service (fresh cache, same store)
         // each rep — every submit is a store hit.
         let mut store_us = f64::INFINITY;
         for _ in 0..reps.max(3) {
-            let mut restarted = AnalysisService::new(&config_for(&warm_dir)).expect("service");
-            let (us, source, result) = submit(&mut restarted);
+            let restarted = AnalysisService::new(&config_for(&warm_dir)).expect("service");
+            let (us, source, result) = submit(&restarted);
             assert_eq!(source, ServeSource::StoreHit, "restart must answer warm");
             assert_eq!(
                 *result, *cold_result,
@@ -458,6 +461,80 @@ fn main() {
             "a daemon cache hit must be >= 10x faster than a cold submit \
              (cold {cold_us:.1} µs, hit {cache_us:.1} µs, {cache_speedup:.1}x)"
         );
+
+        // Concurrency subgroup: warm p50/p95 vs client count against
+        // one shared service (the worker-pool shape, minus the socket
+        // hop), plus the coalescing guarantee — N concurrent submits of
+        // one uncached image cost exactly one cold compute and every
+        // reply is the identical result.
+        let percentile = |sorted: &[f64], p: f64| -> f64 {
+            sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+        };
+        let sweep_reqs = 16usize;
+        let mut sweep_json = String::new();
+        for (ci, clients) in [1usize, 2, 4, 8].into_iter().enumerate() {
+            let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+                let threads: Vec<_> = (0..clients)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            (0..sweep_reqs)
+                                .map(|_| {
+                                    let (us, source, result) = submit(&warm_service);
+                                    assert_eq!(source, ServeSource::CacheHit);
+                                    assert_eq!(*result, *cold_result);
+                                    us
+                                })
+                                .collect::<Vec<f64>>()
+                        })
+                    })
+                    .collect();
+                threads
+                    .into_iter()
+                    .flat_map(|t| t.join().expect("sweep client"))
+                    .collect()
+            });
+            latencies.sort_by(|a, b| a.total_cmp(b));
+            let (p50, p95) = (percentile(&latencies, 0.50), percentile(&latencies, 0.95));
+            let _ = write!(
+                sweep_json,
+                "{}\n        {{ \"clients\": {clients}, \"requests\": {}, \
+                 \"p50_us\": {p50:.1}, \"p95_us\": {p95:.1} }}",
+                if ci > 0 { "," } else { "" },
+                latencies.len(),
+            );
+            println!(" serve: {clients:>2} clients warm — p50 {p50:.1} µs, p95 {p95:.1} µs");
+        }
+
+        let coalesce_clients = 8usize;
+        let coalesce_dir = base.join("coalesce");
+        let coalesce_service = AnalysisService::new(&config_for(&coalesce_dir)).expect("service");
+        let barrier = std::sync::Barrier::new(coalesce_clients);
+        std::thread::scope(|scope| {
+            let threads: Vec<_> = (0..coalesce_clients)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        let (_, _, result) = submit(&coalesce_service);
+                        result
+                    })
+                })
+                .collect();
+            for t in threads {
+                let result = t.join().expect("coalesce client");
+                assert_eq!(
+                    *result, *cold_result,
+                    "a coalesced reply must be byte-identical to the cold answer"
+                );
+            }
+        });
+        let coalesce_stats = coalesce_service.stats().requests;
+        assert_eq!(
+            coalesce_stats.cold, 1,
+            "{coalesce_clients} concurrent submits of one uncached image \
+             must cost exactly one cold compute (got {})",
+            coalesce_stats.cold
+        );
+
         let _ = write!(
             json,
             "  \"serve\": {{\n    \"image_bytes\": {},\n    \
@@ -465,12 +542,19 @@ fn main() {
              \"cache_hit_us\": {cache_us:.1},\n    \
              \"store_hit_us\": {store_us:.1},\n    \
              \"cache_hit_speedup\": {cache_speedup:.1},\n    \
-             \"store_hit_speedup\": {store_speedup:.1}\n  }},\n",
+             \"store_hit_speedup\": {store_speedup:.1},\n    \
+             \"concurrency\": {{\n      \"sweep\": [{sweep_json}\n      ],\n      \
+             \"coalesce\": {{ \"clients\": {coalesce_clients}, \"cold_computes\": {}, \
+             \"coalesced\": {} }}\n    }}\n  }},\n",
             elf_bytes.len(),
+            coalesce_stats.cold,
+            coalesce_stats.coalesced,
         );
         println!(
             " serve: cold {cold_us:.1} µs, cache hit {cache_us:.1} µs ({cache_speedup:.0}x), \
-             store hit {store_us:.1} µs ({store_speedup:.0}x)"
+             store hit {store_us:.1} µs ({store_speedup:.0}x); coalesce@{coalesce_clients}: \
+             {} cold, {} coalesced",
+            coalesce_stats.cold, coalesce_stats.coalesced,
         );
         let _ = std::fs::remove_dir_all(&base);
     }

@@ -4,20 +4,32 @@
 //! the end-to-end serving numbers *including* the transport hop
 //! (`perf_snapshot`'s `serve` group measures the same path in-process).
 //!
-//! The run has three phases over one daemon lifetime plus a restart:
+//! The run has five phases over one daemon lifetime plus a restart:
 //!
 //! 1. **cold** — every corpus binary submitted once (all misses);
 //! 2. **warm** — `--rounds` more sweeps (bounded-cache hits, or
 //!    recomputes when `--cache-capacity` forces eviction);
-//! 3. **restart** — the daemon is shut down and restarted over the same
+//! 3. **concurrency** — warm sweeps from 1 / 2 / 4 / 8 concurrent
+//!    clients against the `--jobs` worker pool: p50/p95 vs client
+//!    count;
+//! 4. **coalesce** — 8 clients submit one *uncached* binary at the same
+//!    instant; the run asserts exactly **one** cold compute served the
+//!    whole group and every reply is byte-identical;
+//! 5. **restart** — the daemon is shut down and restarted over the same
 //!    store directory, then swept once more (persistent-store hits).
 //!
 //! Every reply's rendered `result` object is asserted byte-identical to
-//! the cold reply for that binary — warm and persisted answers must
-//! never drift.
+//! the cold reply for that binary — warm, coalesced, and persisted
+//! answers must never drift.
+//!
+//! Setting `FETCH_FAULT_PLAN` arms deterministic fault injection in the
+//! daemon under load (see [`fetch_serve::fault`]) — the CI chaos smoke
+//! runs this harness with store faults and transport stalls armed and
+//! the assertions unchanged: injected failures must never change an
+//! answer, hang the run, or prevent a clean shutdown.
 //!
 //! Usage: `cargo run --release -p fetch-bench --bin serve_load --
-//! [--scale N] [--funcs F] [--rounds R] [--cache-capacity N]`
+//! [--scale N] [--funcs F] [--rounds R] [--cache-capacity N] [--jobs N]`
 
 #![cfg(unix)]
 
@@ -28,6 +40,7 @@ use fetch_serve::json::Json;
 use fetch_serve::protocol::Request;
 use fetch_serve::server::{serve, ServerOptions};
 use fetch_serve::service::{AnalysisService, ServeConfig};
+use fetch_synth::{synthesize, SynthConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
@@ -36,16 +49,18 @@ use std::time::{Duration, Instant};
 fn start_daemon(
     socket: PathBuf,
     config: ServeConfig,
+    jobs: usize,
 ) -> std::thread::JoinHandle<std::io::Result<fetch_serve::ServeSummary>> {
     let handle = {
         let socket = socket.clone();
         std::thread::spawn(move || {
-            let mut service = AnalysisService::new(&config)?;
+            let service = AnalysisService::new(&config)?;
             serve(
-                &mut service,
+                &service,
                 &ServerOptions {
                     socket: Some(socket),
                     poll: Some(Duration::from_millis(1)),
+                    jobs: Some(jobs),
                     ..ServerOptions::default()
                 },
             )
@@ -78,6 +93,15 @@ fn roundtrip(socket: &Path, line: &str) -> (f64, Json) {
     )
 }
 
+/// Pulls one counter out of a `stats` reply's `requests` object.
+fn request_counter(stats: &Json, name: &str) -> u64 {
+    stats
+        .get("requests")
+        .and_then(|r| r.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats reply lacks requests.{name}: {stats}"))
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -99,6 +123,7 @@ fn report(label: &str, mut latencies: Vec<f64>) {
 
 fn main() {
     let opts = opts_from_args();
+    let jobs = opts.jobs;
     let mut rounds = 2usize;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -116,12 +141,16 @@ fn main() {
     std::fs::create_dir_all(&base).unwrap();
     let socket = base.join("fetch.sock");
     let store = base.join("store");
+    let faults =
+        std::sync::Arc::new(fetch_serve::FaultPlan::from_env().unwrap_or_else(|e| panic!("{e}")));
     let config = ServeConfig {
         store_dir: Some(store),
         cache_capacity: match opts.cache_capacity {
             Some(n) => CacheCapacity::entries(n),
             None => CacheCapacity::UNBOUNDED,
         },
+        faults: faults.clone(),
+        ..ServeConfig::default()
     };
 
     banner("fetch-serve load generator (Dataset 2 over a Unix socket)");
@@ -139,11 +168,15 @@ fn main() {
     // Submitting inline keeps the harness hermetic; report the volume.
     let payload: usize = lines.iter().map(String::len).sum();
     println!(
-        "  corpus: {} binaries, {:.1} KiB of request payload per sweep, cache capacity {:?}",
+        "  corpus: {} binaries, {:.1} KiB of request payload per sweep, \
+         cache capacity {:?}, {jobs} workers",
         cases.len(),
         payload as f64 / 1024.0,
         opts.cache_capacity,
     );
+    if !faults.is_empty() {
+        println!("  chaos: fault plan armed from FETCH_FAULT_PLAN");
+    }
 
     let sweep = |socket: &Path, expect: Option<&[String]>| -> (Vec<f64>, Vec<String>) {
         let mut latencies = Vec::with_capacity(lines.len());
@@ -169,7 +202,7 @@ fn main() {
     };
 
     // Phase 1+2: cold sweep, then warm rounds, one daemon lifetime.
-    let daemon = start_daemon(socket.clone(), config.clone());
+    let daemon = start_daemon(socket.clone(), config.clone(), jobs);
     let t_total = Instant::now();
     let (cold, cold_results) = sweep(&socket, None);
     report("cold", cold);
@@ -177,6 +210,99 @@ fn main() {
         let (warm, _) = sweep(&socket, Some(&cold_results));
         report(&format!("warm#{}", round + 1), warm);
     }
+
+    // Phase 3: concurrency sweep — C warm clients share the worker
+    // pool; every reply is still asserted byte-identical to the cold
+    // sweep, so contention can reorder work but never change answers.
+    const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    for clients in CLIENT_COUNTS {
+        let latencies: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let (socket, lines, cold_results) = (&socket, &lines, &cold_results);
+                    scope.spawn(move || {
+                        let mut latencies = Vec::with_capacity(lines.len());
+                        for (ci, line) in lines.iter().enumerate() {
+                            let (us, reply) = roundtrip(socket, line);
+                            assert_eq!(
+                                reply.get("ok").and_then(Json::as_bool),
+                                Some(true),
+                                "{reply}"
+                            );
+                            assert_eq!(
+                                reply.get("result").expect("result").to_string(),
+                                cold_results[ci],
+                                "case {ci}: a concurrent answer drifted"
+                            );
+                            latencies.push(us);
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep client"))
+                .collect()
+        });
+        report(&format!("c={clients}"), latencies);
+    }
+
+    // Phase 4: coalescing — 8 clients submit one binary the daemon has
+    // never seen, released by a barrier. Exactly one cold compute must
+    // serve the whole group, and all replies must agree byte-for-byte.
+    let coalesce_clients = 8usize;
+    let fresh_line = {
+        let mut cfg = SynthConfig::small(777_001);
+        cfg.n_funcs = 40;
+        Request::Analyze {
+            input: fetch_serve::protocol::AnalyzeInput::Bytes(write_elf(&synthesize(&cfg).binary)),
+            pipeline: Pipeline::fetch(),
+        }
+        .to_line()
+    };
+    let (_, before) = roundtrip(&socket, &Request::Stats.to_line());
+    let cold_before = request_counter(&before, "cold");
+    let barrier = std::sync::Barrier::new(coalesce_clients);
+    let group: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..coalesce_clients)
+            .map(|_| {
+                let (socket, fresh_line, barrier) = (&socket, &fresh_line, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let (_, reply) = roundtrip(socket, fresh_line);
+                    assert_eq!(
+                        reply.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "{reply}"
+                    );
+                    reply.get("result").expect("result").to_string()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("coalesce client"))
+            .collect()
+    });
+    assert!(
+        group.windows(2).all(|w| w[0] == w[1]),
+        "coalesced replies must be byte-identical"
+    );
+    let (_, after) = roundtrip(&socket, &Request::Stats.to_line());
+    let cold_computes = request_counter(&after, "cold") - cold_before;
+    assert_eq!(
+        cold_computes, 1,
+        "{coalesce_clients} concurrent submits of one uncached binary must \
+         cost exactly one cold compute"
+    );
+    println!(
+        "  coalesce: {coalesce_clients} concurrent clients, {cold_computes} cold compute, \
+         {} coalesced, {} shed",
+        request_counter(&after, "coalesced"),
+        request_counter(&after, "shed_busy"),
+    );
+
     let (_, stats) = roundtrip(&socket, &Request::Stats.to_line());
     let cache = stats.get("cache").expect("cache stats");
     println!(
@@ -191,8 +317,8 @@ fn main() {
     roundtrip(&socket, &Request::Shutdown.to_line());
     daemon.join().expect("daemon").expect("serve loop");
 
-    // Phase 3: restart over the same store; answers come back warm.
-    let daemon = start_daemon(socket.clone(), config);
+    // Phase 5: restart over the same store; answers come back warm.
+    let daemon = start_daemon(socket.clone(), config, jobs);
     let (restored, _) = sweep(&socket, Some(&cold_results));
     report("restart", restored);
     let (_, stats) = roundtrip(&socket, &Request::Stats.to_line());
@@ -215,7 +341,18 @@ fn main() {
     println!(
         "  total: {:.2} s wall for {} requests",
         t_total.elapsed().as_secs_f64(),
-        lines.len() * (rounds + 2) + 2,
+        lines.len() * (rounds + 2 + CLIENT_COUNTS.iter().sum::<usize>()) + coalesce_clients + 6,
     );
+    if !faults.is_empty() {
+        println!(
+            "  chaos: {} faults fired; every answer stayed byte-identical and \
+             both daemon lifetimes shut down cleanly",
+            faults.fired()
+        );
+        assert!(
+            faults.fired() > 0,
+            "an armed fault plan must fire under load"
+        );
+    }
     let _ = std::fs::remove_dir_all(&base);
 }

@@ -41,7 +41,7 @@ use crate::state::DetectionResult;
 use fetch_binary::Binary;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x1000_0000_01b3;
@@ -169,6 +169,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped by LRU eviction (never by [`AnalysisCache::clear`]).
     pub evictions: u64,
+    /// Waiters served by another caller's in-flight compute
+    /// ([`AnalysisCache::join_flight`]): lookups that would have been
+    /// redundant cold computes without coalescing.
+    pub coalesced: u64,
     /// Resident entries at snapshot time.
     pub entries: usize,
     /// Approximate resident bytes at snapshot time
@@ -263,9 +267,83 @@ impl Inner {
 pub struct AnalysisCache {
     inner: Mutex<Inner>,
     capacity: CacheCapacity,
+    flights: Mutex<HashMap<(u64, String), Arc<FlightSlot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// One in-flight compute: waiters block on `ready` until the leader
+/// publishes an outcome (`Some(result)` on completion, `None` when the
+/// leader aborted and someone else must take over).
+#[derive(Debug, Default)]
+struct FlightSlot {
+    outcome: Mutex<Option<Option<Arc<DetectionResult>>>>,
+    ready: Condvar,
+}
+
+/// The caller's role in a coalesced compute ([`AnalysisCache::join_flight`]).
+#[derive(Debug)]
+pub enum Flight<'a> {
+    /// The key was already cached — no compute needed.
+    Hit(Arc<DetectionResult>),
+    /// This caller is the leader: it must run the compute and then
+    /// [`FlightGuard::complete`] (dropping the guard without completing
+    /// aborts the flight and wakes the waiters empty-handed).
+    Leader(FlightGuard<'a>),
+    /// This caller waited on another caller's in-flight compute.
+    /// `None` means the leader aborted — rejoin to take over.
+    Waited(Option<Arc<DetectionResult>>),
+}
+
+/// Leadership of one in-flight compute. Obtained from
+/// [`AnalysisCache::join_flight`]; resolve it with
+/// [`FlightGuard::complete`]. If the guard is dropped instead (the
+/// leader's compute failed or panicked), the flight is aborted: waiters
+/// wake with `None` and the next joiner becomes the new leader — an
+/// abort can stall waiters only until the drop, never forever.
+#[derive(Debug)]
+pub struct FlightGuard<'a> {
+    cache: &'a AnalysisCache,
+    key: (u64, String),
+    slot: Arc<FlightSlot>,
+    done: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes `result` to every waiter and inserts it into the cache
+    /// (returning the resident `Arc`, exactly like
+    /// [`AnalysisCache::insert`]). Waiters receive the published `Arc`
+    /// directly, so they are correct even if capacity bounds evict the
+    /// entry immediately.
+    pub fn complete(mut self, result: Arc<DetectionResult>) -> Arc<DetectionResult> {
+        let stored = self
+            .cache
+            .insert(self.key.0, &self.key.1, Arc::clone(&result));
+        self.publish(Some(Arc::clone(&stored)));
+        stored
+    }
+
+    fn publish(&mut self, outcome: Option<Arc<DetectionResult>>) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.cache
+            .flights
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&self.key);
+        *self.slot.outcome.lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
+        self.slot.ready.notify_all();
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.publish(None);
+    }
 }
 
 impl AnalysisCache {
@@ -356,6 +434,80 @@ impl AnalysisCache {
         self.insert(fingerprint, pipeline_id, Arc::new(compute()))
     }
 
+    /// Joins the single-flight compute for `(fingerprint, pipeline_id)`
+    /// — the request-coalescing hook of the serving layer. Exactly one
+    /// concurrent caller per uncached key becomes [`Flight::Leader`]
+    /// (and must [`FlightGuard::complete`] with the computed result);
+    /// every other concurrent caller blocks and receives the leader's
+    /// published `Arc` as [`Flight::Waited`] — N simultaneous requests
+    /// for one uncached key run exactly one compute.
+    ///
+    /// The cache is re-checked after the flight table is locked, so a
+    /// leader completing between the caller's earlier [`lookup`] miss
+    /// and this call is observed as [`Flight::Hit`]. Neither that
+    /// re-check nor a wait touches the hit/miss counters (the caller's
+    /// own `lookup` already counted); successful waits are counted in
+    /// [`CacheStats::coalesced`].
+    ///
+    /// [`lookup`]: AnalysisCache::lookup
+    pub fn join_flight(&self, fingerprint: u64, pipeline_id: &str) -> Flight<'_> {
+        let mut flights = self.flights.lock().unwrap_or_else(|p| p.into_inner());
+        // Lock order is flights → inner; insert/complete only ever hold
+        // one of the two at a time, so the order cannot deadlock.
+        if let Some(hit) = self.lock().touch(fingerprint, pipeline_id) {
+            return Flight::Hit(hit);
+        }
+        let key = (fingerprint, pipeline_id.to_string());
+        if let Some(slot) = flights.get(&key) {
+            let slot = Arc::clone(slot);
+            drop(flights);
+            let mut outcome = slot.outcome.lock().unwrap_or_else(|p| p.into_inner());
+            while outcome.is_none() {
+                outcome = slot.ready.wait(outcome).unwrap_or_else(|p| p.into_inner());
+            }
+            let got = outcome.clone().expect("loop exits on Some");
+            if got.is_some() {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            return Flight::Waited(got);
+        }
+        let slot = Arc::new(FlightSlot::default());
+        flights.insert(key.clone(), Arc::clone(&slot));
+        Flight::Leader(FlightGuard {
+            cache: self,
+            key,
+            slot,
+            done: false,
+        })
+    }
+
+    /// [`get_or_compute`](AnalysisCache::get_or_compute) with request
+    /// coalescing: concurrent callers for one uncached key run exactly
+    /// one `compute` between them (the others wait and share the
+    /// leader's result) instead of racing to compute redundantly.
+    pub fn get_or_compute_coalesced(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+        compute: impl FnOnce() -> DetectionResult,
+    ) -> Arc<DetectionResult> {
+        if let Some(hit) = self.lookup(fingerprint, pipeline_id) {
+            return hit;
+        }
+        let mut compute = Some(compute);
+        loop {
+            match self.join_flight(fingerprint, pipeline_id) {
+                Flight::Hit(r) | Flight::Waited(Some(r)) => return r,
+                Flight::Leader(guard) => {
+                    let compute = compute.take().expect("leader resolves the loop");
+                    return guard.complete(Arc::new(compute()));
+                }
+                // The leader aborted; rejoin (possibly as leader).
+                Flight::Waited(None) => continue,
+            }
+        }
+    }
+
     /// Evicts least-recently-used entries until the cache fits its
     /// capacity again. The newest entry holds the highest tick, so it
     /// is evicted last — but *is* evicted when it alone exceeds the
@@ -406,6 +558,7 @@ impl AnalysisCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries,
             bytes,
         }
@@ -522,6 +675,75 @@ mod tests {
         }
         assert_eq!(cache.stats().evictions, 3);
         assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn concurrent_flights_run_exactly_one_compute() {
+        use std::sync::atomic::AtomicUsize;
+        let case = synthesize(&SynthConfig::small(38));
+        let pipeline = Pipeline::fetch();
+        let fp = content_fingerprint(&case.binary);
+        let id = pipeline.id();
+        let cache = AnalysisCache::new();
+        let computes = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        let results: Vec<Arc<DetectionResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        cache.get_or_compute_coalesced(fp, &id, || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            pipeline.run(&case.binary)
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "coalescing must collapse concurrent computes to one"
+        );
+        for r in &results {
+            assert!(Arc::ptr_eq(r, &results[0]), "all callers share one Arc");
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            8,
+            "one counted lookup per caller"
+        );
+        assert!(
+            stats.coalesced < 8,
+            "at most 7 callers can wait on the one leader"
+        );
+    }
+
+    #[test]
+    fn aborted_flight_hands_leadership_over() {
+        let case = synthesize(&SynthConfig::small(39));
+        let pipeline = Pipeline::parse("FDE").unwrap();
+        let fp = content_fingerprint(&case.binary);
+        let id = pipeline.id();
+        let cache = AnalysisCache::new();
+        let guard = match cache.join_flight(fp, &id) {
+            Flight::Leader(g) => g,
+            other => panic!("first joiner must lead, got {other:?}"),
+        };
+        drop(guard); // leader aborts without completing
+        match cache.join_flight(fp, &id) {
+            Flight::Leader(g) => {
+                let done = g.complete(Arc::new(pipeline.run(&case.binary)));
+                assert!(!done.starts.is_empty());
+            }
+            other => panic!("next joiner must inherit leadership, got {other:?}"),
+        }
+        assert!(
+            matches!(cache.join_flight(fp, &id), Flight::Hit(_)),
+            "completed flight must be a cache hit"
+        );
     }
 
     #[test]

@@ -183,7 +183,10 @@ mod state;
 mod strategy;
 
 pub use algorithm1::{CallFrameRepair, RepairReport};
-pub use cache::{content_fingerprint, image_fingerprint, AnalysisCache, CacheCapacity, CacheStats};
+pub use cache::{
+    content_fingerprint, image_fingerprint, AnalysisCache, CacheCapacity, CacheStats, Flight,
+    FlightGuard,
+};
 pub use fetch::Fetch;
 pub use heuristics::{
     code_gaps, AlignmentSplit, ByteWeight, ControlFlowRepair, FlirtSignatures, FunctionMerge,

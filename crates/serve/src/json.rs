@@ -195,15 +195,25 @@ impl<'a> Parser<'a> {
                 }
                 Some(c) if c < 0x20 => return self.err("control character in string"),
                 Some(_) => {
-                    // Copy one UTF-8 scalar (input is already &str-valid).
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
-                            at: self.pos,
+                    // Copy the whole run of plain characters in one go —
+                    // the delimiters checked below are ASCII, so the run
+                    // always ends on a UTF-8 boundary. (Per-character
+                    // validation here would make string parsing
+                    // quadratic; multi-MiB inline payloads hit that.)
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
+                        JsonError {
+                            at: start,
                             what: "invalid UTF-8",
-                        })?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                        }
+                    })?;
+                    out.push_str(run);
                 }
             }
         }

@@ -1,43 +1,90 @@
 //! # fetch-serve
 //!
-//! The long-lived analysis service of the reproduction: a daemon that
-//! accepts binaries, answers function-start queries from a **bounded**
-//! serving cache backed by a **persistent result store**, and streams
-//! per-layer trace telemetry to subscribers — the deployment mode the
-//! source paper (Pang et al., DSN 2021) motivates for downstream
-//! binary-analysis consumers, where the same detector runs over huge
-//! corpora and repeat traffic dominates.
+//! The long-lived analysis service of the reproduction: a concurrent,
+//! fault-tolerant daemon that accepts binaries, answers function-start
+//! queries from a **bounded** serving cache backed by a **persistent,
+//! crash-safe result store**, and streams per-layer trace telemetry to
+//! subscribers — the deployment mode the source paper (Pang et al.,
+//! DSN 2021) motivates for downstream binary-analysis consumers, where
+//! the same detector runs over huge corpora and repeat traffic
+//! dominates.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!   socket ─┐                        ┌─ bounded AnalysisCache (LRU)
-//!   queue  ─┼─ protocol ─ service ───┼─ ResultStore (versioned files)
-//!   stdio  ─┘     │                  └─ cold compute (RecEngine)
-//!                 └─ telemetry hub → subscribers
+//!   socket ──▶ worker pool ─┐            ┌─ bounded AnalysisCache (LRU,
+//!   queue  ──▶ accept loop ─┼─ service ──┤    request coalescing)
+//!   stdio  ─────────────────┘     │      ├─ ResultStore (crash-safe,
+//!                                 │      │    recovery sweep + GC)
+//!            FaultPlan ───────────┤      └─ cold compute (engine pool)
+//!            telemetry hub ◀──────┘
 //! ```
 //!
 //! * [`protocol`] — the line-delimited JSON wire format: requests
 //!   (`analyze`, `query`, `stats`, `subscribe`, `shutdown`), replies,
 //!   and telemetry events. Deterministic rendering: a warm answer's
-//!   `result` object is byte-identical to the cold one.
+//!   `result` object is byte-identical to the cold one. Every failure
+//!   is a *structured* error (`bad_request` / `too_large` / `busy` /
+//!   `not_found` / `internal`), and request lines / inline images are
+//!   hard-capped ([`protocol::MAX_LINE_BYTES`],
+//!   [`protocol::MAX_INLINE_BYTES`]).
 //! * [`service`] — [`AnalysisService`], the transport-agnostic core.
-//!   Answer order: bounded cache → persistent store (promoting hits
-//!   into the cache) → cold compute (persisting the new result).
+//!   `Sync`: one instance serves every worker. Answer order: bounded
+//!   cache → persistent store (promoting hits into the cache) →
+//!   *coalesced* cold compute — concurrent requests for one uncached
+//!   key elect a single leader and share its answer, so N identical
+//!   requests cost exactly one compute.
 //! * [`store`] — [`ResultStore`]: one atomic, versioned, checksummed
 //!   file per `(content fingerprint, pipeline id)`, holding the full
 //!   [`fetch_core::DetectionResult`] *including its trace*, via
-//!   [`fetch_core::serialize_result`]. A restarted daemon answers warm;
-//!   a corrupted file is rejected and healed, never misread.
-//! * [`server`] — the transports: Unix-socket accept loop, directory
-//!   queue (`in/*.json` → `out/*.json`), and stdio.
+//!   [`fetch_core::serialize_result`]. Opening runs a recovery sweep
+//!   (orphaned temps reaped, invalid entries quarantined); a
+//!   [`store::GcPolicy`] bounds the store by entries / bytes / age. A
+//!   corrupted file is rejected and healed, never misread.
+//! * [`server`] — the transports: a Unix-socket accept loop feeding a
+//!   bounded worker pool with per-connection deadlines and `busy` load
+//!   shedding, a directory queue (`in/*.json` → `out/*.json`, bad files
+//!   quarantined to `failed/`), and stdio.
+//! * [`fault`] — [`FaultPlan`]: deterministic fault injection at named
+//!   sites in the store and the transports, driven by the
+//!   `FETCH_FAULT_PLAN` env var or `--fault-plan`, so tests and chaos
+//!   CI runs exercise the same binary they ship.
 //! * [`json`] — the minimal dependency-free JSON tree under all of it.
+//!
+//! ## The answer path under failure
+//!
+//! Every failure mode has a defined, observable outcome — never a hang,
+//! a panic, or a wrong answer:
+//!
+//! | failure | outcome |
+//! |---|---|
+//! | store entry corrupt/truncated | rejected by checksum, recomputed cold, overwritten (`store_errors`); the startup sweep quarantines it |
+//! | store write fails | answer still served; warmth degraded (logged) |
+//! | crash mid store-write | temp file reaped by the next startup sweep; no live key ever refers to a partial file |
+//! | cold compute fails (leader) | waiters wake and elect a new leader; the failed request gets a structured `internal` error |
+//! | pending queue full | connection shed with structured `busy` (`shed_busy`) |
+//! | request over size caps | structured `too_large` (`rejected_too_large`) |
+//! | queue file malformed/unreadable | one grace poll, then moved to `failed/` with an error reply (`queue_quarantined`) |
+//! | queue reply write fails | input kept; retried next poll (handling is idempotent through the cache) |
+//! | client stalls or goes silent | connection dropped at the read/write deadline |
+//!
+//! ## Knobs
+//!
+//! | knob | flag | default |
+//! |---|---|---|
+//! | worker threads | `--jobs` | 4 |
+//! | pending-connection bound | `--queue-depth` | 64 |
+//! | read/write deadline | `--io-timeout-ms` | 30 000 |
+//! | cache entries / bytes | `--cache-capacity` / `--cache-bytes` | unbounded |
+//! | store GC: entries / bytes / age | `--store-max-entries` / `--store-max-bytes` / `--store-max-age-secs` | unbounded |
+//! | fault plan | `--fault-plan` / `FETCH_FAULT_PLAN` | empty |
 //!
 //! ## Example
 //!
 //! In-process use (the transports are optional — harnesses drive the
 //! service directly; `fetch-bench`'s `perf_snapshot` publishes the
-//! cold / cache-hit / store-hit latencies as the `serve` group):
+//! cold / cache-hit / store-hit latencies and the concurrency sweep as
+//! the `serve` group):
 //!
 //! ```
 //! use fetch_serve::protocol::{AnalyzeInput, Reply, Request, ServeSource};
@@ -47,7 +94,7 @@
 //!
 //! let case = synthesize(&SynthConfig::small(1));
 //! let elf = fetch_binary::write_elf(&case.binary);
-//! let mut service = AnalysisService::new(&ServeConfig::default()).unwrap();
+//! let service = AnalysisService::new(&ServeConfig::default()).unwrap();
 //! let request = Request::Analyze {
 //!     input: AnalyzeInput::Bytes(elf),
 //!     pipeline: Pipeline::fetch(),
@@ -62,19 +109,21 @@
 //! ```
 //!
 //! Daemon use: `fetch-serve daemon --socket /tmp/fetch.sock --store
-//! /var/cache/fetch --cache-capacity 4096`, then `fetch-serve client
-//! --socket /tmp/fetch.sock --analyze ./a.out`.
+//! /var/cache/fetch --cache-capacity 4096 --jobs 8`, then `fetch-serve
+//! client --socket /tmp/fetch.sock --analyze ./a.out`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod store;
 
-pub use protocol::{AnalyzeReply, Reply, Request, ServeSource};
+pub use fault::{FaultKind, FaultPlan};
+pub use protocol::{AnalyzeReply, ErrorCode, Reply, Request, ServeSource};
 pub use server::{serve, serve_io, ServeSummary, ServerOptions};
 pub use service::{AnalysisService, ServeConfig, TelemetryHub};
-pub use store::{ResultStore, StoreError};
+pub use store::{GcPolicy, ResultStore, StoreError, StoreLifecycle};

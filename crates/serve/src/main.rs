@@ -4,6 +4,9 @@
 //! ```text
 //! fetch-serve daemon [--socket PATH] [--queue DIR] [--stdio]
 //!                    [--store DIR] [--cache-capacity N] [--cache-bytes B]
+//!                    [--jobs N] [--queue-depth N] [--io-timeout-ms M]
+//!                    [--store-max-entries N] [--store-max-bytes B]
+//!                    [--store-max-age-secs S] [--fault-plan SPEC]
 //! fetch-serve client --socket PATH
 //!                    (--analyze FILE [--pipeline SPEC | --tool NAME]
 //!                     | --query FP [--pipeline SPEC]
@@ -14,8 +17,14 @@
 //! sends one request line and prints the reply line (`--subscribe`
 //! keeps printing telemetry events until the daemon goes away) — small
 //! enough for shell scripting, no client library needed.
+//!
+//! `--fault-plan` (or the `FETCH_FAULT_PLAN` env var; the flag wins)
+//! arms deterministic fault injection — see [`fetch_serve::fault`] for
+//! the spec grammar. A malformed plan fails startup loudly: a chaos
+//! harness must never silently run an unfaulted binary.
 
 use fetch_core::{Pipeline, Tool};
+use fetch_serve::fault::FaultPlan;
 use fetch_serve::protocol::{parse_hex_u64, AnalyzeInput, Request};
 use fetch_serve::server::{serve, serve_io, ServerOptions};
 use fetch_serve::service::{AnalysisService, ServeConfig};
@@ -26,7 +35,10 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  fetch-serve daemon [--socket PATH] [--queue DIR] [--stdio] \
-         [--store DIR]\n                     [--cache-capacity N] [--cache-bytes B] [--poll-ms M]\n  \
+         [--store DIR]\n                     [--cache-capacity N] [--cache-bytes B] [--poll-ms M]\n                     \
+         [--jobs N] [--queue-depth N] [--io-timeout-ms M]\n                     \
+         [--store-max-entries N] [--store-max-bytes B] [--store-max-age-secs S]\n                     \
+         [--fault-plan SPEC]\n  \
          fetch-serve client --socket PATH (--analyze FILE [--pipeline SPEC | --tool NAME]\n                     \
          | --query FP [--pipeline SPEC] | --stats | --subscribe | --shutdown | --json LINE)"
     );
@@ -60,6 +72,7 @@ fn daemon(args: &[String]) {
     let mut opts = ServerOptions::default();
     let mut config = ServeConfig::default();
     let mut stdio = false;
+    let mut fault_plan: Option<FaultPlan> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -94,26 +107,85 @@ fn daemon(args: &[String]) {
                     .unwrap_or_else(|_| fail("--poll-ms takes milliseconds"));
                 opts.poll = Some(std::time::Duration::from_millis(ms));
             }
+            "--jobs" => {
+                let n: usize = flag_value(args, &mut i, "--jobs")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| fail("--jobs takes a positive worker count"));
+                opts.jobs = Some(n);
+            }
+            "--queue-depth" => {
+                let n: usize = flag_value(args, &mut i, "--queue-depth")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| fail("--queue-depth takes a positive bound"));
+                opts.queue_depth = Some(n);
+            }
+            "--io-timeout-ms" => {
+                let ms: u64 = flag_value(args, &mut i, "--io-timeout-ms")
+                    .parse()
+                    .ok()
+                    .filter(|ms| *ms > 0)
+                    .unwrap_or_else(|| fail("--io-timeout-ms takes positive milliseconds"));
+                opts.io_timeout = Some(std::time::Duration::from_millis(ms));
+            }
+            "--store-max-entries" => {
+                let n: usize = flag_value(args, &mut i, "--store-max-entries")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| fail("--store-max-entries takes a positive count"));
+                config.store_gc.max_entries = Some(n);
+            }
+            "--store-max-bytes" => {
+                let n: u64 = flag_value(args, &mut i, "--store-max-bytes")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| fail("--store-max-bytes takes a positive byte count"));
+                config.store_gc.max_bytes = Some(n);
+            }
+            "--store-max-age-secs" => {
+                let s: u64 = flag_value(args, &mut i, "--store-max-age-secs")
+                    .parse()
+                    .ok()
+                    .filter(|s| *s > 0)
+                    .unwrap_or_else(|| fail("--store-max-age-secs takes positive seconds"));
+                config.store_gc.max_age = Some(std::time::Duration::from_secs(s));
+            }
+            "--fault-plan" => {
+                let spec = flag_value(args, &mut i, "--fault-plan");
+                fault_plan =
+                    Some(FaultPlan::parse(spec).unwrap_or_else(|e| fail(format_args!("{e}"))));
+            }
             other => fail(format_args!("unknown daemon flag {other:?}")),
         }
         i += 1;
     }
-    let mut service = match AnalysisService::new(&config) {
+    // The flag wins over FETCH_FAULT_PLAN; a malformed env spec fails
+    // startup loudly either way.
+    config.faults = std::sync::Arc::new(match fault_plan {
+        Some(plan) => plan,
+        None => FaultPlan::from_env().unwrap_or_else(|e| fail(format_args!("{e}"))),
+    });
+    let service = match AnalysisService::new(&config) {
         Ok(service) => service,
         Err(e) => fail(format_args!("cannot start service: {e}")),
     };
     if stdio {
         let stdin = std::io::stdin();
         let mut out = StdoutSink;
-        if let Err(e) = serve_io(&mut service, stdin.lock(), &mut out) {
+        if let Err(e) = serve_io(&service, stdin.lock(), &mut out) {
             fail(format_args!("stdio transport failed: {e}"));
         }
         return;
     }
-    match serve(&mut service, &opts) {
+    match serve(&service, &opts) {
         Ok(summary) => eprintln!(
-            "fetch-serve: shut down after {} connections, {} queue files",
-            summary.connections, summary.queue_files
+            "fetch-serve: shut down after {} connections ({} shed), {} queue files ({} quarantined)",
+            summary.connections, summary.shed, summary.queue_files, summary.queue_quarantined
         ),
         Err(e) => fail(format_args!("serve loop failed: {e}")),
     }

@@ -20,18 +20,118 @@
 //!
 //! ## Replies
 //!
-//! `{"ok":true, …}` or `{"ok":false,"error":"…"}`. Analysis replies
-//! carry the content fingerprint (hex string — it does not fit a JSON
-//! double), the canonical pipeline id, the answer `source`
-//! (`"cold"` / `"cache"` / `"store"`), the request wall time, and a
-//! `result` object whose rendering is deterministic: a warm answer is
-//! byte-identical to the cold answer that seeded it (asserted by the
-//! end-to-end smoke test).
+//! `{"ok":true, …}` or `{"ok":false,"code":"…","error":"…"}` — every
+//! failure carries a machine-readable [`ErrorCode`]
+//! (`bad_request` / `too_large` / `busy` / `not_found` / `internal`)
+//! alongside the human-readable message, so clients can tell load
+//! shedding from malformed input without string matching. Analysis
+//! replies carry the content fingerprint (hex string — it does not fit
+//! a JSON double), the canonical pipeline id, the answer `source`
+//! (`"cold"` / `"cache"` / `"store"` / `"coalesced"`), the request wall
+//! time, and a `result` object whose rendering is deterministic: a warm
+//! answer is byte-identical to the cold answer that seeded it (asserted
+//! by the end-to-end smoke test).
+//!
+//! ## Input bounds
+//!
+//! A request line is capped at [`MAX_LINE_BYTES`] and an inline
+//! `bytes_hex` image at [`MAX_INLINE_BYTES`] decoded bytes; an
+//! over-limit request is answered with a structured `too_large` error
+//! before the payload is materialized, never by an allocation or a
+//! silent truncation.
 
 use crate::json::{obj, Json};
 use fetch_core::{CacheStats, DetectionResult, LayerTrace, Pipeline, Tool};
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Maximum accepted request-line length, in bytes. An inline hex image
+/// doubles its byte size on the wire, so the line cap leaves headroom
+/// over [`MAX_INLINE_BYTES`] for the JSON framing around it.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Maximum accepted inline ELF image (`bytes_hex`, decoded bytes).
+pub const MAX_INLINE_BYTES: usize = 4 << 20;
+
+/// Machine-readable failure class of an error reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was malformed (bad JSON, unknown command/field,
+    /// unparsable pipeline, unloadable ELF).
+    BadRequest,
+    /// The request exceeded [`MAX_LINE_BYTES`] or [`MAX_INLINE_BYTES`].
+    TooLarge,
+    /// The daemon shed this request under load (its pending queue was
+    /// full); retrying later is expected to succeed.
+    Busy,
+    /// A query for a key with no cached or stored answer.
+    NotFound,
+    /// A daemon-side failure (store I/O, injected faults on the answer
+    /// path).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire token of the `code` field.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Busy => "busy",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire token back (the client side).
+    pub fn from_token(token: &str) -> Option<ErrorCode> {
+        Some(match token {
+            "bad_request" => ErrorCode::BadRequest,
+            "too_large" => ErrorCode::TooLarge,
+            "busy" => ErrorCode::Busy,
+            "not_found" => ErrorCode::NotFound,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A rejected request: the structured code plus the human-readable
+/// message the daemon echoes back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Failure class.
+    pub code: ErrorCode,
+    /// What was wrong, naming the field/limit involved.
+    pub message: String,
+}
+
+impl RequestError {
+    /// A `bad_request` error.
+    pub fn bad(message: impl Into<String>) -> RequestError {
+        RequestError {
+            code: ErrorCode::BadRequest,
+            message: message.into(),
+        }
+    }
+
+    /// A `too_large` error.
+    pub fn too_large(message: impl Into<String>) -> RequestError {
+        RequestError {
+            code: ErrorCode::TooLarge,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<RequestError> for Reply {
+    fn from(e: RequestError) -> Reply {
+        Reply::Error {
+            code: e.code,
+            message: e.message,
+        }
+    }
+}
 
 /// The binary payload of an analyze request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,15 +177,21 @@ pub enum ServeSource {
     /// Served from the persistent result store (and promoted into the
     /// cache).
     StoreHit,
+    /// This request joined an in-flight compute for the same key and
+    /// received the leader's answer (exactly one cold compute ran for
+    /// the whole group).
+    Coalesced,
 }
 
 impl ServeSource {
-    /// The wire token (`"cold"` / `"cache"` / `"store"`).
+    /// The wire token (`"cold"` / `"cache"` / `"store"` /
+    /// `"coalesced"`).
     pub fn token(self) -> &'static str {
         match self {
             ServeSource::Cold => "cold",
             ServeSource::CacheHit => "cache",
             ServeSource::StoreHit => "store",
+            ServeSource::Coalesced => "coalesced",
         }
     }
 }
@@ -112,6 +218,14 @@ pub struct StoreStats {
     pub entries: usize,
     /// Total bytes of those files.
     pub disk_bytes: u64,
+    /// Orphaned temp files reaped by the recovery/compaction sweep.
+    pub recovered_temps: u64,
+    /// Invalid entries moved to `quarantine/` by the sweep.
+    pub quarantined: u64,
+    /// Entries removed by age/size GC.
+    pub gc_removed: u64,
+    /// Bytes freed by age/size GC.
+    pub gc_bytes_freed: u64,
 }
 
 /// Per-command and per-source request counters of one daemon lifetime.
@@ -130,6 +244,14 @@ pub struct RequestCounters {
     /// Store entries that failed to load (corrupt/unreadable; the
     /// answer was recomputed cold and the entry rewritten).
     pub store_errors: u64,
+    /// Answers received by joining another request's in-flight compute.
+    pub coalesced: u64,
+    /// Requests shed with a `busy` error (pending queue full).
+    pub shed_busy: u64,
+    /// Requests rejected with a `too_large` error.
+    pub rejected_too_large: u64,
+    /// Directory-queue requests moved to the `failed/` quarantine.
+    pub queue_quarantined: u64,
 }
 
 /// The full `stats` answer.
@@ -141,6 +263,9 @@ pub struct StatsReply {
     pub store: Option<StoreStats>,
     /// Request counters.
     pub requests: RequestCounters,
+    /// Faults fired by the armed [`crate::FaultPlan`] (0 when no plan
+    /// is armed) — chaos runs assert on this to prove injection armed.
+    pub faults_injected: u64,
 }
 
 /// A reply to one request.
@@ -154,8 +279,24 @@ pub enum Reply {
     Subscribed,
     /// The daemon acknowledges shutdown.
     Shutdown,
-    /// The request failed; the message says why.
-    Error(String),
+    /// The request failed; the code classifies it, the message says
+    /// why.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Shorthand for an error reply.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Reply {
+        Reply::Error {
+            code,
+            message: message.into(),
+        }
+    }
 }
 
 /// Renders a `u64` identifier as the protocol's hex-string form.
@@ -206,18 +347,26 @@ pub fn encode_hex(bytes: &[u8]) -> String {
     out
 }
 
-/// Parses one request line.
+/// Parses one request line, enforcing [`MAX_LINE_BYTES`] and
+/// [`MAX_INLINE_BYTES`].
 ///
 /// # Errors
 ///
-/// A human-readable message naming the malformed field — the daemon
-/// echoes it back as an error reply and keeps serving.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let json = Json::parse(line.trim()).map_err(|e| e.to_string())?;
+/// A [`RequestError`] naming the malformed field (code `bad_request`)
+/// or the exceeded limit (code `too_large`) — the daemon echoes it back
+/// as a structured error reply and keeps serving.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(RequestError::too_large(format!(
+            "request line is {} bytes; the limit is {MAX_LINE_BYTES}",
+            line.len()
+        )));
+    }
+    let json = Json::parse(line.trim()).map_err(|e| RequestError::bad(e.to_string()))?;
     let cmd = json
         .get("cmd")
         .and_then(Json::as_str)
-        .ok_or("missing \"cmd\" field")?;
+        .ok_or_else(|| RequestError::bad("missing \"cmd\" field"))?;
     match cmd {
         "analyze" => {
             let input = match (
@@ -225,13 +374,28 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 json.get("bytes_hex").and_then(Json::as_str),
             ) {
                 (Some(_), Some(_)) => {
-                    return Err("analyze takes \"path\" or \"bytes_hex\", not both".into())
+                    return Err(RequestError::bad(
+                        "analyze takes \"path\" or \"bytes_hex\", not both",
+                    ))
                 }
                 (Some(path), None) => AnalyzeInput::Path(PathBuf::from(path)),
                 (None, Some(hex)) => {
-                    AnalyzeInput::Bytes(decode_hex(hex).ok_or("\"bytes_hex\" is not valid hex")?)
+                    // Check the (cheap) encoded length before decoding,
+                    // so an oversized image never allocates.
+                    if hex.len() > MAX_INLINE_BYTES * 2 {
+                        return Err(RequestError::too_large(format!(
+                            "inline image is {} bytes; the limit is {MAX_INLINE_BYTES}",
+                            hex.len() / 2
+                        )));
+                    }
+                    AnalyzeInput::Bytes(
+                        decode_hex(hex)
+                            .ok_or_else(|| RequestError::bad("\"bytes_hex\" is not valid hex"))?,
+                    )
                 }
-                (None, None) => return Err("analyze needs \"path\" or \"bytes_hex\"".into()),
+                (None, None) => {
+                    return Err(RequestError::bad("analyze needs \"path\" or \"bytes_hex\""))
+                }
             };
             let pipeline = request_pipeline(&json)?;
             Ok(Request::Analyze { input, pipeline })
@@ -241,7 +405,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .get("fingerprint")
                 .and_then(Json::as_str)
                 .and_then(parse_hex_u64)
-                .ok_or("query needs a hex-string \"fingerprint\"")?;
+                .ok_or_else(|| RequestError::bad("query needs a hex-string \"fingerprint\""))?;
             let pipeline_id = request_pipeline(&json)?.id();
             Ok(Request::Query {
                 fingerprint,
@@ -251,24 +415,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "subscribe" => Ok(Request::Subscribe),
         "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!(
+        other => Err(RequestError::bad(format!(
             "unknown cmd {other:?} (known: analyze, query, stats, subscribe, shutdown)"
-        )),
+        ))),
     }
 }
 
 /// Resolves the request's strategy stack: `pipeline` spec, `tool` name,
 /// or the FETCH default.
-fn request_pipeline(json: &Json) -> Result<Pipeline, String> {
+fn request_pipeline(json: &Json) -> Result<Pipeline, RequestError> {
     match (
         json.get("pipeline").and_then(Json::as_str),
         json.get("tool").and_then(Json::as_str),
     ) {
-        (Some(_), Some(_)) => Err("give \"pipeline\" or \"tool\", not both".into()),
-        (Some(spec), None) => Pipeline::parse(spec).map_err(|e| format!("bad pipeline: {e}")),
+        (Some(_), Some(_)) => Err(RequestError::bad("give \"pipeline\" or \"tool\", not both")),
+        (Some(spec), None) => {
+            Pipeline::parse(spec).map_err(|e| RequestError::bad(format!("bad pipeline: {e}")))
+        }
         (None, Some(tool)) => Tool::from_name(tool)
             .map(Pipeline::for_tool)
-            .ok_or_else(|| format!("unknown tool {tool:?}")),
+            .ok_or_else(|| RequestError::bad(format!("unknown tool {tool:?}"))),
         (None, None) => Ok(Pipeline::fetch()),
     }
 }
@@ -333,6 +499,7 @@ fn cache_stats_json(stats: &CacheStats) -> Json {
         ("hits", Json::int(stats.hits)),
         ("misses", Json::int(stats.misses)),
         ("evictions", Json::int(stats.evictions)),
+        ("coalesced", Json::int(stats.coalesced)),
         ("entries", Json::int(stats.entries as u64)),
         ("bytes", Json::int(stats.bytes as u64)),
     ])
@@ -363,8 +530,16 @@ impl Reply {
                             ("cache_hits", Json::int(s.requests.cache_hits)),
                             ("store_hits", Json::int(s.requests.store_hits)),
                             ("store_errors", Json::int(s.requests.store_errors)),
+                            ("coalesced", Json::int(s.requests.coalesced)),
+                            ("shed_busy", Json::int(s.requests.shed_busy)),
+                            (
+                                "rejected_too_large",
+                                Json::int(s.requests.rejected_too_large),
+                            ),
+                            ("queue_quarantined", Json::int(s.requests.queue_quarantined)),
                         ]),
                     ),
+                    ("faults_injected".to_string(), Json::int(s.faults_injected)),
                 ];
                 if let Some(store) = &s.store {
                     pairs.push((
@@ -372,6 +547,10 @@ impl Reply {
                         obj([
                             ("entries", Json::int(store.entries as u64)),
                             ("disk_bytes", Json::int(store.disk_bytes)),
+                            ("recovered_temps", Json::int(store.recovered_temps)),
+                            ("quarantined", Json::int(store.quarantined)),
+                            ("gc_removed", Json::int(store.gc_removed)),
+                            ("gc_bytes_freed", Json::int(store.gc_bytes_freed)),
                         ]),
                     ));
                 }
@@ -379,8 +558,9 @@ impl Reply {
             }
             Reply::Subscribed => obj([("ok", Json::Bool(true)), ("subscribed", Json::Bool(true))]),
             Reply::Shutdown => obj([("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))]),
-            Reply::Error(message) => obj([
+            Reply::Error { code, message } => obj([
                 ("ok", Json::Bool(false)),
+                ("code", Json::str(code.token())),
                 ("error", Json::str(message.clone())),
             ]),
         };
@@ -501,8 +681,63 @@ mod tests {
             ("not json", "JSON"),
         ] {
             let err = parse_request(line).unwrap_err();
-            assert!(err.contains(needle), "{line} → {err}");
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+            assert!(err.message.contains(needle), "{line} → {}", err.message);
         }
+    }
+
+    #[test]
+    fn size_caps_reject_at_the_boundary_with_too_large() {
+        // Inline image exactly at the cap parses; one byte over is a
+        // structured too_large. Build the hex payloads once (8 MiB of
+        // text each) and splice them into an analyze request.
+        let at_cap = "00".repeat(MAX_INLINE_BYTES);
+        let over = "00".repeat(MAX_INLINE_BYTES + 1);
+        let line_at = format!(r#"{{"cmd":"analyze","bytes_hex":"{at_cap}"}}"#);
+        assert!(
+            line_at.len() <= MAX_LINE_BYTES,
+            "an at-cap image must fit the line cap"
+        );
+        match parse_request(&line_at).unwrap() {
+            Request::Analyze {
+                input: AnalyzeInput::Bytes(bytes),
+                ..
+            } => assert_eq!(bytes.len(), MAX_INLINE_BYTES),
+            other => panic!("{other:?}"),
+        }
+        let err =
+            parse_request(&format!(r#"{{"cmd":"analyze","bytes_hex":"{over}"}}"#)).unwrap_err();
+        assert_eq!(err.code, ErrorCode::TooLarge);
+        assert!(err.message.contains("inline image"), "{}", err.message);
+
+        // The line cap itself: at the boundary the (padded) request
+        // still parses; one byte over is rejected by length alone.
+        let pad = MAX_LINE_BYTES - r#"{"cmd":"stats","pad":""}"#.len();
+        let line = format!(r#"{{"cmd":"stats","pad":"{}"}}"#, "x".repeat(pad));
+        assert_eq!(line.len(), MAX_LINE_BYTES);
+        assert_eq!(parse_request(&line).unwrap(), Request::Stats);
+        let line = format!(r#"{{"cmd":"stats","pad":"{}"}}"#, "x".repeat(pad + 1));
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.code, ErrorCode::TooLarge);
+        assert!(err.message.contains("request line"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_replies_carry_their_code_on_the_wire() {
+        let line = Reply::error(ErrorCode::Busy, "pending queue full").to_line();
+        assert!(line.contains(r#""code":"busy""#), "{line}");
+        assert!(line.contains(r#""ok":false"#), "{line}");
+        assert!(line.contains("pending queue full"), "{line}");
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::TooLarge,
+            ErrorCode::Busy,
+            ErrorCode::NotFound,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_token(code.token()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_token("nope"), None);
     }
 
     #[test]

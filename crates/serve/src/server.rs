@@ -1,61 +1,157 @@
-//! Transports of the daemon: a Unix-domain socket accept loop, a
-//! directory-queue intake, and a stdio mode — all driving one
-//! [`AnalysisService`].
+//! Transports of the daemon: a Unix-domain socket accept loop feeding a
+//! bounded worker pool, a directory-queue intake, and a stdio mode —
+//! all driving one shared [`AnalysisService`].
 //!
 //! * **Socket** (`--socket <path>`): clients connect and exchange one
-//!   JSON line per request/reply. A `subscribe` request hands the
-//!   connection's write half to the telemetry hub; it then receives
-//!   event lines until it disconnects.
+//!   JSON line per request/reply. Accepted connections land on a
+//!   bounded pending queue ([`ServerOptions::queue_depth`]) drained by
+//!   [`ServerOptions::jobs`] worker threads; when the queue is full the
+//!   daemon *sheds* the connection with a structured `busy` error
+//!   instead of queueing unbounded work. Every connection carries
+//!   read/write deadlines ([`ServerOptions::io_timeout`]), so a silent
+//!   or stalled client can never hold a worker forever. A `subscribe`
+//!   request hands the connection's write half to the telemetry hub; it
+//!   then receives event lines until it disconnects.
 //! * **Directory queue** (`--queue <dir>`): files dropped into
 //!   `<dir>/in/*.json` (one request line each) are handled in filename
-//!   order; the reply is written atomically to `<dir>/out/<same name>`
-//!   and the input file removed. The no-socket integration path for
-//!   batch producers — an intake that needs no client library at all.
-//!   Producers should write-then-rename into `in/`; files that do not
-//!   parse get one grace poll before being consumed with an error
-//!   reply, so an in-place writer is not eaten mid-write.
+//!   order on the accept thread (keeping queue semantics deterministic
+//!   under any worker count); the reply is written atomically to
+//!   `<dir>/out/<same name>` and the input file removed — input removal
+//!   happens *after* the reply is durably in `out/`, so a crash between
+//!   the two re-processes the request instead of losing it. Producers
+//!   should write-then-rename into `in/`; a file that does not parse
+//!   gets one grace poll (an in-place writer is not eaten mid-write),
+//!   and is then *quarantined*: moved to `<dir>/failed/<same name>`
+//!   with a structured error reply in `out/` — never deleted silently,
+//!   never retried forever.
 //! * **Stdio** (`--stdio`): one request line per stdin line, one reply
 //!   line per stdout line, until EOF or `shutdown` — the
 //!   inetd/subprocess shape, and the fallback transport everywhere.
 //!
-//! The loop is single-threaded on purpose: requests are handled in
-//! arrival order against one engine and one cache, so daemon behavior
-//! is deterministic for a given request sequence (scale-out happens by
-//! running more daemons over one shared store directory — entries are
-//! written atomically and are content-addressed, so writers never
-//! conflict).
+//! Request lines on every transport are read through a hard cap
+//! ([`MAX_LINE_BYTES`]): an over-long line is answered with a `too_large`
+//! error and the connection dropped (the remainder of the line cannot be
+//! resynchronized), so no client can balloon daemon memory.
+//!
+//! Concurrency never changes answers: workers share the service's
+//! coalescing cache, so N concurrent requests for one uncached
+//! fingerprint still perform exactly one cold compute, and every reply
+//! body is byte-identical to the serial answer. Scale-out beyond one
+//! process happens by running more daemons over one shared store
+//! directory — entries are written atomically and content-addressed, so
+//! writers never conflict.
 
-use crate::protocol::{parse_request, Reply, Request};
+use crate::fault::FaultPlan;
+use crate::protocol::{parse_request, ErrorCode, Reply, Request, MAX_LINE_BYTES};
 use crate::service::AnalysisService;
 use std::fs;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// Default worker-pool size for the socket transport.
+pub const DEFAULT_JOBS: usize = 4;
+/// Default bound of the pending-connection queue.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+/// Default per-connection read/write deadline.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Transport configuration of [`serve`].
 #[derive(Debug, Clone, Default)]
 pub struct ServerOptions {
     /// Unix-domain socket path to listen on.
     pub socket: Option<PathBuf>,
-    /// Directory-queue root (`in/` and `out/` are created beneath it).
+    /// Directory-queue root (`in/`, `out/` and `failed/` are created
+    /// beneath it).
     pub queue: Option<PathBuf>,
     /// Idle poll interval (default 20 ms).
     pub poll: Option<Duration>,
+    /// Socket worker threads (default [`DEFAULT_JOBS`], min 1).
+    pub jobs: Option<usize>,
+    /// Pending-connection bound before shedding (default
+    /// [`DEFAULT_QUEUE_DEPTH`], min 1).
+    pub queue_depth: Option<usize>,
+    /// Per-connection read/write deadline (default
+    /// [`DEFAULT_IO_TIMEOUT`]). A connection idle past the deadline is
+    /// dropped; a write stalled past it errors out.
+    pub io_timeout: Option<Duration>,
 }
 
 /// What a finished [`serve`] loop handled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Socket connections accepted.
+    /// Socket connections accepted and handed to workers.
     pub connections: u64,
-    /// Queue files processed.
+    /// Connections shed with a `busy` error (pending queue full).
+    pub shed: u64,
+    /// Queue files processed (replies written).
     pub queue_files: u64,
+    /// Queue files quarantined to `failed/`.
+    pub queue_quarantined: u64,
+}
+
+/// The bounded hand-off between the accept loop and the worker pool.
+#[cfg(unix)]
+struct ConnQueue {
+    state: std::sync::Mutex<(
+        std::collections::VecDeque<std::os::unix::net::UnixStream>,
+        bool,
+    )>,
+    ready: std::sync::Condvar,
+    depth: usize,
+}
+
+#[cfg(unix)]
+impl ConnQueue {
+    fn new(depth: usize) -> ConnQueue {
+        ConnQueue {
+            state: std::sync::Mutex::new((std::collections::VecDeque::new(), false)),
+            ready: std::sync::Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Enqueues a connection, or returns it when the queue is full (the
+    /// caller sheds it with a `busy` error).
+    fn try_push(
+        &self,
+        stream: std::os::unix::net::UnixStream,
+    ) -> Result<(), std::os::unix::net::UnixStream> {
+        let mut state = self.state.lock().expect("conn queue lock");
+        if state.0.len() >= self.depth {
+            return Err(stream);
+        }
+        state.0.push_back(stream);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<std::os::unix::net::UnixStream> {
+        let mut state = self.state.lock().expect("conn queue lock");
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("conn queue lock");
+        }
+    }
+
+    /// Closes the queue: workers drain what is pending, then exit.
+    fn close(&self) {
+        self.state.lock().expect("conn queue lock").1 = true;
+        self.ready.notify_all();
+    }
 }
 
 /// Runs the daemon loop over the configured transports until a
 /// `shutdown` request arrives. At least one of `socket`/`queue` must be
-/// configured (use [`serve_io`] for the stdio shape).
-pub fn serve(service: &mut AnalysisService, opts: &ServerOptions) -> io::Result<ServeSummary> {
+/// configured (use [`serve_io`] for the stdio shape). Takes `&self` on
+/// the service: the worker pool shares it.
+pub fn serve(service: &AnalysisService, opts: &ServerOptions) -> io::Result<ServeSummary> {
     if opts.socket.is_none() && opts.queue.is_none() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -63,9 +159,7 @@ pub fn serve(service: &mut AnalysisService, opts: &ServerOptions) -> io::Result<
         ));
     }
     let poll = opts.poll.unwrap_or(Duration::from_millis(20));
-    let mut summary = ServeSummary::default();
-    // Unparseable queue files seen once, awaiting their grace poll.
-    let mut deferred = std::collections::HashSet::new();
+    let io_timeout = opts.io_timeout.unwrap_or(DEFAULT_IO_TIMEOUT);
 
     #[cfg(unix)]
     let listener = match &opts.socket {
@@ -89,39 +183,93 @@ pub fn serve(service: &mut AnalysisService, opts: &ServerOptions) -> io::Result<
     if let Some(queue) = &opts.queue {
         fs::create_dir_all(queue.join("in"))?;
         fs::create_dir_all(queue.join("out"))?;
+        fs::create_dir_all(queue.join("failed"))?;
     }
 
-    while !service.shutdown_requested() {
-        let mut progress = false;
-        #[cfg(unix)]
-        if let Some(listener) = &listener {
-            loop {
-                match listener.accept() {
-                    Ok((stream, _addr)) => {
-                        summary.connections += 1;
-                        progress = true;
-                        if let Err(e) = handle_connection(service, stream) {
-                            eprintln!("fetch-serve: connection error: {e}");
+    let mut summary = ServeSummary::default();
+    // Unparseable queue files seen once, awaiting their grace poll.
+    let mut deferred = std::collections::HashSet::new();
+
+    #[cfg(unix)]
+    {
+        let jobs = opts.jobs.unwrap_or(DEFAULT_JOBS).max(1);
+        let depth = opts.queue_depth.unwrap_or(DEFAULT_QUEUE_DEPTH).max(1);
+        let pending = ConnQueue::new(depth);
+        let result = std::thread::scope(|scope| -> io::Result<()> {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let pending = &pending;
+                    scope.spawn(move || {
+                        while let Some(stream) = pending.pop() {
+                            if let Err(e) = handle_connection(service, stream, io_timeout) {
+                                eprintln!("fetch-serve: connection error: {e}");
+                            }
                         }
-                        if service.shutdown_requested() {
-                            break;
+                    })
+                })
+                .collect();
+            let run = (|| -> io::Result<()> {
+                while !service.shutdown_requested() {
+                    let mut progress = false;
+                    if let Some(listener) = &listener {
+                        loop {
+                            match listener.accept() {
+                                Ok((stream, _addr)) => {
+                                    progress = true;
+                                    match pending.try_push(stream) {
+                                        Ok(()) => summary.connections += 1,
+                                        Err(stream) => {
+                                            summary.shed += 1;
+                                            service.note_shed_busy();
+                                            shed_connection(stream, io_timeout);
+                                        }
+                                    }
+                                    if service.shutdown_requested() {
+                                        break;
+                                    }
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                                Err(e) => return Err(e),
+                            }
                         }
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(e) => return Err(e),
+                    if service.shutdown_requested() {
+                        break;
+                    }
+                    if let Some(queue) = &opts.queue {
+                        let (handled, quarantined) = poll_queue(service, queue, &mut deferred)?;
+                        summary.queue_files += handled;
+                        summary.queue_quarantined += quarantined;
+                        progress |= handled + quarantined > 0;
+                    }
+                    if !progress && !service.shutdown_requested() {
+                        std::thread::sleep(poll);
+                    }
                 }
+                Ok(())
+            })();
+            // Shutdown (or an accept error): drain the pool either way.
+            pending.close();
+            for worker in workers {
+                worker.join().expect("serve worker panicked");
             }
-        }
-        if service.shutdown_requested() {
-            break;
-        }
-        if let Some(queue) = &opts.queue {
-            let handled = poll_queue(service, queue, &mut deferred)?;
-            summary.queue_files += handled;
-            progress |= handled > 0;
-        }
-        if !progress && !service.shutdown_requested() {
-            std::thread::sleep(poll);
+            run
+        });
+        result?;
+    }
+    #[cfg(not(unix))]
+    {
+        while !service.shutdown_requested() {
+            let mut progress = false;
+            if let Some(queue) = &opts.queue {
+                let (handled, quarantined) = poll_queue(service, queue, &mut deferred)?;
+                summary.queue_files += handled;
+                summary.queue_quarantined += quarantined;
+                progress |= handled + quarantined > 0;
+            }
+            if !progress && !service.shutdown_requested() {
+                std::thread::sleep(poll);
+            }
         }
     }
 
@@ -132,33 +280,75 @@ pub fn serve(service: &mut AnalysisService, opts: &ServerOptions) -> io::Result<
     Ok(summary)
 }
 
-/// How long one connection may sit idle (or one write may stall)
-/// before the daemon treats it as gone. The loop is single-threaded,
-/// so an unbounded read or write on one connection would starve every
-/// other transport — including `shutdown`.
+/// Answers a shed connection with a structured `busy` error, best
+/// effort under a short deadline — load shedding must never block the
+/// accept loop.
 #[cfg(unix)]
-const IO_TIMEOUT: Duration = Duration::from_secs(30);
+fn shed_connection(stream: std::os::unix::net::UnixStream, io_timeout: Duration) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(io_timeout.min(Duration::from_millis(250))));
+    let mut stream = stream;
+    let reply = Reply::error(
+        ErrorCode::Busy,
+        "daemon at capacity (pending-connection queue full); retry later",
+    );
+    let _ = write_line(&mut stream, &reply.to_line());
+}
+
+/// Reads one request line through the [`MAX_LINE_BYTES`] cap.
+///
+/// `Ok(Some(line))` is a complete in-cap line; `Ok(None)` is EOF;
+/// `Err` with kind [`io::ErrorKind::InvalidData`] marks an over-cap
+/// line (the caller replies `too_large` and drops the connection — the
+/// stream cannot be resynchronized mid-line).
+fn read_capped_line(reader: &mut impl BufRead, line: &mut String) -> io::Result<Option<()>> {
+    line.clear();
+    let mut limited = reader.take((MAX_LINE_BYTES + 1) as u64);
+    let n = limited.read_line(line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.len() > MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    Ok(Some(()))
+}
 
 /// Handles one socket connection: request lines in, reply lines out,
-/// until EOF, timeout, `shutdown`, or a `subscribe` (which parks the
+/// until EOF, deadline, `shutdown`, or a `subscribe` (which parks the
 /// write half on the telemetry hub and stops reading).
 #[cfg(unix)]
 fn handle_connection(
-    service: &mut AnalysisService,
+    service: &AnalysisService,
     stream: std::os::unix::net::UnixStream,
+    io_timeout: Duration,
 ) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     // A silent or stalled client is disconnected, not waited on.
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(_) => {}
+        if service.faults().fire(FaultPlan::CONN_READ).is_some() {
+            // An injected transport failure: the connection is dropped
+            // (the client observes EOF / connection reset — a visible
+            // failure, never a wrong or truncated reply).
+            return Err(FaultPlan::injected_error(FaultPlan::CONN_READ));
+        }
+        match read_capped_line(&mut reader, &mut line) {
+            Ok(None) => return Ok(()), // EOF
+            Ok(Some(())) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                service.note_rejected_too_large();
+                let reply = Reply::error(ErrorCode::TooLarge, e.to_string());
+                let _ = write_line(&mut writer, &reply.to_line());
+                return Ok(());
+            }
             // Timed out mid-silence: drop the connection.
             Err(e)
                 if matches!(
@@ -175,7 +365,7 @@ fn handle_connection(
         }
         match parse_request(&line) {
             Ok(Request::Subscribe) => {
-                write_line(&mut writer, &Reply::Subscribed.to_line())?;
+                write_checked(service, &mut writer, &Reply::Subscribed.to_line())?;
                 // The write timeout stays armed on the parked half: a
                 // subscriber that stops reading makes broadcast() error
                 // out and be dropped, instead of wedging the daemon on
@@ -186,14 +376,28 @@ fn handle_connection(
             Ok(request) => {
                 let shutdown = matches!(request, Request::Shutdown);
                 let reply = service.handle(request);
-                write_line(&mut writer, &reply.to_line())?;
-                if shutdown {
+                write_checked(service, &mut writer, &reply.to_line())?;
+                if shutdown || service.shutdown_requested() {
                     return Ok(());
                 }
             }
-            Err(message) => write_line(&mut writer, &Reply::Error(message).to_line())?,
+            Err(e) => {
+                if e.code == ErrorCode::TooLarge {
+                    service.note_rejected_too_large();
+                }
+                write_checked(service, &mut writer, &Reply::from(e).to_line())?
+            }
         }
     }
+}
+
+/// [`write_line`] behind the `conn.write` fault site.
+#[cfg(unix)]
+fn write_checked(service: &AnalysisService, writer: &mut impl Write, line: &str) -> io::Result<()> {
+    if service.faults().fire(FaultPlan::CONN_WRITE).is_some() {
+        return Err(FaultPlan::injected_error(FaultPlan::CONN_WRITE));
+    }
+    write_line(writer, line)
 }
 
 fn write_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
@@ -203,20 +407,28 @@ fn write_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
 }
 
 /// Processes every pending `<queue>/in/*.json` file in filename order;
-/// returns how many were handled.
+/// returns `(handled, quarantined)` counts.
 ///
 /// Producers should write-then-rename into `in/`; as a safety net for
 /// producers that write in place, a file whose content does not parse
-/// is left untouched for one extra poll (`deferred`) before being
-/// consumed with an error reply — a half-written file gets one poll
-/// interval to finish instead of being eaten mid-write.
+/// (or cannot be read) is left untouched for one extra poll
+/// (`deferred`) before being *quarantined*: moved to
+/// `<queue>/failed/<name>` with a structured error reply in `out/` —
+/// a half-written file gets one poll interval to finish, and a
+/// genuinely bad file is preserved for inspection instead of being
+/// deleted silently or retried forever.
+///
+/// Reply files are written temp-then-rename, and the input is removed
+/// only *after* the reply lands — a reply-write failure (injected or
+/// real) leaves the input in place to be retried on the next poll.
 fn poll_queue(
-    service: &mut AnalysisService,
+    service: &AnalysisService,
     queue: &Path,
     deferred: &mut std::collections::HashSet<PathBuf>,
-) -> io::Result<u64> {
+) -> io::Result<(u64, u64)> {
     let in_dir = queue.join("in");
     let out_dir = queue.join("out");
+    let failed_dir = queue.join("failed");
     let mut pending: Vec<PathBuf> = fs::read_dir(&in_dir)?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
@@ -224,52 +436,127 @@ fn poll_queue(
         .collect();
     pending.sort();
     let mut handled = 0u64;
+    let mut quarantined = 0u64;
     for path in pending {
-        let text = match fs::read_to_string(&path) {
-            Ok(text) => text,
-            // The producer may still be writing; retry next poll.
-            Err(_) => continue,
-        };
-        let request_line = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
-        let parsed = parse_request(request_line);
-        if parsed.is_err() && deferred.insert(path.clone()) {
-            // First sighting of an unparseable file: grace poll.
-            continue;
-        }
-        deferred.remove(&path);
-        let reply = match parsed {
-            Ok(Request::Subscribe) => {
-                Reply::Error("subscribe requires a stream transport (socket or stdio)".into())
+        let parsed = match fs::read_to_string(&path) {
+            Ok(text) => {
+                let request_line = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+                parse_request(request_line)
             }
-            Ok(request) => service.handle(request),
-            Err(message) => Reply::Error(message),
+            Err(e) => Err(crate::protocol::RequestError::bad(format!(
+                "unreadable queue file: {e}"
+            ))),
         };
-        let name = path.file_name().expect("queue file has a name");
-        let out_path = out_dir.join(name);
-        let tmp = out_path.with_extension(format!("tmp{}", std::process::id()));
-        fs::write(&tmp, format!("{}\n", reply.to_line()))?;
-        fs::rename(&tmp, &out_path)?;
-        fs::remove_file(&path)?;
-        handled += 1;
+        let name = path.file_name().expect("queue file has a name").to_owned();
+        match parsed {
+            Ok(request) => {
+                deferred.remove(&path);
+                let reply = match request {
+                    Request::Subscribe => Reply::error(
+                        ErrorCode::BadRequest,
+                        "subscribe requires a stream transport (socket or stdio)",
+                    ),
+                    request => service.handle(request),
+                };
+                match write_queue_reply(service, &out_dir, &name, &reply) {
+                    Ok(()) => {
+                        fs::remove_file(&path)?;
+                        handled += 1;
+                    }
+                    Err(e) => {
+                        // Leave the input: the next poll retries it
+                        // (handling is idempotent through the cache).
+                        eprintln!(
+                            "fetch-serve: failed to write reply for {}: {e}",
+                            name.to_string_lossy()
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                if deferred.insert(path.clone()) {
+                    // First sighting of a bad file: grace poll.
+                    continue;
+                }
+                deferred.remove(&path);
+                if e.code == ErrorCode::TooLarge {
+                    service.note_rejected_too_large();
+                }
+                let reply = Reply::from(e);
+                if let Err(we) = write_queue_reply(service, &out_dir, &name, &reply) {
+                    eprintln!(
+                        "fetch-serve: failed to write reply for {}: {we}",
+                        name.to_string_lossy()
+                    );
+                    continue; // retried next poll
+                }
+                // Quarantine, never silently delete.
+                let target = failed_dir.join(&name);
+                if let Err(me) = fs::rename(&path, &target) {
+                    eprintln!(
+                        "fetch-serve: failed to quarantine {}: {me}",
+                        name.to_string_lossy()
+                    );
+                    continue;
+                }
+                service.note_queue_quarantined();
+                quarantined += 1;
+            }
+        }
         if service.shutdown_requested() {
             break;
         }
     }
-    Ok(handled)
+    Ok((handled, quarantined))
+}
+
+/// Atomically writes one reply file, behind the `queue.reply` fault
+/// site (any injected kind fails the write before the rename, so a
+/// consumer can never observe a torn reply).
+fn write_queue_reply(
+    service: &AnalysisService,
+    out_dir: &Path,
+    name: &std::ffi::OsStr,
+    reply: &Reply,
+) -> io::Result<()> {
+    if service.faults().fire(FaultPlan::QUEUE_REPLY).is_some() {
+        return Err(FaultPlan::injected_error(FaultPlan::QUEUE_REPLY));
+    }
+    let out_path = out_dir.join(name);
+    let tmp = out_path.with_extension(format!("tmp{}", std::process::id()));
+    fs::write(&tmp, format!("{}\n", reply.to_line()))?;
+    fs::rename(&tmp, &out_path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
 }
 
 /// The stdio transport: request lines on `input`, reply lines on
 /// `output`, until EOF or `shutdown`. `subscribe` turns the remainder
 /// of `output` into the telemetry stream (replies and events share
-/// stdout; subscribe last, or use a socket, to separate them).
+/// stdout; subscribe last, or use a socket, to separate them). Request
+/// lines pass through the same [`MAX_LINE_BYTES`] cap as the socket
+/// transport (an over-cap line ends the session with a `too_large`
+/// error — stdin cannot be resynchronized mid-line).
 pub fn serve_io(
-    service: &mut AnalysisService,
+    service: &AnalysisService,
     input: impl BufRead,
     output: &mut (impl Write + Send + Clone + 'static),
 ) -> io::Result<u64> {
     let mut handled = 0u64;
-    for line in input.lines() {
-        let line = line?;
+    let mut input = input;
+    let mut line = String::new();
+    loop {
+        match read_capped_line(&mut input, &mut line) {
+            Ok(None) => break,
+            Ok(Some(())) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                service.note_rejected_too_large();
+                let reply = Reply::error(ErrorCode::TooLarge, e.to_string());
+                write_line(output, &reply.to_line())?;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -286,7 +573,12 @@ pub fn serve_io(
                     break;
                 }
             }
-            Err(message) => write_line(output, &Reply::Error(message).to_line())?,
+            Err(e) => {
+                if e.code == ErrorCode::TooLarge {
+                    service.note_rejected_too_large();
+                }
+                write_line(output, &Reply::from(e).to_line())?
+            }
         }
     }
     Ok(handled)
@@ -336,9 +628,9 @@ mod tests {
             format_args!("{{\"cmd\":\"analyze\",\"bytes_hex\":\"{elf_hex}\"}}"),
             "{\"cmd\":\"stats\"}",
         );
-        let mut service = AnalysisService::new(&ServeConfig::default()).unwrap();
+        let service = AnalysisService::new(&ServeConfig::default()).unwrap();
         let mut out = SharedBuf::default();
-        let handled = serve_io(&mut service, script.as_bytes(), &mut out).unwrap();
+        let handled = serve_io(&service, script.as_bytes(), &mut out).unwrap();
         assert_eq!(handled, 5, "blank skipped, post-shutdown line unread");
         let text = out.text();
         let lines: Vec<&str> = text.lines().collect();
@@ -347,44 +639,80 @@ mod tests {
         assert!(lines[1].contains("\"source\":\"cache\""));
         assert!(lines[2].contains("\"cache\":{"));
         assert!(lines[3].contains("\"ok\":false"));
+        assert!(lines[3].contains("\"code\":\"bad_request\""));
         assert!(lines[4].contains("\"shutdown\":true"));
         assert!(service.shutdown_requested());
     }
 
     #[test]
-    fn queue_grace_polls_unparseable_files() {
+    fn queue_grace_polls_then_quarantines_unparseable_files() {
         let dir = scratch_dir("grace");
         let queue = dir.join("q");
         fs::create_dir_all(queue.join("in")).unwrap();
         fs::create_dir_all(queue.join("out")).unwrap();
-        let mut service = AnalysisService::new(&ServeConfig::default()).unwrap();
+        fs::create_dir_all(queue.join("failed")).unwrap();
+        let service = AnalysisService::new(&ServeConfig::default()).unwrap();
         let mut deferred = std::collections::HashSet::new();
 
         // A half-written file is deferred on first sight...
         let partial = queue.join("in/00-req.json");
         fs::write(&partial, "{\"cmd\":\"ana").unwrap();
-        assert_eq!(poll_queue(&mut service, &queue, &mut deferred).unwrap(), 0);
+        assert_eq!(poll_queue(&service, &queue, &mut deferred).unwrap(), (0, 0));
         assert!(partial.exists(), "mid-write file must not be consumed");
 
         // ...and handled normally once the producer finishes it.
         fs::write(&partial, "{\"cmd\":\"stats\"}\n").unwrap();
-        assert_eq!(poll_queue(&mut service, &queue, &mut deferred).unwrap(), 1);
+        assert_eq!(poll_queue(&service, &queue, &mut deferred).unwrap(), (1, 0));
         assert!(!partial.exists());
         assert!(fs::read_to_string(queue.join("out/00-req.json"))
             .unwrap()
             .contains("\"cache\":{"));
 
-        // A file that stays garbage is consumed with an error reply on
-        // its second poll, not retried forever.
+        // A file that stays garbage is quarantined on its second poll —
+        // moved to failed/ with a structured error reply, not deleted,
+        // not retried forever.
         let garbage = queue.join("in/01-bad.json");
         fs::write(&garbage, "not json at all").unwrap();
-        assert_eq!(poll_queue(&mut service, &queue, &mut deferred).unwrap(), 0);
-        assert_eq!(poll_queue(&mut service, &queue, &mut deferred).unwrap(), 1);
-        assert!(!garbage.exists());
-        assert!(fs::read_to_string(queue.join("out/01-bad.json"))
-            .unwrap()
-            .contains("\"ok\":false"));
+        assert_eq!(poll_queue(&service, &queue, &mut deferred).unwrap(), (0, 0));
+        assert_eq!(poll_queue(&service, &queue, &mut deferred).unwrap(), (0, 1));
+        assert!(!garbage.exists(), "quarantined out of in/");
+        assert_eq!(
+            fs::read_to_string(queue.join("failed/01-bad.json")).unwrap(),
+            "not json at all",
+            "the bad input is preserved for inspection"
+        );
+        let reply = fs::read_to_string(queue.join("out/01-bad.json")).unwrap();
+        assert!(reply.contains("\"ok\":false"), "{reply}");
+        assert!(reply.contains("\"code\":\"bad_request\""), "{reply}");
         assert!(deferred.is_empty(), "consumed files leave the grace set");
+        assert_eq!(service.stats().requests.queue_quarantined, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn queue_reply_fault_leaves_input_for_retry() {
+        let dir = scratch_dir("qfault");
+        let queue = dir.join("q");
+        fs::create_dir_all(queue.join("in")).unwrap();
+        fs::create_dir_all(queue.join("out")).unwrap();
+        fs::create_dir_all(queue.join("failed")).unwrap();
+        let service = AnalysisService::new(&ServeConfig {
+            faults: std::sync::Arc::new(FaultPlan::parse("queue.reply=io#1").unwrap()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut deferred = std::collections::HashSet::new();
+
+        let req = queue.join("in/00-stats.json");
+        fs::write(&req, "{\"cmd\":\"stats\"}\n").unwrap();
+        // Firing 1: the reply write fails; the input must survive.
+        assert_eq!(poll_queue(&service, &queue, &mut deferred).unwrap(), (0, 0));
+        assert!(req.exists(), "input is kept when the reply write fails");
+        assert!(!queue.join("out/00-stats.json").exists());
+        // Plan spent: the retry succeeds and consumes the input.
+        assert_eq!(poll_queue(&service, &queue, &mut deferred).unwrap(), (1, 0));
+        assert!(!req.exists());
+        assert!(queue.join("out/00-stats.json").exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -409,13 +737,14 @@ mod tests {
         fs::write(queue.join("in/03-stop.json"), "{\"cmd\":\"shutdown\"}\n").unwrap();
         fs::write(queue.join("in/ignored.txt"), "not a queue file").unwrap();
 
-        let mut service = AnalysisService::new(&ServeConfig {
+        let service = AnalysisService::new(&ServeConfig {
             store_dir: Some(dir.join("store")),
             cache_capacity: CacheCapacity::entries(8),
+            ..ServeConfig::default()
         })
         .unwrap();
         let summary = serve(
-            &mut service,
+            &service,
             &ServerOptions {
                 queue: Some(queue.clone()),
                 ..ServerOptions::default()
@@ -423,6 +752,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(summary.queue_files, 4);
+        assert_eq!(summary.queue_quarantined, 0);
 
         let read = |name: &str| fs::read_to_string(queue.join("out").join(name)).unwrap();
         assert!(read("00-a.json").contains("\"source\":\"cold\""));
@@ -435,5 +765,18 @@ mod tests {
         );
         assert!(queue.join("in/ignored.txt").exists(), "non-.json untouched");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn capped_line_reader_rejects_over_limit_lines() {
+        let service = AnalysisService::new(&ServeConfig::default()).unwrap();
+        let mut out = SharedBuf::default();
+        // One giant line, no newline within the cap.
+        let giant = format!("{{\"pad\":\"{}\"}}", "y".repeat(MAX_LINE_BYTES));
+        let handled = serve_io(&service, giant.as_bytes(), &mut out).unwrap();
+        assert_eq!(handled, 0);
+        let text = out.text();
+        assert!(text.contains("\"code\":\"too_large\""), "{text}");
+        assert_eq!(service.stats().requests.rejected_too_large, 1);
     }
 }

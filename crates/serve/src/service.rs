@@ -1,6 +1,11 @@
 //! The transport-agnostic daemon core: one [`AnalysisService`] owns the
-//! bounded cache, the persistent store, the shared decode engine, and
+//! bounded cache, the persistent store, a pool of decode engines, and
 //! the telemetry hub, and turns parsed [`Request`]s into [`Reply`]s.
+//!
+//! The service is `Sync` — [`AnalysisService::handle`] takes `&self`,
+//! so one instance is shared by every worker of the server's pool
+//! (and by the directory-queue and stdio transports) without an outer
+//! lock around request handling.
 //!
 //! Answer path for an analyze request, in order:
 //!
@@ -11,9 +16,21 @@
 //!    A corrupt entry is *rejected* (counted in
 //!    [`RequestCounters::store_errors`]), recomputed cold, and
 //!    overwritten.
-//! 3. **Cold compute** — the declarative pipeline through the service's
-//!    persistent [`RecEngine`] (decode cache shared across requests);
-//!    the result is inserted into the cache and written to the store.
+//! 3. **Coalesced cold compute** — the request joins the cache's
+//!    flight table ([`fetch_core::AnalysisCache::join_flight`]): the
+//!    first arrival for an uncached key becomes the *leader* and runs
+//!    the pipeline; every concurrent arrival for the same key blocks on
+//!    the flight and receives the leader's `Arc` (source
+//!    `"coalesced"`). N concurrent requests for one uncached
+//!    fingerprint perform exactly one cold compute. A leader that fails
+//!    (panic or injected fault) wakes the waiters, one of which takes
+//!    over — a dead leader never strands the group.
+//!
+//! Cold computes borrow a [`RecEngine`] from the service's engine pool
+//! (decode caches persist across requests; concurrent colds each get
+//! their own engine) and the leader persists the answer to the store
+//! *after* publishing it to waiters, so coalesced repliers never block
+//! on disk.
 //!
 //! Every analyze/query answer also broadcasts its telemetry — a
 //! `request` event plus one `layer` event per [`fetch_core::LayerTrace`]
@@ -21,16 +38,18 @@
 //! answers replay the trace persisted with the result, so the per-layer
 //! telemetry survives both the cache and a restart.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::protocol::{
-    telemetry_events, AnalyzeInput, AnalyzeReply, Reply, Request, RequestCounters, ServeSource,
-    StatsReply,
+    telemetry_events, AnalyzeInput, AnalyzeReply, ErrorCode, Reply, Request, RequestCounters,
+    ServeSource, StatsReply,
 };
-use crate::store::ResultStore;
+use crate::store::{GcPolicy, ResultStore};
 use fetch_binary::ElfImage;
-use fetch_core::{image_fingerprint, AnalysisCache, CacheCapacity, Pipeline};
+use fetch_core::{image_fingerprint, AnalysisCache, CacheCapacity, Flight, Pipeline};
 use fetch_disasm::RecEngine;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -80,6 +99,42 @@ pub struct ServeConfig {
     pub store_dir: Option<PathBuf>,
     /// Bounds of the in-memory cache (default: unbounded).
     pub cache_capacity: CacheCapacity,
+    /// Age/size bounds of the store (default: unbounded, no GC).
+    pub store_gc: GcPolicy,
+    /// The armed fault plan (default: empty — never fires).
+    pub faults: Arc<FaultPlan>,
+}
+
+/// Lock-free request counters ([`RequestCounters`] is their snapshot).
+#[derive(Debug, Default)]
+struct Counters {
+    analyze: AtomicU64,
+    query: AtomicU64,
+    cold: AtomicU64,
+    cache_hits: AtomicU64,
+    store_hits: AtomicU64,
+    store_errors: AtomicU64,
+    coalesced: AtomicU64,
+    shed_busy: AtomicU64,
+    rejected_too_large: AtomicU64,
+    queue_quarantined: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> RequestCounters {
+        RequestCounters {
+            analyze: self.analyze.load(Ordering::Relaxed),
+            query: self.query.load(Ordering::Relaxed),
+            cold: self.cold.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            shed_busy: self.shed_busy.load(Ordering::Relaxed),
+            rejected_too_large: self.rejected_too_large.load(Ordering::Relaxed),
+            queue_quarantined: self.queue_quarantined.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The daemon core (see the [module docs](self)).
@@ -87,27 +142,37 @@ pub struct ServeConfig {
 pub struct AnalysisService {
     cache: AnalysisCache,
     store: Option<ResultStore>,
-    engine: RecEngine,
+    /// Decode engines for cold computes: borrowed per compute, returned
+    /// after, so decode caches persist across requests and concurrent
+    /// colds never contend on one engine.
+    engines: Mutex<Vec<RecEngine>>,
     telemetry: TelemetryHub,
-    counters: RequestCounters,
-    shutdown: bool,
+    counters: Counters,
+    faults: Arc<FaultPlan>,
+    shutdown: AtomicBool,
 }
 
 impl AnalysisService {
     /// Builds a service from `config`, opening (or creating) the store
-    /// directory when one is configured.
+    /// directory — which runs the startup recovery sweep — when one is
+    /// configured.
     pub fn new(config: &ServeConfig) -> std::io::Result<AnalysisService> {
         let store = match &config.store_dir {
-            Some(dir) => Some(ResultStore::open(dir)?),
+            Some(dir) => Some(ResultStore::open_with(
+                dir,
+                config.store_gc,
+                config.faults.clone(),
+            )?),
             None => None,
         };
         Ok(AnalysisService {
             cache: AnalysisCache::with_capacity(config.cache_capacity),
             store,
-            engine: RecEngine::new(),
+            engines: Mutex::new(Vec::new()),
             telemetry: TelemetryHub::default(),
-            counters: RequestCounters::default(),
-            shutdown: false,
+            counters: Counters::default(),
+            faults: config.faults.clone(),
+            shutdown: AtomicBool::new(false),
         })
     }
 
@@ -121,43 +186,71 @@ impl AnalysisService {
         &self.cache
     }
 
+    /// The armed fault plan (transports fire connection-level sites).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Whether a shutdown request has been handled; transports exit
     /// their accept loops when this turns true.
     pub fn shutdown_requested(&self) -> bool {
-        self.shutdown
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Records a request shed with a `busy` error (transport-level).
+    pub fn note_shed_busy(&self) {
+        self.counters.shed_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request rejected with `too_large` (transport-level).
+    pub fn note_rejected_too_large(&self) {
+        self.counters
+            .rejected_too_large
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a directory-queue request moved to quarantine.
+    pub fn note_queue_quarantined(&self) {
+        self.counters
+            .queue_quarantined
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Handles one request. Every path returns a reply — errors become
-    /// [`Reply::Error`], and the daemon keeps serving.
-    pub fn handle(&mut self, request: Request) -> Reply {
+    /// structured [`Reply::Error`]s, and the daemon keeps serving.
+    /// Takes `&self`: any number of workers call this concurrently.
+    pub fn handle(&self, request: Request) -> Reply {
         match request {
             Request::Analyze { input, pipeline } => match self.analyze(input, &pipeline) {
                 Ok(reply) => {
                     self.emit(&reply);
                     Reply::Analyze(reply)
                 }
-                Err(message) => Reply::Error(message),
+                Err((code, message)) => Reply::error(code, message),
             },
             Request::Query {
                 fingerprint,
                 pipeline_id,
             } => {
-                self.counters.query += 1;
+                self.counters.query.fetch_add(1, Ordering::Relaxed);
                 match self.lookup_warm(fingerprint, &pipeline_id) {
                     Some(reply) => {
                         self.emit(&reply);
                         Reply::Analyze(reply)
                     }
-                    None => Reply::Error(format!(
-                        "no cached or stored result for ({}, {pipeline_id})",
-                        crate::protocol::hex_u64(fingerprint)
-                    )),
+                    None => Reply::error(
+                        ErrorCode::NotFound,
+                        format!(
+                            "no cached or stored result for ({}, {pipeline_id})",
+                            crate::protocol::hex_u64(fingerprint)
+                        ),
+                    ),
                 }
             }
             Request::Stats => Reply::Stats(self.stats()),
             Request::Subscribe => Reply::Subscribed,
             Request::Shutdown => {
-                self.shutdown = true;
+                self.shutdown.store(true, Ordering::SeqCst);
                 Reply::Shutdown
             }
         }
@@ -168,7 +261,8 @@ impl AnalysisService {
         StatsReply {
             cache: self.cache.stats(),
             store: self.store.as_ref().and_then(|s| s.stats().ok()),
-            requests: self.counters,
+            requests: self.counters.snapshot(),
+            faults_injected: self.faults.fired(),
         }
     }
 
@@ -183,10 +277,10 @@ impl AnalysisService {
 
     /// Cache-then-store lookup without computing (the `query` path; also
     /// the warm half of `analyze`). Promotes store hits into the cache.
-    fn lookup_warm(&mut self, fingerprint: u64, pipeline_id: &str) -> Option<AnalyzeReply> {
+    fn lookup_warm(&self, fingerprint: u64, pipeline_id: &str) -> Option<AnalyzeReply> {
         let t0 = Instant::now();
         if let Some(result) = self.cache.lookup(fingerprint, pipeline_id) {
-            self.counters.cache_hits += 1;
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Some(AnalyzeReply {
                 fingerprint,
                 pipeline_id: pipeline_id.to_string(),
@@ -201,7 +295,7 @@ impl AnalysisService {
             .map(|s| s.load(fingerprint, pipeline_id))
         {
             Some(Ok(Some(result))) => {
-                self.counters.store_hits += 1;
+                self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
                 let result = self
                     .cache
                     .insert(fingerprint, pipeline_id, Arc::new(result));
@@ -214,7 +308,7 @@ impl AnalysisService {
                 })
             }
             Some(Err(e)) => {
-                self.counters.store_errors += 1;
+                self.counters.store_errors.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
                     "fetch-serve: rejecting store entry for ({}, {pipeline_id}): {e}",
                     crate::protocol::hex_u64(fingerprint)
@@ -225,20 +319,40 @@ impl AnalysisService {
         }
     }
 
+    /// Runs the pipeline on a borrowed pool engine.
+    fn compute(&self, pipeline: &Pipeline, image: &ElfImage) -> fetch_core::DetectionResult {
+        let mut engine = self
+            .engines
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_default();
+        let result = pipeline.run_with_engine(&image.to_binary(), &mut engine);
+        self.engines
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(engine);
+        result
+    }
+
     fn analyze(
-        &mut self,
+        &self,
         input: AnalyzeInput,
         pipeline: &Pipeline,
-    ) -> Result<AnalyzeReply, String> {
-        self.counters.analyze += 1;
+    ) -> Result<AnalyzeReply, (ErrorCode, String)> {
+        self.counters.analyze.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
         let bytes = match input {
-            AnalyzeInput::Path(path) => {
-                std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?
-            }
+            AnalyzeInput::Path(path) => std::fs::read(&path).map_err(|e| {
+                (
+                    ErrorCode::BadRequest,
+                    format!("cannot read {}: {e}", path.display()),
+                )
+            })?,
             AnalyzeInput::Bytes(bytes) => bytes,
         };
-        let image = ElfImage::parse(bytes).map_err(|e| format!("not a loadable ELF: {e}"))?;
+        let image = ElfImage::parse(bytes)
+            .map_err(|e| (ErrorCode::BadRequest, format!("not a loadable ELF: {e}")))?;
         let fingerprint = image_fingerprint(&image);
         let pipeline_id = pipeline.id();
 
@@ -248,25 +362,70 @@ impl AnalysisService {
             return Ok(warm);
         }
 
-        self.counters.cold += 1;
-        let result = Arc::new(pipeline.run_with_engine(&image.to_binary(), &mut self.engine));
-        let result = self.cache.insert(fingerprint, &pipeline_id, result);
-        if let Some(store) = &self.store {
-            if let Err(e) = store.save(fingerprint, &pipeline_id, &result) {
-                // A failed persist degrades restart warmth, not answers.
-                eprintln!(
-                    "fetch-serve: failed to persist ({}, {pipeline_id}): {e}",
-                    crate::protocol::hex_u64(fingerprint)
-                );
+        // Cold path, coalesced: the first arrival leads and computes;
+        // concurrent arrivals for the same key wait on the flight.
+        loop {
+            match self.cache.join_flight(fingerprint, &pipeline_id) {
+                Flight::Hit(result) => {
+                    // Completed between our lookup and the join.
+                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(AnalyzeReply {
+                        fingerprint,
+                        pipeline_id,
+                        source: ServeSource::CacheHit,
+                        wall_us: t0.elapsed().as_secs_f64() * 1e6,
+                        result,
+                    });
+                }
+                Flight::Waited(Some(result)) => {
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return Ok(AnalyzeReply {
+                        fingerprint,
+                        pipeline_id,
+                        source: ServeSource::Coalesced,
+                        wall_us: t0.elapsed().as_secs_f64() * 1e6,
+                        result,
+                    });
+                }
+                // The leader aborted without an answer; rejoin (one of
+                // the waiters — possibly us — takes over as leader).
+                Flight::Waited(None) => continue,
+                Flight::Leader(guard) => {
+                    if let Some(FaultKind::Io) = self.faults.fire(FaultPlan::COMPUTE) {
+                        // Dropping the guard aborts the flight: waiters
+                        // wake and elect a new leader, so one injected
+                        // failure never fails the whole group.
+                        drop(guard);
+                        return Err((
+                            ErrorCode::Internal,
+                            FaultPlan::injected_error(FaultPlan::COMPUTE).to_string(),
+                        ));
+                    }
+                    self.counters.cold.fetch_add(1, Ordering::Relaxed);
+                    let result = Arc::new(self.compute(pipeline, &image));
+                    // Publish to cache and waiters first; persist after,
+                    // so coalesced repliers never block on disk.
+                    let result = guard.complete(result);
+                    if let Some(store) = &self.store {
+                        if let Err(e) = store.save(fingerprint, &pipeline_id, &result) {
+                            // A failed persist degrades restart warmth,
+                            // not answers.
+                            eprintln!(
+                                "fetch-serve: failed to persist ({}, {pipeline_id}): {e}",
+                                crate::protocol::hex_u64(fingerprint)
+                            );
+                        }
+                    }
+                    return Ok(AnalyzeReply {
+                        fingerprint,
+                        pipeline_id,
+                        source: ServeSource::Cold,
+                        wall_us: t0.elapsed().as_secs_f64() * 1e6,
+                        result,
+                    });
+                }
             }
         }
-        Ok(AnalyzeReply {
-            fingerprint,
-            pipeline_id,
-            source: ServeSource::Cold,
-            wall_us: t0.elapsed().as_secs_f64() * 1e6,
-            result,
-        })
     }
 }
 
@@ -305,9 +464,10 @@ mod tests {
         let config = ServeConfig {
             store_dir: Some(dir.clone()),
             cache_capacity: CacheCapacity::entries(16),
+            ..ServeConfig::default()
         };
 
-        let mut service = AnalysisService::new(&config).unwrap();
+        let service = AnalysisService::new(&config).unwrap();
         let cold = service.handle(analyze_req(elf.clone()));
         assert_eq!(reply_source(&cold), ServeSource::Cold);
         let warm = service.handle(analyze_req(elf.clone()));
@@ -323,7 +483,7 @@ mod tests {
         drop(service);
 
         // Restart: fresh cache, same store directory.
-        let mut restarted = AnalysisService::new(&config).unwrap();
+        let restarted = AnalysisService::new(&config).unwrap();
         let from_store = restarted.handle(analyze_req(elf.clone()));
         assert_eq!(reply_source(&from_store), ServeSource::StoreHit);
         match (&cold, &from_store) {
@@ -351,11 +511,13 @@ mod tests {
         let config = ServeConfig {
             store_dir: Some(dir.clone()),
             cache_capacity: CacheCapacity::UNBOUNDED,
+            ..ServeConfig::default()
         };
-        let mut service = AnalysisService::new(&config).unwrap();
+        let service = AnalysisService::new(&config).unwrap();
         let cold = service.handle(analyze_req(elf.clone()));
 
-        // Corrupt the single store file in place.
+        // Corrupt the single store file in place — *after* open, so the
+        // recovery sweep has not seen it.
         let entry = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().path())
@@ -366,19 +528,25 @@ mod tests {
         bytes[mid] ^= 0x20;
         std::fs::write(&entry, &bytes).unwrap();
 
-        // Restart: the corrupt entry must be rejected, recomputed, and
-        // healed — never misread.
-        let mut healed = AnalysisService::new(&config).unwrap();
+        // Restart: the startup recovery sweep quarantines the corrupt
+        // entry, the request recomputes cold, and the store heals —
+        // the entry is never misread.
+        let healed = AnalysisService::new(&config).unwrap();
         let recomputed = healed.handle(analyze_req(elf.clone()));
         assert_eq!(reply_source(&recomputed), ServeSource::Cold);
         match (&cold, &recomputed) {
             (Reply::Analyze(c), Reply::Analyze(r)) => assert_eq!(*c.result, *r.result),
             other => panic!("{other:?}"),
         }
-        assert_eq!(healed.stats().requests.store_errors, 1);
+        let stats = healed.stats();
+        assert_eq!(
+            stats.store.unwrap().quarantined,
+            1,
+            "the sweep quarantined the corrupt entry"
+        );
 
         // The overwrite healed the store: one more restart hits it.
-        let mut third = AnalysisService::new(&config).unwrap();
+        let third = AnalysisService::new(&config).unwrap();
         assert_eq!(
             reply_source(&third.handle(analyze_req(elf))),
             ServeSource::StoreHit
@@ -390,7 +558,7 @@ mod tests {
     fn query_answers_warm_only_and_telemetry_streams() {
         let case = synthesize(&SynthConfig::small(63));
         let elf = write_elf(&case.binary);
-        let mut service = AnalysisService::new(&ServeConfig::default()).unwrap();
+        let service = AnalysisService::new(&ServeConfig::default()).unwrap();
 
         // Telemetry sink capturing into a shared buffer.
         #[derive(Clone)]
@@ -417,7 +585,12 @@ mod tests {
             fingerprint: fp,
             pipeline_id: Pipeline::fetch().id(),
         });
-        assert!(matches!(miss, Reply::Error(_)), "query never computes");
+        match miss {
+            Reply::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::NotFound, "query never computes")
+            }
+            other => panic!("{other:?}"),
+        }
 
         let cold = service.handle(analyze_req(elf));
         assert_eq!(reply_source(&cold), ServeSource::Cold);
@@ -440,5 +613,89 @@ mod tests {
         assert_eq!(stats.requests.query, 2);
         assert_eq!(stats.requests.analyze, 1);
         assert!(stats.store.is_none());
+    }
+
+    #[test]
+    fn concurrent_analyzes_coalesce_to_exactly_one_cold_compute() {
+        let case = synthesize(&SynthConfig::small(64));
+        let elf = write_elf(&case.binary);
+        let service = AnalysisService::new(&ServeConfig::default()).unwrap();
+
+        // The serial reference answer, from an independent service.
+        let reference = AnalysisService::new(&ServeConfig::default()).unwrap();
+        let serial = match reference.handle(analyze_req(elf.clone())) {
+            Reply::Analyze(a) => crate::protocol::result_json(&a.result).to_string(),
+            other => panic!("{other:?}"),
+        };
+
+        const CALLERS: usize = 8;
+        let barrier = std::sync::Barrier::new(CALLERS);
+        let replies: Vec<Reply> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CALLERS)
+                .map(|_| {
+                    let service = &service;
+                    let barrier = &barrier;
+                    let elf = elf.clone();
+                    scope.spawn(move || {
+                        barrier.wait();
+                        service.handle(analyze_req(elf))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Exactly one cold compute; every reply byte-identical to the
+        // serial answer; every source a known warm/cold token.
+        let stats = service.stats();
+        assert_eq!(stats.requests.cold, 1, "exactly one cold compute");
+        assert_eq!(stats.requests.analyze, CALLERS as u64);
+        for reply in &replies {
+            let a = match reply {
+                Reply::Analyze(a) => a,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(
+                crate::protocol::result_json(&a.result).to_string(),
+                serial,
+                "coalesced reply must be byte-identical to the serial answer"
+            );
+            assert!(matches!(
+                a.source,
+                ServeSource::Cold | ServeSource::Coalesced | ServeSource::CacheHit
+            ));
+        }
+        let cold_replies = replies
+            .iter()
+            .filter(|r| reply_source(r) == ServeSource::Cold)
+            .count();
+        assert_eq!(cold_replies, 1);
+    }
+
+    #[test]
+    fn injected_compute_fault_fails_one_request_not_the_group() {
+        let case = synthesize(&SynthConfig::small(65));
+        let elf = write_elf(&case.binary);
+        let config = ServeConfig {
+            faults: Arc::new(FaultPlan::parse("service.compute=io#1").unwrap()),
+            ..ServeConfig::default()
+        };
+        let service = AnalysisService::new(&config).unwrap();
+
+        // First analyze hits the armed fault: a structured internal
+        // error, not a panic or a wrong answer.
+        match service.handle(analyze_req(elf.clone())) {
+            Reply::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Internal);
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The plan is spent: the retry computes fine.
+        assert_eq!(
+            reply_source(&service.handle(analyze_req(elf))),
+            ServeSource::Cold
+        );
+        assert_eq!(service.stats().faults_injected, 1);
     }
 }

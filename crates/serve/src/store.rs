@@ -12,11 +12,38 @@
 //! crashed daemon never leaves a half-written entry under a live key;
 //! loads verify header, key match, and checksum, so a truncated or
 //! bit-flipped file is a [`StoreError`], never a wrong answer.
+//!
+//! ## Lifecycle
+//!
+//! Opening a store runs a **recovery sweep** ([`ResultStore::compact`]):
+//! orphaned temp files (a crash between write and rename) are reaped,
+//! and entries that fail validation — truncated, bit-flipped, or
+//! foreign — are moved to a `quarantine/` subdirectory and counted,
+//! never silently deleted and never served. After the sweep, every
+//! resident entry is known-loadable.
+//!
+//! A [`GcPolicy`] bounds the store by entry count, total bytes, and/or
+//! entry age. The policy is enforced after each save (cheap counter
+//! check; a full sweep only when a bound is exceeded) and during
+//! [`ResultStore::compact`]: the oldest entries (by modification time)
+//! are removed until the store fits. Eviction only ever drops persisted
+//! warmth — a later request recomputes the identical answer.
+//!
+//! Writes are serialized behind an internal lock and temp names carry a
+//! per-process counter, so concurrent workers of one daemon never race
+//! on the same temp file. All fault-injection sites of the store
+//! ([`FaultPlan::STORE_SAVE`], [`FaultPlan::STORE_LOAD`]) live in this
+//! module; an armed plan can force I/O errors, torn writes, silent
+//! corruption, and stalls to prove the recovery machinery works.
 
+use crate::fault::{FaultKind, FaultPlan};
 use fetch_core::{deserialize_result, serialize_result, DetectionResult, SerialError};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
 
 /// Magic bytes opening every store file.
 pub const STORE_MAGIC: [u8; 4] = *b"FSTO";
@@ -24,6 +51,8 @@ pub const STORE_MAGIC: [u8; 4] = *b"FSTO";
 pub const STORE_VERSION: u16 = 1;
 /// Store-file extension.
 pub const STORE_EXT: &str = "fres";
+/// Subdirectory quarantined entries are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// A failed store operation.
 #[derive(Debug)]
@@ -69,23 +98,118 @@ fn id_hash(pipeline_id: &str) -> u64 {
     h
 }
 
+/// Age/size bounds of a [`ResultStore`]. The default is unbounded —
+/// nothing is ever garbage-collected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Maximum resident entries (`None` = unbounded).
+    pub max_entries: Option<usize>,
+    /// Maximum total entry bytes on disk (`None` = unbounded).
+    pub max_bytes: Option<u64>,
+    /// Maximum entry age since last write (`None` = unbounded).
+    pub max_age: Option<Duration>,
+}
+
+impl GcPolicy {
+    /// Whether any bound is configured.
+    pub fn is_bounded(&self) -> bool {
+        self.max_entries.is_some() || self.max_bytes.is_some() || self.max_age.is_some()
+    }
+
+    fn over(&self, entries: usize, bytes: u64) -> bool {
+        self.max_entries.is_some_and(|m| entries > m) || self.max_bytes.is_some_and(|m| bytes > m)
+    }
+}
+
+/// Monotone lifecycle counters of one [`ResultStore`] instance,
+/// surfaced through the daemon's `stats` reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreLifecycle {
+    /// Orphaned temp files reaped (startup recovery + compaction).
+    pub recovered_temps: u64,
+    /// Entries that failed validation and were moved to `quarantine/`.
+    pub quarantined: u64,
+    /// Entries removed by age/size GC.
+    pub gc_removed: u64,
+    /// Bytes freed by age/size GC.
+    pub gc_bytes_freed: u64,
+}
+
 /// The on-disk result store (see the [module docs](self)).
 #[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,
+    gc: GcPolicy,
+    faults: Arc<FaultPlan>,
+    /// Serializes writers: concurrent workers persist one at a time
+    /// (writes are short; the answer path never blocks on this lock).
+    write_lock: Mutex<()>,
+    /// Per-process temp-name counter (pid alone is not unique across
+    /// the worker pool).
+    tmp_seq: AtomicU64,
+    /// Approximate residency, maintained across saves so the GC check
+    /// after each save is counter-only (a sweep rescans exactly).
+    entries_approx: AtomicU64,
+    bytes_approx: AtomicU64,
+    recovered_temps: AtomicU64,
+    quarantined: AtomicU64,
+    gc_removed: AtomicU64,
+    gc_bytes_freed: AtomicU64,
 }
 
 impl ResultStore {
-    /// Opens (creating if needed) the store rooted at `dir`.
+    /// Opens (creating if needed) the store rooted at `dir` with no GC
+    /// bounds and no fault plan, running the recovery sweep.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        ResultStore::open_with(dir, GcPolicy::default(), Arc::new(FaultPlan::default()))
+    }
+
+    /// Opens (creating if needed) the store rooted at `dir`, runs the
+    /// startup recovery sweep ([`ResultStore::compact`]: orphaned temps
+    /// reaped, invalid entries quarantined, GC bounds applied), and
+    /// arms the given fault plan on every subsequent store operation.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        gc: GcPolicy,
+        faults: Arc<FaultPlan>,
+    ) -> io::Result<ResultStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(ResultStore { dir })
+        let store = ResultStore {
+            dir,
+            gc,
+            faults,
+            write_lock: Mutex::new(()),
+            tmp_seq: AtomicU64::new(0),
+            entries_approx: AtomicU64::new(0),
+            bytes_approx: AtomicU64::new(0),
+            recovered_temps: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            gc_removed: AtomicU64::new(0),
+            gc_bytes_freed: AtomicU64::new(0),
+        };
+        store.compact()?;
+        Ok(store)
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The configured GC policy.
+    pub fn gc_policy(&self) -> GcPolicy {
+        self.gc
+    }
+
+    /// The lifecycle counters of this store instance.
+    pub fn lifecycle(&self) -> StoreLifecycle {
+        StoreLifecycle {
+            recovered_temps: self.recovered_temps.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            gc_removed: self.gc_removed.load(Ordering::Relaxed),
+            gc_bytes_freed: self.gc_bytes_freed.load(Ordering::Relaxed),
+        }
     }
 
     fn path_for(&self, fingerprint: u64, pipeline_id: &str) -> PathBuf {
@@ -95,13 +219,26 @@ impl ResultStore {
         ))
     }
 
+    fn is_entry(path: &Path) -> bool {
+        path.extension().and_then(|e| e.to_str()) == Some(STORE_EXT)
+    }
+
+    fn is_temp(path: &Path) -> bool {
+        path.extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.starts_with("tmp"))
+    }
+
     /// Persists `result` under `(fingerprint, pipeline_id)`, atomically
-    /// replacing any previous entry for the key.
+    /// replacing any previous entry for the key. Writers are serialized
+    /// behind the store's write lock; the save also triggers the GC
+    /// check, so a bounded store never grows past its policy.
     ///
     /// # Errors
     ///
-    /// I/O failures, or [`StoreError::Malformed`] when the result uses
-    /// an out-of-vocabulary layer name (it could never be loaded back).
+    /// I/O failures (injected ones included), or
+    /// [`StoreError::Malformed`] when the result uses an
+    /// out-of-vocabulary layer name (it could never be loaded back).
     pub fn save(
         &self,
         fingerprint: u64,
@@ -121,10 +258,49 @@ impl ResultStore {
         file.extend_from_slice(pipeline_id.as_bytes());
         file.extend_from_slice(&blob);
 
+        match self.faults.fire(FaultPlan::STORE_SAVE) {
+            Some(FaultKind::Io) => {
+                return Err(FaultPlan::injected_error(FaultPlan::STORE_SAVE).into())
+            }
+            // Torn write: only a prefix reaches disk, but the rename
+            // still lands — the crash-mid-write shape. Load rejects it;
+            // the recovery sweep quarantines it.
+            Some(FaultKind::Short) => file.truncate(file.len() / 2),
+            // Silent media corruption: one payload byte flips on the
+            // way out. The serialized checksum catches it on load.
+            Some(FaultKind::Corrupt) => {
+                let mid = file.len() / 2;
+                file[mid] ^= 0x01;
+            }
+            Some(FaultKind::Stall(_)) | None => {}
+        }
+
         let path = self.path_for(fingerprint, pipeline_id);
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        fs::write(&tmp, &file)?;
-        fs::rename(&tmp, &path)?;
+        let tmp = path.with_extension(format!(
+            "tmp{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let _writing = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+            let previous = fs::metadata(&path).map(|m| m.len()).ok();
+            fs::write(&tmp, &file)?;
+            if let Err(e) = fs::rename(&tmp, &path) {
+                let _ = fs::remove_file(&tmp);
+                return Err(e.into());
+            }
+            match previous {
+                Some(old) => {
+                    self.bytes_approx.fetch_sub(old, Ordering::Relaxed);
+                }
+                None => {
+                    self.entries_approx.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.bytes_approx
+                .fetch_add(file.len() as u64, Ordering::Relaxed);
+        }
+        self.maybe_gc()?;
         Ok(())
     }
 
@@ -140,11 +316,36 @@ impl ResultStore {
         pipeline_id: &str,
     ) -> Result<Option<DetectionResult>, StoreError> {
         let path = self.path_for(fingerprint, pipeline_id);
-        let bytes = match fs::read(&path) {
+        let mut bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
         };
+        match self.faults.fire(FaultPlan::STORE_LOAD) {
+            Some(FaultKind::Io) => {
+                return Err(FaultPlan::injected_error(FaultPlan::STORE_LOAD).into())
+            }
+            Some(FaultKind::Short) => {
+                let keep = bytes.len() / 2;
+                bytes.truncate(keep);
+            }
+            Some(FaultKind::Corrupt) => {
+                let mid = bytes.len() / 2;
+                if let Some(b) = bytes.get_mut(mid) {
+                    *b ^= 0x01;
+                }
+            }
+            Some(FaultKind::Stall(_)) | None => {}
+        }
+        Self::decode(&bytes, fingerprint, pipeline_id).map(Some)
+    }
+
+    /// Verifies and decodes one entry image against its expected key.
+    fn decode(
+        bytes: &[u8],
+        fingerprint: u64,
+        pipeline_id: &str,
+    ) -> Result<DetectionResult, StoreError> {
         let min = STORE_MAGIC.len() + 2 + 8 + 2;
         if bytes.len() < min {
             return Err(StoreError::BadHeader("file shorter than header"));
@@ -167,9 +368,177 @@ impl ResultStore {
         if stored_fp != fingerprint || stored_id != pipeline_id {
             return Err(StoreError::KeyMismatch);
         }
-        deserialize_result(&bytes[id_end..])
-            .map(Some)
-            .map_err(StoreError::Malformed)
+        deserialize_result(&bytes[id_end..]).map_err(StoreError::Malformed)
+    }
+
+    /// Validates an entry file in place (header, embedded key sanity,
+    /// payload checksum) without an expected key: the embedded key only
+    /// has to be self-consistent with the *filename* rendezvous.
+    fn validate_file(path: &Path) -> Result<(), StoreError> {
+        let bytes = fs::read(path)?;
+        let min = STORE_MAGIC.len() + 2 + 8 + 2;
+        if bytes.len() < min {
+            return Err(StoreError::BadHeader("file shorter than header"));
+        }
+        let stored_fp = u64::from_le_bytes(bytes[6..14].try_into().expect("8"));
+        let id_len = u16::from_le_bytes(bytes[14..16].try_into().expect("2")) as usize;
+        let id_end = 16 + id_len;
+        if bytes.len() < id_end {
+            return Err(StoreError::BadHeader("file shorter than its pipeline id"));
+        }
+        let stored_id = std::str::from_utf8(&bytes[16..id_end])
+            .map_err(|_| StoreError::BadHeader("non-UTF-8 pipeline id"))?
+            .to_string();
+        Self::decode(&bytes, stored_fp, &stored_id).map(|_| ())
+    }
+
+    /// The compaction sweep: reaps orphaned temp files, quarantines
+    /// entries that fail validation (moved to `quarantine/`, counted,
+    /// never silently deleted), rebuilds the exact residency counters,
+    /// and applies the GC policy. Runs at open (the startup recovery
+    /// sweep) and whenever a save pushes the store over a GC bound.
+    pub fn compact(&self) -> io::Result<()> {
+        let _writing = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let mut entries: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                continue;
+            }
+            if Self::is_temp(&path) {
+                // A crash between temp write and rename: never adopted
+                // (the writer died before publishing), always reaped.
+                fs::remove_file(&path)?;
+                self.recovered_temps.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if !Self::is_entry(&path) {
+                continue;
+            }
+            if let Err(e) = Self::validate_file(&path) {
+                self.quarantine(&path, &e)?;
+                continue;
+            }
+            let meta = entry.metadata()?;
+            entries.push((
+                path,
+                meta.len(),
+                meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            ));
+        }
+        self.apply_gc(&mut entries)?;
+        self.entries_approx
+            .store(entries.len() as u64, Ordering::Relaxed);
+        self.bytes_approx.store(
+            entries.iter().map(|(_, len, _)| *len).sum(),
+            Ordering::Relaxed,
+        );
+        Ok(())
+    }
+
+    /// Moves a failed entry into `quarantine/` (falling back to
+    /// deletion only if the move itself fails — the entry must never
+    /// stay where it could be served).
+    fn quarantine(&self, path: &Path, why: &StoreError) -> io::Result<()> {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        fs::create_dir_all(&qdir)?;
+        let name = path.file_name().expect("entry file has a name");
+        let target = qdir.join(name);
+        if fs::rename(path, &target).is_err() {
+            fs::remove_file(path)?;
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "fetch-serve: quarantined store entry {} ({why})",
+            name.to_string_lossy()
+        );
+        Ok(())
+    }
+
+    /// Counter-only GC check after a save; sweeps only when a bound is
+    /// exceeded (age bounds sweep on every check — they cannot be
+    /// tracked by counters alone, so they are only enforced when some
+    /// bound is configured).
+    fn maybe_gc(&self) -> Result<(), StoreError> {
+        if !self.gc.is_bounded() {
+            return Ok(());
+        }
+        let entries = self.entries_approx.load(Ordering::Relaxed) as usize;
+        let bytes = self.bytes_approx.load(Ordering::Relaxed);
+        if self.gc.over(entries, bytes) || self.gc.max_age.is_some() {
+            self.gc_sweep()?;
+        }
+        Ok(())
+    }
+
+    /// Scans entries and removes the oldest until the store fits the
+    /// policy (age bound first, then size bounds oldest-first).
+    fn gc_sweep(&self) -> Result<(), StoreError> {
+        let _writing = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let mut entries: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() || !Self::is_entry(&path) {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            entries.push((
+                path,
+                meta.len(),
+                meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            ));
+        }
+        self.apply_gc(&mut entries)?;
+        self.entries_approx
+            .store(entries.len() as u64, Ordering::Relaxed);
+        self.bytes_approx.store(
+            entries.iter().map(|(_, len, _)| *len).sum(),
+            Ordering::Relaxed,
+        );
+        Ok(())
+    }
+
+    /// Applies the GC policy to a scanned entry list, removing files
+    /// and truncating the list to the survivors (oldest evicted first).
+    fn apply_gc(&self, entries: &mut Vec<(PathBuf, u64, SystemTime)>) -> io::Result<()> {
+        if !self.gc.is_bounded() {
+            return Ok(());
+        }
+        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        let now = SystemTime::now();
+        let mut keep = Vec::with_capacity(entries.len());
+        for (path, len, mtime) in entries.drain(..) {
+            let expired = self.gc.max_age.is_some_and(|max| {
+                now.duration_since(mtime)
+                    .map(|age| age > max)
+                    .unwrap_or(false)
+            });
+            if expired {
+                self.gc_remove(&path, len)?;
+            } else {
+                keep.push((path, len, mtime));
+            }
+        }
+        let mut total: u64 = keep.iter().map(|(_, len, _)| *len).sum();
+        let mut first_kept = 0usize;
+        while first_kept < keep.len() && self.gc.over(keep.len() - first_kept, total) {
+            let (path, len, _) = &keep[first_kept];
+            self.gc_remove(path, *len)?;
+            total -= *len;
+            first_kept += 1;
+        }
+        keep.drain(..first_kept);
+        *entries = keep;
+        Ok(())
+    }
+
+    fn gc_remove(&self, path: &Path, len: u64) -> io::Result<()> {
+        fs::remove_file(path)?;
+        self.gc_removed.fetch_add(1, Ordering::Relaxed);
+        self.gc_bytes_freed.fetch_add(len, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Whether the key has a (syntactically present, not validated)
@@ -178,21 +547,27 @@ impl ResultStore {
         self.path_for(fingerprint, pipeline_id).exists()
     }
 
-    /// Entry count and total disk bytes, by directory scan.
+    /// Entry count and total disk bytes (by directory scan), plus the
+    /// lifecycle counters of this instance.
     pub fn stats(&self) -> io::Result<crate::protocol::StoreStats> {
         let mut entries = 0usize;
         let mut disk_bytes = 0u64;
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) == Some(STORE_EXT) {
+            if !path.is_dir() && Self::is_entry(&path) {
                 entries += 1;
                 disk_bytes += entry.metadata()?.len();
             }
         }
+        let lifecycle = self.lifecycle();
         Ok(crate::protocol::StoreStats {
             entries,
             disk_bytes,
+            recovered_temps: lifecycle.recovered_temps,
+            quarantined: lifecycle.quarantined,
+            gc_removed: lifecycle.gc_removed,
+            gc_bytes_freed: lifecycle.gc_bytes_freed,
         })
     }
 }
@@ -231,6 +606,7 @@ mod tests {
         let stats = restarted.stats().unwrap();
         assert_eq!(stats.entries, 1);
         assert!(stats.disk_bytes > 0);
+        assert_eq!(stats.quarantined, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -276,6 +652,108 @@ mod tests {
             store.load(fp, &pipeline.id()),
             Err(StoreError::BadHeader(_))
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_sweep_reaps_temps_and_quarantines_truncated_entries() {
+        let dir = scratch_dir("recovery");
+        let case = synthesize(&SynthConfig::small(53));
+        let pipeline = Pipeline::fetch();
+        let result = pipeline.run(&case.binary);
+        let fp = content_fingerprint(&case.binary);
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.save(fp, &pipeline.id(), &result).unwrap();
+        }
+        // Simulate a crash: an orphaned temp file and a truncated entry.
+        let entry = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| ResultStore::is_entry(p))
+            .expect("one persisted entry");
+        let full = fs::read(&entry).unwrap();
+        fs::write(entry.with_extension("tmp999-0"), b"orphan").unwrap();
+        let torn = dir.join(format!(
+            "{:016x}-{:016x}.{STORE_EXT}",
+            0xdead_u64, 0xbeef_u64
+        ));
+        fs::write(&torn, &full[..full.len() / 3]).unwrap();
+
+        let store = ResultStore::open(&dir).unwrap();
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.recovered_temps, 1, "orphan temp reaped");
+        assert_eq!(stats.quarantined, 1, "truncated entry quarantined");
+        assert_eq!(stats.entries, 1, "the valid entry survives");
+        assert!(
+            dir.join(QUARANTINE_DIR)
+                .join(torn.file_name().unwrap())
+                .exists(),
+            "quarantined, not silently deleted"
+        );
+        // The surviving entry still loads.
+        assert!(store.load(fp, &pipeline.id()).unwrap().is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_bounds_entry_count_oldest_first() {
+        let dir = scratch_dir("gc");
+        let pipeline = Pipeline::parse("FDE").unwrap();
+        let gc = GcPolicy {
+            max_entries: Some(2),
+            ..GcPolicy::default()
+        };
+        let store = ResultStore::open_with(&dir, gc, Arc::new(FaultPlan::default())).unwrap();
+        let mut fps = Vec::new();
+        for seed in 55u64..59 {
+            let case = synthesize(&SynthConfig::small(seed));
+            let fp = content_fingerprint(&case.binary);
+            store
+                .save(fp, &pipeline.id(), &pipeline.run(&case.binary))
+                .unwrap();
+            fps.push(fp);
+            // mtime resolution can be coarse; order by distinct writes.
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 2, "GC must hold the entry bound");
+        assert_eq!(stats.gc_removed, 2);
+        assert!(stats.gc_bytes_freed > 0);
+        assert!(!store.contains(fps[0], &pipeline.id()), "oldest evicted");
+        assert!(store.contains(fps[3], &pipeline.id()), "newest kept");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_store_faults_error_or_heal_never_misread() {
+        let dir = scratch_dir("faults");
+        let case = synthesize(&SynthConfig::small(56));
+        let pipeline = Pipeline::fetch();
+        let result = pipeline.run(&case.binary);
+        let fp = content_fingerprint(&case.binary);
+        let plan = Arc::new(
+            FaultPlan::parse("store.save=io#1,store.save=short#1,store.load=corrupt#1").unwrap(),
+        );
+        let store = ResultStore::open_with(&dir, GcPolicy::default(), plan.clone()).unwrap();
+
+        // Firing 1: the save errors out loudly.
+        assert!(matches!(
+            store.save(fp, &pipeline.id(), &result),
+            Err(StoreError::Io(_))
+        ));
+        // Firing 2: a torn write persists a truncated entry.
+        store.save(fp, &pipeline.id(), &result).unwrap();
+        // Firing 3: the armed corrupt flip lands on top of the torn
+        // entry — rejected either way.
+        assert!(store.load(fp, &pipeline.id()).is_err());
+        // With the plan spent, the truncation alone is still caught by
+        // validation — rejected, never misread.
+        assert!(store.load(fp, &pipeline.id()).is_err());
+        // A clean save heals it and the same key loads cleanly.
+        store.save(fp, &pipeline.id(), &result).unwrap();
+        assert_eq!(store.load(fp, &pipeline.id()).unwrap().unwrap(), result);
+        assert_eq!(plan.fired(), 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -36,9 +36,9 @@ fn start_daemon(
     let handle = {
         let socket = socket.clone();
         std::thread::spawn(move || {
-            let mut service = AnalysisService::new(&config)?;
+            let service = AnalysisService::new(&config)?;
             serve(
-                &mut service,
+                &service,
                 &ServerOptions {
                     socket: Some(socket),
                     poll: Some(Duration::from_millis(2)),
@@ -103,6 +103,7 @@ fn daemon_serves_cache_and_store_hits_byte_identical_across_restart() {
     let config = ServeConfig {
         store_dir: Some(store_dir.clone()),
         cache_capacity: CacheCapacity::entries(64),
+        ..ServeConfig::default()
     };
     let analyze = Request::Analyze {
         input: AnalyzeInput::Path(elf_path.clone()),

@@ -1,0 +1,356 @@
+//! The chaos property of the serving subsystem: **any single injected
+//! fault, at any site, in any transport, yields either a correct
+//! byte-identical answer or a structured error / visible connection
+//! drop — never a hang, a panic, or a wrong result** — and once the
+//! fault budget is spent, service returns to normal, with the store's
+//! startup recovery sweep healing whatever the fault left on disk.
+//!
+//! Two layers:
+//! * a deterministic sweep over the full fault matrix (every
+//!   [`FaultPlan`] site × every kind), each combo driven through the
+//!   transport that owns the site (in-process for store/compute sites,
+//!   the real Unix socket for `conn.*`, the directory queue for
+//!   `queue.reply`);
+//! * a property test over random *composite* plans (several sites,
+//!   budgets > 1) against the in-process service across a restart.
+//!
+//! Every wait in here is deadline-bounded, so a hang shows up as a
+//! test failure, not a stuck CI job.
+
+#![cfg(unix)]
+
+use fetch_binary::write_elf;
+use fetch_core::Pipeline;
+use fetch_serve::json::Json;
+use fetch_serve::protocol::{result_json, AnalyzeInput, ErrorCode, Reply, Request};
+use fetch_serve::server::{serve, ServerOptions};
+use fetch_serve::service::{AnalysisService, ServeConfig};
+use fetch_serve::FaultPlan;
+use fetch_synth::{synthesize, SynthConfig};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Every fault kind's spec token (stalls kept short: they add latency,
+/// not failures).
+const KINDS: [&str; 4] = ["io", "short", "corrupt", "stall:10"];
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fetch-serve-chaos-{}-{}",
+        tag.replace(['.', '=', '#', ':'], "-"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The corpus binary every case analyzes, plus the fault-free reference
+/// rendering its answer must match byte-for-byte.
+fn reference() -> (Vec<u8>, String) {
+    let case = synthesize(&SynthConfig::small(4242));
+    let elf = write_elf(&case.binary);
+    let service = AnalysisService::new(&ServeConfig::default()).unwrap();
+    let reply = service.handle(Request::Analyze {
+        input: AnalyzeInput::Bytes(elf.clone()),
+        pipeline: Pipeline::fetch(),
+    });
+    match reply {
+        Reply::Analyze(a) => (elf, result_json(&a.result).to_string()),
+        other => panic!("reference run failed: {other:?}"),
+    }
+}
+
+fn analyze_request(elf: &[u8]) -> Request {
+    Request::Analyze {
+        input: AnalyzeInput::Bytes(elf.to_vec()),
+        pipeline: Pipeline::fetch(),
+    }
+}
+
+/// The invariant on one in-process reply: correct and byte-identical,
+/// or a structured error. Returns whether it was the correct answer.
+fn check_reply(reply: &Reply, reference: &str, spec: &str) -> bool {
+    match reply {
+        Reply::Analyze(a) => {
+            assert_eq!(
+                result_json(&a.result).to_string(),
+                reference,
+                "spec {spec}: a successful answer must be byte-identical"
+            );
+            true
+        }
+        Reply::Error { code, message } => {
+            assert!(
+                !message.is_empty(),
+                "spec {spec}: structured errors carry a message"
+            );
+            assert!(
+                ErrorCode::from_token(code.token()).is_some(),
+                "spec {spec}: error code must be a known wire token"
+            );
+            false
+        }
+        other => panic!("spec {spec}: unexpected reply {other:?}"),
+    }
+}
+
+/// The invariant on one wire reply line (socket / queue transports).
+fn check_wire_reply(line: &str, reference: &str, spec: &str) -> bool {
+    let reply =
+        Json::parse(line).unwrap_or_else(|e| panic!("spec {spec}: bad reply {line:?}: {e}"));
+    match reply.get("ok").and_then(Json::as_bool) {
+        Some(true) => {
+            let result = reply.get("result").expect("result object").to_string();
+            assert_eq!(result, reference, "spec {spec}");
+            true
+        }
+        Some(false) => {
+            let code = reply.get("code").and_then(Json::as_str).unwrap_or("");
+            assert!(
+                ErrorCode::from_token(code).is_some(),
+                "spec {spec}: unknown error code in {line:?}"
+            );
+            false
+        }
+        None => panic!("spec {spec}: reply without ok field: {line:?}"),
+    }
+}
+
+/// Store/compute sites: drive the service in-process across two
+/// lifetimes over one store directory — the restart is what proves the
+/// recovery sweep heals whatever the fault persisted.
+fn drive_in_process(spec: &str, elf: &[u8], reference: &str, dir: &Path) {
+    let plan = Arc::new(FaultPlan::parse(spec).unwrap());
+    let mut quarantined = 0;
+    for lifetime in 0..2 {
+        let service = AnalysisService::new(&ServeConfig {
+            store_dir: Some(dir.join("store")),
+            faults: plan.clone(),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut last_correct = false;
+        for _ in 0..3 {
+            last_correct = check_reply(&service.handle(analyze_request(elf)), reference, spec);
+        }
+        assert!(
+            last_correct,
+            "spec {spec} lifetime {lifetime}: once the budget is spent \
+             every answer must be correct"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.requests.analyze, 3);
+        quarantined = stats.store.expect("store stats").quarantined;
+    }
+    // A torn or corrupted persist is healed by the restart sweep.
+    if spec == "store.save=short#1" || spec == "store.save=corrupt#1" {
+        assert_eq!(
+            quarantined, 1,
+            "spec {spec}: the restart sweep must quarantine the bad entry"
+        );
+    }
+    assert!(plan.fired() >= 1, "spec {spec} never armed its site");
+}
+
+fn wait_until(what: &str, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// One request/reply over a fresh connection. `None` = the connection
+/// was dropped (EOF or reset) — a *visible* failure, allowed under an
+/// injected `conn.*` fault. A read past the deadline panics: that would
+/// be a hang.
+fn roundtrip(socket: &Path, line: &str) -> Option<String> {
+    let stream = UnixStream::connect(socket).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
+        return None; // dropped while writing
+    }
+    let mut reply = String::new();
+    match BufReader::new(stream).read_line(&mut reply) {
+        Ok(0) => None, // dropped before replying
+        Ok(_) => Some(reply),
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => None,
+        Err(e) => panic!("read timed out or failed (a hang?): {e}"),
+    }
+}
+
+/// `conn.*` sites: drive the real socket transport.
+fn drive_socket(spec: &str, elf: &[u8], reference: &str, dir: &Path) {
+    let socket = dir.join("fetch.sock");
+    let plan = Arc::new(FaultPlan::parse(spec).unwrap());
+    let service = AnalysisService::new(&ServeConfig {
+        faults: plan.clone(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| {
+            serve(
+                &service,
+                &ServerOptions {
+                    socket: Some(socket.clone()),
+                    poll: Some(Duration::from_millis(2)),
+                    ..ServerOptions::default()
+                },
+            )
+        });
+        wait_until("daemon socket", || UnixStream::connect(&socket).is_ok());
+        let request = analyze_request(elf).to_line();
+        let mut last_correct = false;
+        for _ in 0..4 {
+            last_correct = match roundtrip(&socket, &request) {
+                Some(line) => check_wire_reply(&line, reference, spec),
+                None => false, // dropped: visible, never wrong
+            };
+        }
+        assert!(
+            last_correct,
+            "spec {spec}: with the budget spent the transport must answer correctly"
+        );
+        for _ in 0..4 {
+            if roundtrip(&socket, &Request::Shutdown.to_line()).is_some() {
+                break;
+            }
+        }
+        let summary = daemon.join().expect("daemon thread").expect("serve loop");
+        assert!(summary.connections >= 5);
+    });
+    assert!(plan.fired() >= 1, "spec {spec} never armed its site");
+}
+
+/// `queue.reply`: drive the directory-queue transport. A failed reply
+/// write must leave the input in place, so the next poll retries it and
+/// the reply eventually lands — correct and byte-identical.
+fn drive_queue(spec: &str, elf: &[u8], reference: &str, dir: &Path) {
+    let elf_path = dir.join("sample.elf");
+    std::fs::write(&elf_path, elf).unwrap();
+    let queue = dir.join("q");
+    let plan = Arc::new(FaultPlan::parse(spec).unwrap());
+    let service = AnalysisService::new(&ServeConfig {
+        faults: plan.clone(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| {
+            serve(
+                &service,
+                &ServerOptions {
+                    queue: Some(queue.clone()),
+                    poll: Some(Duration::from_millis(2)),
+                    ..ServerOptions::default()
+                },
+            )
+        });
+        wait_until("queue dirs", || queue.join("in").is_dir());
+        let request = Request::Analyze {
+            input: AnalyzeInput::Path(elf_path.clone()),
+            pipeline: Pipeline::fetch(),
+        };
+        // Write-then-rename, like a well-behaved producer.
+        let tmp = queue.join("00-a.tmp");
+        std::fs::write(&tmp, format!("{}\n", request.to_line())).unwrap();
+        std::fs::rename(&tmp, queue.join("in/00-a.json")).unwrap();
+        let reply_path = queue.join("out/00-a.json");
+        wait_until("queue reply", || reply_path.exists());
+        let line = std::fs::read_to_string(&reply_path).unwrap();
+        assert!(
+            check_wire_reply(line.trim(), reference, spec),
+            "spec {spec}: the retried queue reply must be the correct answer"
+        );
+        assert!(
+            !queue.join("in/00-a.json").exists(),
+            "spec {spec}: the input is consumed once the reply lands"
+        );
+        let tmp = queue.join("99-stop.tmp");
+        std::fs::write(&tmp, format!("{}\n", Request::Shutdown.to_line())).unwrap();
+        std::fs::rename(&tmp, queue.join("in/99-stop.json")).unwrap();
+        let summary = daemon.join().expect("daemon thread").expect("serve loop");
+        assert_eq!(summary.queue_quarantined, 0, "spec {spec}");
+    });
+    assert!(plan.fired() >= 1, "spec {spec} never armed its site");
+}
+
+/// The full matrix, deterministically: every site × every kind, one
+/// firing each, through the transport that owns the site.
+#[test]
+fn every_single_fault_yields_a_correct_answer_or_a_structured_failure() {
+    let (elf, reference) = reference();
+    for site in FaultPlan::SITES {
+        for kind in KINDS {
+            let spec = format!("{site}={kind}#1");
+            let dir = scratch_dir(&spec);
+            match site {
+                "conn.read" | "conn.write" => drive_socket(&spec, &elf, &reference, &dir),
+                "queue.reply" => drive_queue(&spec, &elf, &reference, &dir),
+                _ => drive_in_process(&spec, &elf, &reference, &dir),
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// A random composite plan: several sites, budgets above one.
+fn arb_plan() -> impl Strategy<Value = (String, u32)> {
+    proptest::collection::vec((0usize..6, 0usize..4, 1u32..3), 1..4).prop_map(|entries| {
+        let budget = entries.iter().map(|(_, _, c)| *c).sum();
+        let spec = entries
+            .iter()
+            .map(|(s, k, c)| format!("{}={}#{}", FaultPlan::SITES[*s], KINDS[*k], c))
+            .collect::<Vec<_>>()
+            .join(",");
+        (spec, budget)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random multi-fault plans against the in-process service across a
+    /// restart: every reply is correct-and-identical or a structured
+    /// error, and within `budget + 2` attempts per lifetime the answer
+    /// is always correct (each compute firing can fail at most one
+    /// request, and everything else degrades warmth, not answers).
+    #[test]
+    fn random_composite_fault_plans_never_corrupt_answers((spec, budget) in arb_plan()) {
+        let (elf, reference) = reference();
+        let dir = scratch_dir(&format!("prop-{budget}"));
+        let plan = Arc::new(FaultPlan::parse(&spec).unwrap());
+        for lifetime in 0..2 {
+            let service = AnalysisService::new(&ServeConfig {
+                store_dir: Some(dir.join("store")),
+                faults: plan.clone(),
+                ..ServeConfig::default()
+            })
+            .unwrap();
+            let mut last_correct = false;
+            for _ in 0..budget + 2 {
+                last_correct =
+                    check_reply(&service.handle(analyze_request(&elf)), &reference, &spec);
+            }
+            prop_assert!(
+                last_correct,
+                "spec {} lifetime {}: answers must recover within the fault budget",
+                spec,
+                lifetime
+            );
+            // The service stays fully observable under any plan.
+            let stats = service.stats();
+            prop_assert!(stats.requests.analyze >= u64::from(budget) + 2);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
