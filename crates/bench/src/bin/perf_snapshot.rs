@@ -9,7 +9,7 @@
 //! is tracked, commit-over-commit, from the PR that introduced the dense
 //! instruction store and the incremental recursion engine onward.
 //!
-//! Four further groups:
+//! Five further groups:
 //!
 //! * `layer_breakdown` — the per-layer trace of the large corpus run:
 //!   wall time, starts added/removed, and decode work per layer.
@@ -26,6 +26,11 @@
 //!   warm p50/p95 latency vs client count against one shared service,
 //!   and the coalescing guarantee (8 concurrent submits of one uncached
 //!   image → exactly 1 cold compute, asserted, every reply identical).
+//! * `delta` — versioned re-analysis on the large corpus binary: a
+//!   one-function neutral patch answered through
+//!   [`fetch_core::run_delta`]'s section-reuse tier vs a cold run
+//!   (delta p50 ≥ 5× cold p50 asserted, result byte-identity
+//!   asserted), plus the recompute tier on a behavioral patch.
 //! * `batch_serial` / `batch_parallel` — the [`BatchDriver`] sweeping
 //!   the default Dataset 2 corpus, one worker vs all of them. The two
 //!   produce byte-identical results — the snapshot asserts it — so the
@@ -40,9 +45,12 @@
 
 use fetch_bench::{dataset2, default_jobs, BatchDriver, BenchOpts};
 use fetch_binary::{read_elf, write_elf, ElfImage, ElfView};
-use fetch_core::{AnalysisCache, DetectionState, Fetch, LayerTrace, Pipeline};
+use fetch_core::{
+    image_fingerprint, AnalysisCache, DeltaClass, DetectionState, Fetch, ImageDigest, LayerTrace,
+    Pipeline,
+};
 use fetch_disasm::RecEngine;
-use fetch_synth::{synthesize, SynthConfig};
+use fetch_synth::{patch_function, synthesize, PatchKind, SynthConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -119,7 +127,7 @@ fn main() {
     ];
 
     let mut large_best: Option<PipelineRun> = None;
-    let mut json = String::from("{\n  \"schema\": \"fetch-perf-snapshot/v2\",\n  \"corpora\": [\n");
+    let mut json = String::from("{\n  \"schema\": \"fetch-perf-snapshot/v3\",\n  \"corpora\": [\n");
     for (ci, (name, seed, n_funcs)) in corpora.iter().enumerate() {
         let mut cfg = SynthConfig::small(*seed);
         cfg.n_funcs = *n_funcs;
@@ -557,6 +565,127 @@ fn main() {
             coalesce_stats.cold, coalesce_stats.coalesced,
         );
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    // Delta group: versioned re-analysis on the large corpus binary.
+    // The CI/CD workload — the same binary rebuilt with one function
+    // changed — answered through the delta ladder instead of a cold
+    // compute. A neutral one-function patch (a rewritten data constant)
+    // must land on the section-reuse tier: the digest diff proves the
+    // old result still correct, so the answer is a diff plus an `Arc`
+    // clone. The ≥ 5× p50 bar and the byte-identity assert are the
+    // acceptance criteria of delta re-analysis; a behavioral patch's
+    // recompute tier (window-rewarmed full re-run) rides along as the
+    // informative middle rung.
+    {
+        let mut cfg = SynthConfig::small(9003);
+        cfg.n_funcs = 900;
+        cfg.rates.split_cold = 0.08;
+        cfg.rates.asm_funcs = 45;
+        let case = synthesize(&cfg);
+        let neutral = (0..64)
+            .find_map(|s| patch_function(&case, s, PatchKind::Neutral))
+            .expect("large corpus offers a neutral patch site");
+        let behavioral = (0..64)
+            .find_map(|s| patch_function(&case, s, PatchKind::Behavioral))
+            .expect("large corpus offers a behavioral patch site");
+
+        let fetch = Fetch::new();
+        let image_of =
+            |b: &fetch_binary::Binary| ElfImage::parse(write_elf(b)).expect("own ELF parses");
+        let old_image = image_of(&case.binary);
+        let prev = std::sync::Arc::new(fetch.detect_image(&old_image, &mut RecEngine::new()));
+        let prev_digest =
+            ImageDigest::compute(&old_image.to_binary(), image_fingerprint(&old_image));
+
+        let percentile = |sorted: &[f64], p: f64| -> f64 {
+            sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+        };
+        let delta_reps = reps.max(5);
+
+        // Cold p50 on the patched image: what the service pays today
+        // for any rebuild, however small the diff.
+        let neutral_image = image_of(&neutral.binary);
+        let mut cold_lat = Vec::with_capacity(delta_reps);
+        let mut cold_result = None;
+        for _ in 0..delta_reps {
+            let mut engine = RecEngine::new();
+            let t = Instant::now();
+            let r = fetch.detect_image(&neutral_image, &mut engine);
+            cold_lat.push(t.elapsed().as_secs_f64() * 1e6);
+            cold_result = Some(r);
+        }
+        let cold_result = cold_result.expect("reps >= 1");
+
+        // Delta p50 on the same patched image, from the old version's
+        // (result, digest) — the `reanalyze` path minus the transport.
+        let mut engine = RecEngine::new();
+        let mut delta_lat = Vec::with_capacity(delta_reps);
+        let mut sections_reused = 0usize;
+        for _ in 0..delta_reps {
+            let t = Instant::now();
+            let (out, _digest) =
+                fetch.detect_delta(&prev, Some(&prev_digest), &neutral_image, &mut engine);
+            delta_lat.push(t.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(
+                out.class,
+                DeltaClass::SectionReuse,
+                "a neutral one-function patch must hit the section-reuse tier"
+            );
+            assert_eq!(
+                *out.result, cold_result,
+                "the delta answer must be byte-identical to the cold run"
+            );
+            sections_reused = out.sections_reused;
+        }
+
+        // The recompute tier on a behavioral patch (a constant becomes
+        // a code address): full re-run through a window-rewarmed decode
+        // cache. Informative — no bar; correctness stays asserted.
+        let behavioral_image = image_of(&behavioral.binary);
+        let behavioral_cold = fetch.detect_image(&behavioral_image, &mut RecEngine::new());
+        let mut recompute_lat = Vec::with_capacity(delta_reps);
+        for _ in 0..delta_reps {
+            // Re-warm the engine to the *old* version each rep, as a
+            // pooled serving engine would be.
+            let _ = fetch.detect_image(&old_image, &mut engine);
+            let t = Instant::now();
+            let (out, _digest) =
+                fetch.detect_delta(&prev, Some(&prev_digest), &behavioral_image, &mut engine);
+            recompute_lat.push(t.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(out.class, DeltaClass::Recompute);
+            assert_eq!(*out.result, behavioral_cold, "recompute diverged from cold");
+        }
+
+        cold_lat.sort_by(|a, b| a.total_cmp(b));
+        delta_lat.sort_by(|a, b| a.total_cmp(b));
+        recompute_lat.sort_by(|a, b| a.total_cmp(b));
+        let cold_p50 = percentile(&cold_lat, 0.50);
+        let delta_p50 = percentile(&delta_lat, 0.50);
+        let recompute_p50 = percentile(&recompute_lat, 0.50);
+        let speedup = cold_p50 / delta_p50.max(1e-9);
+        assert!(
+            speedup >= 5.0,
+            "delta re-analysis of a one-function patch must be >= 5x faster than cold \
+             (cold p50 {cold_p50:.1} µs, delta p50 {delta_p50:.1} µs, {speedup:.1}x)"
+        );
+
+        let _ = write!(
+            json,
+            "  \"delta\": {{\n    \"functions\": {},\n    \
+             \"patch\": \"one-function neutral (rewritten data constant)\",\n    \
+             \"cold_p50_us\": {cold_p50:.1},\n    \"delta_p50_us\": {delta_p50:.1},\n    \
+             \"delta_speedup\": {speedup:.1},\n    \"class\": \"{}\",\n    \
+             \"sections_reused\": {sections_reused},\n    \
+             \"recompute_p50_us\": {recompute_p50:.1}\n  }},\n",
+            cfg.n_funcs,
+            DeltaClass::SectionReuse.token(),
+        );
+        println!(
+            " delta: cold p50 {cold_p50:.1} µs, section-reuse p50 {delta_p50:.1} µs \
+             ({speedup:.0}x, {sections_reused} buckets reused), recompute p50 \
+             {recompute_p50:.1} µs"
+        );
     }
 
     // Batch-driver groups: the default corpus, full pipeline per binary,

@@ -4,7 +4,7 @@
 //! the end-to-end serving numbers *including* the transport hop
 //! (`perf_snapshot`'s `serve` group measures the same path in-process).
 //!
-//! The run has five phases over one daemon lifetime plus a restart:
+//! The run has six phases over one daemon lifetime plus a restart:
 //!
 //! 1. **cold** — every corpus binary submitted once (all misses);
 //! 2. **warm** — `--rounds` more sweeps (bounded-cache hits, or
@@ -16,7 +16,13 @@
 //!    instant; the run asserts exactly **one** cold compute served the
 //!    whole group and every reply is byte-identical;
 //! 5. **restart** — the daemon is shut down and restarted over the same
-//!    store directory, then swept once more (persistent-store hits).
+//!    store directory, then swept once more (persistent-store hits);
+//! 6. **rebuild** — every corpus binary that offers a patch site is
+//!    resubmitted as a *new version* (one function's constant
+//!    rewritten) through `reanalyze`: the restarted daemon must answer
+//!    from the delta path (`source: "delta"`, `stats.delta` counters),
+//!    byte-identical to an independent cold analysis of the patched
+//!    bytes.
 //!
 //! Every reply's rendered `result` object is asserted byte-identical to
 //! the cold reply for that binary — warm, coalesced, and persisted
@@ -34,13 +40,13 @@
 #![cfg(unix)]
 
 use fetch_bench::{banner, dataset2, opts_from_args};
-use fetch_binary::write_elf;
-use fetch_core::{CacheCapacity, Pipeline};
+use fetch_binary::{write_elf, ElfImage};
+use fetch_core::{image_fingerprint, CacheCapacity, Pipeline};
 use fetch_serve::json::Json;
-use fetch_serve::protocol::Request;
+use fetch_serve::protocol::{Reply, Request};
 use fetch_serve::server::{serve, ServerOptions};
 use fetch_serve::service::{AnalysisService, ServeConfig};
-use fetch_synth::{synthesize, SynthConfig};
+use fetch_synth::{patch_function, synthesize, PatchKind, SynthConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
@@ -335,13 +341,115 @@ fn main() {
         store_hits > 0,
         "a restarted daemon must answer from the store"
     );
+
+    // Phase 6: rebuild sweep — the CI/CD workload. Each corpus binary
+    // that offers a neutral patch site is resubmitted as a new version
+    // via `reanalyze` against its own fingerprint; the daemon answers
+    // through the delta ladder. Byte-identity is checked against an
+    // independent in-process cold analysis of the patched bytes (the
+    // daemon-side answer is verbatim reuse, so it must not be compared
+    // against itself).
+    let rebuilds: Vec<(usize, String, String)> = {
+        let reference = AnalysisService::new(&ServeConfig::default()).expect("reference service");
+        cases
+            .iter()
+            .enumerate()
+            .filter_map(|(ci, case)| {
+                let patch = (0..8).find_map(|s| patch_function(case, s, PatchKind::Neutral))?;
+                let elf = write_elf(&case.binary);
+                let prev_fingerprint =
+                    image_fingerprint(&ElfImage::parse(elf).expect("own ELF parses"));
+                let patched_elf = write_elf(&patch.binary);
+                let line = Request::Reanalyze {
+                    prev_fingerprint,
+                    input: fetch_serve::protocol::AnalyzeInput::Bytes(patched_elf.clone()),
+                    pipeline: Pipeline::fetch(),
+                }
+                .to_line();
+                let cold = reference.handle(Request::Analyze {
+                    input: fetch_serve::protocol::AnalyzeInput::Bytes(patched_elf),
+                    pipeline: Pipeline::fetch(),
+                });
+                assert!(
+                    matches!(cold, Reply::Analyze(_)),
+                    "reference failed: {cold:?}"
+                );
+                let rendered = Json::parse(&cold.to_line()).expect("reference reply parses");
+                Some((
+                    ci,
+                    line,
+                    rendered.get("result").expect("result").to_string(),
+                ))
+            })
+            .collect()
+    };
+    let (_, before) = roundtrip(&socket, &Request::Stats.to_line());
+    let delta_before = before
+        .get("delta")
+        .and_then(|d| d.get("delta_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats reply lacks delta.delta_hits: {before}"));
+    let mut rebuild_lat = Vec::with_capacity(rebuilds.len());
+    let mut delta_sources = 0usize;
+    for (ci, line, cold) in &rebuilds {
+        let (us, reply) = roundtrip(&socket, line);
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{reply}"
+        );
+        assert_eq!(
+            reply.get("result").expect("result").to_string(),
+            *cold,
+            "case {ci}: the reanalyze answer drifted from a cold analysis"
+        );
+        if reply.get("source").and_then(Json::as_str) == Some("delta") {
+            delta_sources += 1;
+        }
+        rebuild_lat.push(us);
+    }
+    report("rebuild", rebuild_lat);
+    let (_, after) = roundtrip(&socket, &Request::Stats.to_line());
+    let delta = after.get("delta").expect("stats delta block");
+    let delta_hits = delta.get("delta_hits").and_then(Json::as_u64).unwrap_or(0) - delta_before;
+    println!(
+        "  rebuild: {} patched versions, {delta_sources} answered from the delta path \
+         ({delta_hits} delta hits, {} buckets reused, {} fell cold)",
+        rebuilds.len(),
+        delta
+            .get("sections_reused")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        delta
+            .get("fallback_cold")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            + delta
+                .get("digest_mismatch")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+    );
+    // Injected store faults can knock a predecessor fetch over to the
+    // cold rung; without a fault plan every neutral rebuild must be a
+    // verbatim delta hit.
+    if faults.is_empty() {
+        assert!(!rebuilds.is_empty(), "the corpus must offer patch sites");
+        assert_eq!(
+            delta_sources,
+            rebuilds.len(),
+            "every neutral rebuild must be answered from the delta path"
+        );
+    }
     roundtrip(&socket, &Request::Shutdown.to_line());
     daemon.join().expect("daemon").expect("serve loop");
 
     println!(
         "  total: {:.2} s wall for {} requests",
         t_total.elapsed().as_secs_f64(),
-        lines.len() * (rounds + 2 + CLIENT_COUNTS.iter().sum::<usize>()) + coalesce_clients + 6,
+        lines.len() * (rounds + 2 + CLIENT_COUNTS.iter().sum::<usize>())
+            + rebuilds.len()
+            + coalesce_clients
+            + 8,
     );
     if !faults.is_empty() {
         println!(

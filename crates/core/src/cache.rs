@@ -38,7 +38,8 @@
 //! hits/misses.
 
 use crate::state::DetectionResult;
-use fetch_binary::Binary;
+use fetch_binary::{Binary, Section, SectionKind};
+use fetch_x64::{decode, Op, Reg};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -50,6 +51,12 @@ const FNV_PRIME: u64 = 0x1000_0000_01b3;
 const DOMAIN_CONTENT: u64 = 0x636f_6e74_656e_7431; // "content1"
 /// Domain tag mixed into [`image_fingerprint`] keys.
 const DOMAIN_IMAGE: u64 = 0x696d_6167_6562_7566; // "imagebuf"
+/// Domain tag of per-section / per-bucket raw fingerprints.
+const DOMAIN_SECTION: u64 = 0x7365_6374_6275_6631; // "sectbuf1"
+/// Domain tag of the immediate-masked semantic bucket sweep.
+const DOMAIN_SEM: u64 = 0x7365_6d73_7765_6570; // "semsweep"
+/// Domain tag of the symbol-table digest.
+const DOMAIN_SYMBOLS: u64 = 0x7379_6d74_6162_6c31; // "symtabl1"
 
 pub(crate) struct Fnv(u64);
 
@@ -114,6 +121,397 @@ pub fn image_fingerprint(image: &fetch_binary::ElfImage) -> u64 {
     let mut h = Fnv::new(DOMAIN_IMAGE);
     h.bytes(image.view().image());
     h.0
+}
+
+/// One FDE-range bucket of the `.text` section in an [`ImageDigest`]:
+/// a half-open `[start, end)` address range carrying both an exact
+/// content fingerprint and a semantic (immediate-masked) one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketDigest {
+    /// First address of the bucket.
+    pub start: u64,
+    /// One past the last address of the bucket.
+    pub end: u64,
+    /// Whether the bucket is FDE-covered (`false`: a gap between FDE
+    /// ranges — padding, data-in-text, or FDE-less code).
+    pub covered: bool,
+    /// Exact FNV-1a fingerprint of the bucket's bytes.
+    pub raw: u64,
+    /// Fingerprint of the bucket's *linear-sweep decode projection*
+    /// with delta-maskable `mov reg, imm` immediates canonicalized
+    /// (see the module docs of [`ImageDigest`]). Equals `raw` hashing
+    /// for gap buckets: bytes without FDE structure get no semantic
+    /// slack.
+    pub sem: u64,
+}
+
+/// One section's record in an [`ImageDigest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionDigest {
+    /// Section kind.
+    pub kind: SectionKind,
+    /// Section base address.
+    pub addr: u64,
+    /// Section length in bytes.
+    pub len: u64,
+    /// Exact FNV-1a fingerprint of the section's bytes.
+    pub raw: u64,
+    /// FDE-range buckets partitioning the section (non-empty only for
+    /// `.text`; buckets tile `[addr, addr + len)` exactly).
+    pub buckets: Vec<BucketDigest>,
+}
+
+/// Structured identity of a binary image: the whole-image fingerprint
+/// plus per-section, FDE-range-bucketed sub-fingerprints — the unit of
+/// version-delta analysis ([`crate::run_delta`]).
+///
+/// Where [`image_fingerprint`] answers "is this the exact image I
+/// analysed before?", an `ImageDigest` answers the CI/CD question: "the
+/// image changed — *where*, and does the change matter?". `.text` is
+/// partitioned into buckets along the binary's own FDE ranges (the
+/// paper's stable region structure), each carrying an exact `raw`
+/// fingerprint and a `sem` fingerprint of its linear-sweep decode
+/// projection in which `mov reg, imm` immediates are masked when they
+/// provably cannot influence detection (the register is not `rdi` — the
+/// `error`-status slice reads `edi` — and the value does not fall in
+/// any section's address span, so it can never be an address any xref,
+/// pointer-scan, or jump-table consumer resolves). Two versions whose
+/// buckets are geometry-identical and `sem`-equal yield identical
+/// detection results under any delta-safe pipeline
+/// ([`crate::Pipeline::delta_safe`]); versions differing only in
+/// covered text buckets can replay through a rewarmed
+/// [`fetch_disasm::RecEngine`] instead of a cold one.
+///
+/// Known residual risk, deliberately accepted (mirroring
+/// `RecEngine::plan_extension`): the sweep projects each bucket at its
+/// own phase, while a real walk may enter bytes at another phase. An
+/// instruction straddling a bucket boundary is therefore hashed by its
+/// raw bytes (no masking), and gap buckets use raw hashing outright;
+/// the differential property suite (`fetch-core/tests/proptest_delta.rs`)
+/// enforces the remaining tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageDigest {
+    /// Whole-image fingerprint of the bytes the digest was computed
+    /// from ([`image_fingerprint`] on the serve path,
+    /// [`content_fingerprint`] when only a materialized [`Binary`]
+    /// exists) — the cache key the digest travels with.
+    pub image: u64,
+    /// Entry point address.
+    pub entry: u64,
+    /// Fingerprint of the symbol table (names, addresses, sizes).
+    pub symbols: u64,
+    /// [`fetch_disasm::text_content_hash`] of the `.text` bytes — the
+    /// hash a [`fetch_disasm::RecEngine`] fingerprints its decode cache
+    /// with, so delta analysis can prove an engine is warm for exactly
+    /// this version before rewarming it
+    /// ([`fetch_disasm::RecEngine::rewarm_patched`]).
+    pub text_hash: u64,
+    /// Per-section records, in image section order.
+    pub sections: Vec<SectionDigest>,
+}
+
+impl ImageDigest {
+    /// Computes the digest of `binary`. `image` is the whole-image
+    /// fingerprint the caller keys its caches with
+    /// ([`image_fingerprint`] / [`content_fingerprint`]); it is carried,
+    /// not recomputed, so the digest stays usable whichever keyspace the
+    /// caller lives in.
+    pub fn compute(binary: &Binary, image: u64) -> ImageDigest {
+        let mut symbols = Fnv::new(DOMAIN_SYMBOLS);
+        symbols.u64(binary.symbols.len() as u64);
+        for sym in &binary.symbols {
+            symbols.bytes(sym.name.as_bytes());
+            symbols.u64(sym.addr);
+            symbols.u64(sym.size);
+        }
+        let sections = binary
+            .sections
+            .iter()
+            .map(|s| {
+                let mut raw = Fnv::new(DOMAIN_SECTION);
+                raw.bytes(&s.bytes);
+                SectionDigest {
+                    kind: s.kind,
+                    addr: s.addr,
+                    len: s.bytes.len() as u64,
+                    raw: raw.finish(),
+                    buckets: if s.kind == SectionKind::Text {
+                        text_buckets(binary, s)
+                    } else {
+                        Vec::new()
+                    },
+                }
+            })
+            .collect();
+        ImageDigest {
+            image,
+            entry: binary.entry,
+            symbols: symbols.finish(),
+            text_hash: fetch_disasm::text_content_hash(&binary.text().bytes),
+            sections,
+        }
+    }
+
+    /// Whether the two digests describe analysis-identical content:
+    /// every field *except* the whole-image fingerprint agrees. (Two
+    /// images can differ in bytes detection never reads — header
+    /// padding — and still be content-identical.)
+    pub fn content_identical(&self, other: &ImageDigest) -> bool {
+        self.entry == other.entry
+            && self.symbols == other.symbols
+            && self.text_hash == other.text_hash
+            && self.sections == other.sections
+    }
+
+    /// Number of `.text` buckets.
+    pub fn text_bucket_count(&self) -> usize {
+        self.sections.iter().map(|s| s.buckets.len()).sum::<usize>()
+    }
+}
+
+/// Classification of the change between two [`ImageDigest`]s — the
+/// input to the delta ladder of [`crate::run_delta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DigestDiff {
+    /// Analysis-relevant content is identical (the raw images may still
+    /// differ, e.g. in header bytes detection never reads).
+    Identical {
+        /// Total `.text` buckets, all reused.
+        buckets: usize,
+    },
+    /// Only `.text` content changed, and the bucket geometry (FDE
+    /// ranges, section shape) is identical — the change is *local*.
+    LocalText {
+        /// The changed half-open `[start, end)` bucket windows (raw or
+        /// semantic fingerprint moved), ascending.
+        windows: Vec<(u64, u64)>,
+        /// Whether every bucket's *semantic* fingerprint is unchanged —
+        /// when true, a delta-safe pipeline's result provably cannot
+        /// move.
+        sem_equal: bool,
+        /// Buckets whose raw bytes did not change.
+        reused: usize,
+    },
+    /// The diff is non-local (section added/removed/resized/moved,
+    /// `.eh_frame` or another non-text section changed, symbols or
+    /// entry changed): only a cold compute is sound.
+    NonLocal {
+        /// Human-readable reason, for telemetry.
+        reason: &'static str,
+    },
+}
+
+/// Diffs two digests into the delta classification. Symmetric in
+/// structure but directed in meaning: `old` is the version a stored
+/// result exists for, `new` is the version to answer.
+pub fn diff_digests(old: &ImageDigest, new: &ImageDigest) -> DigestDiff {
+    if old.content_identical(new) {
+        return DigestDiff::Identical {
+            buckets: new.text_bucket_count(),
+        };
+    }
+    if old.entry != new.entry {
+        return DigestDiff::NonLocal {
+            reason: "entry point changed",
+        };
+    }
+    if old.symbols != new.symbols {
+        return DigestDiff::NonLocal {
+            reason: "symbol table changed",
+        };
+    }
+    if old.sections.len() != new.sections.len() {
+        return DigestDiff::NonLocal {
+            reason: "section added or removed",
+        };
+    }
+    let mut windows = Vec::new();
+    let mut sem_equal = true;
+    let mut reused = 0usize;
+    for (o, n) in old.sections.iter().zip(&new.sections) {
+        if o.kind != n.kind || o.addr != n.addr || o.len != n.len {
+            return DigestDiff::NonLocal {
+                reason: "section shape changed",
+            };
+        }
+        if o.kind != SectionKind::Text {
+            if o.raw != n.raw {
+                return DigestDiff::NonLocal {
+                    reason: "non-text section content changed",
+                };
+            }
+            continue;
+        }
+        if o.buckets.len() != n.buckets.len() {
+            return DigestDiff::NonLocal {
+                reason: "text bucket geometry changed",
+            };
+        }
+        for (ob, nb) in o.buckets.iter().zip(&n.buckets) {
+            if ob.start != nb.start || ob.end != nb.end || ob.covered != nb.covered {
+                return DigestDiff::NonLocal {
+                    reason: "text bucket geometry changed",
+                };
+            }
+            if ob.raw == nb.raw {
+                reused += 1;
+            }
+            if ob.raw != nb.raw || ob.sem != nb.sem {
+                windows.push((nb.start, nb.end));
+            }
+            if ob.sem != nb.sem {
+                sem_equal = false;
+            }
+        }
+    }
+    if windows.is_empty() {
+        // Sections compare equal bucket-by-bucket yet the digests are
+        // not content-identical — can only be a per-section raw drift
+        // the buckets missed, which the tiling makes impossible; treat
+        // defensively as non-local.
+        return DigestDiff::NonLocal {
+            reason: "digest mismatch outside text buckets",
+        };
+    }
+    DigestDiff::LocalText {
+        windows,
+        sem_equal,
+        reused,
+    }
+}
+
+/// Partitions `.text` into FDE-range buckets: the binary's (merged,
+/// clamped) FDE `[pc_begin, pc_end)` ranges as covered buckets, the
+/// bytes between them as gap buckets — together tiling the section
+/// exactly.
+fn text_buckets(binary: &Binary, text: &Section) -> Vec<BucketDigest> {
+    let text_end = text.end();
+    let mut ranges: Vec<(u64, u64)> = match binary.eh_frame() {
+        Ok(eh) => eh
+            .fdes()
+            .map(|fde| (fde.pc_begin.max(text.addr), fde.pc_end().min(text_end)))
+            .filter(|(s, e)| s < e)
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    ranges.sort_unstable();
+    // Merge overlapping (not merely adjacent) ranges so the partition
+    // is well defined; adjacent FDEs stay separate buckets — that is
+    // the granularity a one-function patch reuses.
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for (s, e) in ranges {
+        match merged.last_mut() {
+            Some((_, le)) if s < *le => *le = (*le).max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    let mut buckets = Vec::with_capacity(merged.len() * 2 + 1);
+    let mut pos = text.addr;
+    for (s, e) in merged {
+        if pos < s {
+            buckets.push(bucket_digest(binary, text, pos, s, false));
+        }
+        buckets.push(bucket_digest(binary, text, s, e, true));
+        pos = e;
+    }
+    if pos < text_end {
+        buckets.push(bucket_digest(binary, text, pos, text_end, false));
+    }
+    buckets
+}
+
+fn bucket_digest(
+    binary: &Binary,
+    text: &Section,
+    start: u64,
+    end: u64,
+    covered: bool,
+) -> BucketDigest {
+    let lo = (start - text.addr) as usize;
+    let hi = (end - text.addr) as usize;
+    let bytes = &text.bytes[lo..hi];
+    let mut raw = Fnv::new(DOMAIN_SECTION);
+    raw.bytes(bytes);
+    let raw = raw.finish();
+    let sem = if covered {
+        sem_fingerprint(binary, text, start, end)
+    } else {
+        // Gap bytes have no FDE structure to reason from: exact or
+        // nothing.
+        raw
+    };
+    BucketDigest {
+        start,
+        end,
+        covered,
+        raw,
+        sem,
+    }
+}
+
+/// Whether a `mov reg, imm` immediate could be an address some layer
+/// resolves: any positive value inside a section span. (Non-positive
+/// values are never emitted by `Inst::const_operands`, and the sole
+/// value-sensitive non-address consumer — the `error`-status slice —
+/// reads `edi` only, which the masking rule excludes by register.)
+fn imm_is_address_like(binary: &Binary, imm: i32) -> bool {
+    if imm <= 0 {
+        return false;
+    }
+    let v = imm as u64;
+    binary.sections.iter().any(|s| v >= s.addr && v < s.end())
+}
+
+/// The immediate-masked linear-sweep projection of a covered bucket:
+/// hash each decoded instruction's offset, length, and operation, with
+/// delta-maskable `MovRI` immediates replaced by a canonical token.
+/// Undecodable bytes hash as (offset, raw byte) and advance one byte;
+/// an instruction straddling the bucket end hashes its raw bytes
+/// unmasked (cross-bucket bytes must stay exact — see the residual-risk
+/// note on [`ImageDigest`]).
+fn sem_fingerprint(binary: &Binary, text: &Section, start: u64, end: u64) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = Fnv::new(DOMAIN_SEM);
+    let mut buf = String::new();
+    let mut pos = start;
+    while pos < end {
+        match decode(text.slice_from(pos).expect("bucket in section"), pos) {
+            Ok(inst) => {
+                if inst.end() > end {
+                    let lo = (pos - text.addr) as usize;
+                    let hi = (inst.end().min(text.end()) - text.addr) as usize;
+                    h.u64(0x5354_5244); // "STRD": straddling marker
+                    h.u64(pos - start);
+                    h.bytes(&text.bytes[lo..hi]);
+                    pos = inst.end();
+                    continue;
+                }
+                h.u64(pos - start);
+                h.u64(inst.len as u64);
+                buf.clear();
+                match inst.op {
+                    Op::MovRI(w, reg, imm)
+                        if reg != Reg::Rdi && !imm_is_address_like(binary, imm) =>
+                    {
+                        let _ = write!(buf, "MovRI({w:?}, {reg:?}, #)");
+                    }
+                    ref op => {
+                        let _ = write!(buf, "{op:?}");
+                    }
+                }
+                h.bytes(buf.as_bytes());
+                pos = inst.end();
+            }
+            Err(_) => {
+                let off = (pos - text.addr) as usize;
+                h.u64(0x4241_4442); // "BADB": undecodable-byte marker
+                h.u64(pos - start);
+                h.u64(text.bytes[off] as u64);
+                pos += 1;
+            }
+        }
+    }
+    h.finish()
 }
 
 /// Capacity bounds of an [`AnalysisCache`]. The default is unbounded —
@@ -197,6 +595,11 @@ impl CacheStats {
 #[derive(Debug)]
 struct Entry {
     result: Arc<DetectionResult>,
+    /// The image digest the result was computed against, when known —
+    /// the anchor of version-delta lookups. `None` for entries restored
+    /// from pre-digest stores (they heal on their next digest-carrying
+    /// insert).
+    digest: Option<Arc<ImageDigest>>,
     /// [`DetectionResult::approx_bytes`], computed once at insert.
     bytes: usize,
     /// Recency tick; key into [`Inner::recency`].
@@ -224,14 +627,24 @@ struct Inner {
 impl Inner {
     /// Moves `(fingerprint, pipeline_id)` to the most-recent position.
     fn touch(&mut self, fingerprint: u64, pipeline_id: &str) -> Option<Arc<DetectionResult>> {
+        self.touch_full(fingerprint, pipeline_id).map(|(r, _)| r)
+    }
+
+    /// [`Inner::touch`], also returning the entry's digest.
+    fn touch_full(
+        &mut self,
+        fingerprint: u64,
+        pipeline_id: &str,
+    ) -> Option<(Arc<DetectionResult>, Option<Arc<ImageDigest>>)> {
         let fresh = self.next_tick;
         let entry = self.map.get_mut(&fingerprint)?.get_mut(pipeline_id)?;
         let old = std::mem::replace(&mut entry.tick, fresh);
         let result = Arc::clone(&entry.result);
+        let digest = entry.digest.clone();
         self.next_tick += 1;
         let key = self.recency.remove(&old).expect("tick indexed");
         self.recency.insert(fresh, key);
-        Some(result)
+        Some((result, digest))
     }
 }
 
@@ -392,8 +805,35 @@ impl AnalysisCache {
         pipeline_id: &str,
         result: Arc<DetectionResult>,
     ) -> Arc<DetectionResult> {
+        self.insert_with_digest(fingerprint, pipeline_id, result, None)
+    }
+
+    /// [`AnalysisCache::insert`] carrying the [`ImageDigest`] the result
+    /// was computed against, so later version-delta lookups
+    /// ([`AnalysisCache::lookup_with_digest`]) can diff against it. When
+    /// the key is already resident, the existing result still wins, but
+    /// a previously digest-less entry (restored from a pre-digest store)
+    /// adopts the incoming digest — the in-memory half of store healing.
+    pub fn insert_with_digest(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+        result: Arc<DetectionResult>,
+        digest: Option<Arc<ImageDigest>>,
+    ) -> Arc<DetectionResult> {
         let mut inner = self.lock();
-        if let Some(existing) = inner.touch(fingerprint, pipeline_id) {
+        if let Some((existing, had_digest)) = inner.touch_full(fingerprint, pipeline_id) {
+            if had_digest.is_none() {
+                if let Some(d) = digest {
+                    if let Some(entry) = inner
+                        .map
+                        .get_mut(&fingerprint)
+                        .and_then(|m| m.get_mut(pipeline_id))
+                    {
+                        entry.digest = Some(d);
+                    }
+                }
+            }
             return existing;
         }
         let tick = inner.next_tick;
@@ -406,6 +846,7 @@ impl AnalysisCache {
             pipeline_id.to_string(),
             Entry {
                 result: Arc::clone(&result),
+                digest,
                 bytes,
                 tick,
             },
@@ -414,6 +855,23 @@ impl AnalysisCache {
         inner.bytes += bytes;
         self.evict_over_capacity(&mut inner);
         result
+    }
+
+    /// Looks up `(fingerprint, pipeline_id)` returning the result
+    /// together with the [`ImageDigest`] it was computed against (when
+    /// one was recorded). Counts and touches exactly like
+    /// [`AnalysisCache::lookup`].
+    pub fn lookup_with_digest(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+    ) -> Option<(Arc<DetectionResult>, Option<Arc<ImageDigest>>)> {
+        let hit = self.lock().touch_full(fingerprint, pipeline_id);
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
     }
 
     /// Returns the cached result for `(fingerprint, pipeline_id)`, or

@@ -1,0 +1,198 @@
+//! Delta re-analysis: answer a re-submitted (patched) binary from its
+//! predecessor's result wherever the [`ImageDigest`] diff proves that
+//! sound, and fall back down a ladder of progressively colder paths
+//! otherwise.
+//!
+//! The ladder ([`run_delta`]):
+//!
+//! 1. **Unchanged** — the digests are content-identical: the old result
+//!    is the answer verbatim. No decode, no pipeline.
+//! 2. **Section reuse** — the diff is [`DigestDiff::LocalText`], every
+//!    text bucket is *semantically* equal (only delta-masked `mov`
+//!    immediates moved), and the pipeline is [`Pipeline::delta_safe`]:
+//!    the old result is still the answer verbatim, because no
+//!    delta-safe layer can observe a masked immediate.
+//! 3. **Recompute** — the diff is local but tier 2's conditions fail
+//!    (real code changed, or the pipeline contains a byte-scanning
+//!    layer): the full pipeline re-runs, but through
+//!    [`RecEngine::rewarm_patched`] — the engine keeps its decode cache
+//!    for every byte outside the changed windows, so the re-run decodes
+//!    only the patched neighborhoods.
+//! 4. **Cold** — the diff is [`DigestDiff::NonLocal`] (or there is no
+//!    previous digest at all): plain cold compute, exactly as if the
+//!    binary had never been seen.
+//!
+//! Every tier returns a result byte-identical to a cold run of the same
+//! pipeline on the new binary — tiers 3–4 because they *are* (possibly
+//! decode-warm) full runs, whose equivalence the incremental-recursion
+//! property tests already pin; tiers 1–2 by the digest soundness
+//! argument above, pinned by the differential suite in
+//! `tests/proptest_delta.rs`.
+
+use crate::cache::{diff_digests, DigestDiff, ImageDigest};
+use crate::pipeline::Pipeline;
+use crate::state::DetectionResult;
+use fetch_binary::Binary;
+use fetch_disasm::RecEngine;
+use std::sync::Arc;
+
+/// Which tier of the delta ladder produced a [`DeltaOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaClass {
+    /// Tier 1: digests content-identical; old result returned verbatim.
+    Unchanged,
+    /// Tier 2: local, semantically-equal text change under a delta-safe
+    /// pipeline; old result returned verbatim.
+    SectionReuse,
+    /// Tier 3: local change, full pipeline re-run through a
+    /// window-invalidated warm decode cache.
+    Recompute,
+    /// Tier 4: non-local change or no previous digest; plain cold run.
+    Cold,
+}
+
+impl DeltaClass {
+    /// Stable lowercase token for telemetry (`stats.delta` naming).
+    pub fn token(&self) -> &'static str {
+        match self {
+            DeltaClass::Unchanged => "unchanged",
+            DeltaClass::SectionReuse => "section_reuse",
+            DeltaClass::Recompute => "recompute",
+            DeltaClass::Cold => "cold",
+        }
+    }
+
+    /// Whether the old result was returned verbatim (tiers 1–2) — the
+    /// serving layer's `delta_hits` counter counts exactly these.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, DeltaClass::Unchanged | DeltaClass::SectionReuse)
+    }
+}
+
+/// The product of [`run_delta`]: the (cold-identical) result plus how it
+/// was obtained.
+#[derive(Debug, Clone)]
+pub struct DeltaOutcome {
+    /// The detection result for the *new* binary. Byte-identical to a
+    /// cold run of the same pipeline; on tiers 1–2 it is the previous
+    /// result's `Arc`, untouched.
+    pub result: Arc<DetectionResult>,
+    /// The ladder tier that produced it.
+    pub class: DeltaClass,
+    /// Text buckets whose raw bytes were unchanged between the two
+    /// versions — the reuse the digest diff *proved*, whichever tier
+    /// ran. Zero on tier 4.
+    pub sections_reused: usize,
+}
+
+/// Runs the delta ladder for `pipeline` over `new_binary`, given the
+/// previous version's result and (optionally) its digest.
+///
+/// `new_digest` must be [`ImageDigest::compute`]d from `new_binary`;
+/// the caller keeps it to persist alongside the returned result (so the
+/// *next* version can delta against this one). A `None` `prev_digest`
+/// — a result stored before digests existed — drops straight to tier 4.
+///
+/// The engine is only consulted on tiers 3–4; on tier 3 it is rewarmed
+/// with [`RecEngine::rewarm_patched`] first, so a pooled engine that
+/// was warm for the *old* version re-decodes only the changed windows.
+pub fn run_delta(
+    pipeline: &Pipeline,
+    prev_result: &Arc<DetectionResult>,
+    prev_digest: Option<&ImageDigest>,
+    new_binary: &Binary,
+    new_digest: &ImageDigest,
+    engine: &mut RecEngine,
+) -> DeltaOutcome {
+    let Some(old) = prev_digest else {
+        return DeltaOutcome {
+            result: Arc::new(pipeline.run_with_engine(new_binary, engine)),
+            class: DeltaClass::Cold,
+            sections_reused: 0,
+        };
+    };
+    match diff_digests(old, new_digest) {
+        DigestDiff::Identical { buckets } => DeltaOutcome {
+            result: Arc::clone(prev_result),
+            class: DeltaClass::Unchanged,
+            sections_reused: buckets,
+        },
+        DigestDiff::LocalText {
+            windows,
+            sem_equal,
+            reused,
+        } => {
+            if sem_equal && pipeline.delta_safe() {
+                return DeltaOutcome {
+                    result: Arc::clone(prev_result),
+                    class: DeltaClass::SectionReuse,
+                    sections_reused: reused,
+                };
+            }
+            // Correctness does not depend on the rewarm succeeding: a
+            // `false` return leaves the engine keyed to some other
+            // binary, and the run below cold-resets it on entry.
+            engine.rewarm_patched(new_binary, old.text_hash, &windows);
+            DeltaOutcome {
+                result: Arc::new(pipeline.run_with_engine(new_binary, engine)),
+                class: DeltaClass::Recompute,
+                sections_reused: reused,
+            }
+        }
+        DigestDiff::NonLocal { .. } => DeltaOutcome {
+            result: Arc::new(pipeline.run_with_engine(new_binary, engine)),
+            class: DeltaClass::Cold,
+            sections_reused: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::image_fingerprint;
+    use fetch_binary::{write_elf, ElfImage};
+    use fetch_synth::{synthesize, SynthConfig};
+
+    fn digest_of(binary: &Binary) -> ImageDigest {
+        let image = ElfImage::parse(write_elf(binary)).unwrap();
+        ImageDigest::compute(binary, image_fingerprint(&image))
+    }
+
+    #[test]
+    fn identical_resubmission_is_tier_one() {
+        let case = synthesize(&SynthConfig::small(41));
+        let pipeline = Pipeline::fetch();
+        let digest = digest_of(&case.binary);
+        let cold = Arc::new(pipeline.run(&case.binary));
+
+        let mut engine = RecEngine::new();
+        let out = run_delta(
+            &pipeline,
+            &cold,
+            Some(&digest),
+            &case.binary,
+            &digest,
+            &mut engine,
+        );
+        assert_eq!(out.class, DeltaClass::Unchanged);
+        assert!(out.class.is_hit());
+        assert!(Arc::ptr_eq(&out.result, &cold));
+        assert_eq!(out.sections_reused, digest.text_bucket_count());
+    }
+
+    #[test]
+    fn missing_digest_is_tier_four_and_cold_identical() {
+        let case = synthesize(&SynthConfig::small(42));
+        let pipeline = Pipeline::fetch();
+        let digest = digest_of(&case.binary);
+        let cold = Arc::new(pipeline.run(&case.binary));
+
+        let mut engine = RecEngine::new();
+        let out = run_delta(&pipeline, &cold, None, &case.binary, &digest, &mut engine);
+        assert_eq!(out.class, DeltaClass::Cold);
+        assert!(!out.class.is_hit());
+        assert_eq!(out.sections_reused, 0);
+        assert_eq!(*out.result, *cold);
+    }
+}

@@ -5,7 +5,8 @@
 //! Table III).
 
 use crate::algorithm1::RepairReport;
-use crate::cache::{content_fingerprint, image_fingerprint, AnalysisCache};
+use crate::cache::{content_fingerprint, image_fingerprint, AnalysisCache, ImageDigest};
+use crate::delta::{run_delta, DeltaOutcome};
 use crate::pipeline::{LayerSpec, Pipeline};
 use crate::state::{DetectionResult, DetectionState};
 use fetch_binary::{Binary, ElfImage};
@@ -126,6 +127,33 @@ impl Fetch {
         cache.get_or_compute(content_fingerprint(binary), self.pipeline_id(), || {
             self.pipeline().run_with_engine(binary, engine)
         })
+    }
+
+    /// Re-analyzes a *new version* of a previously-analyzed image
+    /// through the delta ladder ([`crate::run_delta`]): verbatim reuse
+    /// when the [`ImageDigest`] diff proves it sound, window-rewarmed
+    /// recompute for local patches, plain cold otherwise. The outcome's
+    /// result is byte-identical to [`Fetch::detect_image`] on `image`;
+    /// the returned digest describes `image` and should be persisted so
+    /// the *next* version can delta against this one.
+    pub fn detect_delta(
+        &self,
+        prev_result: &Arc<DetectionResult>,
+        prev_digest: Option<&ImageDigest>,
+        image: &ElfImage,
+        engine: &mut RecEngine,
+    ) -> (DeltaOutcome, ImageDigest) {
+        let binary = image.to_binary();
+        let digest = ImageDigest::compute(&binary, image_fingerprint(image));
+        let out = run_delta(
+            &self.pipeline(),
+            prev_result,
+            prev_digest,
+            &binary,
+            &digest,
+            engine,
+        );
+        (out, digest)
     }
 
     /// Runs detection, also returning the call-frame repair report.

@@ -133,6 +133,64 @@
 //! assert_eq!(restarted.lookup(fp, &pipeline.id()).as_deref(), Some(&*cold));
 //! ```
 //!
+//! ## Versioned delta: digest → diff → replay → fallback
+//!
+//! Serving CI/CD workloads means the *same program, rebuilt*: most
+//! resubmissions differ from an already-analyzed image by a handful of
+//! functions. The delta subsystem makes those incremental:
+//!
+//! 1. **Digest.** [`ImageDigest::compute`] fingerprints an image at
+//!    section granularity, bucketing `.text` by its (merged) FDE ranges.
+//!    Each [`BucketDigest`] carries a `raw` hash of the exact bytes and
+//!    a `sem` hash of a masked linear sweep — `mov reg, imm`
+//!    immediates that no layer can observe (non-`rdi`, not
+//!    section-address-like) are elided, so data-constant patches hash
+//!    equal. Digests travel with results: the serial format ([`serialize_result_with_digest`],
+//!    version [`RESULT_VERSION`]) embeds them, and pre-digest
+//!    ([`RESULT_VERSION_V1`]) blobs still read back (digest `None`).
+//! 2. **Diff.** [`diff_digests`] classifies a version pair:
+//!    [`DigestDiff::Identical`], [`DigestDiff::LocalText`] (only text
+//!    bucket contents moved — with the changed windows, a semantic
+//!    verdict, and the reuse count), or [`DigestDiff::NonLocal`]
+//!    (layout/symbols/entry/non-text changed).
+//! 3. **Replay.** [`run_delta`] walks the ladder: identical → old
+//!    result verbatim; local + semantically equal + a
+//!    [`Pipeline::delta_safe`] stack → old result verbatim (the
+//!    `delta_hits` path); local otherwise → full pipeline re-run
+//!    through [`fetch_disasm::RecEngine::rewarm_patched`], which keeps
+//!    every decode outside the patched windows warm.
+//! 4. **Fallback.** Non-local diffs and digest-less predecessors drop
+//!    to a plain cold run — delta is an optimization, never a gamble:
+//!    every tier's answer is byte-identical to cold (differentially
+//!    property-tested in `tests/proptest_delta.rs`).
+//!
+//! ```
+//! use fetch_core::{DeltaClass, Fetch, ImageDigest};
+//! use fetch_binary::{write_elf, ElfImage};
+//! use fetch_disasm::RecEngine;
+//! use fetch_synth::{patch_function, synthesize, PatchKind, SynthConfig};
+//! use std::sync::Arc;
+//!
+//! // Version 1: analyze cold, keep the result and its digest.
+//! let case = synthesize(&SynthConfig::small(11));
+//! let mut engine = RecEngine::new();
+//! let fetch = Fetch::new();
+//! let v1_image = ElfImage::parse(write_elf(&case.binary)).unwrap();
+//! let v1 = Arc::new(fetch.detect_image(&v1_image, &mut engine));
+//! let v1_digest = ImageDigest::compute(&case.binary, 0);
+//!
+//! // Version 2: one function's constant changed (a neutral patch).
+//! let patched = patch_function(&case, 7, PatchKind::Neutral).unwrap();
+//! let v2_image = ElfImage::parse(write_elf(&patched.binary)).unwrap();
+//!
+//! // Delta answers from the old result without re-running a layer...
+//! let (out, _v2_digest) =
+//!     fetch.detect_delta(&v1, Some(&v1_digest), &v2_image, &mut engine);
+//! assert_eq!(out.class, DeltaClass::SectionReuse);
+//! // ...and is byte-identical to a cold run on the new version.
+//! assert_eq!(*out.result, fetch.detect(&patched.binary));
+//! ```
+//!
 //! # Examples
 //!
 //! Build and run a custom pipeline, inspect its trace, then serve a
@@ -174,6 +232,7 @@
 
 mod algorithm1;
 mod cache;
+mod delta;
 mod fetch;
 mod heuristics;
 mod pipeline;
@@ -184,9 +243,10 @@ mod strategy;
 
 pub use algorithm1::{CallFrameRepair, RepairReport};
 pub use cache::{
-    content_fingerprint, image_fingerprint, AnalysisCache, CacheCapacity, CacheStats, Flight,
-    FlightGuard,
+    content_fingerprint, diff_digests, image_fingerprint, AnalysisCache, BucketDigest,
+    CacheCapacity, CacheStats, DigestDiff, Flight, FlightGuard, ImageDigest, SectionDigest,
 };
+pub use delta::{run_delta, DeltaClass, DeltaOutcome};
 pub use fetch::Fetch;
 pub use heuristics::{
     code_gaps, AlignmentSplit, ByteWeight, ControlFlowRepair, FlirtSignatures, FunctionMerge,
@@ -195,8 +255,8 @@ pub use heuristics::{
 pub use pipeline::{LayerSpec, Pipeline, PipelineParseError, Tool, KNOWN_LAYERS};
 pub use pointer_scan::{collect_data_pointers, validate_candidate, PointerScan, ValidationError};
 pub use serial::{
-    deserialize_result, intern_layer_name, serialize_result, SerialError, RESULT_MAGIC,
-    RESULT_VERSION,
+    deserialize_result, deserialize_result_full, intern_layer_name, serialize_result,
+    serialize_result_with_digest, SerialError, RESULT_MAGIC, RESULT_VERSION, RESULT_VERSION_V1,
 };
 pub use state::{DetectionResult, DetectionState, FrameTable, LayerTrace, Provenance};
 pub use strategy::{

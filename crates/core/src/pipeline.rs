@@ -244,6 +244,48 @@ impl LayerSpec {
         self.with_strategy(|s| s.name())
     }
 
+    /// Whether the layer's output is invariant under the semantic
+    /// bucket equivalence of [`crate::ImageDigest`]: two binaries whose
+    /// `.text` buckets differ only in delta-masked `mov reg, imm`
+    /// immediates (and agree everywhere else) get identical start
+    /// deltas from this layer.
+    ///
+    /// True for the structural layers: seeding from FDEs/symbols/entry,
+    /// safe recursion (decode-driven; masked immediates are never flow
+    /// targets), validated pointer/xref analysis (only section-span
+    /// constants are candidates, and those are never masked), call-frame
+    /// repair, control-flow repair, merging, thunks, and the tail-call
+    /// heuristics (all consume decoded flow, not raw immediates).
+    ///
+    /// False for every layer that reads raw bytes outside the decode
+    /// projection — prologue/byte-pattern matching over gap bytes
+    /// (`Fsig.*`, `Flirt`, `ByteWeight`), linear gap scanning (`Scan`,
+    /// `Nucleus` — sweep phase can differ from the bucket sweep's), and
+    /// alignment-padding inspection (`Align`). A pipeline containing
+    /// any of these must recompute on *any* text change
+    /// ([`Pipeline::delta_safe`] gates the verbatim-reuse tier of
+    /// [`crate::run_delta`]).
+    pub fn delta_safe(&self) -> bool {
+        match self {
+            LayerSpec::FdeSeeds
+            | LayerSpec::SymbolSeeds
+            | LayerSpec::EntrySeed
+            | LayerSpec::SafeRecursion(_)
+            | LayerSpec::PointerScan
+            | LayerSpec::CallFrameRepair
+            | LayerSpec::TailCallHeuristic(_)
+            | LayerSpec::ControlFlowRepair
+            | LayerSpec::FunctionMerge
+            | LayerSpec::ThunkHeuristic => true,
+            LayerSpec::PrologueMatch(_)
+            | LayerSpec::LinearScanStarts
+            | LayerSpec::AlignmentSplit
+            | LayerSpec::ByteWeight
+            | LayerSpec::NucleusScan
+            | LayerSpec::FlirtSignatures => false,
+        }
+    }
+
     /// Applies the specified layer to `state` through the traced
     /// executor step ([`DetectionState::apply_layer`]).
     pub fn apply(&self, state: &mut DetectionState<'_>) {
@@ -364,6 +406,15 @@ impl Pipeline {
     /// Whether the pipeline has no layers.
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
+    }
+
+    /// Whether every layer is [`LayerSpec::delta_safe`] — the gate for
+    /// the verbatim-reuse tier of delta re-analysis: only for such
+    /// pipelines may [`crate::run_delta`] return the previous result
+    /// without re-running anything when the semantic text digests
+    /// match.
+    pub fn delta_safe(&self) -> bool {
+        self.specs.iter().all(LayerSpec::delta_safe)
     }
 
     /// The stable textual identity: layer ids joined with `+`
@@ -528,6 +579,31 @@ mod tests {
     use super::*;
     use crate::strategy::run_stack;
     use fetch_synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn delta_safety_follows_the_whitelist() {
+        assert!(Pipeline::fetch().delta_safe());
+        assert!(
+            Pipeline::parse("FDE+Sym+Entry+Rec+Xref+TcallFix+CFR+Fmerg+Thunk")
+                .unwrap()
+                .delta_safe()
+        );
+        // Any byte-pattern / gap-scanning layer poisons the pipeline.
+        for unsafe_id in [
+            "Fsig.ghidra",
+            "Fsig.angr",
+            "Fsig.radare",
+            "Scan",
+            "Align",
+            "ByteWeight",
+            "Nucleus",
+            "Flirt",
+        ] {
+            let p = Pipeline::parse(&format!("FDE+Rec+{unsafe_id}")).unwrap();
+            assert!(!p.delta_safe(), "{unsafe_id} should not be delta-safe");
+        }
+        assert!(Pipeline::new(vec![]).delta_safe());
+    }
 
     #[test]
     fn ids_round_trip_through_parse() {

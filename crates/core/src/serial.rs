@@ -28,13 +28,20 @@
 //!   is rejected at *serialization* time (`UnknownLayerName`) rather
 //!   than producing bytes no reader can load.
 
+use crate::cache::{BucketDigest, ImageDigest, SectionDigest};
 use crate::pipeline::KNOWN_LAYERS;
 use crate::state::{DetectionResult, LayerTrace, Provenance};
+use fetch_binary::SectionKind;
 
 /// Magic bytes opening every serialized [`DetectionResult`].
 pub const RESULT_MAGIC: [u8; 4] = *b"FRES";
-/// Current format version ([`deserialize_result`] rejects others).
-pub const RESULT_VERSION: u16 = 1;
+/// Current format version: v2 appends an optional [`ImageDigest`]
+/// after the trace. Readers accept [`RESULT_VERSION_V1`] (pre-digest)
+/// encodings too — they decode with `digest = None` and heal on their
+/// next write; versions beyond [`RESULT_VERSION`] are rejected.
+pub const RESULT_VERSION: u16 = 2;
+/// The pre-digest format version, still accepted on read.
+pub const RESULT_VERSION_V1: u16 = 1;
 
 /// Domain tag of the trailing checksum (separates it from the
 /// fingerprint domains of [`crate::content_fingerprint`]).
@@ -68,7 +75,7 @@ impl std::fmt::Display for SerialError {
             SerialError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported result format version {v} (expected {RESULT_VERSION})"
+                    "unsupported result format version {v} (expected <= {RESULT_VERSION})"
                 )
             }
             SerialError::ChecksumMismatch => write!(f, "checksum mismatch (corrupted payload)"),
@@ -168,7 +175,29 @@ impl Writer {
     }
 }
 
-/// Encodes `result` into the versioned, checksummed wire format.
+/// Stable wire tag of a [`SectionKind`]. Append-only, like provenance
+/// tags.
+fn section_kind_tag(kind: SectionKind) -> u8 {
+    match kind {
+        SectionKind::Text => 0,
+        SectionKind::Rodata => 1,
+        SectionKind::Data => 2,
+        SectionKind::EhFrame => 3,
+    }
+}
+
+fn section_kind_from_tag(tag: u8) -> Result<SectionKind, SerialError> {
+    Ok(match tag {
+        0 => SectionKind::Text,
+        1 => SectionKind::Rodata,
+        2 => SectionKind::Data,
+        3 => SectionKind::EhFrame,
+        _ => return Err(SerialError::Corrupt("unknown section kind tag")),
+    })
+}
+
+/// Encodes `result` into the versioned, checksummed wire format
+/// (without a digest — see [`serialize_result_with_digest`]).
 ///
 /// # Errors
 ///
@@ -176,6 +205,17 @@ impl Writer {
 /// custom strategy whose name is outside [`KNOWN_LAYERS`] — such bytes
 /// could never be interned back, so they are refused up front.
 pub fn serialize_result(result: &DetectionResult) -> Result<Vec<u8>, SerialError> {
+    serialize_result_with_digest(result, None)
+}
+
+/// Encodes `result` plus the optional [`ImageDigest`] it was computed
+/// against. The digest rides in the same checksummed payload (format
+/// version [`RESULT_VERSION`]), so a persisted entry carries everything
+/// version-delta analysis needs to diff a future image against it.
+pub fn serialize_result_with_digest(
+    result: &DetectionResult,
+    digest: Option<&ImageDigest>,
+) -> Result<Vec<u8>, SerialError> {
     for name in result
         .layers
         .iter()
@@ -206,6 +246,31 @@ pub fn serialize_result(result: &DetectionResult) -> Result<Vec<u8>, SerialError
         w.u64(t.starts_after as u64);
         w.u64(t.decode_hits);
         w.u64(t.decode_misses);
+    }
+    match digest {
+        None => w.u8(0),
+        Some(d) => {
+            w.u8(1);
+            w.u64(d.image);
+            w.u64(d.entry);
+            w.u64(d.symbols);
+            w.u64(d.text_hash);
+            w.count(d.sections.len());
+            for s in &d.sections {
+                w.u8(section_kind_tag(s.kind));
+                w.u64(s.addr);
+                w.u64(s.len);
+                w.u64(s.raw);
+                w.count(s.buckets.len());
+                for b in &s.buckets {
+                    w.u64(b.start);
+                    w.u64(b.end);
+                    w.u8(b.covered as u8);
+                    w.u64(b.raw);
+                    w.u64(b.sem);
+                }
+            }
+        }
     }
     let sum = checksum(&w.0);
     w.u64(sum);
@@ -277,8 +342,20 @@ impl<'a> Reader<'a> {
 /// Decodes a [`DetectionResult`] previously encoded by
 /// [`serialize_result`], verifying magic, version, checksum, and every
 /// structural invariant (strictly ascending address lists, in-vocabulary
-/// layer names, no trailing bytes).
+/// layer names, no trailing bytes). Accepts both the current and the
+/// pre-digest v1 format; any attached digest is dropped — use
+/// [`deserialize_result_full`] to keep it.
 pub fn deserialize_result(bytes: &[u8]) -> Result<DetectionResult, SerialError> {
+    deserialize_result_full(bytes).map(|(result, _)| result)
+}
+
+/// Decodes a [`DetectionResult`] together with the [`ImageDigest`] it
+/// was persisted with. Pre-digest (v1) encodings decode with
+/// `digest = None` — a serving layer recomputes and re-persists the
+/// digest on its next write (store healing).
+pub fn deserialize_result_full(
+    bytes: &[u8],
+) -> Result<(DetectionResult, Option<ImageDigest>), SerialError> {
     // Header + checksum are the minimum plausible encoding.
     if bytes.len() < RESULT_MAGIC.len() + 2 + 8 {
         return Err(SerialError::Truncated);
@@ -288,7 +365,7 @@ pub fn deserialize_result(bytes: &[u8]) -> Result<DetectionResult, SerialError> 
         return Err(SerialError::BadMagic);
     }
     let version = u16::from_le_bytes(payload[4..6].try_into().expect("2"));
-    if version != RESULT_VERSION {
+    if version != RESULT_VERSION && version != RESULT_VERSION_V1 {
         return Err(SerialError::UnsupportedVersion(version));
     }
     let stored_sum = u64::from_le_bytes(sum_bytes.try_into().expect("8"));
@@ -337,13 +414,81 @@ pub fn deserialize_result(bytes: &[u8]) -> Result<DetectionResult, SerialError> 
             decode_misses,
         });
     }
+    let digest = if version >= RESULT_VERSION {
+        match r.u8()? {
+            0 => None,
+            1 => Some(read_digest(&mut r)?),
+            _ => return Err(SerialError::Corrupt("bad digest presence byte")),
+        }
+    } else {
+        None
+    };
     if r.pos != payload.len() {
         return Err(SerialError::Corrupt("trailing bytes after encoding"));
     }
-    Ok(DetectionResult {
-        starts,
-        layers,
-        trace,
+    Ok((
+        DetectionResult {
+            starts,
+            layers,
+            trace,
+        },
+        digest,
+    ))
+}
+
+fn read_digest(r: &mut Reader<'_>) -> Result<ImageDigest, SerialError> {
+    let image = r.u64()?;
+    let entry = r.u64()?;
+    let symbols = r.u64()?;
+    let text_hash = r.u64()?;
+    // kind + addr + len + raw + bucket count.
+    let n_sections = r.count(1 + 8 + 8 + 8 + 4)?;
+    let mut sections = Vec::with_capacity(n_sections);
+    for _ in 0..n_sections {
+        let kind = section_kind_from_tag(r.u8()?)?;
+        let addr = r.u64()?;
+        let len = r.u64()?;
+        let raw = r.u64()?;
+        // start + end + covered + raw + sem.
+        let n_buckets = r.count(8 + 8 + 1 + 8 + 8)?;
+        let mut buckets = Vec::with_capacity(n_buckets);
+        let mut prev_end: Option<u64> = None;
+        for _ in 0..n_buckets {
+            let start = r.u64()?;
+            let end = r.u64()?;
+            let covered = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SerialError::Corrupt("bad bucket covered byte")),
+            };
+            if start >= end || prev_end.is_some_and(|p| p > start) {
+                return Err(SerialError::Corrupt("buckets not ascending"));
+            }
+            prev_end = Some(end);
+            let raw = r.u64()?;
+            let sem = r.u64()?;
+            buckets.push(BucketDigest {
+                start,
+                end,
+                covered,
+                raw,
+                sem,
+            });
+        }
+        sections.push(SectionDigest {
+            kind,
+            addr,
+            len,
+            raw,
+            buckets,
+        });
+    }
+    Ok(ImageDigest {
+        image,
+        entry,
+        symbols,
+        text_hash,
+        sections,
     })
 }
 
@@ -377,6 +522,36 @@ mod tests {
             bytes,
             "encoding must be deterministic"
         );
+    }
+
+    #[test]
+    fn digest_round_trips_and_v1_reads_as_digestless() {
+        let case = synthesize(&SynthConfig::small(44));
+        let result = Pipeline::fetch().run(&case.binary);
+        let digest =
+            crate::ImageDigest::compute(&case.binary, crate::content_fingerprint(&case.binary));
+        let bytes = serialize_result_with_digest(&result, Some(&digest)).unwrap();
+        let (back, d) = deserialize_result_full(&bytes).unwrap();
+        assert!(trace_fields_equal(&result, &back));
+        assert_eq!(d.as_ref(), Some(&digest));
+
+        // A digest-less current-version encoding reads back as None.
+        let plain = serialize_result(&result).unwrap();
+        let (_, none) = deserialize_result_full(&plain).unwrap();
+        assert!(none.is_none());
+
+        // A v1 (pre-digest) blob — the current body minus the digest
+        // presence byte, stamped version 1 with its checksum redone —
+        // must still deserialize, with no digest.
+        let mut v1 = plain.clone();
+        v1.truncate(v1.len() - 9); // presence byte + checksum
+        v1[4..6].copy_from_slice(&RESULT_VERSION_V1.to_le_bytes());
+        let sum = checksum(&v1).to_le_bytes();
+        v1.extend_from_slice(&sum);
+        let (old, od) = deserialize_result_full(&v1).unwrap();
+        assert!(trace_fields_equal(&result, &old));
+        assert!(od.is_none());
+        assert_eq!(deserialize_result(&v1).unwrap(), result);
     }
 
     #[test]

@@ -36,5 +36,6 @@ pub use jumptable::{solve_jump_table, JumpTable};
 pub use linear::{sweep, sweep_tolerant, Sweep};
 pub use nonreturn::{classify_noreturn, status_arg_is_zero, ErrorCallPolicy};
 pub use recursive::{
-    call_returns, recursive_disassemble, Disassembly, RecEngine, RecOptions, RecResult,
+    call_returns, recursive_disassemble, text_content_hash, Disassembly, RecEngine, RecOptions,
+    RecResult,
 };

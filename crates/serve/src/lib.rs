@@ -21,26 +21,34 @@
 //! ```
 //!
 //! * [`protocol`] — the line-delimited JSON wire format: requests
-//!   (`analyze`, `query`, `stats`, `subscribe`, `shutdown`), replies,
-//!   and telemetry events. Deterministic rendering: a warm answer's
-//!   `result` object is byte-identical to the cold one. Every failure
-//!   is a *structured* error (`bad_request` / `too_large` / `busy` /
-//!   `not_found` / `internal`), and request lines / inline images are
-//!   hard-capped ([`protocol::MAX_LINE_BYTES`],
-//!   [`protocol::MAX_INLINE_BYTES`]).
+//!   (`analyze`, `reanalyze`, `query`, `stats`, `subscribe`,
+//!   `shutdown`), replies, and telemetry events. Deterministic
+//!   rendering: a warm answer's `result` object is byte-identical to
+//!   the cold one. Every failure is a *structured* error
+//!   (`bad_request` / `too_large` / `busy` / `not_found` / `internal`),
+//!   and request lines / inline images are hard-capped
+//!   ([`protocol::MAX_LINE_BYTES`], [`protocol::MAX_INLINE_BYTES`]).
 //! * [`service`] — [`AnalysisService`], the transport-agnostic core.
 //!   `Sync`: one instance serves every worker. Answer order: bounded
 //!   cache → persistent store (promoting hits into the cache) →
 //!   *coalesced* cold compute — concurrent requests for one uncached
 //!   key elect a single leader and share its answer, so N identical
-//!   requests cost exactly one compute.
+//!   requests cost exactly one compute. `reanalyze` answers a *new
+//!   version* of a known binary through the delta ladder
+//!   ([`fetch_core::run_delta`]): verbatim reuse when the persisted
+//!   [`fetch_core::ImageDigest`] proves the patch answer-preserving
+//!   (source `"delta"`, `stats.delta` counters), decode-warm or cold
+//!   otherwise — always byte-identical to a cold `analyze`.
 //! * [`store`] — [`ResultStore`]: one atomic, versioned, checksummed
 //!   file per `(content fingerprint, pipeline id)`, holding the full
-//!   [`fetch_core::DetectionResult`] *including its trace*, via
-//!   [`fetch_core::serialize_result`]. Opening runs a recovery sweep
-//!   (orphaned temps reaped, invalid entries quarantined); a
-//!   [`store::GcPolicy`] bounds the store by entries / bytes / age. A
-//!   corrupted file is rejected and healed, never misread.
+//!   [`fetch_core::DetectionResult`] *including its trace* and the
+//!   image's [`fetch_core::ImageDigest`], via
+//!   [`fetch_core::serialize_result_with_digest`]. Opening runs a
+//!   recovery sweep (orphaned temps reaped, invalid entries
+//!   quarantined); a [`store::GcPolicy`] bounds the store by entries /
+//!   bytes / age. A corrupted file is rejected and healed, never
+//!   misread; pre-digest entries load digest-less and heal on the next
+//!   warm analyze.
 //! * [`server`] — the transports: a Unix-socket accept loop feeding a
 //!   bounded worker pool with per-connection deadlines and `busy` load
 //!   shedding, a directory queue (`in/*.json` → `out/*.json`, bad files
@@ -123,7 +131,7 @@ pub mod service;
 pub mod store;
 
 pub use fault::{FaultKind, FaultPlan};
-pub use protocol::{AnalyzeReply, ErrorCode, Reply, Request, ServeSource};
+pub use protocol::{AnalyzeReply, DeltaCounters, ErrorCode, Reply, Request, ServeSource};
 pub use server::{serve, serve_io, ServeSummary, ServerOptions};
 pub use service::{AnalysisService, ServeConfig, TelemetryHub};
 pub use store::{GcPolicy, ResultStore, StoreError, StoreLifecycle};

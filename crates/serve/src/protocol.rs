@@ -11,6 +11,14 @@
 //!   ([`Pipeline::parse`]); `"tool":"GHIDRA"` picks a Table III tool
 //!   model ([`Tool::from_name`]). Default stack:
 //!   [`Pipeline::fetch`].
+//! * `{"cmd":"reanalyze", "prev_fingerprint":"0x1234abcd…",
+//!   "path":"/bin/x"}` — analyze a *new version* of a previously-
+//!   analyzed binary, reusing the previous answer wherever the digest
+//!   diff proves that sound (the delta ladder, [`fetch_core::run_delta`]).
+//!   Takes the same `path`/`bytes_hex`/`pipeline`/`tool` fields as
+//!   `analyze`; `prev_fingerprint` names the earlier analyze reply's
+//!   fingerprint. Byte-identical to a cold `analyze` of the same image;
+//!   an unknown or digest-less predecessor just falls back cold.
 //! * `{"cmd":"query", "fingerprint":"0x1234abcd…", "pipeline":"FDE+Rec"}`
 //!   — cache/store lookup only, never computes.
 //! * `{"cmd":"stats"}` — cache, store, and request counters.
@@ -27,10 +35,10 @@
 //! shedding from malformed input without string matching. Analysis
 //! replies carry the content fingerprint (hex string — it does not fit
 //! a JSON double), the canonical pipeline id, the answer `source`
-//! (`"cold"` / `"cache"` / `"store"` / `"coalesced"`), the request wall
-//! time, and a `result` object whose rendering is deterministic: a warm
-//! answer is byte-identical to the cold answer that seeded it (asserted
-//! by the end-to-end smoke test).
+//! (`"cold"` / `"cache"` / `"store"` / `"coalesced"` / `"delta"`), the
+//! request wall time, and a `result` object whose rendering is
+//! deterministic: a warm answer is byte-identical to the cold answer
+//! that seeded it (asserted by the end-to-end smoke test).
 //!
 //! ## Input bounds
 //!
@@ -152,6 +160,18 @@ pub enum Request {
         /// The strategy stack to run.
         pipeline: Pipeline,
     },
+    /// Analyze a new version of a previously-analyzed binary through
+    /// the delta ladder (digest diff → verbatim reuse / warm recompute
+    /// / cold fallback). Result-identical to [`Request::Analyze`].
+    Reanalyze {
+        /// Fingerprint of the previous version (from its analyze
+        /// reply) — the entry to delta against.
+        prev_fingerprint: u64,
+        /// Where the new ELF image comes from.
+        input: AnalyzeInput,
+        /// The strategy stack to run.
+        pipeline: Pipeline,
+    },
     /// Look up a previously-computed answer; never computes.
     Query {
         /// Content fingerprint (from an earlier analyze reply).
@@ -181,17 +201,22 @@ pub enum ServeSource {
     /// received the leader's answer (exactly one cold compute ran for
     /// the whole group).
     Coalesced,
+    /// A `reanalyze` answered from the delta ladder's reuse tiers: the
+    /// previous version's result was returned verbatim because the
+    /// digest diff proved it sound.
+    Delta,
 }
 
 impl ServeSource {
     /// The wire token (`"cold"` / `"cache"` / `"store"` /
-    /// `"coalesced"`).
+    /// `"coalesced"` / `"delta"`).
     pub fn token(self) -> &'static str {
         match self {
             ServeSource::Cold => "cold",
             ServeSource::CacheHit => "cache",
             ServeSource::StoreHit => "store",
             ServeSource::Coalesced => "coalesced",
+            ServeSource::Delta => "delta",
         }
     }
 }
@@ -233,6 +258,8 @@ pub struct StoreStats {
 pub struct RequestCounters {
     /// `analyze` requests handled.
     pub analyze: u64,
+    /// `reanalyze` requests handled.
+    pub reanalyze: u64,
     /// `query` requests handled.
     pub query: u64,
     /// Answers computed cold.
@@ -254,6 +281,25 @@ pub struct RequestCounters {
     pub queue_quarantined: u64,
 }
 
+/// Outcome counters of the `reanalyze` delta ladder, one daemon
+/// lifetime (the `stats` reply's `delta` block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaCounters {
+    /// Reanalyzes answered verbatim from the previous result (ladder
+    /// tiers 1–2: unchanged image, or a local semantically-equal text
+    /// patch under a delta-safe pipeline).
+    pub delta_hits: u64,
+    /// Total text buckets whose reuse the digest diffs proved, summed
+    /// over all reanalyzes (whichever tier ran).
+    pub sections_reused: u64,
+    /// Reanalyzes that fell back to a (decode-warm) full recompute —
+    /// the change was local but not provably answer-preserving.
+    pub fallback_cold: u64,
+    /// Reanalyzes that ran plain cold: non-local change, or no usable
+    /// predecessor (unknown fingerprint / digest-less entry).
+    pub digest_mismatch: u64,
+}
+
 /// The full `stats` answer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatsReply {
@@ -263,6 +309,8 @@ pub struct StatsReply {
     pub store: Option<StoreStats>,
     /// Request counters.
     pub requests: RequestCounters,
+    /// Delta-ladder outcome counters of the `reanalyze` path.
+    pub delta: DeltaCounters,
     /// Faults fired by the armed [`crate::FaultPlan`] (0 when no plan
     /// is armed) — chaos runs assert on this to prove injection armed.
     pub faults_injected: u64,
@@ -369,36 +417,25 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         .ok_or_else(|| RequestError::bad("missing \"cmd\" field"))?;
     match cmd {
         "analyze" => {
-            let input = match (
-                json.get("path").and_then(Json::as_str),
-                json.get("bytes_hex").and_then(Json::as_str),
-            ) {
-                (Some(_), Some(_)) => {
-                    return Err(RequestError::bad(
-                        "analyze takes \"path\" or \"bytes_hex\", not both",
-                    ))
-                }
-                (Some(path), None) => AnalyzeInput::Path(PathBuf::from(path)),
-                (None, Some(hex)) => {
-                    // Check the (cheap) encoded length before decoding,
-                    // so an oversized image never allocates.
-                    if hex.len() > MAX_INLINE_BYTES * 2 {
-                        return Err(RequestError::too_large(format!(
-                            "inline image is {} bytes; the limit is {MAX_INLINE_BYTES}",
-                            hex.len() / 2
-                        )));
-                    }
-                    AnalyzeInput::Bytes(
-                        decode_hex(hex)
-                            .ok_or_else(|| RequestError::bad("\"bytes_hex\" is not valid hex"))?,
-                    )
-                }
-                (None, None) => {
-                    return Err(RequestError::bad("analyze needs \"path\" or \"bytes_hex\""))
-                }
-            };
+            let input = request_input(&json, "analyze")?;
             let pipeline = request_pipeline(&json)?;
             Ok(Request::Analyze { input, pipeline })
+        }
+        "reanalyze" => {
+            let prev_fingerprint = json
+                .get("prev_fingerprint")
+                .and_then(Json::as_str)
+                .and_then(parse_hex_u64)
+                .ok_or_else(|| {
+                    RequestError::bad("reanalyze needs a hex-string \"prev_fingerprint\"")
+                })?;
+            let input = request_input(&json, "reanalyze")?;
+            let pipeline = request_pipeline(&json)?;
+            Ok(Request::Reanalyze {
+                prev_fingerprint,
+                input,
+                pipeline,
+            })
         }
         "query" => {
             let fingerprint = json
@@ -416,7 +453,38 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         "subscribe" => Ok(Request::Subscribe),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(RequestError::bad(format!(
-            "unknown cmd {other:?} (known: analyze, query, stats, subscribe, shutdown)"
+            "unknown cmd {other:?} (known: analyze, reanalyze, query, stats, subscribe, shutdown)"
+        ))),
+    }
+}
+
+/// Resolves the request's binary payload (`path` or `bytes_hex`, not
+/// both), enforcing [`MAX_INLINE_BYTES`] on inline images. Shared by
+/// `analyze` and `reanalyze`.
+fn request_input(json: &Json, cmd: &str) -> Result<AnalyzeInput, RequestError> {
+    match (
+        json.get("path").and_then(Json::as_str),
+        json.get("bytes_hex").and_then(Json::as_str),
+    ) {
+        (Some(_), Some(_)) => Err(RequestError::bad(format!(
+            "{cmd} takes \"path\" or \"bytes_hex\", not both"
+        ))),
+        (Some(path), None) => Ok(AnalyzeInput::Path(PathBuf::from(path))),
+        (None, Some(hex)) => {
+            // Check the (cheap) encoded length before decoding, so an
+            // oversized image never allocates.
+            if hex.len() > MAX_INLINE_BYTES * 2 {
+                return Err(RequestError::too_large(format!(
+                    "inline image is {} bytes; the limit is {MAX_INLINE_BYTES}",
+                    hex.len() / 2
+                )));
+            }
+            Ok(AnalyzeInput::Bytes(decode_hex(hex).ok_or_else(|| {
+                RequestError::bad("\"bytes_hex\" is not valid hex")
+            })?))
+        }
+        (None, None) => Err(RequestError::bad(format!(
+            "{cmd} needs \"path\" or \"bytes_hex\""
         ))),
     }
 }
@@ -439,6 +507,13 @@ fn request_pipeline(json: &Json) -> Result<Pipeline, RequestError> {
     }
 }
 
+fn push_input(pairs: &mut Vec<(String, Json)>, input: &AnalyzeInput) {
+    match input {
+        AnalyzeInput::Path(p) => pairs.push(("path".into(), Json::str(p.display().to_string()))),
+        AnalyzeInput::Bytes(b) => pairs.push(("bytes_hex".into(), Json::str(encode_hex(b)))),
+    }
+}
+
 impl Request {
     /// Renders the request as one protocol line (the client side).
     pub fn to_line(&self) -> String {
@@ -448,14 +523,23 @@ impl Request {
                     ("cmd".to_string(), Json::str("analyze")),
                     ("pipeline".to_string(), Json::str(pipeline.id())),
                 ];
-                match input {
-                    AnalyzeInput::Path(p) => {
-                        pairs.push(("path".into(), Json::str(p.display().to_string())))
-                    }
-                    AnalyzeInput::Bytes(b) => {
-                        pairs.push(("bytes_hex".into(), Json::str(encode_hex(b))))
-                    }
-                }
+                push_input(&mut pairs, input);
+                Json::Obj(pairs.into_iter().collect())
+            }
+            Request::Reanalyze {
+                prev_fingerprint,
+                input,
+                pipeline,
+            } => {
+                let mut pairs = vec![
+                    ("cmd".to_string(), Json::str("reanalyze")),
+                    (
+                        "prev_fingerprint".to_string(),
+                        Json::str(hex_u64(*prev_fingerprint)),
+                    ),
+                    ("pipeline".to_string(), Json::str(pipeline.id())),
+                ];
+                push_input(&mut pairs, input);
                 Json::Obj(pairs.into_iter().collect())
             }
             Request::Query {
@@ -525,6 +609,7 @@ impl Reply {
                         "requests".to_string(),
                         obj([
                             ("analyze", Json::int(s.requests.analyze)),
+                            ("reanalyze", Json::int(s.requests.reanalyze)),
                             ("query", Json::int(s.requests.query)),
                             ("cold", Json::int(s.requests.cold)),
                             ("cache_hits", Json::int(s.requests.cache_hits)),
@@ -537,6 +622,15 @@ impl Reply {
                                 Json::int(s.requests.rejected_too_large),
                             ),
                             ("queue_quarantined", Json::int(s.requests.queue_quarantined)),
+                        ]),
+                    ),
+                    (
+                        "delta".to_string(),
+                        obj([
+                            ("delta_hits", Json::int(s.delta.delta_hits)),
+                            ("sections_reused", Json::int(s.delta.sections_reused)),
+                            ("fallback_cold", Json::int(s.delta.fallback_cold)),
+                            ("digest_mismatch", Json::int(s.delta.digest_mismatch)),
                         ]),
                     ),
                     ("faults_injected".to_string(), Json::int(s.faults_injected)),
@@ -624,6 +718,16 @@ mod tests {
                 input: AnalyzeInput::Bytes(vec![0x7f, b'E', b'L', b'F']),
                 pipeline: Pipeline::parse("FDE+Rec").unwrap(),
             },
+            Request::Reanalyze {
+                prev_fingerprint: 0xdead_beef_cafe,
+                input: AnalyzeInput::Path(PathBuf::from("/tmp/a-v2.elf")),
+                pipeline: Pipeline::fetch(),
+            },
+            Request::Reanalyze {
+                prev_fingerprint: 7,
+                input: AnalyzeInput::Bytes(vec![0x7f, b'E', b'L', b'F']),
+                pipeline: Pipeline::parse("FDE+Rec").unwrap(),
+            },
             Request::Query {
                 fingerprint: u64::MAX - 3,
                 pipeline_id: "FDE+Rec+Xref".into(),
@@ -678,6 +782,15 @@ mod tests {
             ),
             (r#"{"cmd":"query","pipeline":"FDE"}"#, "fingerprint"),
             (r#"{"cmd":"analyze","bytes_hex":"0g"}"#, "hex"),
+            (r#"{"cmd":"reanalyze","path":"/x"}"#, "prev_fingerprint"),
+            (
+                r#"{"cmd":"reanalyze","prev_fingerprint":"0x1"}"#,
+                "reanalyze needs",
+            ),
+            (
+                r#"{"cmd":"reanalyze","prev_fingerprint":"0x1","path":"a","bytes_hex":"00"}"#,
+                "not both",
+            ),
             ("not json", "JSON"),
         ] {
             let err = parse_request(line).unwrap_err();

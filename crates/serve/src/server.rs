@@ -768,6 +768,51 @@ mod tests {
     }
 
     #[test]
+    fn queue_transport_handles_reanalyze() {
+        use crate::protocol::{encode_hex, hex_u64};
+        use crate::service::ServeConfig;
+        use fetch_synth::{patch_function, PatchKind};
+
+        let dir = scratch_dir("queue-delta");
+        let case = synthesize(&SynthConfig::small(11));
+        let patched = patch_function(&case, 7, PatchKind::Neutral).expect("a neutral patch site");
+
+        let service = AnalysisService::new(&ServeConfig::default()).unwrap();
+        let prev_fp = match service.handle(crate::protocol::Request::Analyze {
+            input: crate::protocol::AnalyzeInput::Bytes(write_elf(&case.binary)),
+            pipeline: fetch_core::Pipeline::fetch(),
+        }) {
+            Reply::Analyze(a) => a.fingerprint,
+            other => panic!("{other:?}"),
+        };
+
+        let queue = dir.join("q");
+        fs::create_dir_all(queue.join("in")).unwrap();
+        fs::create_dir_all(queue.join("out")).unwrap();
+        let line = format!(
+            "{{\"cmd\":\"reanalyze\",\"prev_fingerprint\":\"{}\",\"bytes_hex\":\"{}\"}}\n",
+            hex_u64(prev_fp),
+            encode_hex(&write_elf(&patched.binary)),
+        );
+        fs::write(queue.join("in/00-re.json"), &line).unwrap();
+        fs::write(queue.join("in/01-stop.json"), "{\"cmd\":\"shutdown\"}\n").unwrap();
+
+        let summary = serve(
+            &service,
+            &ServerOptions {
+                queue: Some(queue.clone()),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.queue_files, 2);
+        let reply = fs::read_to_string(queue.join("out/00-re.json")).unwrap();
+        assert!(reply.contains("\"source\":\"delta\""), "{reply}");
+        assert_eq!(service.stats().delta.delta_hits, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn capped_line_reader_rejects_over_limit_lines() {
         let service = AnalysisService::new(&ServeConfig::default()).unwrap();
         let mut out = SharedBuf::default();

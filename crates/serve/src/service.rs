@@ -28,9 +28,17 @@
 //!
 //! Cold computes borrow a [`RecEngine`] from the service's engine pool
 //! (decode caches persist across requests; concurrent colds each get
-//! their own engine) and the leader persists the answer to the store
-//! *after* publishing it to waiters, so coalesced repliers never block
-//! on disk.
+//! their own engine) and the leader persists the answer — plus the
+//! image's [`ImageDigest`] — to the store *after* publishing it to
+//! waiters, so coalesced repliers never block on disk.
+//!
+//! A `reanalyze` request names a previously-analyzed *predecessor* and
+//! submits a new version of the same binary; the service fetches the
+//! predecessor's result and digest (cache, then store) and runs the
+//! delta ladder ([`run_delta`]), so an unchanged or locally-patched
+//! binary is answered without re-running the pipeline (source
+//! `"delta"`, counted in `stats.delta`). Every tier is byte-identical
+//! to a cold analyze of the same image.
 //!
 //! Every analyze/query answer also broadcasts its telemetry — a
 //! `request` event plus one `layer` event per [`fetch_core::LayerTrace`]
@@ -40,12 +48,15 @@
 
 use crate::fault::{FaultKind, FaultPlan};
 use crate::protocol::{
-    telemetry_events, AnalyzeInput, AnalyzeReply, ErrorCode, Reply, Request, RequestCounters,
-    ServeSource, StatsReply,
+    telemetry_events, AnalyzeInput, AnalyzeReply, DeltaCounters, ErrorCode, Reply, Request,
+    RequestCounters, ServeSource, StatsReply,
 };
 use crate::store::{GcPolicy, ResultStore};
 use fetch_binary::ElfImage;
-use fetch_core::{image_fingerprint, AnalysisCache, CacheCapacity, Flight, Pipeline};
+use fetch_core::{
+    image_fingerprint, run_delta, AnalysisCache, CacheCapacity, DeltaClass, DetectionResult,
+    Flight, ImageDigest, Pipeline,
+};
 use fetch_disasm::RecEngine;
 use std::io::Write;
 use std::path::PathBuf;
@@ -109,6 +120,7 @@ pub struct ServeConfig {
 #[derive(Debug, Default)]
 struct Counters {
     analyze: AtomicU64,
+    reanalyze: AtomicU64,
     query: AtomicU64,
     cold: AtomicU64,
     cache_hits: AtomicU64,
@@ -118,12 +130,17 @@ struct Counters {
     shed_busy: AtomicU64,
     rejected_too_large: AtomicU64,
     queue_quarantined: AtomicU64,
+    delta_hits: AtomicU64,
+    sections_reused: AtomicU64,
+    fallback_cold: AtomicU64,
+    digest_mismatch: AtomicU64,
 }
 
 impl Counters {
     fn snapshot(&self) -> RequestCounters {
         RequestCounters {
             analyze: self.analyze.load(Ordering::Relaxed),
+            reanalyze: self.reanalyze.load(Ordering::Relaxed),
             query: self.query.load(Ordering::Relaxed),
             cold: self.cold.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -133,6 +150,15 @@ impl Counters {
             shed_busy: self.shed_busy.load(Ordering::Relaxed),
             rejected_too_large: self.rejected_too_large.load(Ordering::Relaxed),
             queue_quarantined: self.queue_quarantined.load(Ordering::Relaxed),
+        }
+    }
+
+    fn delta_snapshot(&self) -> DeltaCounters {
+        DeltaCounters {
+            delta_hits: self.delta_hits.load(Ordering::Relaxed),
+            sections_reused: self.sections_reused.load(Ordering::Relaxed),
+            fallback_cold: self.fallback_cold.load(Ordering::Relaxed),
+            digest_mismatch: self.digest_mismatch.load(Ordering::Relaxed),
         }
     }
 }
@@ -228,13 +254,24 @@ impl AnalysisService {
                 }
                 Err((code, message)) => Reply::error(code, message),
             },
+            Request::Reanalyze {
+                prev_fingerprint,
+                input,
+                pipeline,
+            } => match self.reanalyze(prev_fingerprint, input, &pipeline) {
+                Ok(reply) => {
+                    self.emit(&reply);
+                    Reply::Analyze(reply)
+                }
+                Err((code, message)) => Reply::error(code, message),
+            },
             Request::Query {
                 fingerprint,
                 pipeline_id,
             } => {
                 self.counters.query.fetch_add(1, Ordering::Relaxed);
                 match self.lookup_warm(fingerprint, &pipeline_id) {
-                    Some(reply) => {
+                    Some((reply, _has_digest)) => {
                         self.emit(&reply);
                         Reply::Analyze(reply)
                     }
@@ -262,6 +299,7 @@ impl AnalysisService {
             cache: self.cache.stats(),
             store: self.store.as_ref().and_then(|s| s.stats().ok()),
             requests: self.counters.snapshot(),
+            delta: self.counters.delta_snapshot(),
             faults_injected: self.faults.fired(),
         }
     }
@@ -276,36 +314,49 @@ impl AnalysisService {
     }
 
     /// Cache-then-store lookup without computing (the `query` path; also
-    /// the warm half of `analyze`). Promotes store hits into the cache.
-    fn lookup_warm(&self, fingerprint: u64, pipeline_id: &str) -> Option<AnalyzeReply> {
+    /// the warm half of `analyze`/`reanalyze`). Promotes store hits —
+    /// digest included — into the cache. The returned flag says whether
+    /// the warm entry carries an [`ImageDigest`]; `analyze` heals
+    /// digest-less (pre-digest) entries when it has the image in hand.
+    fn lookup_warm(&self, fingerprint: u64, pipeline_id: &str) -> Option<(AnalyzeReply, bool)> {
         let t0 = Instant::now();
-        if let Some(result) = self.cache.lookup(fingerprint, pipeline_id) {
+        if let Some((result, digest)) = self.cache.lookup_with_digest(fingerprint, pipeline_id) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(AnalyzeReply {
-                fingerprint,
-                pipeline_id: pipeline_id.to_string(),
-                source: ServeSource::CacheHit,
-                wall_us: t0.elapsed().as_secs_f64() * 1e6,
-                result,
-            });
+            return Some((
+                AnalyzeReply {
+                    fingerprint,
+                    pipeline_id: pipeline_id.to_string(),
+                    source: ServeSource::CacheHit,
+                    wall_us: t0.elapsed().as_secs_f64() * 1e6,
+                    result,
+                },
+                digest.is_some(),
+            ));
         }
         match self
             .store
             .as_ref()
-            .map(|s| s.load(fingerprint, pipeline_id))
+            .map(|s| s.load_full(fingerprint, pipeline_id))
         {
-            Some(Ok(Some(result))) => {
+            Some(Ok(Some((result, digest)))) => {
                 self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
-                let result = self
-                    .cache
-                    .insert(fingerprint, pipeline_id, Arc::new(result));
-                Some(AnalyzeReply {
+                let has_digest = digest.is_some();
+                let result = self.cache.insert_with_digest(
                     fingerprint,
-                    pipeline_id: pipeline_id.to_string(),
-                    source: ServeSource::StoreHit,
-                    wall_us: t0.elapsed().as_secs_f64() * 1e6,
-                    result,
-                })
+                    pipeline_id,
+                    Arc::new(result),
+                    digest.map(Arc::new),
+                );
+                Some((
+                    AnalyzeReply {
+                        fingerprint,
+                        pipeline_id: pipeline_id.to_string(),
+                        source: ServeSource::StoreHit,
+                        wall_us: t0.elapsed().as_secs_f64() * 1e6,
+                        result,
+                    },
+                    has_digest,
+                ))
             }
             Some(Err(e)) => {
                 self.counters.store_errors.fetch_add(1, Ordering::Relaxed);
@@ -335,13 +386,9 @@ impl AnalysisService {
         result
     }
 
-    fn analyze(
-        &self,
-        input: AnalyzeInput,
-        pipeline: &Pipeline,
-    ) -> Result<AnalyzeReply, (ErrorCode, String)> {
-        self.counters.analyze.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
+    /// Reads and parses a request's ELF image (shared by `analyze` and
+    /// `reanalyze`).
+    fn load_image(&self, input: AnalyzeInput) -> Result<ElfImage, (ErrorCode, String)> {
         let bytes = match input {
             AnalyzeInput::Path(path) => std::fs::read(&path).map_err(|e| {
                 (
@@ -351,12 +398,53 @@ impl AnalysisService {
             })?,
             AnalyzeInput::Bytes(bytes) => bytes,
         };
-        let image = ElfImage::parse(bytes)
-            .map_err(|e| (ErrorCode::BadRequest, format!("not a loadable ELF: {e}")))?;
+        ElfImage::parse(bytes)
+            .map_err(|e| (ErrorCode::BadRequest, format!("not a loadable ELF: {e}")))
+    }
+
+    /// Attaches `digest` to the published result in the cache and (when
+    /// configured) the store. Returns the canonical cached `Arc`. A
+    /// failed persist degrades restart warmth, not answers.
+    fn publish_digest(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+        result: Arc<DetectionResult>,
+        digest: Arc<ImageDigest>,
+    ) -> Arc<DetectionResult> {
+        let result =
+            self.cache
+                .insert_with_digest(fingerprint, pipeline_id, result, Some(digest.clone()));
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save_with_digest(fingerprint, pipeline_id, &result, Some(&digest))
+            {
+                eprintln!(
+                    "fetch-serve: failed to persist ({}, {pipeline_id}): {e}",
+                    crate::protocol::hex_u64(fingerprint)
+                );
+            }
+        }
+        result
+    }
+
+    fn analyze(
+        &self,
+        input: AnalyzeInput,
+        pipeline: &Pipeline,
+    ) -> Result<AnalyzeReply, (ErrorCode, String)> {
+        self.counters.analyze.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let image = self.load_image(input)?;
         let fingerprint = image_fingerprint(&image);
         let pipeline_id = pipeline.id();
 
-        if let Some(mut warm) = self.lookup_warm(fingerprint, &pipeline_id) {
+        if let Some((mut warm, has_digest)) = self.lookup_warm(fingerprint, &pipeline_id) {
+            if !has_digest {
+                // A pre-digest entry, and we have the image in hand:
+                // heal it so a later reanalyze can delta against it.
+                let digest = Arc::new(ImageDigest::compute(&image.to_binary(), fingerprint));
+                warm.result = self.publish_digest(fingerprint, &pipeline_id, warm.result, digest);
+            }
             // Charge the reply the full request time (parse included).
             warm.wall_us = t0.elapsed().as_secs_f64() * 1e6;
             return Ok(warm);
@@ -403,19 +491,11 @@ impl AnalysisService {
                     }
                     self.counters.cold.fetch_add(1, Ordering::Relaxed);
                     let result = Arc::new(self.compute(pipeline, &image));
-                    // Publish to cache and waiters first; persist after,
-                    // so coalesced repliers never block on disk.
+                    // Publish to cache and waiters first; digest + disk
+                    // after, so coalesced repliers never block on them.
                     let result = guard.complete(result);
-                    if let Some(store) = &self.store {
-                        if let Err(e) = store.save(fingerprint, &pipeline_id, &result) {
-                            // A failed persist degrades restart warmth,
-                            // not answers.
-                            eprintln!(
-                                "fetch-serve: failed to persist ({}, {pipeline_id}): {e}",
-                                crate::protocol::hex_u64(fingerprint)
-                            );
-                        }
-                    }
+                    let digest = Arc::new(ImageDigest::compute(&image.to_binary(), fingerprint));
+                    let result = self.publish_digest(fingerprint, &pipeline_id, result, digest);
                     return Ok(AnalyzeReply {
                         fingerprint,
                         pipeline_id,
@@ -426,6 +506,138 @@ impl AnalysisService {
                 }
             }
         }
+    }
+
+    /// The `reanalyze` path: answer a new version of a known binary
+    /// through the delta ladder ([`run_delta`]).
+    ///
+    /// Order of resolution:
+    ///
+    /// 1. If the *new* image is itself already warm (cache or store),
+    ///    that answer wins — same as `analyze`.
+    /// 2. The predecessor named by `prev_fingerprint` is fetched from
+    ///    the cache, then the store. A missing or digest-less
+    ///    predecessor drops the ladder to its cold tier (counted as
+    ///    `digest_mismatch` — there was nothing sound to delta against).
+    /// 3. The ladder runs on a pooled engine; tiers 1–2 reuse the
+    ///    previous result verbatim (source `"delta"`, counted in
+    ///    `delta_hits`), tier 3 recomputes decode-warm
+    ///    (`fallback_cold`), tier 4 runs plain cold (`digest_mismatch`).
+    ///
+    /// Whatever tier answered, the result and the new image's digest
+    /// are published to the cache and store, so the next version deltas
+    /// against *this* one. Every tier is byte-identical to a cold
+    /// `analyze` of the same image (property-tested in core and pinned
+    /// end-to-end by the serve tests).
+    fn reanalyze(
+        &self,
+        prev_fingerprint: u64,
+        input: AnalyzeInput,
+        pipeline: &Pipeline,
+    ) -> Result<AnalyzeReply, (ErrorCode, String)> {
+        self.counters.reanalyze.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let image = self.load_image(input)?;
+        let fingerprint = image_fingerprint(&image);
+        let pipeline_id = pipeline.id();
+
+        // The new version may already be known (a resubmission, or two
+        // clients racing on the same rebuild): warm answers win.
+        if let Some((mut warm, has_digest)) = self.lookup_warm(fingerprint, &pipeline_id) {
+            if !has_digest {
+                let digest = Arc::new(ImageDigest::compute(&image.to_binary(), fingerprint));
+                warm.result = self.publish_digest(fingerprint, &pipeline_id, warm.result, digest);
+            }
+            warm.wall_us = t0.elapsed().as_secs_f64() * 1e6;
+            return Ok(warm);
+        }
+
+        // Fetch the predecessor: cache first, then store (not counted
+        // as a store hit — it is an input of the ladder, not the
+        // answer). Load failures degrade to the cold tier.
+        let prev = self
+            .cache
+            .lookup_with_digest(prev_fingerprint, &pipeline_id)
+            .or_else(|| {
+                match self
+                    .store
+                    .as_ref()
+                    .map(|s| s.load_full(prev_fingerprint, &pipeline_id))
+                {
+                    Some(Ok(Some((result, digest)))) => {
+                        Some((Arc::new(result), digest.map(Arc::new)))
+                    }
+                    Some(Err(e)) => {
+                        self.counters.store_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "fetch-serve: rejecting store entry for ({}, {pipeline_id}): {e}",
+                            crate::protocol::hex_u64(prev_fingerprint)
+                        );
+                        None
+                    }
+                    Some(Ok(None)) | None => None,
+                }
+            });
+
+        let binary = image.to_binary();
+        let new_digest = ImageDigest::compute(&binary, fingerprint);
+        let mut engine = self
+            .engines
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_default();
+        let (result, class, sections_reused) = match &prev {
+            Some((prev_result, prev_digest)) => {
+                let out = run_delta(
+                    pipeline,
+                    prev_result,
+                    prev_digest.as_deref(),
+                    &binary,
+                    &new_digest,
+                    &mut engine,
+                );
+                (out.result, out.class, out.sections_reused)
+            }
+            // Unknown predecessor: nothing to delta against.
+            None => (
+                Arc::new(pipeline.run_with_engine(&binary, &mut engine)),
+                DeltaClass::Cold,
+                0,
+            ),
+        };
+        self.engines
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(engine);
+
+        self.counters
+            .sections_reused
+            .fetch_add(sections_reused as u64, Ordering::Relaxed);
+        let source = if class.is_hit() {
+            self.counters.delta_hits.fetch_add(1, Ordering::Relaxed);
+            ServeSource::Delta
+        } else {
+            match class {
+                DeltaClass::Recompute => {
+                    self.counters.fallback_cold.fetch_add(1, Ordering::Relaxed)
+                }
+                _ => self
+                    .counters
+                    .digest_mismatch
+                    .fetch_add(1, Ordering::Relaxed),
+            };
+            self.counters.cold.fetch_add(1, Ordering::Relaxed);
+            ServeSource::Cold
+        };
+        let result = self.publish_digest(fingerprint, &pipeline_id, result, Arc::new(new_digest));
+        Ok(AnalyzeReply {
+            fingerprint,
+            pipeline_id,
+            source,
+            wall_us: t0.elapsed().as_secs_f64() * 1e6,
+            result,
+        })
     }
 }
 
@@ -670,6 +882,131 @@ mod tests {
             .filter(|r| reply_source(r) == ServeSource::Cold)
             .count();
         assert_eq!(cold_replies, 1);
+    }
+
+    fn result_json_of(reply: &Reply) -> String {
+        match reply {
+            Reply::Analyze(a) => crate::protocol::result_json(&a.result).to_string(),
+            other => panic!("expected analyze reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reanalyze_serves_patched_binaries_from_the_delta_path() {
+        use fetch_synth::{patch_function, PatchKind};
+        let dir = scratch_dir("delta");
+        let case = synthesize(&SynthConfig::small(11));
+        let neutral = patch_function(&case, 7, PatchKind::Neutral).expect("a neutral patch site");
+        let behavioral =
+            patch_function(&case, 9, PatchKind::Behavioral).expect("a behavioral patch site");
+        let elf_v1 = write_elf(&case.binary);
+        let elf_v2 = write_elf(&neutral.binary);
+        let elf_v2b = write_elf(&behavioral.binary);
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+
+        // Version 1 lands cold (digest persisted alongside the result).
+        let service = AnalysisService::new(&config).unwrap();
+        let prev_fp = match service.handle(analyze_req(elf_v1)) {
+            Reply::Analyze(a) => a.fingerprint,
+            other => panic!("{other:?}"),
+        };
+        drop(service);
+
+        // Cold reference answers for both new versions, from an
+        // independent store-less service.
+        let reference = AnalysisService::new(&ServeConfig::default()).unwrap();
+        let ref_v2 = result_json_of(&reference.handle(analyze_req(elf_v2.clone())));
+        let ref_v2b = result_json_of(&reference.handle(analyze_req(elf_v2b.clone())));
+
+        // Restart (fresh cache): the predecessor — digest included —
+        // comes out of the store, and the neutral patch is answered
+        // verbatim from the delta path.
+        let restarted = AnalysisService::new(&config).unwrap();
+        let reanalyze = |elf: Vec<u8>| {
+            restarted.handle(Request::Reanalyze {
+                prev_fingerprint: prev_fp,
+                input: AnalyzeInput::Bytes(elf),
+                pipeline: Pipeline::fetch(),
+            })
+        };
+        let delta = reanalyze(elf_v2);
+        assert_eq!(reply_source(&delta), ServeSource::Delta);
+        assert_eq!(
+            result_json_of(&delta),
+            ref_v2,
+            "a delta answer must be byte-identical to the cold answer"
+        );
+        let stats = restarted.stats();
+        assert_eq!(stats.requests.reanalyze, 1);
+        assert_eq!(stats.delta.delta_hits, 1);
+        assert!(stats.delta.sections_reused > 0);
+        assert_eq!(stats.requests.cold, 0, "no pipeline ran");
+
+        // A behavioral patch (an immediate became a code address) is
+        // not provably answer-preserving: decode-warm recompute,
+        // byte-identical, counted as a cold fallback.
+        let recomputed = reanalyze(elf_v2b);
+        assert_eq!(reply_source(&recomputed), ServeSource::Cold);
+        assert_eq!(result_json_of(&recomputed), ref_v2b);
+        assert_eq!(restarted.stats().delta.fallback_cold, 1);
+
+        // An unknown predecessor bottoms out on the ladder's cold tier.
+        let other = synthesize(&SynthConfig::small(67));
+        let re = restarted.handle(Request::Reanalyze {
+            prev_fingerprint: 0x1234_5678,
+            input: AnalyzeInput::Bytes(write_elf(&other.binary)),
+            pipeline: Pipeline::fetch(),
+        });
+        assert_eq!(reply_source(&re), ServeSource::Cold);
+        assert_eq!(restarted.stats().delta.digest_mismatch, 1);
+
+        // Every reanalyze republished under the new fingerprint: a
+        // plain resubmission of the neutral patch is now a cache hit.
+        let again = reanalyze(write_elf(&neutral.binary));
+        assert_eq!(reply_source(&again), ServeSource::CacheHit);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_digest_store_entries_heal_on_the_next_analyze() {
+        let dir = scratch_dir("healdigest");
+        let case = synthesize(&SynthConfig::small(68));
+        let elf = write_elf(&case.binary);
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let service = AnalysisService::new(&config).unwrap();
+        let fp = match service.handle(analyze_req(elf.clone())) {
+            Reply::Analyze(a) => a.fingerprint,
+            other => panic!("{other:?}"),
+        };
+        let id = Pipeline::fetch().id();
+
+        // Strip the persisted digest, simulating an entry written
+        // before digests existed.
+        let store = ResultStore::open(&dir).unwrap();
+        let (result, digest) = store.load_full(fp, &id).unwrap().unwrap();
+        assert!(digest.is_some(), "cold analyzes persist digests");
+        store.save(fp, &id, &result).unwrap();
+        assert!(store.load_full(fp, &id).unwrap().unwrap().1.is_none());
+        drop(store);
+
+        // A restarted daemon's warm analyze heals the entry in place.
+        let restarted = AnalysisService::new(&config).unwrap();
+        assert_eq!(
+            reply_source(&restarted.handle(analyze_req(elf))),
+            ServeSource::StoreHit
+        );
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(
+            store.load_full(fp, &id).unwrap().unwrap().1.is_some(),
+            "the warm analyze re-persisted the digest"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -37,7 +37,10 @@
 //! corruption, and stalls to prove the recovery machinery works.
 
 use crate::fault::{FaultKind, FaultPlan};
-use fetch_core::{deserialize_result, serialize_result, DetectionResult, SerialError};
+use fetch_core::{
+    deserialize_result_full, serialize_result_with_digest, DetectionResult, ImageDigest,
+    SerialError,
+};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -245,7 +248,23 @@ impl ResultStore {
         pipeline_id: &str,
         result: &DetectionResult,
     ) -> Result<(), StoreError> {
-        let blob = serialize_result(result).map_err(StoreError::Malformed)?;
+        self.save_with_digest(fingerprint, pipeline_id, result, None)
+    }
+
+    /// [`ResultStore::save`], also persisting the [`ImageDigest`] the
+    /// result was computed against (inside the same checksummed blob —
+    /// the store header is unchanged), so a later `reanalyze` of a new
+    /// version of the same binary can delta against this entry.
+    /// Re-saving an existing key with a digest *heals* a pre-digest
+    /// entry in place.
+    pub fn save_with_digest(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+        result: &DetectionResult,
+        digest: Option<&ImageDigest>,
+    ) -> Result<(), StoreError> {
+        let blob = serialize_result_with_digest(result, digest).map_err(StoreError::Malformed)?;
         let mut file = Vec::with_capacity(blob.len() + 32);
         file.extend_from_slice(&STORE_MAGIC);
         file.extend_from_slice(&STORE_VERSION.to_le_bytes());
@@ -315,6 +334,21 @@ impl ResultStore {
         fingerprint: u64,
         pipeline_id: &str,
     ) -> Result<Option<DetectionResult>, StoreError> {
+        Ok(self
+            .load_full(fingerprint, pipeline_id)?
+            .map(|(result, _)| result))
+    }
+
+    /// [`ResultStore::load`], also returning the persisted
+    /// [`ImageDigest`] when the entry has one. Entries written before
+    /// digests existed (blob format v1, or a v2 save without a digest)
+    /// load with `digest = None`; the serving layer heals them by
+    /// re-saving with a digest on its next analyze of that image.
+    pub fn load_full(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+    ) -> Result<Option<(DetectionResult, Option<ImageDigest>)>, StoreError> {
         let path = self.path_for(fingerprint, pipeline_id);
         let mut bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
@@ -345,7 +379,7 @@ impl ResultStore {
         bytes: &[u8],
         fingerprint: u64,
         pipeline_id: &str,
-    ) -> Result<DetectionResult, StoreError> {
+    ) -> Result<(DetectionResult, Option<ImageDigest>), StoreError> {
         let min = STORE_MAGIC.len() + 2 + 8 + 2;
         if bytes.len() < min {
             return Err(StoreError::BadHeader("file shorter than header"));
@@ -368,7 +402,7 @@ impl ResultStore {
         if stored_fp != fingerprint || stored_id != pipeline_id {
             return Err(StoreError::KeyMismatch);
         }
-        deserialize_result(&bytes[id_end..]).map_err(StoreError::Malformed)
+        deserialize_result_full(&bytes[id_end..]).map_err(StoreError::Malformed)
     }
 
     /// Validates an entry file in place (header, embedded key sanity,
@@ -722,6 +756,81 @@ mod tests {
         assert!(stats.gc_bytes_freed > 0);
         assert!(!store.contains(fps[0], &pipeline.id()), "oldest evicted");
         assert!(store.contains(fps[3], &pipeline.id()), "newest kept");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The serial-blob checksum (FNV-1a, domain `"serial1v"`),
+    /// replicated so the test below can forge a pre-digest (v1) blob.
+    /// Drifts loudly: if core changes its checksum this test fails.
+    fn serial_checksum(payload: &[u8]) -> u64 {
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x7365_7269_616c_3176; // "serial1v"
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(PRIME);
+        };
+        mix(&mut h, payload.len() as u64);
+        let mut chunks = payload.chunks_exact(8);
+        for c in &mut chunks {
+            mix(&mut h, u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        for &b in chunks.remainder() {
+            mix(&mut h, b as u64);
+        }
+        h
+    }
+
+    #[test]
+    fn digests_persist_and_v1_entries_load_digestless_then_heal() {
+        use fetch_core::{ImageDigest, RESULT_VERSION_V1};
+        let dir = scratch_dir("digest");
+        let case = synthesize(&SynthConfig::small(57));
+        let pipeline = Pipeline::fetch();
+        let result = pipeline.run(&case.binary);
+        let fp = content_fingerprint(&case.binary);
+        let digest = ImageDigest::compute(&case.binary, fp);
+
+        let store = ResultStore::open(&dir).unwrap();
+        store
+            .save_with_digest(fp, &pipeline.id(), &result, Some(&digest))
+            .unwrap();
+        let (back, d) = store.load_full(fp, &pipeline.id()).unwrap().unwrap();
+        assert_eq!(back, result);
+        assert_eq!(d.as_ref(), Some(&digest));
+        // The digest-blind accessor still works on a digest-ful entry.
+        assert_eq!(store.load(fp, &pipeline.id()).unwrap().unwrap(), result);
+
+        // Rewrite the entry's blob as a pre-digest v1 encoding: drop
+        // the digest presence byte + checksum, stamp version 1, redo
+        // the checksum — the shape of an entry persisted before
+        // digests existed.
+        let path = store.path_for(fp, &pipeline.id());
+        let file = fs::read(&path).unwrap();
+        let id_len = u16::from_le_bytes(file[14..16].try_into().unwrap()) as usize;
+        let blob_at = 16 + id_len;
+        let digestless = fetch_core::serialize_result(&result).unwrap();
+        let mut v1 = digestless[..digestless.len() - 9].to_vec();
+        v1[4..6].copy_from_slice(&RESULT_VERSION_V1.to_le_bytes());
+        let sum = serial_checksum(&v1).to_le_bytes();
+        v1.extend_from_slice(&sum);
+        let mut forged = file[..blob_at].to_vec();
+        forged.extend_from_slice(&v1);
+        fs::write(&path, &forged).unwrap();
+
+        // A restart's recovery sweep must keep the v1 entry...
+        let restarted = ResultStore::open(&dir).unwrap();
+        assert_eq!(restarted.stats().unwrap().quarantined, 0);
+        // ...and it loads with no digest.
+        let (old, od) = restarted.load_full(fp, &pipeline.id()).unwrap().unwrap();
+        assert_eq!(old, result);
+        assert!(od.is_none(), "pre-digest entries read as digest-less");
+
+        // Healing: a re-save with the digest upgrades the entry.
+        restarted
+            .save_with_digest(fp, &pipeline.id(), &result, Some(&digest))
+            .unwrap();
+        let (_, healed) = restarted.load_full(fp, &pipeline.id()).unwrap().unwrap();
+        assert_eq!(healed.as_ref(), Some(&digest));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -43,11 +43,13 @@ mod config;
 pub mod corpus;
 mod generate;
 mod layout;
+mod patch;
 pub mod plan;
 
 pub use config::{FeatureRates, SynthConfig};
 pub use generate::generate_plan;
 pub use layout::{build_cfis, layout, TEXT_BASE};
+pub use patch::{patch_function, FunctionPatch, PatchKind};
 
 use fetch_binary::TestCase;
 use rand::rngs::StdRng;
