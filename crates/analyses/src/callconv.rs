@@ -15,7 +15,6 @@
 
 use fetch_binary::Binary;
 use fetch_x64::{decode, Flow, Reg};
-use std::collections::BTreeSet;
 
 /// Outcome of validating one candidate start.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,16 +76,16 @@ const CALLER_SAVED: [Reg; 9] = [
 /// [`validate_calling_convention_ext`] when non-returning callees are
 /// known (otherwise exploration walks past fatal calls into data).
 pub fn validate_calling_convention(bin: &Binary, start: u64, max_insts: u32) -> CallConvVerdict {
-    validate_calling_convention_ext(bin, start, max_insts, &BTreeSet::new())
+    validate_calling_convention_ext(bin, start, max_insts, &[])
 }
 
-/// [`validate_calling_convention`] with a set of known non-returning
-/// (or `error`-style) callees at which paths end.
+/// [`validate_calling_convention`] with a sorted slice of known
+/// non-returning (or `error`-style) callees at which paths end.
 pub fn validate_calling_convention_ext(
     bin: &Binary,
     start: u64,
     max_insts: u32,
-    stop_calls: &BTreeSet<u64>,
+    stop_calls: &[u64],
 ) -> CallConvVerdict {
     validate_with(bin, start, max_insts, stop_calls, |_| None)
 }
@@ -101,7 +100,7 @@ pub fn validate_calling_convention_cached(
     bin: &Binary,
     start: u64,
     max_insts: u32,
-    stop_calls: &BTreeSet<u64>,
+    stop_calls: &[u64],
     known: &fetch_disasm::Disassembly,
 ) -> CallConvVerdict {
     validate_with(bin, start, max_insts, stop_calls, |addr| {
@@ -113,7 +112,7 @@ fn validate_with(
     bin: &Binary,
     start: u64,
     max_insts: u32,
-    stop_calls: &BTreeSet<u64>,
+    stop_calls: &[u64],
     lookup: impl Fn(u64) -> Option<fetch_x64::Inst>,
 ) -> CallConvVerdict {
     let text = bin.text();
@@ -131,7 +130,9 @@ fn validate_with(
         defined: initial,
         steps: 0,
     }];
-    let mut visited: BTreeSet<(u64, u64)> = BTreeSet::new();
+    // Sorted-vec set: the exploration visits at most `max_insts`
+    // states, where binary-search + ordered insert beats a B-tree.
+    let mut visited: Vec<(u64, u64)> = Vec::with_capacity(max_insts.min(256) as usize);
     let mut budget = max_insts;
     let mut first = true;
 
@@ -140,8 +141,12 @@ fn validate_with(
             if budget == 0 || st.steps > 64 {
                 break;
             }
-            if !text.contains(st.addr) || !visited.insert((st.addr, st.defined)) {
+            if !text.contains(st.addr) {
                 break;
+            }
+            match visited.binary_search(&(st.addr, st.defined)) {
+                Ok(_) => break,
+                Err(pos) => visited.insert(pos, (st.addr, st.defined)),
             }
             let inst = match lookup(st.addr) {
                 Some(i) => i,
@@ -159,24 +164,27 @@ fn validate_with(
             budget = budget.saturating_sub(1);
             st.steps += 1;
 
-            for r in inst.regs_read() {
-                if r == Reg::Rsp || r == Reg::Rbp || r.is_arg() {
-                    continue;
+            // The visitors keep this loop allocation-free; the first
+            // offending register in visit order is the verdict, same as
+            // iterating the collected `regs_read()` list.
+            let mut violation: Option<Reg> = None;
+            inst.each_reg_read(|r| {
+                if violation.is_some() || r == Reg::Rsp || r == Reg::Rbp || r.is_arg() {
+                    return;
                 }
                 if st.defined & bit(r) == 0 {
-                    return CallConvVerdict::ReadBeforeWrite {
-                        at: st.addr,
-                        reg: r,
-                    };
+                    violation = Some(r);
                 }
+            });
+            if let Some(reg) = violation {
+                return CallConvVerdict::ReadBeforeWrite { at: st.addr, reg };
             }
-            for r in inst.regs_written() {
-                st.defined |= bit(r);
-            }
+            let defined = &mut st.defined;
+            inst.each_reg_written(|r| *defined |= bit(r));
 
             match inst.flow() {
                 Flow::Fallthrough => st.addr = inst.end(),
-                Flow::Call(t) if stop_calls.contains(&t) => break, // noreturn
+                Flow::Call(t) if stop_calls.binary_search(&t).is_ok() => break, // noreturn
                 Flow::Call(_) | Flow::IndirectCall => {
                     // The callee clobbers (hence defines) caller-saved regs.
                     for r in CALLER_SAVED {
@@ -334,13 +342,14 @@ mod tests {
         // The pipeline always validates with the known non-returning
         // callees; mirror that (otherwise exploration walks past fatal
         // calls into data).
-        let stop_calls: BTreeSet<u64> = case
+        let mut stop_calls: Vec<u64> = case
             .truth
             .functions
             .iter()
             .filter(|f| ["abort_like", "exit_group", "error"].contains(&f.name.as_str()))
             .map(|f| f.entry())
             .collect();
+        stop_calls.sort_unstable();
         let mut cold_parts = 0;
         let mut valid = 0;
         for f in &case.truth.functions {

@@ -81,12 +81,16 @@ impl std::error::Error for BatchError {}
 #[derive(Debug, Clone)]
 pub struct BatchDriver {
     jobs: usize,
+    intra_jobs: usize,
 }
 
 impl BatchDriver {
     /// A driver running `jobs` workers (clamped to at least one).
     pub fn new(jobs: usize) -> BatchDriver {
-        BatchDriver { jobs: jobs.max(1) }
+        BatchDriver {
+            jobs: jobs.max(1),
+            intra_jobs: 1,
+        }
     }
 
     /// A single-worker driver — the serial reference the differential
@@ -96,14 +100,33 @@ impl BatchDriver {
     }
 
     /// A driver sized from [`crate::BenchOpts::jobs`] (the `--jobs`
-    /// flag; defaults to the machine's available parallelism).
+    /// flag; defaults to the machine's available parallelism), with the
+    /// per-worker engines' intra-binary shard count taken from
+    /// `--intra-jobs`. The two axes compose: `jobs` workers each run
+    /// `intra_jobs`-way sharded walks, and output stays byte-identical
+    /// for every combination.
     pub fn from_opts(opts: &crate::BenchOpts) -> BatchDriver {
-        BatchDriver::new(opts.jobs)
+        BatchDriver::new(opts.jobs).with_intra_jobs(opts.intra_jobs)
+    }
+
+    /// Sets the intra-binary shard count every worker engine is
+    /// configured with (see [`RecEngine::set_intra_jobs`]); `0` or `1`
+    /// keeps the walks serial.
+    pub fn with_intra_jobs(mut self, intra_jobs: usize) -> BatchDriver {
+        self.intra_jobs = intra_jobs;
+        self
     }
 
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// One freshly configured per-worker engine.
+    fn worker_engine(&self) -> RecEngine {
+        let mut engine = RecEngine::new();
+        engine.set_intra_jobs(self.intra_jobs);
+        engine
     }
 
     /// Maps `f` over `items`, returning results in item order. Each
@@ -159,7 +182,7 @@ impl BatchDriver {
     {
         let jobs = self.jobs.min(items.len()).max(1);
         if jobs == 1 {
-            return run_shard_serial(items, &f);
+            return run_shard_serial(self.worker_engine(), items, &f);
         }
 
         let abort = AtomicBool::new(false);
@@ -168,8 +191,8 @@ impl BatchDriver {
             for worker in 0..jobs {
                 let tx = tx.clone();
                 let (f, abort) = (&f, &abort);
+                let mut engine = self.worker_engine();
                 scope.spawn(move || {
-                    let mut engine = RecEngine::new();
                     for index in (worker..items.len()).step_by(jobs) {
                         if abort.load(Ordering::Relaxed) {
                             break;
@@ -228,11 +251,14 @@ impl BatchDriver {
 /// The `jobs == 1` path: no threads, one engine, plain iteration — the
 /// reference semantics. Panics are still converted to [`BatchError`] so
 /// `try_run`'s contract is worker-count independent.
-fn run_shard_serial<C, T, F>(items: &[C], f: &F) -> Result<Vec<T>, BatchError>
+fn run_shard_serial<C, T, F>(
+    mut engine: RecEngine,
+    items: &[C],
+    f: &F,
+) -> Result<Vec<T>, BatchError>
 where
     F: Fn(&mut RecEngine, &C) -> T,
 {
-    let mut engine = RecEngine::new();
     let mut out = Vec::with_capacity(items.len());
     for (index, item) in items.iter().enumerate() {
         let engine = &mut engine;

@@ -82,9 +82,32 @@ impl CallFrameRepair {
             .filter(|(_, p)| **p == Provenance::Fde)
             .map(|(a, _)| *a)
             .collect();
-        let mut stop_calls: BTreeSet<u64> = state.rec.noreturn.clone();
+        let mut stop_calls: Vec<u64> = state.rec.noreturn.iter().copied().collect();
         stop_calls.extend(state.error_funcs.iter().copied());
+        stop_calls.sort_unstable();
+        stop_calls.dedup();
+        // Verdict-preserving short-circuit: the sweep only acts on
+        // `Undecodable` and `PaddingStart`. For a start the recursive walk
+        // decoded, the calling-convention exploration visits a subset of
+        // rec-reachable code — it breaks at every call the walk pruned
+        // (`stop_calls` covers the walk's noreturn/error pruning) and at
+        // indirect jumps the walk followed — so with no decode errors
+        // anywhere in the disassembly the verdict cannot be `Undecodable`,
+        // and `PaddingStart` is decided by the first instruction alone.
+        // Valid/ReadBeforeWrite are both kept, so skipping the exploration
+        // leaves `bad_fdes_removed` byte-identical.
+        let no_decode_errors = state.rec.disasm.decode_errors.is_empty();
         for s in fde_starts {
+            if no_decode_errors {
+                if let Some(first) = state.rec.disasm.at(s) {
+                    if !first.is_padding() {
+                        continue;
+                    }
+                    state.remove_start(s);
+                    report.bad_fdes_removed.push(s);
+                    continue;
+                }
+            }
             match validate_calling_convention_cached(
                 state.binary,
                 s,
@@ -142,8 +165,15 @@ impl CallFrameRepair {
         let data_ptrs = state.data_pointers();
         let extents = state.extents();
 
-        // Snapshot of the start set entering the repair loop.
-        let start_snapshot = state.start_set();
+        // Snapshot of the start set entering the repair loop, flattened
+        // to a sorted slice: the reference closures below probe it per
+        // incoming jump, and a binary search over one contiguous
+        // allocation beats a tree walk at that frequency. `has_fde`
+        // gets the same treatment for the per-jump merge test.
+        let start_snapshot: Vec<u64> = state.start_set().iter().copied().collect();
+        let snapshot_has = |t: u64| start_snapshot.binary_search(&t).is_ok();
+        let has_fde_sorted: Vec<u64> = has_fde.iter().copied().collect();
+        let fde_has = |t: u64| has_fde_sorted.binary_search(&t).is_ok();
 
         // Jump-only reference check: every reference to `t` is a jump
         // whose source lies inside `f`'s body, and no data pointer or
@@ -152,7 +182,7 @@ impl CallFrameRepair {
             if data_ptrs.contains_key(&t) {
                 return false;
             }
-            match xrefs.get(&t) {
+            match xrefs.get(t) {
                 None => false, // unreferenced targets are not merge edges
                 Some(refs) => refs.iter().all(|x| {
                     matches!(x.kind, XrefKind::Jump | XrefKind::CondJump) && f_body.contains(x.from)
@@ -165,10 +195,10 @@ impl CallFrameRepair {
         // routinely alias mid-function addresses, and trusting one here
         // would confirm a bogus tail call into a function body.
         let referenced_elsewhere = |t: u64, f_body: &fetch_disasm::FunctionBody| -> bool {
-            if data_ptrs.contains_key(&t) && start_snapshot.contains(&t) {
+            if data_ptrs.contains_key(&t) && snapshot_has(t) {
                 return true;
             }
-            xrefs.get(&t).is_some_and(|refs| {
+            xrefs.get(t).is_some_and(|refs| {
                 refs.iter().any(|x| {
                     !matches!(x.kind, XrefKind::Jump | XrefKind::CondJump)
                         || !f_body.contains(x.from)
@@ -177,15 +207,19 @@ impl CallFrameRepair {
         };
 
         // ---- Algorithm 1 main loop ----
-        let l: Vec<u64> = start_snapshot.iter().copied().collect();
         let mut removed: BTreeSet<u64> = BTreeSet::new();
-        for &f in &l {
+        // Calling-convention verdicts are a pure function of the
+        // binary, the (fixed-for-the-loop) disassembly, and the stop
+        // set — and hot tail-call targets are tested once per incoming
+        // jump. Memoize per target across the whole loop.
+        let mut cc_memo: std::collections::BTreeMap<u64, bool> = std::collections::BTreeMap::new();
+        for &f in &start_snapshot {
             if removed.contains(&f) {
                 continue;
             }
             let ht = heights.get(&f);
             if ht.is_none() && self.use_static_heights.is_none() {
-                if has_fde.contains(&f) {
+                if fde_has(f) {
                     report.skipped_incomplete += 1;
                 }
                 continue;
@@ -218,14 +252,21 @@ impl CallFrameRepair {
                 let mut is_tail_call = false;
                 if h == 0 && !fde_interior(t) {
                     let cc_ok = self.skip_callconv
-                        || validate_calling_convention_cached(
-                            state.binary,
-                            t,
-                            96,
-                            &stop_calls,
-                            &state.rec.disasm,
-                        )
-                        .is_valid();
+                        || match cc_memo.get(&t) {
+                            Some(&ok) => ok,
+                            None => {
+                                let ok = validate_calling_convention_cached(
+                                    state.binary,
+                                    t,
+                                    96,
+                                    &stop_calls,
+                                    &state.rec.disasm,
+                                )
+                                .is_valid();
+                                cc_memo.insert(t, ok);
+                                ok
+                            }
+                        };
                     if cc_ok && referenced_elsewhere(t, body) {
                         // A confirmed tail call: the target is a function.
                         report.tail_calls.push((j.addr, t));
@@ -238,7 +279,7 @@ impl CallFrameRepair {
                 if !is_tail_call
                     && !absorbed
                     && state.starts.contains_key(&t)
-                    && has_fde.contains(&t)
+                    && fde_has(t)
                     && (self.skip_ref_check || only_jumps_from(t, body))
                 {
                     // Same non-contiguous function: merge the frames.

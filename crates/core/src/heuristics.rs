@@ -254,7 +254,7 @@ impl Strategy for ControlFlowRepair {
         let starts: Vec<u64> = state.start_set().iter().copied().collect();
         let mut to_remove = Vec::new();
         for &s in &starts {
-            if s == entry || xrefs.contains_key(&s) {
+            if s == entry || xrefs.contains_key(s) {
                 continue;
             }
             // Find the last decoded instruction before `s`, skipping
@@ -309,7 +309,7 @@ impl Strategy for FunctionMerge {
             let (f1, f2) = (w[0], w[1]);
             let Some(b1) = extents.get(&f1) else { continue };
             // All references to f2 are jumps from f1.
-            let refs_ok = xrefs.get(&f2).is_some_and(|refs| {
+            let refs_ok = xrefs.get(f2).is_some_and(|refs| {
                 !refs.is_empty()
                     && refs.iter().all(|x| {
                         matches!(x.kind, XrefKind::Jump | XrefKind::CondJump) && b1.contains(x.from)

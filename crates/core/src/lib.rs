@@ -53,6 +53,33 @@
 //! one decode cache. A second property test proves sharing an engine
 //! across different stacks changes no result.
 //!
+//! ## Intra-binary parallelism: shard → merge → identical result
+//!
+//! The layer pipeline for one binary is inherently sequential (each
+//! layer consumes the previous layer's starts), so the remaining
+//! parallelism *inside* one analysis lives in the recursive walk:
+//! [`fetch_disasm::RecEngine::set_intra_jobs`] splits a walk's seed
+//! set across worker shards. Each shard runs a *scout* pass that
+//! decodes its seeds' reachable code into a private fork of the shared
+//! decode cache; the engine then absorbs the forks and *replays* the
+//! walk serially over now-cached instructions. Replay re-establishes
+//! the serial walk's exact visit order and tie-breaks, so the decoded
+//! set, jump-table resolutions, and every downstream verdict are
+//! byte-identical at every width — shard width is an execution knob,
+//! never an analysis input. A property test
+//! (`proptest_intra`) asserts sharded ≡ serial over random corpora,
+//! and the CI determinism job diffs full harness outputs at
+//! `--intra-jobs 1` vs `N`.
+//!
+//! Intra-binary sharding composes with the two outer levels of
+//! parallelism — the batch driver's per-binary workers
+//! (`BatchDriver --jobs` in `fetch-bench`) and the serving daemon's
+//! worker pool (`fetch-serve --jobs`) — because each worker owns its
+//! engine: widths multiply, determinism guarantees stack. On corpora
+//! of small binaries prefer outer parallelism (per-binary workers
+//! amortize better than per-walk shards); reach for `intra_jobs > 1`
+//! when single large binaries dominate latency.
+//!
 //! ## Pipelines: spec → executor → trace → cache
 //!
 //! Detectors are *data*, not code paths. The pipeline subsystem has four
@@ -253,10 +280,14 @@ pub use heuristics::{
     LinearScanStarts, NucleusScan, PrologueMatch, TailCallHeuristic, ThunkHeuristic, ToolStyle,
 };
 pub use pipeline::{LayerSpec, Pipeline, PipelineParseError, Tool, KNOWN_LAYERS};
-pub use pointer_scan::{collect_data_pointers, validate_candidate, PointerScan, ValidationError};
+pub use pointer_scan::{
+    collect_data_pointers, collect_data_pointers_counted, validate_candidate,
+    validate_candidate_indexed, OwnerIndex, PointerScan, ValidationError,
+};
 pub use serial::{
     deserialize_result, deserialize_result_full, intern_layer_name, serialize_result,
-    serialize_result_with_digest, SerialError, RESULT_MAGIC, RESULT_VERSION, RESULT_VERSION_V1,
+    serialize_result_legacy, serialize_result_with_digest, SerialError, RESULT_MAGIC,
+    RESULT_VERSION, RESULT_VERSION_V1, RESULT_VERSION_V2,
 };
 pub use state::{DetectionResult, DetectionState, FrameTable, LayerTrace, Provenance};
 pub use strategy::{

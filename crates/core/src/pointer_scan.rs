@@ -34,33 +34,214 @@ pub enum ValidationError {
 /// 8 bytes of every data section interpreted as a little-endian address,
 /// kept when it lands in `.text`. Returns `target → source addresses`.
 pub fn collect_data_pointers(bin: &Binary) -> BTreeMap<u64, Vec<u64>> {
+    collect_data_pointers_counted(bin).0
+}
+
+/// [`collect_data_pointers`], also reporting how many data-section
+/// bytes the sweep covered (the `bytes_scanned` trace counter — the
+/// scan's work was invisible next to decode hit/miss accounting).
+///
+/// The scan is batched: when every `.text` address shares one top
+/// byte (the usual case — small images nowhere near a 256 TiB
+/// boundary), a little-endian window pointing into `.text` must have
+/// exactly that byte last, so a word-at-a-time prefilter locates
+/// top-byte occurrences eight lanes at a time and only those windows
+/// are materialized and range-checked. Candidate set and source order
+/// are identical to the naive sliding window (each flagged position
+/// still passes the exact bounds check; the filter only skips
+/// positions that cannot pass it).
+pub fn collect_data_pointers_counted(bin: &Binary) -> (BTreeMap<u64, Vec<u64>>, u64) {
     let text = bin.text();
+    let lo = text.addr;
+    let hi = text.addr + text.bytes.len() as u64;
     let mut out: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut bytes_scanned = 0u64;
     for sec in bin.data_sections() {
+        bytes_scanned += sec.bytes.len() as u64;
         if sec.bytes.len() < 8 {
             continue;
         }
-        for off in 0..=sec.bytes.len() - 8 {
-            let v = u64::from_le_bytes(sec.bytes[off..off + 8].try_into().unwrap());
-            if text.contains(v) {
-                out.entry(v).or_default().push(sec.addr + off as u64);
+        if lo >> 56 == (hi - 1) >> 56 {
+            scan_windows_topbyte(&sec.bytes, sec.addr, lo, hi, &mut out);
+        } else {
+            for off in 0..=sec.bytes.len() - 8 {
+                let v = u64::from_le_bytes(sec.bytes[off..off + 8].try_into().unwrap());
+                if lo <= v && v < hi {
+                    out.entry(v).or_default().push(sec.addr + off as u64);
+                }
             }
         }
     }
-    out
+    (out, bytes_scanned)
+}
+
+/// The word-at-a-time pass of [`collect_data_pointers_counted`]:
+/// scans `bytes` for occurrences of `.text`'s shared top byte using
+/// SWAR zero-byte detection over `chunk ^ splat(top)` and emits the
+/// 8-byte window *ending* at each occurrence. The zero-byte trick
+/// (`(x - 0x01…01) & !x & 0x80…80`) can flag a spurious lane when a
+/// borrow propagates, never miss a real one — spurious lanes are
+/// discarded by the exact range check every candidate passes anyway.
+fn scan_windows_topbyte(
+    bytes: &[u8],
+    sec_addr: u64,
+    lo: u64,
+    hi: u64,
+    out: &mut BTreeMap<u64, Vec<u64>>,
+) {
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    const HIGHS: u64 = 0x8080_8080_8080_8080;
+    let top = (lo >> 56) as u8;
+    let splat = u64::from_le_bytes([top; 8]);
+    let mut consider = |top_at: usize| {
+        let Some(off) = top_at.checked_sub(7) else {
+            return;
+        };
+        let v = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        if lo <= v && v < hi {
+            out.entry(v).or_default().push(sec_addr + off as u64);
+        }
+    };
+    let mut chunks = bytes.chunks_exact(8);
+    let mut base = 0usize;
+    for c in &mut chunks {
+        let x = u64::from_le_bytes(c.try_into().expect("8-byte chunk")) ^ splat;
+        let mut lanes = x.wrapping_sub(ONES) & !x & HIGHS;
+        while lanes != 0 {
+            // Lowest set bit first: candidates stay in ascending
+            // source order, matching the naive scan exactly.
+            consider(base + (lanes.trailing_zeros() / 8) as usize);
+            lanes &= lanes - 1;
+        }
+        base += 8;
+    }
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        if b == top {
+            consider(base + i);
+        }
+    }
+}
+
+/// An `instruction address → owning function start` index over a
+/// round's function extents, for the class-(iii) interior check. The
+/// linear `extents.values().find(|b| b.contains(t))` it replaces made
+/// every direct-target instruction cost `O(functions × lookup)` — the
+/// access pattern behind the superlinear `insts_per_sec` falloff on
+/// large corpora.
+///
+/// Layout: a span directory over the (already-sorted) bodies rather
+/// than a flattened copy of every member address — queries are rare
+/// (only direct targets of *undecoded* candidate code reach it), so
+/// flattening and sorting tens of thousands of addresses per scan
+/// round was pure build-cost. Each entry is `(body min, body max,
+/// start)` ordered by span start, plus a running maximum of span ends
+/// so a lookup knows how far left an overlapping body could begin.
+#[derive(Debug, Clone)]
+pub struct OwnerIndex<'e> {
+    /// `(span_min, span_max, start)` sorted ascending; the body's exact
+    /// membership is re-checked against `extents` on a span hit.
+    spans: Vec<(u64, u64, u64)>,
+    /// `prefix_max[i]` = max span end over `spans[..=i]`.
+    prefix_max: Vec<u64>,
+    /// The extents snapshot the spans describe.
+    extents: &'e BTreeMap<u64, FunctionBody>,
+}
+
+impl<'e> OwnerIndex<'e> {
+    /// Builds the index. Where bodies overlap (an absorbed tail
+    /// callee appears in its caller's extent too), the smallest
+    /// owning start wins — the same answer ascending-order `.find`
+    /// over the extents map produced.
+    pub fn build(extents: &'e BTreeMap<u64, FunctionBody>) -> OwnerIndex<'e> {
+        let mut spans: Vec<(u64, u64, u64)> = extents
+            .values()
+            .filter_map(|body| {
+                let (&min, &max) = (body.insts.first()?, body.insts.last()?);
+                Some((min, max, body.start))
+            })
+            .collect();
+        spans.sort_unstable();
+        let mut prefix_max = Vec::with_capacity(spans.len());
+        let mut running = 0u64;
+        for &(_, max, _) in &spans {
+            running = running.max(max);
+            prefix_max.push(running);
+        }
+        OwnerIndex {
+            spans,
+            prefix_max,
+            extents,
+        }
+    }
+
+    /// The start of the function owning the instruction at `addr`
+    /// (smallest owning start when absorbed bodies overlap).
+    pub fn owner_of(&self, addr: u64) -> Option<u64> {
+        let mut owner: Option<u64> = None;
+        let mut i = self.spans.partition_point(|&(min, _, _)| min <= addr);
+        while i > 0 {
+            i -= 1;
+            if self.prefix_max[i] < addr {
+                break; // nothing further left can reach this address
+            }
+            let (_, max, start) = self.spans[i];
+            let in_body = max >= addr && self.extents.get(&start).is_some_and(|b| b.contains(addr));
+            if in_body {
+                owner = Some(owner.map_or(start, |o: u64| o.min(start)));
+            }
+        }
+        owner
+    }
 }
 
 /// Validates one candidate start against the four §IV-E error classes.
 ///
 /// `extents` are the bodies of currently detected functions; `known`
-/// is the current instruction map (for overlap checks).
+/// is the current instruction map (for overlap checks). Callers
+/// validating many candidates against one extents snapshot should
+/// build an [`OwnerIndex`] once and use
+/// [`validate_candidate_indexed`] instead.
 pub fn validate_candidate(
     bin: &Binary,
     candidate: u64,
     known: &fetch_disasm::Disassembly,
     extents: &BTreeMap<u64, FunctionBody>,
-    starts: &BTreeSet<u64>,
-    stop_calls: &BTreeSet<u64>,
+    starts: &[u64],
+    stop_calls: &[u64],
+) -> Result<(), ValidationError> {
+    validate_candidate_indexed(
+        bin,
+        candidate,
+        known,
+        &OwnerIndex::build(extents),
+        starts,
+        stop_calls,
+    )
+}
+
+/// [`validate_candidate`] against a prebuilt [`OwnerIndex`] —
+/// verdict-identical, without the per-candidate extents walk.
+pub fn validate_candidate_indexed(
+    bin: &Binary,
+    candidate: u64,
+    known: &fetch_disasm::Disassembly,
+    owners: &OwnerIndex,
+    starts: &[u64],
+    stop_calls: &[u64],
+) -> Result<(), ValidationError> {
+    validate_candidate_precheck(bin, candidate, known, stop_calls)?;
+    validate_candidate_explore(bin, candidate, known, owners, starts, stop_calls)
+}
+
+/// The owner-free first half of candidate validation — bounds, calling
+/// convention (iv), and body plausibility. Split out so batch callers
+/// can defer the extents/[`OwnerIndex`] build until some candidate
+/// actually survives this far (most fail here).
+pub fn validate_candidate_precheck(
+    bin: &Binary,
+    candidate: u64,
+    known: &fetch_disasm::Disassembly,
+    stop_calls: &[u64],
 ) -> Result<(), ValidationError> {
     let text = bin.text();
     if !text.contains(candidate) {
@@ -81,7 +262,21 @@ pub fn validate_candidate(
             return Err(ValidationError::CallConv);
         }
     }
+    Ok(())
+}
 
+/// The second half of candidate validation: conservative exploration
+/// for classes (i)–(iii). Assumes [`validate_candidate_precheck`]
+/// passed.
+pub fn validate_candidate_explore(
+    bin: &Binary,
+    candidate: u64,
+    known: &fetch_disasm::Disassembly,
+    owners: &OwnerIndex,
+    starts: &[u64],
+    stop_calls: &[u64],
+) -> Result<(), ValidationError> {
+    let text = bin.text();
     // Conservative exploration for classes (i)–(iii).
     let mut work = vec![candidate];
     let mut seen: BTreeSet<u64> = BTreeSet::new();
@@ -107,10 +302,9 @@ pub fn validate_candidate(
             };
             // (iii) control transfer into the middle of a detected function.
             if let Some(t) = inst.direct_target() {
-                if !starts.contains(&t) {
-                    let owner = extents.values().find(|b| b.contains(t));
-                    if let Some(b) = owner {
-                        if b.start != t {
+                if starts.binary_search(&t).is_err() {
+                    if let Some(owner) = owners.owner_of(t) {
+                        if owner != t {
                             return Err(ValidationError::JumpsIntoFunction);
                         }
                     }
@@ -118,16 +312,16 @@ pub fn validate_candidate(
             }
             match inst.flow() {
                 Flow::Fallthrough | Flow::IndirectCall => cur = inst.end(),
-                Flow::Call(t) if stop_calls.contains(&t) => break,
+                Flow::Call(t) if stop_calls.binary_search(&t).is_ok() => break,
                 Flow::Call(_) => cur = inst.end(),
                 Flow::Jump(t) => {
-                    if !starts.contains(&t) {
+                    if starts.binary_search(&t).is_err() {
                         work.push(t);
                     }
                     break;
                 }
                 Flow::CondJump(t) => {
-                    if !starts.contains(&t) {
+                    if starts.binary_search(&t).is_err() {
                         work.push(t);
                     }
                     cur = inst.end();
@@ -150,32 +344,61 @@ impl PointerScan {
             state.run_recursion(true, fetch_disasm::ErrorCallPolicy::SliceZero);
         }
         let mut accepted = Vec::new();
+        // The binary (and so `.text`) is immutable for the whole scan;
+        // hoist it out of the per-candidate loop.
+        let binary = state.binary;
+        let text = binary.text();
         loop {
             // (Re)collect candidates: data pointers + code constants,
             // both memoized on the state (the data half never changes;
             // the code half is invalidated by each recursion).
-            let mut candidates: BTreeSet<u64> = state.data_pointers().keys().copied().collect();
+            let mut candidates: Vec<u64> = state.data_pointers().keys().copied().collect();
             candidates.extend(state.code_constants().iter().copied());
-            let starts = state.start_set();
-            let extents = state.extents();
-            let mut stop_calls: BTreeSet<u64> = state.rec.noreturn.clone();
+            candidates.sort_unstable();
+            candidates.dedup();
+            // Flattened start set: the precheck and exploration loops
+            // probe it per candidate/branch, where a slice search beats
+            // a B-tree walk.
+            let starts: Vec<u64> = state.start_set().iter().copied().collect();
+            let mut stop_calls: Vec<u64> = state.rec.noreturn.iter().copied().collect();
             stop_calls.extend(state.error_funcs.iter().copied());
-            let mut new_this_round = Vec::new();
+            stop_calls.sort_unstable();
+            stop_calls.dedup();
+            // Pass 1 — owner-free prechecks (callconv + plausibility),
+            // where most candidates die. The extents/owner index is
+            // only built below when something survives, which skips the
+            // rebuild entirely on rounds that accept nothing new.
+            let mut survivors = Vec::new();
+            let mut checked = 0u64;
             for c in candidates {
-                if starts.contains(&c) || !state.binary.is_code(c) {
+                if starts.binary_search(&c).is_ok() || !text.contains(c) {
                     continue;
                 }
-                if validate_candidate(
-                    state.binary,
-                    c,
-                    &state.rec.disasm,
-                    &extents,
-                    &starts,
-                    &stop_calls,
-                )
-                .is_ok()
-                {
-                    new_this_round.push(c);
+                checked += 1;
+                if validate_candidate_precheck(binary, c, &state.rec.disasm, &stop_calls).is_ok() {
+                    survivors.push(c);
+                }
+            }
+            state.note_candidates_checked(checked);
+            // Pass 2 — conservative exploration against the per-round
+            // ownership snapshot, built once for all survivors.
+            let mut new_this_round = Vec::new();
+            if !survivors.is_empty() {
+                let extents = state.extents();
+                let owners = OwnerIndex::build(&extents);
+                for c in survivors {
+                    if validate_candidate_explore(
+                        binary,
+                        c,
+                        &state.rec.disasm,
+                        &owners,
+                        &starts,
+                        &stop_calls,
+                    )
+                    .is_ok()
+                    {
+                        new_this_round.push(c);
+                    }
                 }
             }
             if new_this_round.is_empty() {

@@ -35,11 +35,16 @@ use fetch_binary::SectionKind;
 
 /// Magic bytes opening every serialized [`DetectionResult`].
 pub const RESULT_MAGIC: [u8; 4] = *b"FRES";
-/// Current format version: v2 appends an optional [`ImageDigest`]
-/// after the trace. Readers accept [`RESULT_VERSION_V1`] (pre-digest)
-/// encodings too — they decode with `digest = None` and heal on their
-/// next write; versions beyond [`RESULT_VERSION`] are rejected.
-pub const RESULT_VERSION: u16 = 2;
+/// Current format version: v3 adds the pointer-scan work counters
+/// (`bytes_scanned`, `candidates_checked`) to each trace entry; v2
+/// appended an optional [`ImageDigest`] after the trace. Readers
+/// accept [`RESULT_VERSION_V2`] and [`RESULT_VERSION_V1`] encodings
+/// too — older traces decode with zeroed scan counters (and v1 with
+/// `digest = None`) and heal on their next write; versions beyond
+/// [`RESULT_VERSION`] are rejected.
+pub const RESULT_VERSION: u16 = 3;
+/// The pre-scan-counter format version, still accepted on read.
+pub const RESULT_VERSION_V2: u16 = 2;
 /// The pre-digest format version, still accepted on read.
 pub const RESULT_VERSION_V1: u16 = 1;
 
@@ -246,6 +251,8 @@ pub fn serialize_result_with_digest(
         w.u64(t.starts_after as u64);
         w.u64(t.decode_hits);
         w.u64(t.decode_misses);
+        w.u64(t.bytes_scanned);
+        w.u64(t.candidates_checked);
     }
     match digest {
         None => w.u8(0),
@@ -271,6 +278,64 @@ pub fn serialize_result_with_digest(
                 }
             }
         }
+    }
+    let sum = checksum(&w.0);
+    w.u64(sum);
+    Ok(w.0)
+}
+
+/// Encodes `result` in an *older* accepted format `version` — no
+/// per-trace scan counters (pre-v3), and no digest presence byte for
+/// [`RESULT_VERSION_V1`]. This exists for compatibility testing and
+/// migration tooling: it produces exactly the blobs old stores hold, so
+/// readers can be exercised against them without keeping binary
+/// fixtures around.
+///
+/// # Errors
+///
+/// [`SerialError::UnsupportedVersion`] when `version` is not an older
+/// accepted version, and [`SerialError::UnknownLayerName`] under the
+/// same conditions as [`serialize_result`].
+pub fn serialize_result_legacy(
+    result: &DetectionResult,
+    version: u16,
+) -> Result<Vec<u8>, SerialError> {
+    if !(RESULT_VERSION_V1..RESULT_VERSION).contains(&version) {
+        return Err(SerialError::UnsupportedVersion(version));
+    }
+    for name in result
+        .layers
+        .iter()
+        .chain(result.trace.iter().map(|t| &t.name))
+    {
+        if intern_layer_name(name).is_none() {
+            return Err(SerialError::UnknownLayerName((*name).to_string()));
+        }
+    }
+    let mut w = Writer(Vec::new());
+    w.0.extend_from_slice(&RESULT_MAGIC);
+    w.u16(version);
+    w.count(result.starts.len());
+    for (&addr, &prov) in &result.starts {
+        w.u64(addr);
+        w.u8(provenance_tag(prov));
+    }
+    w.count(result.layers.len());
+    for name in &result.layers {
+        w.str(name);
+    }
+    w.count(result.trace.len());
+    for t in &result.trace {
+        w.str(t.name);
+        w.u64(t.wall_nanos);
+        w.delta(&t.added);
+        w.delta(&t.removed);
+        w.u64(t.starts_after as u64);
+        w.u64(t.decode_hits);
+        w.u64(t.decode_misses);
+    }
+    if version >= RESULT_VERSION_V2 {
+        w.u8(0); // no digest
     }
     let sum = checksum(&w.0);
     w.u64(sum);
@@ -365,7 +430,7 @@ pub fn deserialize_result_full(
         return Err(SerialError::BadMagic);
     }
     let version = u16::from_le_bytes(payload[4..6].try_into().expect("2"));
-    if version != RESULT_VERSION && version != RESULT_VERSION_V1 {
+    if !(RESULT_VERSION_V1..=RESULT_VERSION).contains(&version) {
         return Err(SerialError::UnsupportedVersion(version));
     }
     let stored_sum = u64::from_le_bytes(sum_bytes.try_into().expect("8"));
@@ -404,6 +469,12 @@ pub fn deserialize_result_full(
         let starts_after = r.u64()? as usize;
         let decode_hits = r.u64()?;
         let decode_misses = r.u64()?;
+        // Pre-v3 traces predate the scan counters: decode as zero.
+        let (bytes_scanned, candidates_checked) = if version >= RESULT_VERSION {
+            (r.u64()?, r.u64()?)
+        } else {
+            (0, 0)
+        };
         trace.push(LayerTrace {
             name,
             wall_nanos,
@@ -412,9 +483,11 @@ pub fn deserialize_result_full(
             starts_after,
             decode_hits,
             decode_misses,
+            bytes_scanned,
+            candidates_checked,
         });
     }
-    let digest = if version >= RESULT_VERSION {
+    let digest = if version >= RESULT_VERSION_V2 {
         match r.u8()? {
             0 => None,
             1 => Some(read_digest(&mut r)?),
@@ -499,15 +572,56 @@ mod tests {
     use fetch_synth::{synthesize, SynthConfig};
 
     fn trace_fields_equal(a: &DetectionResult, b: &DetectionResult) -> bool {
-        // PartialEq ignores timing/decode fields by design; persistence
-        // must keep them, so compare every field explicitly.
+        // PartialEq ignores timing/decode/scan fields by design;
+        // persistence must keep them, so compare every field explicitly.
         a == b
             && a.trace.len() == b.trace.len()
             && a.trace.iter().zip(&b.trace).all(|(x, y)| {
                 x.wall_nanos == y.wall_nanos
                     && x.decode_hits == y.decode_hits
                     && x.decode_misses == y.decode_misses
+                    && x.bytes_scanned == y.bytes_scanned
+                    && x.candidates_checked == y.candidates_checked
             })
+    }
+
+    fn encode_legacy(result: &DetectionResult, version: u16) -> Vec<u8> {
+        serialize_result_legacy(result, version).unwrap()
+    }
+
+    #[test]
+    fn legacy_encoder_rejects_non_legacy_versions() {
+        let case = synthesize(&SynthConfig::small(46));
+        let result = Pipeline::parse("FDE+Rec").unwrap().run(&case.binary);
+        for bad in [0, RESULT_VERSION, RESULT_VERSION + 1] {
+            assert_eq!(
+                serialize_result_legacy(&result, bad),
+                Err(SerialError::UnsupportedVersion(bad))
+            );
+        }
+    }
+
+    #[test]
+    fn v1_and_v2_blobs_still_deserialize_with_zeroed_scan_counters() {
+        let case = synthesize(&SynthConfig::small(45));
+        let result = Pipeline::fetch().run(&case.binary);
+        assert!(
+            result.trace.iter().any(|t| t.bytes_scanned > 0),
+            "the fetch pipeline's Xref layer scans data bytes"
+        );
+        for version in [RESULT_VERSION_V1, RESULT_VERSION_V2] {
+            let old = encode_legacy(&result, version);
+            let (back, digest) = deserialize_result_full(&old).unwrap();
+            assert_eq!(back, result, "deterministic fields survive v{version}");
+            assert!(digest.is_none());
+            for (x, y) in back.trace.iter().zip(&result.trace) {
+                assert_eq!(x.wall_nanos, y.wall_nanos);
+                assert_eq!(x.decode_hits, y.decode_hits);
+                assert_eq!(x.decode_misses, y.decode_misses);
+                assert_eq!(x.bytes_scanned, 0, "pre-v3 traces have no counters");
+                assert_eq!(x.candidates_checked, 0);
+            }
+        }
     }
 
     #[test]
@@ -540,16 +654,11 @@ mod tests {
         let (_, none) = deserialize_result_full(&plain).unwrap();
         assert!(none.is_none());
 
-        // A v1 (pre-digest) blob — the current body minus the digest
-        // presence byte, stamped version 1 with its checksum redone —
-        // must still deserialize, with no digest.
-        let mut v1 = plain.clone();
-        v1.truncate(v1.len() - 9); // presence byte + checksum
-        v1[4..6].copy_from_slice(&RESULT_VERSION_V1.to_le_bytes());
-        let sum = checksum(&v1).to_le_bytes();
-        v1.extend_from_slice(&sum);
+        // A v1 (pre-digest, pre-scan-counter) blob must still
+        // deserialize, with no digest.
+        let v1 = encode_legacy(&result, RESULT_VERSION_V1);
         let (old, od) = deserialize_result_full(&v1).unwrap();
-        assert!(trace_fields_equal(&result, &old));
+        assert_eq!(old, result);
         assert!(od.is_none());
         assert_eq!(deserialize_result(&v1).unwrap(), result);
     }

@@ -5,9 +5,9 @@
 use fetch_binary::Binary;
 use fetch_disasm::{
     code_xrefs, function_extents, recursive_disassemble, ErrorCallPolicy, FunctionBody, RecEngine,
-    RecOptions, RecResult, Xref,
+    RecOptions, RecResult, XrefIndex,
 };
-use fetch_ehframe::{stack_heights, HeightTable};
+use fetch_ehframe::{stack_heights, EhFrame, HeightTable};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
@@ -28,10 +28,9 @@ pub struct FrameTable {
 }
 
 impl FrameTable {
-    /// Evaluates the binary's `.eh_frame`, or `None` when the section is
-    /// malformed (absent sections yield an empty table).
-    fn of(binary: &Binary) -> Option<FrameTable> {
-        let eh = binary.eh_frame().ok()?;
+    /// Evaluates an already-parsed `.eh_frame` (absent sections yield an
+    /// empty table).
+    fn from_eh(eh: &EhFrame) -> FrameTable {
         let mut table = FrameTable::default();
         for (cie, fde) in eh.fdes_with_cie() {
             table.has_fde.insert(fde.pc_begin);
@@ -41,7 +40,7 @@ impl FrameTable {
             }
         }
         table.ranges.sort_unstable();
-        Some(table)
+        table
     }
 }
 
@@ -122,6 +121,13 @@ pub struct LayerTrace {
     /// Decode-cache misses — fresh decodes — attributed to the layer
     /// (excluded from `==`).
     pub decode_misses: u64,
+    /// Data-section bytes the §IV-E pointer sweep covered during this
+    /// layer (excluded from `==`). Decode counters alone made the
+    /// `Xref` layer look idle — its work is scanning, not decoding.
+    pub bytes_scanned: u64,
+    /// Pointer-scan candidates run through §IV-E validation during
+    /// this layer (excluded from `==`).
+    pub candidates_checked: u64,
 }
 
 impl LayerTrace {
@@ -245,7 +251,7 @@ type Tagged<T> = Option<(u64, Arc<T>)>;
 #[derive(Debug, Clone, Default)]
 struct StateMemo {
     start_set: Tagged<BTreeSet<u64>>,
-    xrefs: Tagged<BTreeMap<u64, Vec<Xref>>>,
+    xrefs: Tagged<XrefIndex>,
     extents: Tagged<BTreeMap<u64, FunctionBody>>,
     code_constants: Tagged<BTreeSet<u64>>,
     /// Derived from the (immutable) binary alone: computed at most once.
@@ -254,6 +260,10 @@ struct StateMemo {
     /// "computed yet?" flag, the inner one records an unparseable
     /// `.eh_frame` so the failure is memoized too.
     frame_table: Option<Option<Arc<FrameTable>>>,
+    /// The parsed `.eh_frame`, binary-pure like the two above. FDE
+    /// seeding and the CFI side-table each parsed the section from
+    /// scratch before this memo existed.
+    eh: Option<Option<Arc<EhFrame>>>,
 }
 
 /// Mutable state threaded through a strategy stack.
@@ -270,7 +280,9 @@ pub struct DetectionState<'b> {
     /// Current start set with provenance.
     pub(crate) starts: BTreeMap<u64, Provenance>,
     /// Latest recursive-disassembly result (empty until recursion runs).
-    pub(crate) rec: RecResult,
+    /// Shared with the engine's run cache: re-runs that provably change
+    /// nothing hand back another reference instead of a deep clone.
+    pub(crate) rec: Arc<RecResult>,
     /// Addresses of `error`/`error_at_line`-style functions (resolved
     /// from symbol names, modeling dynamic-symbol knowledge of libc).
     /// Shared so recursion re-runs never copy the set.
@@ -296,6 +308,10 @@ pub struct DetectionState<'b> {
     cache: StateMemo,
     frame_hits: u64,
     frame_misses: u64,
+    /// Monotone pointer-scan work counters, differenced per layer by
+    /// [`DetectionState::apply_layer`] (like the decode stats).
+    scan_bytes: u64,
+    scan_candidates: u64,
 }
 
 impl<'b> DetectionState<'b> {
@@ -321,7 +337,7 @@ impl<'b> DetectionState<'b> {
         DetectionState {
             binary,
             starts: BTreeMap::new(),
-            rec: RecResult::default(),
+            rec: Arc::new(RecResult::default()),
             error_funcs: Arc::new(error_funcs),
             layers: Vec::new(),
             trace: Vec::new(),
@@ -333,6 +349,8 @@ impl<'b> DetectionState<'b> {
             cache: StateMemo::default(),
             frame_hits: 0,
             frame_misses: 0,
+            scan_bytes: 0,
+            scan_candidates: 0,
         }
     }
 
@@ -394,7 +412,7 @@ impl<'b> DetectionState<'b> {
 
     /// Code cross-references over the current disassembly, cached until
     /// the next recursion.
-    pub fn xrefs(&mut self) -> Arc<BTreeMap<u64, Vec<Xref>>> {
+    pub fn xrefs(&mut self) -> Arc<XrefIndex> {
         if let Some((gen, x)) = &self.cache.xrefs {
             if *gen == self.rec_gen {
                 return Arc::clone(x);
@@ -427,16 +445,20 @@ impl<'b> DetectionState<'b> {
                 return Arc::clone(c);
             }
         }
-        let mut set = BTreeSet::new();
-        for inst in self.rec.disasm.iter() {
+        // Flat-accumulate then sort/dedup: `BTreeSet::from_iter` over a
+        // sorted run bulk-builds, avoiding a B-tree insert per operand.
+        let mut consts: Vec<u64> = Vec::new();
+        for inst in self.rec.disasm.iter_unordered() {
             if let Some(t) = inst.lea_rip_target() {
-                set.insert(t);
+                consts.push(t);
             }
-            for c in inst.const_operands() {
-                set.insert(c);
+            if let Some(c) = inst.const_operand() {
+                consts.push(c);
             }
         }
-        let c = Arc::new(set);
+        consts.sort_unstable();
+        consts.dedup();
+        let c = Arc::new(BTreeSet::from_iter(consts));
         self.cache.code_constants = Some((self.rec_gen, Arc::clone(&c)));
         c
     }
@@ -457,9 +479,23 @@ impl<'b> DetectionState<'b> {
             return ft.clone();
         }
         self.frame_misses += 1;
-        let ft = FrameTable::of(self.binary).map(Arc::new);
+        let ft = self.eh_frame().map(|eh| Arc::new(FrameTable::from_eh(&eh)));
         self.cache.frame_table = Some(ft.clone());
         ft
+    }
+
+    /// The parsed `.eh_frame`, computed at most once per state and
+    /// shared by every consumer (`None` memoizes a malformed section).
+    /// FDE seeding and [`DetectionState::frame_table`] each re-parsed
+    /// the section before this existed — on FDE-dense binaries the
+    /// second parse was most of the repair layer's fixed cost.
+    pub fn eh_frame(&mut self) -> Option<Arc<EhFrame>> {
+        if let Some(eh) = &self.cache.eh {
+            return eh.clone();
+        }
+        let eh = self.binary.eh_frame().ok().map(Arc::new);
+        self.cache.eh = Some(eh.clone());
+        eh
     }
 
     /// `(hits, misses)` of [`DetectionState::frame_table`]. Misses can
@@ -474,9 +510,24 @@ impl<'b> DetectionState<'b> {
         if let Some(d) = &self.cache.data_ptrs {
             return Arc::clone(d);
         }
-        let d = Arc::new(crate::pointer_scan::collect_data_pointers(self.binary));
+        let (ptrs, bytes) = crate::pointer_scan::collect_data_pointers_counted(self.binary);
+        self.scan_bytes += bytes;
+        let d = Arc::new(ptrs);
         self.cache.data_ptrs = Some(Arc::clone(&d));
         d
+    }
+
+    /// Records `n` pointer-scan candidates validated (called by the
+    /// §IV-E scan; attributed to the running layer by
+    /// [`DetectionState::apply_layer`]).
+    pub(crate) fn note_candidates_checked(&mut self, n: u64) {
+        self.scan_candidates += n;
+    }
+
+    /// `(bytes_scanned, candidates_checked)` of the pointer scan so
+    /// far (monotone, like [`DetectionState::engine_decode_stats`]).
+    pub fn scan_stats(&self) -> (u64, u64) {
+        (self.scan_bytes, self.scan_candidates)
     }
 
     /// Re-runs safe recursive disassembly from the current starts with
@@ -496,13 +547,17 @@ impl<'b> DetectionState<'b> {
         let seeds = self.start_set();
         let (rec, changed) = if self.incremental {
             let before = self.engine.generation();
-            let rec = self.engine.run(self.binary, &seeds, &opts);
-            // The engine's identical-input fast path leaves its
-            // generation untouched: the disassembly is bit-identical, so
+            let rec = self.engine.run_shared(self.binary, &seeds, &opts);
+            // The engine leaves its generation untouched on the
+            // identical-input fast path *and* on no-op extensions: the
+            // disassembly is bit-identical either way, so
             // xrefs/extents/code-constants caches stay valid.
             (rec, self.engine.generation() != before)
         } else {
-            (recursive_disassemble(self.binary, &seeds, &opts), true)
+            (
+                Arc::new(recursive_disassemble(self.binary, &seeds, &opts)),
+                true,
+            )
         };
         if add_call_targets {
             for &f in &rec.functions {
@@ -525,10 +580,12 @@ impl<'b> DetectionState<'b> {
     pub fn apply_layer(&mut self, layer: &dyn crate::strategy::Strategy) {
         let before = self.starts.clone();
         let (hits0, misses0) = self.engine.decode_stats();
+        let (bytes0, cands0) = self.scan_stats();
         let t = std::time::Instant::now();
         layer.apply(self);
         let wall_nanos = t.elapsed().as_nanos() as u64;
         let (hits1, misses1) = self.engine.decode_stats();
+        let (bytes1, cands1) = self.scan_stats();
         let (added, removed) = diff_starts(&before, &self.starts);
         self.layers.push(layer.name());
         self.trace.push(LayerTrace {
@@ -539,6 +596,8 @@ impl<'b> DetectionState<'b> {
             starts_after: self.starts.len(),
             decode_hits: hits1 - hits0,
             decode_misses: misses1 - misses0,
+            bytes_scanned: bytes1 - bytes0,
+            candidates_checked: cands1 - cands0,
         });
     }
 

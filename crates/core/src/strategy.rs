@@ -51,7 +51,7 @@ impl Strategy for FdeSeeds {
     }
 
     fn apply(&self, state: &mut DetectionState<'_>) {
-        if let Ok(eh) = state.binary.eh_frame() {
+        if let Some(eh) = state.eh_frame() {
             for pc in eh.pc_begins() {
                 if state.binary.is_code(pc) {
                     state.add_start(pc, Provenance::Fde);

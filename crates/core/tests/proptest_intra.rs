@@ -1,0 +1,146 @@
+//! Observational equivalence of the intra-binary sharded walk.
+//!
+//! [`fetch_disasm::RecEngine::set_intra_jobs`] shards the initial
+//! recursive walk across scoped workers (each over a private decode
+//! cache view, merged back in deterministic seed order). For random
+//! corpora, random strategy stacks, and every shard count, the
+//! [`DetectionResult`] must be byte-identical to the serial walk's —
+//! on a cold engine and on a warm one (where the decode cache already
+//! holds the binary and the scout pass is pure overhead).
+
+use fetch_core::{
+    run_stack_cached, AlignmentSplit, CallFrameRepair, ControlFlowRepair, DetectionResult,
+    EntrySeed, FdeSeeds, Fetch, FunctionMerge, LinearScanStarts, PointerScan, PrologueMatch,
+    SafeRecursion, SymbolSeeds, TailCallHeuristic, ThunkHeuristic, ToolStyle,
+};
+// `Strategy` names both a fetch-core trait and a proptest trait; keep the
+// detection one under an alias so the proptest prelude wins the bare name.
+use fetch_core::Strategy as DetectionLayer;
+use fetch_disasm::RecEngine;
+use fetch_synth::{synthesize, FeatureRates, SynthConfig};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        any::<u64>(),
+        20usize..90,
+        0.0f64..0.15,
+        0usize..12,
+        0.0f64..0.2,
+        0usize..2,
+    )
+        .prop_map(|(seed, n_funcs, split, asm, data, mislabeled)| {
+            let mut cfg = SynthConfig::small(seed);
+            cfg.n_funcs = n_funcs;
+            cfg.rates = FeatureRates {
+                split_cold: split,
+                asm_funcs: asm,
+                data_in_text: data,
+                mislabeled_fdes: mislabeled,
+                ..FeatureRates::default()
+            };
+            cfg
+        })
+}
+
+/// All strategy layers, indexable so a random `Vec<u8>` becomes a stack.
+fn layer_pool() -> Vec<Box<dyn DetectionLayer>> {
+    vec![
+        Box::new(FdeSeeds),
+        Box::new(SymbolSeeds),
+        Box::new(EntrySeed),
+        Box::new(SafeRecursion::default()),
+        Box::new(PointerScan),
+        Box::new(CallFrameRepair::default()),
+        Box::new(PrologueMatch {
+            style: ToolStyle::Ghidra,
+        }),
+        Box::new(TailCallHeuristic {
+            style: ToolStyle::Angr,
+        }),
+        Box::new(LinearScanStarts),
+        Box::new(ControlFlowRepair),
+        Box::new(FunctionMerge),
+        Box::new(ThunkHeuristic),
+        Box::new(AlignmentSplit),
+    ]
+}
+
+fn run_with_jobs(
+    binary: &fetch_binary::Binary,
+    picks: &[u8],
+    engine: &mut RecEngine,
+    jobs: usize,
+) -> DetectionResult {
+    let pool = layer_pool();
+    let stack: Vec<&dyn DetectionLayer> = picks
+        .iter()
+        .map(|&p| pool[p as usize % pool.len()].as_ref())
+        .collect();
+    engine.set_intra_jobs(jobs);
+    run_stack_cached(binary, &stack, engine)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random stacks over random corpora: every shard count equals the
+    /// serial walk, from a cold engine.
+    #[test]
+    fn sharded_equals_serial_cold(
+        cfg in arb_config(),
+        picks in proptest::collection::vec(any::<u8>(), 1..7),
+    ) {
+        let case = synthesize(&cfg);
+        let serial = run_with_jobs(&case.binary, &picks, &mut RecEngine::new(), 1);
+        for jobs in SHARD_COUNTS {
+            let sharded = run_with_jobs(&case.binary, &picks, &mut RecEngine::new(), jobs);
+            prop_assert_eq!(&sharded, &serial,
+                "stack {:?} diverged at intra_jobs={}", picks, jobs);
+        }
+    }
+
+    /// A warm engine (decode cache already holding the binary) must be
+    /// equally invisible: the scout pass finds nothing to add, and the
+    /// re-walk replays from cache.
+    #[test]
+    fn sharded_equals_serial_warm(
+        cfg in arb_config(),
+        picks in proptest::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let case = synthesize(&cfg);
+        let serial = run_with_jobs(&case.binary, &picks, &mut RecEngine::new(), 1);
+        for jobs in SHARD_COUNTS {
+            let mut engine = RecEngine::new();
+            // Warm the engine with a serial run, then shard on top.
+            let first = run_with_jobs(&case.binary, &picks, &mut engine, 1);
+            prop_assert_eq!(&first, &serial);
+            let warm = run_with_jobs(&case.binary, &picks, &mut engine, jobs);
+            prop_assert_eq!(&warm, &serial,
+                "warm stack {:?} diverged at intra_jobs={}", picks, jobs);
+        }
+    }
+
+    /// The paper's optimal pipeline through the `Fetch` front door: the
+    /// `intra_jobs` knob is invisible end to end, including through the
+    /// report-returning entry point.
+    #[test]
+    fn fetch_intra_jobs_equals_serial(cfg in arb_config()) {
+        let case = synthesize(&cfg);
+        let serial = Fetch::new().detect(&case.binary);
+        let (_, serial_report) = Fetch::new().detect_with_report(&case.binary);
+        for jobs in SHARD_COUNTS {
+            let fetch = Fetch { intra_jobs: jobs, ..Fetch::new() };
+            prop_assert_eq!(&fetch.detect(&case.binary), &serial,
+                "detect diverged at intra_jobs={}", jobs);
+            let (result, report) = fetch.detect_with_report(&case.binary);
+            prop_assert_eq!(&result, &serial);
+            // RepairReport carries no PartialEq; its Debug form covers
+            // every field.
+            prop_assert_eq!(format!("{report:?}"), format!("{serial_report:?}"),
+                "repair report diverged at intra_jobs={}", jobs);
+        }
+    }
+}

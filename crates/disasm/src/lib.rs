@@ -31,7 +31,7 @@ mod linear;
 mod nonreturn;
 mod recursive;
 
-pub use cfg::{body_of, code_xrefs, function_extents, FunctionBody, Xref, XrefKind};
+pub use cfg::{body_of, code_xrefs, function_extents, FunctionBody, Xref, XrefIndex, XrefKind};
 pub use jumptable::{solve_jump_table, JumpTable};
 pub use linear::{sweep, sweep_tolerant, Sweep};
 pub use nonreturn::{classify_noreturn, status_arg_is_zero, ErrorCallPolicy};

@@ -30,17 +30,33 @@ pub enum ErrorCallPolicy {
 /// the last write to `edi`/`rdi` before the call is provably zero.
 pub fn status_arg_is_zero(block: &[Inst]) -> bool {
     // The last instruction is the call itself; walk back from before it.
-    for inst in block.iter().rev().skip(1) {
-        match inst.op {
-            Op::MovRI(_, Reg::Rdi, v) => return v == 0,
-            Op::AluRR(AluOp::Xor, _, Reg::Rdi, Reg::Rdi) => return true,
-            Op::MovAbs(Reg::Rdi, v) => return v == 0,
-            // Any other write to rdi of unknown value: not provably zero.
-            _ if inst.regs_written().contains(&Reg::Rdi) => return false,
-            _ => {}
+    let mut status = false;
+    for inst in &block[..block.len().saturating_sub(1)] {
+        fold_status_zero(&mut status, inst);
+    }
+    status // no write at all: status unknown, non-returning (§IV-C)
+}
+
+/// Forward-tracking equivalent of [`status_arg_is_zero`]: folds one
+/// instruction into the "last `rdi` write before here is provably
+/// zero" state. Walkers thread this per block instead of accumulating
+/// the block's instructions just to slice them backward at a call —
+/// last-write-wins forward is the same verdict as first-match
+/// backward, without the per-block buffer.
+pub fn fold_status_zero(status: &mut bool, inst: &Inst) {
+    match inst.op {
+        Op::MovRI(_, Reg::Rdi, v) => *status = v == 0,
+        Op::AluRR(AluOp::Xor, _, Reg::Rdi, Reg::Rdi) => *status = true,
+        Op::MovAbs(Reg::Rdi, v) => *status = v == 0,
+        // Any other write to rdi of unknown value: not provably zero.
+        _ => {
+            let mut writes_rdi = false;
+            inst.each_reg_written(|r| writes_rdi |= r == Reg::Rdi);
+            if writes_rdi {
+                *status = false;
+            }
         }
     }
-    false // status unknown: conservatively non-returning (§IV-C)
 }
 
 /// Classifies non-returning functions over the decoded instructions.
@@ -54,8 +70,21 @@ pub fn classify_noreturn(
     policy: ErrorCallPolicy,
     prev_noreturn: &BTreeSet<u64>,
 ) -> BTreeSet<u64> {
-    // `returning` grows monotonically; the residue is non-returning.
-    let mut returning: BTreeSet<u64> = BTreeSet::new();
+    // Flatten every per-visit membership structure to sorted slices (or
+    // a dense bitmap for `returning`): the traversal probes them on
+    // each call/jump, where binary search over contiguous `u64`s beats
+    // a B-tree descent.
+    let funcs: Vec<u64> = functions.iter().copied().collect();
+    let cx = ClassifyCx {
+        disasm,
+        funcs: &funcs,
+        error_funcs: error_funcs.iter().copied().collect(),
+        prev_noreturn: prev_noreturn.iter().copied().collect(),
+        policy,
+    };
+    // `returning[i]` pairs with `funcs[i]` and grows monotonically; the
+    // residue is non-returning.
+    let mut returning = vec![false; funcs.len()];
     // One dense visited table for the whole classification, re-used by
     // every traversal via generation stamps (a fresh stamp per call
     // replaces a fresh BTreeSet per call).
@@ -63,34 +92,37 @@ pub fn classify_noreturn(
         stamps: vec![0; disasm.len()],
         stamp: 0,
     };
-    loop {
-        let mut changed = false;
-        for &f in functions {
-            if returning.contains(&f) {
-                continue;
-            }
-            if can_reach_return(
-                f,
-                disasm,
-                functions,
-                error_funcs,
-                policy,
-                prev_noreturn,
-                &returning,
-                &mut scratch,
-            ) {
-                returning.insert(f);
-                changed = true;
-            }
+    // Dependency-driven fixpoint. `can_reach_return` is monotone in
+    // `returning` (a larger set only opens more tail edges), so the
+    // round-based "re-scan everyone until stable" iteration and this
+    // worklist both compute the unique least fixpoint — but the
+    // worklist re-examines a function only when a tail-jump target it
+    // was actually blocked on flips to returning, instead of
+    // re-traversing every still-non-returning function per round.
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); funcs.len()];
+    let mut queue: Vec<u32> = (0..funcs.len() as u32).collect();
+    let mut deps: Vec<u32> = Vec::new();
+    while let Some(i) = queue.pop() {
+        let i = i as usize;
+        if returning[i] {
+            continue;
         }
-        if !changed {
-            break;
+        deps.clear();
+        if can_reach_return(&cx, funcs[i], &returning, &mut scratch, &mut deps) {
+            returning[i] = true;
+            // Unblock everyone who gave up on a tail edge into `i`.
+            queue.append(&mut dependents[i]);
+        } else {
+            for &d in &deps {
+                dependents[d as usize].push(i as u32);
+            }
         }
     }
-    functions
+    funcs
         .iter()
-        .copied()
-        .filter(|f| !returning.contains(f))
+        .zip(&returning)
+        .filter(|&(_, &r)| !r)
+        .map(|(&f, _)| f)
         .collect()
 }
 
@@ -99,23 +131,41 @@ struct Scratch {
     stamp: u32,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn can_reach_return(
-    start: u64,
-    disasm: &Disassembly,
-    functions: &BTreeSet<u64>,
-    error_funcs: &BTreeSet<u64>,
+/// Read-only classification context: the disassembly plus every
+/// membership set flattened to a sorted slice.
+struct ClassifyCx<'a> {
+    disasm: &'a Disassembly,
+    funcs: &'a [u64],
+    error_funcs: Vec<u64>,
+    prev_noreturn: Vec<u64>,
     policy: ErrorCallPolicy,
-    prev_noreturn: &BTreeSet<u64>,
-    returning: &BTreeSet<u64>,
+}
+
+fn sorted_contains(s: &[u64], x: u64) -> bool {
+    s.binary_search(&x).is_ok()
+}
+
+/// Whether any path from `start` reaches a return, given the current
+/// `returning` verdicts. On a `false` verdict, `blocked_on` lists the
+/// `funcs` indices of non-returning tail-jump targets consulted along
+/// the way — exactly the verdicts whose flip could change this one.
+fn can_reach_return(
+    cx: &ClassifyCx<'_>,
+    start: u64,
+    returning: &[bool],
     scratch: &mut Scratch,
+    blocked_on: &mut Vec<u32>,
 ) -> bool {
+    let disasm = cx.disasm;
     let mut stack = vec![start];
     scratch.stamp += 1;
-    let track_blocks = !error_funcs.is_empty();
-    // Track the current block to support the error-status slice.
+    let track_status = !cx.error_funcs.is_empty();
+    // `funcs[i]` returning check for tail edges: index lookup + bitmap.
+    let returns = |t: u64| cx.funcs.binary_search(&t).map(|i| (i, returning[i]));
+    // Thread the error-status slice forward per block (see
+    // [`fold_status_zero`]) instead of buffering the block's insts.
     while let Some(mut cur) = stack.pop() {
-        let mut block: Vec<Inst> = Vec::new();
+        let mut status_zero = false;
         loop {
             let Some(slot) = disasm.slot(cur) else {
                 // Ran into undecoded bytes: conservatively returning.
@@ -126,22 +176,25 @@ fn can_reach_return(
             }
             scratch.stamps[slot] = scratch.stamp;
             let inst = disasm.inst_in_slot(slot);
-            if track_blocks {
-                block.push(*inst);
+            // The call-site check below must see the status as of the
+            // instructions *before* the call, so save it pre-fold.
+            let status_at_call = status_zero;
+            if track_status {
+                fold_status_zero(&mut status_zero, inst);
             }
             match inst.flow() {
                 Flow::Ret => return true,
                 Flow::Halt | Flow::Trap => break,
                 Flow::Fallthrough | Flow::IndirectCall => cur = inst.end(),
                 Flow::Call(t) => {
-                    let ret = if error_funcs.contains(&t) {
-                        match policy {
+                    let ret = if track_status && sorted_contains(&cx.error_funcs, t) {
+                        match cx.policy {
                             ErrorCallPolicy::AlwaysReturn => true,
                             ErrorCallPolicy::AlwaysNoReturn => false,
-                            ErrorCallPolicy::SliceZero => status_arg_is_zero(&block),
+                            ErrorCallPolicy::SliceZero => status_at_call,
                         }
                     } else {
-                        !prev_noreturn.contains(&t)
+                        !sorted_contains(&cx.prev_noreturn, t)
                     };
                     if ret {
                         cur = inst.end();
@@ -150,22 +203,28 @@ fn can_reach_return(
                     }
                 }
                 Flow::Jump(t) => {
-                    if t != start && functions.contains(&t) {
+                    match returns(t) {
                         // Tail edge to another function: returning iff the
                         // target is (currently known to be) returning.
-                        if returning.contains(&t) {
-                            return true;
+                        Ok((ti, r)) if t != start => {
+                            if r {
+                                return true;
+                            }
+                            blocked_on.push(ti as u32);
                         }
-                    } else {
-                        stack.push(t);
+                        _ => stack.push(t),
                     }
                     break;
                 }
                 Flow::CondJump(t) => {
-                    if t == start || !functions.contains(&t) {
-                        stack.push(t);
-                    } else if returning.contains(&t) {
-                        return true;
+                    match returns(t) {
+                        Ok((ti, r)) if t != start => {
+                            if r {
+                                return true;
+                            }
+                            blocked_on.push(ti as u32);
+                        }
+                        _ => stack.push(t),
                     }
                     cur = inst.end();
                 }

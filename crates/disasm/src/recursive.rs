@@ -85,6 +85,11 @@ impl Disassembly {
         Disassembly {
             base,
             index: vec![NO_SLOT; len],
+            // Mean x86-64 instruction length is ~4 bytes; reserving
+            // range/4 slots makes pool growth during a walk the
+            // exception instead of a guaranteed log2(n) realloc-copy
+            // chain per walk.
+            insts: Vec::with_capacity(len / 4),
             ..Disassembly::default()
         }
     }
@@ -126,6 +131,14 @@ impl Disassembly {
         self.slot(addr).is_some()
     }
 
+    /// The half-open address window this store indexes, as
+    /// `(base, length_in_bytes)` — normally exactly `.text`'s range.
+    /// Every decoded instruction starts inside it; bulk consumers
+    /// (e.g. the xref index) use it to bucket by byte offset.
+    pub fn indexed_range(&self) -> (u64, usize) {
+        (self.base, self.index.len())
+    }
+
     /// Number of decoded instructions.
     pub fn len(&self) -> usize {
         self.insts.len()
@@ -157,6 +170,15 @@ impl Disassembly {
             }
             s => self.insts[(s - 1) as usize] = inst,
         }
+    }
+
+    /// All decoded instructions in unspecified order (storage order).
+    /// Same multiset as [`Disassembly::iter`] — replacement happens in
+    /// place, so the pool holds exactly the live instructions — but
+    /// without the per-byte index scan; prefer it for order-insensitive
+    /// consumers (set builders, sorted accumulators).
+    pub fn iter_unordered(&self) -> impl Iterator<Item = &Inst> + '_ {
+        self.insts.iter()
     }
 
     /// All decoded instructions in address order.
@@ -239,7 +261,7 @@ pub fn recursive_disassemble(bin: &Binary, seeds: &BTreeSet<u64>, opts: &RecOpti
     // walk state is moved straight into the result.
     let mut engine = RecEngine::new();
     engine.sync_fingerprint(bin);
-    let (state, noreturn) = engine.compute(bin, seeds, opts);
+    let (state, noreturn, _) = engine.compute(bin, seeds, opts);
     RecResult {
         disasm: state.disasm,
         functions: state.functions,
@@ -256,11 +278,31 @@ pub fn call_returns(
     policy: ErrorCallPolicy,
     noreturn: &BTreeSet<u64>,
 ) -> bool {
+    call_returns_status(
+        callee,
+        crate::nonreturn::status_arg_is_zero(block),
+        error_funcs,
+        policy,
+        noreturn,
+    )
+}
+
+/// [`call_returns`] with the status slice already folded: `status_zero`
+/// is the "last `rdi` write before the call is provably zero" state the
+/// walker threads forward per block (see
+/// [`fold_status_zero`](crate::nonreturn::fold_status_zero)).
+pub fn call_returns_status(
+    callee: u64,
+    status_zero: bool,
+    error_funcs: &BTreeSet<u64>,
+    policy: ErrorCallPolicy,
+    noreturn: &BTreeSet<u64>,
+) -> bool {
     if error_funcs.contains(&callee) {
         return match policy {
             ErrorCallPolicy::AlwaysReturn => true,
             ErrorCallPolicy::AlwaysNoReturn => false,
-            ErrorCallPolicy::SliceZero => crate::nonreturn::status_arg_is_zero(block),
+            ErrorCallPolicy::SliceZero => status_zero,
         };
     }
     !noreturn.contains(&callee)
@@ -338,9 +380,58 @@ impl DecodeCache {
         }
     }
 
+    /// A private copy for a scout shard: same cached entries, zeroed
+    /// counters (the shared cache accounts merged work at absorb time).
+    fn fork(&self) -> DecodeCache {
+        DecodeCache {
+            hits: 0,
+            misses: 0,
+            ..self.clone()
+        }
+    }
+
+    /// Merges every decode (and decode error) a forked scout cache
+    /// holds that this cache does not. Each absorbed entry counts as
+    /// one miss here — the miss a serial walk would have paid for that
+    /// address — so `misses` tracks distinct decode work, not how many
+    /// shards happened to decode an address; scout-side counters are
+    /// dropped. Insertion follows the fork's index order, keeping the
+    /// merge deterministic for a fixed shard order.
+    fn absorb(&mut self, other: &DecodeCache) {
+        debug_assert_eq!(self.base, other.base);
+        debug_assert_eq!(self.index.len(), other.index.len());
+        for (off, &slot) in other.index.iter().enumerate() {
+            if slot == NO_SLOT || self.index[off] != NO_SLOT {
+                continue;
+            }
+            let addr = self.base + off as u64;
+            if slot == ERR_SLOT {
+                self.errors.insert(addr, other.errors[&addr]);
+                self.index[off] = ERR_SLOT;
+            } else {
+                self.insts.push(other.insts[(slot - 1) as usize]);
+                self.index[off] = self.insts.len() as u32;
+            }
+            self.misses += 1;
+        }
+    }
+
     /// `decode(text, addr)` through the cache. `addr` must be in `text`.
+    #[allow(dead_code)]
     fn decode_at(&mut self, text: &Section, addr: u64) -> Result<Inst, DecodeError> {
         let off = (addr - self.base) as usize;
+        self.decode_at_off(text, addr, off)
+    }
+
+    /// [`DecodeCache::decode_at`] with the byte offset already in hand
+    /// (walkers compute it once per step and share it with the dense
+    /// store, whose index covers the same range).
+    fn decode_at_off(
+        &mut self,
+        text: &Section,
+        addr: u64,
+        off: usize,
+    ) -> Result<Inst, DecodeError> {
         match self.index[off] {
             NO_SLOT => {}
             ERR_SLOT => {
@@ -432,63 +523,79 @@ fn walk_queue(
     noreturn: &BTreeSet<u64>,
 ) {
     let text = bin.text();
-    // Blocks only feed the `error`-status backward slice; skip the
+    // The status slice only feeds `error`-call classification; skip the
     // bookkeeping entirely when no error functions are known.
-    let track_blocks = !opts.error_funcs.is_empty();
-    let mut block: Vec<Inst> = Vec::new();
+    let track_status = !opts.error_funcs.is_empty();
+    // None of the walk-state sets are probed mid-walk (the work queue
+    // dedups through `disasm.contains`), so accumulate membership in
+    // flat vectors and bulk-merge into the B-trees once at the end.
+    let mut new_heads: Vec<u64> = Vec::new();
+    let mut new_call_targets: Vec<u64> = Vec::new();
+
+    // The walk's disassembly is always pre-sized to exactly `.text`'s
+    // range (`walk_full` builds it with `with_range`; `walk_extend`
+    // reuses one built that way), so one offset computation serves the
+    // visited check, the decode-cache lookup, and the insert below.
+    debug_assert_eq!(state.disasm.base, text.addr);
+    debug_assert_eq!(state.disasm.index.len(), text.bytes.len());
 
     while let Some(start) = work.pop_front() {
-        if state.disasm.contains(start) || !text.contains(start) {
-            continue;
+        let Some(off) = state.disasm.offset_of(start) else {
+            continue; // outside .text
+        };
+        if state.disasm.index[off] != NO_SLOT {
+            continue; // already decoded
         }
-        state.block_heads.insert(start);
-        // Walk one basic block (up to a terminator or known code).
-        block.clear();
+        new_heads.push(start);
+        // Walk one basic block (up to a terminator or known code),
+        // threading the `error`-status slice forward (see
+        // [`fold_status_zero`](crate::nonreturn::fold_status_zero)).
+        let mut status_zero = false;
         let mut cur = start;
+        let mut off = off;
         loop {
-            if state.disasm.contains(cur) || !text.contains(cur) {
-                break;
-            }
-            let inst = match cache.decode_at(text, cur) {
+            let inst = match cache.decode_at_off(text, cur, off) {
                 Ok(i) => i,
                 Err(e) => {
                     state.disasm.decode_errors.push((cur, e));
                     break;
                 }
             };
-            state.disasm.insert(inst);
-            if track_blocks {
-                block.push(inst);
+            state.disasm.insts.push(inst);
+            state.disasm.index[off] = state.disasm.insts.len() as u32;
+            // Call sites must see the status as of the instructions
+            // *before* the call, so save it pre-fold.
+            let status_at_call = status_zero;
+            if track_status {
+                crate::nonreturn::fold_status_zero(&mut status_zero, &inst);
             }
-            match inst.flow() {
-                Flow::Fallthrough => cur = inst.end(),
+            let fallthrough = match inst.flow() {
+                Flow::Fallthrough | Flow::IndirectCall => true,
                 Flow::Call(t) => {
                     if text.contains(t) {
-                        state.call_targets.insert(t);
-                        if opts.add_call_targets {
-                            state.functions.insert(t);
-                        }
+                        new_call_targets.push(t);
                         work.push_back(t);
                     }
-                    if call_returns(t, &block, &opts.error_funcs, opts.error_policy, noreturn) {
-                        cur = inst.end();
-                    } else {
-                        break;
-                    }
+                    call_returns_status(
+                        t,
+                        status_at_call,
+                        &opts.error_funcs,
+                        opts.error_policy,
+                        noreturn,
+                    )
                 }
-                Flow::IndirectCall => cur = inst.end(),
                 Flow::Jump(t) => {
                     if text.contains(t) {
                         work.push_back(t);
                     }
-                    break;
+                    false
                 }
                 Flow::CondJump(t) => {
                     if text.contains(t) {
                         work.push_back(t);
                     }
                     work.push_back(inst.end());
-                    break;
+                    false
                 }
                 Flow::IndirectJump => {
                     if opts.solve_jump_tables {
@@ -503,12 +610,29 @@ fn walk_queue(
                             state.disasm.jump_tables.insert(inst.addr, jt);
                         }
                     }
-                    break;
+                    false
                 }
-                Flow::Ret | Flow::Halt | Flow::Trap => break,
+                Flow::Ret | Flow::Halt | Flow::Trap => false,
+            };
+            if !fallthrough {
+                break;
+            }
+            cur = inst.end();
+            off += inst.len as usize;
+            if off >= state.disasm.index.len() || state.disasm.index[off] != NO_SLOT {
+                break; // left .text or reached known code
             }
         }
     }
+
+    new_heads.sort_unstable();
+    state.block_heads.extend(new_heads);
+    new_call_targets.sort_unstable();
+    new_call_targets.dedup();
+    if opts.add_call_targets {
+        state.functions.extend(new_call_targets.iter().copied());
+    }
+    state.call_targets.extend(new_call_targets);
 }
 
 /// An incremental driver for [`recursive_disassemble`]-equivalent runs.
@@ -528,6 +652,12 @@ pub struct RecEngine {
     fingerprint: Option<(String, u64, u64)>,
     last: Option<LastRun>,
     generation: u64,
+    /// Worker count for the sharded scout pass of a full walk
+    /// (`0`/`1` = serial). Engine configuration, not a walk input: it
+    /// cannot change any observable output, so it deliberately lives
+    /// outside [`RecOptions`] (which participates in result-cache
+    /// equality and extension planning).
+    intra_jobs: usize,
 }
 
 /// FNV-1a over 8-byte chunks — fast enough to run per [`RecEngine::run`]
@@ -558,6 +688,10 @@ struct LastRun {
     opts: RecOptions,
     noreturn: BTreeSet<u64>,
     state: WalkState,
+    /// The run's result, built once and shared with callers; fast paths
+    /// (identical inputs, proven no-op extensions) hand out new
+    /// references instead of deep-cloning the disassembly again.
+    result: std::sync::Arc<RecResult>,
 }
 
 impl RecEngine {
@@ -566,30 +700,80 @@ impl RecEngine {
         RecEngine::default()
     }
 
+    /// Sets the worker count for the intra-binary sharded walk (`0` or
+    /// `1` = serial). See the crate-level notes on determinism: any
+    /// value produces byte-identical results; only wall time changes.
+    pub fn set_intra_jobs(&mut self, jobs: usize) {
+        self.intra_jobs = jobs;
+    }
+
+    /// The configured intra-binary worker count (see
+    /// [`RecEngine::set_intra_jobs`]).
+    pub fn intra_jobs(&self) -> usize {
+        self.intra_jobs
+    }
+
     /// Runs safe recursive disassembly, reusing previous work where the
     /// inputs allow. Observationally equivalent to
     /// [`recursive_disassemble`] on the same `(bin, seeds, opts)`.
     pub fn run(&mut self, bin: &Binary, seeds: &BTreeSet<u64>, opts: &RecOptions) -> RecResult {
+        (*self.run_shared(bin, seeds, opts)).clone()
+    }
+
+    /// [`RecEngine::run`] returning a shared handle to the result. The
+    /// engine's fast paths (identical inputs; extensions proven to add
+    /// nothing) return a new reference to the previous run's result
+    /// instead of deep-cloning the disassembly, which is what keeps
+    /// per-layer re-runs over an unchanged walk out of the profile.
+    pub fn run_shared(
+        &mut self,
+        bin: &Binary,
+        seeds: &BTreeSet<u64>,
+        opts: &RecOptions,
+    ) -> std::sync::Arc<RecResult> {
         self.sync_fingerprint(bin);
 
         // Identical inputs: the previous result stands (and the
         // generation does not advance — callers may key caches off it).
         if let Some(last) = &self.last {
             if last.opts == *opts && last.seeds == *seeds {
-                return last.to_result();
+                return std::sync::Arc::clone(&last.result);
             }
         }
 
-        let (state, noreturn) = self.compute(bin, seeds, opts);
-        let last = LastRun {
+        let (state, noreturn, extended_only) = self.compute(bin, seeds, opts);
+        // A pure extension walk grows every component monotonically, so
+        // matching sizes (plus an equal non-return set) prove the result
+        // is bit-identical to the previous run — e.g. the added seeds
+        // were already decoded as call targets. Keep the generation
+        // still so derived caches keyed off it stay valid, and reuse
+        // the previous result allocation outright.
+        let unchanged = extended_only
+            && self.last.as_ref().is_some_and(|last| {
+                last.state.disasm.len() == state.disasm.len()
+                    && last.state.disasm.decode_errors.len() == state.disasm.decode_errors.len()
+                    && last.state.disasm.jump_tables.len() == state.disasm.jump_tables.len()
+                    && last.state.functions.len() == state.functions.len()
+                    && last.noreturn == noreturn
+            });
+        let result = match (unchanged, &self.last) {
+            (true, Some(last)) => std::sync::Arc::clone(&last.result),
+            _ => std::sync::Arc::new(RecResult {
+                disasm: state.disasm.clone(),
+                functions: state.functions.clone(),
+                noreturn: noreturn.clone(),
+            }),
+        };
+        self.last = Some(LastRun {
             seeds: seeds.clone(),
             opts: opts.clone(),
             noreturn,
             state,
-        };
-        let result = last.to_result();
-        self.last = Some(last);
-        self.generation += 1;
+            result: std::sync::Arc::clone(&result),
+        });
+        if !unchanged {
+            self.generation += 1;
+        }
         result
     }
 
@@ -664,13 +848,17 @@ impl RecEngine {
         }
     }
 
-    /// The walk + non-return fixpoint, without result caching.
+    /// The walk + non-return fixpoint, without result caching. The
+    /// third return is `true` when the run was a pure extension of the
+    /// previous walk (no from-scratch re-walk, in the extension arm or
+    /// the fixpoint below), i.e. every component grew monotonically.
     fn compute(
         &mut self,
         bin: &Binary,
         seeds: &BTreeSet<u64>,
         opts: &RecOptions,
-    ) -> (WalkState, BTreeSet<u64>) {
+    ) -> (WalkState, BTreeSet<u64>, bool) {
+        let mut extended_only = true;
         let (mut state, mut noreturn) = match self.plan_extension(seeds, opts) {
             Some(added) => {
                 let last = self
@@ -683,7 +871,14 @@ impl RecEngine {
                 (state, noreturn)
             }
             None => {
+                extended_only = false;
                 let noreturn = BTreeSet::new();
+                // Intra-binary parallelism: scout shards pre-fill the
+                // decode cache, then the canonical serial walk below
+                // replays over it — decode-free, and byte-identical to
+                // a serial run by construction (decode is a pure
+                // function of the immutable text).
+                self.scout_walk(bin, opts, seeds, &noreturn);
                 (
                     walk_full(bin, opts, &mut self.cache, seeds, &noreturn),
                     noreturn,
@@ -711,11 +906,64 @@ impl RecEngine {
                 .any(|f| state.call_targets.contains(f));
             noreturn = next;
             if affects_walk {
+                extended_only = false;
                 state = walk_full(bin, opts, &mut self.cache, seeds, &noreturn);
             }
         }
 
-        (state, noreturn)
+        (state, noreturn, extended_only)
+    }
+
+    /// The sharded scout pass of an intra-parallel full walk: the
+    /// sorted seed set is partitioned into contiguous address regions,
+    /// one scoped worker per region runs a private walk over a forked
+    /// view of the decode cache, and the forks are absorbed back in
+    /// deterministic region order (the same index-ordered merge
+    /// discipline `BatchDriver` uses across binaries). Only decode
+    /// work is kept — discovered starts and edges are re-derived by
+    /// the canonical walk that follows, which is what guarantees
+    /// byte-identical results at any worker count.
+    ///
+    /// Serial when `intra_jobs <= 1` or there are fewer seeds than
+    /// would fill two shards. Decode `misses` stay equal to a serial
+    /// run's in the common case (each absorbed address counts once);
+    /// `hits` additionally count the replay pass — both are
+    /// instrumentation, excluded from every equality the differential
+    /// suites assert.
+    fn scout_walk(
+        &mut self,
+        bin: &Binary,
+        opts: &RecOptions,
+        seeds: &BTreeSet<u64>,
+        noreturn: &BTreeSet<u64>,
+    ) {
+        let shards = self.intra_jobs.min(seeds.len());
+        if shards < 2 {
+            return;
+        }
+        let sorted: Vec<u64> = seeds.iter().copied().collect();
+        let per_shard = sorted.len().div_ceil(shards);
+        let shared = &self.cache;
+        let scouted: Vec<DecodeCache> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sorted
+                .chunks(per_shard)
+                .map(|region| {
+                    let mut cache = shared.fork();
+                    scope.spawn(move || {
+                        let region_seeds: BTreeSet<u64> = region.iter().copied().collect();
+                        walk_full(bin, opts, &mut cache, &region_seeds, noreturn);
+                        cache
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scout shard panicked"))
+                .collect()
+        });
+        for cache in &scouted {
+            self.cache.absorb(cache);
+        }
     }
 
     /// Returns the newly added seeds when the previous run can be
@@ -740,16 +988,6 @@ impl RecEngine {
             .iter()
             .all(|a| !last.state.disasm.contains(*a) || last.state.block_heads.contains(a));
         exact.then_some(added)
-    }
-}
-
-impl LastRun {
-    fn to_result(&self) -> RecResult {
-        RecResult {
-            disasm: self.state.disasm.clone(),
-            functions: self.state.functions.clone(),
-            noreturn: self.noreturn.clone(),
-        }
     }
 }
 
@@ -890,6 +1128,38 @@ mod tests {
         assert_eq!(a.functions, b.functions);
         assert_eq!(a.noreturn, b.noreturn);
         assert_eq!(a.disasm.len(), b.disasm.len());
+    }
+
+    #[test]
+    fn sharded_walk_matches_serial_at_any_worker_count() {
+        let case = case();
+        let eh = case.binary.eh_frame().unwrap();
+        let seeds: BTreeSet<u64> = eh.pc_begins().into_iter().collect();
+        let opts = RecOptions::default();
+        let serial = recursive_disassemble(&case.binary, &seeds, &opts);
+        let serial_misses = {
+            let mut e = RecEngine::new();
+            e.run(&case.binary, &seeds, &opts);
+            e.decode_stats().1
+        };
+        for jobs in [2usize, 3, 7, 64] {
+            let mut engine = RecEngine::new();
+            engine.set_intra_jobs(jobs);
+            assert_eq!(engine.intra_jobs(), jobs);
+            let r = engine.run(&case.binary, &seeds, &opts);
+            assert_eq!(r.functions, serial.functions);
+            assert_eq!(r.noreturn, serial.noreturn);
+            let a: Vec<u64> = r.disasm.iter().map(|i| i.addr).collect();
+            let b: Vec<u64> = serial.disasm.iter().map(|i| i.addr).collect();
+            assert_eq!(a, b, "decoded address sequence diverged at {jobs} jobs");
+            assert_eq!(
+                r.disasm.jump_tables.keys().collect::<Vec<_>>(),
+                serial.disasm.jump_tables.keys().collect::<Vec<_>>()
+            );
+            // Distinct decode work is shard-invariant on this corpus:
+            // absorbed scout entries count once, like serial misses.
+            assert_eq!(engine.decode_stats().1, serial_misses);
+        }
     }
 
     #[test]

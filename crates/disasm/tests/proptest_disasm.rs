@@ -99,7 +99,7 @@ proptest! {
             case.binary.eh_frame().unwrap().pc_begins().into_iter().collect();
         let r = recursive_disassemble(&case.binary, &seeds, &RecOptions::default());
         let xrefs = code_xrefs(&r.disasm);
-        for (&target, refs) in &xrefs {
+        for (target, refs) in xrefs.iter() {
             for x in refs {
                 let inst = r.disasm.at(x.from).expect("xref source decoded");
                 let mentions = inst.direct_target() == Some(target)

@@ -222,15 +222,15 @@ impl HeightTable {
 ///
 /// Propagates [`EvalError`] for structurally invalid programs.
 pub fn stack_heights(cie: &Cie, fde: &Fde) -> Result<Option<HeightTable>, EvalError> {
-    let table = CfaTable::evaluate(cie, fde)?;
-    let mut entries = Vec::with_capacity(table.rows.len());
-    for row in &table.rows {
-        match row.cfa {
+    let rows = cfa_rule_rows(cie, fde)?;
+    let mut entries = Vec::with_capacity(rows.len());
+    for &(addr, cfa) in &rows {
+        match cfa {
             Some(CfaRule {
                 reg: Reg::Rsp,
                 offset,
             }) => {
-                entries.push((row.addr, offset - 8));
+                entries.push((addr, offset - 8));
             }
             _ => return Ok(None), // rbp-based or expression CFA: incomplete
         }
@@ -240,10 +240,77 @@ pub fn stack_heights(cie: &Cie, fde: &Fde) -> Result<Option<HeightTable>, EvalEr
         _ => return Ok(None), // not initialized as rsp+8 at the entry
     }
     Ok(Some(HeightTable {
-        pc_begin: table.pc_begin,
-        pc_end: table.pc_end,
+        pc_begin: fde.pc_begin,
+        pc_end: fde.pc_end(),
         entries,
     }))
+}
+
+/// The CFA-rule column of [`CfaTable::evaluate`], without materializing
+/// the per-row saved-register vectors (the clone-per-row the full table
+/// pays, which [`stack_heights`] never reads). Same program evaluation,
+/// same commit/replace discipline, same errors.
+fn cfa_rule_rows(cie: &Cie, fde: &Fde) -> Result<Vec<(u64, Option<CfaRule>)>, EvalError> {
+    let mut cfa: Option<CfaRule> = None;
+    let mut cfa_is_expr = false;
+    let apply = |inst: &CfiInst,
+                 cfa: &mut Option<CfaRule>,
+                 cfa_is_expr: &mut bool|
+     -> Result<(), EvalError> {
+        match inst {
+            CfiInst::DefCfa { reg, offset } => {
+                *cfa = Some(CfaRule {
+                    reg: *reg,
+                    offset: *offset as i64,
+                });
+                *cfa_is_expr = false;
+            }
+            CfiInst::DefCfaRegister { reg } => {
+                cfa.as_mut().ok_or(EvalError::NoCfaRule)?.reg = *reg;
+            }
+            CfiInst::DefCfaOffset { offset } => {
+                cfa.as_mut().ok_or(EvalError::NoCfaRule)?.offset = *offset as i64;
+            }
+            // Saved-register bookkeeping: irrelevant to the CFA column.
+            CfiInst::Offset { .. } | CfiInst::Restore { .. } => {}
+            CfiInst::Expression { .. } => {
+                *cfa_is_expr = cfa.is_none();
+            }
+            CfiInst::AdvanceLoc { .. } => unreachable!("advance handled by the caller"),
+            CfiInst::Nop => {}
+        }
+        Ok(())
+    };
+    for inst in &cie.initial_cfis {
+        if !matches!(inst, CfiInst::AdvanceLoc { .. }) {
+            apply(inst, &mut cfa, &mut cfa_is_expr)?;
+        }
+    }
+    let mut rows: Vec<(u64, Option<CfaRule>)> = Vec::new();
+    let mut loc = fde.pc_begin;
+    let commit = |addr: u64,
+                  cfa: Option<CfaRule>,
+                  cfa_is_expr: bool,
+                  rows: &mut Vec<(u64, Option<CfaRule>)>| {
+        let row = (addr, if cfa_is_expr { None } else { cfa });
+        match rows.last_mut() {
+            Some(last) if last.0 == addr => *last = row,
+            _ => rows.push(row),
+        }
+    };
+    for inst in &fde.cfis {
+        if let CfiInst::AdvanceLoc { delta } = inst {
+            commit(loc, cfa, cfa_is_expr, &mut rows);
+            loc = loc.checked_add(*delta).ok_or(EvalError::AdvancePastEnd)?;
+            if loc > fde.pc_end() {
+                return Err(EvalError::AdvancePastEnd);
+            }
+        } else {
+            apply(inst, &mut cfa, &mut cfa_is_expr)?;
+        }
+    }
+    commit(loc, cfa, cfa_is_expr, &mut rows);
+    Ok(rows)
 }
 
 #[cfg(test)]

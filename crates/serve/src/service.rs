@@ -114,6 +114,12 @@ pub struct ServeConfig {
     pub store_gc: GcPolicy,
     /// The armed fault plan (default: empty — never fires).
     pub faults: Arc<FaultPlan>,
+    /// Worker threads for the intra-binary sharded recursive walk on
+    /// cold computes (`0` or `1` = serial). Answers are byte-identical
+    /// at every setting (see [`fetch_core::Fetch::intra_jobs`]); this
+    /// composes with the server's request-level worker pool the same
+    /// way `--intra-jobs` composes with the batch driver's `--jobs`.
+    pub intra_jobs: usize,
 }
 
 /// Lock-free request counters ([`RequestCounters`] is their snapshot).
@@ -175,6 +181,7 @@ pub struct AnalysisService {
     telemetry: TelemetryHub,
     counters: Counters,
     faults: Arc<FaultPlan>,
+    intra_jobs: usize,
     shutdown: AtomicBool,
 }
 
@@ -198,6 +205,7 @@ impl AnalysisService {
             telemetry: TelemetryHub::default(),
             counters: Counters::default(),
             faults: config.faults.clone(),
+            intra_jobs: config.intra_jobs,
             shutdown: AtomicBool::new(false),
         })
     }
@@ -370,14 +378,22 @@ impl AnalysisService {
         }
     }
 
-    /// Runs the pipeline on a borrowed pool engine.
-    fn compute(&self, pipeline: &Pipeline, image: &ElfImage) -> fetch_core::DetectionResult {
+    /// Pops a pool engine (or makes a fresh one), configured with the
+    /// service's intra-binary shard count.
+    fn borrow_engine(&self) -> RecEngine {
         let mut engine = self
             .engines
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .pop()
             .unwrap_or_default();
+        engine.set_intra_jobs(self.intra_jobs);
+        engine
+    }
+
+    /// Runs the pipeline on a borrowed pool engine.
+    fn compute(&self, pipeline: &Pipeline, image: &ElfImage) -> fetch_core::DetectionResult {
+        let mut engine = self.borrow_engine();
         let result = pipeline.run_with_engine(&image.to_binary(), &mut engine);
         self.engines
             .lock()
@@ -581,12 +597,7 @@ impl AnalysisService {
 
         let binary = image.to_binary();
         let new_digest = ImageDigest::compute(&binary, fingerprint);
-        let mut engine = self
-            .engines
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .pop()
-            .unwrap_or_default();
+        let mut engine = self.borrow_engine();
         let (result, class, sections_reused) = match &prev {
             Some((prev_result, prev_digest)) => {
                 let out = run_delta(

@@ -800,19 +800,17 @@ mod tests {
         // The digest-blind accessor still works on a digest-ful entry.
         assert_eq!(store.load(fp, &pipeline.id()).unwrap().unwrap(), result);
 
-        // Rewrite the entry's blob as a pre-digest v1 encoding: drop
-        // the digest presence byte + checksum, stamp version 1, redo
-        // the checksum — the shape of an entry persisted before
-        // digests existed.
+        // Rewrite the entry's blob as a pre-digest v1 encoding — the
+        // shape of an entry persisted before digests (and the v3 scan
+        // counters) existed. The forged blob's checksum is re-derived
+        // locally so a drift in core's checksum fails here loudly.
         let path = store.path_for(fp, &pipeline.id());
         let file = fs::read(&path).unwrap();
         let id_len = u16::from_le_bytes(file[14..16].try_into().unwrap()) as usize;
         let blob_at = 16 + id_len;
-        let digestless = fetch_core::serialize_result(&result).unwrap();
-        let mut v1 = digestless[..digestless.len() - 9].to_vec();
-        v1[4..6].copy_from_slice(&RESULT_VERSION_V1.to_le_bytes());
-        let sum = serial_checksum(&v1).to_le_bytes();
-        v1.extend_from_slice(&sum);
+        let v1 = fetch_core::serialize_result_legacy(&result, RESULT_VERSION_V1).unwrap();
+        let sum = serial_checksum(&v1[..v1.len() - 8]).to_le_bytes();
+        assert_eq!(v1[v1.len() - 8..], sum, "core checksum drifted");
         let mut forged = file[..blob_at].to_vec();
         forged.extend_from_slice(&v1);
         fs::write(&path, &forged).unwrap();

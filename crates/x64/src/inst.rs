@@ -586,107 +586,152 @@ impl Inst {
     /// Whether the instruction reads or writes `rsp` at all (including via
     /// simple deltas and memory operands based on `rsp`).
     pub fn touches_rsp(&self) -> bool {
-        self.stack_delta().is_some()
-            || self.clobbers_rsp()
-            || self
-                .regs_read()
-                .iter()
-                .chain(self.regs_written().iter())
-                .any(|&r| r == Reg::Rsp)
+        if self.stack_delta().is_some() || self.clobbers_rsp() {
+            return true;
+        }
+        let mut hit = false;
+        self.each_reg_read(|r| hit |= r == Reg::Rsp);
+        self.each_reg_written(|r| hit |= r == Reg::Rsp);
+        hit
     }
 
-    /// Registers whose *values* the instruction consumes.
+    /// Visits the registers whose *values* the instruction consumes,
+    /// in the same order [`Inst::regs_read`] lists them, without
+    /// allocating. Dataflow loops (calling-convention validation walks
+    /// every instruction of every candidate) should prefer this over
+    /// collecting a `Vec` per instruction.
     ///
     /// Following the paper's calling-convention rule (§IV-E), a `push reg`
     /// in a prologue is a register *save*, not a use, so `push` reads
     /// nothing here; use [`Inst::regs_saved`] for saves. Memory operands
     /// contribute their base/index registers.
-    pub fn regs_read(&self) -> Vec<Reg> {
-        fn mem_regs(m: &Mem) -> Vec<Reg> {
-            m.regs_used().collect()
-        }
-        match &self.op {
-            Op::Push(_) | Op::Pop(_) => vec![],
-            Op::MovRR(_, _, s) => vec![*s],
-            Op::MovRI(..) | Op::MovAbs(..) => vec![],
-            Op::MovRM(_, _, m) => mem_regs(m),
-            Op::MovMR(_, m, s) => {
-                let mut v = mem_regs(m);
-                v.push(*s);
-                v
+    pub fn each_reg_read(&self, mut f: impl FnMut(Reg)) {
+        let mem_regs = |m: &Mem, f: &mut dyn FnMut(Reg)| {
+            for r in m.regs_used() {
+                f(r);
             }
-            Op::MovMI(_, m, _) => mem_regs(m),
-            Op::Lea(_, m) => mem_regs(m),
+        };
+        let f = &mut f;
+        match &self.op {
+            Op::Push(_) | Op::Pop(_) => {}
+            Op::MovRR(_, _, s) => f(*s),
+            Op::MovRI(..) | Op::MovAbs(..) => {}
+            Op::MovRM(_, _, m) => mem_regs(m, f),
+            Op::MovMR(_, m, s) => {
+                mem_regs(m, f);
+                f(*s);
+            }
+            Op::MovMI(_, m, _) => mem_regs(m, f),
+            Op::Lea(_, m) => mem_regs(m, f),
             Op::AluRR(op, _, d, s) => {
                 // xor r, r is the idiomatic zeroing: it does not read r.
-                if *op == AluOp::Xor && d == s {
-                    vec![]
-                } else {
-                    vec![*d, *s]
+                if !(*op == AluOp::Xor && d == s) {
+                    f(*d);
+                    f(*s);
                 }
             }
-            Op::AluRI(_, _, d, _) => vec![*d],
+            Op::AluRI(_, _, d, _) => f(*d),
             Op::AluRM(_, _, d, m) => {
-                let mut v = vec![*d];
-                v.extend(mem_regs(m));
-                v
+                f(*d);
+                mem_regs(m, f);
             }
-            Op::TestRR(_, a, b) => vec![*a, *b],
-            Op::IMul(_, d, s) => vec![*d, *s],
-            Op::Shift(_, _, r, _) => vec![*r],
-            Op::Movsxd(_, rm) | Op::MovExt(_, _, rm) => rm.regs_used(),
-            Op::Inc(_, r) | Op::Dec(_, r) => vec![*r],
-            Op::Call(_) | Op::Jmp { .. } | Op::Jcc { .. } => vec![],
-            Op::CallInd(rm) | Op::JmpInd(rm) => rm.regs_used(),
-            Op::Ret => vec![],
-            Op::Leave => vec![Reg::Rbp],
-            Op::Cdqe | Op::Cqo => vec![Reg::Rax],
-            Op::Nop(_) | Op::Int3 | Op::Ud2 | Op::Hlt | Op::Syscall | Op::Endbr64 => vec![],
+            Op::TestRR(_, a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Op::IMul(_, d, s) => {
+                f(*d);
+                f(*s);
+            }
+            Op::Shift(_, _, r, _) => f(*r),
+            Op::Movsxd(_, rm) | Op::MovExt(_, _, rm) => match rm {
+                Rm::Reg(r) => f(*r),
+                Rm::Mem(m) => mem_regs(m, f),
+            },
+            Op::Inc(_, r) | Op::Dec(_, r) => f(*r),
+            Op::Call(_) | Op::Jmp { .. } | Op::Jcc { .. } => {}
+            Op::CallInd(rm) | Op::JmpInd(rm) => match rm {
+                Rm::Reg(r) => f(*r),
+                Rm::Mem(m) => mem_regs(m, f),
+            },
+            Op::Ret => {}
+            Op::Leave => f(Reg::Rbp),
+            Op::Cdqe | Op::Cqo => f(Reg::Rax),
+            Op::Nop(_) | Op::Int3 | Op::Ud2 | Op::Hlt | Op::Syscall | Op::Endbr64 => {}
         }
     }
 
-    /// Registers the instruction writes.
-    pub fn regs_written(&self) -> Vec<Reg> {
+    /// Registers whose *values* the instruction consumes, collected
+    /// from [`Inst::each_reg_read`] (which documents the semantics).
+    pub fn regs_read(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.each_reg_read(|r| v.push(r));
+        v
+    }
+
+    /// Visits the registers the instruction writes, in the same order
+    /// [`Inst::regs_written`] lists them, without allocating.
+    pub fn each_reg_written(&self, mut f: impl FnMut(Reg)) {
         match &self.op {
-            Op::Push(_) => vec![Reg::Rsp],
-            Op::Pop(r) => vec![*r, Reg::Rsp],
+            Op::Push(_) => f(Reg::Rsp),
+            Op::Pop(r) => {
+                f(*r);
+                f(Reg::Rsp);
+            }
             Op::MovRR(_, d, _)
             | Op::MovRI(_, d, _)
             | Op::MovAbs(d, _)
             | Op::MovRM(_, d, _)
-            | Op::Lea(d, _) => vec![*d],
-            Op::MovMR(..) | Op::MovMI(..) => vec![],
+            | Op::Lea(d, _) => f(*d),
+            Op::MovMR(..) | Op::MovMI(..) => {}
             Op::AluRR(op, _, d, _) | Op::AluRI(op, _, d, _) | Op::AluRM(op, _, d, _) => {
                 if op.writes_dst() {
-                    vec![*d]
-                } else {
-                    vec![]
+                    f(*d);
                 }
             }
-            Op::TestRR(..) => vec![],
-            Op::IMul(_, d, _) => vec![*d],
-            Op::Shift(_, _, r, _) => vec![*r],
-            Op::Movsxd(d, _) | Op::MovExt(_, d, _) => vec![*d],
-            Op::Inc(_, r) | Op::Dec(_, r) => vec![*r],
+            Op::TestRR(..) => {}
+            Op::IMul(_, d, _) => f(*d),
+            Op::Shift(_, _, r, _) => f(*r),
+            Op::Movsxd(d, _) | Op::MovExt(_, d, _) => f(*d),
+            Op::Inc(_, r) | Op::Dec(_, r) => f(*r),
             // A call clobbers all caller-saved registers and defines rax.
-            Op::Call(_) | Op::CallInd(_) => vec![
-                Reg::Rax,
-                Reg::Rcx,
-                Reg::Rdx,
-                Reg::Rsi,
-                Reg::Rdi,
-                Reg::R8,
-                Reg::R9,
-                Reg::R10,
-                Reg::R11,
-            ],
-            Op::Jmp { .. } | Op::JmpInd(_) | Op::Jcc { .. } | Op::Ret => vec![],
-            Op::Leave => vec![Reg::Rsp, Reg::Rbp],
-            Op::Cdqe => vec![Reg::Rax],
-            Op::Cqo => vec![Reg::Rdx],
-            Op::Syscall => vec![Reg::Rax, Reg::Rcx, Reg::R11],
-            Op::Nop(_) | Op::Int3 | Op::Ud2 | Op::Hlt | Op::Endbr64 => vec![],
+            Op::Call(_) | Op::CallInd(_) => {
+                for r in [
+                    Reg::Rax,
+                    Reg::Rcx,
+                    Reg::Rdx,
+                    Reg::Rsi,
+                    Reg::Rdi,
+                    Reg::R8,
+                    Reg::R9,
+                    Reg::R10,
+                    Reg::R11,
+                ] {
+                    f(r);
+                }
+            }
+            Op::Jmp { .. } | Op::JmpInd(_) | Op::Jcc { .. } | Op::Ret => {}
+            Op::Leave => {
+                f(Reg::Rsp);
+                f(Reg::Rbp);
+            }
+            Op::Cdqe => f(Reg::Rax),
+            Op::Cqo => f(Reg::Rdx),
+            Op::Syscall => {
+                f(Reg::Rax);
+                f(Reg::Rcx);
+                f(Reg::R11);
+            }
+            Op::Nop(_) | Op::Int3 | Op::Ud2 | Op::Hlt | Op::Endbr64 => {}
         }
+    }
+
+    /// Registers the instruction writes, collected from
+    /// [`Inst::each_reg_written`].
+    pub fn regs_written(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.each_reg_written(|r| v.push(r));
+        v
     }
 
     /// Callee-register saves: `push reg` reports the pushed register here.
@@ -706,11 +751,18 @@ impl Inst {
     /// Constant operands that could be code pointers (used by the
     /// conservative function-pointer collection of §IV-E).
     pub fn const_operands(&self) -> Vec<u64> {
+        self.const_operand().into_iter().collect()
+    }
+
+    /// Non-allocating form of [`Self::const_operands`]: the encodings
+    /// modeled here carry at most one immediate wide enough to be a
+    /// code pointer.
+    pub fn const_operand(&self) -> Option<u64> {
         match self.op {
-            Op::MovAbs(_, v) => vec![v],
-            Op::MovRI(_, _, v) if v > 0 => vec![v as u64],
-            Op::MovMI(_, _, v) if v > 0 => vec![v as u64],
-            _ => vec![],
+            Op::MovAbs(_, v) => Some(v),
+            Op::MovRI(_, _, v) if v > 0 => Some(v as u64),
+            Op::MovMI(_, _, v) if v > 0 => Some(v as u64),
+            _ => None,
         }
     }
 
