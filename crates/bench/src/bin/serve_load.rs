@@ -40,8 +40,22 @@
 //! the assertions unchanged: injected failures must never change an
 //! answer, hang the run, or prevent a clean shutdown.
 //!
+//! After the coalesce phase the harness fetches `stats` and `metrics`
+//! back-to-back and asserts **exact** reconciliation: the exposition's
+//! counters equal the stats counters number-for-number, the outcome
+//! counters partition `requests_total`, and the per-source latency
+//! histograms hold exactly one observation per request — the registry
+//! and the stats reply read the same atomics, and this harness proves
+//! it under real concurrent load (fault-armed included).
+//!
 //! Usage: `cargo run --release -p fetch-bench --bin serve_load --
-//! [--scale N] [--funcs F] [--rounds R] [--cache-capacity N] [--jobs N]`
+//! [--scale N] [--funcs F] [--rounds R] [--cache-capacity N] [--jobs N]
+//! [--metrics-out FILE]`
+//!
+//! `--metrics-out FILE` writes the final daemon's Prometheus-style
+//! metrics exposition to `FILE` before shutdown (the CI nightly
+//! publishes it to the job summary; the chaos smoke greps it for the
+//! per-site fault counters).
 
 #![cfg(unix)]
 
@@ -114,6 +128,73 @@ fn request_counter(stats: &Json, name: &str) -> u64 {
         .unwrap_or_else(|| panic!("stats reply lacks requests.{name}: {stats}"))
 }
 
+/// Pulls one plain counter out of a `metrics` reply's `metrics` object.
+fn metric_counter(metrics: &Json, name: &str) -> u64 {
+    metrics
+        .get("metrics")
+        .and_then(|m| m.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("metrics reply lacks {name}: {metrics}"))
+}
+
+/// Asserts the `metrics` exposition reconciles *exactly* with a
+/// `stats` reply taken in the same quiescent instant: equal counters,
+/// the partition identity, and one latency observation per request.
+fn assert_reconciled(stats: &Json, metrics: &Json) {
+    let total = request_counter(stats, "requests_total");
+    let delta_hits = stats
+        .get("delta")
+        .and_then(|d| d.get("delta_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats reply lacks delta.delta_hits: {stats}"));
+    let outcomes = request_counter(stats, "cache_hits")
+        + request_counter(stats, "store_hits")
+        + delta_hits
+        + request_counter(stats, "cold")
+        + request_counter(stats, "coalesced")
+        + request_counter(stats, "errors")
+        + request_counter(stats, "shed_busy");
+    assert_eq!(
+        total, outcomes,
+        "outcome counters must partition requests_total: {stats}"
+    );
+    for (metric, stat) in [
+        ("fetch_requests_total", "requests_total"),
+        ("fetch_requests_errors_total", "errors"),
+        ("fetch_requests_cold_total", "cold"),
+        ("fetch_requests_cache_hits_total", "cache_hits"),
+        ("fetch_requests_store_hits_total", "store_hits"),
+        ("fetch_requests_coalesced_total", "coalesced"),
+        ("fetch_requests_shed_busy_total", "shed_busy"),
+    ] {
+        assert_eq!(
+            metric_counter(metrics, metric),
+            request_counter(stats, stat),
+            "{metric} must equal stats.requests.{stat} exactly"
+        );
+    }
+    assert_eq!(
+        metric_counter(metrics, "fetch_delta_hits_total"),
+        delta_hits
+    );
+    let hist_total: u64 = match metrics.get("metrics") {
+        Some(Json::Obj(map)) => map
+            .iter()
+            .filter(|(name, _)| name.starts_with("fetch_request_us{"))
+            .map(|(name, v)| {
+                v.get("count")
+                    .and_then(Json::as_u64)
+                    .unwrap_or_else(|| panic!("histogram {name} has no count"))
+            })
+            .sum(),
+        _ => panic!("metrics reply has no metrics object: {metrics}"),
+    };
+    assert_eq!(
+        hist_total, total,
+        "every request must land in exactly one fetch_request_us histogram"
+    );
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -137,6 +218,7 @@ fn main() {
     let opts = opts_from_args();
     let jobs = opts.jobs;
     let mut rounds = 2usize;
+    let mut metrics_out: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -144,6 +226,12 @@ fn main() {
             i += 1;
             rounds = args[i].parse().expect("--rounds takes a positive integer");
             assert!(rounds >= 1);
+        }
+        if args[i] == "--metrics-out" {
+            i += 1;
+            metrics_out = Some(PathBuf::from(
+                args.get(i).expect("--metrics-out takes a file path"),
+            ));
         }
         i += 1;
     }
@@ -326,6 +414,16 @@ fn main() {
         cache.get("entries").and_then(Json::as_u64).unwrap_or(0),
         cache.get("bytes").and_then(Json::as_u64).unwrap_or(0),
     );
+    // Reconciliation check: stats and metrics back-to-back in a
+    // quiescent instant (stats/metrics requests do not count
+    // themselves), after the 8-client coalesce burst — so the counters
+    // being reconciled were written under real contention.
+    let (_, metrics) = roundtrip(&socket, &Request::Metrics.to_line());
+    assert_reconciled(&stats, &metrics);
+    println!(
+        "  metrics: exposition reconciles exactly with stats          ({} requests partitioned across outcomes and histograms)",
+        request_counter(&stats, "requests_total"),
+    );
     roundtrip(&socket, &Request::Shutdown.to_line());
     daemon.join().expect("daemon").expect("serve loop");
 
@@ -474,6 +572,15 @@ fn main() {
         "  intra sweep: {} cold recomputes at shard width {intra_jobs},          all byte-identical to width 1",
         cases.len()
     );
+    if let Some(path) = &metrics_out {
+        let (_, metrics) = roundtrip(&intra_socket, &Request::Metrics.to_line());
+        let text = metrics
+            .get("text")
+            .and_then(Json::as_str)
+            .expect("metrics reply carries the text exposition");
+        std::fs::write(path, text).expect("write --metrics-out file");
+        println!("  metrics: exposition written to {}", path.display());
+    }
     roundtrip(&intra_socket, &Request::Shutdown.to_line());
     daemon.join().expect("daemon").expect("serve loop");
 

@@ -681,10 +681,13 @@ pub struct AnalysisCache {
     inner: Mutex<Inner>,
     capacity: CacheCapacity,
     flights: Mutex<HashMap<(u64, String), Arc<FlightSlot>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    coalesced: AtomicU64,
+    // `Arc`-backed so a host (the serve daemon) can register the very
+    // same atomics into a `fetch_obs::Registry` — the `stats` counters
+    // and a metrics exposition then reconcile by construction.
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
+    coalesced: Arc<AtomicU64>,
 }
 
 /// One in-flight compute: waiters block on `ready` until the leader
@@ -1020,6 +1023,27 @@ impl AnalysisCache {
             entries,
             bytes,
         }
+    }
+
+    /// Registers the cache's lookup counters into an observability
+    /// registry under `{prefix}_hits_total`, `{prefix}_misses_total`,
+    /// `{prefix}_evictions_total`, and `{prefix}_coalesced_total`.
+    ///
+    /// The registry is handed the *same* atomics that back
+    /// [`AnalysisCache::stats`], so a metrics exposition and the stats
+    /// snapshot can never drift apart — there is one counter, read from
+    /// two places, not two counters kept in sync.
+    pub fn register_metrics(&self, registry: &fetch_obs::Registry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}_hits_total"), Arc::clone(&self.hits));
+        registry.register_counter(&format!("{prefix}_misses_total"), Arc::clone(&self.misses));
+        registry.register_counter(
+            &format!("{prefix}_evictions_total"),
+            Arc::clone(&self.evictions),
+        );
+        registry.register_counter(
+            &format!("{prefix}_coalesced_total"),
+            Arc::clone(&self.coalesced),
+        );
     }
 
     /// Entries are only ever inserted whole, so the map is consistent

@@ -160,6 +160,46 @@
 //! assert_eq!(restarted.lookup(fp, &pipeline.id()).as_deref(), Some(&*cold));
 //! ```
 //!
+//! ## Observability: registry-backed cache counters
+//!
+//! [`CacheStats`] counters (hits/misses/evictions/coalesced) are
+//! plain shared atomics, so a serving process can export them without
+//! mirroring: [`AnalysisCache::register_metrics`] hands the *same*
+//! atomics to a `fetch-obs` [`fetch_obs::Registry`], and any later
+//! exposition reads what [`AnalysisCache::stats`] reads — the two can
+//! never disagree. (Naming note: `fetch-obs` is runtime telemetry;
+//! the `fetch-metrics` crate is the paper's detection-accuracy
+//! metrics. Different axes, different crates.)
+//!
+//! ```
+//! use fetch_core::{AnalysisCache, CacheCapacity, Pipeline};
+//! use fetch_obs::{MetricValue, Registry};
+//! use fetch_synth::{synthesize, SynthConfig};
+//!
+//! let cache = AnalysisCache::with_capacity(CacheCapacity::entries(8));
+//! let registry = Registry::new();
+//! cache.register_metrics(&registry, "fetch_cache");
+//!
+//! let case = synthesize(&SynthConfig::small(3));
+//! let pipeline = Pipeline::fetch();
+//! let fp = fetch_core::content_fingerprint(&case.binary);
+//! cache.get_or_compute(fp, &pipeline.id(), || pipeline.run(&case.binary));
+//! cache.get_or_compute(fp, &pipeline.id(), || unreachable!());
+//!
+//! // The registry sees the hit the cache's own stats saw.
+//! let snap = registry.snapshot();
+//! let hits = snap
+//!     .entries
+//!     .iter()
+//!     .find_map(|(name, v)| match (name.as_str(), v) {
+//!         ("fetch_cache_hits_total", MetricValue::Counter(n)) => Some(*n),
+//!         _ => None,
+//!     })
+//!     .unwrap();
+//! assert_eq!(hits, cache.stats().hits);
+//! assert_eq!(hits, 1);
+//! ```
+//!
 //! ## Versioned delta: digest → diff → replay → fallback
 //!
 //! Serving CI/CD workloads means the *same program, rebuilt*: most

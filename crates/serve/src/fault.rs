@@ -40,6 +40,7 @@
 //! apply to them (a `short` on `conn.read` behaves like `io`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// What an armed fault does when it fires (see the [module docs](self)
@@ -71,7 +72,13 @@ struct FaultRule {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     rules: Vec<FaultRule>,
-    fired: AtomicU64,
+    /// `Arc`-backed so the daemon can register the very same atomic
+    /// into its metric registry (`fetch_faults_injected_total`).
+    fired: Arc<AtomicU64>,
+    /// Per-site firing counters, indexed like [`FaultPlan::SITES`] —
+    /// surfaced by the daemon's `metrics` exposition so a chaos run can
+    /// see *where* the plan landed, not just that it did.
+    fired_by_site: [Arc<AtomicU64>; 6],
 }
 
 impl FaultPlan {
@@ -155,7 +162,7 @@ impl FaultPlan {
         }
         Ok(FaultPlan {
             rules,
-            fired: AtomicU64::new(0),
+            ..FaultPlan::default()
         })
     }
 
@@ -205,6 +212,9 @@ impl FaultPlan {
                 continue;
             }
             self.fired.fetch_add(1, Ordering::Relaxed);
+            if let Some(idx) = Self::SITES.iter().position(|s| *s == site) {
+                self.fired_by_site[idx].fetch_add(1, Ordering::Relaxed);
+            }
             if let FaultKind::Stall(wait) = rule.kind {
                 std::thread::sleep(wait);
                 return None;
@@ -218,6 +228,34 @@ impl FaultPlan {
     /// daemon's `stats` reply so a chaos run can prove the plan armed.
     pub fn fired(&self) -> u64 {
         self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Per-site firing counts, in [`FaultPlan::SITES`] order — always
+    /// all six sites (zeros included), so the `metrics` exposition
+    /// lists every instrumented site whether or not it fired.
+    pub fn fired_by_site(&self) -> [(&'static str, u64); 6] {
+        let mut out = [("", 0u64); 6];
+        for (i, site) in Self::SITES.iter().enumerate() {
+            out[i] = (site, self.fired_by_site[i].load(Ordering::Relaxed));
+        }
+        out
+    }
+
+    /// The shared atomic behind [`FaultPlan::fired`], for registry
+    /// backing (the exposition reads the plan's own counter).
+    pub fn fired_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.fired)
+    }
+
+    /// The shared atomics behind the per-site counters, in
+    /// [`FaultPlan::SITES`] order, for registry backing.
+    pub fn site_counter_handles(&self) -> [(&'static str, Arc<AtomicU64>); 6] {
+        let mut i = 0;
+        Self::SITES.map(|site| {
+            let pair = (site, Arc::clone(&self.fired_by_site[i]));
+            i += 1;
+            pair
+        })
     }
 
     /// The injected error every `Io` firing surfaces: stable text, so
@@ -241,6 +279,14 @@ mod tests {
         assert_eq!(plan.fire(FaultPlan::STORE_LOAD), Some(FaultKind::Corrupt));
         assert_eq!(plan.fire(FaultPlan::STORE_LOAD), None);
         assert_eq!(plan.fired(), 3);
+        let by_site = plan.fired_by_site();
+        assert_eq!(by_site[0], (FaultPlan::STORE_SAVE, 1));
+        assert_eq!(by_site[1], (FaultPlan::STORE_LOAD, 2));
+        assert_eq!(
+            by_site[2],
+            (FaultPlan::QUEUE_REPLY, 0),
+            "unfired sites listed"
+        );
 
         assert!(FaultPlan::parse("").unwrap().is_empty());
         for bad in [

@@ -86,6 +86,51 @@
 //! | cache entries / bytes | `--cache-capacity` / `--cache-bytes` | unbounded |
 //! | store GC: entries / bytes / age | `--store-max-entries` / `--store-max-bytes` / `--store-max-age-secs` | unbounded |
 //! | fault plan | `--fault-plan` / `FETCH_FAULT_PLAN` | empty |
+//! | log level | `--log-level` | `info` |
+//!
+//! ## Observability
+//!
+//! The daemon carries a full runtime-observability layer built on
+//! [`fetch_obs`] (note the naming split: `fetch-obs` is *runtime*
+//! telemetry — counters, latency histograms, spans, logging — while
+//! the `fetch-metrics` crate is the paper's *accuracy* metrics,
+//! precision/recall against ground truth; they share nothing):
+//!
+//! * **Registry-backed counters.** Every counter the `stats` reply
+//!   reports is an `Arc<AtomicU64>` registered into one
+//!   [`fetch_obs::Registry`] — the `metrics` verb and the `stats` verb
+//!   read the *same atomics*, so the two can never drift (asserted
+//!   exactly, under concurrent fault-armed load, by the
+//!   `obs_reconciliation` property test and the `serve_load` harness).
+//!   The partition identity holds by construction:
+//!   `fetch_requests_total == cache_hits + store_hits + delta_hits +
+//!   cold + coalesced + errors + shed_busy`.
+//! * **Latency histograms.** Log-bucketed ([`fetch_obs::Histogram`])
+//!   per-source request latency (`fetch_request_us{source="…"}`, one
+//!   observation per answer-path request), pending-queue wait,
+//!   reply-write, coalescing leader/waiter walls, store save/load, and
+//!   per-layer pipeline walls (`fetch_layer_wall_us{layer="…"}`,
+//!   recorded on fresh computes only — replayed traces are not
+//!   re-counted).
+//! * **The `metrics` verb.** `{"cmd":"metrics"}` returns both a
+//!   Prometheus-style text exposition (`text`) and the same snapshot as
+//!   structured JSON (`metrics`). Gauges (cache/store residency) are
+//!   refreshed at exposition time. Every [`FaultPlan`] site appears as
+//!   `fetch_fault_fired_total{site="…"}` — zeros included, so a chaos
+//!   run can assert where its plan landed.
+//! * **Request IDs.** Every reply envelope carries a per-daemon
+//!   monotonic `req_id` (stamped at the transport; `result` bytes are
+//!   unaffected), and telemetry `request`/`layer` events carry the same
+//!   id — one grep correlates a reply with its event stream and any
+//!   log lines it produced.
+//! * **Structured logging.** [`fetch_obs::logmsg`] replaces ad-hoc
+//!   stderr prints: `level seconds req_id message`, gated by
+//!   `--log-level` (`off`..`trace`).
+//!
+//! `perf_snapshot`'s `obs` group prices the layer itself: the
+//! instrumented answer path must hold the same 10 ms large-corpus
+//! budget as the bare pipeline, with the histogram-record and
+//! exposition micro-costs published alongside.
 //!
 //! ## Example
 //!
@@ -131,7 +176,9 @@ pub mod service;
 pub mod store;
 
 pub use fault::{FaultKind, FaultPlan};
-pub use protocol::{AnalyzeReply, DeltaCounters, ErrorCode, Reply, Request, ServeSource};
+pub use protocol::{
+    AnalyzeReply, DeltaCounters, ErrorCode, MetricsReply, Reply, Request, ServeSource,
+};
 pub use server::{serve, serve_io, ServeSummary, ServerOptions};
 pub use service::{AnalysisService, ServeConfig, TelemetryHub};
 pub use store::{GcPolicy, ResultStore, StoreError, StoreLifecycle};

@@ -23,8 +23,14 @@
 //! arms deterministic fault injection — see [`fetch_serve::fault`] for
 //! the spec grammar. A malformed plan fails startup loudly: a chaos
 //! harness must never silently run an unfaulted binary.
+//!
+//! `--log-level LEVEL` (off, error, warn, info, debug, trace; default
+//! `info`) sets the daemon's structured stderr log level — lines are
+//! `level seconds req_id message`, with `-` for messages outside any
+//! request.
 
 use fetch_core::{Pipeline, Tool};
+use fetch_obs::{logmsg, LogLevel};
 use fetch_serve::fault::FaultPlan;
 use fetch_serve::protocol::{parse_hex_u64, AnalyzeInput, Request};
 use fetch_serve::server::{serve, serve_io, ServerOptions};
@@ -39,9 +45,9 @@ fn usage() -> ! {
          [--store DIR]\n                     [--cache-capacity N] [--cache-bytes B] [--poll-ms M]\n                     \
          [--jobs N] [--intra-jobs N] [--queue-depth N] [--io-timeout-ms M]\n                     \
          [--store-max-entries N] [--store-max-bytes B] [--store-max-age-secs S]\n                     \
-         [--fault-plan SPEC]\n  \
+         [--fault-plan SPEC] [--log-level LEVEL]\n  \
          fetch-serve client --socket PATH (--analyze FILE [--pipeline SPEC | --tool NAME]\n                     \
-         | --query FP [--pipeline SPEC] | --stats | --subscribe | --shutdown | --json LINE)"
+         | --query FP [--pipeline SPEC] | --stats | --metrics | --subscribe | --shutdown | --json LINE)"
     );
     exit(2)
 }
@@ -169,6 +175,12 @@ fn daemon(args: &[String]) {
                 fault_plan =
                     Some(FaultPlan::parse(spec).unwrap_or_else(|e| fail(format_args!("{e}"))));
             }
+            "--log-level" => {
+                let level: LogLevel = flag_value(args, &mut i, "--log-level")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("{e}")));
+                fetch_obs::set_log_level(level);
+            }
             other => fail(format_args!("unknown daemon flag {other:?}")),
         }
         i += 1;
@@ -192,9 +204,14 @@ fn daemon(args: &[String]) {
         return;
     }
     match serve(&service, &opts) {
-        Ok(summary) => eprintln!(
+        Ok(summary) => logmsg!(
+            LogLevel::Info,
+            0,
             "fetch-serve: shut down after {} connections ({} shed), {} queue files ({} quarantined)",
-            summary.connections, summary.shed, summary.queue_files, summary.queue_quarantined
+            summary.connections,
+            summary.shed,
+            summary.queue_files,
+            summary.queue_quarantined
         ),
         Err(e) => fail(format_args!("serve loop failed: {e}")),
     }
@@ -244,6 +261,7 @@ fn client(args: &[String]) {
                 pipeline = Some(Pipeline::for_tool(tool));
             }
             "--stats" => request = Some(Request::Stats.to_line()),
+            "--metrics" => request = Some(Request::Metrics.to_line()),
             "--shutdown" => request = Some(Request::Shutdown.to_line()),
             "--subscribe" => subscribe = true,
             "--json" => request = Some(flag_value(args, &mut i, "--json").to_string()),

@@ -22,6 +22,10 @@
 //! * `{"cmd":"query", "fingerprint":"0x1234abcd…", "pipeline":"FDE+Rec"}`
 //!   — cache/store lookup only, never computes.
 //! * `{"cmd":"stats"}` — cache, store, and request counters.
+//! * `{"cmd":"metrics"}` — the runtime observability registry
+//!   ([`fetch_obs::Registry`]): a Prometheus-style `text` exposition
+//!   plus a structured `metrics` JSON object (counters as numbers,
+//!   histograms as `{count,sum,max,p50,p95,p99}`).
 //! * `{"cmd":"subscribe"}` — switch this connection to the telemetry
 //!   stream (one JSON event line per request and per layer).
 //! * `{"cmd":"shutdown"}` — reply, then stop the daemon.
@@ -32,13 +36,19 @@
 //! failure carries a machine-readable [`ErrorCode`]
 //! (`bad_request` / `too_large` / `busy` / `not_found` / `internal`)
 //! alongside the human-readable message, so clients can tell load
-//! shedding from malformed input without string matching. Analysis
-//! replies carry the content fingerprint (hex string — it does not fit
-//! a JSON double), the canonical pipeline id, the answer `source`
+//! shedding from malformed input without string matching. Every reply
+//! the daemon writes also carries a monotonic `req_id` (stamped by
+//! [`Reply::to_line_with`]) which the telemetry events of the same
+//! request echo, so subscribers can correlate layer events with the
+//! originating request. Analysis replies carry the content fingerprint
+//! (hex string — it does not fit a JSON double), the canonical pipeline
+//! id, the answer `source`
 //! (`"cold"` / `"cache"` / `"store"` / `"coalesced"` / `"delta"`), the
 //! request wall time, and a `result` object whose rendering is
 //! deterministic: a warm answer is byte-identical to the cold answer
-//! that seeded it (asserted by the end-to-end smoke test).
+//! that seeded it (asserted by the end-to-end smoke test). The
+//! `req_id`/`wall_us` envelope fields differ per request by design —
+//! byte-identity guarantees are about `result`, never the envelope.
 //!
 //! ## Input bounds
 //!
@@ -181,6 +191,9 @@ pub enum Request {
     },
     /// Report cache/store/request statistics.
     Stats,
+    /// Report the runtime observability registry (text exposition +
+    /// JSON form).
+    Metrics,
     /// Switch this connection to the telemetry event stream.
     Subscribe,
     /// Stop the daemon after replying.
@@ -224,6 +237,9 @@ impl ServeSource {
 /// A successful analysis (or query) answer.
 #[derive(Debug, Clone)]
 pub struct AnalyzeReply {
+    /// Monotonic request ID (echoed by this request's telemetry
+    /// events; 0 on client-constructed replies).
+    pub req_id: u64,
     /// Content fingerprint of the analyzed image.
     pub fingerprint: u64,
     /// Canonical pipeline id the answer is keyed under.
@@ -256,6 +272,14 @@ pub struct StoreStats {
 /// Per-command and per-source request counters of one daemon lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RequestCounters {
+    /// Every answer-path request (`analyze` + `reanalyze` + `query` +
+    /// shed connections). Reconciles exactly:
+    /// `requests_total == cache_hits + store_hits + delta_hits + cold
+    /// + coalesced + errors + shed_busy`.
+    pub requests_total: u64,
+    /// Answer-path requests that ended in an error reply (bad input,
+    /// unreadable path, not-found query, injected compute fault, …).
+    pub errors: u64,
     /// `analyze` requests handled.
     pub analyze: u64,
     /// `reanalyze` requests handled.
@@ -316,6 +340,16 @@ pub struct StatsReply {
     pub faults_injected: u64,
 }
 
+/// The `metrics` answer: the same registry snapshot in both forms.
+#[derive(Debug, Clone)]
+pub struct MetricsReply {
+    /// Prometheus-style text exposition ([`fetch_obs::render_text`]).
+    pub text: String,
+    /// Structured form: metric name → number (counter/gauge) or
+    /// `{count,sum,max,p50,p95,p99}` object (histogram).
+    pub metrics: Json,
+}
+
 /// A reply to one request.
 #[derive(Debug, Clone)]
 pub enum Reply {
@@ -323,6 +357,8 @@ pub enum Reply {
     Analyze(AnalyzeReply),
     /// Statistics.
     Stats(StatsReply),
+    /// The runtime observability registry.
+    Metrics(MetricsReply),
     /// The connection is now a telemetry subscriber.
     Subscribed,
     /// The daemon acknowledges shutdown.
@@ -450,10 +486,12 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "subscribe" => Ok(Request::Subscribe),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(RequestError::bad(format!(
-            "unknown cmd {other:?} (known: analyze, reanalyze, query, stats, subscribe, shutdown)"
+            "unknown cmd {other:?} \
+             (known: analyze, reanalyze, query, stats, metrics, subscribe, shutdown)"
         ))),
     }
 }
@@ -551,6 +589,7 @@ impl Request {
                 ("pipeline", Json::str(pipeline_id.clone())),
             ]),
             Request::Stats => obj([("cmd", Json::str("stats"))]),
+            Request::Metrics => obj([("cmd", Json::str("metrics"))]),
             Request::Subscribe => obj([("cmd", Json::str("subscribe"))]),
             Request::Shutdown => obj([("cmd", Json::str("shutdown"))]),
         };
@@ -590,9 +629,26 @@ fn cache_stats_json(stats: &CacheStats) -> Json {
 }
 
 impl Reply {
-    /// Renders the reply as one protocol line.
+    /// Renders the reply as one protocol line (no `req_id` — the
+    /// client-side and test form; the daemon uses
+    /// [`Reply::to_line_with`]).
     pub fn to_line(&self) -> String {
-        let json = match self {
+        self.to_json().to_string()
+    }
+
+    /// Renders the reply as one protocol line with the monotonic
+    /// `req_id` stamped into the envelope — every reply the daemon
+    /// writes goes through here.
+    pub fn to_line_with(&self, req_id: u64) -> String {
+        let mut json = self.to_json();
+        if let Json::Obj(map) = &mut json {
+            map.insert("req_id".to_string(), Json::int(req_id));
+        }
+        json.to_string()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
             Reply::Analyze(a) => obj([
                 ("ok", Json::Bool(true)),
                 ("fingerprint", Json::str(hex_u64(a.fingerprint))),
@@ -608,6 +664,8 @@ impl Reply {
                     (
                         "requests".to_string(),
                         obj([
+                            ("requests_total", Json::int(s.requests.requests_total)),
+                            ("errors", Json::int(s.requests.errors)),
                             ("analyze", Json::int(s.requests.analyze)),
                             ("reanalyze", Json::int(s.requests.reanalyze)),
                             ("query", Json::int(s.requests.query)),
@@ -652,13 +710,17 @@ impl Reply {
             }
             Reply::Subscribed => obj([("ok", Json::Bool(true)), ("subscribed", Json::Bool(true))]),
             Reply::Shutdown => obj([("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))]),
+            Reply::Metrics(m) => obj([
+                ("ok", Json::Bool(true)),
+                ("metrics", m.metrics.clone()),
+                ("text", Json::str(m.text.clone())),
+            ]),
             Reply::Error { code, message } => obj([
                 ("ok", Json::Bool(false)),
                 ("code", Json::str(code.token())),
                 ("error", Json::str(message.clone())),
             ]),
-        };
-        json.to_string()
+        }
     }
 }
 
@@ -667,11 +729,14 @@ impl Reply {
 /// [`LayerTrace`] — per-layer wall time, start delta sizes, and
 /// decode-cache work. Warm answers replay the trace persisted with the
 /// result, so subscribers see the per-layer telemetry either way.
+/// Every event carries the reply's `req_id`, so a subscriber can
+/// correlate layer events with the originating request.
 pub fn telemetry_events(reply: &AnalyzeReply) -> Vec<String> {
     let mut events = Vec::with_capacity(1 + reply.result.trace.len());
     events.push(
         obj([
             ("event", Json::str("request")),
+            ("req_id", Json::int(reply.req_id)),
             ("fingerprint", Json::str(hex_u64(reply.fingerprint))),
             ("pipeline", Json::str(reply.pipeline_id.clone())),
             ("source", Json::str(reply.source.token())),
@@ -689,6 +754,7 @@ pub fn telemetry_events(reply: &AnalyzeReply) -> Vec<String> {
 fn layer_event(reply: &AnalyzeReply, index: usize, t: &LayerTrace) -> String {
     obj([
         ("event", Json::str("layer")),
+        ("req_id", Json::int(reply.req_id)),
         ("fingerprint", Json::str(hex_u64(reply.fingerprint))),
         ("pipeline", Json::str(reply.pipeline_id.clone())),
         ("index", Json::int(index as u64)),
@@ -733,6 +799,7 @@ mod tests {
                 pipeline_id: "FDE+Rec+Xref".into(),
             },
             Request::Stats,
+            Request::Metrics,
             Request::Subscribe,
             Request::Shutdown,
         ];
@@ -851,6 +918,28 @@ mod tests {
             assert_eq!(ErrorCode::from_token(code.token()), Some(code));
         }
         assert_eq!(ErrorCode::from_token("nope"), None);
+    }
+
+    #[test]
+    fn replies_stamp_req_id_into_every_envelope() {
+        let tagged = Reply::error(ErrorCode::Busy, "full").to_line_with(41);
+        assert!(tagged.contains(r#""req_id":41"#), "{tagged}");
+        let tagged = Reply::Shutdown.to_line_with(42);
+        assert!(tagged.contains(r#""req_id":42"#), "{tagged}");
+        let tagged = Reply::Metrics(MetricsReply {
+            text: "# TYPE x counter\nx 1\n".into(),
+            metrics: obj([("x", Json::int(1))]),
+        })
+        .to_line_with(43);
+        assert!(tagged.contains(r#""req_id":43"#), "{tagged}");
+        assert!(tagged.contains(r#""metrics":{"x":1}"#), "{tagged}");
+        // On the wire the newlines are JSON-escaped (`\n` two-char).
+        assert!(
+            tagged.contains(r##""text":"# TYPE x counter\nx 1\n""##),
+            "{tagged}"
+        );
+        // The untagged form stays req_id-free (client-constructed).
+        assert!(!Reply::Shutdown.to_line().contains("req_id"));
     }
 
     #[test]

@@ -44,10 +44,11 @@
 use crate::fault::FaultPlan;
 use crate::protocol::{parse_request, ErrorCode, Reply, Request, MAX_LINE_BYTES};
 use crate::service::AnalysisService;
+use fetch_obs::{logmsg, LogLevel};
 use std::fs;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default worker-pool size for the socket transport.
 pub const DEFAULT_JOBS: usize = 4;
@@ -93,8 +94,10 @@ pub struct ServeSummary {
 /// The bounded hand-off between the accept loop and the worker pool.
 #[cfg(unix)]
 struct ConnQueue {
+    /// Pending connections with their enqueue instants — popped age
+    /// feeds the `fetch_queue_wait_us` histogram.
     state: std::sync::Mutex<(
-        std::collections::VecDeque<std::os::unix::net::UnixStream>,
+        std::collections::VecDeque<(Instant, std::os::unix::net::UnixStream)>,
         bool,
     )>,
     ready: std::sync::Condvar,
@@ -121,17 +124,18 @@ impl ConnQueue {
         if state.0.len() >= self.depth {
             return Err(stream);
         }
-        state.0.push_back(stream);
+        state.0.push_back((Instant::now(), stream));
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next connection; `None` once closed and drained.
-    fn pop(&self) -> Option<std::os::unix::net::UnixStream> {
+    /// Blocks for the next connection (with its enqueue instant);
+    /// `None` once closed and drained.
+    fn pop(&self) -> Option<(Instant, std::os::unix::net::UnixStream)> {
         let mut state = self.state.lock().expect("conn queue lock");
         loop {
-            if let Some(stream) = state.0.pop_front() {
-                return Some(stream);
+            if let Some(entry) = state.0.pop_front() {
+                return Some(entry);
             }
             if state.1 {
                 return None;
@@ -200,9 +204,13 @@ pub fn serve(service: &AnalysisService, opts: &ServerOptions) -> io::Result<Serv
                 .map(|_| {
                     let pending = &pending;
                     scope.spawn(move || {
-                        while let Some(stream) = pending.pop() {
+                        while let Some((queued_at, stream)) = pending.pop() {
+                            service
+                                .obs()
+                                .queue_wait_us
+                                .record(queued_at.elapsed().as_micros() as u64);
                             if let Err(e) = handle_connection(service, stream, io_timeout) {
-                                eprintln!("fetch-serve: connection error: {e}");
+                                logmsg!(LogLevel::Warn, 0, "fetch-serve: connection error: {e}");
                             }
                         }
                     })
@@ -220,8 +228,9 @@ pub fn serve(service: &AnalysisService, opts: &ServerOptions) -> io::Result<Serv
                                         Ok(()) => summary.connections += 1,
                                         Err(stream) => {
                                             summary.shed += 1;
+                                            let req_id = service.next_req_id();
                                             service.note_shed_busy();
-                                            shed_connection(stream, io_timeout);
+                                            shed_connection(stream, io_timeout, req_id);
                                         }
                                     }
                                     if service.shutdown_requested() {
@@ -284,7 +293,7 @@ pub fn serve(service: &AnalysisService, opts: &ServerOptions) -> io::Result<Serv
 /// effort under a short deadline — load shedding must never block the
 /// accept loop.
 #[cfg(unix)]
-fn shed_connection(stream: std::os::unix::net::UnixStream, io_timeout: Duration) {
+fn shed_connection(stream: std::os::unix::net::UnixStream, io_timeout: Duration, req_id: u64) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(io_timeout.min(Duration::from_millis(250))));
     let mut stream = stream;
@@ -292,7 +301,7 @@ fn shed_connection(stream: std::os::unix::net::UnixStream, io_timeout: Duration)
         ErrorCode::Busy,
         "daemon at capacity (pending-connection queue full); retry later",
     );
-    let _ = write_line(&mut stream, &reply.to_line());
+    let _ = write_line(&mut stream, &reply.to_line_with(req_id));
 }
 
 /// Reads one request line through the [`MAX_LINE_BYTES`] cap.
@@ -346,7 +355,7 @@ fn handle_connection(
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 service.note_rejected_too_large();
                 let reply = Reply::error(ErrorCode::TooLarge, e.to_string());
-                let _ = write_line(&mut writer, &reply.to_line());
+                let _ = write_line(&mut writer, &reply.to_line_with(service.next_req_id()));
                 return Ok(());
             }
             // Timed out mid-silence: drop the connection.
@@ -363,9 +372,14 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
+        let req_id = service.next_req_id();
         match parse_request(&line) {
             Ok(Request::Subscribe) => {
-                write_checked(service, &mut writer, &Reply::Subscribed.to_line())?;
+                write_checked(
+                    service,
+                    &mut writer,
+                    &Reply::Subscribed.to_line_with(req_id),
+                )?;
                 // The write timeout stays armed on the parked half: a
                 // subscriber that stops reading makes broadcast() error
                 // out and be dropped, instead of wedging the daemon on
@@ -375,8 +389,8 @@ fn handle_connection(
             }
             Ok(request) => {
                 let shutdown = matches!(request, Request::Shutdown);
-                let reply = service.handle(request);
-                write_checked(service, &mut writer, &reply.to_line())?;
+                let reply = service.handle_with_id(req_id, request);
+                write_checked(service, &mut writer, &reply.to_line_with(req_id))?;
                 if shutdown || service.shutdown_requested() {
                     return Ok(());
                 }
@@ -385,19 +399,26 @@ fn handle_connection(
                 if e.code == ErrorCode::TooLarge {
                     service.note_rejected_too_large();
                 }
-                write_checked(service, &mut writer, &Reply::from(e).to_line())?
+                write_checked(service, &mut writer, &Reply::from(e).to_line_with(req_id))?
             }
         }
     }
 }
 
-/// [`write_line`] behind the `conn.write` fault site.
+/// [`write_line`] behind the `conn.write` fault site, timed into the
+/// `fetch_reply_write_us` histogram.
 #[cfg(unix)]
 fn write_checked(service: &AnalysisService, writer: &mut impl Write, line: &str) -> io::Result<()> {
     if service.faults().fire(FaultPlan::CONN_WRITE).is_some() {
         return Err(FaultPlan::injected_error(FaultPlan::CONN_WRITE));
     }
-    write_line(writer, line)
+    let t0 = Instant::now();
+    let out = write_line(writer, line);
+    service
+        .obs()
+        .reply_write_us
+        .record(t0.elapsed().as_micros() as u64);
+    out
 }
 
 fn write_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
@@ -448,6 +469,7 @@ fn poll_queue(
             ))),
         };
         let name = path.file_name().expect("queue file has a name").to_owned();
+        let req_id = service.next_req_id();
         match parsed {
             Ok(request) => {
                 deferred.remove(&path);
@@ -456,9 +478,9 @@ fn poll_queue(
                         ErrorCode::BadRequest,
                         "subscribe requires a stream transport (socket or stdio)",
                     ),
-                    request => service.handle(request),
+                    request => service.handle_with_id(req_id, request),
                 };
-                match write_queue_reply(service, &out_dir, &name, &reply) {
+                match write_queue_reply(service, &out_dir, &name, &reply, req_id) {
                     Ok(()) => {
                         fs::remove_file(&path)?;
                         handled += 1;
@@ -466,7 +488,9 @@ fn poll_queue(
                     Err(e) => {
                         // Leave the input: the next poll retries it
                         // (handling is idempotent through the cache).
-                        eprintln!(
+                        logmsg!(
+                            LogLevel::Warn,
+                            req_id,
                             "fetch-serve: failed to write reply for {}: {e}",
                             name.to_string_lossy()
                         );
@@ -483,8 +507,10 @@ fn poll_queue(
                     service.note_rejected_too_large();
                 }
                 let reply = Reply::from(e);
-                if let Err(we) = write_queue_reply(service, &out_dir, &name, &reply) {
-                    eprintln!(
+                if let Err(we) = write_queue_reply(service, &out_dir, &name, &reply, req_id) {
+                    logmsg!(
+                        LogLevel::Warn,
+                        req_id,
                         "fetch-serve: failed to write reply for {}: {we}",
                         name.to_string_lossy()
                     );
@@ -493,7 +519,9 @@ fn poll_queue(
                 // Quarantine, never silently delete.
                 let target = failed_dir.join(&name);
                 if let Err(me) = fs::rename(&path, &target) {
-                    eprintln!(
+                    logmsg!(
+                        LogLevel::Warn,
+                        req_id,
                         "fetch-serve: failed to quarantine {}: {me}",
                         name.to_string_lossy()
                     );
@@ -518,16 +546,23 @@ fn write_queue_reply(
     out_dir: &Path,
     name: &std::ffi::OsStr,
     reply: &Reply,
+    req_id: u64,
 ) -> io::Result<()> {
     if service.faults().fire(FaultPlan::QUEUE_REPLY).is_some() {
         return Err(FaultPlan::injected_error(FaultPlan::QUEUE_REPLY));
     }
+    let t0 = Instant::now();
     let out_path = out_dir.join(name);
     let tmp = out_path.with_extension(format!("tmp{}", std::process::id()));
-    fs::write(&tmp, format!("{}\n", reply.to_line()))?;
-    fs::rename(&tmp, &out_path).inspect_err(|_| {
+    fs::write(&tmp, format!("{}\n", reply.to_line_with(req_id)))?;
+    let out = fs::rename(&tmp, &out_path).inspect_err(|_| {
         let _ = fs::remove_file(&tmp);
-    })
+    });
+    service
+        .obs()
+        .reply_write_us
+        .record(t0.elapsed().as_micros() as u64);
+    out
 }
 
 /// The stdio transport: request lines on `input`, reply lines on
@@ -552,7 +587,7 @@ pub fn serve_io(
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 service.note_rejected_too_large();
                 let reply = Reply::error(ErrorCode::TooLarge, e.to_string());
-                write_line(output, &reply.to_line())?;
+                write_line(output, &reply.to_line_with(service.next_req_id()))?;
                 break;
             }
             Err(e) => return Err(e),
@@ -561,14 +596,15 @@ pub fn serve_io(
             continue;
         }
         handled += 1;
+        let req_id = service.next_req_id();
         match parse_request(&line) {
             Ok(Request::Subscribe) => {
-                write_line(output, &Reply::Subscribed.to_line())?;
+                write_line(output, &Reply::Subscribed.to_line_with(req_id))?;
                 service.telemetry().subscribe(Box::new(output.clone()));
             }
             Ok(request) => {
-                let reply = service.handle(request);
-                write_line(output, &reply.to_line())?;
+                let reply = service.handle_with_id(req_id, request);
+                write_line(output, &reply.to_line_with(req_id))?;
                 if service.shutdown_requested() {
                     break;
                 }
@@ -577,7 +613,7 @@ pub fn serve_io(
                 if e.code == ErrorCode::TooLarge {
                     service.note_rejected_too_large();
                 }
-                write_line(output, &Reply::from(e).to_line())?
+                write_line(output, &Reply::from(e).to_line_with(req_id))?
             }
         }
     }

@@ -47,9 +47,10 @@
 //! telemetry survives both the cache and a restart.
 
 use crate::fault::{FaultKind, FaultPlan};
+use crate::json::Json;
 use crate::protocol::{
-    telemetry_events, AnalyzeInput, AnalyzeReply, DeltaCounters, ErrorCode, Reply, Request,
-    RequestCounters, ServeSource, StatsReply,
+    telemetry_events, AnalyzeInput, AnalyzeReply, DeltaCounters, ErrorCode, MetricsReply, Reply,
+    Request, RequestCounters, ServeSource, StatsReply,
 };
 use crate::store::{GcPolicy, ResultStore};
 use fetch_binary::ElfImage;
@@ -58,6 +59,8 @@ use fetch_core::{
     Flight, ImageDigest, Pipeline,
 };
 use fetch_disasm::RecEngine;
+use fetch_obs::{logmsg, Histogram, IdGen, LogLevel, MetricValue, Registry, Snapshot};
+use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -123,28 +126,68 @@ pub struct ServeConfig {
 }
 
 /// Lock-free request counters ([`RequestCounters`] is their snapshot).
+///
+/// Every field is an `Arc<AtomicU64>` so the same atomic can be
+/// registered into the service's [`Registry`] — the `stats` reply and
+/// the `metrics` exposition read *identical* storage and therefore
+/// reconcile exactly by construction.
 #[derive(Debug, Default)]
 struct Counters {
-    analyze: AtomicU64,
-    reanalyze: AtomicU64,
-    query: AtomicU64,
-    cold: AtomicU64,
-    cache_hits: AtomicU64,
-    store_hits: AtomicU64,
-    store_errors: AtomicU64,
-    coalesced: AtomicU64,
-    shed_busy: AtomicU64,
-    rejected_too_large: AtomicU64,
-    queue_quarantined: AtomicU64,
-    delta_hits: AtomicU64,
-    sections_reused: AtomicU64,
-    fallback_cold: AtomicU64,
-    digest_mismatch: AtomicU64,
+    requests_total: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    analyze: Arc<AtomicU64>,
+    reanalyze: Arc<AtomicU64>,
+    query: Arc<AtomicU64>,
+    cold: Arc<AtomicU64>,
+    cache_hits: Arc<AtomicU64>,
+    store_hits: Arc<AtomicU64>,
+    store_errors: Arc<AtomicU64>,
+    coalesced: Arc<AtomicU64>,
+    shed_busy: Arc<AtomicU64>,
+    rejected_too_large: Arc<AtomicU64>,
+    queue_quarantined: Arc<AtomicU64>,
+    delta_hits: Arc<AtomicU64>,
+    sections_reused: Arc<AtomicU64>,
+    fallback_cold: Arc<AtomicU64>,
+    digest_mismatch: Arc<AtomicU64>,
 }
 
 impl Counters {
+    /// Binds every counter into `registry` under its exposition name.
+    fn register(&self, registry: &Registry) {
+        for (name, atomic) in [
+            ("fetch_requests_total", &self.requests_total),
+            ("fetch_requests_errors_total", &self.errors),
+            ("fetch_requests_analyze_total", &self.analyze),
+            ("fetch_requests_reanalyze_total", &self.reanalyze),
+            ("fetch_requests_query_total", &self.query),
+            ("fetch_requests_cold_total", &self.cold),
+            ("fetch_requests_cache_hits_total", &self.cache_hits),
+            ("fetch_requests_store_hits_total", &self.store_hits),
+            ("fetch_requests_store_errors_total", &self.store_errors),
+            ("fetch_requests_coalesced_total", &self.coalesced),
+            ("fetch_requests_shed_busy_total", &self.shed_busy),
+            (
+                "fetch_requests_rejected_too_large_total",
+                &self.rejected_too_large,
+            ),
+            (
+                "fetch_requests_queue_quarantined_total",
+                &self.queue_quarantined,
+            ),
+            ("fetch_delta_hits_total", &self.delta_hits),
+            ("fetch_delta_sections_reused_total", &self.sections_reused),
+            ("fetch_delta_fallback_cold_total", &self.fallback_cold),
+            ("fetch_delta_digest_mismatch_total", &self.digest_mismatch),
+        ] {
+            registry.register_counter(name, Arc::clone(atomic));
+        }
+    }
+
     fn snapshot(&self) -> RequestCounters {
         RequestCounters {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
             analyze: self.analyze.load(Ordering::Relaxed),
             reanalyze: self.reanalyze.load(Ordering::Relaxed),
             query: self.query.load(Ordering::Relaxed),
@@ -169,6 +212,85 @@ impl Counters {
     }
 }
 
+/// The answer-source tokens a request latency is bucketed under —
+/// `fetch_request_us{source="…"}` histograms, one per token. The sum of
+/// their counts equals `fetch_requests_total` (every answer-path
+/// request is recorded exactly once).
+const REQUEST_SOURCES: [&str; 7] = [
+    "cache",
+    "store",
+    "cold",
+    "coalesced",
+    "delta",
+    "error",
+    "shed",
+];
+
+/// The observability core of one service instance: the metric registry
+/// plus the pre-resolved histogram handles of every instrumented site
+/// on the answer path (resolving by name per request would take the
+/// registry lock on the hot path).
+pub(crate) struct ServiceObs {
+    pub(crate) registry: Arc<Registry>,
+    ids: IdGen,
+    /// Request latency per answer source, [`REQUEST_SOURCES`] order.
+    request_us: [Arc<Histogram>; 7],
+    /// Wall time a connection sat in the server's pending queue.
+    pub(crate) queue_wait_us: Arc<Histogram>,
+    /// Wall time writing one reply line to a transport.
+    pub(crate) reply_write_us: Arc<Histogram>,
+    /// Coalescing: how long a leader held the flight (compute+publish).
+    coalesce_leader_us: Arc<Histogram>,
+    /// Coalescing: how long a waiter blocked for the leader's answer.
+    coalesce_wait_us: Arc<Histogram>,
+    /// Per-layer pipeline walls of fresh computes, keyed by layer name.
+    layer_walls: Mutex<HashMap<&'static str, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for ServiceObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServiceObs({:?})", self.registry)
+    }
+}
+
+impl ServiceObs {
+    fn new(registry: Arc<Registry>) -> ServiceObs {
+        let request_us = REQUEST_SOURCES
+            .map(|source| registry.histogram(&format!("fetch_request_us{{source=\"{source}\"}}")));
+        ServiceObs {
+            ids: IdGen::new(),
+            queue_wait_us: registry.histogram("fetch_queue_wait_us"),
+            reply_write_us: registry.histogram("fetch_reply_write_us"),
+            coalesce_leader_us: registry.histogram("fetch_coalesce_leader_us"),
+            coalesce_wait_us: registry.histogram("fetch_coalesce_wait_us"),
+            layer_walls: Mutex::new(HashMap::new()),
+            request_us,
+            registry,
+        }
+    }
+
+    fn request_hist(&self, source: &str) -> &Arc<Histogram> {
+        let idx = REQUEST_SOURCES
+            .iter()
+            .position(|s| *s == source)
+            .expect("known source token");
+        &self.request_us[idx]
+    }
+
+    /// Records the per-layer walls of a freshly computed trace (warm
+    /// answers replay persisted traces and are *not* re-recorded).
+    fn record_layer_walls(&self, result: &DetectionResult) {
+        let mut walls = self.layer_walls.lock().unwrap_or_else(|p| p.into_inner());
+        for t in &result.trace {
+            let hist = walls.entry(t.name).or_insert_with(|| {
+                self.registry
+                    .histogram(&format!("fetch_layer_wall_us{{layer=\"{}\"}}", t.name))
+            });
+            hist.record(t.wall_us() as u64);
+        }
+    }
+}
+
 /// The daemon core (see the [module docs](self)).
 #[derive(Debug)]
 pub struct AnalysisService {
@@ -183,6 +305,7 @@ pub struct AnalysisService {
     faults: Arc<FaultPlan>,
     intra_jobs: usize,
     shutdown: AtomicBool,
+    obs: ServiceObs,
 }
 
 impl AnalysisService {
@@ -190,7 +313,9 @@ impl AnalysisService {
     /// directory — which runs the startup recovery sweep — when one is
     /// configured.
     pub fn new(config: &ServeConfig) -> std::io::Result<AnalysisService> {
-        let store = match &config.store_dir {
+        let registry = Arc::new(Registry::new());
+        let obs = ServiceObs::new(Arc::clone(&registry));
+        let mut store = match &config.store_dir {
             Some(dir) => Some(ResultStore::open_with(
                 dir,
                 config.store_gc,
@@ -198,16 +323,52 @@ impl AnalysisService {
             )?),
             None => None,
         };
+        if let Some(store) = &mut store {
+            store.bind_obs(
+                registry.histogram("fetch_store_save_us"),
+                registry.histogram("fetch_store_load_us"),
+            );
+        }
+        let counters = Counters::default();
+        counters.register(&registry);
+        let cache = AnalysisCache::with_capacity(config.cache_capacity);
+        cache.register_metrics(&registry, "fetch_cache");
+        registry.register_counter("fetch_faults_injected_total", config.faults.fired_handle());
+        for (site, handle) in config.faults.site_counter_handles() {
+            registry.register_counter(
+                &format!("fetch_fault_fired_total{{site=\"{site}\"}}"),
+                handle,
+            );
+        }
         Ok(AnalysisService {
-            cache: AnalysisCache::with_capacity(config.cache_capacity),
+            cache,
             store,
             engines: Mutex::new(Vec::new()),
             telemetry: TelemetryHub::default(),
-            counters: Counters::default(),
+            counters,
             faults: config.faults.clone(),
             intra_jobs: config.intra_jobs,
             shutdown: AtomicBool::new(false),
+            obs,
         })
+    }
+
+    /// The service's metric registry (the `metrics` verb renders it;
+    /// harnesses may register their own series).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.obs.registry
+    }
+
+    /// The service's observability handles (transport instrumentation).
+    pub(crate) fn obs(&self) -> &ServiceObs {
+        &self.obs
+    }
+
+    /// Draws the next monotonic request ID. Transports draw one per
+    /// incoming request so the reply envelope, the telemetry events,
+    /// and the log lines of one request all agree.
+    pub fn next_req_id(&self) -> u64 {
+        self.obs.ids.next_id()
     }
 
     /// The telemetry hub (transports register subscribers here).
@@ -232,8 +393,13 @@ impl AnalysisService {
     }
 
     /// Records a request shed with a `busy` error (transport-level).
+    /// Shed requests count into `requests_total` and the
+    /// `source="shed"` latency histogram (the daemon spent ~no time on
+    /// them), so the reconciliation identity covers load shedding.
     pub fn note_shed_busy(&self) {
+        self.counters.requests_total.fetch_add(1, Ordering::Relaxed);
         self.counters.shed_busy.fetch_add(1, Ordering::Relaxed);
+        self.obs.request_hist("shed").record(0);
     }
 
     /// Records a request rejected with `too_large` (transport-level).
@@ -250,54 +416,135 @@ impl AnalysisService {
             .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Handles one request. Every path returns a reply — errors become
-    /// structured [`Reply::Error`]s, and the daemon keeps serving.
-    /// Takes `&self`: any number of workers call this concurrently.
+    /// Handles one request under a freshly drawn request ID. Every path
+    /// returns a reply — errors become structured [`Reply::Error`]s,
+    /// and the daemon keeps serving. Takes `&self`: any number of
+    /// workers call this concurrently.
     pub fn handle(&self, request: Request) -> Reply {
+        self.handle_with_id(self.next_req_id(), request)
+    }
+
+    /// [`AnalysisService::handle`] with the caller's request ID — the
+    /// transports draw the ID first so they can stamp it into the reply
+    /// envelope ([`Reply::to_line_with`]) and their log lines.
+    ///
+    /// Answer-path requests (`analyze`/`reanalyze`/`query`) are counted
+    /// into `requests_total`, bucketed into exactly one outcome counter
+    /// (hit/cold/coalesced/delta/error), and recorded into exactly one
+    /// `fetch_request_us{source="…"}` latency histogram.
+    pub fn handle_with_id(&self, req_id: u64, request: Request) -> Reply {
         match request {
-            Request::Analyze { input, pipeline } => match self.analyze(input, &pipeline) {
-                Ok(reply) => {
-                    self.emit(&reply);
-                    Reply::Analyze(reply)
-                }
-                Err((code, message)) => Reply::error(code, message),
-            },
+            Request::Analyze { input, pipeline } => {
+                let t0 = Instant::now();
+                self.counters.requests_total.fetch_add(1, Ordering::Relaxed);
+                let reply = match self.analyze(req_id, input, &pipeline) {
+                    Ok(reply) => {
+                        self.emit(&reply);
+                        Reply::Analyze(reply)
+                    }
+                    Err((code, message)) => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        Reply::error(code, message)
+                    }
+                };
+                self.record_request(&reply, t0);
+                reply
+            }
             Request::Reanalyze {
                 prev_fingerprint,
                 input,
                 pipeline,
-            } => match self.reanalyze(prev_fingerprint, input, &pipeline) {
-                Ok(reply) => {
-                    self.emit(&reply);
-                    Reply::Analyze(reply)
-                }
-                Err((code, message)) => Reply::error(code, message),
-            },
+            } => {
+                let t0 = Instant::now();
+                self.counters.requests_total.fetch_add(1, Ordering::Relaxed);
+                let reply = match self.reanalyze(req_id, prev_fingerprint, input, &pipeline) {
+                    Ok(reply) => {
+                        self.emit(&reply);
+                        Reply::Analyze(reply)
+                    }
+                    Err((code, message)) => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        Reply::error(code, message)
+                    }
+                };
+                self.record_request(&reply, t0);
+                reply
+            }
             Request::Query {
                 fingerprint,
                 pipeline_id,
             } => {
+                let t0 = Instant::now();
+                self.counters.requests_total.fetch_add(1, Ordering::Relaxed);
                 self.counters.query.fetch_add(1, Ordering::Relaxed);
-                match self.lookup_warm(fingerprint, &pipeline_id) {
+                let reply = match self.lookup_warm(req_id, fingerprint, &pipeline_id) {
                     Some((reply, _has_digest)) => {
                         self.emit(&reply);
                         Reply::Analyze(reply)
                     }
-                    None => Reply::error(
-                        ErrorCode::NotFound,
-                        format!(
-                            "no cached or stored result for ({}, {pipeline_id})",
-                            crate::protocol::hex_u64(fingerprint)
-                        ),
-                    ),
-                }
+                    None => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        Reply::error(
+                            ErrorCode::NotFound,
+                            format!(
+                                "no cached or stored result for ({}, {pipeline_id})",
+                                crate::protocol::hex_u64(fingerprint)
+                            ),
+                        )
+                    }
+                };
+                self.record_request(&reply, t0);
+                reply
             }
             Request::Stats => Reply::Stats(self.stats()),
+            Request::Metrics => Reply::Metrics(self.metrics_reply()),
             Request::Subscribe => Reply::Subscribed,
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 Reply::Shutdown
             }
+        }
+    }
+
+    /// Buckets one finished answer-path request into its
+    /// `fetch_request_us{source="…"}` histogram.
+    fn record_request(&self, reply: &Reply, t0: Instant) {
+        let source = match reply {
+            Reply::Analyze(a) => a.source.token(),
+            _ => "error",
+        };
+        self.obs
+            .request_hist(source)
+            .record(t0.elapsed().as_micros() as u64);
+    }
+
+    /// Builds the `metrics` reply: point-in-time gauges are refreshed
+    /// from structural state (cache/store footprints), then the whole
+    /// registry snapshots into both exposition forms.
+    fn metrics_reply(&self) -> MetricsReply {
+        let cache = self.cache.stats();
+        self.obs
+            .registry
+            .gauge("fetch_cache_entries")
+            .set(cache.entries as u64);
+        self.obs
+            .registry
+            .gauge("fetch_cache_bytes")
+            .set(cache.bytes as u64);
+        if let Some(Ok(store)) = self.store.as_ref().map(|s| s.stats()) {
+            self.obs
+                .registry
+                .gauge("fetch_store_entries")
+                .set(store.entries as u64);
+            self.obs
+                .registry
+                .gauge("fetch_store_disk_bytes")
+                .set(store.disk_bytes);
+        }
+        let snap = self.obs.registry.snapshot();
+        MetricsReply {
+            text: fetch_obs::render_text(&snap),
+            metrics: snapshot_json(&snap),
         }
     }
 
@@ -326,12 +573,18 @@ impl AnalysisService {
     /// digest included — into the cache. The returned flag says whether
     /// the warm entry carries an [`ImageDigest`]; `analyze` heals
     /// digest-less (pre-digest) entries when it has the image in hand.
-    fn lookup_warm(&self, fingerprint: u64, pipeline_id: &str) -> Option<(AnalyzeReply, bool)> {
+    fn lookup_warm(
+        &self,
+        req_id: u64,
+        fingerprint: u64,
+        pipeline_id: &str,
+    ) -> Option<(AnalyzeReply, bool)> {
         let t0 = Instant::now();
         if let Some((result, digest)) = self.cache.lookup_with_digest(fingerprint, pipeline_id) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Some((
                 AnalyzeReply {
+                    req_id,
                     fingerprint,
                     pipeline_id: pipeline_id.to_string(),
                     source: ServeSource::CacheHit,
@@ -357,6 +610,7 @@ impl AnalysisService {
                 );
                 Some((
                     AnalyzeReply {
+                        req_id,
                         fingerprint,
                         pipeline_id: pipeline_id.to_string(),
                         source: ServeSource::StoreHit,
@@ -368,7 +622,9 @@ impl AnalysisService {
             }
             Some(Err(e)) => {
                 self.counters.store_errors.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
+                logmsg!(
+                    LogLevel::Warn,
+                    req_id,
                     "fetch-serve: rejecting store entry for ({}, {pipeline_id}): {e}",
                     crate::protocol::hex_u64(fingerprint)
                 );
@@ -423,6 +679,7 @@ impl AnalysisService {
     /// failed persist degrades restart warmth, not answers.
     fn publish_digest(
         &self,
+        req_id: u64,
         fingerprint: u64,
         pipeline_id: &str,
         result: Arc<DetectionResult>,
@@ -434,7 +691,9 @@ impl AnalysisService {
         if let Some(store) = &self.store {
             if let Err(e) = store.save_with_digest(fingerprint, pipeline_id, &result, Some(&digest))
             {
-                eprintln!(
+                logmsg!(
+                    LogLevel::Warn,
+                    req_id,
                     "fetch-serve: failed to persist ({}, {pipeline_id}): {e}",
                     crate::protocol::hex_u64(fingerprint)
                 );
@@ -445,6 +704,7 @@ impl AnalysisService {
 
     fn analyze(
         &self,
+        req_id: u64,
         input: AnalyzeInput,
         pipeline: &Pipeline,
     ) -> Result<AnalyzeReply, (ErrorCode, String)> {
@@ -454,12 +714,13 @@ impl AnalysisService {
         let fingerprint = image_fingerprint(&image);
         let pipeline_id = pipeline.id();
 
-        if let Some((mut warm, has_digest)) = self.lookup_warm(fingerprint, &pipeline_id) {
+        if let Some((mut warm, has_digest)) = self.lookup_warm(req_id, fingerprint, &pipeline_id) {
             if !has_digest {
                 // A pre-digest entry, and we have the image in hand:
                 // heal it so a later reanalyze can delta against it.
                 let digest = Arc::new(ImageDigest::compute(&image.to_binary(), fingerprint));
-                warm.result = self.publish_digest(fingerprint, &pipeline_id, warm.result, digest);
+                warm.result =
+                    self.publish_digest(req_id, fingerprint, &pipeline_id, warm.result, digest);
             }
             // Charge the reply the full request time (parse included).
             warm.wall_us = t0.elapsed().as_secs_f64() * 1e6;
@@ -469,11 +730,13 @@ impl AnalysisService {
         // Cold path, coalesced: the first arrival leads and computes;
         // concurrent arrivals for the same key wait on the flight.
         loop {
+            let t_join = Instant::now();
             match self.cache.join_flight(fingerprint, &pipeline_id) {
                 Flight::Hit(result) => {
                     // Completed between our lookup and the join.
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(AnalyzeReply {
+                        req_id,
                         fingerprint,
                         pipeline_id,
                         source: ServeSource::CacheHit,
@@ -483,7 +746,11 @@ impl AnalysisService {
                 }
                 Flight::Waited(Some(result)) => {
                     self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    self.obs
+                        .coalesce_wait_us
+                        .record(t_join.elapsed().as_micros() as u64);
                     return Ok(AnalyzeReply {
+                        req_id,
                         fingerprint,
                         pipeline_id,
                         source: ServeSource::Coalesced,
@@ -510,9 +777,15 @@ impl AnalysisService {
                     // Publish to cache and waiters first; digest + disk
                     // after, so coalesced repliers never block on them.
                     let result = guard.complete(result);
+                    self.obs
+                        .coalesce_leader_us
+                        .record(t_join.elapsed().as_micros() as u64);
+                    self.obs.record_layer_walls(&result);
                     let digest = Arc::new(ImageDigest::compute(&image.to_binary(), fingerprint));
-                    let result = self.publish_digest(fingerprint, &pipeline_id, result, digest);
+                    let result =
+                        self.publish_digest(req_id, fingerprint, &pipeline_id, result, digest);
                     return Ok(AnalyzeReply {
+                        req_id,
                         fingerprint,
                         pipeline_id,
                         source: ServeSource::Cold,
@@ -547,6 +820,7 @@ impl AnalysisService {
     /// end-to-end by the serve tests).
     fn reanalyze(
         &self,
+        req_id: u64,
         prev_fingerprint: u64,
         input: AnalyzeInput,
         pipeline: &Pipeline,
@@ -559,10 +833,11 @@ impl AnalysisService {
 
         // The new version may already be known (a resubmission, or two
         // clients racing on the same rebuild): warm answers win.
-        if let Some((mut warm, has_digest)) = self.lookup_warm(fingerprint, &pipeline_id) {
+        if let Some((mut warm, has_digest)) = self.lookup_warm(req_id, fingerprint, &pipeline_id) {
             if !has_digest {
                 let digest = Arc::new(ImageDigest::compute(&image.to_binary(), fingerprint));
-                warm.result = self.publish_digest(fingerprint, &pipeline_id, warm.result, digest);
+                warm.result =
+                    self.publish_digest(req_id, fingerprint, &pipeline_id, warm.result, digest);
             }
             warm.wall_us = t0.elapsed().as_secs_f64() * 1e6;
             return Ok(warm);
@@ -585,7 +860,9 @@ impl AnalysisService {
                     }
                     Some(Err(e)) => {
                         self.counters.store_errors.fetch_add(1, Ordering::Relaxed);
-                        eprintln!(
+                        logmsg!(
+                            LogLevel::Warn,
+                            req_id,
                             "fetch-serve: rejecting store entry for ({}, {pipeline_id}): {e}",
                             crate::protocol::hex_u64(prev_fingerprint)
                         );
@@ -639,10 +916,19 @@ impl AnalysisService {
                     .fetch_add(1, Ordering::Relaxed),
             };
             self.counters.cold.fetch_add(1, Ordering::Relaxed);
+            // A non-hit tier ran the pipeline: its trace is fresh.
+            self.obs.record_layer_walls(&result);
             ServeSource::Cold
         };
-        let result = self.publish_digest(fingerprint, &pipeline_id, result, Arc::new(new_digest));
+        let result = self.publish_digest(
+            req_id,
+            fingerprint,
+            &pipeline_id,
+            result,
+            Arc::new(new_digest),
+        );
         Ok(AnalyzeReply {
+            req_id,
             fingerprint,
             pipeline_id,
             source,
@@ -650,6 +936,33 @@ impl AnalysisService {
             result,
         })
     }
+}
+
+/// Renders a registry snapshot as the `metrics` reply's JSON form:
+/// counters/gauges become numbers, histograms become
+/// `{count,sum,max,p50,p95,p99}` objects, keyed by the full metric name
+/// (labels included). Key order is deterministic ([`Json::Obj`] renders
+/// sorted).
+fn snapshot_json(snap: &Snapshot) -> Json {
+    Json::Obj(
+        snap.entries
+            .iter()
+            .map(|(name, value)| {
+                let v = match value {
+                    MetricValue::Counter(v) | MetricValue::Gauge(v) => Json::int(*v),
+                    MetricValue::Histogram(h) => crate::json::obj([
+                        ("count", Json::int(h.count)),
+                        ("sum", Json::int(h.sum)),
+                        ("max", Json::int(h.max)),
+                        ("p50", Json::int(h.p50)),
+                        ("p95", Json::int(h.p95)),
+                        ("p99", Json::int(h.p99)),
+                    ]),
+                };
+                (name.clone(), v)
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

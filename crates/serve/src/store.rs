@@ -41,12 +41,13 @@ use fetch_core::{
     deserialize_result_full, serialize_result_with_digest, DetectionResult, ImageDigest,
     SerialError,
 };
+use fetch_obs::{logmsg, Histogram, LogLevel};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Magic bytes opening every store file.
 pub const STORE_MAGIC: [u8; 4] = *b"FSTO";
@@ -158,6 +159,11 @@ pub struct ResultStore {
     quarantined: AtomicU64,
     gc_removed: AtomicU64,
     gc_bytes_freed: AtomicU64,
+    /// Save/load latency histograms, bound by the daemon via
+    /// [`ResultStore::bind_obs`] (`None` outside a daemon — the store
+    /// then times nothing).
+    save_us: Option<Arc<Histogram>>,
+    load_us: Option<Arc<Histogram>>,
 }
 
 impl ResultStore {
@@ -190,9 +196,20 @@ impl ResultStore {
             quarantined: AtomicU64::new(0),
             gc_removed: AtomicU64::new(0),
             gc_bytes_freed: AtomicU64::new(0),
+            save_us: None,
+            load_us: None,
         };
         store.compact()?;
         Ok(store)
+    }
+
+    /// Binds save/load latency histograms (microseconds per operation,
+    /// failures included — a failed save still cost its wall time).
+    /// The daemon calls this once at startup with histograms from its
+    /// metric registry; an unbound store records nothing.
+    pub fn bind_obs(&mut self, save_us: Arc<Histogram>, load_us: Arc<Histogram>) {
+        self.save_us = Some(save_us);
+        self.load_us = Some(load_us);
     }
 
     /// The store's root directory.
@@ -258,6 +275,21 @@ impl ResultStore {
     /// Re-saving an existing key with a digest *heals* a pre-digest
     /// entry in place.
     pub fn save_with_digest(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+        result: &DetectionResult,
+        digest: Option<&ImageDigest>,
+    ) -> Result<(), StoreError> {
+        let t0 = Instant::now();
+        let out = self.save_with_digest_inner(fingerprint, pipeline_id, result, digest);
+        if let Some(h) = &self.save_us {
+            h.record(t0.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    fn save_with_digest_inner(
         &self,
         fingerprint: u64,
         pipeline_id: &str,
@@ -345,6 +377,19 @@ impl ResultStore {
     /// load with `digest = None`; the serving layer heals them by
     /// re-saving with a digest on its next analyze of that image.
     pub fn load_full(
+        &self,
+        fingerprint: u64,
+        pipeline_id: &str,
+    ) -> Result<Option<(DetectionResult, Option<ImageDigest>)>, StoreError> {
+        let t0 = Instant::now();
+        let out = self.load_full_inner(fingerprint, pipeline_id);
+        if let Some(h) = &self.load_us {
+            h.record(t0.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    fn load_full_inner(
         &self,
         fingerprint: u64,
         pipeline_id: &str,
@@ -483,7 +528,9 @@ impl ResultStore {
             fs::remove_file(path)?;
         }
         self.quarantined.fetch_add(1, Ordering::Relaxed);
-        eprintln!(
+        logmsg!(
+            LogLevel::Warn,
+            0,
             "fetch-serve: quarantined store entry {} ({why})",
             name.to_string_lossy()
         );
